@@ -1,0 +1,156 @@
+//! Criterion benches for the cleaning side: sense assignment (Exp-6/8's
+//! timing core), beam search (Exp-9), the full OFDClean pipeline
+//! (Table 8's timing core), the holistic baseline (Exp-14) and the EMD
+//! primitive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use ofd_bench::Params;
+use ofd_clean::{
+    assign_all, beam_search, build_classes, emd, holo_clean, ofd_clean, Histogram, HoloConfig,
+    OfdCleanConfig, SenseView,
+};
+use ofd_core::SenseIndex;
+use ofd_datagen::{kiva, Dataset, PresetConfig};
+
+fn dirty_kiva(p: &Params, n_rows: usize) -> Dataset {
+    let mut ds = kiva(&PresetConfig {
+        n_rows,
+        n_attrs: 15,
+        n_senses: p.lambda_default,
+        synonyms: 3,
+        n_ofds: p.sigma_default,
+        ambiguity: 0.2,
+        seed: p.seed,
+    });
+    ds.degrade_ontology(p.inc_default / 100.0, p.seed);
+    ds.inject_errors(p.err_default / 100.0, p.seed);
+    ds
+}
+
+fn bench_sense_assignment(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = dirty_kiva(&p, p.n(2_000));
+    let classes = build_classes(&ds.relation, &ds.ofds);
+    let index = SenseIndex::synonym(&ds.relation, &ds.ontology);
+    let overlay = HashSet::new();
+    let view = SenseView {
+        base: &index,
+        overlay: &overlay,
+    };
+    c.bench_function("sense_assignment_exp8_point", |b| {
+        b.iter(|| assign_all(black_box(&classes), view))
+    });
+}
+
+fn bench_beam_search(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = dirty_kiva(&p, p.n(2_000));
+    let classes = build_classes(&ds.relation, &ds.ofds);
+    let index = SenseIndex::synonym(&ds.relation, &ds.ontology);
+    let overlay = HashSet::new();
+    let view = SenseView {
+        base: &index,
+        overlay: &overlay,
+    };
+    let assignment = assign_all(&classes, view);
+    let mut g = c.benchmark_group("beam_search_exp9");
+    g.sample_size(10);
+    for b_width in [1usize, 3, 5] {
+        g.bench_function(format!("b{b_width}"), |bench| {
+            bench.iter(|| {
+                beam_search(
+                    black_box(&ds.relation),
+                    &ds.ofds,
+                    &classes,
+                    &assignment,
+                    &index,
+                    Some(b_width),
+                    None,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = dirty_kiva(&p, p.n(1_000));
+    let config = OfdCleanConfig::default();
+    let mut g = c.benchmark_group("pipeline_table8_point");
+    g.sample_size(10);
+    g.bench_function("ofdclean", |b| {
+        b.iter(|| ofd_clean(black_box(&ds.relation), &ds.ontology, &ds.ofds, &config))
+    });
+    g.bench_function("holo_baseline", |b| {
+        b.iter(|| {
+            holo_clean(
+                black_box(&ds.relation),
+                &ds.ontology,
+                &ds.ofds,
+                &HoloConfig::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_emd(c: &mut Criterion) {
+    let mut pa: Histogram<u32> = Histogram::new();
+    let mut qa: Histogram<u32> = Histogram::new();
+    for i in 0..64u32 {
+        pa.add(i, (i % 7) as f64);
+        qa.add(i, ((i + 3) % 5) as f64);
+    }
+    c.bench_function("emd_64_tokens", |b| {
+        b.iter(|| emd(black_box(&pa), black_box(&qa)))
+    });
+}
+
+/// Ablation: incremental violation tracking vs full revalidation after a
+/// single cell update (DESIGN.md's interactive-cleaning design choice).
+fn bench_incremental_checker(c: &mut Criterion) {
+    use ofd_core::{IncrementalChecker, Validator};
+    let p = Params::from_env();
+    let ds = dirty_kiva(&p, p.n(2_000));
+    let index = SenseIndex::synonym(&ds.relation, &ds.ontology);
+    let mut g = c.benchmark_group("incremental_vs_full");
+    g.bench_function("full_revalidation", |b| {
+        let validator = Validator::new(&ds.relation, &ds.ontology);
+        b.iter(|| {
+            ds.ofds
+                .iter()
+                .map(|o| validator.check(black_box(o)).violation_count())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("incremental_update", |b| {
+        let mut rel = ds.relation.clone();
+        let attr = ds.ofds[0].rhs;
+        let mut checker = IncrementalChecker::new(&rel, &index, &ds.ofds);
+        let v_a = rel.value(0, attr);
+        let v_b = rel.value(1, attr);
+        let mut flip = false;
+        b.iter(|| {
+            let (old, new) = if flip { (v_b, v_a) } else { (v_a, v_b) };
+            rel.set_id(0, attr, new).expect("in bounds");
+            checker.apply_update(black_box(&index), 0, attr, old, new);
+            flip = !flip;
+            checker.violation_count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sense_assignment,
+    bench_beam_search,
+    bench_full_pipeline,
+    bench_emd,
+    bench_incremental_checker
+);
+criterion_main!(benches);

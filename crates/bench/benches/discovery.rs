@@ -1,0 +1,135 @@
+//! Criterion benches for the discovery side of the paper's evaluation:
+//! partition primitives, OFD verification, FastOFD vs the lattice FD
+//! baselines (Exp-1's fixed-N column) and the optimization ablation
+//! (Exp-3). Sizes follow `OFD_BENCH_SCALE`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fd_baselines::Algorithm;
+use ofd_bench::Params;
+use ofd_core::{Ofd, StrippedPartition, Validator};
+use ofd_datagen::{clinical, PresetConfig};
+use ofd_discovery::{DiscoveryOptions, FastOfd};
+
+fn config(p: &Params, n_rows: usize, n_attrs: usize) -> PresetConfig {
+    PresetConfig {
+        n_rows,
+        n_attrs,
+        n_senses: p.lambda_default,
+        synonyms: 3,
+        n_ofds: p.sigma_default,
+        ambiguity: 0.2,
+        seed: p.seed,
+    }
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = clinical(&config(&p, p.n(4_000), 15));
+    let rel = &ds.clean;
+    let schema = rel.schema();
+    let cc = schema.set(["CC"]).unwrap();
+    let symp = schema.set(["SYMP"]).unwrap();
+    let p_cc = StrippedPartition::of(rel, cc);
+    let p_symp = StrippedPartition::of(rel, symp);
+
+    let mut g = c.benchmark_group("partitions");
+    g.bench_function("stripped_of_single_attr", |b| {
+        b.iter(|| StrippedPartition::of(black_box(rel), black_box(cc)))
+    });
+    g.bench_function("product", |b| {
+        b.iter(|| black_box(&p_cc).product(black_box(&p_symp)))
+    });
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = clinical(&config(&p, p.n(4_000), 15));
+    let rel = &ds.clean;
+    let validator = Validator::new(rel, &ds.full_ontology);
+    let ofd = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+    let inh = Ofd::inheritance(ofd.lhs, ofd.rhs, 1);
+
+    let mut g = c.benchmark_group("validation");
+    g.bench_function("synonym_ofd", |b| b.iter(|| validator.check(black_box(&ofd))));
+    g.bench_function("inheritance_ofd", |b| b.iter(|| validator.check(black_box(&inh))));
+    g.bench_function("plain_fd", |b| b.iter(|| validator.check_fd(black_box(&ofd.as_fd()))));
+    g.finish();
+}
+
+/// Exp-1's fixed-N comparison: FastOFD vs the linear-scaling baselines.
+fn bench_discovery_algorithms(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = clinical(&config(&p, p.n(2_000), 8));
+    let rel = &ds.clean;
+
+    let mut g = c.benchmark_group("discovery_exp1_point");
+    g.sample_size(10);
+    g.bench_function("FastOFD", |b| {
+        b.iter(|| FastOfd::new(black_box(rel), black_box(&ds.full_ontology)).run())
+    });
+    for alg in [Algorithm::Tane, Algorithm::Fun, Algorithm::FdMine, Algorithm::Dfd] {
+        g.bench_with_input(BenchmarkId::new("baseline", alg.name()), &alg, |b, alg| {
+            b.iter(|| alg.discover(black_box(rel)))
+        });
+    }
+    g.finish();
+}
+
+/// Exp-3's ablation: FastOFD with and without the pruning rules.
+fn bench_discovery_opts(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = clinical(&config(&p, p.n(2_000), 8));
+    let rel = &ds.clean;
+
+    let mut g = c.benchmark_group("discovery_exp3_opts");
+    g.sample_size(10);
+    g.bench_function("all_opts", |b| {
+        b.iter(|| FastOfd::new(black_box(rel), &ds.full_ontology).run())
+    });
+    g.bench_function("no_opts", |b| {
+        b.iter(|| {
+            FastOfd::new(black_box(rel), &ds.full_ontology)
+                .options(DiscoveryOptions::new().no_optimizations())
+                .run()
+        })
+    });
+    g.finish();
+}
+
+/// Ablation for the verification-parallelism design choice (DESIGN.md):
+/// identical output, wall-clock scales with cores when verification
+/// dominates.
+fn bench_discovery_parallel(c: &mut Criterion) {
+    let p = Params::from_env();
+    let ds = clinical(&config(&p, p.n(4_000), 10));
+    let rel = &ds.clean;
+    let mut g = c.benchmark_group("discovery_parallelism");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    FastOfd::new(black_box(rel), &ds.full_ontology)
+                        .options(DiscoveryOptions::new().threads(threads))
+                        .run()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitions,
+    bench_validation,
+    bench_discovery_algorithms,
+    bench_discovery_opts,
+    bench_discovery_parallel
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Phase-level timing probe for OFDClean at scale.
+
+use std::collections::HashSet;
+use std::io::Write;
+use std::time::Instant;
+
+use ofd_clean::{assign_all, beam_search, build_classes, local_refinement, repair_data, SenseView};
+use ofd_core::SenseIndex;
+use ofd_datagen::{clinical, PresetConfig};
+
+fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("{name}: {:.2?}", start.elapsed());
+    std::io::stdout().flush().ok();
+    out
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let mut ds = clinical(&PresetConfig {
+        n_rows: n,
+        ..PresetConfig::default()
+    });
+    ds.degrade_ontology(0.04, 7);
+    ds.inject_errors(0.03, 7);
+    let working = ds.relation.clone();
+    let mut index = stage("index", || SenseIndex::synonym(&working, &ds.ontology));
+    let classes = stage("build_classes", || build_classes(&working, &ds.ofds));
+    let n_classes: usize = classes.iter().map(|c| c.classes.len()).sum();
+    println!("  -> {n_classes} classes");
+    let overlay = HashSet::new();
+    let view = SenseView { base: &index, overlay: &overlay };
+    let mut assignment = stage("assign_all", || assign_all(&classes, view));
+    stage("local_refinement", || {
+        local_refinement(&working, &ds.ontology, &classes, &mut assignment, view, 0.0)
+    });
+    let plan = stage("beam_search", || {
+        beam_search(&working, &ds.ofds, &classes, &assignment, &index, None, None)
+    });
+    println!("  -> {} candidates, frontier {}", plan.candidates.len(), plan.frontier.len());
+    let chosen = plan.select(usize::MAX).clone();
+    let overlay2: HashSet<_> = chosen.adds.iter().copied().collect();
+    let mut working2 = working.clone();
+    let repaired_onto = ds
+        .ontology
+        .with_repair(&{
+            let mut r = ofd_ontology::OntologyRepair::new();
+            for &(v, s) in &chosen.adds {
+                r.add(s, working.pool().resolve(v));
+            }
+            r
+        })
+        .unwrap();
+    let (repairs, ok) = stage("repair_data", || {
+        repair_data(
+            &mut working2,
+            &repaired_onto,
+            &ds.ofds,
+            &assignment,
+            &mut index,
+            &overlay2,
+            usize::MAX,
+            10,
+        )
+    });
+    println!("  -> {} repairs, converged={ok}", repairs.len());
+}

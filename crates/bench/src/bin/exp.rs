@@ -1,0 +1,104 @@
+//! `exp` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! exp all                 # every experiment at the default scale
+//! exp exp1 exp3 table6    # selected experiments
+//! exp --scale 0.5 exp13   # custom scale multiplier
+//! exp --full exp1         # paper-scale parameters (slow)
+//! exp --out results exp6  # output directory (default: results/)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ofd_bench::{run_experiment, Params, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut params = Params::from_env();
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => params = Params::full(),
+            "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) => params = Params::with_scale(s),
+                None => {
+                    eprintln!("--scale requires a float argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            other => ids.push(other.to_owned()),
+        }
+    }
+
+
+    let want_summary = ids.iter().any(|i| i == "summary");
+    ids.retain(|i| i != "summary");
+    if ids.is_empty() && !want_summary {
+        print_help();
+        return ExitCode::FAILURE;
+    }
+
+    for id in &ids {
+        eprintln!("running {id} …");
+        let started = std::time::Instant::now();
+        match run_experiment(id, &params) {
+            Some(result) => {
+                println!("{}", result.render());
+                match result.save(&out_dir) {
+                    Ok(path) => eprintln!(
+                        "{id} done in {:.1}s → {}",
+                        started.elapsed().as_secs_f64(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("failed to save {id}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; known: {ALL_EXPERIMENTS:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Summarize last, so a combined `exp all summary` digests the results
+    // just produced.
+    if want_summary {
+        match ofd_bench::summary::summarize(&out_dir) {
+            Some(digest) => {
+                println!("{digest}");
+                let path = out_dir.join("SUMMARY.md");
+                if let Err(e) = std::fs::write(&path, digest) {
+                    eprintln!("failed to write summary: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            None => eprintln!("no results found in {}", out_dir.display()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: exp [--full] [--scale F] [--out DIR] (all | <exp-id>...)\n\
+         experiments: {ALL_EXPERIMENTS:?}"
+    );
+}

@@ -1,0 +1,49 @@
+//! Stage-by-stage timing probe for paper-scale feasibility measurements.
+//! `scale_probe [N]` prints per-stage wall times, flushing as it goes.
+
+use std::io::Write;
+use std::time::Instant;
+
+use ofd_clean::{ofd_clean, OfdCleanConfig};
+use ofd_datagen::{clinical, PresetConfig};
+use ofd_discovery::{DiscoveryOptions, FastOfd};
+
+fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("{name}: {:.2?}", start.elapsed());
+    std::io::stdout().flush().ok();
+    out
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let mut ds = stage("generate", || {
+        clinical(&PresetConfig {
+            n_rows: n,
+            ..PresetConfig::default()
+        })
+    });
+    let disc = stage("discover(level<=3)", || {
+        FastOfd::new(&ds.clean, &ds.full_ontology)
+            .options(DiscoveryOptions::new().max_level(3))
+            .run()
+    });
+    println!("  -> {} OFDs", disc.len());
+    stage("corrupt", || {
+        ds.degrade_ontology(0.04, 7);
+        ds.inject_errors(0.03, 7);
+    });
+    let result = stage("ofd_clean", || {
+        ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &OfdCleanConfig::default())
+    });
+    println!(
+        "  -> satisfied={} adds={} repairs={}",
+        result.satisfied,
+        result.ontology_dist(),
+        result.data_dist()
+    );
+}

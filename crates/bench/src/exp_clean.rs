@@ -1,0 +1,385 @@
+//! OFDClean experiments: Exp-9 … Exp-14 (Figures 10–12, Table 8) and the
+//! Table 6 / Figure 7 running-example trace.
+
+use std::collections::HashSet;
+
+use ofd_clean::{
+    assign_all, build_classes, conflict_graph, delta_p, holo_clean, ofd_clean, ontology_quality,
+    repair_quality, vertex_cover, HoloConfig, OfdCleanConfig, SenseAssignment, SenseView,
+};
+use ofd_core::{AttrId, Ofd, Relation, SenseIndex};
+use ofd_datagen::{clinical, kiva, Dataset, PresetConfig};
+use ofd_ontology::samples;
+use serde_json::{json, Value};
+
+use crate::params::Params;
+use crate::report::{timed, ExpResult};
+
+/// Shared harness: generate → corrupt → clean → score.
+struct CleanRun {
+    quality: ofd_clean::PrecisionRecall,
+    ontology_q: ofd_clean::PrecisionRecall,
+    secs: f64,
+    data_repairs: usize,
+    ontology_adds: usize,
+}
+
+fn run_ofdclean(ds: &Dataset, config: &OfdCleanConfig) -> CleanRun {
+    let (result, secs) = timed(|| ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, config));
+    let detectable: Vec<(usize, AttrId)> = ds
+        .detectable_errors()
+        .iter()
+        .map(|e| (e.row, e.attr))
+        .collect();
+    let quality = repair_quality(
+        &ds.relation,
+        &result.repaired,
+        &ds.clean,
+        &detectable,
+        &ds.full_ontology,
+    );
+    let ontology_q = ontology_quality(&result.repaired, &result.ontology_adds, &ds.removed_values);
+    CleanRun {
+        quality,
+        ontology_q,
+        secs,
+        data_repairs: result.data_dist(),
+        ontology_adds: result.ontology_dist(),
+    }
+}
+
+fn run_holo(ds: &Dataset) -> (ofd_clean::PrecisionRecall, f64) {
+    let (result, secs) = timed(|| {
+        holo_clean(&ds.relation, &ds.ontology, &ds.ofds, &HoloConfig::default())
+    });
+    let detectable: Vec<(usize, AttrId)> = ds
+        .detectable_errors()
+        .iter()
+        .map(|e| (e.row, e.attr))
+        .collect();
+    let q = repair_quality(
+        &ds.relation,
+        &result.repaired,
+        &ds.clean,
+        &detectable,
+        &ds.full_ontology,
+    );
+    (q, secs)
+}
+
+fn kiva_dataset(p: &Params, n_rows: usize, err_pct: f64, inc_pct: f64, n_ofds: usize) -> Dataset {
+    let mut ds = kiva(&PresetConfig {
+        n_rows,
+        n_attrs: 15,
+        n_senses: p.lambda_default,
+        synonyms: 3,
+        n_ofds,
+        ambiguity: 0.2,
+        seed: p.seed,
+    });
+    ds.degrade_ontology(inc_pct / 100.0, p.seed);
+    ds.inject_errors(err_pct / 100.0, p.seed);
+    ds
+}
+
+fn clinical_dataset(p: &Params, n_rows: usize, err_pct: f64, inc_pct: f64, n_ofds: usize) -> Dataset {
+    let mut ds = clinical(&PresetConfig {
+        n_rows,
+        n_attrs: 15,
+        n_senses: p.lambda_default,
+        synonyms: 3,
+        n_ofds,
+        ambiguity: 0.2,
+        seed: p.seed,
+    });
+    ds.degrade_ontology(inc_pct / 100.0, p.seed);
+    ds.inject_errors(err_pct / 100.0, p.seed);
+    ds
+}
+
+/// Exp-9 (Fig. 10a/10b): accuracy and runtime vs beam size (Kiva).
+pub fn exp9(p: &Params) -> ExpResult {
+    let n = p.n(3_000);
+    let mut result = ExpResult::new(
+        "exp9",
+        "Fig. 10a/10b — OFDClean accuracy & runtime vs beam size b (Kiva)",
+        json!({"n_rows": n, "err_pct": p.err_default, "inc_pct": p.inc_default}),
+        &["b", "precision", "recall", "secs", "ont_adds", "data_repairs"],
+    );
+    for &b in &p.beam_sweep {
+        let ds = kiva_dataset(p, n, p.err_default, p.inc_default, p.sigma_default);
+        let config = OfdCleanConfig {
+            beam: Some(b),
+            tau: p.tau,
+            ..OfdCleanConfig::default()
+        };
+        let run = run_ofdclean(&ds, &config);
+        result.push_row(vec![
+            json!(b),
+            json!(run.quality.precision),
+            json!(run.quality.recall),
+            json!(run.secs),
+            json!(run.ontology_adds),
+            json!(run.data_repairs),
+        ]);
+    }
+    result.note("expected shape: accuracy rises with b, marginal gains after b≈4; runtime grows super-linearly in b");
+    result
+}
+
+/// Exp-10 + Exp-14 (Fig. 10c/10d): OFDClean vs the HoloClean-style baseline
+/// across error rates (Kiva).
+pub fn exp10(p: &Params) -> ExpResult {
+    let n = p.n(3_000);
+    let mut result = ExpResult::new(
+        "exp10",
+        "Fig. 10c/10d — OFDClean vs HoloClean-style baseline vs err% (Kiva)",
+        json!({"n_rows": n, "inc_pct": p.inc_default, "beam": p.beam_default}),
+        &[
+            "err_pct",
+            "ofd_precision",
+            "ofd_recall",
+            "ofd_secs",
+            "holo_precision",
+            "holo_recall",
+            "holo_secs",
+        ],
+    );
+    let mut wins = 0usize;
+    for &err in &p.err_sweep {
+        let ds = kiva_dataset(p, n, err, p.inc_default, p.sigma_default);
+        let config = OfdCleanConfig {
+            beam: Some(p.beam_default),
+            tau: p.tau,
+            ..OfdCleanConfig::default()
+        };
+        let run = run_ofdclean(&ds, &config);
+        let (hq, hs) = run_holo(&ds);
+        if run.quality.precision >= hq.precision {
+            wins += 1;
+        }
+        result.push_row(vec![
+            json!(err),
+            json!(run.quality.precision),
+            json!(run.quality.recall),
+            json!(run.secs),
+            json!(hq.precision),
+            json!(hq.recall),
+            json!(hs),
+        ]);
+    }
+    result.note(format!(
+        "OFDClean precision ≥ baseline in {wins}/{} settings (paper: +7.4% precision, +4.4% recall, at higher runtime)",
+        p.err_sweep.len()
+    ));
+    result
+}
+
+/// Exp-11 (Fig. 11): accuracy vs ontology incompleteness (Clinical).
+pub fn exp11(p: &Params) -> ExpResult {
+    let n = p.n(3_000);
+    let mut result = ExpResult::new(
+        "exp11",
+        "Fig. 11 — accuracy vs inc% (Clinical)",
+        json!({"n_rows": n, "err_pct": p.err_default}),
+        &[
+            "inc_pct",
+            "precision",
+            "recall",
+            "ont_precision",
+            "ont_recall",
+            "ont_adds",
+        ],
+    );
+    for &inc in &p.inc_sweep {
+        let ds = clinical_dataset(p, n, p.err_default, inc, p.sigma_default);
+        let config = OfdCleanConfig {
+            beam: Some(p.beam_default),
+            tau: p.tau,
+            ..OfdCleanConfig::default()
+        };
+        let run = run_ofdclean(&ds, &config);
+        result.push_row(vec![
+            json!(inc),
+            json!(run.quality.precision),
+            json!(run.quality.recall),
+            json!(run.ontology_q.precision),
+            json!(run.ontology_q.recall),
+            json!(run.ontology_adds),
+        ]);
+    }
+    result.note("expected shape: precision declines as inc% grows (repair values land in wrong senses); recall stays ≥85% with a slight decline");
+    result
+}
+
+/// Exp-12 (Fig. 12): accuracy vs the number of OFDs |Σ| (Clinical).
+pub fn exp12(p: &Params) -> ExpResult {
+    let n = p.n(3_000);
+    let mut result = ExpResult::new(
+        "exp12",
+        "Fig. 12 — accuracy vs |Σ| (Clinical)",
+        json!({"n_rows": n, "err_pct": p.err_default, "inc_pct": p.inc_default}),
+        &["sigma", "precision", "recall", "secs"],
+    );
+    for &sigma in &p.sigma_sweep {
+        let ds = clinical_dataset(p, n, p.err_default, p.inc_default, sigma);
+        let config = OfdCleanConfig {
+            beam: Some(p.beam_default),
+            tau: p.tau,
+            ..OfdCleanConfig::default()
+        };
+        let run = run_ofdclean(&ds, &config);
+        result.push_row(vec![
+            json!(sigma),
+            json!(run.quality.precision),
+            json!(run.quality.recall),
+            json!(run.secs),
+        ]);
+    }
+    result.note("expected shape: both precision and recall decline as |Σ| grows (attribute overlap between OFDs)");
+    result
+}
+
+/// Exp-13 (Table 8): OFDClean runtime and accuracy vs N (Clinical).
+pub fn exp13(p: &Params) -> ExpResult {
+    let mut result = ExpResult::new(
+        "exp13",
+        "Table 8 — OFDClean runtime vs N (Clinical)",
+        json!({"err_pct": p.err_default, "inc_pct": p.inc_default}),
+        &["N", "precision", "recall", "secs"],
+    );
+    let sweep: Vec<usize> = p.n_sweep.iter().map(|&n| p.n(n / 2)).collect();
+    for n in sweep {
+        let ds = clinical_dataset(p, n, p.err_default, p.inc_default, p.sigma_default);
+        let config = OfdCleanConfig {
+            beam: Some(p.beam_default),
+            tau: p.tau,
+            ..OfdCleanConfig::default()
+        };
+        let run = run_ofdclean(&ds, &config);
+        result.push_row(vec![
+            json!(n),
+            json!(run.quality.precision),
+            json!(run.quality.recall),
+            json!(run.secs),
+        ]);
+    }
+    result.note("expected shape: runtime grows modestly with N (paper Table 8: 166→217 min for 50→250K on their testbed); precision roughly flat (±1.4%)");
+    result
+}
+
+/// Table 6 + Figure 7: the running-example repair trace on the Table 4
+/// subset (t8–t11 with `t11[CTRY] = Uni. States`).
+pub fn table6(_p: &Params) -> ExpResult {
+    // Table 4: the headache subset with the CTRY typo.
+    let rel = Relation::from_rows(
+        ["CC", "CTRY", "SYMP", "DIAG", "MED"],
+        [
+            &["US", "USA", "headache", "hypertension", "cartia"] as &[&str],
+            &["US", "USA", "headache", "hypertension", "ASA"],
+            &["US", "America", "headache", "hypertension", "tiazac"],
+            &["US", "Uni. States", "headache", "hypertension", "adizem"],
+        ],
+    )
+    .expect("table 4");
+    let onto = samples::combined_paper_ontology();
+    let sigma = vec![
+        Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").expect("φ1"),
+        Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").expect("φ2"),
+    ];
+    let classes = build_classes(&rel, &sigma);
+    let index = SenseIndex::synonym(&rel, &onto);
+    let overlay = HashSet::new();
+    let view = SenseView {
+        base: &index,
+        overlay: &overlay,
+    };
+    let mut assignment: SenseAssignment = assign_all(&classes, view);
+    // Force the FDA sense on the MED class, as the paper's narrative does.
+    let dilt = onto.names("tiazac")[0];
+    assignment.set(1, 0, Some(dilt));
+    let usa_sense = onto.names("USA")[0];
+    assignment.set(0, 0, Some(usa_sense));
+
+    let mut result = ExpResult::new(
+        "table6",
+        "Table 6 — sample ontology repairs on the Table 4 subset (t8–t11)",
+        json!({"tuples": 4}),
+        &["ont_repair", "dist_S", "conflict_edges", "C2opt", "delta_p"],
+    );
+
+    let adds_of = |names: &[(&str, ofd_ontology::SenseId)]| -> HashSet<_> {
+        names
+            .iter()
+            .map(|(v, s)| (rel.pool().get(v).expect("value in data"), *s))
+            .collect()
+    };
+    let label = |t: u32| format!("t{}", t + 8); // rows 0..3 are t8..t11
+    let cases: Vec<(String, HashSet<(ofd_core::ValueId, ofd_ontology::SenseId)>)> = vec![
+        ("∅".to_owned(), HashSet::new()),
+        ("ASA (FDA)".to_owned(), adds_of(&[("ASA", dilt)])),
+        ("adizem (FDA)".to_owned(), adds_of(&[("adizem", dilt)])),
+        (
+            "United States (GEO)".to_owned(),
+            adds_of(&[("Uni. States", usa_sense)]),
+        ),
+        (
+            "adizem (FDA) + United States (GEO)".to_owned(),
+            adds_of(&[("adizem", dilt), ("Uni. States", usa_sense)]),
+        ),
+        (
+            "ASA (FDA) + adizem (FDA) + United States (GEO)".to_owned(),
+            adds_of(&[("ASA", dilt), ("adizem", dilt), ("Uni. States", usa_sense)]),
+        ),
+    ];
+    for (name, adds) in cases {
+        let view = SenseView {
+            base: &index,
+            overlay: &adds,
+        };
+        let conflicts = conflict_graph(&rel, &classes, &assignment, view);
+        let edges: Vec<String> = conflicts
+            .iter()
+            .map(|c| format!("({},{})", label(c.t1), label(c.t2)))
+            .collect();
+        let cover: Vec<String> = vertex_cover(&conflicts).iter().map(|&t| label(t)).collect();
+        let dp = delta_p(&conflicts, &sigma);
+        result.push_row(vec![
+            json!(name),
+            json!(adds.len()),
+            json!(edges.join(" ")),
+            json!(cover.join(",")),
+            json!(dp),
+        ]);
+    }
+    result.note("reproduces the paper's Table 6 rows: adding ASA under FDA leaves the t11 star (δ_P = 2); adizem or the CTRY fix alone keep δ_P = 4");
+    result
+}
+
+/// Table 5: print the parameter grid itself.
+pub fn params_table(p: &Params) -> ExpResult {
+    let mut result = ExpResult::new(
+        "params",
+        "Table 5 — parameter values (defaults in bold in the paper)",
+        json!({"scale": p.scale}),
+        &["symbol", "description", "values", "default"],
+    );
+    let rows: Vec<(&str, &str, String, Value)> = vec![
+        ("|λ|", "# senses", format!("{:?}", p.lambda_sweep), json!(p.lambda_default)),
+        ("err%", "error rate", format!("{:?}", p.err_sweep), json!(p.err_default)),
+        (
+            "N",
+            "# tuples (scaled)",
+            format!("{:?}", p.scaled_n_sweep()),
+            json!(p.n(p.n_default)),
+        ),
+        ("b", "beam size", format!("{:?}", p.beam_sweep), json!(p.beam_default)),
+        ("inc%", "incompleteness rate", format!("{:?}", p.inc_sweep), json!(p.inc_default)),
+        ("|Σ|", "# OFDs", format!("{:?}", p.sigma_sweep), json!(p.sigma_default)),
+        ("τ", "repair budget", "fraction of |I|".to_owned(), json!(p.tau)),
+    ];
+    for (sym, desc, values, default) in rows {
+        result.push_row(vec![json!(sym), json!(desc), json!(values), default]);
+    }
+    result
+}

@@ -1,0 +1,330 @@
+//! Discovery experiments: Exp-1 … Exp-5 (Figures 8a–8c plus the lattice
+//! compactness and false-positive analyses of §7.2/§7.3).
+
+use fd_baselines::Algorithm;
+use ofd_core::{Fd, Validator};
+use ofd_datagen::{clinical, generate, AttrRole, PresetConfig, SynthSpec};
+use ofd_discovery::{DiscoveryOptions, FastOfd};
+use serde_json::{json, Value};
+
+use crate::params::Params;
+use crate::report::{timed, ExpResult};
+
+fn preset(p: &Params, n_rows: usize, n_attrs: usize) -> PresetConfig {
+    PresetConfig {
+        n_rows,
+        n_attrs,
+        n_senses: p.lambda_default,
+        synonyms: 3,
+        n_ofds: p.sigma_default,
+        ambiguity: 0.2,
+        seed: p.seed,
+    }
+}
+
+/// Exp-1 (Fig. 8a): scalability in the number of tuples — FastOFD vs the
+/// seven FD discovery baselines.
+pub fn exp1(p: &Params) -> ExpResult {
+    let mut result = ExpResult::new(
+        "exp1",
+        "Fig. 8a — scalability in N (runtime, seconds)",
+        json!({"n_attrs": p.attrs_discovery, "sweep": p.scaled_n_sweep(),
+               "quadratic_cap": p.n(p.quadratic_cap)}),
+        &[
+            "N", "FastOFD", "TANE", "FUN", "FDMine", "DFD", "DepMiner", "FastFDs", "FDep",
+            "HyFD*",
+        ],
+    );
+    let cap = p.n(p.quadratic_cap);
+    for n in p.scaled_n_sweep() {
+        let ds = clinical(&preset(p, n, p.attrs_discovery));
+        let (fast, t_fast) = timed(|| FastOfd::new(&ds.clean, &ds.full_ontology).run());
+        let mut row = vec![json!(n), json!(t_fast)];
+        let mut fd_counts = Vec::new();
+        for alg in Algorithm::ALL {
+            if alg.is_quadratic() && n > cap {
+                // Reproduces the paper terminating the pairwise algorithms
+                // on large inputs.
+                row.push(Value::Null);
+                continue;
+            }
+            let (fds, secs) = timed(|| alg.discover(&ds.clean));
+            fd_counts.push((alg.name(), fds.len()));
+            row.push(json!(secs));
+        }
+        // Beyond the paper's seven: HyFD as the modern reference point.
+        let (_, t_hyfd) = timed(|| fd_baselines::hyfd::discover(&ds.clean));
+        row.push(json!(t_hyfd));
+        result.push_row(row);
+        if n == *p.scaled_n_sweep().last().unwrap() {
+            result.note(format!(
+                "at N={n}: FastOFD found {} OFDs vs {} plain FDs (TANE)",
+                fast.len(),
+                fd_counts
+                    .iter()
+                    .find(|(a, _)| *a == "TANE")
+                    .map(|(_, c)| *c)
+                    .unwrap_or(0)
+            ));
+            // The paper's "FDMine returns ~24x non-minimal dependencies".
+            let raw = fd_baselines::fdmine::discover_raw(&ds.clean).len();
+            let minimal = fd_baselines::fdmine::discover(&ds.clean).len().max(1);
+            result.note(format!(
+                "FDMine raw output: {} dependencies vs {} minimal ({:.1}x — paper reports ~24x on clinical data)",
+                raw,
+                minimal,
+                raw as f64 / minimal as f64
+            ));
+        }
+    }
+    result.note("expected shape: lattice algorithms linear in N; FastOFD ≈ 1.5–2.5× TANE; quadratic baselines capped; HyFD* is a beyond-paper reference");
+    if let Some(rss) = crate::report::peak_rss_mib() {
+        result.note(format!(
+            "peak RSS after the sweep: {rss:.0} MiB (the paper reports FDep/FDMine exceeding main memory at scale)"
+        ));
+    }
+    result
+}
+
+/// Exp-2 (Fig. 8b): scalability in the number of attributes.
+pub fn exp2(p: &Params) -> ExpResult {
+    let n = p.n(2_000);
+    let mut result = ExpResult::new(
+        "exp2",
+        "Fig. 8b — scalability in n (runtime, seconds)",
+        json!({"n_rows": n, "sweep": p.attr_sweep}),
+        &[
+            "n", "FastOFD", "TANE", "FUN", "FDMine", "DFD", "DepMiner", "FastFDs", "FDep",
+        ],
+    );
+    for &n_attrs in &p.attr_sweep {
+        let ds = clinical(&preset(p, n, n_attrs));
+        let (fast, t_fast) = timed(|| FastOfd::new(&ds.clean, &ds.full_ontology).run());
+        let mut row = vec![json!(n_attrs), json!(t_fast)];
+        let mut n_fds = 0;
+        for alg in Algorithm::ALL {
+            let (fds, secs) = timed(|| alg.discover(&ds.clean));
+            if alg == Algorithm::Tane {
+                n_fds = fds.len();
+            }
+            row.push(json!(secs));
+        }
+        result.push_row(row);
+        if n_attrs == *p.attr_sweep.last().unwrap() {
+            // The paper's "3.1× more dependencies" counts synonym plus
+            // inheritance OFDs (both subsume FDs).
+            let inh = FastOfd::new(&ds.clean, &ds.full_ontology)
+                .options(
+                    DiscoveryOptions::new().kind(ofd_core::OfdKind::Inheritance { theta: 1 }),
+                )
+                .run();
+            let total = fast.len() + inh.len();
+            let ratio = if n_fds > 0 {
+                total as f64 / n_fds as f64
+            } else {
+                f64::INFINITY
+            };
+            result.note(format!(
+                "at n={n_attrs}: {} synonym + {} inheritance OFDs vs {} plain FDs ({ratio:.1}x dependencies)",
+                fast.len(),
+                inh.len(),
+                n_fds
+            ));
+        }
+    }
+    result.note("expected shape: exponential growth in n for every algorithm");
+    result
+}
+
+/// The Exp-3 dataset: half the dependents are multi-sense OFDs, half are
+/// pure FDs (the paper "modified the data to include five FDs").
+fn exp3_dataset(p: &Params, n_rows: usize) -> (ofd_datagen::Dataset, Vec<Fd>) {
+    let dep = |det: &[&str], entities: usize, senses: usize, synonyms: usize| AttrRole::Dependent {
+        determinants: det.iter().map(|s| (*s).to_owned()).collect(),
+        entities,
+        senses,
+        synonyms,
+    };
+    let spec = SynthSpec {
+        attrs: vec![
+            ("ID".into(), AttrRole::Key),
+            ("CC".into(), AttrRole::Driver { domain: 30 }),
+            ("SYMP".into(), AttrRole::Driver { domain: 40 }),
+            ("CTRY".into(), dep(&["CC"], 30, p.lambda_default, 3)),
+            ("TEST".into(), AttrRole::Driver { domain: 10 }),
+            ("DIAG".into(), dep(&["SYMP", "TEST"], 60, p.lambda_default, 3)),
+            ("MED".into(), dep(&["CC", "SYMP"], 80, p.lambda_default, 3)),
+            // Pure-FD dependents (single sense, no synonym variation):
+            ("STATUS".into(), dep(&["TEST"], 10, 1, 0)),
+            ("PHASE_GRP".into(), dep(&["SYMP"], 12, 1, 0)),
+            ("OUTCOME".into(), dep(&["CC", "TEST"], 25, 1, 0)),
+        ],
+        n_rows,
+        seed: p.seed,
+        extra_ofds: 0,
+        ambiguity: 0.2,
+        family_size: 1,
+        family_mix: 0.0,
+    };
+    let ds = generate(&spec);
+    let schema = ds.clean.schema();
+    let known: Vec<Fd> = [
+        (vec!["TEST"], "STATUS"),
+        (vec!["SYMP"], "PHASE_GRP"),
+        (vec!["CC", "TEST"], "OUTCOME"),
+    ]
+    .into_iter()
+    .map(|(lhs, rhs)| {
+        Fd::new(
+            schema.set(lhs.iter().copied()).expect("known attr"),
+            schema.attr(rhs).expect("known attr"),
+        )
+    })
+    .collect();
+    // Sanity: the known FDs must hold exactly.
+    let v = Validator::new(&ds.clean, &ds.full_ontology);
+    for fd in &known {
+        assert!(v.check_fd(fd), "planted FD must hold");
+    }
+    (ds, known)
+}
+
+/// Exp-3 (Fig. 8c): benefit of each optimization.
+pub fn exp3(p: &Params) -> ExpResult {
+    let n = p.n(10_000);
+    let (ds, known) = exp3_dataset(p, n);
+    let mut result = ExpResult::new(
+        "exp3",
+        "Fig. 8c — optimization benefits (runtime, seconds)",
+        json!({"n_rows": n, "n_attrs": 10, "known_fds": known.len()}),
+        &["variant", "secs", "candidates", "verified", "speedup_vs_none"],
+    );
+    let variants: Vec<(&str, DiscoveryOptions)> = vec![
+        ("no-opts", DiscoveryOptions::new().no_optimizations()),
+        ("opt2", DiscoveryOptions::new().opt2(true).opt3(false).opt4(false)),
+        ("opt3", DiscoveryOptions::new().opt2(false).opt3(true).opt4(false)),
+        (
+            "opt4",
+            DiscoveryOptions::new()
+                .opt2(false)
+                .opt3(false)
+                .opt4(true)
+                .known_fds(known.clone()),
+        ),
+        (
+            "all",
+            DiscoveryOptions::new().opt4(true).known_fds(known.clone()),
+        ),
+    ];
+    let mut base_secs = None;
+    let mut reference: Option<usize> = None;
+    const REPS: usize = 3;
+    for (name, opts) in variants {
+        // Minimum over repetitions: robust against scheduler noise.
+        let mut best_secs = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..REPS {
+            let (run, secs) = timed(|| {
+                FastOfd::new(&ds.clean, &ds.full_ontology)
+                    .options(opts.clone())
+                    .run()
+            });
+            best_secs = best_secs.min(secs);
+            out = Some(run);
+        }
+        let out = out.expect("at least one repetition");
+        match reference {
+            None => reference = Some(out.len()),
+            Some(r) => assert_eq!(r, out.len(), "variants must agree on output"),
+        }
+        if name == "no-opts" {
+            base_secs = Some(best_secs);
+        }
+        let speedup = base_secs.map(|b| b / best_secs).unwrap_or(1.0);
+        result.push_row(vec![
+            json!(name),
+            json!(best_secs),
+            json!(out.stats.total_candidates()),
+            json!(out.stats.total_verified()),
+            json!(speedup),
+        ]);
+    }
+    result.note("expected shape: Opt-2 largest win, Opt-4 next, Opt-3 smallest; combined best (paper: 31%/27%/14%, ~24% together)");
+    result
+}
+
+/// Exp-4: efficiency over lattice levels (the 61% / 25% compactness claim).
+pub fn exp4(p: &Params) -> ExpResult {
+    let n = p.n(4_000);
+    let n_attrs = 12usize.min(*p.attr_sweep.last().unwrap_or(&12));
+    let ds = clinical(&preset(p, n, n_attrs));
+    let out = FastOfd::new(&ds.clean, &ds.full_ontology).run();
+    let mut result = ExpResult::new(
+        "exp4",
+        "§7.2 — OFDs and time per lattice level",
+        json!({"n_rows": n, "n_attrs": n_attrs}),
+        &["level", "nodes", "candidates", "found", "secs"],
+    );
+    for l in &out.stats.levels {
+        result.push_row(vec![
+            json!(l.level),
+            json!(l.nodes),
+            json!(l.candidates),
+            json!(l.found),
+            json!(l.elapsed.as_secs_f64()),
+        ]);
+    }
+    let k = 6.min(n_attrs);
+    result.note(format!(
+        "{:.0}% of OFDs found in the first {k} levels using {:.0}% of the time (paper: 61% / 25%)",
+        100.0 * out.stats.found_in_first_levels(k),
+        100.0 * out.stats.time_in_first_levels(k),
+    ));
+    result
+}
+
+/// Exp-5: false-positive data-quality errors eliminated by OFDs vs FDs.
+pub fn exp5(p: &Params) -> ExpResult {
+    let n = p.n(4_000);
+    let n_attrs = 12usize.min(*p.attr_sweep.last().unwrap_or(&12));
+    let ds = clinical(&preset(p, n, n_attrs));
+    let out = FastOfd::new(&ds.clean, &ds.full_ontology).run();
+    let validator = Validator::new(&ds.clean, &ds.full_ontology);
+    let mut result = ExpResult::new(
+        "exp5",
+        "§7.3 — tuples with syntactically non-equal (synonym) consequents per level",
+        json!({"n_rows": n, "n_attrs": n_attrs}),
+        &["level", "ofds", "fp_saved_pct"],
+    );
+    let max_level = out.ofds.iter().map(|d| d.level).max().unwrap_or(0);
+    for level in 1..=max_level {
+        let at_level: Vec<_> = out.ofds.iter().filter(|d| d.level == level).collect();
+        if at_level.is_empty() {
+            continue;
+        }
+        let mut nonequal = 0usize;
+        let mut total = 0usize;
+        for d in &at_level {
+            let val = validator.check(&d.ofd);
+            for outcome in &val.outcomes {
+                total += outcome.size;
+                // An OFD-satisfied class whose witness is a sense (not a
+                // literal) carries syntactically non-equal synonyms — a
+                // false positive under plain-FD cleaning.
+                if outcome.satisfied()
+                    && matches!(outcome.witness, Some(ofd_core::Witness::Sense(_)))
+                {
+                    nonequal += outcome.size;
+                }
+            }
+        }
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * nonequal as f64 / total as f64
+        };
+        result.push_row(vec![json!(level), json!(at_level.len()), json!(pct)]);
+    }
+    result.note("expected shape: large share (paper: 75% at level 1) of flagged tuples are synonym false positives, declining with level");
+    result
+}

@@ -1,0 +1,123 @@
+#![warn(missing_docs)]
+//! # ofd-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (§7). Each `expN` function returns an [`ExpResult`]
+//! that renders as an ASCII table and serializes to `results/expN.json`;
+//! the `exp` binary dispatches them:
+//!
+//! ```text
+//! cargo run --release -p ofd-bench --bin exp -- all
+//! cargo run --release -p ofd-bench --bin exp -- exp1 exp3
+//! cargo run --release -p ofd-bench --bin exp -- --full exp1   # paper-scale N
+//! ```
+//!
+//! Timing-shaped experiments additionally have criterion benches under
+//! `benches/`. See EXPERIMENTS.md for the experiment ↔ paper-artifact map
+//! and the recorded paper-vs-measured comparison.
+
+pub mod exp_clean;
+pub mod exp_discovery;
+pub mod exp_sense;
+pub mod params;
+pub mod report;
+pub mod summary;
+
+pub use params::Params;
+pub use report::{timed, ExpResult};
+
+/// All experiment ids in run order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "params", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9", "exp10",
+    "exp11", "exp12", "exp13", "table6",
+];
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str, p: &Params) -> Option<ExpResult> {
+    Some(match id {
+        "params" => exp_clean::params_table(p),
+        "exp1" => exp_discovery::exp1(p),
+        "exp2" => exp_discovery::exp2(p),
+        "exp3" => exp_discovery::exp3(p),
+        "exp4" => exp_discovery::exp4(p),
+        "exp5" => exp_discovery::exp5(p),
+        "exp6" => exp_sense::exp6(p),
+        "exp7" => exp_sense::exp7(p),
+        "exp8" => exp_sense::exp8(p),
+        "exp9" => exp_clean::exp9(p),
+        "exp10" | "exp14" => exp_clean::exp10(p),
+        "exp11" => exp_clean::exp11(p),
+        "exp12" => exp_clean::exp12(p),
+        "exp13" => exp_clean::exp13(p),
+        "table6" | "fig7" => exp_clean::table6(p),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-run the cheap experiments at a tiny scale; the heavyweight
+    /// ones are covered by the `exp` binary and integration tests.
+    #[test]
+    fn smoke_table6_and_params() {
+        let p = Params::with_scale(0.05);
+        let t6 = run_experiment("table6", &p).unwrap();
+        assert_eq!(t6.rows.len(), 6);
+        // Row 2 is the ASA (FDA) repair with δ_P = 2 (Table 6).
+        let asa_row = &t6.rows[1];
+        assert_eq!(asa_row[0], serde_json::json!("ASA (FDA)"));
+        assert_eq!(asa_row[4], serde_json::json!(2));
+        let params = run_experiment("params", &p).unwrap();
+        assert_eq!(params.rows.len(), 7);
+        assert!(run_experiment("nonsense", &p).is_none());
+    }
+
+    #[test]
+    fn smoke_exp5_runs_tiny() {
+        let p = Params::with_scale(0.05);
+        let r = run_experiment("exp5", &p).unwrap();
+        assert!(!r.rows.is_empty());
+        // Level-1-ish OFDs must show substantial synonym false positives.
+        let first_pct = r.rows[0][2].as_f64().unwrap();
+        assert!(first_pct > 10.0, "fp_saved_pct {first_pct}");
+    }
+
+    #[test]
+    fn smoke_sense_experiments_tiny() {
+        let p = Params::with_scale(0.05);
+        for id in ["exp6", "exp7", "exp8"] {
+            let r = run_experiment(id, &p).unwrap();
+            assert_eq!(r.rows.len(), 5, "{id}");
+            // Recall column is always 1.0 (every class gets a sense).
+            for row in &r.rows {
+                let recall = row[2].as_f64().unwrap();
+                assert!(recall >= 0.999, "{id}: recall {recall}");
+                let precision = row[1].as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&precision));
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_exp9_runs_tiny() {
+        let p = Params::with_scale(0.05);
+        let r = run_experiment("exp9", &p).unwrap();
+        assert_eq!(r.rows.len(), 5);
+        // Runtime column grows (weakly) with beam width.
+        let secs: Vec<f64> = r.rows.iter().map(|row| row[3].as_f64().unwrap()).collect();
+        assert!(secs.last().unwrap() >= secs.first().unwrap() || secs[0] < 0.05);
+    }
+
+    #[test]
+    fn exp_ids_all_resolve() {
+        let p = Params::with_scale(0.05);
+        for id in ALL_EXPERIMENTS {
+            // Only check dispatch, not execution, for the heavy ones.
+            if matches!(*id, "params" | "table6") {
+                assert!(run_experiment(id, &p).is_some());
+            }
+        }
+    }
+}

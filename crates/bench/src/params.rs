@@ -1,0 +1,139 @@
+//! Experiment parameters (the paper's Table 5) and size scaling.
+//!
+//! Paper defaults (bold in Table 5): |λ| = 4, err% = 3, N = 0.4 M, b = 3,
+//! inc% = 4, |Σ| = 10, τ = 65 %. Absolute tuple counts are scaled down by
+//! default so `exp all` completes on a laptop; set `OFD_BENCH_SCALE` (a
+//! float multiplier) or pass `--full` to approach paper scale. Shapes —
+//! who wins, the growth curves, where crossovers fall — are invariant to
+//! the scale.
+
+/// Sweep values and defaults for every experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Multiplier applied to every tuple count.
+    pub scale: f64,
+    /// Senses per entity sweep (Table 5: 2, **4**, 6, 8, 10).
+    pub lambda_sweep: Vec<usize>,
+    /// Default |λ|.
+    pub lambda_default: usize,
+    /// Error-rate sweep in percent (Table 5: **3**, 6, 9, 12, 15).
+    pub err_sweep: Vec<f64>,
+    /// Default err%.
+    pub err_default: f64,
+    /// Beam-size sweep (Table 5: 1, 2, **3**, 4, 5).
+    pub beam_sweep: Vec<usize>,
+    /// Default beam size.
+    pub beam_default: usize,
+    /// Incompleteness sweep in percent (Table 5: 2, **4**, 6, 8, 10).
+    pub inc_sweep: Vec<f64>,
+    /// Default inc%.
+    pub inc_default: f64,
+    /// |Σ| sweep (Table 5: **10**, 20, 30, 40, 50).
+    pub sigma_sweep: Vec<usize>,
+    /// Default |Σ|.
+    pub sigma_default: usize,
+    /// Data-repair budget τ (fraction of |I|; §7: 65%).
+    pub tau: f64,
+    /// Base tuple-count sweep for scalability experiments (pre-scaling).
+    pub n_sweep: Vec<usize>,
+    /// Base tuple count for non-scalability experiments (pre-scaling).
+    pub n_default: usize,
+    /// Attribute-count sweep for Exp-2.
+    pub attr_sweep: Vec<usize>,
+    /// Default schema width for discovery experiments.
+    pub attrs_discovery: usize,
+    /// Tuple cap for the quadratic baselines (DepMiner/FastFDs/FDep) —
+    /// beyond it they are reported as terminated, as in the paper.
+    pub quadratic_cap: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Parameters honouring `OFD_BENCH_SCALE` (default 1.0).
+    pub fn from_env() -> Params {
+        let scale = std::env::var("OFD_BENCH_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        Params::with_scale(scale)
+    }
+
+    /// Parameters at a given scale.
+    pub fn with_scale(scale: f64) -> Params {
+        Params {
+            scale,
+            lambda_sweep: vec![2, 4, 6, 8, 10],
+            lambda_default: 4,
+            err_sweep: vec![3.0, 6.0, 9.0, 12.0, 15.0],
+            err_default: 3.0,
+            beam_sweep: vec![1, 2, 3, 4, 5],
+            beam_default: 3,
+            inc_sweep: vec![2.0, 4.0, 6.0, 8.0, 10.0],
+            inc_default: 4.0,
+            sigma_sweep: vec![10, 20, 30, 40, 50],
+            sigma_default: 10,
+            tau: 0.65,
+            n_sweep: vec![2_000, 4_000, 6_000, 8_000, 10_000],
+            n_default: 4_000,
+            attr_sweep: vec![4, 6, 8, 10, 12],
+            attrs_discovery: 8,
+            quadratic_cap: 4_000,
+            seed: 42,
+        }
+    }
+
+    /// Paper-scale parameters (`--full`): N up to 1 M tuples, 15 attributes.
+    pub fn full() -> Params {
+        Params {
+            n_sweep: vec![200_000, 400_000, 600_000, 800_000, 1_000_000],
+            n_default: 400_000,
+            attr_sweep: vec![4, 6, 8, 10, 12, 15],
+            attrs_discovery: 15,
+            quadratic_cap: 100_000,
+            ..Params::with_scale(1.0)
+        }
+    }
+
+    /// Applies the scale to a tuple count (minimum 200).
+    pub fn n(&self, base: usize) -> usize {
+        ((base as f64 * self.scale) as usize).max(200)
+    }
+
+    /// The scaled N sweep.
+    pub fn scaled_n_sweep(&self) -> Vec<usize> {
+        self.n_sweep.iter().map(|&n| self.n(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table5() {
+        let p = Params::with_scale(1.0);
+        assert_eq!(p.lambda_default, 4);
+        assert_eq!(p.err_default, 3.0);
+        assert_eq!(p.beam_default, 3);
+        assert_eq!(p.inc_default, 4.0);
+        assert_eq!(p.sigma_default, 10);
+        assert_eq!(p.tau, 0.65);
+        assert_eq!(p.lambda_sweep, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn scaling_applies_with_floor() {
+        let p = Params::with_scale(0.01);
+        assert_eq!(p.n(2_000), 200, "floored at 200");
+        let p2 = Params::with_scale(2.0);
+        assert_eq!(p2.n(2_000), 4_000);
+    }
+
+    #[test]
+    fn full_params_reach_paper_scale() {
+        let p = Params::full();
+        assert_eq!(*p.n_sweep.last().unwrap(), 1_000_000);
+        assert_eq!(*p.attr_sweep.last().unwrap(), 15);
+    }
+}

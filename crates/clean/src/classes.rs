@@ -1,0 +1,140 @@
+//! Equivalence-class extraction shared by sense assignment and repair.
+
+use std::collections::HashMap;
+
+use ofd_core::{Ofd, Relation, StrippedPartition, ValueId};
+
+/// One non-singleton equivalence class of an OFD's antecedent partition,
+/// with its consequent value statistics.
+#[derive(Debug, Clone)]
+pub struct ClassData {
+    /// Tuple ids in the class, ascending.
+    pub tuples: Vec<u32>,
+    /// Representative (smallest tuple id).
+    pub rep: u32,
+    /// Distinct consequent values with their tuple counts, by descending
+    /// count then ascending value (deterministic).
+    pub value_counts: Vec<(ValueId, u32)>,
+}
+
+impl ClassData {
+    /// Number of tuples.
+    pub fn size(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The count for one value (0 if absent).
+    pub fn count(&self, v: ValueId) -> u32 {
+        self.value_counts
+            .iter()
+            .find(|(w, _)| *w == v)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// The antecedent signature of this class: its lhs values at the
+    /// representative tuple.
+    pub fn lhs_signature(&self, rel: &Relation, ofd: &Ofd) -> Vec<ValueId> {
+        ofd.lhs
+            .iter()
+            .map(|a| rel.value(self.rep as usize, a))
+            .collect()
+    }
+}
+
+/// All non-singleton classes of one OFD.
+#[derive(Debug, Clone)]
+pub struct OfdClasses {
+    /// Index of the OFD in Σ.
+    pub ofd_idx: usize,
+    /// The dependency.
+    pub ofd: Ofd,
+    /// The classes, ordered by representative.
+    pub classes: Vec<ClassData>,
+}
+
+/// Extracts the non-singleton equivalence classes of every OFD in Σ.
+/// Singleton classes can never violate an OFD (Lemma 3.10), so they play no
+/// role in sense assignment or repair.
+pub fn build_classes(rel: &Relation, sigma: &[Ofd]) -> Vec<OfdClasses> {
+    sigma
+        .iter()
+        .enumerate()
+        .map(|(ofd_idx, ofd)| {
+            let sp = StrippedPartition::of(rel, ofd.lhs);
+            let col = rel.column(ofd.rhs);
+            let classes = sp
+                .classes()
+                .iter()
+                .map(|tuples| {
+                    let mut counts: HashMap<ValueId, u32> = HashMap::new();
+                    for &t in tuples {
+                        *counts.entry(col[t as usize]).or_insert(0) += 1;
+                    }
+                    let mut value_counts: Vec<(ValueId, u32)> = counts.into_iter().collect();
+                    value_counts.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+                    ClassData {
+                        rep: tuples[0],
+                        tuples: tuples.clone(),
+                        value_counts,
+                    }
+                })
+                .collect();
+            OfdClasses {
+                ofd_idx,
+                ofd: *ofd,
+                classes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::table1_updated;
+
+    #[test]
+    fn extracts_headache_class_with_counts() {
+        let rel = table1_updated();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+        ];
+        let all = build_classes(&rel, &sigma);
+        assert_eq!(all.len(), 2);
+        // [SYMP,DIAG] classes: joint-pain(3), nausea(3), headache(4);
+        // chest-pain is a stripped singleton.
+        let med_classes = &all[1];
+        assert_eq!(med_classes.classes.len(), 3);
+        let headache = &med_classes.classes[2];
+        assert_eq!(headache.rep, 7);
+        assert_eq!(headache.size(), 4);
+        // Four distinct MED values, each once.
+        assert_eq!(headache.value_counts.len(), 4);
+        assert!(headache.value_counts.iter().all(|&(_, c)| c == 1));
+    }
+
+    #[test]
+    fn lhs_signature_identifies_the_class() {
+        let rel = table1_updated();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap()];
+        let all = build_classes(&rel, &sigma);
+        let us_class = &all[0].classes[0];
+        let sig = us_class.lhs_signature(&rel, &sigma[0]);
+        assert_eq!(sig.len(), 1);
+        assert_eq!(rel.pool().resolve(sig[0]), "US");
+    }
+
+    #[test]
+    fn count_lookups() {
+        let rel = table1_updated();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap()];
+        let all = build_classes(&rel, &sigma);
+        let us = &all[0].classes[0];
+        let usa = rel.pool().get("USA").unwrap();
+        assert_eq!(us.count(usa), 5);
+        let missing = rel.pool().get("Canada").unwrap();
+        assert_eq!(us.count(missing), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Graphviz (DOT) exports for the paper's three graph structures: the
+//! ontology forest (Figure 1), the dependency graph over equivalence
+//! classes (Figure 6), and the conflict graph (Figure 7) — for debugging
+//! and for regenerating the paper's figures visually.
+
+use std::fmt::Write as _;
+
+use ofd_core::Relation;
+use ofd_ontology::Ontology;
+
+use crate::classes::OfdClasses;
+use crate::conflict::Conflict;
+use crate::graph::DepGraph;
+use crate::sense::SenseAssignment;
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Renders the ontology forest as DOT: concepts as boxes labelled with
+/// their synonym sets, is-a edges downward, interpretation labels as
+/// annotations (the shape of the paper's Figure 1).
+pub fn ontology_to_dot(onto: &Ontology) -> String {
+    let mut out = String::from("digraph ontology {\n  rankdir=BT;\n  node [shape=box];\n");
+    for c in onto.concepts() {
+        let interps: Vec<&str> = c
+            .interpretations()
+            .iter()
+            .map(|&i| onto.interpretation_label(i).unwrap_or("?"))
+            .collect();
+        let mut label = escape(c.label());
+        if !c.synonyms().is_empty() {
+            let syns: Vec<String> = c.synonyms().iter().map(|s| escape(s)).collect();
+            let _ = write!(label, "\\n{{{}}}", syns.join(", "));
+        }
+        if !interps.is_empty() {
+            let _ = write!(label, "\\n[{}]", interps.join(","));
+        }
+        let _ = writeln!(out, "  n{} [label=\"{label}\"];", c.id().index());
+    }
+    for c in onto.concepts() {
+        if let Some(p) = c.parent() {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"is-a\"];",
+                c.id().index(),
+                p.index()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the dependency graph as DOT: nodes are `(OFD, class)` pairs
+/// labelled with their assigned sense, edges weighted by EMD (Figure 6).
+pub fn depgraph_to_dot(
+    graph: &DepGraph,
+    onto: &Ontology,
+    assignment: &SenseAssignment,
+) -> String {
+    let mut out = String::from("graph dependency {\n  node [shape=circle];\n");
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let sense = assignment
+            .get(n.ofd_idx, n.class_idx)
+            .and_then(|s| onto.concept(s).ok())
+            .map(|c| c.label().to_owned())
+            .unwrap_or_else(|| "∅".to_owned());
+        let _ = writeln!(
+            out,
+            "  u{i} [label=\"φ{} x{}\\n{}\"];",
+            n.ofd_idx,
+            n.class_idx,
+            escape(&sense)
+        );
+    }
+    for e in &graph.edges {
+        let _ = writeln!(out, "  u{} -- u{} [label=\"{:.1}\"];", e.u, e.v, e.weight);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a conflict graph as DOT: tuples as nodes, conflicting pairs as
+/// edges annotated with the violated OFD (Figure 7).
+pub fn conflicts_to_dot(rel: &Relation, classes: &[OfdClasses], conflicts: &[Conflict]) -> String {
+    let mut out = String::from("graph conflicts {\n  node [shape=circle];\n");
+    let mut seen = std::collections::BTreeSet::new();
+    for c in conflicts {
+        seen.insert(c.t1);
+        seen.insert(c.t2);
+    }
+    for t in seen {
+        let _ = writeln!(out, "  t{t} [label=\"t{}\"];", t + 1);
+    }
+    for c in conflicts {
+        let ofd_label = classes
+            .iter()
+            .find(|oc| oc.ofd_idx == c.ofd_idx)
+            .map(|oc| oc.ofd.display(rel.schema()))
+            .unwrap_or_else(|| format!("φ{}", c.ofd_idx));
+        let _ = writeln!(
+            out,
+            "  t{} -- t{} [label=\"{}\"];",
+            c.t1,
+            c.t2,
+            escape(&ofd_label)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::build_classes;
+    use crate::conflict::conflict_graph;
+    use crate::graph::build_graph;
+    use crate::sense::{assign_all, SenseView};
+    use ofd_core::{table1_updated, Ofd, SenseIndex};
+    use ofd_ontology::samples;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ontology_dot_contains_figure1_structure() {
+        let onto = samples::medical_drug_ontology();
+        let dot = ontology_to_dot(&onto);
+        assert!(dot.starts_with("digraph ontology {"));
+        assert!(dot.contains("continuant drug"));
+        assert!(dot.contains("cartia, tiazac"));
+        assert!(dot.contains("[FDA]"));
+        assert!(dot.contains("is-a"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One is-a edge per non-root concept.
+        let edges = dot.matches(" -> ").count();
+        assert_eq!(edges, onto.len() - onto.roots().len());
+    }
+
+    #[test]
+    fn conflict_dot_reproduces_figure7() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap()];
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let conflicts = conflict_graph(&rel, &classes, &assignment, view);
+        let dot = conflicts_to_dot(&rel, &classes, &conflicts);
+        // The headache tuples appear with the paper's 1-based labels.
+        assert!(dot.contains("\"t8\""));
+        assert!(dot.contains("\"t11\""));
+        assert!(dot.contains("MED"));
+        assert_eq!(dot.matches(" -- ").count(), conflicts.len());
+    }
+
+    #[test]
+    fn depgraph_dot_renders_assigned_senses() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP"], "CTRY").unwrap(),
+        ];
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let graph = build_graph(&rel, &onto, &classes, &assignment, view);
+        let dot = depgraph_to_dot(&graph, &onto, &assignment);
+        assert!(dot.starts_with("graph dependency {"));
+        assert!(dot.contains("United States of America"));
+        assert_eq!(dot.matches(" -- ").count(), graph.edges.len());
+    }
+}

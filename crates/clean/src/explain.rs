@@ -1,0 +1,230 @@
+//! Human-readable violation explanations: for each violating equivalence
+//! class, what the class looks like, which interpretations were considered,
+//! and the candidate resolutions (§1's "multiple options to resolve
+//! violations" made explicit for a user).
+
+use std::collections::HashSet;
+
+use ofd_core::{Ofd, Relation, SenseIndex, Validator};
+use ofd_ontology::Ontology;
+
+use crate::classes::build_classes;
+use crate::sense::{initial_assignment, SenseView};
+
+/// One explained violation.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The violated OFD, rendered with attribute names.
+    pub ofd: String,
+    /// The antecedent values identifying the class.
+    pub class_key: Vec<String>,
+    /// Tuple ids in the class.
+    pub tuples: Vec<u32>,
+    /// Distinct consequent values with counts, most frequent first.
+    pub values: Vec<(String, u32)>,
+    /// The best sense found for the class (label), if any.
+    pub best_sense: Option<String>,
+    /// Values the best sense does not cover — the outliers to resolve.
+    pub outliers: Vec<String>,
+    /// Candidate resolutions, one line each.
+    pub options: Vec<String>,
+}
+
+impl Explanation {
+    /// Renders the explanation as indented text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} violated for class [{}] ({} tuples)\n",
+            self.ofd,
+            self.class_key.join(", "),
+            self.tuples.len()
+        );
+        let values: Vec<String> = self
+            .values
+            .iter()
+            .map(|(v, c)| format!("{v:?}×{c}"))
+            .collect();
+        out.push_str(&format!("  consequent values: {}\n", values.join(", ")));
+        match &self.best_sense {
+            Some(s) => out.push_str(&format!(
+                "  best interpretation: {s:?}; outliers: {}\n",
+                self.outliers
+                    .iter()
+                    .map(|v| format!("{v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+            None => out.push_str("  no interpretation covers any value\n"),
+        }
+        for (i, opt) in self.options.iter().enumerate() {
+            out.push_str(&format!("  option {}: {opt}\n", i + 1));
+        }
+        out
+    }
+}
+
+/// Explains every violating class of `sigma` over `(rel, onto)`.
+pub fn explain_violations(rel: &Relation, onto: &Ontology, sigma: &[Ofd]) -> Vec<Explanation> {
+    let validator = Validator::new(rel, onto);
+    let index = SenseIndex::synonym(rel, onto);
+    let overlay = HashSet::new();
+    let view = SenseView {
+        base: &index,
+        overlay: &overlay,
+    };
+    let classes = build_classes(rel, sigma);
+    let mut out = Vec::new();
+
+    for oc in &classes {
+        let validation = validator.check(&oc.ofd);
+        if validation.satisfied() {
+            continue;
+        }
+        for class in &oc.classes {
+            let sense = initial_assignment(class, view);
+            // A class is violated when no sense covers it entirely.
+            let covered = sense
+                .map(|s| view.coverage(class, s) == class.size())
+                .unwrap_or(class.value_counts.len() <= 1);
+            if covered {
+                continue;
+            }
+            let class_key: Vec<String> = class
+                .lhs_signature(rel, &oc.ofd)
+                .into_iter()
+                .map(|v| rel.pool().resolve(v).to_owned())
+                .collect();
+            let values: Vec<(String, u32)> = class
+                .value_counts
+                .iter()
+                .map(|&(v, c)| (rel.pool().resolve(v).to_owned(), c))
+                .collect();
+            let best_sense =
+                sense.map(|s| onto.concept(s).expect("assigned sense").label().to_owned());
+            let outliers: Vec<String> = match sense {
+                Some(s) => class
+                    .value_counts
+                    .iter()
+                    .filter(|&&(v, _)| !view.in_sense(v, s))
+                    .map(|&(v, _)| rel.pool().resolve(v).to_owned())
+                    .collect(),
+                None => values.iter().map(|(v, _)| v.clone()).collect(),
+            };
+
+            let mut options = Vec::new();
+            if let Some(s) = sense {
+                let label = onto.concept(s).expect("sense").label().to_owned();
+                let unknown: Vec<&String> = outliers
+                    .iter()
+                    .filter(|v| !onto.contains_value(v))
+                    .collect();
+                if !unknown.is_empty() {
+                    options.push(format!(
+                        "ontology repair: add {} to sense {label:?} ({} insertion(s))",
+                        unknown
+                            .iter()
+                            .map(|v| format!("{v:?}"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        unknown.len()
+                    ));
+                }
+                let target = class
+                    .value_counts
+                    .iter()
+                    .find(|&&(v, _)| view.in_sense(v, s))
+                    .map(|&(v, _)| rel.pool().resolve(v).to_owned());
+                if let Some(target) = target {
+                    let n_updates: u32 = class
+                        .value_counts
+                        .iter()
+                        .filter(|&&(v, _)| !view.in_sense(v, s))
+                        .map(|&(_, c)| c)
+                        .sum();
+                    options.push(format!(
+                        "data repair: update {n_updates} cell(s) to {target:?} (sense {label:?})"
+                    ));
+                }
+            } else {
+                let (majority, c) = &values[0];
+                let rest: u32 = values.iter().skip(1).map(|(_, c)| *c).sum();
+                options.push(format!(
+                    "data repair: update {rest} cell(s) to the majority value {majority:?} (×{c})"
+                ));
+            }
+
+            out.push(Explanation {
+                ofd: oc.ofd.display(rel.schema()),
+                class_key,
+                tuples: class.tuples.clone(),
+                values,
+                best_sense,
+                outliers,
+                options,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::{table1, table1_updated};
+    use ofd_ontology::samples;
+
+    #[test]
+    fn explains_the_example_1_2_violation() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap()];
+        let explanations = explain_violations(&rel, &onto, &sigma);
+        // Two violating classes: nausea (synonym reading) and headache.
+        assert_eq!(explanations.len(), 2);
+        let headache = explanations
+            .iter()
+            .find(|e| e.class_key.contains(&"headache".to_owned()))
+            .expect("headache class explained");
+        assert_eq!(headache.tuples, vec![7, 8, 9, 10]);
+        assert!(headache.outliers.contains(&"adizem".to_owned()));
+        // adizem is unknown to the ontology, so an ontology-repair option
+        // must be offered.
+        assert!(
+            headache.options.iter().any(|o| o.contains("ontology repair")),
+            "{:?}",
+            headache.options
+        );
+        assert!(headache.options.iter().any(|o| o.contains("data repair")));
+        let text = headache.render();
+        assert!(text.contains("violated for class"));
+        assert!(text.contains("option 1"));
+    }
+
+    #[test]
+    fn clean_instance_needs_no_explanations() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap()];
+        assert!(explain_violations(&rel, &onto, &sigma).is_empty());
+    }
+
+    #[test]
+    fn senseless_class_offers_majority_repair() {
+        let rel = Relation::from_rows(
+            ["X", "Y"],
+            [
+                &["a", "p"] as &[&str],
+                &["a", "p"],
+                &["a", "q"],
+            ],
+        )
+        .unwrap();
+        let onto = Ontology::empty();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["X"], "Y").unwrap()];
+        let explanations = explain_violations(&rel, &onto, &sigma);
+        assert_eq!(explanations.len(), 1);
+        let e = &explanations[0];
+        assert!(e.best_sense.is_none());
+        assert!(e.options[0].contains("majority value \"p\""), "{:?}", e.options);
+    }
+}

@@ -1,0 +1,534 @@
+//! The dependency graph over equivalence classes (§5.2) and local
+//! refinement of the sense assignment (Algorithm 6).
+//!
+//! Nodes are `(OFD, class)` pairs; an edge connects classes of *different*
+//! OFDs that share a consequent attribute and overlap in tuples. Edge
+//! weights are the EMD between the overlap's value distributions under the
+//! two assigned senses. Refinement visits heavy nodes first and considers
+//! three ways to align a heavy edge — ontology repair, data repair, or
+//! sense reassignment — applying a reassignment only when it actually
+//! lowers the edge weight.
+
+use std::collections::{HashMap, HashSet};
+
+use ofd_core::{Relation, ValueId};
+use ofd_ontology::{Ontology, SenseId};
+
+use crate::classes::{ClassData, OfdClasses};
+use crate::emd::{emd, Histogram};
+use crate::sense::{SenseAssignment, SenseView};
+
+/// A node of the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    /// OFD index in Σ.
+    pub ofd_idx: usize,
+    /// Class index within that OFD.
+    pub class_idx: usize,
+}
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Endpoint node indices into [`DepGraph::nodes`].
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// Overlapping tuple ids.
+    pub overlap: Vec<u32>,
+    /// EMD between the overlap's distributions under the endpoints' senses.
+    pub weight: f64,
+}
+
+/// The dependency graph.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// Nodes (classes participating in at least one edge are meaningful;
+    /// isolated classes are included for completeness).
+    pub nodes: Vec<NodeRef>,
+    /// Edges.
+    pub edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Edge indices incident to node `n`.
+    pub fn incident(&self, n: usize) -> &[usize] {
+        &self.adj[n]
+    }
+
+    /// Sum of incident edge weights — the BFS priority of Algorithm 8.
+    pub fn node_weight(&self, n: usize) -> f64 {
+        self.adj[n].iter().map(|&e| self.edges[e].weight).sum()
+    }
+}
+
+/// Distribution of the overlap's consequent values under `sense`: values
+/// inside the sense collapse to the sense's canonical value, outliers stay
+/// themselves (§5.2.1).
+pub fn overlap_histogram(
+    rel: &Relation,
+    onto: &Ontology,
+    view: SenseView<'_>,
+    overlap: &[u32],
+    rhs: ofd_core::AttrId,
+    sense: Option<SenseId>,
+) -> Histogram<String> {
+    let mut h = Histogram::new();
+    for &t in overlap {
+        let v = rel.value(t as usize, rhs);
+        let token = match sense {
+            Some(s) if view.in_sense(v, s) => onto
+                .canonical(s)
+                .expect("assigned sense exists")
+                .to_owned(),
+            _ => rel.pool().resolve(v).to_owned(),
+        };
+        h.add(token, 1.0);
+    }
+    h
+}
+
+/// Builds the dependency graph for the current assignment.
+pub fn build_graph(
+    rel: &Relation,
+    onto: &Ontology,
+    classes: &[OfdClasses],
+    assignment: &SenseAssignment,
+    view: SenseView<'_>,
+) -> DepGraph {
+    let mut nodes: Vec<NodeRef> = Vec::new();
+    let mut node_index: HashMap<NodeRef, usize> = HashMap::new();
+    for oc in classes {
+        for ci in 0..oc.classes.len() {
+            let n = NodeRef {
+                ofd_idx: oc.ofd_idx,
+                class_idx: ci,
+            };
+            node_index.insert(n, nodes.len());
+            nodes.push(n);
+        }
+    }
+    let mut g = DepGraph {
+        adj: vec![Vec::new(); nodes.len()],
+        nodes,
+        edges: Vec::new(),
+    };
+
+    // Edges: pairs of OFDs sharing the consequent attribute.
+    for (i, a) in classes.iter().enumerate() {
+        for b in classes.iter().skip(i + 1) {
+            if a.ofd.rhs != b.ofd.rhs {
+                continue;
+            }
+            // tuple -> class index of OFD a.
+            let mut owner: HashMap<u32, usize> = HashMap::new();
+            for (ci, class) in a.classes.iter().enumerate() {
+                for &t in &class.tuples {
+                    owner.insert(t, ci);
+                }
+            }
+            let mut overlaps: HashMap<(usize, usize), Vec<u32>> = HashMap::new();
+            for (cj, class) in b.classes.iter().enumerate() {
+                for &t in &class.tuples {
+                    if let Some(&ci) = owner.get(&t) {
+                        overlaps.entry((ci, cj)).or_default().push(t);
+                    }
+                }
+            }
+            let mut keys: Vec<(usize, usize)> = overlaps.keys().copied().collect();
+            keys.sort_unstable();
+            for (ci, cj) in keys {
+                let overlap = overlaps.remove(&(ci, cj)).expect("key exists");
+                let u = node_index[&NodeRef {
+                    ofd_idx: a.ofd_idx,
+                    class_idx: ci,
+                }];
+                let v = node_index[&NodeRef {
+                    ofd_idx: b.ofd_idx,
+                    class_idx: cj,
+                }];
+                let weight = edge_weight(
+                    rel,
+                    onto,
+                    view,
+                    &overlap,
+                    a.ofd.rhs,
+                    assignment.get(a.ofd_idx, ci),
+                    assignment.get(b.ofd_idx, cj),
+                );
+                let e = g.edges.len();
+                g.edges.push(Edge {
+                    u,
+                    v,
+                    overlap,
+                    weight,
+                });
+                g.adj[u].push(e);
+                g.adj[v].push(e);
+            }
+        }
+    }
+    g
+}
+
+fn edge_weight(
+    rel: &Relation,
+    onto: &Ontology,
+    view: SenseView<'_>,
+    overlap: &[u32],
+    rhs: ofd_core::AttrId,
+    su: Option<SenseId>,
+    sv: Option<SenseId>,
+) -> f64 {
+    let hu = overlap_histogram(rel, onto, view, overlap, rhs, su);
+    let hv = overlap_histogram(rel, onto, view, overlap, rhs, sv);
+    emd(&hu, &hv)
+}
+
+/// Outlier values of an overlap w.r.t. a sense: `ρ_{Ω,λ}` (§5.2.1).
+fn outlier_values(
+    rel: &Relation,
+    view: SenseView<'_>,
+    overlap: &[u32],
+    rhs: ofd_core::AttrId,
+    sense: Option<SenseId>,
+) -> HashSet<ValueId> {
+    overlap
+        .iter()
+        .map(|&t| rel.value(t as usize, rhs))
+        .filter(|&v| match sense {
+            Some(s) => !view.in_sense(v, s),
+            None => true,
+        })
+        .collect()
+}
+
+/// Tuples of a class not covered by a sense: `R(x_λ)`.
+fn uncovered_tuples(class: &ClassData, view: SenseView<'_>, sense: Option<SenseId>) -> usize {
+    match sense {
+        Some(s) => class.size() - view.coverage(class, s),
+        None => class.size(),
+    }
+}
+
+/// One pass of Algorithm 6 over the whole graph: visits nodes in descending
+/// summed-EMD order and, for each incident edge heavier than `theta`,
+/// evaluates the three alignment options, applying the cheapest when it is
+/// a sense reassignment that reduces the edge weight. Returns the number of
+/// reassignments performed.
+pub fn local_refinement(
+    rel: &Relation,
+    onto: &Ontology,
+    classes: &[OfdClasses],
+    assignment: &mut SenseAssignment,
+    view: SenseView<'_>,
+    theta: f64,
+) -> usize {
+    let graph = build_graph(rel, onto, classes, assignment, view);
+    let mut order: Vec<usize> = (0..graph.nodes.len()).collect();
+    order.sort_by(|&a, &b| {
+        graph
+            .node_weight(b)
+            .partial_cmp(&graph.node_weight(a))
+            .expect("finite weights")
+            .then(a.cmp(&b))
+    });
+
+    let class_of = |n: NodeRef| -> &ClassData {
+        let oc = classes
+            .iter()
+            .find(|oc| oc.ofd_idx == n.ofd_idx)
+            .expect("node references a known OFD");
+        &oc.classes[n.class_idx]
+    };
+
+    let mut reassigned = 0usize;
+    for &u in &order {
+        if graph.node_weight(u) <= theta {
+            continue;
+        }
+        for &ei in graph.incident(u) {
+            let edge = &graph.edges[ei];
+            if edge.weight <= theta {
+                continue;
+            }
+            let (nu, nv) = (graph.nodes[edge.u], graph.nodes[edge.v]);
+            let su = assignment.get(nu.ofd_idx, nu.class_idx);
+            let sv = assignment.get(nv.ofd_idx, nv.class_idx);
+            let rhs = classes
+                .iter()
+                .find(|oc| oc.ofd_idx == nu.ofd_idx)
+                .expect("ofd exists")
+                .ofd
+                .rhs;
+
+            let rho_u = outlier_values(rel, view, &edge.overlap, rhs, su);
+            let rho_v = outlier_values(rel, view, &edge.overlap, rhs, sv);
+
+            // Option (i): ontology repair — add each outlier to S.
+            let cost_onto = (rho_u.len() + rho_v.len()) as f64;
+            // Option (ii): data repair — update tuples carrying outliers.
+            let count_tuples = |rho: &HashSet<ValueId>| {
+                edge.overlap
+                    .iter()
+                    .filter(|&&t| rho.contains(&rel.value(t as usize, rhs)))
+                    .count()
+            };
+            let cost_data = (count_tuples(&rho_u) + count_tuples(&rho_v)) as f64;
+
+            // Option (iii): sense reassignment of either endpoint to a
+            // candidate sense touching the outliers.
+            let mut best_reassign: Option<(usize, SenseId, f64)> = None;
+            for (node_pos, node, cur, rho) in
+                [(edge.u, nu, su, &rho_u), (edge.v, nv, sv, &rho_v)]
+            {
+                let class = class_of(node);
+                let mut candidates: Vec<SenseId> = Vec::new();
+                for &val in rho.iter() {
+                    for s in view.senses(val) {
+                        if Some(s) != cur && !candidates.contains(&s) {
+                            candidates.push(s);
+                        }
+                    }
+                }
+                if let Some(other) = if node_pos == edge.u { sv } else { su } {
+                    if Some(other) != cur && !candidates.contains(&other) {
+                        candidates.push(other);
+                    }
+                }
+                candidates.sort_unstable();
+                for cand in candidates {
+                    let delta = uncovered_tuples(class, view, Some(cand)) as f64
+                        - uncovered_tuples(class, view, cur) as f64;
+                    let cost = delta.max(0.0);
+                    if best_reassign.is_none_or(|(_, _, c)| cost < c) {
+                        best_reassign = Some((node_pos, cand, cost));
+                    }
+                }
+            }
+
+            // Apply a reassignment only when it is the cheapest option and
+            // actually reduces the edge weight.
+            if let Some((node_pos, cand, cost)) = best_reassign {
+                if cost <= cost_onto && cost <= cost_data {
+                    let node = graph.nodes[node_pos];
+                    let old = assignment.get(node.ofd_idx, node.class_idx);
+                    assignment.set(node.ofd_idx, node.class_idx, Some(cand));
+                    let new_weight = edge_weight(
+                        rel,
+                        onto,
+                        view,
+                        &edge.overlap,
+                        rhs,
+                        assignment.get(nu.ofd_idx, nu.class_idx),
+                        assignment.get(nv.ofd_idx, nv.class_idx),
+                    );
+                    if new_weight < edge.weight {
+                        reassigned += 1;
+                    } else {
+                        assignment.set(node.ofd_idx, node.class_idx, old);
+                    }
+                }
+            }
+        }
+    }
+    reassigned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::build_classes;
+    use crate::sense::assign_all;
+    use ofd_core::{Ofd, Relation, SenseIndex};
+    use ofd_ontology::OntologyBuilder;
+
+    /// The Figure 5 setting: two OFDs A→C and B→C over a shared consequent,
+    /// with senses λ1 = {c2,c1,c3} and λ2 = {c2,c4} (canonical c2).
+    fn figure5() -> (Relation, ofd_ontology::Ontology, Vec<Ofd>) {
+        let rel = Relation::from_rows(
+            ["A", "B", "C"],
+            [
+                &["a1", "b1", "c1"] as &[&str],
+                &["a1", "b1", "c2"],
+                &["a1", "b2", "c2"],
+                &["a1", "b2", "c2"],
+                &["a1", "b2", "c1"],
+                &["a1", "b2", "c4"],
+                &["a2", "b2", "c3"],
+                &["a2", "b3", "c5"],
+                &["a2", "b3", "c5"],
+            ],
+        )
+        .unwrap();
+        let mut b = OntologyBuilder::new();
+        b.concept("λ1").synonyms(["c2", "c1", "c3"]).build().unwrap();
+        b.concept("λ2").synonyms(["c2", "c4"]).build().unwrap();
+        b.concept("λ3").synonyms(["c5"]).build().unwrap();
+        let onto = b.finish().unwrap();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["A"], "C").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["B"], "C").unwrap(),
+        ];
+        (rel, onto, sigma)
+    }
+
+    #[test]
+    fn graph_edges_connect_overlapping_classes_of_shared_consequent() {
+        let (rel, onto, sigma) = figure5();
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let g = build_graph(&rel, &onto, &classes, &assignment, view);
+        assert!(!g.edges.is_empty());
+        for e in &g.edges {
+            let (nu, nv) = (g.nodes[e.u], g.nodes[e.v]);
+            assert_ne!(nu.ofd_idx, nv.ofd_idx, "edges span different OFDs");
+            assert!(!e.overlap.is_empty());
+            assert!(e.weight >= 0.0);
+        }
+    }
+
+    #[test]
+    fn same_sense_on_both_ends_gives_zero_weight() {
+        let (rel, onto, sigma) = figure5();
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let mut assignment = SenseAssignment::empty(&classes);
+        let lambda1 = onto.names("c1")[0];
+        for oc in &classes {
+            for ci in 0..oc.classes.len() {
+                assignment.set(oc.ofd_idx, ci, Some(lambda1));
+            }
+        }
+        let g = build_graph(&rel, &onto, &classes, &assignment, view);
+        for e in &g.edges {
+            assert_eq!(e.weight, 0.0, "identical senses align distributions");
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_or_preserves_total_weight() {
+        let (rel, onto, sigma) = figure5();
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let mut assignment = assign_all(&classes, view);
+        let before: f64 = build_graph(&rel, &onto, &classes, &assignment, view)
+            .edges
+            .iter()
+            .map(|e| e.weight)
+            .sum();
+        local_refinement(&rel, &onto, &classes, &mut assignment, view, 0.0);
+        let after: f64 = build_graph(&rel, &onto, &classes, &assignment, view)
+            .edges
+            .iter()
+            .map(|e| e.weight)
+            .sum();
+        assert!(after <= before + 1e-9, "refinement must not worsen ({before} -> {after})");
+    }
+
+    #[test]
+    fn high_theta_means_no_refinement() {
+        let (rel, onto, sigma) = figure5();
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let mut assignment = assign_all(&classes, view);
+        let snapshot = assignment.clone();
+        let n = local_refinement(&rel, &onto, &classes, &mut assignment, view, 1e12);
+        assert_eq!(n, 0);
+        assert_eq!(assignment, snapshot);
+    }
+
+    #[test]
+    fn refinement_reassigns_to_align_interpretations() {
+        // Example 5.4's dynamics: two overlapping classes start on
+        // different senses; a sense reassignment is the cheapest of the
+        // three options and reduces the edge weight, so it is applied.
+        let rel = Relation::from_rows(
+            ["A", "B", "C"],
+            [
+                &["a1", "b1", "c1"] as &[&str],
+                &["a1", "b1", "c2"],
+                &["a1", "b1", "c2"],
+                &["a1", "b2", "c2"],
+                &["a1", "b2", "c4"],
+                &["a1", "b2", "c4"],
+                &["a1", "b2", "c4"],
+            ],
+        )
+        .unwrap();
+        let mut b = OntologyBuilder::new();
+        let l1 = b.concept("λ1").synonyms(["c2", "c1"]).build().unwrap();
+        let l2 = b.concept("λ2").synonyms(["c2", "c4"]).build().unwrap();
+        let onto = b.finish().unwrap();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["A"], "C").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["B"], "C").unwrap(),
+        ];
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let mut assignment = assign_all(&classes, view);
+        // Initial: the A-class {c1,c2×3,c4×3} is covered best by λ2
+        // (6 of 7 tuples); the B=b1 class {c1,c2,c2} fully by λ1.
+        assert_eq!(assignment.get(0, 0), Some(l2));
+        assert_eq!(assignment.get(1, 0), Some(l1));
+        let before: f64 = build_graph(&rel, &onto, &classes, &assignment, view)
+            .edges
+            .iter()
+            .map(|e| e.weight)
+            .sum();
+        assert!(before > 0.0, "misaligned senses must weigh something");
+        let n = local_refinement(&rel, &onto, &classes, &mut assignment, view, 0.0);
+        assert!(n >= 1, "a reassignment must fire");
+        let after: f64 = build_graph(&rel, &onto, &classes, &assignment, view)
+            .edges
+            .iter()
+            .map(|e| e.weight)
+            .sum();
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn node_weight_sums_incident_edges() {
+        let (rel, onto, sigma) = figure5();
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let g = build_graph(&rel, &onto, &classes, &assignment, view);
+        for n in 0..g.nodes.len() {
+            let direct: f64 = g.incident(n).iter().map(|&e| g.edges[e].weight).sum();
+            assert!((g.node_weight(n) - direct).abs() < 1e-12);
+        }
+    }
+}

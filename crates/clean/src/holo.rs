@@ -1,0 +1,202 @@
+//! A HoloClean-style comparator (Exp-14 substitute — see DESIGN.md,
+//! substitution 3): holistic repair from three signals — denial constraints
+//! derived from the FDs, an external dictionary (the ontology used *flat*,
+//! without sense reasoning), and attribute value statistics — combined by a
+//! naive-Bayes-style scorer over candidate repairs.
+//!
+//! The deliberate difference from OFDClean is the missing sense machinery:
+//! cells that merely use a different synonym are flagged by the FD-shaped
+//! constraints and "repaired" toward the class majority, which is exactly
+//! the false-positive behaviour the paper measures OFDClean against
+//! (+7.4% precision / +4.4% recall for OFDClean).
+
+use std::collections::HashMap;
+
+use ofd_core::{Ofd, Relation, ValueId};
+use ofd_ontology::Ontology;
+
+use crate::classes::build_classes;
+use crate::conflict::CellRepair;
+
+/// Configuration of the holistic baseline.
+#[derive(Debug, Clone)]
+pub struct HoloConfig {
+    /// Score weight of in-class frequency evidence.
+    pub w_freq: f64,
+    /// Score bonus for candidates found in the external dictionary.
+    pub w_dict: f64,
+    /// Minimum score margin over the current value before a cell is
+    /// repaired.
+    pub margin: f64,
+}
+
+impl Default for HoloConfig {
+    fn default() -> Self {
+        HoloConfig {
+            w_freq: 1.0,
+            w_dict: 0.5,
+            margin: 0.25,
+        }
+    }
+}
+
+/// Result of the baseline run.
+#[derive(Debug, Clone)]
+pub struct HoloResult {
+    /// The repaired relation.
+    pub repaired: Relation,
+    /// Applied cell repairs.
+    pub repairs: Vec<CellRepair>,
+}
+
+/// Runs the holistic baseline: every class violating the *FD shape* of a
+/// dependency has its minority cells repaired to the best-scoring candidate
+/// value.
+pub fn holo_clean(
+    rel: &Relation,
+    onto: &Ontology,
+    sigma: &[Ofd],
+    config: &HoloConfig,
+) -> HoloResult {
+    let mut working = rel.clone();
+    let mut repairs = Vec::new();
+    let classes = build_classes(&working, sigma);
+
+    // Plan all repairs on the original snapshot, then apply (HoloClean's
+    // inference is joint, not sequential).
+    let mut planned: HashMap<(usize, ofd_core::AttrId), String> = HashMap::new();
+    for oc in &classes {
+        for class in &oc.classes {
+            if class.value_counts.len() <= 1 {
+                continue; // FD-consistent class
+            }
+            // Candidate scoring: frequency (statistics signal) plus
+            // dictionary membership (external-data signal).
+            let score = |v: ValueId, count: u32| -> f64 {
+                let freq = count as f64 / class.size() as f64;
+                let dict = if onto.contains_value(working.pool().resolve(v)) {
+                    1.0
+                } else {
+                    0.0
+                };
+                config.w_freq * freq + config.w_dict * dict
+            };
+            let (best_value, best_score) = class
+                .value_counts
+                .iter()
+                .map(|&(v, c)| (v, score(v, c)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+                .expect("non-empty class");
+            let target = working.pool().resolve(best_value).to_owned();
+            for &t in &class.tuples {
+                let current = working.value(t as usize, oc.ofd.rhs);
+                if current == best_value {
+                    continue;
+                }
+                let cur_count = class.count(current);
+                if best_score - score(current, cur_count) > config.margin {
+                    planned
+                        .entry((t as usize, oc.ofd.rhs))
+                        .or_insert_with(|| target.clone());
+                }
+            }
+        }
+    }
+
+    let mut cells: Vec<((usize, ofd_core::AttrId), String)> = planned.into_iter().collect();
+    cells.sort_by_key(|((row, attr), _)| (*row, *attr));
+    for ((row, attr), new) in cells {
+        let old = working.text(row, attr).to_owned();
+        if old == new {
+            continue;
+        }
+        working.set(row, attr, &new).expect("planned repair in bounds");
+        repairs.push(CellRepair {
+            row,
+            attr,
+            old,
+            new,
+        });
+    }
+
+    HoloResult {
+        repaired: working,
+        repairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::repair_quality;
+    use crate::ofdclean::{ofd_clean, OfdCleanConfig};
+    use ofd_core::table1;
+    use ofd_ontology::samples;
+
+    #[test]
+    fn holo_mis_repairs_legitimate_synonyms() {
+        // Table 1 is CLEAN under OFD semantics, yet the baseline rewrites
+        // synonym variation (America → USA etc.) — the false positives the
+        // paper's Exp-5/Exp-14 measure.
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+        ];
+        let holo = holo_clean(&rel, &onto, &sigma, &HoloConfig::default());
+        assert!(
+            !holo.repairs.is_empty(),
+            "the FD-shaped baseline must flag synonym variation"
+        );
+        // OFDClean touches far fewer cells: only the nausea class actually
+        // violates the synonym OFD (tylenol is-a analgesic, not a synonym);
+        // the CC→CTRY synonym variation is left alone.
+        let ofd = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        assert!(
+            ofd.data_dist() + ofd.ontology_dist() < holo.repairs.len(),
+            "OFDClean {}+{} vs holo {}",
+            ofd.data_dist(),
+            ofd.ontology_dist(),
+            holo.repairs.len()
+        );
+
+        // Quality vs ground truth (the table itself is the clean instance):
+        // every holo repair is a false positive.
+        let q = repair_quality(&rel, &holo.repaired, &rel, &[], &onto);
+        assert_eq!(q.precision, 0.0);
+    }
+
+    #[test]
+    fn holo_repairs_true_errors_toward_majority() {
+        // Corrupt one cell of an FD-consistent class; the baseline should
+        // restore the majority value.
+        let mut rel = table1();
+        let med = rel.schema().attr("MED").unwrap();
+        // headache class rows 7..10 all 'tiazac' except row 7 'cartia' in
+        // table1; make them uniform first, then corrupt row 9.
+        rel.set(7, med, "tiazac").unwrap();
+        let clean = rel.clone();
+        rel.set(9, med, "zzz_bogus").unwrap();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap()];
+        let holo = holo_clean(&rel, &onto, &sigma, &HoloConfig::default());
+        assert_eq!(holo.repaired.text(9, med), "tiazac");
+        let q = repair_quality(&rel, &holo.repaired, &clean, &[(9, med)], &onto);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn margin_suppresses_low_confidence_repairs() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap()];
+        let strict = HoloConfig {
+            margin: 10.0,
+            ..HoloConfig::default()
+        };
+        let holo = holo_clean(&rel, &onto, &sigma, &strict);
+        assert!(holo.repairs.is_empty());
+        assert_eq!(holo.repaired.cell_distance(&rel).unwrap(), 0);
+    }
+}

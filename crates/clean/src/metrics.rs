@@ -1,0 +1,240 @@
+//! Precision / recall metrics for repairs, sense assignment and ontology
+//! repair, computed against the generator's ground truth (all inputs are
+//! plain core/ontology types, so the crate stays independent of
+//! `ofd-datagen`).
+
+use std::collections::HashMap;
+
+use ofd_core::{AttrId, Relation, ValueId};
+use ofd_ontology::{Ontology, SenseId};
+
+use crate::classes::OfdClasses;
+use crate::sense::SenseAssignment;
+
+/// A precision/recall pair with its F1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of produced items that are correct.
+    pub precision: f64,
+    /// Fraction of expected items that were produced.
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Whether two cell texts are *semantically* equal under the reference
+/// ontology: identical strings or synonyms under some shared sense.
+pub fn semantically_equal(onto: &Ontology, a: &str, b: &str) -> bool {
+    a == b || !onto.common_sense([a, b]).is_empty()
+}
+
+/// Repair quality against the clean instance and reference ontology.
+///
+/// A changed cell counts as **correct** only when it was genuinely dirty
+/// (differed semantically from the clean instance) and is now semantically
+/// equal to the clean value — repairing a clean cell to another synonym is
+/// a false positive (the wasted updates traditional-FD cleaners pay,
+/// Exp-5/Exp-14). Recall is the fraction of injected errors restored
+/// (semantically).
+pub fn repair_quality(
+    dirty: &Relation,
+    repaired: &Relation,
+    clean: &Relation,
+    injected: &[(usize, AttrId)],
+    onto: &Ontology,
+) -> PrecisionRecall {
+    let mut changed = 0usize;
+    let mut correct = 0usize;
+    for attr in dirty.schema().attrs() {
+        for row in 0..dirty.n_rows() {
+            if repaired.text(row, attr) != dirty.text(row, attr) {
+                changed += 1;
+                let was_dirty =
+                    !semantically_equal(onto, dirty.text(row, attr), clean.text(row, attr));
+                let now_clean =
+                    semantically_equal(onto, repaired.text(row, attr), clean.text(row, attr));
+                if was_dirty && now_clean {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    let mut restored = 0usize;
+    for &(row, attr) in injected {
+        if semantically_equal(onto, repaired.text(row, attr), clean.text(row, attr)) {
+            restored += 1;
+        }
+    }
+    PrecisionRecall {
+        precision: if changed == 0 { 1.0 } else { correct as f64 / changed as f64 },
+        recall: if injected.is_empty() {
+            1.0
+        } else {
+            restored as f64 / injected.len() as f64
+        },
+    }
+}
+
+/// Sense-assignment quality against the generator's true senses, keyed by
+/// `(OFD index, antecedent value signature)`. Recall is the fraction of
+/// truth-covered classes that received *any* sense (the paper reports 100%);
+/// precision is the fraction of those whose sense matches the truth.
+pub fn sense_quality(
+    rel: &Relation,
+    classes: &[OfdClasses],
+    assignment: &SenseAssignment,
+    truth: &HashMap<(usize, Vec<ValueId>), SenseId>,
+) -> PrecisionRecall {
+    let mut with_truth = 0usize;
+    let mut assigned = 0usize;
+    let mut correct = 0usize;
+    for oc in classes {
+        for (ci, class) in oc.classes.iter().enumerate() {
+            let sig = class.lhs_signature(rel, &oc.ofd);
+            let Some(&expected) = truth.get(&(oc.ofd_idx, sig)) else {
+                continue;
+            };
+            with_truth += 1;
+            if let Some(s) = assignment.get(oc.ofd_idx, ci) {
+                assigned += 1;
+                if s == expected {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    PrecisionRecall {
+        precision: if assigned == 0 {
+            1.0
+        } else {
+            correct as f64 / assigned as f64
+        },
+        recall: if with_truth == 0 {
+            1.0
+        } else {
+            assigned as f64 / with_truth as f64
+        },
+    }
+}
+
+/// Ontology-repair quality against the degradation ground truth: the
+/// `(sense, value)` pairs removed from the full ontology.
+pub fn ontology_quality(
+    rel: &Relation,
+    adds: &[(ValueId, SenseId)],
+    removed: &[(SenseId, String)],
+) -> PrecisionRecall {
+    let mut correct = 0usize;
+    for &(v, s) in adds {
+        let text = rel.pool().resolve(v);
+        if removed.iter().any(|(rs, rv)| *rs == s && rv == text) {
+            correct += 1;
+        }
+    }
+    PrecisionRecall {
+        precision: if adds.is_empty() {
+            1.0
+        } else {
+            correct as f64 / adds.len() as f64
+        },
+        recall: if removed.is_empty() {
+            1.0
+        } else {
+            correct as f64 / removed.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::{table1, table1_updated};
+
+    #[test]
+    fn f1_of_perfect_scores() {
+        let pr = PrecisionRecall {
+            precision: 1.0,
+            recall: 1.0,
+        };
+        assert_eq!(pr.f1(), 1.0);
+        let zero = PrecisionRecall {
+            precision: 0.0,
+            recall: 0.0,
+        };
+        assert_eq!(zero.f1(), 0.0);
+    }
+
+    #[test]
+    fn repair_quality_counts_restorations() {
+        let clean = table1();
+        let dirty = table1_updated();
+        let onto = ofd_ontology::samples::combined_paper_ontology();
+        let med = clean.schema().attr("MED").unwrap();
+        let injected = vec![(8usize, med), (10usize, med)];
+
+        // Perfect repair: restore both cells.
+        let mut repaired = dirty.clone();
+        repaired.set(8, med, "tiazac").unwrap();
+        repaired.set(10, med, "tiazac").unwrap();
+        let q = repair_quality(&dirty, &repaired, &clean, &injected, &onto);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+
+        // Restoring a *synonym* of the clean value also counts.
+        let mut syn = dirty.clone();
+        syn.set(8, med, "cartia").unwrap(); // clean is tiazac; FDA synonyms
+        syn.set(10, med, "cartia").unwrap();
+        let qs = repair_quality(&dirty, &syn, &clean, &injected, &onto);
+        assert_eq!(qs.precision, 1.0);
+        assert_eq!(qs.recall, 1.0);
+
+        // Half repair: restore one, corrupt an unrelated clean cell.
+        let mut half = dirty.clone();
+        half.set(8, med, "tiazac").unwrap();
+        half.set(0, med, "wrong").unwrap();
+        let q2 = repair_quality(&dirty, &half, &clean, &injected, &onto);
+        assert_eq!(q2.precision, 0.5);
+        assert_eq!(q2.recall, 0.5);
+
+        // No changes at all: vacuous precision, zero recall.
+        let q3 = repair_quality(&dirty, &dirty, &clean, &injected, &onto);
+        assert_eq!(q3.precision, 1.0);
+        assert_eq!(q3.recall, 0.0);
+    }
+
+    #[test]
+    fn changing_a_clean_cell_is_a_false_positive_even_to_a_synonym() {
+        let clean = table1();
+        let onto = ofd_ontology::samples::combined_paper_ontology();
+        let ctry = clean.schema().attr("CTRY").unwrap();
+        let mut repaired = clean.clone();
+        repaired.set(4, ctry, "USA").unwrap(); // America -> USA: synonyms!
+        let q = repair_quality(&clean, &repaired, &clean, &[], &onto);
+        assert_eq!(q.precision, 0.0, "spurious modification of a clean cell");
+    }
+
+    #[test]
+    fn ontology_quality_matches_pairs() {
+        let rel = table1_updated();
+        let adizem = rel.pool().get("adizem").unwrap();
+        let asa = rel.pool().get("ASA").unwrap();
+        let s0 = SenseId::from_index(0);
+        let s1 = SenseId::from_index(1);
+        let removed = vec![(s0, "adizem".to_owned())];
+        let q = ontology_quality(&rel, &[(adizem, s0), (asa, s1)], &removed);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 1.0);
+        let empty = ontology_quality(&rel, &[], &removed);
+        assert_eq!(empty.precision, 1.0);
+        assert_eq!(empty.recall, 0.0);
+    }
+}

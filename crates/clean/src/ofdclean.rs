@@ -1,0 +1,340 @@
+//! The OFDClean orchestrator (§4.2, Figure 4): sense assignment → local
+//! refinement → ontology repair → data repair, returning a repaired
+//! `(S′, I′)` with `I′ ⊨ Σ` w.r.t. `S′` plus the Pareto frontier explored.
+
+use std::collections::HashSet;
+
+use ofd_core::{Ofd, Relation, SenseIndex, ValueId, Validator};
+use ofd_ontology::{Ontology, OntologyRepair, SenseId};
+
+use crate::classes::build_classes;
+use crate::conflict::{repair_data, CellRepair};
+use crate::graph::local_refinement;
+use crate::ontrepair::{beam_search, OntologyRepairPlan};
+use crate::sense::{assign_all, SenseAssignment, SenseView};
+
+/// Tunables of a cleaning run (defaults follow Table 5).
+#[derive(Debug, Clone)]
+pub struct OfdCleanConfig {
+    /// EMD threshold θ above which an edge triggers refinement.
+    pub theta: f64,
+    /// Beam width `b`; `None` applies the secretary rule ⌊w/e⌋.
+    pub beam: Option<usize>,
+    /// Data-repair budget τ as a fraction of |I| (the paper uses 0.65).
+    pub tau: f64,
+    /// Maximum ontology-repair size explored; `None` = all candidates.
+    pub max_ontology_repairs: Option<usize>,
+    /// Maximum repair-regenerate rounds of the data-repair loop.
+    pub max_rounds: usize,
+    /// Number of refinement sweeps over the dependency graph.
+    pub refinement_passes: usize,
+}
+
+impl Default for OfdCleanConfig {
+    fn default() -> Self {
+        OfdCleanConfig {
+            theta: 0.0,
+            beam: None,
+            tau: 0.65,
+            max_ontology_repairs: None,
+            max_rounds: 10,
+            refinement_passes: 1,
+        }
+    }
+}
+
+/// Result of a cleaning run.
+#[derive(Debug, Clone)]
+pub struct CleanResult {
+    /// The repaired instance `I′`.
+    pub repaired: Relation,
+    /// The repaired ontology `S′`.
+    pub repaired_ontology: Ontology,
+    /// The ontology delta applied.
+    pub ontology_repair: OntologyRepair,
+    /// The `(value, sense)` insertions (interned form).
+    pub ontology_adds: Vec<(ValueId, SenseId)>,
+    /// Cell updates applied.
+    pub data_repairs: Vec<CellRepair>,
+    /// Final sense assignment Λ(Σ).
+    pub assignment: SenseAssignment,
+    /// The explored ontology-repair frontier.
+    pub plan: OntologyRepairPlan,
+    /// Sense reassignments performed by local refinement.
+    pub reassignments: usize,
+    /// Whether `I′ ⊨ Σ` w.r.t. `S′`.
+    pub satisfied: bool,
+}
+
+impl CleanResult {
+    /// `dist(I, I′)`: number of cells changed.
+    pub fn data_dist(&self) -> usize {
+        self.data_repairs.len()
+    }
+
+    /// `dist(S, S′)`: number of values inserted into the ontology.
+    pub fn ontology_dist(&self) -> usize {
+        self.ontology_repair.dist()
+    }
+}
+
+/// Runs OFDClean on `(rel, onto)` w.r.t. `sigma`.
+///
+/// Σ must be of uniform kind. Synonym OFDs are cleaned directly;
+/// inheritance OFDs (the paper's stated future work) are cleaned against
+/// the θ-expansion `S↑θ` (see [`Ontology::inheritance_expansion`]) — a
+/// value repair or concept insertion under the expansion maps one-to-one
+/// onto the original ontology, and the final verification runs the real
+/// inheritance semantics against the repaired original.
+pub fn ofd_clean(
+    rel: &Relation,
+    onto: &Ontology,
+    sigma: &[Ofd],
+    config: &OfdCleanConfig,
+) -> CleanResult {
+    use ofd_core::OfdKind;
+    let kinds: Vec<OfdKind> = sigma.iter().map(|o| o.kind).collect();
+    assert!(
+        kinds.windows(2).all(|w| w[0] == w[1]),
+        "ofd_clean requires a uniform-kind Σ"
+    );
+    match kinds.first() {
+        Some(OfdKind::Inheritance { theta }) => {
+            let expanded = onto.inheritance_expansion(*theta);
+            let sigma_syn: Vec<Ofd> = sigma
+                .iter()
+                .map(|o| Ofd::synonym(o.lhs, o.rhs))
+                .collect();
+            let mut result = clean_core(rel, &expanded, &sigma_syn, config);
+            // Map the repairs back onto the original ontology (same sense
+            // ids; candidate values are absent from S, hence from every
+            // original concept).
+            let repaired_original = onto
+                .with_repair(&result.ontology_repair)
+                .expect("expansion candidates are new to S");
+            let validator = Validator::new(&result.repaired, &repaired_original);
+            result.satisfied = sigma.iter().all(|o| validator.check(o).satisfied());
+            result.repaired_ontology = repaired_original;
+            result
+        }
+        _ => clean_core(rel, onto, sigma, config),
+    }
+}
+
+fn clean_core(
+    rel: &Relation,
+    onto: &Ontology,
+    sigma: &[Ofd],
+    config: &OfdCleanConfig,
+) -> CleanResult {
+    let mut working = rel.clone();
+    let mut index = SenseIndex::synonym(&working, onto);
+    let empty_overlay: HashSet<(ValueId, SenseId)> = HashSet::new();
+
+    // 1. Sense assignment (Algorithm 8): initial + local refinement.
+    let classes = build_classes(&working, sigma);
+    let view = SenseView {
+        base: &index,
+        overlay: &empty_overlay,
+    };
+    let mut assignment = assign_all(&classes, view);
+    let mut reassignments = 0;
+    for _ in 0..config.refinement_passes {
+        let n = local_refinement(&working, onto, &classes, &mut assignment, view, config.theta);
+        reassignments += n;
+        if n == 0 {
+            break;
+        }
+    }
+
+    // 2. Ontology repair (Algorithm 7): beam search over Cand(S).
+    let plan = beam_search(
+        &working,
+        sigma,
+        &classes,
+        &assignment,
+        &index,
+        config.beam,
+        config.max_ontology_repairs,
+    );
+    let tau_max = (config.tau * working.n_rows() as f64).floor() as usize;
+    let chosen = plan.select(tau_max).clone();
+
+    // Apply the chosen ontology repair.
+    let mut ontology_repair = OntologyRepair::new();
+    for &(v, s) in &chosen.adds {
+        ontology_repair.add(s, working.pool().resolve(v));
+    }
+    let repaired_ontology = onto
+        .with_repair(&ontology_repair)
+        .expect("candidates are absent from S by construction");
+    let overlay: HashSet<(ValueId, SenseId)> = chosen.adds.iter().copied().collect();
+
+    // 3. Data repair to the remaining violations.
+    let (data_repairs, _converged) = repair_data(
+        &mut working,
+        &repaired_ontology,
+        sigma,
+        &assignment,
+        &mut index,
+        &overlay,
+        tau_max,
+        config.max_rounds,
+    );
+
+    // 4. Verify I′ ⊨ Σ w.r.t. S′.
+    let validator = Validator::new(&working, &repaired_ontology);
+    let satisfied = sigma.iter().all(|o| validator.check(o).satisfied());
+
+    CleanResult {
+        repaired: working,
+        repaired_ontology,
+        ontology_adds: chosen.adds,
+        ontology_repair,
+        data_repairs,
+        assignment,
+        plan,
+        reassignments,
+        satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::{table1, table1_updated};
+    use ofd_ontology::samples;
+
+    fn sigma_for(rel: &Relation) -> Vec<Ofd> {
+        vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn cleans_the_example_1_2_instance() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        assert!(result.satisfied, "I′ ⊨ Σ w.r.t. S′");
+        // The two resolution routes of Example 1.2: either the ontology
+        // grew or tuples were updated — in a minimal repair, both a bit.
+        assert!(result.ontology_dist() + result.data_dist() > 0);
+        // Changes stay within the headache class + adizem candidates.
+        assert!(result.data_dist() <= 4);
+    }
+
+    #[test]
+    fn clean_input_is_a_fixpoint() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap()];
+        let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        assert!(result.satisfied);
+        assert_eq!(result.data_dist(), 0);
+        assert_eq!(result.ontology_dist(), 0);
+        assert_eq!(result.repaired.cell_distance(&rel).unwrap(), 0);
+    }
+
+    #[test]
+    fn tau_zero_forces_pure_ontology_repairs_when_possible() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let config = OfdCleanConfig {
+            tau: 0.0,
+            ..OfdCleanConfig::default()
+        };
+        let result = ofd_clean(&rel, &onto, &sigma, &config);
+        // With zero data budget the plan prefers δ_P = 0 points if any;
+        // data repairs are capped at τ·|I| = 0 either way.
+        assert!(result.data_dist() == 0 || !result.satisfied);
+    }
+
+    #[test]
+    fn repaired_ontology_contains_the_adds() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        for (v, s) in &result.ontology_adds {
+            let text = result.repaired.pool().resolve(*v);
+            assert!(result.repaired_ontology.contains_value(text));
+            assert!(result
+                .repaired_ontology
+                .concept(*s)
+                .unwrap()
+                .has_synonym(text));
+            assert!(!onto.concept(*s).unwrap().has_synonym(text), "new in S′");
+        }
+    }
+
+    #[test]
+    fn inheritance_cleaning_accepts_isa_variation() {
+        // Table 1 satisfies [SYMP, DIAG] →inh(θ=1) MED (tylenol is-a
+        // acetaminophen is-a analgesic), so inheritance cleaning is a
+        // no-op where synonym cleaning would rewrite the nausea class.
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let schema = rel.schema();
+        let inh = Ofd::inheritance(
+            schema.set(["SYMP", "DIAG"]).unwrap(),
+            schema.attr("MED").unwrap(),
+            1,
+        );
+        let result = ofd_clean(&rel, &onto, &[inh], &OfdCleanConfig::default());
+        assert!(result.satisfied);
+        assert_eq!(result.data_dist(), 0, "θ=1 already explains the data");
+        assert_eq!(result.ontology_dist(), 0);
+
+        let syn = Ofd::synonym(inh.lhs, inh.rhs);
+        let syn_result = ofd_clean(&rel, &onto, &[syn], &OfdCleanConfig::default());
+        assert!(syn_result.data_dist() + syn_result.ontology_dist() > 0);
+    }
+
+    #[test]
+    fn inheritance_cleaning_repairs_genuine_violations() {
+        // The Example 1.2 updates (ASA, adizem) violate even the
+        // inheritance reading; cleaning must restore consistency under the
+        // real inheritance semantics against the repaired ontology.
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let schema = rel.schema();
+        let inh = Ofd::inheritance(
+            schema.set(["SYMP", "DIAG"]).unwrap(),
+            schema.attr("MED").unwrap(),
+            1,
+        );
+        let v = Validator::new(&rel, &onto);
+        assert!(!v.check(&inh).satisfied(), "dirty under inheritance too");
+        let result = ofd_clean(&rel, &onto, &[inh], &OfdCleanConfig::default());
+        assert!(result.satisfied);
+        let v2 = Validator::new(&result.repaired, &result.repaired_ontology);
+        assert!(v2.check(&inh).satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform-kind")]
+    fn mixed_kind_sigma_is_rejected() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let schema = rel.schema();
+        let sigma = vec![
+            Ofd::synonym_named(schema, &["CC"], "CTRY").unwrap(),
+            Ofd::inheritance(schema.set(["SYMP"]).unwrap(), schema.attr("DIAG").unwrap(), 1),
+        ];
+        let _ = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+    }
+
+    #[test]
+    fn pareto_frontier_exposed_to_caller() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        assert!(!result.plan.pareto.is_empty());
+        assert!(result.plan.frontier[0].k == 0);
+    }
+}

@@ -1,0 +1,641 @@
+//! Ontology repair via beam search over the candidate lattice
+//! (Algorithm 7, §6.1).
+//!
+//! Candidates are `(value, sense)` pairs: data values absent from the
+//! ontology, proposed for insertion under their class's assigned sense.
+//! Level `k` of the lattice holds repairs of size `k`; each level keeps the
+//! top-`b` nodes by the data-repair bound `δ_P`, with the secretary-rule
+//! default `b = ⌊|Cand(S)| / e⌋`. The result is the Pareto frontier of
+//! `(ontology repairs, data repairs)` plus the selected repair.
+
+use std::collections::HashSet;
+
+use ofd_core::{Ofd, Relation, SenseIndex, ValueId};
+use ofd_ontology::SenseId;
+
+use crate::classes::OfdClasses;
+
+use crate::sense::{SenseAssignment, SenseView};
+
+/// One point of the (dist(S,S'), dist(I,I')-bound) trade-off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Number of ontology insertions `k = dist(S, S')`.
+    pub k: usize,
+    /// `δ_P` data-repair upper bound under this ontology repair
+    /// (`α × |C_2opt|`, the paper's Table 6 column).
+    pub delta_p: usize,
+    /// Raw conflict-cover size `|C_2opt|` — the unscaled estimate of the
+    /// data repairs still needed.
+    pub cover: usize,
+    /// The insertions themselves.
+    pub adds: Vec<(ValueId, SenseId)>,
+}
+
+/// Output of the beam search.
+#[derive(Debug, Clone)]
+pub struct OntologyRepairPlan {
+    /// All candidate `(value, sense)` insertions considered.
+    pub candidates: Vec<(ValueId, SenseId)>,
+    /// Beam width used.
+    pub beam: usize,
+    /// Best point found at each explored `k` (including `k = 0`).
+    pub frontier: Vec<ParetoPoint>,
+    /// The Pareto-minimal subset of `frontier`.
+    pub pareto: Vec<ParetoPoint>,
+}
+
+impl OntologyRepairPlan {
+    /// Selects the repair minimizing total modifications `k + |C_2opt|`
+    /// (ties: fewer ontology insertions, so injected noise is fixed in the
+    /// data rather than legitimized in the ontology), respecting a
+    /// data-repair budget `tau_max` when any point satisfies it.
+    pub fn select(&self, tau_max: usize) -> &ParetoPoint {
+        let within: Vec<&ParetoPoint> = self
+            .pareto
+            .iter()
+            .filter(|p| p.cover <= tau_max)
+            .collect();
+        let pool: Vec<&ParetoPoint> = if within.is_empty() {
+            self.pareto.iter().collect()
+        } else {
+            within
+        };
+        pool.into_iter()
+            .min_by_key(|p| (p.k + p.cover, p.k))
+            .expect("frontier contains at least k = 0")
+    }
+}
+
+/// The secretary-rule beam width `⌊w / e⌋`, clamped to `[1, 32]` — the
+/// rule's optimality argument concerns *selection quality*, not runtime;
+/// uncapped, a large candidate set would make each lattice level
+/// `b × |Cand|` evaluations (the paper's Table 5 sweeps b only up to 5).
+pub fn secretary_beam(w: usize) -> usize {
+    (((w as f64) / std::f64::consts::E).floor() as usize).clamp(1, 32)
+}
+
+/// Collects `Cand(S)`: distinct consequent values of assigned classes that
+/// the ontology does not know, paired with the class's sense.
+pub fn candidates(
+    classes: &[OfdClasses],
+    assignment: &SenseAssignment,
+    index: &SenseIndex,
+) -> Vec<(ValueId, SenseId)> {
+    let mut seen: HashSet<(ValueId, SenseId)> = HashSet::new();
+    let mut out: Vec<(ValueId, SenseId)> = Vec::new();
+    for oc in classes {
+        for (ci, class) in oc.classes.iter().enumerate() {
+            let Some(sense) = assignment.get(oc.ofd_idx, ci) else {
+                continue;
+            };
+            for &(v, _) in &class.value_counts {
+                if index.senses(v).is_empty() && seen.insert((v, sense)) {
+                    out.push((v, sense));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the beam search (Algorithm 7). `beam = None` applies the secretary
+/// rule; `max_k` bounds the explored repair size (defaults to all
+/// candidates).
+pub fn beam_search(
+    rel: &Relation,
+    sigma: &[Ofd],
+    classes: &[OfdClasses],
+    assignment: &SenseAssignment,
+    index: &SenseIndex,
+    beam: Option<usize>,
+    max_k: Option<usize>,
+) -> OntologyRepairPlan {
+    let cands = candidates(classes, assignment, index);
+    let w = cands.len();
+    let b = beam.unwrap_or_else(|| secretary_beam(w));
+    let max_k = max_k.unwrap_or(w).min(w);
+
+    let alpha = {
+        let distinct: HashSet<_> = sigma.iter().map(|o| o.rhs).collect();
+        distinct.len().min(sigma.len())
+    };
+
+    // Repair-cost objective: the number of *distinct tuples* that are
+    // outliers in at least one class — the tuple-level analogue of the
+    // conflict graph's vertex cover (a tuple conflicting for several OFDs
+    // is covered once), evaluated incrementally: a candidate insertion
+    // only affects the classes containing its value. The union semantics
+    // makes the objective subadditive, which is exactly why a wider beam
+    // can beat pure greedy (Exp-9).
+    struct ClassSlot<'c> {
+        sense: Option<SenseId>,
+        value_counts: &'c [(ValueId, u32)],
+        tuples: &'c [u32],
+        rhs: ofd_core::AttrId,
+        base_cost: usize,
+    }
+    let empty_overlay: HashSet<(ValueId, SenseId)> = HashSet::new();
+    let base_view = SenseView {
+        base: index,
+        overlay: &empty_overlay,
+    };
+    let cost_of = |slot_sense: Option<SenseId>,
+                   counts: &[(ValueId, u32)],
+                   view: SenseView<'_>| -> usize {
+        if counts.len() <= 1 {
+            return 0; // a single distinct value satisfies any OFD
+        }
+        let total: usize = counts.iter().map(|&(_, c)| c as usize).sum();
+        let majority = counts.first().map(|&(_, c)| c as usize).unwrap_or(0);
+        match slot_sense {
+            Some(s) => {
+                let outliers: usize = counts
+                    .iter()
+                    .filter(|&&(v, _)| !view.in_sense(v, s))
+                    .map(|&(_, c)| c as usize)
+                    .sum();
+                if outliers == total {
+                    // No class value inside the sense: fall back to a
+                    // majority repair.
+                    total - majority
+                } else {
+                    outliers
+                }
+            }
+            // No sense: all tuples except the majority value must move.
+            None => total - majority,
+        }
+    };
+    // Outlier tuples of one class under a view.
+    let outliers_of = |slot: &ClassSlot<'_>, view: SenseView<'_>| -> Vec<u32> {
+        if slot.value_counts.len() <= 1 {
+            return Vec::new();
+        }
+        match slot.sense {
+            Some(sense) => {
+                let any_in = slot
+                    .value_counts
+                    .iter()
+                    .any(|&(v, _)| view.in_sense(v, sense));
+                if any_in {
+                    slot.tuples
+                        .iter()
+                        .copied()
+                        .filter(|&t| !view.in_sense(rel.value(t as usize, slot.rhs), sense))
+                        .collect()
+                } else {
+                    // Majority repair: everything but the majority value.
+                    let majority = slot.value_counts[0].0;
+                    slot.tuples
+                        .iter()
+                        .copied()
+                        .filter(|&t| rel.value(t as usize, slot.rhs) != majority)
+                        .collect()
+                }
+            }
+            None => {
+                let majority = slot.value_counts[0].0;
+                slot.tuples
+                    .iter()
+                    .copied()
+                    .filter(|&t| rel.value(t as usize, slot.rhs) != majority)
+                    .collect()
+            }
+        }
+    };
+    let _ = &cost_of; // cost_of retained for per-class bookkeeping below
+
+    let cand_values: HashSet<ValueId> = cands.iter().map(|&(v, _)| v).collect();
+    let mut slots: Vec<ClassSlot<'_>> = Vec::new();
+    let mut value_to_slots: std::collections::HashMap<ValueId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for oc in classes {
+        for (ci, class) in oc.classes.iter().enumerate() {
+            let sense = assignment.get(oc.ofd_idx, ci);
+            let mut slot = ClassSlot {
+                sense,
+                value_counts: &class.value_counts,
+                tuples: &class.tuples,
+                rhs: oc.ofd.rhs,
+                base_cost: 0,
+            };
+            slot.base_cost = cost_of(slot.sense, slot.value_counts, base_view);
+            let idx = slots.len();
+            for &(v, _) in &class.value_counts {
+                if cand_values.contains(&v) {
+                    value_to_slots.entry(v).or_default().push(idx);
+                }
+            }
+            slots.push(slot);
+        }
+    }
+    // base outlier multiplicity per tuple.
+    let mut base_counts: std::collections::HashMap<u32, u32> =
+        std::collections::HashMap::new();
+    let mut base_outliers_per_slot: Vec<Vec<u32>> = Vec::with_capacity(slots.len());
+    for slot in &slots {
+        let outs = outliers_of(slot, base_view);
+        for &t in &outs {
+            *base_counts.entry(t).or_insert(0) += 1;
+        }
+        base_outliers_per_slot.push(outs);
+    }
+    let base_total = base_counts.len();
+
+    // Per-slot candidate values (to identify which adds touch a slot) and
+    // a memo of post-insertion outlier sets: the outliers of a slot depend
+    // only on the adds whose value the slot contains, so repeated beam
+    // evaluations become hash lookups.
+    let slot_cand_values: Vec<Vec<ValueId>> = slots
+        .iter()
+        .map(|slot| {
+            slot.value_counts
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|v| cand_values.contains(v))
+                .collect()
+        })
+        .collect();
+    let mut outlier_memo: std::collections::HashMap<(usize, Vec<(ValueId, SenseId)>), Vec<u32>> =
+        std::collections::HashMap::new();
+    let mut eval_with_touched = |adds: &[(ValueId, SenseId)]| -> (usize, Vec<u32>) {
+        let mut affected: Vec<usize> = adds
+            .iter()
+            .filter_map(|(v, _)| value_to_slots.get(v))
+            .flatten()
+            .copied()
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        if affected.is_empty() {
+            return (base_total, Vec::new());
+        }
+        // Delta counting over the touched tuples only.
+        let mut deltas: std::collections::HashMap<u32, i64> =
+            std::collections::HashMap::new();
+        for i in affected {
+            let mut relevant: Vec<(ValueId, SenseId)> = adds
+                .iter()
+                .copied()
+                .filter(|(v, _)| slot_cand_values[i].contains(v))
+                .collect();
+            relevant.sort_unstable();
+            let outs = outlier_memo.entry((i, relevant.clone())).or_insert_with(|| {
+                let overlay: HashSet<(ValueId, SenseId)> = relevant.into_iter().collect();
+                let view = SenseView {
+                    base: index,
+                    overlay: &overlay,
+                };
+                outliers_of(&slots[i], view)
+            });
+            for &t in &base_outliers_per_slot[i] {
+                *deltas.entry(t).or_insert(0) -= 1;
+            }
+            for &t in outs.iter() {
+                *deltas.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut total = base_total as i64;
+        let mut touched: Vec<u32> = Vec::with_capacity(deltas.len());
+        for (t, d) in deltas {
+            if d != 0 {
+                touched.push(t);
+            }
+            let base = base_counts.get(&t).copied().unwrap_or(0) as i64;
+            let was = (base > 0) as i64;
+            let now = (base + d > 0) as i64;
+            total += now - was;
+        }
+        touched.sort_unstable();
+        (total as usize, touched)
+    };
+
+
+    let base_cover = base_total;
+    let mut frontier = vec![ParetoPoint {
+        k: 0,
+        delta_p: alpha * base_cover,
+        cover: base_cover,
+        adds: Vec::new(),
+    }];
+
+    // Level-1 gains and touched-tuple sets per candidate: a candidate
+    // whose touched tuples are disjoint from everything a node already
+    // touches contributes its standalone gain exactly (the union objective
+    // is additive over disjoint tuple deltas).
+    let mut gain1: Vec<usize> = Vec::with_capacity(cands.len());
+    let mut touched1: Vec<Vec<u32>> = Vec::with_capacity(cands.len());
+    for &cand in &cands {
+        let (cover, touched) = eval_with_touched(&[cand]);
+        gain1.push(base_cover.saturating_sub(cover));
+        touched1.push(touched);
+    }
+
+    // Beam over the candidate lattice; stop on plateau (an extra insertion
+    // that buys no data repairs cannot be part of a Pareto improvement).
+    let mut level: Vec<ParetoPoint> = vec![frontier[0].clone()];
+    let mut best_so_far = base_cover;
+    for k in 1..=max_k {
+        let mut next: Vec<ParetoPoint> = Vec::new();
+        let mut seen: HashSet<Vec<(ValueId, SenseId)>> = HashSet::new();
+        let cand_index: std::collections::HashMap<(ValueId, SenseId), usize> =
+            cands.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        for node in &level {
+            let node_touched: HashSet<u32> = node
+                .adds
+                .iter()
+                .filter_map(|c| cand_index.get(c))
+                .flat_map(|&i| touched1[i].iter().copied())
+                .collect();
+            for (ci, &cand) in cands.iter().enumerate() {
+                if node.adds.contains(&cand) {
+                    continue;
+                }
+                let mut adds = node.adds.clone();
+                adds.push(cand);
+                adds.sort_unstable();
+                if !seen.insert(adds.clone()) {
+                    continue;
+                }
+                let independent = touched1[ci]
+                    .iter()
+                    .all(|t| !node_touched.contains(t));
+                let cover = if independent {
+                    node.cover.saturating_sub(gain1[ci])
+                } else {
+                    eval_with_touched(&adds).0
+                };
+                next.push(ParetoPoint {
+                    k,
+                    delta_p: alpha * cover,
+                    cover,
+                    adds,
+                });
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_by_key(|p| (p.cover, p.adds.clone()));
+        next.truncate(b);
+        frontier.push(next[0].clone());
+        // Stop when the marginal gain per insertion drops to ≤ 1: such an
+        // insertion can never beat the corresponding data repair in the
+        // Pareto selection (k + cover stays constant, and ties prefer
+        // smaller k), so deeper levels cannot change the outcome.
+        if next[0].cover == 0 || best_so_far.saturating_sub(next[0].cover) <= 1 {
+            break;
+        }
+        best_so_far = next[0].cover;
+        level = next;
+    }
+
+    // Pareto filter over (k, δ_P).
+    let mut pareto: Vec<ParetoPoint> = Vec::new();
+    for p in &frontier {
+        let dominated = frontier
+            .iter()
+            .any(|q| q.k <= p.k && q.delta_p <= p.delta_p && (q.k, q.delta_p) != (p.k, p.delta_p));
+        if !dominated && !pareto.iter().any(|q| (q.k, q.delta_p) == (p.k, p.delta_p)) {
+            pareto.push(p.clone());
+        }
+    }
+
+    OntologyRepairPlan {
+        candidates: cands,
+        beam: b,
+        frontier,
+        pareto,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::build_classes;
+    use crate::sense::assign_all;
+    use ofd_core::table1_updated;
+    use ofd_ontology::samples;
+
+    fn setup() -> (
+        Relation,
+        ofd_ontology::Ontology,
+        Vec<Ofd>,
+        SenseIndex,
+    ) {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+        ];
+        let index = SenseIndex::synonym(&rel, &onto);
+        (rel, onto, sigma, index)
+    }
+
+    #[test]
+    fn secretary_rule_values() {
+        assert_eq!(secretary_beam(0), 1);
+        assert_eq!(secretary_beam(3), 1);
+        assert_eq!(secretary_beam(6), 2);
+        assert_eq!(secretary_beam(10), 3);
+    }
+
+    #[test]
+    fn adizem_is_the_repair_candidate() {
+        // Example 1.2: adizem is absent from Figure 1's ontology.
+        let (rel, _onto, sigma, index) = setup();
+        let classes = build_classes(&rel, &sigma);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let cands = candidates(&classes, &assignment, &index);
+        let adizem = rel.pool().get("adizem").unwrap();
+        assert!(cands.iter().any(|&(v, _)| v == adizem));
+        // Every candidate value is genuinely unknown to the ontology.
+        for &(v, _) in &cands {
+            assert!(index.senses(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn beam_search_improves_delta_with_k() {
+        let (rel, _onto, sigma, index) = setup();
+        let classes = build_classes(&rel, &sigma);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let plan = beam_search(&rel, &sigma, &classes, &assignment, &index, Some(3), None);
+        assert!(plan.frontier.len() >= 2, "at least k=0 and k=1 explored");
+        let base = plan.frontier[0].delta_p;
+        assert!(base > 0, "the updated table has violations");
+        let best = plan.frontier.iter().map(|p| p.delta_p).min().unwrap();
+        assert!(best < base, "ontology repair reduces the repair bound");
+        // Frontier entries are indexed by k.
+        for (i, p) in plan.frontier.iter().enumerate() {
+            assert_eq!(p.k, i);
+            assert_eq!(p.adds.len(), i);
+        }
+    }
+
+    #[test]
+    fn pareto_points_are_mutually_nondominated() {
+        let (rel, _onto, sigma, index) = setup();
+        let classes = build_classes(&rel, &sigma);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let plan = beam_search(&rel, &sigma, &classes, &assignment, &index, None, None);
+        for p in &plan.pareto {
+            for q in &plan.pareto {
+                if (p.k, p.delta_p) != (q.k, q.delta_p) {
+                    assert!(
+                        !(q.k <= p.k && q.delta_p <= p.delta_p),
+                        "({},{}) dominates ({},{})",
+                        q.k,
+                        q.delta_p,
+                        p.k,
+                        p.delta_p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_eval_matches_from_scratch() {
+        // The memoized / delta-counted / independence-shortcut evaluation
+        // must equal a naive recomputation for arbitrary candidate subsets.
+        use ofd_datagen::{clinical, PresetConfig};
+        let mut ds = clinical(&PresetConfig {
+            n_rows: 400,
+            n_ofds: 6,
+            seed: 41,
+            ..PresetConfig::default()
+        });
+        ds.degrade_ontology(0.06, 42);
+        ds.inject_errors(0.05, 42);
+        let classes = build_classes(&ds.relation, &ds.ofds);
+        let index = SenseIndex::synonym(&ds.relation, &ds.ontology);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let cands = candidates(&classes, &assignment, &index);
+        assert!(cands.len() >= 4, "need candidates to exercise subsets");
+
+        // Naive recomputation of the union-of-outliers objective.
+        let naive = |adds: &[(ofd_core::ValueId, ofd_ontology::SenseId)]| -> usize {
+            let ov: HashSet<_> = adds.iter().copied().collect();
+            let v = SenseView {
+                base: &index,
+                overlay: &ov,
+            };
+            let mut outliers: HashSet<u32> = HashSet::new();
+            for oc in &classes {
+                for (ci, class) in oc.classes.iter().enumerate() {
+                    let sense = assignment.get(oc.ofd_idx, ci);
+                    if class.value_counts.len() <= 1 {
+                        continue;
+                    }
+                    let total: u32 = class.value_counts.iter().map(|&(_, c)| c).sum();
+                    match sense {
+                        Some(s) => {
+                            let covered: u32 = class
+                                .value_counts
+                                .iter()
+                                .filter(|&&(val, _)| v.in_sense(val, s))
+                                .map(|&(_, c)| c)
+                                .sum();
+                            if covered == total {
+                                continue;
+                            }
+                            if covered > 0 {
+                                for &t in &class.tuples {
+                                    let val =
+                                        ds.relation.value(t as usize, oc.ofd.rhs);
+                                    if !v.in_sense(val, s) {
+                                        outliers.insert(t);
+                                    }
+                                }
+                            } else {
+                                let majority = class.value_counts[0].0;
+                                for &t in &class.tuples {
+                                    if ds.relation.value(t as usize, oc.ofd.rhs)
+                                        != majority
+                                    {
+                                        outliers.insert(t);
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            let majority = class.value_counts[0].0;
+                            for &t in &class.tuples {
+                                if ds.relation.value(t as usize, oc.ofd.rhs) != majority {
+                                    outliers.insert(t);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            outliers.len()
+        };
+
+        // The beam search reports frontiers whose covers must match the
+        // naive objective for the chosen add-sets.
+        let plan = beam_search(
+            &ds.relation,
+            &ds.ofds,
+            &classes,
+            &assignment,
+            &index,
+            Some(4),
+            Some(5),
+        );
+        for point in &plan.frontier {
+            assert_eq!(
+                point.cover,
+                naive(&point.adds),
+                "k={} adds={:?}",
+                point.k,
+                point.adds
+            );
+        }
+    }
+
+    #[test]
+    fn select_minimizes_total_changes() {
+        let (rel, _onto, sigma, index) = setup();
+        let classes = build_classes(&rel, &sigma);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        let plan = beam_search(&rel, &sigma, &classes, &assignment, &index, Some(4), None);
+        let chosen = plan.select(usize::MAX);
+        for p in &plan.pareto {
+            assert!(chosen.k + chosen.cover <= p.k + p.cover);
+        }
+        // A tight τ prefers points with fewer data repairs when available.
+        let tight = plan.select(0);
+        if plan.pareto.iter().any(|p| p.cover == 0) {
+            assert_eq!(tight.cover, 0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Markdown repair reports: a human-readable account of what OFDClean did
+//! and why — the artifact a data steward reviews before accepting `(S′, I′)`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ofd_core::{Ofd, Relation};
+use ofd_ontology::Ontology;
+
+use crate::ofdclean::CleanResult;
+
+/// Renders a markdown report for a cleaning run.
+///
+/// `rel` is the *dirty* input instance and `onto` the original ontology
+/// (used for labels); the result carries the repaired artifacts.
+pub fn render_report(
+    rel: &Relation,
+    onto: &Ontology,
+    sigma: &[Ofd],
+    result: &CleanResult,
+) -> String {
+    let mut out = String::from("# OFDClean repair report\n\n");
+    let _ = writeln!(
+        out,
+        "- instance: {} tuples × {} attributes",
+        rel.n_rows(),
+        rel.n_attrs()
+    );
+    let _ = writeln!(out, "- |Σ| = {} dependencies", sigma.len());
+    let _ = writeln!(
+        out,
+        "- outcome: **{}** — dist(S, S′) = {}, dist(I, I′) = {}, {} sense reassignment(s)",
+        if result.satisfied {
+            "I′ ⊨ Σ w.r.t. S′"
+        } else {
+            "NOT satisfied (budget exhausted)"
+        },
+        result.ontology_dist(),
+        result.data_dist(),
+        result.reassignments
+    );
+
+    out.push_str("\n## Dependencies\n\n");
+    for ofd in sigma {
+        let _ = writeln!(out, "- `{}`", ofd.display(rel.schema()));
+    }
+
+    out.push_str("\n## Explored repair frontier (k insertions → repairs still needed)\n\n");
+    for p in &result.plan.pareto {
+        let _ = writeln!(out, "- k = {}: {} (δ_P = {})", p.k, p.cover, p.delta_p);
+    }
+
+    if !result.ontology_adds.is_empty() {
+        out.push_str("\n## Ontology insertions\n\n");
+        for (v, s) in &result.ontology_adds {
+            let label = onto
+                .concept(*s)
+                .map(|c| c.label().to_owned())
+                .unwrap_or_else(|_| s.to_string());
+            let _ = writeln!(
+                out,
+                "- `{}` → sense **{label}**",
+                result.repaired.pool().resolve(*v)
+            );
+        }
+    }
+
+    if !result.data_repairs.is_empty() {
+        out.push_str("\n## Cell repairs by attribute\n\n");
+        let mut by_attr: BTreeMap<&str, Vec<&crate::conflict::CellRepair>> = BTreeMap::new();
+        for r in &result.data_repairs {
+            by_attr
+                .entry(result.repaired.schema().name(r.attr))
+                .or_default()
+                .push(r);
+        }
+        for (attr, repairs) in by_attr {
+            let _ = writeln!(out, "### {attr} ({} repairs)\n", repairs.len());
+            for r in repairs.iter().take(10) {
+                let _ = writeln!(out, "- row {}: `{}` → `{}`", r.row, r.old, r.new);
+            }
+            if repairs.len() > 10 {
+                let _ = writeln!(out, "- … {} more", repairs.len() - 10);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ofdclean::{ofd_clean, OfdCleanConfig};
+    use ofd_core::table1_updated;
+    use ofd_ontology::samples;
+
+    #[test]
+    fn report_covers_every_section() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+        ];
+        let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        let report = render_report(&rel, &onto, &sigma, &result);
+        assert!(report.contains("# OFDClean repair report"));
+        assert!(report.contains("I′ ⊨ Σ"));
+        assert!(report.contains("[SYMP, DIAG] ->syn MED"));
+        assert!(report.contains("repair frontier"));
+        assert!(report.contains("Cell repairs") || result.data_dist() == 0);
+        // The headline distances match the structured result.
+        assert!(report.contains(&format!("dist(I, I′) = {}", result.data_dist())));
+    }
+
+    #[test]
+    fn clean_input_report_is_minimal() {
+        let rel = ofd_core::table1();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap()];
+        let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        let report = render_report(&rel, &onto, &sigma, &result);
+        assert!(report.contains("dist(S, S′) = 0, dist(I, I′) = 0"));
+        assert!(!report.contains("## Cell repairs"));
+        assert!(!report.contains("## Ontology insertions"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Sense assignment: the MAD-guided initial assignment (Algorithm 5) and
+//! the overlay view used to evaluate candidate ontology repairs.
+
+use std::collections::HashSet;
+
+use ofd_core::{SenseIndex, ValueId};
+use ofd_ontology::SenseId;
+
+use crate::classes::{ClassData, OfdClasses};
+
+/// A sense per (OFD, equivalence class): `Λ(Σ)` in the paper.
+///
+/// `None` marks classes none of whose consequent values are known to the
+/// ontology — they behave like plain-FD classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseAssignment {
+    senses: Vec<Vec<Option<SenseId>>>,
+}
+
+impl SenseAssignment {
+    /// Creates an all-unassigned table shaped like `classes`.
+    pub fn empty(classes: &[OfdClasses]) -> Self {
+        SenseAssignment {
+            senses: classes.iter().map(|c| vec![None; c.classes.len()]).collect(),
+        }
+    }
+
+    /// The assigned sense of one class.
+    pub fn get(&self, ofd_idx: usize, class_idx: usize) -> Option<SenseId> {
+        self.senses[ofd_idx][class_idx]
+    }
+
+    /// Reassigns one class.
+    pub fn set(&mut self, ofd_idx: usize, class_idx: usize, sense: Option<SenseId>) {
+        self.senses[ofd_idx][class_idx] = sense;
+    }
+
+    /// Number of assigned (non-`None`) classes.
+    pub fn assigned_count(&self) -> usize {
+        self.senses
+            .iter()
+            .flat_map(|v| v.iter())
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Total classes.
+    pub fn total(&self) -> usize {
+        self.senses.iter().map(Vec::len).sum()
+    }
+}
+
+/// A sense index with a candidate-ontology-repair overlay: membership tests
+/// consult the overlay first, so beam-search candidates never clone the
+/// base index.
+#[derive(Debug, Clone, Copy)]
+pub struct SenseView<'a> {
+    /// The base (possibly degraded) index.
+    pub base: &'a SenseIndex,
+    /// Candidate additions `(value, sense)`.
+    pub overlay: &'a HashSet<(ValueId, SenseId)>,
+}
+
+impl SenseView<'_> {
+    /// Whether `value` belongs to `sense` under base ∪ overlay.
+    pub fn in_sense(&self, value: ValueId, sense: SenseId) -> bool {
+        self.base.in_sense(value, sense) || self.overlay.contains(&(value, sense))
+    }
+
+    /// All senses of `value` under base ∪ overlay, sorted.
+    pub fn senses(&self, value: ValueId) -> Vec<SenseId> {
+        let mut out: Vec<SenseId> = self.base.senses(value).to_vec();
+        for (v, s) in self.overlay.iter() {
+            if *v == value && !out.contains(s) {
+                out.push(*s);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of tuples of `class` whose consequent value lies in `sense`.
+    pub fn coverage(&self, class: &ClassData, sense: SenseId) -> usize {
+        class
+            .value_counts
+            .iter()
+            .filter(|&&(v, _)| self.in_sense(v, sense))
+            .map(|&(_, c)| c as usize)
+            .sum()
+    }
+}
+
+/// Ranks the distinct values of a class by decreasing MAD score
+/// (|f(v) − median(f)|), breaking ties by frequency then value id — the
+/// outlier-robust ordering of Algorithm 5.
+pub fn mad_ranking(class: &ClassData) -> Vec<ValueId> {
+    let mut freqs: Vec<u32> = class.value_counts.iter().map(|&(_, c)| c).collect();
+    freqs.sort_unstable();
+    let median = if freqs.is_empty() {
+        0.0
+    } else if freqs.len() % 2 == 1 {
+        freqs[freqs.len() / 2] as f64
+    } else {
+        (freqs[freqs.len() / 2 - 1] as f64 + freqs[freqs.len() / 2] as f64) / 2.0
+    };
+    let mut ranked: Vec<(f64, u32, ValueId)> = class
+        .value_counts
+        .iter()
+        .map(|&(v, c)| ((c as f64 - median).abs(), c, v))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite scores")
+            .then(b.1.cmp(&a.1))
+            .then(a.2.cmp(&b.2))
+    });
+    ranked.into_iter().map(|(_, _, v)| v).collect()
+}
+
+/// Algorithm 5: the initial sense for one equivalence class — the sense
+/// covering as many of the highest-MAD values as possible, tie-broken by
+/// tuple coverage. Returns `None` when no consequent value is known to the
+/// ontology.
+pub fn initial_assignment(class: &ClassData, view: SenseView<'_>) -> Option<SenseId> {
+    let ranked = mad_ranking(class);
+    let n = ranked.len();
+    for k in (1..=n).rev() {
+        // Consider every contiguous window of k ranked values; collect the
+        // senses shared by a whole window.
+        let mut potential: Vec<SenseId> = Vec::new();
+        for start in 0..=(n - k) {
+            let window = &ranked[start..start + k];
+            let mut iter = window.iter();
+            let first = iter.next().expect("k ≥ 1");
+            let mut acc = view.senses(*first);
+            for v in iter {
+                if acc.is_empty() {
+                    break;
+                }
+                let senses = view.senses(*v);
+                acc.retain(|s| senses.binary_search(s).is_ok());
+            }
+            for s in acc {
+                if !potential.contains(&s) {
+                    potential.push(s);
+                }
+            }
+        }
+        if !potential.is_empty() {
+            // Maximal tuple coverage; ties by smaller sense id.
+            return potential
+                .into_iter()
+                .map(|s| (s, view.coverage(class, s)))
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(s, _)| s);
+        }
+    }
+    None
+}
+
+/// Computes the initial assignment for every class of every OFD
+/// (lines 2–8 of Algorithm 8).
+pub fn assign_all(classes: &[OfdClasses], view: SenseView<'_>) -> SenseAssignment {
+    let mut out = SenseAssignment::empty(classes);
+    for oc in classes {
+        for (ci, class) in oc.classes.iter().enumerate() {
+            out.set(oc.ofd_idx, ci, initial_assignment(class, view));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::build_classes;
+    use ofd_core::{table1_updated, Ofd, SenseIndex};
+    use ofd_ontology::samples;
+
+    fn setup() -> (
+        ofd_core::Relation,
+        ofd_ontology::Ontology,
+        Vec<OfdClasses>,
+        SenseIndex,
+    ) {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+        ];
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        (rel, onto, classes, index)
+    }
+
+    #[test]
+    fn us_class_gets_the_usa_sense() {
+        let (_rel, onto, classes, index) = setup();
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let us_class = &classes[0].classes[0];
+        let sense = initial_assignment(us_class, view).expect("assigned");
+        assert_eq!(
+            onto.concept(sense).unwrap().label(),
+            "United States of America"
+        );
+    }
+
+    #[test]
+    fn headache_class_picks_a_maximal_cover_sense() {
+        // {cartia, ASA, tiazac, adizem}: FDA-diltiazem and MoH-ASA both
+        // cover two tuples; the tie breaks deterministically.
+        let (_rel, onto, classes, index) = setup();
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let headache = &classes[1].classes[2];
+        assert_eq!(headache.rep, 7);
+        let sense = initial_assignment(headache, view).expect("assigned");
+        let label = onto.concept(sense).unwrap().label().to_owned();
+        assert!(
+            label == "diltiazem hydrochloride" || label == "acetylsalicylic acid",
+            "unexpected sense {label}"
+        );
+        assert_eq!(view.coverage(headache, sense), 2);
+    }
+
+    #[test]
+    fn unknown_values_yield_none() {
+        let rel = ofd_core::Relation::from_rows(
+            ["X", "Y"],
+            [&["a", "p"] as &[&str], &["a", "q"]],
+        )
+        .unwrap();
+        let onto = ofd_ontology::Ontology::empty();
+        let sigma = vec![Ofd::synonym_named(rel.schema(), &["X"], "Y").unwrap()];
+        let classes = build_classes(&rel, &sigma);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        assert_eq!(initial_assignment(&classes[0].classes[0], view), None);
+    }
+
+    #[test]
+    fn overlay_extends_membership() {
+        let (rel, onto, classes, index) = setup();
+        let headache = &classes[1].classes[2];
+        let dilt = onto.names("tiazac")[0];
+        let adizem = rel.pool().get("adizem").unwrap();
+        let asa = rel.pool().get("ASA").unwrap();
+        let mut overlay = HashSet::new();
+        overlay.insert((adizem, dilt));
+        overlay.insert((asa, dilt));
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        // With the Example 1.2 repair, the FDA sense covers all four tuples.
+        assert_eq!(view.coverage(headache, dilt), 4);
+        assert_eq!(initial_assignment(headache, view), Some(dilt));
+        assert!(view.senses(adizem).contains(&dilt));
+    }
+
+    #[test]
+    fn mad_ranking_is_deterministic_and_complete() {
+        let (_, _, classes, _) = setup();
+        for oc in &classes {
+            for class in &oc.classes {
+                let ranked = mad_ranking(class);
+                assert_eq!(ranked.len(), class.value_counts.len());
+                let again = mad_ranking(class);
+                assert_eq!(ranked, again);
+            }
+        }
+    }
+
+    #[test]
+    fn assign_all_covers_every_class() {
+        let (_, _, classes, index) = setup();
+        let overlay = HashSet::new();
+        let view = SenseView {
+            base: &index,
+            overlay: &overlay,
+        };
+        let assignment = assign_all(&classes, view);
+        assert_eq!(assignment.total(), 5);
+        // Every class in the paper example has at least one known value.
+        assert_eq!(assignment.assigned_count(), 5);
+    }
+
+    #[test]
+    fn mad_ranking_prefers_outlying_frequencies() {
+        // Frequencies 5,1,1,1: median 1 → value with f=5 ranks first.
+        let class = ClassData {
+            tuples: (0..8).collect(),
+            rep: 0,
+            value_counts: vec![
+                (ValueId::from_index(0), 5),
+                (ValueId::from_index(1), 1),
+                (ValueId::from_index(2), 1),
+                (ValueId::from_index(3), 1),
+            ],
+        };
+        let ranked = mad_ranking(&class);
+        assert_eq!(ranked[0], ValueId::from_index(0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by the core data-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by relation and OFD operations in `ofd-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Schemas are capped at 64 attributes because attribute sets are u64
+    /// bitsets (the paper's datasets have 15).
+    SchemaTooWide(usize),
+    /// An attribute name not present in the schema.
+    UnknownAttribute(String),
+    /// An attribute id out of range for the schema.
+    AttributeOutOfBounds {
+        /// The offending attribute index.
+        attr: usize,
+        /// The schema's width.
+        width: usize,
+    },
+    /// A row whose arity does not match the schema.
+    ArityMismatch {
+        /// The offending row index.
+        row: usize,
+        /// The schema's width.
+        expected: usize,
+        /// The row's cell count.
+        got: usize,
+    },
+    /// A row index past the end of the relation.
+    RowOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// The relation's row count.
+        rows: usize,
+    },
+    /// An OFD whose consequent also appears in the antecedent where that is
+    /// not allowed, or other malformed dependency shapes.
+    MalformedDependency(String),
+    /// A duplicate attribute name in a schema.
+    DuplicateAttribute(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SchemaTooWide(n) => {
+                write!(f, "schema has {n} attributes; at most 64 are supported")
+            }
+            CoreError::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+            CoreError::AttributeOutOfBounds { attr, width } => {
+                write!(f, "attribute #{attr} out of bounds for schema of width {width}")
+            }
+            CoreError::ArityMismatch { row, expected, got } => write!(
+                f,
+                "row {row} has {got} values but the schema has {expected} attributes"
+            ),
+            CoreError::RowOutOfBounds { row, rows } => {
+                write!(f, "row {row} out of bounds for relation with {rows} rows")
+            }
+            CoreError::MalformedDependency(msg) => write!(f, "malformed dependency: {msg}"),
+            CoreError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CoreError::SchemaTooWide(80).to_string().contains("80"));
+        assert!(CoreError::UnknownAttribute("X".into()).to_string().contains("X"));
+        let e = CoreError::ArityMismatch {
+            row: 3,
+            expected: 5,
+            got: 4,
+        };
+        assert!(e.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes(_: &dyn Error) {}
+        takes(&CoreError::DuplicateAttribute("A".into()));
+    }
+}

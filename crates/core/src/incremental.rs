@@ -1,0 +1,296 @@
+//! Incremental OFD violation tracking: after a cell update, only the
+//! equivalence classes containing that cell need re-checking.
+//!
+//! The paper's repair scope (§5.1) fixes antecedent attributes, so class
+//! *membership* never changes during cleaning — only the consequent value
+//! multiset of the touched classes. [`IncrementalChecker`] exploits that:
+//! construction costs one pass per OFD, and each update costs
+//! O(distinct values of the touched classes), independent of |I|.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ofd_ontology::SenseId;
+
+use crate::ofd::Ofd;
+use crate::partition::StrippedPartition;
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::sense_index::SenseIndex;
+use crate::value::ValueId;
+
+/// Per-class bookkeeping: the consequent value multiset.
+#[derive(Debug, Clone)]
+struct ClassState {
+    size: u32,
+    counts: HashMap<ValueId, u32>,
+}
+
+impl ClassState {
+    /// Whether some single interpretation covers the whole class.
+    fn satisfied(&self, index: &SenseIndex) -> bool {
+        if self.counts.len() <= 1 {
+            return true;
+        }
+        let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
+        for (&v, &c) in &self.counts {
+            let senses = index.senses(v);
+            if senses.is_empty() {
+                return false;
+            }
+            for &s in senses {
+                let entry = sense_counts.entry(s).or_insert(0);
+                *entry += c;
+                if *entry == self.size {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Tracks which `(OFD, class)` pairs violate Σ, updating in O(class) time
+/// per consequent-cell change.
+#[derive(Debug)]
+pub struct IncrementalChecker {
+    sigma: Vec<Ofd>,
+    /// Per OFD: tuple → class index (only tuples in non-singleton classes).
+    membership: Vec<HashMap<u32, u32>>,
+    /// Per OFD: per class state.
+    classes: Vec<Vec<ClassState>>,
+    /// Currently violating (ofd, class) pairs, deterministic order.
+    violated: BTreeSet<(usize, usize)>,
+    /// OFD indexes per consequent attribute.
+    by_rhs: HashMap<AttrId, Vec<usize>>,
+}
+
+impl IncrementalChecker {
+    /// Builds the checker from the current instance (the `index` must stay
+    /// in sync with the pool — see [`IncrementalChecker::apply_update`]).
+    pub fn new(rel: &Relation, index: &SenseIndex, sigma: &[Ofd]) -> IncrementalChecker {
+        let mut membership = Vec::with_capacity(sigma.len());
+        let mut classes = Vec::with_capacity(sigma.len());
+        let mut violated = BTreeSet::new();
+        let mut by_rhs: HashMap<AttrId, Vec<usize>> = HashMap::new();
+        for (oi, ofd) in sigma.iter().enumerate() {
+            by_rhs.entry(ofd.rhs).or_default().push(oi);
+            let sp = StrippedPartition::of(rel, ofd.lhs);
+            let col = rel.column(ofd.rhs);
+            let mut member: HashMap<u32, u32> = HashMap::new();
+            let mut states: Vec<ClassState> = Vec::with_capacity(sp.class_count());
+            for (ci, class) in sp.classes().iter().enumerate() {
+                let mut counts: HashMap<ValueId, u32> = HashMap::new();
+                for &t in class {
+                    member.insert(t, ci as u32);
+                    *counts.entry(col[t as usize]).or_insert(0) += 1;
+                }
+                let state = ClassState {
+                    size: class.len() as u32,
+                    counts,
+                };
+                if !state.satisfied(index) {
+                    violated.insert((oi, ci));
+                }
+                states.push(state);
+            }
+            membership.push(member);
+            classes.push(states);
+        }
+        IncrementalChecker {
+            sigma: sigma.to_vec(),
+            membership,
+            classes,
+            violated,
+            by_rhs,
+        }
+    }
+
+    /// Applies one consequent-cell update: tuple `row`'s value for `attr`
+    /// changed `old → new`. The caller must have already updated the
+    /// relation and extended the sense index for any newly interned value.
+    ///
+    /// Updates to attributes that are no OFD's consequent are ignored
+    /// (antecedents are immutable under the §5.1 repair scope — changing
+    /// one invalidates the checker).
+    pub fn apply_update(
+        &mut self,
+        index: &SenseIndex,
+        row: usize,
+        attr: AttrId,
+        old: ValueId,
+        new: ValueId,
+    ) {
+        if old == new {
+            return;
+        }
+        let Some(ofds) = self.by_rhs.get(&attr) else {
+            return;
+        };
+        for &oi in ofds {
+            let Some(&ci) = self.membership[oi].get(&(row as u32)) else {
+                continue; // singleton class: can never violate
+            };
+            let state = &mut self.classes[oi][ci as usize];
+            let old_count = state
+                .counts
+                .get_mut(&old)
+                .expect("old value tracked in its class");
+            *old_count -= 1;
+            if *old_count == 0 {
+                state.counts.remove(&old);
+            }
+            *state.counts.entry(new).or_insert(0) += 1;
+            if state.satisfied(index) {
+                self.violated.remove(&(oi, ci as usize));
+            } else {
+                self.violated.insert((oi, ci as usize));
+            }
+        }
+    }
+
+    /// Whether every OFD currently holds.
+    pub fn is_satisfied(&self) -> bool {
+        self.violated.is_empty()
+    }
+
+    /// The violating `(OFD index, class index)` pairs, ascending.
+    pub fn violations(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.violated.iter().copied()
+    }
+
+    /// Number of violating classes.
+    pub fn violation_count(&self) -> usize {
+        self.violated.len()
+    }
+
+    /// The Σ this checker tracks.
+    pub fn sigma(&self) -> &[Ofd] {
+        &self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{table1, table1_updated};
+    use crate::validate::Validator;
+    use ofd_ontology::samples;
+
+    fn sigma_for(rel: &Relation) -> Vec<Ofd> {
+        vec![
+            Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap(),
+            Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn initial_state_matches_full_validation() {
+        let onto = samples::combined_paper_ontology();
+        for rel in [table1(), table1_updated()] {
+            let sigma = sigma_for(&rel);
+            let index = SenseIndex::synonym(&rel, &onto);
+            let checker = IncrementalChecker::new(&rel, &index, &sigma);
+            let validator = Validator::new(&rel, &onto);
+            let full: usize = sigma
+                .iter()
+                .map(|o| validator.check(o).violation_count())
+                .sum();
+            assert_eq!(checker.violation_count(), full);
+            assert_eq!(
+                checker.is_satisfied(),
+                sigma.iter().all(|o| validator.check(o).satisfied())
+            );
+        }
+    }
+
+    #[test]
+    fn updates_track_repairs_and_corruptions() {
+        let onto = samples::combined_paper_ontology();
+        let mut rel = table1_updated();
+        let sigma = sigma_for(&rel);
+        let mut index = SenseIndex::synonym(&rel, &onto);
+        let mut checker = IncrementalChecker::new(&rel, &index, &sigma);
+        assert!(!checker.is_satisfied(), "Example 1.2 is dirty");
+
+        // Repair the two updated cells back to tiazac.
+        let med = rel.schema().attr("MED").unwrap();
+        for row in [8usize, 10] {
+            let old = rel.value(row, med);
+            let new = rel.set(row, med, "tiazac").unwrap();
+            index.extend_synonym(&rel, &onto);
+            checker.apply_update(&index, row, med, old, new);
+        }
+        // MED class fixed; but the nausea class still violates the synonym
+        // reading of F2, as in the paper (tylenol is-a analgesic).
+        assert_eq!(checker.violation_count(), 1);
+
+        // Fix the nausea class too.
+        let old = rel.value(3, med);
+        let new = rel.set(3, med, "tylenol").unwrap();
+        index.extend_synonym(&rel, &onto);
+        checker.apply_update(&index, 3, med, old, new);
+        assert!(checker.is_satisfied());
+
+        // Corrupt a CTRY cell; the checker notices immediately.
+        let ctry = rel.schema().attr("CTRY").unwrap();
+        let old = rel.value(0, ctry);
+        let new = rel.set(0, ctry, "Atlantis").unwrap();
+        index.extend_synonym(&rel, &onto);
+        checker.apply_update(&index, 0, ctry, old, new);
+        assert_eq!(checker.violation_count(), 1);
+        assert_eq!(checker.violations().next(), Some((0, 0)));
+    }
+
+    #[test]
+    fn random_update_sequences_agree_with_full_revalidation() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let onto = samples::combined_paper_ontology();
+        let mut rel = table1();
+        let sigma = sigma_for(&rel);
+        let mut index = SenseIndex::synonym(&rel, &onto);
+        let mut checker = IncrementalChecker::new(&rel, &index, &sigma);
+        let med = rel.schema().attr("MED").unwrap();
+        let ctry = rel.schema().attr("CTRY").unwrap();
+        let vocab = [
+            "tiazac", "cartia", "ASA", "ibuprofen", "bogus1", "USA", "America", "Bharat",
+        ];
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..200 {
+            let row = rng.random_range(0..rel.n_rows());
+            let attr = if rng.random_bool(0.5) { med } else { ctry };
+            let value = vocab[rng.random_range(0..vocab.len())];
+            let old = rel.value(row, attr);
+            let new = rel.set(row, attr, value).unwrap();
+            index.extend_synonym(&rel, &onto);
+            checker.apply_update(&index, row, attr, old, new);
+
+            let validator = Validator::new(&rel, &onto);
+            let full: usize = sigma
+                .iter()
+                .map(|o| validator.check(o).violation_count())
+                .sum();
+            assert_eq!(checker.violation_count(), full, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn non_consequent_updates_are_ignored() {
+        let onto = samples::combined_paper_ontology();
+        let rel = table1();
+        let sigma = sigma_for(&rel);
+        let index = SenseIndex::synonym(&rel, &onto);
+        let mut checker = IncrementalChecker::new(&rel, &index, &sigma);
+        let before = checker.violation_count();
+        let test_attr = rel.schema().attr("TEST").unwrap();
+        // TEST is no OFD's consequent; the update is a no-op for tracking.
+        checker.apply_update(
+            &index,
+            0,
+            test_attr,
+            ValueId::from_index(0),
+            ValueId::from_index(1),
+        );
+        assert_eq!(checker.violation_count(), before);
+    }
+}

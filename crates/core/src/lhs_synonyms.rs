@@ -1,0 +1,274 @@
+//! Synonyms in **antecedent** attributes — the extension the paper defers
+//! to future work and analyzes in its response letter (W2): under an
+//! interpretation, synonymous antecedent values merge equivalence classes,
+//! so validation must consider *every* interpretation, each inducing its
+//! own (coarser) partition.
+//!
+//! Given an OFD `X →syn A` and an ontology whose concepts carry
+//! interpretation labels (e.g. `FDA`, `MoH`), [`check_lhs_synonyms`]
+//! canonicalizes the antecedent under each interpretation, re-partitions,
+//! and verifies the consequent per merged class. The dependency holds with
+//! lhs synonyms iff it holds under **every** interpretation — exactly the
+//! response letter's reading, where updating `t7[MED]` fixes the FDA view
+//! but breaks the MoH view.
+
+use std::collections::HashMap;
+
+use ofd_ontology::{InterpretationId, Ontology};
+
+use crate::ofd::Ofd;
+use crate::relation::Relation;
+use crate::validate::{Validation, Validator};
+use crate::value::ValueId;
+
+/// Outcome of lhs-synonym validation for one interpretation.
+#[derive(Debug)]
+pub struct InterpretationOutcome {
+    /// The interpretation the antecedent was canonicalized under.
+    pub interpretation: InterpretationId,
+    /// Its label.
+    pub label: String,
+    /// Number of merged (non-singleton) classes evaluated.
+    pub merged_classes: usize,
+    /// Consequent verification over the merged classes.
+    pub validation: Validation,
+}
+
+/// Result of [`check_lhs_synonyms`].
+#[derive(Debug)]
+pub struct LhsSynonymValidation {
+    /// One outcome per interpretation label registered in the ontology.
+    pub outcomes: Vec<InterpretationOutcome>,
+}
+
+impl LhsSynonymValidation {
+    /// Whether the OFD holds under **every** interpretation.
+    pub fn satisfied(&self) -> bool {
+        self.outcomes.iter().all(|o| o.validation.satisfied())
+    }
+
+    /// Interpretations under which the OFD is violated.
+    pub fn violated_interpretations(&self) -> impl Iterator<Item = &InterpretationOutcome> {
+        self.outcomes.iter().filter(|o| !o.validation.satisfied())
+    }
+
+    /// Total (non-singleton) classes across interpretations — the "larger
+    /// total number of equivalence classes" cost the response letter
+    /// highlights.
+    pub fn total_classes(&self) -> usize {
+        self.outcomes.iter().map(|o| o.merged_classes).sum()
+    }
+}
+
+/// Per-interpretation canonicalization table: `(interpretation, value)` →
+/// canonical token. Values untouched by an interpretation stay literal.
+fn canonicalizer(
+    rel: &Relation,
+    onto: &Ontology,
+    interp: InterpretationId,
+) -> HashMap<ValueId, String> {
+    let mut map: HashMap<ValueId, String> = HashMap::new();
+    for concept in onto.concepts() {
+        if !concept.interpretations().contains(&interp) {
+            continue;
+        }
+        let Some(canonical) = concept.canonical() else {
+            continue;
+        };
+        for syn in concept.synonyms() {
+            if let Some(vid) = rel.pool().get(syn) {
+                // First (smallest sense id) concept wins, deterministically.
+                map.entry(vid).or_insert_with(|| canonical.to_owned());
+            }
+        }
+    }
+    map
+}
+
+/// Validates `ofd` with synonyms honoured on the **antecedent**: for each
+/// interpretation, antecedent values are canonicalized (merging classes)
+/// and the consequent is checked per merged class under ordinary synonym
+/// semantics.
+pub fn check_lhs_synonyms(
+    rel: &Relation,
+    onto: &Ontology,
+    ofd: &Ofd,
+) -> LhsSynonymValidation {
+    let validator = Validator::new(rel, onto);
+    let lhs_attrs: Vec<_> = ofd.lhs.iter().collect();
+    let mut outcomes = Vec::new();
+
+    for (idx, label) in onto.interpretation_labels().iter().enumerate() {
+        let interp = InterpretationId::from_index(idx);
+        let canon = canonicalizer(rel, onto, interp);
+        // Merged partition over canonicalized antecedent keys.
+        let mut groups: HashMap<Vec<String>, Vec<u32>> = HashMap::new();
+        for t in 0..rel.n_rows() {
+            let key: Vec<String> = lhs_attrs
+                .iter()
+                .map(|&a| {
+                    let v = rel.value(t, a);
+                    canon
+                        .get(&v)
+                        .cloned()
+                        .unwrap_or_else(|| rel.pool().resolve(v).to_owned())
+                })
+                .collect();
+            groups.entry(key).or_default().push(t as u32);
+        }
+        let mut classes: Vec<Vec<u32>> = groups
+            .into_values()
+            .filter(|c| c.len() >= 2)
+            .collect();
+        classes.sort_by_key(|c| c[0]);
+        let merged = merged_partition(rel.n_rows(), classes);
+        let validation = validator.check_with_partition(ofd, &merged);
+        outcomes.push(InterpretationOutcome {
+            interpretation: interp,
+            label: label.clone(),
+            merged_classes: merged.class_count(),
+            validation,
+        });
+    }
+    LhsSynonymValidation { outcomes }
+}
+
+fn merged_partition(
+    n_rows: usize,
+    classes: Vec<Vec<u32>>,
+) -> crate::partition::StrippedPartition {
+    // Build through a throwaway single-column relation keyed by class id so
+    // the partition type's invariants hold without exposing a raw
+    // constructor.
+    let mut keys: Vec<usize> = vec![usize::MAX; n_rows];
+    for (ci, class) in classes.iter().enumerate() {
+        for &t in class {
+            keys[t as usize] = ci;
+        }
+    }
+    let mut b = Relation::builder(
+        crate::schema::Schema::new(["k"]).expect("one attribute"),
+    );
+    let mut singleton = classes.len();
+    for k in &keys {
+        let cell = if *k == usize::MAX {
+            singleton += 1;
+            format!("s{singleton}")
+        } else {
+            format!("c{k}")
+        };
+        b.push_row([cell.as_str()]).expect("arity 1");
+    }
+    let rel = b.finish();
+    crate::partition::StrippedPartition::of(&rel, rel.schema().all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_ontology::OntologyBuilder;
+
+    /// The response letter's example table: SYMP → MED with country-coded
+    /// drug standards, and MED → DISEASE with merged antecedent classes.
+    fn response_letter_instance() -> (Relation, Ontology) {
+        let rel = Relation::from_rows(
+            ["SYMP", "MED", "DISEASE"],
+            [
+                &["Headache", "Cartia", "Hyperpiesis"] as &[&str],
+                &["Headache", "Tiazac", "Hypertension"],
+                &["Headache", "Bevyxxa", "Hypertension"],
+                &["Headache", "Bevyxxa", "Hypertension"],
+                &["Headache", "Berixaban", "HHD"],
+                &["Headache", "Tiazac", "HHD"],
+                &["Headache", "Aspirin", "Hyperiesia"],
+            ],
+        )
+        .expect("response letter table");
+        let mut b = OntologyBuilder::new();
+        let fda = b.interpretation("FDA");
+        let moh = b.interpretation("MoH");
+        b.concept("diltiazem")
+            .synonyms(["Cartia", "Tiazac", "Cardizem"])
+            .interpretations([fda])
+            .build()
+            .unwrap();
+        b.concept("acetylsalicylic acid")
+            .synonyms(["Cartia", "Aspirin", "ASA"])
+            .interpretations([moh])
+            .build()
+            .unwrap();
+        // Disease vocabulary: one hypertension family covering the
+        // legitimate variants (Hyperiesia is the t7 typo, outside it).
+        b.concept("hypertensive disease")
+            .synonyms(["Hypertension", "HHD", "Hyperpiesis"])
+            .interpretations([fda, moh])
+            .build()
+            .unwrap();
+        (rel, b.finish().unwrap())
+    }
+
+    #[test]
+    fn fda_interpretation_merges_cartia_and_tiazac_classes() {
+        let (rel, onto) = response_letter_instance();
+        let ofd = Ofd::synonym_named(rel.schema(), &["MED"], "DISEASE").unwrap();
+        let result = check_lhs_synonyms(&rel, &onto, &ofd);
+        let fda = &result.outcomes[0];
+        assert_eq!(fda.label, "FDA");
+        // {t1,t2,t6} merge (Cartia ≡ Tiazac under FDA) + {t3,t4}: two
+        // non-singleton merged classes, as the response letter derives.
+        assert_eq!(fda.merged_classes, 2);
+        // DISEASE values {Hyperpiesis, Hypertension, HHD} share the
+        // hypertensive-disease sense, so the FDA view is satisfied.
+        assert!(fda.validation.satisfied());
+    }
+
+    #[test]
+    fn moh_interpretation_exposes_the_t7_typo() {
+        let (rel, onto) = response_letter_instance();
+        let ofd = Ofd::synonym_named(rel.schema(), &["MED"], "DISEASE").unwrap();
+        let result = check_lhs_synonyms(&rel, &onto, &ofd);
+        let moh = &result.outcomes[1];
+        assert_eq!(moh.label, "MoH");
+        // Under MoH, Cartia ≡ Aspirin merges {t1, t7}; their DISEASE values
+        // {Hyperpiesis, Hyperiesia} share no sense — a violation only this
+        // interpretation can see.
+        assert!(!moh.validation.satisfied());
+        assert!(!result.satisfied());
+        assert_eq!(result.violated_interpretations().count(), 1);
+    }
+
+    #[test]
+    fn lhs_synonyms_evaluate_more_classes_than_plain_validation() {
+        // The response letter's cost argument: all interpretations together
+        // inspect more classes than the syntactic partition alone.
+        let (rel, onto) = response_letter_instance();
+        let ofd = Ofd::synonym_named(rel.schema(), &["MED"], "DISEASE").unwrap();
+        let plain = crate::partition::StrippedPartition::of(&rel, ofd.lhs);
+        let with_lhs = check_lhs_synonyms(&rel, &onto, &ofd);
+        assert!(with_lhs.total_classes() >= plain.class_count());
+    }
+
+    #[test]
+    fn no_interpretations_means_trivially_satisfied_views() {
+        let rel = Relation::from_rows(["A", "B"], [&["x", "1"] as &[&str], &["x", "2"]])
+            .unwrap();
+        let onto = Ontology::empty();
+        let ofd = Ofd::synonym_named(rel.schema(), &["A"], "B").unwrap();
+        let result = check_lhs_synonyms(&rel, &onto, &ofd);
+        assert!(result.outcomes.is_empty());
+        assert!(result.satisfied(), "vacuously true with no interpretations");
+    }
+
+    #[test]
+    fn untagged_values_stay_literal() {
+        let (rel, onto) = response_letter_instance();
+        // SYMP → MED: SYMP values are not in any concept, so every
+        // interpretation reproduces the plain partition (one Headache
+        // class of 7 tuples).
+        let ofd = Ofd::synonym_named(rel.schema(), &["SYMP"], "MED").unwrap();
+        let result = check_lhs_synonyms(&rel, &onto, &ofd);
+        for o in &result.outcomes {
+            assert_eq!(o.merged_classes, 1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # ofd-core
+//!
+//! Relational substrate and Ontology Functional Dependency (OFD) semantics:
+//!
+//! * interned values ([`ValuePool`]), schemas and u64-bitset attribute sets
+//!   ([`AttrSet`]);
+//! * column-major [`Relation`] instances with cell-level repair support;
+//! * partitions Π_X and stripped partitions Π*_X with linear-time products
+//!   ([`StrippedPartition`]);
+//! * FDs and OFDs ([`Fd`], [`Ofd`]) and their verification over equivalence
+//!   classes ([`Validator`]), including approximate support for
+//!   κ-approximate discovery.
+//!
+//! The running examples of the paper (Table 1 and its Example 1.2 update)
+//! ship as [`table1`] / [`table1_updated`] and are exercised throughout the
+//! test suites.
+
+mod error;
+pub mod incremental;
+pub mod lhs_synonyms;
+pub mod nfd_check;
+mod ofd;
+mod partition;
+mod relation;
+mod schema;
+mod sense_index;
+mod validate;
+mod value;
+
+pub use error::CoreError;
+pub use incremental::IncrementalChecker;
+pub use nfd_check::NfdChecker;
+pub use lhs_synonyms::{check_lhs_synonyms, InterpretationOutcome, LhsSynonymValidation};
+pub use ofd::{Fd, Ofd, OfdKind};
+pub use partition::{Partition, ProductScratch, StrippedPartition};
+pub use relation::{table1, table1_updated, Relation, RelationBuilder};
+pub use schema::{AttrId, AttrSet, AttrSetIter, Schema, MAX_ATTRS};
+pub use sense_index::SenseIndex;
+pub use validate::{check_ofd_exact, check_ofd_with_index, estimate_support, ClassOutcome, Validation, Validator, Witness};
+pub use value::{ValueId, ValuePool};

@@ -1,0 +1,170 @@
+//! Null Functional Dependency (NFD) verification — Lien's semantics the
+//! paper contrasts OFDs against (§3.1): *"whenever two tuples agree on
+//! non-null values in X, they agree on the values in Y, which may be
+//! partial."*
+//!
+//! The paper's Theorems 3.4/3.5 show the two **axiom systems** coincide,
+//! yet the **instance semantics** differ: in Table 1 the OFD `CC → CTRY`
+//! holds while the NFD `CC → CTRY` does not (USA vs America are neither
+//! equal nor null), and NFDs check pairs while OFDs need whole equivalence
+//! classes. This module makes that contrast executable.
+
+use crate::ofd::Fd;
+use crate::relation::Relation;
+use crate::schema::AttrId;
+
+/// Verifies NFDs over a relation in which cells equal to `null_marker`
+/// (e.g. `""` or `"NULL"`) denote missing values.
+#[derive(Debug, Clone)]
+pub struct NfdChecker<'a> {
+    rel: &'a Relation,
+    null_marker: &'a str,
+}
+
+impl<'a> NfdChecker<'a> {
+    /// Creates a checker with the given null marker.
+    pub fn new(rel: &'a Relation, null_marker: &'a str) -> NfdChecker<'a> {
+        NfdChecker { rel, null_marker }
+    }
+
+    /// Whether the cell at `(row, attr)` is null.
+    pub fn is_null(&self, row: usize, attr: AttrId) -> bool {
+        self.rel.text(row, attr) == self.null_marker
+    }
+
+    /// Whether the NFD `X → A` holds: for every pair of tuples agreeing on
+    /// **non-null** `X`, the `A` values agree (a null `A` agrees with
+    /// anything — Lien's "may be partial").
+    ///
+    /// Pairwise by definition (unlike OFDs); quadratic in the worst case,
+    /// grouped by antecedent signature first so the common case is linear.
+    pub fn check(&self, fd: &Fd) -> bool {
+        self.violating_pair(fd).is_none()
+    }
+
+    /// The first violating tuple pair, if any.
+    pub fn violating_pair(&self, fd: &Fd) -> Option<(u32, u32)> {
+        use std::collections::HashMap;
+        let lhs: Vec<AttrId> = fd.lhs.iter().collect();
+        // Group tuples whose X is fully non-null by their X signature.
+        let mut groups: HashMap<Vec<crate::ValueId>, Vec<u32>> = HashMap::new();
+        for t in 0..self.rel.n_rows() {
+            if lhs.iter().any(|&a| self.is_null(t, a)) {
+                continue; // null in X: never forced to agree
+            }
+            let key: Vec<crate::ValueId> = lhs.iter().map(|&a| self.rel.value(t, a)).collect();
+            groups.entry(key).or_default().push(t as u32);
+        }
+        for class in groups.values() {
+            // All non-null A values in the class must be equal.
+            let mut witness: Option<(u32, crate::ValueId)> = None;
+            for &t in class {
+                if self.is_null(t as usize, fd.rhs) {
+                    continue;
+                }
+                let v = self.rel.value(t as usize, fd.rhs);
+                match witness {
+                    None => witness = Some((t, v)),
+                    Some((t0, v0)) if v0 != v => return Some((t0, t)),
+                    Some(_) => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ofd::Ofd;
+    use crate::relation::table1;
+    use crate::validate::Validator;
+    use ofd_ontology::samples;
+
+    #[test]
+    fn paper_contrast_ofd_holds_nfd_does_not() {
+        // §3.1: "an OFD [CC] → [CTRY] holds, but a corresponding NFD
+        // [CC] → [CTRY] does NOT hold".
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let ofd = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+        assert!(Validator::new(&rel, &onto).check(&ofd).satisfied());
+        let nfd = NfdChecker::new(&rel, "");
+        assert!(!nfd.check(&ofd.as_fd()), "USA vs America violates the NFD");
+        let (t1, t2) = nfd.violating_pair(&ofd.as_fd()).unwrap();
+        assert!(t1 < t2);
+    }
+
+    #[test]
+    fn nulls_agree_with_anything() {
+        let rel = Relation::from_rows(
+            ["X", "Y"],
+            [
+                &["a", "p"] as &[&str],
+                &["a", ""],    // null Y: compatible with p
+                &["", "q"],    // null X: exempt from agreement
+                &["a", "p"],
+            ],
+        )
+        .unwrap();
+        let fd = Fd::new(
+            rel.schema().set(["X"]).unwrap(),
+            rel.schema().attr("Y").unwrap(),
+        );
+        let checker = NfdChecker::new(&rel, "");
+        assert!(checker.check(&fd));
+        assert!(checker.is_null(1, rel.schema().attr("Y").unwrap()));
+        assert!(checker.is_null(2, rel.schema().attr("X").unwrap()));
+    }
+
+    #[test]
+    fn non_null_disagreement_is_caught() {
+        let rel = Relation::from_rows(
+            ["X", "Y"],
+            [&["a", "p"] as &[&str], &["a", "q"]],
+        )
+        .unwrap();
+        let fd = Fd::new(
+            rel.schema().set(["X"]).unwrap(),
+            rel.schema().attr("Y").unwrap(),
+        );
+        let checker = NfdChecker::new(&rel, "");
+        assert_eq!(checker.violating_pair(&fd), Some((0, 1)));
+    }
+
+    #[test]
+    fn ofd_and_nfd_semantics_diverge_both_ways() {
+        // The converse direction: an NFD can hold where the OFD-as-FD view
+        // fails — nulls agree under NFDs but are ordinary (unknown) values
+        // to an ontology-less OFD.
+        let rel = Relation::from_rows(
+            ["X", "Y"],
+            [&["a", "p"] as &[&str], &["a", ""]],
+        )
+        .unwrap();
+        let fd = Fd::new(
+            rel.schema().set(["X"]).unwrap(),
+            rel.schema().attr("Y").unwrap(),
+        );
+        assert!(NfdChecker::new(&rel, "").check(&fd));
+        let onto = ofd_ontology::Ontology::empty();
+        let ofd = Ofd::synonym(fd.lhs, fd.rhs);
+        assert!(!Validator::new(&rel, &onto).check(&ofd).satisfied());
+    }
+
+    #[test]
+    fn custom_null_marker() {
+        let rel = Relation::from_rows(
+            ["X", "Y"],
+            [&["a", "NULL"] as &[&str], &["a", "p"]],
+        )
+        .unwrap();
+        let fd = Fd::new(
+            rel.schema().set(["X"]).unwrap(),
+            rel.schema().attr("Y").unwrap(),
+        );
+        assert!(NfdChecker::new(&rel, "NULL").check(&fd));
+        assert!(!NfdChecker::new(&rel, "").check(&fd));
+    }
+}

@@ -1,0 +1,178 @@
+//! Dependency types: traditional FDs and Ontology Functional Dependencies.
+
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::schema::{AttrId, AttrSet, Schema};
+
+/// A traditional functional dependency `X → A` with a single-attribute
+/// consequent (the normal form the axioms justify, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd {
+    /// Antecedent (left-hand side).
+    pub lhs: AttrSet,
+    /// Consequent (right-hand side).
+    pub rhs: AttrId,
+}
+
+impl Fd {
+    /// Constructs an FD.
+    pub fn new(lhs: AttrSet, rhs: AttrId) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// Whether the FD is trivial (`A ∈ X`, Reflexivity / Opt-1).
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(self.rhs)
+    }
+
+    /// Renders with attribute names, e.g. `[CC] -> CTRY`.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!("{} -> {}", schema.display_set(self.lhs), schema.name(self.rhs))
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// The ontological relationship an OFD asserts on its consequent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfdKind {
+    /// `X →_syn A`: per equivalence class, all `A`-values share a sense
+    /// (Definition 2.1).
+    Synonym,
+    /// `X →_inh A`: per equivalence class, all `A`-values share a common
+    /// ancestor within `theta` is-a steps (the paper's inheritance
+    /// extension).
+    Inheritance {
+        /// Maximum path length to the common ancestor.
+        theta: usize,
+    },
+}
+
+impl fmt::Display for OfdKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfdKind::Synonym => write!(f, "syn"),
+            OfdKind::Inheritance { theta } => write!(f, "inh(θ={theta})"),
+        }
+    }
+}
+
+/// An Ontology Functional Dependency `X →_kind A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ofd {
+    /// Antecedent (left-hand side).
+    pub lhs: AttrSet,
+    /// Consequent (right-hand side; single attribute by normalization).
+    pub rhs: AttrId,
+    /// Synonym or inheritance semantics.
+    pub kind: OfdKind,
+}
+
+impl Ofd {
+    /// A synonym OFD `X →_syn A`.
+    pub fn synonym(lhs: AttrSet, rhs: AttrId) -> Ofd {
+        Ofd {
+            lhs,
+            rhs,
+            kind: OfdKind::Synonym,
+        }
+    }
+
+    /// An inheritance OFD `X →_inh A` with ancestor-distance bound `theta`.
+    pub fn inheritance(lhs: AttrSet, rhs: AttrId, theta: usize) -> Ofd {
+        Ofd {
+            lhs,
+            rhs,
+            kind: OfdKind::Inheritance { theta },
+        }
+    }
+
+    /// Builds a synonym OFD from attribute names.
+    pub fn synonym_named(schema: &Schema, lhs: &[&str], rhs: &str) -> Result<Ofd, CoreError> {
+        Ok(Ofd::synonym(
+            schema.set(lhs.iter().copied())?,
+            schema.attr(rhs)?,
+        ))
+    }
+
+    /// Whether the OFD is trivial (`A ∈ X`, Opt-1).
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(self.rhs)
+    }
+
+    /// The underlying FD shape (dropping ontology semantics).
+    pub fn as_fd(&self) -> Fd {
+        Fd::new(self.lhs, self.rhs)
+    }
+
+    /// Renders with attribute names, e.g. `[CC] ->syn CTRY`.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!(
+            "{} ->{} {}",
+            schema.display_set(self.lhs),
+            self.kind,
+            schema.name(self.rhs)
+        )
+    }
+}
+
+impl fmt::Display for Ofd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ->{} {}", self.lhs, self.kind, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from_index(i)
+    }
+
+    #[test]
+    fn fd_triviality() {
+        let fd = Fd::new(AttrSet::from_attrs([a(0), a(1)]), a(1));
+        assert!(fd.is_trivial());
+        let fd2 = Fd::new(AttrSet::single(a(0)), a(1));
+        assert!(!fd2.is_trivial());
+    }
+
+    #[test]
+    fn named_construction_and_display() {
+        let schema = Schema::new(["CC", "CTRY", "SYMP", "DIAG", "MED"]).unwrap();
+        let ofd = Ofd::synonym_named(&schema, &["SYMP", "DIAG"], "MED").unwrap();
+        assert_eq!(ofd.display(&schema), "[SYMP, DIAG] ->syn MED");
+        assert!(!ofd.is_trivial());
+        assert!(Ofd::synonym_named(&schema, &["nope"], "MED").is_err());
+        assert!(Ofd::synonym_named(&schema, &["CC"], "nope").is_err());
+    }
+
+    #[test]
+    fn inheritance_kind_displays_theta() {
+        let schema = Schema::new(["SYMP", "DIAG", "MED"]).unwrap();
+        let ofd = Ofd::inheritance(schema.set(["SYMP"]).unwrap(), schema.attr("MED").unwrap(), 2);
+        assert_eq!(ofd.display(&schema), "[SYMP] ->inh(θ=2) MED");
+    }
+
+    #[test]
+    fn as_fd_drops_semantics() {
+        let ofd = Ofd::inheritance(AttrSet::single(a(0)), a(2), 3);
+        assert_eq!(ofd.as_fd(), Fd::new(AttrSet::single(a(0)), a(2)));
+    }
+
+    #[test]
+    fn ofds_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Ofd::synonym(AttrSet::single(a(0)), a(1)));
+        set.insert(Ofd::synonym(AttrSet::single(a(0)), a(1)));
+        set.insert(Ofd::inheritance(AttrSet::single(a(0)), a(1), 1));
+        assert_eq!(set.len(), 2);
+    }
+}

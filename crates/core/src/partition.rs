@@ -1,0 +1,440 @@
+//! Partitions Π_X and stripped partitions Π*_X (§2, §3.2).
+//!
+//! A partition groups tuple ids by their values over an attribute set `X`;
+//! the *stripped* partition drops singleton classes, which can never violate
+//! an OFD (Lemma 3.10). Products of stripped partitions are computed in
+//! linear time with the classic TANE probe-table scheme, which is what makes
+//! level-wise lattice discovery linear in the number of tuples.
+
+use std::collections::HashMap;
+
+use crate::relation::Relation;
+use crate::schema::{AttrId, AttrSet};
+use crate::value::ValueId;
+
+/// A full partition Π_X: every equivalence class, including singletons.
+///
+/// Classes and their members are sorted ascending, and classes are ordered by
+/// representative (smallest member), so partitions compare deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    classes: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl Partition {
+    /// Computes Π_X for `attrs` over `rel`.
+    pub fn of(rel: &Relation, attrs: AttrSet) -> Partition {
+        let n = rel.n_rows();
+        let attr_list: Vec<AttrId> = attrs.iter().collect();
+        let mut classes: Vec<Vec<u32>> = match attr_list.as_slice() {
+            [] => {
+                if n == 0 {
+                    Vec::new()
+                } else {
+                    vec![(0..n as u32).collect()]
+                }
+            }
+            [single] => {
+                let mut groups: HashMap<ValueId, Vec<u32>> = HashMap::new();
+                for (t, &v) in rel.column(*single).iter().enumerate() {
+                    groups.entry(v).or_default().push(t as u32);
+                }
+                groups.into_values().collect()
+            }
+            many => {
+                // Two-pass refinement instead of Vec-keyed hashing: group
+                // by the first attribute, then refine group ids attribute
+                // by attribute — one (u32, ValueId) key per row per
+                // attribute, no per-row Vec allocation.
+                let mut group_of: Vec<u32> = {
+                    let mut ids: HashMap<ValueId, u32> = HashMap::new();
+                    rel.column(many[0])
+                        .iter()
+                        .map(|v| {
+                            let next = ids.len() as u32;
+                            *ids.entry(*v).or_insert(next)
+                        })
+                        .collect()
+                };
+                for a in &many[1..] {
+                    let col = rel.column(*a);
+                    let mut ids: HashMap<(u32, ValueId), u32> = HashMap::new();
+                    for t in 0..n {
+                        let next = ids.len() as u32;
+                        group_of[t] = *ids.entry((group_of[t], col[t])).or_insert(next);
+                    }
+                }
+                let n_groups = group_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+                let mut classes: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
+                for (t, &g) in group_of.iter().enumerate() {
+                    classes[g as usize].push(t as u32);
+                }
+                classes.retain(|c| !c.is_empty());
+                classes
+            }
+        };
+        classes.sort_unstable_by_key(|c| c[0]);
+        Partition { classes, n_rows: n }
+    }
+
+    /// The equivalence classes.
+    #[inline]
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Number of classes (including singletons).
+    #[inline]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of tuples partitioned.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Drops singleton classes, yielding Π*_X.
+    pub fn strip(&self) -> StrippedPartition {
+        StrippedPartition {
+            classes: self
+                .classes
+                .iter()
+                .filter(|c| c.len() >= 2)
+                .cloned()
+                .collect(),
+            n_rows: self.n_rows,
+        }
+    }
+}
+
+/// A stripped partition Π*_X: only classes with at least two tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    classes: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+/// Reusable scratch buffers for [`StrippedPartition::product_with_scratch`],
+/// so repeated products during lattice traversal do not reallocate.
+#[derive(Debug, Default)]
+pub struct ProductScratch {
+    probe: Vec<usize>,
+    bins: Vec<Vec<u32>>,
+    touched: Vec<usize>,
+}
+
+const UNASSIGNED: usize = usize::MAX;
+
+impl StrippedPartition {
+    /// Computes Π*_X directly.
+    pub fn of(rel: &Relation, attrs: AttrSet) -> StrippedPartition {
+        Partition::of(rel, attrs).strip()
+    }
+
+    /// The empty stripped partition over `n_rows` tuples — the partition of
+    /// any superkey. Used by Opt-3 to skip partition products below keys.
+    pub fn empty(n_rows: usize) -> StrippedPartition {
+        StrippedPartition {
+            classes: Vec::new(),
+            n_rows,
+        }
+    }
+
+    /// Computes the single-attribute stripped partition — the level-1 inputs
+    /// of the discovery lattice.
+    pub fn of_attr(rel: &Relation, attr: AttrId) -> StrippedPartition {
+        StrippedPartition::of(rel, AttrSet::single(attr))
+    }
+
+    /// The equivalence classes, each of size ≥ 2.
+    #[inline]
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Number of non-singleton classes.
+    #[inline]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of tuples in the underlying relation.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Total tuples across all retained classes (`||Π*||`).
+    pub fn tuple_count(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// TANE's error measure `e(X) = (||Π*|| − |Π*|) / n`: the fraction of
+    /// tuples that must be removed for `X` to become a key.
+    pub fn error(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        (self.tuple_count() - self.class_count()) as f64 / self.n_rows as f64
+    }
+
+    /// Whether `X` is a superkey: the stripped partition is empty
+    /// (Optimization 3 / Lemma "Keys").
+    #[inline]
+    pub fn is_superkey(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Linear-time product Π*_X · Π*_Y = Π*_{X ∪ Y}.
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        let mut scratch = ProductScratch::default();
+        self.product_with_scratch(other, &mut scratch)
+    }
+
+    /// Product reusing caller-provided scratch buffers.
+    pub fn product_with_scratch(
+        &self,
+        other: &StrippedPartition,
+        scratch: &mut ProductScratch,
+    ) -> StrippedPartition {
+        debug_assert_eq!(self.n_rows, other.n_rows);
+        // Probe table: tuple -> index of its class in `self` (or UNASSIGNED).
+        scratch.probe.clear();
+        scratch.probe.resize(self.n_rows, UNASSIGNED);
+        if scratch.bins.len() < self.classes.len() {
+            scratch.bins.resize_with(self.classes.len(), Vec::new);
+        }
+        for (i, class) in self.classes.iter().enumerate() {
+            for &t in class {
+                scratch.probe[t as usize] = i;
+            }
+        }
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for class in &other.classes {
+            scratch.touched.clear();
+            for &t in class {
+                let p = scratch.probe[t as usize];
+                if p != UNASSIGNED {
+                    if scratch.bins[p].is_empty() {
+                        scratch.touched.push(p);
+                    }
+                    scratch.bins[p].push(t);
+                }
+            }
+            for &p in &scratch.touched {
+                if scratch.bins[p].len() >= 2 {
+                    out.push(std::mem::take(&mut scratch.bins[p]));
+                } else {
+                    scratch.bins[p].clear();
+                }
+            }
+        }
+        out.sort_unstable_by_key(|c| c[0]);
+        StrippedPartition {
+            classes: out,
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Whether this partition refines `other`: every class here is contained
+    /// in a single class of `other` (treating stripped-away tuples as
+    /// singletons). Π*_{X∪Y} always refines Π*_X.
+    pub fn refines(&self, other: &StrippedPartition) -> bool {
+        let mut probe = vec![UNASSIGNED; self.n_rows];
+        for (i, class) in other.classes.iter().enumerate() {
+            for &t in class {
+                probe[t as usize] = i;
+            }
+        }
+        self.classes.iter().all(|class| {
+            let first = probe[class[0] as usize];
+            first != UNASSIGNED && class.iter().all(|&t| probe[t as usize] == first)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::table1;
+
+    fn cc_partition() -> (Relation, StrippedPartition) {
+        let rel = table1();
+        let cc = rel.schema().attr("CC").unwrap();
+        let p = StrippedPartition::of_attr(&rel, cc);
+        (rel, p)
+    }
+
+    #[test]
+    fn paper_example_pi_cc() {
+        // §2: Π_CC = {{t1,t5,t6,t8..t11},{t2,t4,t7},{t3}} (1-indexed in the
+        // paper; the extended Table 1 has 11 tuples so the US class grows).
+        let rel = table1();
+        let cc = rel.schema().attr("CC").unwrap();
+        let p = Partition::of(&rel, AttrSet::single(cc));
+        assert_eq!(p.class_count(), 3);
+        assert_eq!(p.classes()[0], vec![0, 4, 5, 7, 8, 9, 10]); // US
+        assert_eq!(p.classes()[1], vec![1, 3, 6]); // IN
+        assert_eq!(p.classes()[2], vec![2]); // CA
+    }
+
+    #[test]
+    fn strip_drops_singletons() {
+        let (_, p) = cc_partition();
+        assert_eq!(p.class_count(), 2, "the CA singleton is stripped");
+        assert_eq!(p.tuple_count(), 10);
+        assert!(!p.is_superkey());
+    }
+
+    #[test]
+    fn empty_attrset_partition_is_one_class() {
+        let rel = table1();
+        let p = Partition::of(&rel, AttrSet::empty());
+        assert_eq!(p.class_count(), 1);
+        assert_eq!(p.classes()[0].len(), 11);
+    }
+
+    #[test]
+    fn multi_attribute_partition_groups_by_tuple() {
+        let rel = table1();
+        let set = rel.schema().set(["SYMP", "DIAG"]).unwrap();
+        let p = Partition::of(&rel, set);
+        // joint pain/osteo ×3, nausea/migrane ×3, chest pain/hyp ×1, headache/hyp ×4
+        assert_eq!(p.class_count(), 4);
+        let sizes: Vec<usize> = p.classes().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 1, 4]);
+    }
+
+    #[test]
+    fn product_equals_direct_computation() {
+        let rel = table1();
+        let schema = rel.schema();
+        for (a, b) in [("CC", "SYMP"), ("SYMP", "DIAG"), ("TEST", "DIAG"), ("CC", "TEST")] {
+            let pa = StrippedPartition::of(&rel, schema.set([a]).unwrap());
+            let pb = StrippedPartition::of(&rel, schema.set([b]).unwrap());
+            let direct = StrippedPartition::of(&rel, schema.set([a, b]).unwrap());
+            assert_eq!(pa.product(&pb), direct, "{a}·{b}");
+            assert_eq!(pb.product(&pa), direct, "{b}·{a} (commutativity)");
+        }
+    }
+
+    #[test]
+    fn product_of_key_is_empty() {
+        let rel = table1();
+        // (CC, CTRY, SYMP, TEST, DIAG, MED) all together: is it a key?
+        let all = rel.schema().all();
+        let p = StrippedPartition::of(&rel, all);
+        // t9 (idx 8) and t11 (idx 10)? rows 8 and 10 differ in TEST. Full
+        // tuples in table1: rows 8,9 differ in CTRY; all rows distinct.
+        assert!(p.is_superkey());
+        assert_eq!(p.error(), 0.0);
+    }
+
+    #[test]
+    fn error_measures_key_violations() {
+        let (_, p) = cc_partition();
+        // ||Π*|| = 10, |Π*| = 2, n = 11.
+        assert!((p.error() - 8.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_refines_both_factors() {
+        let rel = table1();
+        let schema = rel.schema();
+        let pa = StrippedPartition::of(&rel, schema.set(["CC"]).unwrap());
+        let pb = StrippedPartition::of(&rel, schema.set(["DIAG"]).unwrap());
+        let prod = pa.product(&pb);
+        assert!(prod.refines(&pa));
+        assert!(prod.refines(&pb));
+        assert!(!pa.refines(&prod) || pa == prod);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_product() {
+        let rel = table1();
+        let schema = rel.schema();
+        let pa = StrippedPartition::of(&rel, schema.set(["CC"]).unwrap());
+        let pb = StrippedPartition::of(&rel, schema.set(["SYMP"]).unwrap());
+        let pc = StrippedPartition::of(&rel, schema.set(["DIAG"]).unwrap());
+        let mut scratch = ProductScratch::default();
+        let r1 = pa.product_with_scratch(&pb, &mut scratch);
+        let r2 = pa.product_with_scratch(&pc, &mut scratch);
+        assert_eq!(r1, pa.product(&pb));
+        assert_eq!(r2, pa.product(&pc));
+    }
+
+    mod properties {
+        use super::*;
+        use crate::schema::Schema;
+        use proptest::prelude::*;
+
+        fn arb_relation() -> impl Strategy<Value = Relation> {
+            prop::collection::vec(prop::collection::vec(0u8..4, 4), 1..24).prop_map(|rows| {
+                let mut b = Relation::builder(
+                    Schema::new(["A", "B", "C", "D"]).expect("schema"),
+                );
+                for row in &rows {
+                    let cells: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
+                    b.push_row(cells.iter().map(String::as_str)).expect("row");
+                }
+                b.finish()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Product equals direct computation for random attribute pairs.
+            #[test]
+            fn product_equals_direct(rel in arb_relation(), a in 0usize..4, b in 0usize..4) {
+                let pa = StrippedPartition::of(&rel, AttrSet::single(AttrId::from_index(a)));
+                let pb = StrippedPartition::of(&rel, AttrSet::single(AttrId::from_index(b)));
+                let direct = StrippedPartition::of(
+                    &rel,
+                    AttrSet::single(AttrId::from_index(a)).with(AttrId::from_index(b)),
+                );
+                prop_assert_eq!(pa.product(&pb), direct);
+            }
+
+            /// Product is commutative and associative.
+            #[test]
+            fn product_is_commutative_and_associative(rel in arb_relation()) {
+                let ps: Vec<StrippedPartition> = (0..3)
+                    .map(|i| StrippedPartition::of(&rel, AttrSet::single(AttrId::from_index(i))))
+                    .collect();
+                prop_assert_eq!(ps[0].product(&ps[1]), ps[1].product(&ps[0]));
+                let left = ps[0].product(&ps[1]).product(&ps[2]);
+                let right = ps[0].product(&ps[1].product(&ps[2]));
+                prop_assert_eq!(left, right);
+            }
+
+            /// A product refines both factors, and the error measure never
+            /// increases under refinement.
+            #[test]
+            fn product_refines_and_error_shrinks(rel in arb_relation()) {
+                let pa = StrippedPartition::of(&rel, AttrSet::single(AttrId::from_index(0)));
+                let pb = StrippedPartition::of(&rel, AttrSet::single(AttrId::from_index(1)));
+                let prod = pa.product(&pb);
+                prop_assert!(prod.refines(&pa));
+                prop_assert!(prod.refines(&pb));
+                prop_assert!(prod.error() <= pa.error() + 1e-12);
+                prop_assert!(prod.error() <= pb.error() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_sorted_canonically() {
+        let (_, p) = cc_partition();
+        for c in p.classes() {
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "members ascending");
+        }
+        assert!(
+            p.classes().windows(2).all(|w| w[0][0] < w[1][0]),
+            "classes ordered by representative"
+        );
+    }
+}

@@ -1,0 +1,441 @@
+//! Schemas, attribute identifiers and [`AttrSet`] — the u64 bitset over
+//! attributes that powers the lattice algorithms.
+
+use std::fmt;
+
+use crate::error::CoreError;
+
+/// Maximum schema width supported by [`AttrSet`]'s u64 representation.
+pub const MAX_ATTRS: usize = 64;
+
+/// Identifier of an attribute within one [`Schema`] (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub(crate) u16);
+
+impl AttrId {
+    /// The dense index of this attribute.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an attribute id from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < MAX_ATTRS, "attribute index {index} exceeds {MAX_ATTRS}");
+        AttrId(index as u16)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// An immutable relation schema: an ordered list of attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names, rejecting duplicates and widths
+    /// beyond [`MAX_ATTRS`].
+    pub fn new<I, S>(names: I) -> Result<Self, CoreError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.len() > MAX_ATTRS {
+            return Err(CoreError::SchemaTooWide(names.len()));
+        }
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(CoreError::DuplicateAttribute(n.clone()));
+            }
+        }
+        Ok(Schema { names })
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Resolves an attribute name to its id.
+    pub fn attr(&self, name: &str) -> Result<AttrId, CoreError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(AttrId::from_index)
+            .ok_or_else(|| CoreError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// The name of an attribute.
+    pub fn name(&self, attr: AttrId) -> &str {
+        &self.names[attr.index()]
+    }
+
+    /// Iterates over all attribute ids in order.
+    pub fn attrs(&self) -> impl ExactSizeIterator<Item = AttrId> + '_ {
+        (0..self.names.len()).map(AttrId::from_index)
+    }
+
+    /// The set of all attributes.
+    pub fn all(&self) -> AttrSet {
+        AttrSet::all(self.names.len())
+    }
+
+    /// Builds an [`AttrSet`] from attribute names.
+    pub fn set<'a, I>(&self, names: I) -> Result<AttrSet, CoreError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut s = AttrSet::empty();
+        for n in names {
+            s.insert(self.attr(n)?);
+        }
+        Ok(s)
+    }
+
+    /// Renders an attribute set using this schema's names, e.g. `[CC, DIAG]`.
+    pub fn display_set(&self, set: AttrSet) -> String {
+        let names: Vec<&str> = set.iter().map(|a| self.name(a)).collect();
+        format!("[{}]", names.join(", "))
+    }
+}
+
+/// A set of attributes represented as a u64 bitmask.
+///
+/// All lattice bookkeeping (levels, candidate sets `C⁺(X)`, prefix blocks)
+/// runs on this type; operations are branch-free bit arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet(0)
+    }
+
+    /// The set `{0, 1, …, width-1}`.
+    #[inline]
+    pub fn all(width: usize) -> Self {
+        assert!(width <= MAX_ATTRS, "width {width} exceeds {MAX_ATTRS}");
+        if width == MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << width) - 1)
+        }
+    }
+
+    /// A singleton set.
+    #[inline]
+    pub fn single(attr: AttrId) -> Self {
+        AttrSet(1u64 << attr.index())
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from a raw bitmask.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, attr: AttrId) -> bool {
+        self.0 & (1u64 << attr.index()) != 0
+    }
+
+    /// Inserts an attribute (in place).
+    #[inline]
+    pub fn insert(&mut self, attr: AttrId) {
+        self.0 |= 1u64 << attr.index();
+    }
+
+    /// Removes an attribute (in place).
+    #[inline]
+    pub fn remove(&mut self, attr: AttrId) {
+        self.0 &= !(1u64 << attr.index());
+    }
+
+    /// `self ∪ {attr}` as a new set.
+    #[inline]
+    pub fn with(self, attr: AttrId) -> Self {
+        AttrSet(self.0 | (1u64 << attr.index()))
+    }
+
+    /// `self \ {attr}` as a new set.
+    #[inline]
+    pub fn without(self, attr: AttrId) -> Self {
+        AttrSet(self.0 & !(1u64 << attr.index()))
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: Self) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn minus(self, other: Self) -> Self {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊂ other` (strict).
+    #[inline]
+    pub fn is_proper_subset(self, other: Self) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Whether the sets share no attribute.
+    #[inline]
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over members in ascending attribute order.
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+
+    /// The smallest attribute in the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(AttrId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// The single member of a singleton set.
+    ///
+    /// Returns `None` when the set does not have exactly one member.
+    #[inline]
+    pub fn as_single(self) -> Option<AttrId> {
+        if self.0.count_ones() == 1 {
+            self.first()
+        } else {
+            None
+        }
+    }
+
+    /// Builds a set from an iterator of attribute ids.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        let mut s = AttrSet::empty();
+        for a in attrs {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Iterates over every subset of `self` obtained by removing exactly one
+    /// attribute — the lattice parents of the node `self`.
+    pub fn parents(self) -> impl Iterator<Item = (AttrId, AttrSet)> {
+        self.iter().map(move |a| (a, self.without(a)))
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        AttrSet::from_attrs(iter)
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of an [`AttrSet`].
+#[derive(Debug, Clone)]
+pub struct AttrSetIter(u64);
+
+impl Iterator for AttrSetIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let tz = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(AttrId(tz as u16))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from_index(i)
+    }
+
+    #[test]
+    fn schema_basics() {
+        let s = Schema::new(["CC", "CTRY", "SYMP"]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attr("CTRY").unwrap(), a(1));
+        assert_eq!(s.name(a(2)), "SYMP");
+        assert!(matches!(s.attr("nope"), Err(CoreError::UnknownAttribute(_))));
+        let set = s.set(["CC", "SYMP"]).unwrap();
+        assert_eq!(s.display_set(set), "[CC, SYMP]");
+        assert_eq!(s.all().len(), 3);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_width() {
+        assert!(matches!(
+            Schema::new(["A", "A"]),
+            Err(CoreError::DuplicateAttribute(_))
+        ));
+        let wide: Vec<String> = (0..65).map(|i| format!("A{i}")).collect();
+        assert!(matches!(Schema::new(wide), Err(CoreError::SchemaTooWide(65))));
+        let ok: Vec<String> = (0..64).map(|i| format!("A{i}")).collect();
+        assert!(Schema::new(ok).is_ok());
+    }
+
+    #[test]
+    fn set_operations() {
+        let x = AttrSet::from_attrs([a(0), a(2), a(5)]);
+        let y = AttrSet::from_attrs([a(2), a(3)]);
+        assert_eq!(x.len(), 3);
+        assert!(x.contains(a(2)));
+        assert!(!x.contains(a(1)));
+        assert_eq!(x.union(y).len(), 4);
+        assert_eq!(x.intersect(y), AttrSet::single(a(2)));
+        assert_eq!(x.minus(y), AttrSet::from_attrs([a(0), a(5)]));
+        assert!(AttrSet::single(a(2)).is_subset(x));
+        assert!(AttrSet::single(a(2)).is_proper_subset(x));
+        assert!(!x.is_proper_subset(x));
+        assert!(x.minus(y).is_disjoint(y));
+    }
+
+    #[test]
+    fn with_without_do_not_mutate() {
+        let x = AttrSet::single(a(1));
+        let y = x.with(a(3));
+        assert_eq!(x.len(), 1);
+        assert_eq!(y.len(), 2);
+        assert_eq!(y.without(a(3)), x);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_exact() {
+        let x = AttrSet::from_attrs([a(5), a(0), a(2)]);
+        let got: Vec<usize> = x.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 2, 5]);
+        assert_eq!(x.iter().len(), 3);
+    }
+
+    #[test]
+    fn first_and_single() {
+        assert_eq!(AttrSet::empty().first(), None);
+        assert_eq!(AttrSet::empty().as_single(), None);
+        assert_eq!(AttrSet::single(a(4)).as_single(), Some(a(4)));
+        let two = AttrSet::from_attrs([a(1), a(4)]);
+        assert_eq!(two.as_single(), None);
+        assert_eq!(two.first(), Some(a(1)));
+    }
+
+    #[test]
+    fn parents_enumerates_one_removals() {
+        let x = AttrSet::from_attrs([a(0), a(1), a(3)]);
+        let ps: Vec<(AttrId, AttrSet)> = x.parents().collect();
+        assert_eq!(ps.len(), 3);
+        for (removed, parent) in ps {
+            assert_eq!(parent.len(), 2);
+            assert!(!parent.contains(removed));
+            assert!(parent.is_proper_subset(x));
+        }
+    }
+
+    #[test]
+    fn all_width_edge_cases() {
+        assert_eq!(AttrSet::all(0), AttrSet::empty());
+        assert_eq!(AttrSet::all(64).len(), 64);
+        assert_eq!(AttrSet::all(15).len(), 15);
+    }
+
+    #[test]
+    fn from_iterator_and_bits_round_trip() {
+        let attrs = [a(1), a(3), a(7)];
+        let set: AttrSet = attrs.into_iter().collect();
+        assert_eq!(set.len(), 3);
+        assert_eq!(AttrSet::from_bits(set.bits()), set);
+        // Set algebra laws on a concrete triple.
+        let other = AttrSet::from_attrs([a(3), a(9)]);
+        assert_eq!(set.union(other).minus(other).intersect(set), set.minus(other));
+        assert_eq!(set.minus(set), AttrSet::empty());
+        assert!(set.intersect(other).is_subset(set));
+        assert!(set.intersect(other).is_subset(other));
+    }
+
+    #[test]
+    fn display_formats() {
+        let x = AttrSet::from_attrs([a(0), a(3)]);
+        assert_eq!(x.to_string(), "{A0,A3}");
+        assert_eq!(AttrSet::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,646 @@
+//! OFD verification over equivalence classes (Definition 2.1, §4.3).
+//!
+//! Unlike traditional FDs, OFDs cannot be verified pairwise: every
+//! equivalence class of the antecedent partition must have a *common*
+//! interpretation across all its consequent values (the Table 2
+//! counterexample: pairwise-common classes whose global intersection is
+//! empty). Verification scans the stripped partition once, maintaining a
+//! hash table of sense frequencies per class — linear in the number of
+//! tuples, as the paper's complexity analysis requires.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use ofd_ontology::{Ontology, SenseId};
+
+use crate::ofd::{Fd, Ofd, OfdKind};
+use crate::partition::StrippedPartition;
+use crate::relation::Relation;
+use crate::sense_index::SenseIndex;
+use crate::value::ValueId;
+
+/// The interpretation that covers (part of) an equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Witness {
+    /// A sense under which the covered values are synonyms.
+    Sense(SenseId),
+    /// Syntactic equality: the covered tuples all carry this literal value
+    /// (the FD fast path / Opt-4; also values unknown to the ontology).
+    Literal(ValueId),
+}
+
+/// Verification outcome for one (non-singleton) equivalence class.
+#[derive(Debug, Clone)]
+pub struct ClassOutcome {
+    /// Position of the class in the stripped partition.
+    pub class_index: usize,
+    /// Smallest tuple id in the class (its representative).
+    pub representative: u32,
+    /// Number of tuples in the class.
+    pub size: usize,
+    /// Maximum number of tuples consistent under a single interpretation.
+    pub covered: usize,
+    /// The interpretation achieving `covered`.
+    pub witness: Option<Witness>,
+}
+
+impl ClassOutcome {
+    /// Whether the whole class is consistent under one interpretation.
+    #[inline]
+    pub fn satisfied(&self) -> bool {
+        self.covered == self.size
+    }
+}
+
+/// Result of checking one OFD over a relation.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// The dependency checked.
+    pub ofd: Ofd,
+    /// Relation size (for support computation).
+    pub n_rows: usize,
+    /// Per-class outcomes over the stripped antecedent partition.
+    pub outcomes: Vec<ClassOutcome>,
+    /// Tuples consistent under the per-class best interpretations, counting
+    /// stripped-away singleton tuples as trivially consistent.
+    pub covered_tuples: usize,
+}
+
+impl Validation {
+    /// Whether the OFD holds exactly (`I ⊨ φ`).
+    pub fn satisfied(&self) -> bool {
+        self.outcomes.iter().all(ClassOutcome::satisfied)
+    }
+
+    /// Support `s(φ)`: the fraction of tuples in a maximum satisfying
+    /// sub-relation (used by κ-approximate discovery).
+    pub fn support(&self) -> f64 {
+        if self.n_rows == 0 {
+            1.0
+        } else {
+            self.covered_tuples as f64 / self.n_rows as f64
+        }
+    }
+
+    /// Classes violating the OFD.
+    pub fn violations(&self) -> impl Iterator<Item = &ClassOutcome> {
+        self.outcomes.iter().filter(|o| !o.satisfied())
+    }
+
+    /// Number of violating classes.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+}
+
+/// Verifies OFDs and FDs against one relation and ontology.
+///
+/// The synonym-mode [`SenseIndex`] is built eagerly; inheritance-mode
+/// indexes are built per `θ` on first use and cached.
+#[derive(Debug)]
+pub struct Validator<'a> {
+    rel: &'a Relation,
+    onto: &'a Ontology,
+    syn_index: SenseIndex,
+    inh_indexes: RefCell<HashMap<usize, SenseIndex>>,
+}
+
+impl<'a> Validator<'a> {
+    /// Creates a validator for `rel` against `onto`.
+    pub fn new(rel: &'a Relation, onto: &'a Ontology) -> Validator<'a> {
+        Validator {
+            rel,
+            onto,
+            syn_index: SenseIndex::synonym(rel, onto),
+            inh_indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a validator with a caller-supplied synonym index (used by the
+    /// cleaning algorithms to overlay candidate ontology repairs).
+    pub fn with_index(rel: &'a Relation, onto: &'a Ontology, index: SenseIndex) -> Validator<'a> {
+        Validator {
+            rel,
+            onto,
+            syn_index: index,
+            inh_indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The relation under validation.
+    pub fn relation(&self) -> &Relation {
+        self.rel
+    }
+
+    /// The synonym-mode sense index.
+    pub fn sense_index(&self) -> &SenseIndex {
+        &self.syn_index
+    }
+
+    /// Checks an OFD, computing the antecedent partition from scratch.
+    pub fn check(&self, ofd: &Ofd) -> Validation {
+        let sp = StrippedPartition::of(self.rel, ofd.lhs);
+        self.check_with_partition(ofd, &sp)
+    }
+
+    /// Checks an OFD against a precomputed stripped antecedent partition
+    /// (the discovery lattice reuses partition products).
+    pub fn check_with_partition(&self, ofd: &Ofd, partition: &StrippedPartition) -> Validation {
+        match ofd.kind {
+            OfdKind::Synonym => self.run(ofd, partition, &self.syn_index),
+            OfdKind::Inheritance { theta } => {
+                let mut cache = self.inh_indexes.borrow_mut();
+                let index = cache
+                    .entry(theta)
+                    .or_insert_with(|| SenseIndex::inheritance(self.rel, self.onto, theta));
+                self.run(ofd, partition, index)
+            }
+        }
+    }
+
+    /// Checks a plain FD (syntactic equality only) against a precomputed
+    /// partition.
+    pub fn check_fd_with_partition(&self, fd: &Fd, partition: &StrippedPartition) -> bool {
+        let col = self.rel.column(fd.rhs);
+        partition.classes().iter().all(|class| {
+            let first = col[class[0] as usize];
+            class.iter().all(|&t| col[t as usize] == first)
+        })
+    }
+
+    /// Checks a plain FD, computing the partition.
+    pub fn check_fd(&self, fd: &Fd) -> bool {
+        let sp = StrippedPartition::of(self.rel, fd.lhs);
+        self.check_fd_with_partition(fd, &sp)
+    }
+
+    fn run(&self, ofd: &Ofd, partition: &StrippedPartition, index: &SenseIndex) -> Validation {
+        check_ofd_with_index(self.rel, index, ofd, partition)
+    }
+}
+
+/// Checks an OFD against a caller-supplied [`SenseIndex`] and precomputed
+/// antecedent partition.
+///
+/// This is the thread-safe core of [`Validator::check_with_partition`]
+/// (`Relation` and `SenseIndex` are `Sync`), used by the parallel discovery
+/// path. The index's construction mode (synonym vs inheritance) determines
+/// the semantics; the `ofd.kind` field is not consulted.
+pub fn check_ofd_with_index(
+    rel: &Relation,
+    index: &SenseIndex,
+    ofd: &Ofd,
+    partition: &StrippedPartition,
+) -> Validation {
+    let col = rel.column(ofd.rhs);
+    let mut outcomes = Vec::with_capacity(partition.class_count());
+    let mut covered_total = rel.n_rows() - partition.tuple_count();
+    let mut value_counts: HashMap<ValueId, u32> = HashMap::new();
+    let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
+    for (class_index, class) in partition.classes().iter().enumerate() {
+        let outcome = class_outcome(
+            class_index,
+            class,
+            col,
+            index,
+            &mut value_counts,
+            &mut sense_counts,
+        );
+        covered_total += outcome.covered;
+        outcomes.push(outcome);
+    }
+    Validation {
+        ofd: *ofd,
+        n_rows: rel.n_rows(),
+        outcomes,
+        covered_tuples: covered_total,
+    }
+}
+
+/// Estimates an OFD's support from a uniform tuple sample — exploratory
+/// profiling for instances too large for exact verification. The estimate
+/// converges to [`Validation::support`] as `sample_size → n` (property
+/// tested); at `sample_size ≥ n` it is exact.
+pub fn estimate_support(
+    rel: &Relation,
+    index: &SenseIndex,
+    ofd: &Ofd,
+    sample_size: usize,
+    seed: u64,
+) -> f64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let n = rel.n_rows();
+    if n == 0 {
+        return 1.0;
+    }
+    if sample_size >= n {
+        let sp = StrippedPartition::of(rel, ofd.lhs);
+        return check_ofd_with_index(rel, index, ofd, &sp).support();
+    }
+    // Deterministic pseudo-random sample without replacement: rank rows by
+    // a seeded hash and keep the smallest `sample_size`.
+    let mut ranked: Vec<(u64, u32)> = (0..n as u32)
+        .map(|t| {
+            let mut h = DefaultHasher::new();
+            (seed, t).hash(&mut h);
+            (h.finish(), t)
+        })
+        .collect();
+    ranked.select_nth_unstable(sample_size - 1);
+    let mut rows: Vec<u32> = ranked[..sample_size].iter().map(|&(_, t)| t).collect();
+    rows.sort_unstable();
+
+    // Build the sampled sub-relation's antecedent partition directly.
+    let lhs: Vec<crate::schema::AttrId> = ofd.lhs.iter().collect();
+    let mut groups: HashMap<Vec<ValueId>, Vec<u32>> = HashMap::new();
+    for &t in &rows {
+        let key: Vec<ValueId> = lhs.iter().map(|&a| rel.value(t as usize, a)).collect();
+        groups.entry(key).or_default().push(t);
+    }
+    let col = rel.column(ofd.rhs);
+    let mut covered = 0usize;
+    let mut value_counts: HashMap<ValueId, u32> = HashMap::new();
+    let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
+    for class in groups.values() {
+        if class.len() < 2 {
+            covered += class.len();
+            continue;
+        }
+        let outcome = class_outcome(0, class, col, index, &mut value_counts, &mut sense_counts);
+        covered += outcome.covered;
+    }
+    covered as f64 / sample_size as f64
+}
+
+/// Exact-mode check with early exit: returns `false` at the *first*
+/// violating class, skipping the full [`Validation`] construction. This is
+/// the discovery hot path — the overwhelming majority of lattice candidates
+/// fail, usually in an early class.
+pub fn check_ofd_exact(
+    rel: &Relation,
+    index: &SenseIndex,
+    ofd: &Ofd,
+    partition: &StrippedPartition,
+) -> bool {
+    let col = rel.column(ofd.rhs);
+    let mut value_counts: HashMap<ValueId, u32> = HashMap::new();
+    let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
+    'class: for class in partition.classes() {
+        value_counts.clear();
+        for &t in class {
+            *value_counts.entry(col[t as usize]).or_insert(0) += 1;
+        }
+        if value_counts.len() == 1 {
+            continue; // FD fast path
+        }
+        // A satisfying sense must cover every tuple: count per sense and
+        // check whether any reaches the class size.
+        sense_counts.clear();
+        let size = class.len() as u32;
+        for (&v, &c) in value_counts.iter() {
+            let senses = index.senses(v);
+            if senses.is_empty() {
+                return false; // this value can never be covered
+            }
+            for &s in senses {
+                let entry = sense_counts.entry(s).or_insert(0);
+                *entry += c;
+                if *entry == size {
+                    continue 'class;
+                }
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Core per-class routine: the maximum number of tuples whose consequent
+/// values are consistent under a single interpretation, and that witness.
+fn class_outcome(
+    class_index: usize,
+    class: &[u32],
+    col: &[ValueId],
+    index: &SenseIndex,
+    value_counts: &mut HashMap<ValueId, u32>,
+    sense_counts: &mut HashMap<SenseId, u32>,
+) -> ClassOutcome {
+    value_counts.clear();
+    for &t in class {
+        *value_counts.entry(col[t as usize]).or_insert(0) += 1;
+    }
+    let size = class.len();
+    let representative = class[0];
+
+    // Opt-4 fast path: a single distinct consequent value means the class
+    // satisfies the traditional FD, hence the OFD, with no ontology lookups.
+    if value_counts.len() == 1 {
+        let (&v, _) = value_counts.iter().next().expect("one entry");
+        return ClassOutcome {
+            class_index,
+            representative,
+            size,
+            covered: size,
+            witness: Some(Witness::Literal(v)),
+        };
+    }
+
+    // Best literal cover: tuples sharing one exact value are consistent even
+    // if the ontology does not know the value.
+    let (&lit_value, &lit_count) = value_counts
+        .iter()
+        .max_by_key(|&(v, c)| (*c, std::cmp::Reverse(*v)))
+        .expect("non-empty class");
+
+    // Sense frequencies: a sense covers a tuple when it contains the tuple's
+    // value.
+    sense_counts.clear();
+    for (&v, &c) in value_counts.iter() {
+        for &s in index.senses(v) {
+            *sense_counts.entry(s).or_insert(0) += c;
+        }
+    }
+    let best_sense = sense_counts
+        .iter()
+        .max_by_key(|&(s, c)| (*c, std::cmp::Reverse(*s)))
+        .map(|(&s, &c)| (s, c));
+
+    let (covered, witness) = match best_sense {
+        Some((s, c)) if c >= lit_count => (c, Witness::Sense(s)),
+        _ => (lit_count, Witness::Literal(lit_value)),
+    };
+    ClassOutcome {
+        class_index,
+        representative,
+        size,
+        covered: covered as usize,
+        witness: Some(witness),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{table1, table1_updated};
+    use ofd_ontology::{samples, OntologyBuilder};
+
+    #[test]
+    fn f1_cc_to_ctry_fails_as_fd_but_holds_as_synonym_ofd() {
+        // Example 1.1 / 2.2.
+        let rel = table1();
+        let onto = samples::country_ontology();
+        let v = Validator::new(&rel, &onto);
+        let fd = Fd::new(
+            rel.schema().set(["CC"]).unwrap(),
+            rel.schema().attr("CTRY").unwrap(),
+        );
+        assert!(!v.check_fd(&fd), "USA/America/Bharat break the plain FD");
+        let ofd = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+        let val = v.check(&ofd);
+        assert!(val.satisfied(), "synonyms rescue the dependency");
+        assert_eq!(val.support(), 1.0);
+        assert_eq!(val.violation_count(), 0);
+    }
+
+    #[test]
+    fn f2_symp_diag_to_med_is_inheritance_not_synonym() {
+        // Example 1.1: tylenol is-a acetaminophen is-a analgesic, so the
+        // nausea class only resolves under inheritance semantics.
+        let rel = table1();
+        let onto = samples::medical_drug_ontology();
+        let v = Validator::new(&rel, &onto);
+        let syn = Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap();
+        let val = v.check(&syn);
+        assert!(!val.satisfied());
+        assert_eq!(val.violation_count(), 1, "only the nausea class violates");
+        let inh = Ofd::inheritance(syn.lhs, syn.rhs, 1);
+        assert!(v.check(&inh).satisfied(), "θ=1 resolves via analgesic");
+    }
+
+    #[test]
+    fn example_1_2_updates_break_the_headache_class() {
+        let rel = table1_updated();
+        let onto = samples::medical_drug_ontology();
+        let v = Validator::new(&rel, &onto);
+        let syn = Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap();
+        let val = v.check(&syn);
+        let headache = val
+            .violations()
+            .find(|o| o.representative == 7)
+            .expect("headache class violates");
+        assert_eq!(headache.size, 4);
+        // Best covers: FDA diltiazem {cartia, tiazac} or MoH {cartia, ASA}.
+        assert_eq!(headache.covered, 2);
+    }
+
+    #[test]
+    fn table2_pairwise_common_but_empty_intersection() {
+        // The defining example: every pair of Y-values shares a class, yet
+        // no single class covers all three, so the OFD fails.
+        let rel = Relation::from_rows(
+            ["X", "Y"],
+            [
+                &["u", "v"] as &[&str],
+                &["u", "w"],
+                &["u", "z"],
+            ],
+        )
+        .unwrap();
+        let mut b = OntologyBuilder::new();
+        b.concept("C").synonyms(["v", "z"]).build().unwrap();
+        b.concept("D").synonyms(["v", "w"]).build().unwrap();
+        b.concept("F").synonyms(["w", "z"]).build().unwrap();
+        b.concept("G").synonyms(["z"]).build().unwrap();
+        let onto = b.finish().unwrap();
+        // Pairwise: every pair has a common sense.
+        for (a, c) in [("v", "w"), ("v", "z"), ("w", "z")] {
+            assert!(!onto.common_sense([a, c]).is_empty(), "{a},{c}");
+        }
+        let v = Validator::new(&rel, &onto);
+        let ofd = Ofd::synonym_named(rel.schema(), &["X"], "Y").unwrap();
+        let val = v.check(&ofd);
+        assert!(!val.satisfied());
+        // Best sense covers exactly 2 of the 3 tuples.
+        assert_eq!(val.outcomes[0].covered, 2);
+        assert!((val.support() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_counts_singletons_as_satisfied() {
+        let rel = table1_updated();
+        let onto = samples::medical_drug_ontology();
+        let v = Validator::new(&rel, &onto);
+        let syn = Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap();
+        let val = v.check(&syn);
+        // Classes: joint-pain (3, NSAID ✓), nausea (3, best 2 — tylenol and
+        // acetaminophen share the acetaminophen sense but analgesic is only
+        // an is-a ancestor), chest-pain (singleton, stripped), headache
+        // (4, best 2).
+        assert_eq!(val.covered_tuples, 1 + 3 + 2 + 2);
+        assert!((val.support() - 8.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ontology_reduces_ofd_to_fd() {
+        let rel = table1();
+        let onto = ofd_ontology::Ontology::empty();
+        let v = Validator::new(&rel, &onto);
+        for lhs in [["CC"], ["SYMP"], ["TEST"]] {
+            for rhs in ["CTRY", "DIAG", "MED"] {
+                let ofd = Ofd::synonym_named(rel.schema(), &[lhs[0]], rhs).unwrap();
+                let fd = ofd.as_fd();
+                assert_eq!(
+                    v.check(&ofd).satisfied(),
+                    v.check_fd(&fd),
+                    "{}",
+                    ofd.display(rel.schema())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_ofd_always_holds() {
+        let rel = table1();
+        let onto = samples::medical_drug_ontology();
+        let v = Validator::new(&rel, &onto);
+        let schema = rel.schema();
+        let ofd = Ofd::synonym(
+            schema.set(["MED", "CC"]).unwrap(),
+            schema.attr("MED").unwrap(),
+        );
+        assert!(ofd.is_trivial());
+        assert!(v.check(&ofd).satisfied());
+    }
+
+    #[test]
+    fn superkey_antecedent_always_satisfied() {
+        // Opt-3: if X is a key, the stripped partition is empty and any
+        // X → A holds vacuously.
+        let rel = Relation::from_rows(
+            ["ID", "B"],
+            [&["1", "x"] as &[&str], &["2", "y"], &["3", "x"]],
+        )
+        .unwrap();
+        let onto = ofd_ontology::Ontology::empty();
+        let v = Validator::new(&rel, &onto);
+        let ofd = Ofd::synonym_named(rel.schema(), &["ID"], "B").unwrap();
+        let val = v.check(&ofd);
+        assert!(val.satisfied());
+        assert!(val.outcomes.is_empty(), "no non-singleton classes");
+        assert_eq!(val.support(), 1.0);
+    }
+
+    #[test]
+    fn witness_reports_the_covering_sense() {
+        let rel = table1();
+        let onto = samples::medical_drug_ontology();
+        let v = Validator::new(&rel, &onto);
+        let ofd = Ofd::synonym_named(rel.schema(), &["DIAG"], "MED").unwrap();
+        let val = v.check(&ofd);
+        let joint = val
+            .outcomes
+            .iter()
+            .find(|o| o.representative == 0)
+            .expect("osteoarthritis class");
+        match joint.witness {
+            Some(Witness::Sense(s)) => {
+                assert_eq!(onto.concept(s).unwrap().label(), "NSAID");
+            }
+            other => panic!("expected a sense witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampled_support_converges_to_exact() {
+        use crate::sense_index::SenseIndex;
+        use crate::validate::estimate_support;
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let index = SenseIndex::synonym(&rel, &onto);
+        let ofd = Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap();
+        let exact = Validator::new(&rel, &onto).check(&ofd).support();
+        // Full-sample estimate is exact.
+        assert!((estimate_support(&rel, &index, &ofd, rel.n_rows(), 1) - exact).abs() < 1e-12);
+        assert!(
+            (estimate_support(&rel, &index, &ofd, 10 * rel.n_rows(), 1) - exact).abs() < 1e-12
+        );
+        // Sub-samples stay in [0, 1] and are seed-deterministic.
+        for size in [2usize, 5, 8] {
+            let a = estimate_support(&rel, &index, &ofd, size, 7);
+            let b = estimate_support(&rel, &index, &ofd, size, 7);
+            assert_eq!(a, b);
+            assert!((0.0..=1.0).contains(&a));
+        }
+        // Empty relation edge case.
+        let empty = Relation::from_rows(["A", "B"], std::iter::empty::<&[&str]>()).unwrap();
+        let eidx = SenseIndex::synonym(&empty, &onto);
+        let eofd = Ofd::synonym_named(empty.schema(), &["A"], "B").unwrap();
+        assert_eq!(estimate_support(&empty, &eidx, &eofd, 5, 1), 1.0);
+    }
+
+    #[test]
+    fn sampled_support_is_statistically_close_on_larger_data() {
+        use crate::sense_index::SenseIndex;
+        use crate::validate::estimate_support;
+        // Build a 400-row relation with a known ~75% support dependency.
+        let mut b = crate::relation::Relation::builder(
+            crate::schema::Schema::new(["X", "Y"]).unwrap(),
+        );
+        for i in 0..400 {
+            let x = format!("x{}", i % 20);
+            let y = if i % 4 == 0 { "bad".to_owned() } else { format!("y{}", i % 20) };
+            b.push_row([x.as_str(), y.as_str()]).unwrap();
+        }
+        let rel = b.finish();
+        let onto = ofd_ontology::Ontology::empty();
+        let index = SenseIndex::synonym(&rel, &onto);
+        let ofd = Ofd::synonym_named(rel.schema(), &["X"], "Y").unwrap();
+        let exact = Validator::new(&rel, &onto).check(&ofd).support();
+        let est = estimate_support(&rel, &index, &ofd, 200, 3);
+        assert!(
+            (est - exact).abs() < 0.15,
+            "estimate {est} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn exact_early_exit_matches_full_validation() {
+        use crate::partition::StrippedPartition;
+        use crate::sense_index::SenseIndex;
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let index = SenseIndex::synonym(&rel, &onto);
+        let v = Validator::new(&rel, &onto);
+        let n = rel.schema().len();
+        for bits in 0..(1u64 << n) {
+            let lhs = crate::schema::AttrSet::from_bits(bits);
+            for a in rel.schema().attrs() {
+                if lhs.contains(a) {
+                    continue;
+                }
+                let ofd = Ofd::synonym(lhs, a);
+                let sp = StrippedPartition::of(&rel, lhs);
+                assert_eq!(
+                    crate::validate::check_ofd_exact(&rel, &index, &ofd, &sp),
+                    v.check_with_partition(&ofd, &sp).satisfied(),
+                    "{}",
+                    ofd.display(rel.schema())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fd_with_partition_matches_fd_check() {
+        let rel = table1();
+        let onto = ofd_ontology::Ontology::empty();
+        let v = Validator::new(&rel, &onto);
+        let lhs = rel.schema().set(["SYMP"]).unwrap();
+        let sp = StrippedPartition::of(&rel, lhs);
+        let fd = Fd::new(lhs, rel.schema().attr("DIAG").unwrap());
+        assert_eq!(v.check_fd(&fd), v.check_fd_with_partition(&fd, &sp));
+        assert!(v.check_fd(&fd), "SYMP -> DIAG holds in Table 1");
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal CSV serialization for [`Relation`]s (RFC-4180-style quoting).
+
+use ofd_core::{CoreError, Relation, Schema};
+
+/// Serializes a relation to CSV with a header row.
+pub fn write_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = rel
+        .schema()
+        .attrs()
+        .map(|a| quote(rel.schema().name(a)))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in 0..rel.n_rows() {
+        let cells: Vec<String> = rel.row_texts(row).iter().map(|c| quote(c)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV with a header row into a relation.
+pub fn read_csv(text: &str) -> Result<Relation, CoreError> {
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::MalformedDependency("empty csv".into()))?;
+    let names = split_row(header);
+    let schema = Schema::new(names.iter().map(String::as_str))?;
+    let mut b = Relation::builder(schema);
+    for line in lines {
+        let cells = split_row(line);
+        b.push_row(cells.iter().map(String::as_str))?;
+    }
+    Ok(b.finish())
+}
+
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+fn split_row(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::table1;
+
+    #[test]
+    fn round_trips_table1() {
+        let rel = table1();
+        let csv = write_csv(&rel);
+        let back = read_csv(&csv).unwrap();
+        assert_eq!(back.n_rows(), rel.n_rows());
+        assert_eq!(back.schema(), rel.schema());
+        for row in 0..rel.n_rows() {
+            assert_eq!(back.row_texts(row), rel.row_texts(row));
+        }
+    }
+
+    #[test]
+    fn quoting_handles_commas_and_quotes() {
+        let rel = Relation::from_rows(
+            ["A", "B"],
+            [&["hello, world", "say \"hi\""] as &[&str]],
+        )
+        .unwrap();
+        let csv = write_csv(&rel);
+        let back = read_csv(&csv).unwrap();
+        assert_eq!(back.text(0, back.schema().attr("A").unwrap()), "hello, world");
+        assert_eq!(back.text(0, back.schema().attr("B").unwrap()), "say \"hi\"");
+    }
+
+    mod properties {
+        use super::*;
+        use ofd_core::Schema;
+        use proptest::prelude::*;
+
+        /// Cells containing commas, quotes and unicode (no newlines — the
+        /// line-based reader documents that limitation) round-trip exactly.
+        #[test]
+        fn random_cells_round_trip() {
+            proptest!(ProptestConfig::with_cases(64), |(
+                rows in prop::collection::vec(
+                    prop::collection::vec("[ -~αβγ]{0,12}", 3),
+                    1..12,
+                ),
+            )| {
+                let mut b = Relation::builder(Schema::new(["A", "B", "C"]).unwrap());
+                for row in &rows {
+                    b.push_row(row.iter().map(String::as_str)).unwrap();
+                }
+                let rel = b.finish();
+                let back = read_csv(&write_csv(&rel)).unwrap();
+                prop_assert_eq!(back.n_rows(), rel.n_rows());
+                for r in 0..rel.n_rows() {
+                    prop_assert_eq!(back.row_texts(r), rel.row_texts(r));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn csv_parser_is_total() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(128), |(input in ".{0,300}")| {
+            // Never panics: structured error or a relation that re-serializes.
+            if let Ok(rel) = read_csv(&input) {
+                let _ = write_csv(&rel);
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_empty_input_and_ragged_rows() {
+        assert!(read_csv("").is_err());
+        assert!(read_csv("A,B\nonly-one\n").is_err());
+    }
+}

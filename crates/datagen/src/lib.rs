@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # ofd-datagen
+//!
+//! Synthetic datasets, ontologies and corruption for the experimental
+//! harness — the substitute for the paper's Clinical (LinkedCT) and Kiva
+//! datasets and their medical/WordNet ontologies (DESIGN.md, substitutions
+//! 1–2):
+//!
+//! * [`synth`] — the generic engine: key / driver / dependent attribute
+//!   roles, multi-sense entity catalogs, planted OFDs, seeded error
+//!   injection (`err%`) and ontology degradation (`inc%`), all with
+//!   retained ground truth;
+//! * [`presets`] — the `clinical` and `kiva` 15-attribute schemas used by
+//!   every experiment;
+//! * [`csv`] — CSV import/export for relations.
+
+pub mod csv;
+pub mod presets;
+pub mod synth;
+pub mod vocab;
+
+pub use presets::{census, clinical, kiva, PresetConfig};
+pub use vocab::{demo_dataset, world_ontology};
+pub use synth::{generate, AttrRole, Dataset, InjectedError, SynthSpec};

@@ -1,0 +1,817 @@
+//! The generic synthetic-dataset engine: schemas with key / driver /
+//! dependent attributes, multi-sense entity catalogs, planted OFDs, error
+//! injection and ontology degradation.
+//!
+//! This substitutes for the paper's Clinical (LinkedCT) and Kiva datasets
+//! (see DESIGN.md): it reproduces the *properties* the algorithms are
+//! sensitive to — planted OFDs whose consequents vary across synonyms,
+//! configurable sense ambiguity |λ|, ≥90% ontology coverage of consequent
+//! domains, seeded error injection into consequents, and ontology
+//! incompleteness with retained ground truth.
+
+use std::collections::HashMap;
+
+use ofd_core::{AttrId, Ofd, Relation, Schema, ValueId};
+use ofd_ontology::{Ontology, OntologyBuilder, SenseId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Role of one attribute in the generated schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrRole {
+    /// Unique per row (e.g. `NCTID`).
+    Key,
+    /// Independent categorical attribute with the given domain size.
+    Driver {
+        /// Number of distinct values.
+        domain: usize,
+    },
+    /// Functionally determined by the named driver attributes through an
+    /// entity catalog: the cell value is a synonym of the entity's concept
+    /// under the class's true sense.
+    Dependent {
+        /// Names of determining attributes.
+        determinants: Vec<String>,
+        /// Number of distinct entities in this attribute's catalog.
+        entities: usize,
+        /// Senses per entity (the paper's |λ|).
+        senses: usize,
+        /// Synonyms per sense (beyond the shared, ambiguous one).
+        synonyms: usize,
+    },
+}
+
+/// Declarative description of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// `(attribute name, role)` pairs, in schema order.
+    pub attrs: Vec<(String, AttrRole)>,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+    /// Extra non-minimal OFDs (augmented antecedents) appended to Σ to
+    /// reach a target |Σ| — they hold by construction (Exp-12 sweeps |Σ|).
+    pub extra_ofds: usize,
+    /// Probability that a sense's non-shared value is also inserted into
+    /// each *other* sense of the same entity — the cross-interpretation
+    /// ambiguity (drugs with the same name under different standards) that
+    /// makes sense selection hard; precision declines with |λ| because the
+    /// number of competing senses per value grows (Exp-6).
+    pub ambiguity: f64,
+    /// Entities per is-a *family*: with `family_size > 1`, each dependent
+    /// attribute's concepts sit under family mid-nodes (root → family →
+    /// entity), so entities of one family share an ancestor within θ = 2.
+    /// `0` or `1` keeps the flat shape.
+    pub family_size: usize,
+    /// Probability that a generated cell is drawn from a *sibling* entity
+    /// of the same family instead of the class's own entity — violating the
+    /// synonym OFD while preserving the inheritance OFD at θ = 2 (the
+    /// paper's tylenol-is-an-analgesic pattern).
+    pub family_mix: f64,
+}
+
+/// One injected error (data-repair ground truth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedError {
+    /// Row of the corrupted cell.
+    pub row: usize,
+    /// Attribute of the corrupted cell.
+    pub attr: AttrId,
+    /// The clean value.
+    pub original: String,
+    /// The injected dirty value.
+    pub corrupted: String,
+}
+
+/// A generated dataset with full ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The (possibly corrupted) working relation.
+    pub relation: Relation,
+    /// The pristine relation (repair ground truth).
+    pub clean: Relation,
+    /// The (possibly degraded) working ontology.
+    pub ontology: Ontology,
+    /// The full ontology before degradation (ontology-repair ground truth).
+    pub full_ontology: Ontology,
+    /// Planted OFDs Σ; all hold on (`clean`, `full_ontology`).
+    pub ofds: Vec<Ofd>,
+    /// True sense per (OFD index, antecedent-value signature).
+    pub truth_senses: HashMap<(usize, Vec<ValueId>), SenseId>,
+    /// Errors injected so far.
+    pub injected: Vec<InjectedError>,
+    /// `(sense, value)` pairs removed by ontology degradation.
+    pub removed_values: Vec<(SenseId, String)>,
+}
+
+impl Dataset {
+    /// Injects errors into the consequents of the planted OFDs at the given
+    /// rate (fraction of rows), per the paper's protocol: half the errors
+    /// introduce fresh out-of-domain values, half swap in another existing
+    /// domain value.
+    pub fn inject_errors(&mut self, rate: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE44);
+        let n = self.relation.n_rows();
+        let count = ((n as f64) * rate).round() as usize;
+        // Inject into cells participating in non-singleton classes: errors
+        // in singleton classes violate nothing and would silently deflate
+        // the effective error rate (the paper's datasets are large enough
+        // that classes are never degenerate).
+        let mut eligible: Vec<(usize, AttrId)> = Vec::new();
+        {
+            use ofd_core::StrippedPartition;
+            let mut seen: std::collections::HashSet<(usize, AttrId)> =
+                std::collections::HashSet::new();
+            for ofd in &self.ofds {
+                let sp = StrippedPartition::of(&self.relation, ofd.lhs);
+                for class in sp.classes() {
+                    for &t in class {
+                        if seen.insert((t as usize, ofd.rhs)) {
+                            eligible.push((t as usize, ofd.rhs));
+                        }
+                    }
+                }
+            }
+            eligible.sort_unstable();
+        }
+        if eligible.is_empty() {
+            return;
+        }
+        let mut fresh = 0usize;
+        let mut corrupted_cells: std::collections::HashSet<(usize, AttrId)> = self
+            .injected
+            .iter()
+            .map(|e| (e.row, e.attr))
+            .collect();
+        for k in 0..count {
+            let (row, attr) = eligible[rng.random_range(0..eligible.len())];
+            if corrupted_cells.contains(&(row, attr)) {
+                continue; // one error per cell keeps ground truth exact
+            }
+            let original = self.relation.text(row, attr).to_owned();
+            let corrupted = if k % 2 == 0 {
+                fresh += 1;
+                format!("err_{}_{fresh}", self.relation.schema().name(attr))
+            } else {
+                // Swap in a different existing value of the same column —
+                // skipping synonyms of the original, which would not be
+                // semantic errors at all.
+                let other_row = rng.random_range(0..n);
+                let v = self.relation.text(other_row, attr).to_owned();
+                if v == original
+                    || !self.full_ontology.common_sense([v.as_str(), original.as_str()]).is_empty()
+                {
+                    continue;
+                }
+                v
+            };
+            self.relation
+                .set(row, attr, &corrupted)
+                .expect("in-bounds injection");
+            corrupted_cells.insert((row, attr));
+            self.injected.push(InjectedError {
+                row,
+                attr,
+                original,
+                corrupted,
+            });
+        }
+    }
+
+    /// The injected errors that are *detectable*: errors whose row lies in
+    /// a non-singleton equivalence class of some OFD with that consequent.
+    /// Errors in singleton classes violate nothing and are information-
+    /// theoretically unrepairable by constraint-based cleaning, so recall
+    /// is fairly measured against this subset.
+    pub fn detectable_errors(&self) -> Vec<InjectedError> {
+        use ofd_core::StrippedPartition;
+        use std::collections::HashSet;
+        let mut covered: HashSet<(usize, AttrId)> = HashSet::new();
+        for ofd in &self.ofds {
+            let sp = StrippedPartition::of(&self.relation, ofd.lhs);
+            for class in sp.classes() {
+                for &t in class {
+                    covered.insert((t as usize, ofd.rhs));
+                }
+            }
+        }
+        self.injected
+            .iter()
+            .filter(|e| covered.contains(&(e.row, e.attr)))
+            .cloned()
+            .collect()
+    }
+
+    /// Removes `rate` of the ontology's data-covering values (the paper's
+    /// `inc%`): the values stay in the data, so they become ontology-repair
+    /// candidates. Shared (multi-sense) values are kept so the degradation
+    /// hits identifiable ground truth.
+    pub fn degrade_ontology(&mut self, rate: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x17C);
+        let mut removals: Vec<(SenseId, String)> = Vec::new();
+        for c in self.full_ontology.concepts() {
+            for v in c.synonyms() {
+                // Only single-sense values are removable: dropping one
+                // occurrence of a shared value would change its sense set
+                // rather than orphan it.
+                if self.full_ontology.names(v).len() == 1 && rng.random_bool(rate) {
+                    removals.push((c.id(), v.clone()));
+                }
+            }
+        }
+        // Rebuild the working ontology without the removed values.
+        let removed_lookup: HashMap<&str, SenseId> = removals
+            .iter()
+            .map(|(s, v)| (v.as_str(), *s))
+            .collect();
+        let mut b = OntologyBuilder::new();
+        for label in self.full_ontology.interpretation_labels() {
+            b.interpretation(label);
+        }
+        for c in self.full_ontology.concepts() {
+            let keep: Vec<&str> = c
+                .synonyms()
+                .iter()
+                .map(String::as_str)
+                .filter(|v| removed_lookup.get(v) != Some(&c.id()))
+                .collect();
+            let mut cb = b
+                .concept(c.label())
+                .synonyms(keep)
+                .interpretations(c.interpretations().iter().copied());
+            if let Some(p) = c.parent() {
+                cb = cb.parent(p);
+            }
+            cb.build().expect("degraded concept");
+        }
+        self.ontology = b.finish().expect("degraded ontology");
+        self.removed_values = removals;
+    }
+}
+
+/// Generates a dataset from a spec.
+pub fn generate(spec: &SynthSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let names: Vec<&str> = spec.attrs.iter().map(|(n, _)| n.as_str()).collect();
+    let schema = Schema::new(names.iter().copied()).expect("valid synthetic schema");
+
+    // Build the ontology: one catalog per dependent attribute.
+    let mut ob = OntologyBuilder::new();
+    let max_senses = spec
+        .attrs
+        .iter()
+        .filter_map(|(_, r)| match r {
+            AttrRole::Dependent { senses, .. } => Some(*senses),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1);
+    let interps: Vec<_> = (0..max_senses)
+        .map(|j| ob.interpretation(format!("STD{j}")))
+        .collect();
+
+    // catalog[attr index] = per-entity vector of (sense id, synonym values).
+    type EntityCatalog = Vec<Vec<(SenseId, Vec<String>)>>;
+    let mut catalogs: HashMap<usize, EntityCatalog> = HashMap::new();
+    for (ai, (name, role)) in spec.attrs.iter().enumerate() {
+        let AttrRole::Dependent {
+            entities,
+            senses,
+            synonyms,
+            ..
+        } = role
+        else {
+            continue;
+        };
+        let root = ob
+            .concept(format!("{name} domain"))
+            .build()
+            .expect("domain root");
+        let family_size = spec.family_size.max(1);
+        let n_families = entities.div_ceil(family_size);
+        let families: Vec<ofd_ontology::SenseId> = (0..n_families)
+            .map(|f| {
+                if family_size > 1 {
+                    ob.concept(format!("{name} family {f}"))
+                        .parent(root)
+                        .build()
+                        .expect("family node")
+                } else {
+                    root
+                }
+            })
+            .collect();
+        // First pass: each entity's per-sense value lists — the shared
+        // (entity-canonical) value plus sense-unique synonyms.
+        let mut value_lists: Vec<Vec<Vec<String>>> = Vec::with_capacity(*entities);
+        for e in 0..*entities {
+            let shared = format!("{name}_e{e}");
+            let mut per_sense = Vec::with_capacity(*senses);
+            for j in 0..*senses {
+                let mut values = vec![shared.clone()];
+                for k in 0..*synonyms {
+                    values.push(format!("{name}_e{e}_s{j}_{k}"));
+                }
+                per_sense.push(values);
+            }
+            value_lists.push(per_sense);
+        }
+        // Second pass: cross-interpretation ambiguity — a non-shared value
+        // may also name the entity under other standards, so it joins each
+        // other sense with probability `ambiguity` (more senses ⇒ more
+        // competitors per value ⇒ harder sense selection, Exp-6).
+        if spec.ambiguity > 0.0 && *senses > 1 {
+            for entity in value_lists.iter_mut() {
+                for j in 0..*senses {
+                    for k in 0..*synonyms {
+                        let value = entity[j][k + 1].clone();
+                        for (j2, target) in entity.iter_mut().enumerate() {
+                            if j2 != j
+                                && rng.random_bool(spec.ambiguity)
+                                && !target.contains(&value)
+                            {
+                                target.push(value.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut entity_senses = Vec::with_capacity(*entities);
+        for (e, per_sense_values) in value_lists.into_iter().enumerate() {
+            let parent = families[e / family_size];
+            let mut per_sense = Vec::with_capacity(*senses);
+            for (j, values) in per_sense_values.into_iter().enumerate() {
+                let sid = ob
+                    .concept(format!("{name} entity {e} sense {j}"))
+                    .parent(parent)
+                    .synonyms(values.iter().map(String::as_str))
+                    .interpretations([interps[j]])
+                    .build()
+                    .expect("entity concept");
+                per_sense.push((sid, values));
+            }
+            entity_senses.push(per_sense);
+        }
+        catalogs.insert(ai, entity_senses);
+    }
+    let full_ontology = ob.finish().expect("synthetic ontology");
+
+    // Generate columns in schema order; dependents may reference any earlier
+    // or later driver (drivers are generated first in a prepass).
+    let n = spec.n_rows;
+    let mut columns: Vec<Vec<String>> = vec![Vec::new(); spec.attrs.len()];
+    for (ai, (name, role)) in spec.attrs.iter().enumerate() {
+        match role {
+            AttrRole::Key => {
+                columns[ai] = (0..n).map(|r| format!("{name}_{r}")).collect();
+            }
+            AttrRole::Driver { domain } => {
+                columns[ai] = (0..n)
+                    .map(|_| format!("{name}_v{}", rng.random_range(0..*domain)))
+                    .collect();
+            }
+            AttrRole::Dependent { .. } => {} // second pass
+        }
+    }
+
+    let mut ofds: Vec<Ofd> = Vec::new();
+    let mut planted: Vec<(usize, Vec<usize>, usize)> = Vec::new(); // (ofd idx, lhs col idxs, rhs col idx)
+    // truth sense per (ofd index, lhs string signature); translated to
+    // ValueIds after the relation is materialized.
+    let mut truth_raw: HashMap<(usize, Vec<String>), SenseId> = HashMap::new();
+
+    for (ai, (_name, role)) in spec.attrs.iter().enumerate() {
+        let AttrRole::Dependent {
+            determinants,
+            entities,
+            senses,
+            ..
+        } = role
+        else {
+            continue;
+        };
+        let det_idx: Vec<usize> = determinants
+            .iter()
+            .map(|d| {
+                names
+                    .iter()
+                    .position(|n| n == d)
+                    .unwrap_or_else(|| panic!("unknown determinant {d}"))
+            })
+            .collect();
+        for &d in &det_idx {
+            assert!(
+                !matches!(spec.attrs[d].1, AttrRole::Dependent { .. }),
+                "determinants must be keys or drivers"
+            );
+        }
+        let ofd_idx = ofds.len();
+        let lhs = ofd_core::AttrSet::from_attrs(det_idx.iter().map(|&i| AttrId::from_index(i)));
+        // Family mixing draws sibling-entity values: consistent only under
+        // inheritance (shared family ancestor at distance ≤ 2), so the
+        // planted dependency switches kind accordingly.
+        let planted_ofd = if spec.family_size > 1 && spec.family_mix > 0.0 {
+            Ofd::inheritance(lhs, AttrId::from_index(ai), 2)
+        } else {
+            Ofd::synonym(lhs, AttrId::from_index(ai))
+        };
+        ofds.push(planted_ofd);
+        planted.push((ofd_idx, det_idx.clone(), ai));
+
+        // Assign (entity, true sense) per distinct lhs combination, then
+        // draw each cell from the true sense's synonym list.
+        let mut class_map: HashMap<Vec<String>, (usize, usize)> = HashMap::new();
+        let catalog = &catalogs[&ai];
+        let mut col = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // r indexes several parallel columns
+        for r in 0..n {
+            let key: Vec<String> = det_idx.iter().map(|&d| columns[d][r].clone()).collect();
+            let (e, j) = *class_map.entry(key.clone()).or_insert_with(|| {
+                (rng.random_range(0..*entities), rng.random_range(0..*senses))
+            });
+            let (sid, _) = &catalog[e][j];
+            truth_raw.entry((ofd_idx, key)).or_insert(*sid);
+            // Optionally draw from a sibling entity of the same family —
+            // consistent under inheritance (shared family ancestor) but not
+            // under synonym semantics.
+            let family_size = spec.family_size.max(1);
+            let source_e = if family_size > 1 && rng.random_bool(spec.family_mix) {
+                let family = e / family_size;
+                let start = family * family_size;
+                let end = (start + family_size).min(*entities);
+                rng.random_range(start..end)
+            } else {
+                e
+            };
+            let (_, values) = &catalog[source_e][j.min(catalog[source_e].len() - 1)];
+            col.push(values[rng.random_range(0..values.len())].clone());
+        }
+        columns[ai] = col;
+    }
+
+    // Extra (augmented, non-minimal) OFDs to reach a target |Σ|.
+    // Augmentation pool: drivers and keys (adding either to a valid
+    // antecedent keeps the OFD valid).
+    let driver_attrs: Vec<usize> = spec
+        .attrs
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, r))| matches!(r, AttrRole::Driver { .. } | AttrRole::Key))
+        .map(|(i, _)| i)
+        .collect();
+    let mut added = 0usize;
+    'outer: for width in 1..=driver_attrs.len() {
+        for (_, base_lhs, rhs) in &planted {
+            for combo_start in 0..driver_attrs.len() {
+                if added >= spec.extra_ofds {
+                    break 'outer;
+                }
+                let mut lhs = ofd_core::AttrSet::from_attrs(
+                    base_lhs.iter().map(|&i| AttrId::from_index(i)),
+                );
+                for w in 0..width {
+                    let extra = driver_attrs[(combo_start + w) % driver_attrs.len()];
+                    lhs.insert(AttrId::from_index(extra));
+                }
+                let kind = ofds[0].kind;
+                let ofd = Ofd { lhs, rhs: AttrId::from_index(*rhs), kind };
+                if !ofds.contains(&ofd) {
+                    ofds.push(ofd);
+                    added += 1;
+                }
+            }
+        }
+        if planted.is_empty() || driver_attrs.is_empty() {
+            break;
+        }
+    }
+
+    // Materialize the relation.
+    let mut b = Relation::builder(schema);
+    let mut row_buf: Vec<&str> = Vec::with_capacity(spec.attrs.len());
+    for r in 0..n {
+        row_buf.clear();
+        row_buf.extend(columns.iter().map(|col| col[r].as_str()));
+        b.push_row(row_buf.iter().copied()).expect("generated row");
+    }
+    let relation = b.finish();
+
+    // Translate the truth keys to ValueIds.
+    let mut truth_senses = HashMap::new();
+    for ((ofd_idx, key), sid) in truth_raw {
+        let ids: Vec<ValueId> = key
+            .iter()
+            .map(|v| relation.pool().get(v).expect("lhs value interned"))
+            .collect();
+        truth_senses.insert((ofd_idx, ids), sid);
+    }
+
+    Dataset {
+        clean: relation.clone(),
+        relation,
+        ontology: full_ontology.clone(),
+        full_ontology,
+        ofds,
+        truth_senses,
+        injected: Vec::new(),
+        removed_values: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::Validator;
+
+    fn small_spec() -> SynthSpec {
+        SynthSpec {
+            attrs: vec![
+                ("ID".into(), AttrRole::Key),
+                ("CC".into(), AttrRole::Driver { domain: 12 }),
+                ("GRP".into(), AttrRole::Driver { domain: 6 }),
+                (
+                    "CTRY".into(),
+                    AttrRole::Dependent {
+                        determinants: vec!["CC".into()],
+                        entities: 12,
+                        senses: 2,
+                        synonyms: 2,
+                    },
+                ),
+                (
+                    "MED".into(),
+                    AttrRole::Dependent {
+                        determinants: vec!["CC".into(), "GRP".into()],
+                        entities: 20,
+                        senses: 3,
+                        synonyms: 2,
+                    },
+                ),
+            ],
+            n_rows: 300,
+            seed: 7,
+            extra_ofds: 0,
+            ambiguity: 0.3,
+            family_size: 1,
+            family_mix: 0.0,
+        }
+    }
+
+    #[test]
+    fn planted_ofds_hold_on_clean_data() {
+        let ds = generate(&small_spec());
+        let v = Validator::new(&ds.clean, &ds.full_ontology);
+        for ofd in &ds.ofds {
+            assert!(
+                v.check(ofd).satisfied(),
+                "{} violated on clean data",
+                ofd.display(ds.clean.schema())
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        assert_eq!(a.clean.cell_distance(&b.clean).unwrap(), 0);
+        assert_eq!(a.ofds, b.ofds);
+    }
+
+    #[test]
+    fn plain_fds_are_broken_by_synonym_variation() {
+        // The whole point: CC -> CTRY holds as OFD but not as FD.
+        let ds = generate(&small_spec());
+        let v = Validator::new(&ds.clean, &ds.full_ontology);
+        let broken = ds
+            .ofds
+            .iter()
+            .filter(|o| !v.check_fd(&o.as_fd()))
+            .count();
+        assert!(broken > 0, "synonym variation should break plain FDs");
+    }
+
+    #[test]
+    fn error_injection_records_ground_truth() {
+        let mut ds = generate(&small_spec());
+        ds.inject_errors(0.10, 1);
+        assert!(!ds.injected.is_empty());
+        let dist = ds.relation.cell_distance(&ds.clean).unwrap();
+        assert!(dist > 0 && dist <= ds.injected.len());
+        for e in &ds.injected {
+            assert_eq!(ds.relation.text(e.row, e.attr), e.corrupted);
+        }
+        // At this error rate some OFD must now be violated.
+        let v = Validator::new(&ds.relation, &ds.ontology);
+        assert!(ds.ofds.iter().any(|o| !v.check(o).satisfied()));
+    }
+
+    #[test]
+    fn degradation_removes_values_but_keeps_them_in_data() {
+        let mut ds = generate(&small_spec());
+        ds.degrade_ontology(0.2, 2);
+        assert!(!ds.removed_values.is_empty());
+        for (sense, value) in &ds.removed_values {
+            assert!(!ds.ontology.contains_value(value), "{value} still present");
+            assert!(ds.full_ontology.contains_value(value));
+            assert!(ds
+                .full_ontology
+                .concept(*sense)
+                .unwrap()
+                .has_synonym(value));
+        }
+        // The degraded ontology keeps the same concept count.
+        assert_eq!(ds.ontology.len(), ds.full_ontology.len());
+    }
+
+    #[test]
+    fn extra_ofds_hold_and_share_consequents() {
+        let mut spec = small_spec();
+        spec.extra_ofds = 3;
+        let ds = generate(&spec);
+        assert!(ds.ofds.len() >= 4);
+        let v = Validator::new(&ds.clean, &ds.full_ontology);
+        for ofd in &ds.ofds {
+            assert!(v.check(ofd).satisfied());
+        }
+    }
+
+    #[test]
+    fn family_mixing_plants_inheritance_ofds() {
+        let spec = SynthSpec {
+            attrs: vec![
+                ("K".into(), AttrRole::Key),
+                ("D".into(), AttrRole::Driver { domain: 8 }),
+                (
+                    "R".into(),
+                    AttrRole::Dependent {
+                        determinants: vec!["D".into()],
+                        entities: 12,
+                        senses: 2,
+                        synonyms: 2,
+                    },
+                ),
+            ],
+            n_rows: 300,
+            seed: 31,
+            extra_ofds: 0,
+            ambiguity: 0.2,
+            family_size: 3,
+            family_mix: 0.4,
+        };
+        let ds = generate(&spec);
+        assert_eq!(ds.ofds.len(), 1);
+        let planted = ds.ofds[0];
+        assert!(matches!(
+            planted.kind,
+            ofd_core::OfdKind::Inheritance { theta: 2 }
+        ));
+        let v = Validator::new(&ds.clean, &ds.full_ontology);
+        assert!(v.check(&planted).satisfied(), "inheritance reading holds");
+        // The synonym reading is genuinely broken by the sibling draws.
+        let syn = Ofd::synonym(planted.lhs, planted.rhs);
+        assert!(!v.check(&syn).satisfied(), "synonym reading must fail");
+        // The family layer is visible in the ontology: entity concepts sit
+        // at depth 2.
+        let some_entity = ds
+            .full_ontology
+            .names(ds.clean.text(0, planted.rhs))
+            .first()
+            .copied()
+            .expect("value known");
+        assert_eq!(ds.full_ontology.depth(some_entity).unwrap(), 2);
+    }
+
+    mod properties {
+        use super::*;
+        use ofd_core::Validator;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Every randomly-configured spec yields a dataset whose
+            /// planted OFDs hold and whose ontology covers the dependents.
+            #[test]
+            fn random_specs_generate_valid_datasets(
+                n_rows in 20usize..200,
+                seed in 0u64..1000,
+                senses in 1usize..5,
+                synonyms in 1usize..4,
+                entities in 2usize..20,
+                domain in 2usize..15,
+                ambiguity in 0.0f64..0.8,
+            ) {
+                let spec = SynthSpec {
+                    attrs: vec![
+                        ("K".into(), AttrRole::Key),
+                        ("D1".into(), AttrRole::Driver { domain }),
+                        ("D2".into(), AttrRole::Driver { domain: domain + 1 }),
+                        (
+                            "R1".into(),
+                            AttrRole::Dependent {
+                                determinants: vec!["D1".into()],
+                                entities,
+                                senses,
+                                synonyms,
+                            },
+                        ),
+                        (
+                            "R2".into(),
+                            AttrRole::Dependent {
+                                determinants: vec!["D1".into(), "D2".into()],
+                                entities,
+                                senses,
+                                synonyms,
+                            },
+                        ),
+                    ],
+                    n_rows,
+                    seed,
+                    extra_ofds: 1,
+                    ambiguity,
+                    family_size: 1,
+                    family_mix: 0.0,
+                };
+                let ds = generate(&spec);
+                prop_assert_eq!(ds.clean.n_rows(), n_rows);
+                let v = Validator::new(&ds.clean, &ds.full_ontology);
+                for ofd in &ds.ofds {
+                    prop_assert!(
+                        v.check(ofd).satisfied(),
+                        "{} violated",
+                        ofd.display(ds.clean.schema())
+                    );
+                }
+            }
+
+            /// Injection + degradation keep their ground-truth invariants at
+            /// any rate.
+            #[test]
+            fn corruption_invariants(rate in 0.0f64..0.4, seed in 0u64..500) {
+                let spec = SynthSpec {
+                    attrs: vec![
+                        ("K".into(), AttrRole::Key),
+                        ("D".into(), AttrRole::Driver { domain: 6 }),
+                        (
+                            "R".into(),
+                            AttrRole::Dependent {
+                                determinants: vec!["D".into()],
+                                entities: 8,
+                                senses: 3,
+                                synonyms: 2,
+                            },
+                        ),
+                    ],
+                    n_rows: 120,
+                    seed,
+                    extra_ofds: 0,
+                    ambiguity: 0.3,
+                    family_size: 1,
+                    family_mix: 0.0,
+                };
+                let mut ds = generate(&spec);
+                ds.inject_errors(rate, seed);
+                for e in &ds.injected {
+                    prop_assert_eq!(ds.relation.text(e.row, e.attr), e.corrupted.as_str());
+                    prop_assert_eq!(ds.clean.text(e.row, e.attr), e.original.as_str());
+                    prop_assert_ne!(&e.original, &e.corrupted);
+                }
+                ds.degrade_ontology(rate, seed);
+                for (sense, value) in &ds.removed_values {
+                    prop_assert!(!ds.ontology.contains_value(value));
+                    prop_assert!(ds
+                        .full_ontology
+                        .concept(*sense)
+                        .unwrap()
+                        .has_synonym(value));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_senses_cover_every_class() {
+        let ds = generate(&small_spec());
+        // Every (ofd, lhs combination) appearing in the data has a recorded
+        // true sense.
+        for (idx, ofd) in ds.ofds.iter().enumerate() {
+            if idx >= 2 {
+                break; // only the planted (non-extra) ones are recorded
+            }
+            for row in 0..ds.clean.n_rows() {
+                let key: Vec<ValueId> = ofd
+                    .lhs
+                    .iter()
+                    .map(|a| ds.clean.value(row, a))
+                    .collect();
+                assert!(
+                    ds.truth_senses.contains_key(&(idx, key)),
+                    "missing truth for row {row}"
+                );
+            }
+        }
+    }
+}

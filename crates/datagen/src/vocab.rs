@@ -1,0 +1,270 @@
+//! A small real-world vocabulary — ISO country codes, country-name
+//! variants, currencies, and drug generic/brand names — backing the `demo`
+//! dataset: the same planted-OFD machinery as [`crate::synth`], but with
+//! cells that read like the paper's clinical-trials examples instead of
+//! `CTRY_e7_s2_1` tokens.
+
+use std::collections::HashMap;
+
+use ofd_core::{Ofd, Relation, Schema, ValueId};
+use ofd_ontology::{Ontology, OntologyBuilder, SenseId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::synth::Dataset;
+
+/// `(iso2, iso3, name, alternate name, currency code, currency name)`.
+pub const COUNTRIES: &[(&str, &str, &str, &str, &str, &str)] = &[
+    ("US", "USA", "United States", "America", "USD", "US Dollar"),
+    ("IN", "IND", "India", "Bharat", "INR", "Indian Rupee"),
+    ("CA", "CAN", "Canada", "Dominion of Canada", "CAD", "Canadian Dollar"),
+    ("DE", "DEU", "Germany", "Deutschland", "EUR", "Euro"),
+    ("FR", "FRA", "France", "République française", "EUR", "Euro"),
+    ("JP", "JPN", "Japan", "Nippon", "JPY", "Japanese Yen"),
+    ("CN", "CHN", "China", "Zhongguo", "CNY", "Renminbi"),
+    ("BR", "BRA", "Brazil", "Brasil", "BRL", "Brazilian Real"),
+    ("GB", "GBR", "United Kingdom", "Great Britain", "GBP", "Pound Sterling"),
+    ("AU", "AUS", "Australia", "Commonwealth of Australia", "AUD", "Australian Dollar"),
+    ("MX", "MEX", "Mexico", "Estados Unidos Mexicanos", "MXN", "Mexican Peso"),
+    ("KR", "KOR", "South Korea", "Republic of Korea", "KRW", "South Korean Won"),
+    ("NL", "NLD", "Netherlands", "Holland", "EUR", "Euro"),
+    ("CH", "CHE", "Switzerland", "Helvetia", "CHF", "Swiss Franc"),
+    ("ES", "ESP", "Spain", "España", "EUR", "Euro"),
+    ("IT", "ITA", "Italy", "Italia", "EUR", "Euro"),
+    ("SE", "SWE", "Sweden", "Sverige", "SEK", "Swedish Krona"),
+    ("NO", "NOR", "Norway", "Norge", "NOK", "Norwegian Krone"),
+    ("PL", "POL", "Poland", "Polska", "PLN", "Polish Zloty"),
+    ("TR", "TUR", "Turkey", "Türkiye", "TRY", "Turkish Lira"),
+    ("EG", "EGY", "Egypt", "Misr", "EGP", "Egyptian Pound"),
+    ("ZA", "ZAF", "South Africa", "Mzansi", "ZAR", "South African Rand"),
+    ("AR", "ARG", "Argentina", "República Argentina", "ARS", "Argentine Peso"),
+    ("GR", "GRC", "Greece", "Hellas", "EUR", "Euro"),
+    ("IE", "IRL", "Ireland", "Éire", "EUR", "Euro"),
+];
+
+/// `(generic name, US brand name, international brand name)` — the drug
+/// families of the paper's motivation (brand names vary by regulator).
+pub const DRUGS: &[(&str, &str, &str)] = &[
+    ("acetaminophen", "Tylenol", "Paracetamol"),
+    ("ibuprofen", "Advil", "Nurofen"),
+    ("diltiazem", "Cartia", "Tiazac"),
+    ("acetylsalicylic acid", "Aspirin", "ASA"),
+    ("naproxen", "Aleve", "Naprosyn"),
+    ("omeprazole", "Prilosec", "Losec"),
+    ("atorvastatin", "Lipitor", "Sortis"),
+    ("salbutamol", "Ventolin", "Albuterol"),
+    ("epoetin alfa", "Epogen", "Eprex"),
+    ("metformin", "Glucophage", "Glumetza"),
+    ("warfarin", "Coumadin", "Jantoven"),
+    ("loratadine", "Claritin", "Clarityn"),
+];
+
+/// Symptoms driving prescriptions in the demo schema.
+pub const SYMPTOMS: &[&str] = &[
+    "headache", "fever", "joint pain", "nausea", "chest pain", "fatigue", "cough",
+    "dizziness",
+];
+
+/// Builds the real-vocabulary ontology: one country concept per row of
+/// [`COUNTRIES`] ({name, alternate}, GEO), one currency concept per
+/// distinct currency ({code, name}), and two concepts per drug — FDA
+/// ({generic, US brand}) and EMA ({generic, international brand}) — whose
+/// shared generic makes the sense ambiguous, exactly like `cartia` in the
+/// paper's Figure 1.
+pub fn world_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+    let geo = b.interpretation("GEO");
+    let fda = b.interpretation("FDA");
+    let ema = b.interpretation("EMA");
+
+    let countries_root = b.concept("country").build().expect("root");
+    for (_, _, name, alt, _, _) in COUNTRIES {
+        b.concept(*name)
+            .parent(countries_root)
+            .synonyms([*name, *alt])
+            .interpretations([geo])
+            .build()
+            .expect("country concept");
+    }
+    let currency_root = b.concept("currency").build().expect("root");
+    let mut seen = std::collections::HashSet::new();
+    for (_, _, _, _, code, cname) in COUNTRIES {
+        if seen.insert(*code) {
+            b.concept(*cname)
+                .parent(currency_root)
+                .synonyms([*code, *cname])
+                .interpretations([geo])
+                .build()
+                .expect("currency concept");
+        }
+    }
+    let drug_root = b.concept("continuant drug").build().expect("root");
+    for (generic, us, intl) in DRUGS {
+        b.concept(format!("{generic} (FDA)"))
+            .parent(drug_root)
+            .synonyms([*generic, *us])
+            .interpretations([fda])
+            .build()
+            .expect("fda drug");
+        b.concept(format!("{generic} (EMA)"))
+            .parent(drug_root)
+            .synonyms([*generic, *intl])
+            .interpretations([ema])
+            .build()
+            .expect("ema drug");
+    }
+    b.finish().expect("world ontology")
+}
+
+/// Generates the real-vocabulary demo dataset over
+/// `(TRIAL_ID, CC, CTRY, CURRENCY, SYMPTOM, DRUG)` with planted OFDs
+/// `CC → CTRY`, `CC → CURRENCY` and `[CC, SYMPTOM] → DRUG`, full ground
+/// truth included (compatible with [`Dataset::inject_errors`] /
+/// [`Dataset::degrade_ontology`]).
+pub fn demo_dataset(n_rows: usize, seed: u64) -> Dataset {
+    let onto = world_ontology();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::new(["TRIAL_ID", "CC", "CTRY", "CURRENCY", "SYMPTOM", "DRUG"])
+        .expect("demo schema");
+    let mut b = Relation::builder(schema);
+
+    // Per (CC, SYMPTOM) class: a fixed drug and a fixed regulator sense.
+    let mut drug_of: HashMap<(usize, usize), (usize, bool)> = HashMap::new();
+    let mut rows: Vec<[String; 6]> = Vec::with_capacity(n_rows);
+    for r in 0..n_rows {
+        let c = rng.random_range(0..COUNTRIES.len());
+        let (iso2, _iso3, name, alt, code, cname) = COUNTRIES[c];
+        let symptom_idx = rng.random_range(0..SYMPTOMS.len());
+        let (drug_idx, use_fda) = *drug_of
+            .entry((c, symptom_idx))
+            .or_insert_with(|| (rng.random_range(0..DRUGS.len()), rng.random_bool(0.5)));
+        let (generic, us, intl) = DRUGS[drug_idx];
+        let drug_cell = if rng.random_bool(0.5) {
+            generic
+        } else if use_fda {
+            us
+        } else {
+            intl
+        };
+        rows.push([
+            format!("NCT{r:06}"),
+            iso2.to_owned(),
+            if rng.random_bool(0.7) { name } else { alt }.to_owned(),
+            if rng.random_bool(0.7) { code } else { cname }.to_owned(),
+            SYMPTOMS[symptom_idx].to_owned(),
+            drug_cell.to_owned(),
+        ]);
+    }
+    for row in &rows {
+        b.push_row(row.iter().map(String::as_str)).expect("demo row");
+    }
+    let relation = b.finish();
+    let schema = relation.schema();
+
+    let ofds = vec![
+        Ofd::synonym_named(schema, &["CC"], "CTRY").expect("φ1"),
+        Ofd::synonym_named(schema, &["CC"], "CURRENCY").expect("φ2"),
+        Ofd::synonym_named(schema, &["CC", "SYMPTOM"], "DRUG").expect("φ3"),
+    ];
+
+    // Ground-truth senses.
+    let mut truth: HashMap<(usize, Vec<ValueId>), SenseId> = HashMap::new();
+    let sense_of = |value: &str| -> SenseId { onto.names(value)[0] };
+    for r in 0..n_rows {
+        let c_iso2 = relation.value(r, schema.attr("CC").expect("CC"));
+        let symptom = relation.value(r, schema.attr("SYMPTOM").expect("SYMPTOM"));
+        let iso2_text = relation.pool().resolve(c_iso2).to_owned();
+        let c = COUNTRIES
+            .iter()
+            .position(|(i2, ..)| *i2 == iso2_text)
+            .expect("known country");
+        let symptom_text = relation.pool().resolve(symptom).to_owned();
+        let s = SYMPTOMS
+            .iter()
+            .position(|sym| *sym == symptom_text)
+            .expect("known symptom");
+        truth.insert((0, vec![c_iso2]), sense_of(COUNTRIES[c].2));
+        truth.insert((1, vec![c_iso2]), sense_of(COUNTRIES[c].5));
+        let (drug_idx, use_fda) = drug_of[&(c, s)];
+        let (generic, us, intl) = DRUGS[drug_idx];
+        let brand = if use_fda { us } else { intl };
+        // The generating sense is the regulator concept containing both the
+        // generic and the class's brand form.
+        let sense = onto
+            .common_sense([generic, brand])
+            .first()
+            .copied()
+            .expect("regulator sense exists");
+        truth.insert((2, vec![c_iso2, symptom]), sense);
+    }
+
+    Dataset {
+        clean: relation.clone(),
+        relation,
+        ontology: onto.clone(),
+        full_ontology: onto,
+        ofds,
+        truth_senses: truth,
+        injected: Vec::new(),
+        removed_values: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::Validator;
+
+    #[test]
+    fn world_ontology_encodes_paper_facts() {
+        let o = world_ontology();
+        assert!(!o.common_sense(["United States", "America"]).is_empty());
+        assert!(!o.common_sense(["India", "Bharat"]).is_empty());
+        assert!(!o.common_sense(["Cartia", "diltiazem"]).is_empty());
+        assert!(!o.common_sense(["Tiazac", "diltiazem"]).is_empty());
+        // Brand names of different regulators share only the generic.
+        assert!(o.common_sense(["Cartia", "Tiazac"]).is_empty());
+        // The generic is two-sense ambiguous, like `cartia` in Figure 1.
+        assert_eq!(o.names("diltiazem").len(), 2);
+    }
+
+    #[test]
+    fn demo_dataset_satisfies_its_planted_ofds() {
+        let ds = demo_dataset(800, 5);
+        let v = Validator::new(&ds.clean, &ds.full_ontology);
+        for ofd in &ds.ofds {
+            assert!(
+                v.check(ofd).satisfied(),
+                "{} violated",
+                ofd.display(ds.clean.schema())
+            );
+        }
+        // Synonym variation genuinely breaks the plain FDs.
+        assert!(ds.ofds.iter().any(|o| !v.check_fd(&o.as_fd())));
+    }
+
+    #[test]
+    fn demo_dataset_supports_corruption_and_truth() {
+        let mut ds = demo_dataset(600, 9);
+        ds.inject_errors(0.05, 10);
+        assert!(!ds.injected.is_empty());
+        ds.degrade_ontology(0.05, 11);
+        assert!(!ds.removed_values.is_empty());
+        // Truth senses cover the CC → CTRY classes.
+        let schema = ds.clean.schema();
+        let cc = schema.attr("CC").unwrap();
+        for r in 0..ds.clean.n_rows() {
+            let key = (0usize, vec![ds.clean.value(r, cc)]);
+            assert!(ds.truth_senses.contains_key(&key));
+        }
+    }
+
+    #[test]
+    fn demo_dataset_is_deterministic() {
+        let a = demo_dataset(300, 1);
+        let b = demo_dataset(300, 1);
+        assert_eq!(a.clean.cell_distance(&b.clean).unwrap(), 0);
+        let c = demo_dataset(300, 2);
+        assert!(c.clean.cell_distance(&a.clean).unwrap() > 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Brute-force reference discovery: enumerate every candidate, verify each,
+//! keep the minimal ones. Exponential in everything — used only to validate
+//! [`crate::FastOfd`] on small instances (property tests and the bench
+//! harness's self-checks).
+
+use ofd_core::{AttrSet, Ofd, OfdKind, Relation, Validator};
+use ofd_ontology::Ontology;
+
+/// Discovers all minimal OFDs of `kind` with support ≥ `min_support` by
+/// exhaustive enumeration. Output is sorted by (|X|, X, A).
+pub fn brute_force(
+    rel: &Relation,
+    onto: &Ontology,
+    kind: OfdKind,
+    min_support: f64,
+) -> Vec<Ofd> {
+    let n = rel.schema().len();
+    assert!(n <= 20, "brute force is for small schemas only");
+    let validator = Validator::new(rel, onto);
+    let exact = min_support >= 1.0;
+
+    // All valid non-trivial dependencies, grouped by consequent.
+    let mut valid: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
+    let masks = 1u64 << n;
+    for bits in 0..masks {
+        let lhs = AttrSet::from_bits(bits);
+        for a in rel.schema().attrs() {
+            if lhs.contains(a) {
+                continue;
+            }
+            let ofd = Ofd { lhs, rhs: a, kind };
+            let v = validator.check(&ofd);
+            let ok = if exact {
+                v.satisfied()
+            } else {
+                v.support() + 1e-12 >= min_support
+            };
+            if ok {
+                valid[a.index()].push(lhs);
+            }
+        }
+    }
+
+    // Keep only minimal antecedents per consequent.
+    let mut out = Vec::new();
+    for a in rel.schema().attrs() {
+        let sets = &valid[a.index()];
+        for &lhs in sets {
+            let minimal = !sets
+                .iter()
+                .any(|&other| other.is_proper_subset(lhs));
+            if minimal {
+                out.push(Ofd { lhs, rhs: a, kind });
+            }
+        }
+    }
+    out.sort_by_key(|o| (o.lhs.len(), o.lhs.bits(), o.rhs));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::table1;
+    use ofd_ontology::samples;
+
+    #[test]
+    fn finds_cc_to_ctry_on_table1() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let found = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+        let schema = rel.schema();
+        let target = Ofd::synonym_named(schema, &["CC"], "CTRY").unwrap();
+        assert!(
+            found.contains(&target),
+            "expected {} in:\n{}",
+            target.display(schema),
+            found
+                .iter()
+                .map(|o| o.display(schema))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn minimality_no_subset_pairs() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let found = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+        for a in &found {
+            for b in &found {
+                if a.rhs == b.rhs {
+                    assert!(
+                        !a.lhs.is_proper_subset(b.lhs),
+                        "{} subsumes {}",
+                        a.display(rel.schema()),
+                        b.display(rel.schema())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_support_finds_superset_of_exact() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let exact = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+        let approx = brute_force(&rel, &onto, OfdKind::Synonym, 0.8);
+        // Every exact OFD is approximately valid; minimality can shift
+        // antecedents downward, so compare via coverage: each exact OFD has
+        // an approximate OFD with an antecedent ⊆ its own and same rhs.
+        for e in &exact {
+            assert!(
+                approx
+                    .iter()
+                    .any(|a| a.rhs == e.rhs && a.lhs.is_subset(e.lhs)),
+                "{} lost at κ=0.8",
+                e.display(rel.schema())
+            );
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The FastOFD discovery algorithm (§4, Algorithms 2–4).
+//!
+//! Level-wise traversal of the set-containment lattice: level `l` holds
+//! attribute sets `X` with `|X| = l`, and at each node the candidates
+//! `X\A → A` for `A ∈ X ∩ C⁺(X)` are verified. The candidate sets
+//! `C⁺(X) = ⋂_{A∈X} C⁺(X\A)` (Definition 5.2) realize the Augmentation
+//! pruning (Opt-2); note they deliberately *omit* TANE's extra RHS⁺ rule,
+//! which is unsound for OFDs (§4.1).
+//!
+//! Stripped partitions flow down the lattice by linear-time products, so the
+//! whole run is polynomial in the number of tuples and exponential (in the
+//! worst case) only in the number of attributes — matching the paper's
+//! complexity analysis.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ofd_core::{
+    check_ofd_exact, check_ofd_with_index, AttrId, AttrSet, Ofd, OfdKind, ProductScratch,
+    Relation, Schema, SenseIndex, StrippedPartition,
+};
+use ofd_logic::{implies, Dependency};
+use ofd_ontology::Ontology;
+
+use crate::options::DiscoveryOptions;
+use crate::stats::{DiscoveryStats, LevelStats};
+
+/// One minimal OFD emitted by discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredOfd {
+    /// The dependency.
+    pub ofd: Ofd,
+    /// Its support over the instance (1.0 for exact OFDs).
+    pub support: f64,
+    /// Lattice level at which it was found (`|X| + 1` for `X → A`).
+    pub level: usize,
+}
+
+/// Output of a [`FastOfd`] run.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// The complete, minimal set Σ, ordered by (level, antecedent,
+    /// consequent).
+    pub ofds: Vec<DiscoveredOfd>,
+    /// Instrumentation counters.
+    pub stats: DiscoveryStats,
+}
+
+impl Discovery {
+    /// The discovered dependencies as bare [`Ofd`]s.
+    pub fn ofds(&self) -> impl Iterator<Item = &Ofd> {
+        self.ofds.iter().map(|d| &d.ofd)
+    }
+
+    /// The discovered dependencies as logic-level [`Dependency`] shapes.
+    pub fn dependencies(&self) -> Vec<Dependency> {
+        self.ofds.iter().map(|d| d.ofd.into()).collect()
+    }
+
+    /// Number of discovered OFDs.
+    pub fn len(&self) -> usize {
+        self.ofds.len()
+    }
+
+    /// Whether nothing was discovered.
+    pub fn is_empty(&self) -> bool {
+        self.ofds.is_empty()
+    }
+
+    /// Pretty-prints the result with attribute names.
+    pub fn display(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for d in &self.ofds {
+            out.push_str(&format!(
+                "L{} s={:.3} {}\n",
+                d.level,
+                d.support,
+                d.ofd.display(schema)
+            ));
+        }
+        out
+    }
+}
+
+/// A node of the discovery lattice.
+struct Node {
+    attrs: AttrSet,
+    /// Candidate consequents `C⁺(X)`; `schema.all()` when Opt-2 is off.
+    c_plus: AttrSet,
+    partition: StrippedPartition,
+}
+
+/// The FastOFD discovery driver.
+pub struct FastOfd<'a> {
+    rel: &'a Relation,
+    onto: &'a Ontology,
+    opts: DiscoveryOptions,
+}
+
+impl<'a> FastOfd<'a> {
+    /// Creates a driver with default options.
+    pub fn new(rel: &'a Relation, onto: &'a Ontology) -> FastOfd<'a> {
+        FastOfd {
+            rel,
+            onto,
+            opts: DiscoveryOptions::default(),
+        }
+    }
+
+    /// Replaces the options.
+    pub fn options(mut self, opts: DiscoveryOptions) -> FastOfd<'a> {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs Algorithm 2: discovers the complete, minimal set of OFDs.
+    pub fn run(&self) -> Discovery {
+        let started = Instant::now();
+        let schema = self.rel.schema();
+        let n = schema.len();
+        let all = schema.all();
+        // One shared sense index in the semantics of the requested kind;
+        // `check_ofd_with_index` is thread-safe over it.
+        let index = match self.opts.kind {
+            OfdKind::Synonym => SenseIndex::synonym(self.rel, self.onto),
+            OfdKind::Inheritance { theta } => {
+                SenseIndex::inheritance(self.rel, self.onto, theta)
+            }
+        };
+        let known: Vec<Dependency> = self
+            .opts
+            .known_fds
+            .iter()
+            .map(|fd| Dependency::from(*fd))
+            .collect();
+        let exact = self.opts.min_support >= 1.0;
+
+        let mut sigma: Vec<DiscoveredOfd> = Vec::new();
+        let mut stats = DiscoveryStats::default();
+        let mut scratch = ProductScratch::default();
+
+        // Level 0: the empty antecedent.
+        let mut prev: Vec<Node> = vec![Node {
+            attrs: AttrSet::empty(),
+            c_plus: all,
+            partition: StrippedPartition::of(self.rel, AttrSet::empty()),
+        }];
+        let mut prev_index: HashMap<u64, usize> =
+            std::iter::once((AttrSet::empty().bits(), 0)).collect();
+
+        let max_level = self.opts.max_level.unwrap_or(n).min(n);
+        for level in 1..=max_level {
+            let level_started = Instant::now();
+            let mut ls = LevelStats {
+                level,
+                ..LevelStats::default()
+            };
+
+            // calculateNextLevel (Algorithm 3).
+            let mut current: Vec<Node> = if level == 1 {
+                schema
+                    .attrs()
+                    .map(|a| Node {
+                        attrs: AttrSet::single(a),
+                        c_plus: all,
+                        partition: self.attr_partition(a),
+                    })
+                    .collect()
+            } else {
+                self.next_level(&prev, &prev_index, &mut scratch)
+            };
+            ls.nodes = current.len();
+
+            // computeOFDs (Algorithm 4), line 2: C⁺(X) = ⋂ C⁺(X\A).
+            if self.opts.use_opt2 && level >= 1 {
+                for node in &mut current {
+                    let mut cp = all;
+                    for (_, parent) in node.attrs.parents() {
+                        match prev_index.get(&parent.bits()) {
+                            Some(&pi) => cp = cp.intersect(prev[pi].c_plus),
+                            None => cp = AttrSet::empty(),
+                        }
+                    }
+                    node.c_plus = cp;
+                }
+            }
+
+            // Candidate verification: collect the level's jobs, decide
+            // them (in parallel when configured — order within a level is
+            // immaterial), then apply emissions sequentially.
+            let mut jobs: Vec<(usize, AttrId, AttrSet, usize)> = Vec::new();
+            for (ni, node) in current.iter().enumerate() {
+                let mut cands = if self.opts.use_opt2 {
+                    node.attrs.intersect(node.c_plus)
+                } else {
+                    node.attrs
+                };
+                if let Some(target) = self.opts.target_rhs {
+                    cands = cands.intersect(target);
+                }
+                for a in cands.iter() {
+                    let lhs = node.attrs.without(a);
+                    if let Some(&pi) = prev_index.get(&lhs.bits()) {
+                        jobs.push((ni, a, lhs, pi));
+                    }
+                }
+            }
+            ls.candidates = jobs.len();
+
+            let decide_one = |&(_, a, lhs, pi): &(usize, AttrId, AttrSet, usize)| {
+                let ofd = Ofd {
+                    lhs,
+                    rhs: a,
+                    kind: self.opts.kind,
+                };
+                self.decide(&index, &ofd, &prev[pi].partition, &known, exact)
+            };
+            let decisions: Vec<(bool, f64, Decision)> = if self.opts.threads <= 1
+                || jobs.len() < 2 * self.opts.threads
+            {
+                jobs.iter().map(decide_one).collect()
+            } else {
+                let n_threads = self.opts.threads.min(jobs.len());
+                let counter = std::sync::atomic::AtomicUsize::new(0);
+                let mut slots: Vec<Option<(bool, f64, Decision)>> = vec![None; jobs.len()];
+                let slot_ptr = SlotWriter(slots.as_mut_ptr());
+                std::thread::scope(|scope| {
+                    for _ in 0..n_threads {
+                        let counter = &counter;
+                        let jobs = &jobs;
+                        let decide_one = &decide_one;
+                        let slot_ptr = &slot_ptr;
+                        scope.spawn(move || loop {
+                            let i = counter
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let out = decide_one(&jobs[i]);
+                            // SAFETY: each index is claimed by exactly one
+                            // thread via the atomic counter, so writes are
+                            // disjoint.
+                            unsafe {
+                                *slot_ptr.0.add(i) = Some(out);
+                            }
+                        });
+                    }
+                });
+                slots.into_iter().map(|s| s.expect("all jobs decided")).collect()
+            };
+
+            for (&(ni, a, lhs, _), &(valid, support, how)) in
+                jobs.iter().zip(decisions.iter())
+            {
+                match how {
+                    Decision::KeyShortcut => ls.key_shortcuts += 1,
+                    Decision::FdShortcut => ls.fd_shortcuts += 1,
+                    Decision::Verified => ls.verified += 1,
+                }
+                if valid {
+                    let minimal = if self.opts.use_opt2 {
+                        // Lemma 5.3: A ∈ C⁺(X) already certifies minimality.
+                        true
+                    } else {
+                        !sigma
+                            .iter()
+                            .any(|d| d.ofd.rhs == a && d.ofd.lhs.is_proper_subset(lhs))
+                    };
+                    if minimal {
+                        sigma.push(DiscoveredOfd {
+                            ofd: Ofd {
+                                lhs,
+                                rhs: a,
+                                kind: self.opts.kind,
+                            },
+                            support,
+                            level,
+                        });
+                        ls.found += 1;
+                    }
+                    if self.opts.use_opt2 {
+                        current[ni].c_plus.remove(a);
+                    }
+                }
+            }
+
+            // Opt-2 node pruning: a node with an empty candidate set cannot
+            // contribute candidates at any descendant.
+            let before = current.len();
+            if self.opts.use_opt2 {
+                current.retain(|n| !n.c_plus.is_empty());
+            }
+            ls.pruned_nodes = before - current.len();
+
+            prev_index = current
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.attrs.bits(), i))
+                .collect();
+            prev = current;
+            ls.elapsed = level_started.elapsed();
+            stats.levels.push(ls);
+            if prev.is_empty() {
+                break;
+            }
+        }
+
+        sigma.sort_by_key(|d| (d.level, d.ofd.lhs.bits(), d.ofd.rhs));
+        stats.elapsed = started.elapsed();
+        Discovery { ofds: sigma, stats }
+    }
+
+    fn attr_partition(&self, attr: AttrId) -> StrippedPartition {
+        StrippedPartition::of_attr(self.rel, attr)
+    }
+
+    /// Joins prefix blocks of the previous level into the next one.
+    fn next_level(
+        &self,
+        prev: &[Node],
+        prev_index: &HashMap<u64, usize>,
+        scratch: &mut ProductScratch,
+    ) -> Vec<Node> {
+        // Sort node indices by attribute list; nodes sharing all but the
+        // last attribute form a block.
+        let mut order: Vec<usize> = (0..prev.len()).collect();
+        order.sort_by_key(|&i| {
+            let attrs: Vec<u16> = prev[i].attrs.iter().map(|a| a.index() as u16).collect();
+            attrs
+        });
+        let mut out = Vec::new();
+        let all = self.rel.schema().all();
+        let mut block_start = 0;
+        while block_start < order.len() {
+            let head = prev[order[block_start]].attrs;
+            let head_prefix = head.without(last_attr(head));
+            let mut block_end = block_start + 1;
+            while block_end < order.len() {
+                let cur = prev[order[block_end]].attrs;
+                if cur.without(last_attr(cur)) != head_prefix {
+                    break;
+                }
+                block_end += 1;
+            }
+            for i in block_start..block_end {
+                for j in (i + 1)..block_end {
+                    let a = &prev[order[i]];
+                    let b = &prev[order[j]];
+                    let attrs = a.attrs.union(b.attrs);
+                    // All parents must exist for the C⁺ intersection (and,
+                    // with Opt-2, a missing parent means the child is dead).
+                    let parents_ok = attrs
+                        .parents()
+                        .all(|(_, p)| prev_index.contains_key(&p.bits()));
+                    if !parents_ok {
+                        continue;
+                    }
+                    let partition = if self.opts.use_opt3
+                        && (a.partition.is_superkey() || b.partition.is_superkey())
+                    {
+                        // Opt-3: supersets of superkeys are superkeys; skip
+                        // the product entirely.
+                        StrippedPartition::empty(self.rel.n_rows())
+                    } else {
+                        a.partition.product_with_scratch(&b.partition, scratch)
+                    };
+                    out.push(Node {
+                        attrs,
+                        c_plus: all,
+                        partition,
+                    });
+                }
+            }
+            block_start = block_end;
+        }
+        out
+    }
+
+    /// Decides one candidate: (valid?, support, how it was decided).
+    fn decide(
+        &self,
+        index: &SenseIndex,
+        ofd: &Ofd,
+        lhs_partition: &StrippedPartition,
+        known: &[Dependency],
+        exact: bool,
+    ) -> (bool, f64, Decision) {
+        // Opt-3: a superkey antecedent has no non-singleton classes.
+        if self.opts.use_opt3 && lhs_partition.is_superkey() {
+            return (true, 1.0, Decision::KeyShortcut);
+        }
+        // Opt-4: FD subsumption — an OFD implied by FDs that hold exactly
+        // needs no data verification.
+        if self.opts.use_opt4 && !known.is_empty() {
+            let dep = Dependency::from(*ofd);
+            if implies(known, &dep) {
+                return (true, 1.0, Decision::FdShortcut);
+            }
+        }
+        if exact {
+            // Early-exit on the first violating class — the hot path, since
+            // most lattice candidates fail.
+            let ok = check_ofd_exact(self.rel, index, ofd, lhs_partition);
+            (ok, 1.0, Decision::Verified)
+        } else {
+            let validation = check_ofd_with_index(self.rel, index, ofd, lhs_partition);
+            let s = validation.support();
+            (
+                s + 1e-12 >= self.opts.min_support,
+                s,
+                Decision::Verified,
+            )
+        }
+    }
+}
+
+/// How one candidate was decided (stats bookkeeping).
+#[derive(Debug, Clone, Copy)]
+enum Decision {
+    KeyShortcut,
+    FdShortcut,
+    Verified,
+}
+
+/// Raw-pointer wrapper so disjoint slots can be written from scoped worker
+/// threads (each index claimed once through an atomic counter).
+struct SlotWriter<T>(*mut Option<T>);
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+fn last_attr(set: AttrSet) -> AttrId {
+    set.iter().last().expect("non-empty lattice node")
+}

@@ -1,0 +1,322 @@
+#![warn(missing_docs)]
+//! # ofd-discovery
+//!
+//! The **FastOFD** algorithm (§4): discovery of a complete and minimal set
+//! of Ontology Functional Dependencies from data, by breadth-first traversal
+//! of the set-containment lattice with axiom-derived pruning:
+//!
+//! * **Opt-1** — trivial candidates (`A ∈ X`) are never generated;
+//! * **Opt-2** — Augmentation pruning via candidate sets `C⁺(X)`
+//!   (Definition 5.2, Lemma 5.3), including deletion of exhausted nodes;
+//! * **Opt-3** — superkey short-circuits: empty stripped partitions validate
+//!   instantly and partition products below keys are skipped;
+//! * **Opt-4** — candidates implied by known, exactly-holding FDs are valid
+//!   by subsumption without data verification.
+//!
+//! Both exact and κ-approximate OFDs are supported, for synonym and
+//! inheritance semantics. [`brute_force`] provides an exhaustive reference
+//! implementation used to validate the lattice algorithm in tests.
+//!
+//! ```
+//! use ofd_core::table1;
+//! use ofd_discovery::FastOfd;
+//! use ofd_ontology::samples;
+//!
+//! let rel = table1();
+//! let onto = samples::combined_paper_ontology();
+//! let result = FastOfd::new(&rel, &onto).run();
+//! let schema = rel.schema();
+//! assert!(result
+//!     .ofds()
+//!     .any(|o| o.display(schema) == "[CC] ->syn CTRY"));
+//! ```
+
+mod brute;
+mod fastofd;
+mod options;
+mod stats;
+
+pub use brute::brute_force;
+pub use fastofd::{DiscoveredOfd, Discovery, FastOfd};
+pub use options::DiscoveryOptions;
+pub use stats::{DiscoveryStats, LevelStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::{table1, Fd, Ofd, OfdKind, Relation};
+    use ofd_ontology::{samples, Ontology, OntologyBuilder};
+    use proptest::prelude::*;
+
+    fn discover(rel: &Relation, onto: &Ontology, opts: DiscoveryOptions) -> Vec<Ofd> {
+        FastOfd::new(rel, onto)
+            .options(opts)
+            .run()
+            .ofds()
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_table1() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let fast = discover(&rel, &onto, DiscoveryOptions::default());
+        let brute = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn optimizations_do_not_change_output() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let reference = discover(&rel, &onto, DiscoveryOptions::default());
+        for (o2, o3, o4) in [
+            (false, false, false),
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, false),
+            (true, false, true),
+            (false, true, true),
+        ] {
+            let opts = DiscoveryOptions::new().opt2(o2).opt3(o3).opt4(o4);
+            assert_eq!(
+                discover(&rel, &onto, opts),
+                reference,
+                "opts ({o2},{o3},{o4}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn known_fds_shortcut_preserves_output() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let schema = rel.schema();
+        let known = vec![Fd::new(
+            schema.set(["SYMP"]).unwrap(),
+            schema.attr("DIAG").unwrap(),
+        )];
+        let reference = discover(&rel, &onto, DiscoveryOptions::default());
+        let with_fds = discover(
+            &rel,
+            &onto,
+            DiscoveryOptions::default().known_fds(known),
+        );
+        assert_eq!(reference, with_fds);
+    }
+
+    #[test]
+    fn max_level_truncates_output_prefix() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let full = FastOfd::new(&rel, &onto).run();
+        let capped = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().max_level(2))
+            .run();
+        let expected: Vec<&DiscoveredOfd> =
+            full.ofds.iter().filter(|d| d.level <= 2).collect();
+        assert_eq!(capped.ofds.len(), expected.len());
+        for (got, want) in capped.ofds.iter().zip(expected) {
+            assert_eq!(got.ofd, want.ofd);
+        }
+    }
+
+    #[test]
+    fn empty_ontology_discovers_plain_fds() {
+        let rel = table1();
+        let onto = Ontology::empty();
+        let found = discover(&rel, &onto, DiscoveryOptions::default());
+        // Every discovered OFD must hold as a plain FD.
+        let v = ofd_core::Validator::new(&rel, &onto);
+        for ofd in &found {
+            assert!(v.check_fd(&ofd.as_fd()), "{}", ofd.display(rel.schema()));
+        }
+        // And [CC] -> CTRY must NOT be among them (broken by USA/America).
+        let bad = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+        assert!(!found.contains(&bad));
+    }
+
+    #[test]
+    fn approximate_discovery_at_low_support() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let fast = discover(
+            &rel,
+            &onto,
+            DiscoveryOptions::new().min_support(0.8),
+        );
+        let brute = brute_force(&rel, &onto, OfdKind::Synonym, 0.8);
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn inheritance_discovery_matches_brute_force() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let kind = OfdKind::Inheritance { theta: 1 };
+        let fast = discover(&rel, &onto, DiscoveryOptions::new().kind(kind));
+        let brute = brute_force(&rel, &onto, kind, 1.0);
+        assert_eq!(fast, brute);
+        // [SYMP, DIAG] -> MED holds under inheritance; some antecedent
+        // ⊆ {SYMP, DIAG} must be discovered for MED.
+        let schema = rel.schema();
+        let med = schema.attr("MED").unwrap();
+        let symp_diag = schema.set(["SYMP", "DIAG"]).unwrap();
+        assert!(fast
+            .iter()
+            .any(|o| o.rhs == med && o.lhs.is_subset(symp_diag)));
+    }
+
+    #[test]
+    fn target_rhs_equals_filtered_full_output() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let schema = rel.schema();
+        let full = discover(&rel, &onto, DiscoveryOptions::default());
+        for name in ["CTRY", "MED", "DIAG"] {
+            let target = schema.set([name]).unwrap();
+            let targeted = discover(
+                &rel,
+                &onto,
+                DiscoveryOptions::default().target_rhs(target),
+            );
+            let filtered: Vec<Ofd> = full
+                .iter()
+                .filter(|o| target.contains(o.rhs))
+                .copied()
+                .collect();
+            assert_eq!(targeted, filtered, "target {name}");
+        }
+    }
+
+    #[test]
+    fn parallel_verification_matches_sequential() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let sequential = discover(&rel, &onto, DiscoveryOptions::default());
+        for threads in [2, 4, 8] {
+            let parallel = discover(
+                &rel,
+                &onto,
+                DiscoveryOptions::default().threads(threads),
+            );
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // Also under approximate + no-optimization settings.
+        let seq_approx = discover(&rel, &onto, DiscoveryOptions::new().min_support(0.8));
+        let par_approx = discover(
+            &rel,
+            &onto,
+            DiscoveryOptions::new().min_support(0.8).threads(4),
+        );
+        assert_eq!(seq_approx, par_approx);
+    }
+
+    #[test]
+    fn stats_track_levels_and_candidates() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let result = FastOfd::new(&rel, &onto).run();
+        assert!(!result.stats.levels.is_empty());
+        assert_eq!(result.stats.total_found(), result.ofds.len());
+        assert!(result.stats.total_candidates() >= result.stats.total_found());
+        assert!(result.stats.total_verified() <= result.stats.total_candidates());
+    }
+
+    #[test]
+    fn discovered_set_is_satisfied_and_minimal() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let validator = ofd_core::Validator::new(&rel, &onto);
+        let found = discover(&rel, &onto, DiscoveryOptions::default());
+        for ofd in &found {
+            assert!(validator.check(ofd).satisfied(), "{}", ofd.display(rel.schema()));
+        }
+        for a in &found {
+            for b in &found {
+                if a.rhs == b.rhs && a.lhs != b.lhs {
+                    assert!(!a.lhs.is_proper_subset(b.lhs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_found_at_level_one() {
+        let rel = Relation::from_rows(
+            ["A", "B"],
+            [&["c", "1"] as &[&str], &["c", "2"], &["c", "3"]],
+        )
+        .unwrap();
+        let onto = Ontology::empty();
+        let result = FastOfd::new(&rel, &onto).run();
+        // ∅ -> A holds (constant column) and is found at level 1.
+        let found: Vec<_> = result.ofds.iter().filter(|d| d.level == 1).collect();
+        assert_eq!(found.len(), 1);
+        assert!(found[0].ofd.lhs.is_empty());
+        assert_eq!(found[0].ofd.rhs, rel.schema().attr("A").unwrap());
+    }
+
+    /// Random small relations + random flat ontologies for differential
+    /// testing against brute force.
+    fn arb_instance() -> impl Strategy<Value = (Relation, Ontology)> {
+        let n_attrs = 3usize;
+        let rows = prop::collection::vec(
+            prop::collection::vec(0u8..4, n_attrs),
+            1..10,
+        );
+        let groups = prop::collection::vec(prop::collection::vec(0u8..8, 1..4), 0..4);
+        (rows, groups).prop_map(move |(rows, groups)| {
+            let names: Vec<String> = (0..n_attrs).map(|i| format!("A{i}")).collect();
+            let mut b = Relation::builder(
+                ofd_core::Schema::new(names.iter().map(String::as_str)).unwrap(),
+            );
+            for row in &rows {
+                let cells: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
+                b.push_row(cells.iter().map(String::as_str)).unwrap();
+            }
+            let rel = b.finish();
+            let mut ob = OntologyBuilder::new();
+            for (gi, group) in groups.iter().enumerate() {
+                let mut values: Vec<String> =
+                    group.iter().map(|v| format!("v{v}")).collect();
+                values.sort();
+                values.dedup();
+                ob.concept(format!("g{gi}"))
+                    .synonyms(values)
+                    .build()
+                    .unwrap();
+            }
+            (rel, ob.finish().unwrap())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn fastofd_equals_brute_force((rel, onto) in arb_instance()) {
+            let brute = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+            for opts in [
+                DiscoveryOptions::default(),
+                DiscoveryOptions::new().no_optimizations(),
+            ] {
+                let fast = discover(&rel, &onto, opts);
+                prop_assert_eq!(&fast, &brute);
+            }
+        }
+
+        #[test]
+        fn approximate_fastofd_equals_brute_force((rel, onto) in arb_instance()) {
+            let brute = brute_force(&rel, &onto, OfdKind::Synonym, 0.7);
+            let fast = discover(
+                &rel,
+                &onto,
+                DiscoveryOptions::new().min_support(0.7),
+            );
+            prop_assert_eq!(fast, brute);
+        }
+    }
+}

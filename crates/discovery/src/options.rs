@@ -1,0 +1,172 @@
+//! Configuration for the FastOFD discovery run.
+
+use ofd_core::{Fd, OfdKind};
+
+/// Options controlling a [`crate::FastOfd`] run.
+///
+/// The three optimization toggles correspond to §3.2 / Exp-3:
+///
+/// * **Opt-2** (augmentation pruning): maintain candidate sets `C⁺(X)` and
+///   delete exhausted lattice nodes; disabling it verifies every non-trivial
+///   candidate and filters non-minimal results post hoc (same output,
+///   more verification work).
+/// * **Opt-3** (key pruning): when an antecedent is a superkey its stripped
+///   partition is empty — verification short-circuits and partition products
+///   under superkey nodes are skipped.
+/// * **Opt-4** (FD shortcut): candidates implied by the caller-supplied
+///   [`DiscoveryOptions::known_fds`] are valid by subsumption (FD ⊆ OFD) and
+///   skip data verification. The per-class equality fast path inside the
+///   validator is always on; this toggle controls the *dependency-level*
+///   shortcut.
+///
+/// Opt-1 (skipping trivial candidates `A ∈ X`) is structural: the candidate
+/// generator never emits them.
+#[derive(Debug, Clone)]
+pub struct DiscoveryOptions {
+    /// Dependency semantics to discover (synonym by default).
+    pub kind: OfdKind,
+    /// Minimum support κ ∈ (0, 1]; `1.0` discovers exact OFDs, lower values
+    /// discover κ-approximate OFDs.
+    pub min_support: f64,
+    /// Stop after this lattice level (Exp-4's compactness pruning);
+    /// `None` traverses all `n` levels.
+    pub max_level: Option<usize>,
+    /// Opt-2: candidate-set pruning.
+    pub use_opt2: bool,
+    /// Opt-3: superkey short-circuits.
+    pub use_opt3: bool,
+    /// Opt-4: known-FD subsumption shortcut.
+    pub use_opt4: bool,
+    /// FDs known to hold over the instance, consumed by Opt-4.
+    pub known_fds: Vec<Fd>,
+    /// Number of worker threads for candidate verification (1 = fully
+    /// sequential). Verification within one lattice level is
+    /// order-independent, so parallelism never changes the output.
+    pub threads: usize,
+    /// Restrict discovery to OFDs whose consequent lies in this set
+    /// (`None` = all attributes). The result equals the full output
+    /// filtered by consequent — minimality is per-consequent, so the
+    /// restriction is lossless and much cheaper.
+    pub target_rhs: Option<ofd_core::AttrSet>,
+}
+
+impl Default for DiscoveryOptions {
+    fn default() -> Self {
+        DiscoveryOptions {
+            kind: OfdKind::Synonym,
+            min_support: 1.0,
+            max_level: None,
+            use_opt2: true,
+            use_opt3: true,
+            use_opt4: true,
+            known_fds: Vec::new(),
+            threads: 1,
+            target_rhs: None,
+        }
+    }
+}
+
+impl DiscoveryOptions {
+    /// Exact synonym-OFD discovery with all optimizations (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the dependency semantics.
+    pub fn kind(mut self, kind: OfdKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the approximate-discovery support threshold κ.
+    pub fn min_support(mut self, kappa: f64) -> Self {
+        assert!((0.0..=1.0).contains(&kappa), "κ must be in (0, 1]");
+        self.min_support = kappa;
+        self
+    }
+
+    /// Caps the lattice traversal at `level`.
+    pub fn max_level(mut self, level: usize) -> Self {
+        self.max_level = Some(level);
+        self
+    }
+
+    /// Toggles Opt-2.
+    pub fn opt2(mut self, on: bool) -> Self {
+        self.use_opt2 = on;
+        self
+    }
+
+    /// Toggles Opt-3.
+    pub fn opt3(mut self, on: bool) -> Self {
+        self.use_opt3 = on;
+        self
+    }
+
+    /// Toggles Opt-4, optionally supplying the known FDs.
+    pub fn opt4(mut self, on: bool) -> Self {
+        self.use_opt4 = on;
+        self
+    }
+
+    /// Supplies FDs known to hold (used by Opt-4).
+    pub fn known_fds(mut self, fds: Vec<Fd>) -> Self {
+        self.known_fds = fds;
+        self
+    }
+
+    /// Restricts discovery to consequents in `rhs`.
+    pub fn target_rhs(mut self, rhs: ofd_core::AttrSet) -> Self {
+        self.target_rhs = Some(rhs);
+        self
+    }
+
+    /// Sets the verification thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one thread");
+        self.threads = n;
+        self
+    }
+
+    /// Disables every optimization (the Exp-3 baseline).
+    pub fn no_optimizations(mut self) -> Self {
+        self.use_opt2 = false;
+        self.use_opt3 = false;
+        self.use_opt4 = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let o = DiscoveryOptions::default();
+        assert!(o.use_opt2 && o.use_opt3 && o.use_opt4);
+        assert_eq!(o.min_support, 1.0);
+        assert_eq!(o.kind, OfdKind::Synonym);
+        assert!(o.max_level.is_none());
+        assert_eq!(o.threads, 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let o = DiscoveryOptions::new()
+            .kind(OfdKind::Inheritance { theta: 2 })
+            .min_support(0.8)
+            .max_level(6)
+            .no_optimizations();
+        assert_eq!(o.kind, OfdKind::Inheritance { theta: 2 });
+        assert_eq!(o.min_support, 0.8);
+        assert_eq!(o.max_level, Some(6));
+        assert!(!o.use_opt2 && !o.use_opt3 && !o.use_opt4);
+    }
+
+    #[test]
+    #[should_panic(expected = "κ must be in")]
+    fn rejects_bad_support() {
+        let _ = DiscoveryOptions::new().min_support(1.5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared machinery for the baseline FD-discovery algorithms: agree sets,
+//! difference sets, cardinalities, minimality filtering and a brute-force
+//! reference.
+
+use std::collections::HashSet;
+
+use ofd_core::{AttrSet, Fd, Relation, StrippedPartition};
+
+/// Computes the *agree sets* of `rel`: for every tuple pair, the set of
+/// attributes on which the two tuples agree. Quadratic in the number of
+/// tuples by nature — this is why DepMiner / FastFDs / FDep blow up at large
+/// N in the paper's Exp-1, and we reproduce that honestly.
+///
+/// The returned set always contains the full-relation-relevant sets only;
+/// the empty agree set appears if some tuple pair disagrees everywhere.
+pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
+    let n = rel.n_rows();
+    let attrs: Vec<_> = rel.schema().attrs().collect();
+    let cols: Vec<&[ofd_core::ValueId]> = attrs.iter().map(|&a| rel.column(a)).collect();
+    let mut out = HashSet::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = AttrSet::empty();
+            for (k, &a) in attrs.iter().enumerate() {
+                if cols[k][i] == cols[k][j] {
+                    s.insert(a);
+                }
+            }
+            out.insert(s);
+        }
+    }
+    out
+}
+
+/// Difference sets `D(r)`: complements of the agree sets w.r.t. the full
+/// schema (FastFDs' starting point).
+pub fn difference_sets(rel: &Relation) -> HashSet<AttrSet> {
+    let all = rel.schema().all();
+    agree_sets(rel).into_iter().map(|s| all.minus(s)).collect()
+}
+
+/// The maximal sets of a family (no member is a proper subset of another
+/// retained member).
+pub fn maximal_sets(family: impl IntoIterator<Item = AttrSet>) -> Vec<AttrSet> {
+    let mut sets: Vec<AttrSet> = family.into_iter().collect();
+    sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut out: Vec<AttrSet> = Vec::new();
+    for s in sets {
+        if !out.iter().any(|m| s.is_subset(*m)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The minimal sets of a family.
+pub fn minimal_sets(family: impl IntoIterator<Item = AttrSet>) -> Vec<AttrSet> {
+    let mut sets: Vec<AttrSet> = family.into_iter().collect();
+    sets.sort_by_key(|s| s.len());
+    let mut out: Vec<AttrSet> = Vec::new();
+    for s in sets {
+        if !out.iter().any(|m| m.is_subset(s)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// All *minimal hitting sets* (transversals) of `family` over the universe
+/// `universe`: minimal sets intersecting every member. Level-wise expansion
+/// with subset pruning — the DepMiner §4 procedure.
+///
+/// If `family` is empty, the empty set is the unique transversal. If any
+/// member is empty, there is no transversal.
+pub fn minimal_transversals(universe: AttrSet, family: &[AttrSet]) -> Vec<AttrSet> {
+    if family.iter().any(|f| f.is_empty()) {
+        return Vec::new();
+    }
+    if family.is_empty() {
+        return vec![AttrSet::empty()];
+    }
+    // Incremental: transversals of the first k members, refined per member.
+    let mut partial: Vec<AttrSet> = vec![AttrSet::empty()];
+    for &member in family {
+        let mut next: HashSet<AttrSet> = HashSet::new();
+        for &t in &partial {
+            if !t.is_disjoint(member) {
+                next.insert(t);
+            } else {
+                for a in member.intersect(universe).iter() {
+                    next.insert(t.with(a));
+                }
+            }
+        }
+        partial = minimal_sets(next);
+    }
+    partial.sort_by_key(|s| (s.len(), s.bits()));
+    partial
+}
+
+/// Number of equivalence classes of Π_X *including singletons* — FUN's and
+/// FDMine's cardinality measure.
+pub fn cardinality(rel: &Relation, attrs: AttrSet) -> usize {
+    let sp = StrippedPartition::of(rel, attrs);
+    sp.class_count() + (rel.n_rows() - sp.tuple_count())
+}
+
+/// Keeps only minimal, non-trivial FDs and sorts canonically.
+pub fn minimize_fds(fds: impl IntoIterator<Item = Fd>) -> Vec<Fd> {
+    let all: Vec<Fd> = fds.into_iter().filter(|f| !f.is_trivial()).collect();
+    let mut out: Vec<Fd> = Vec::new();
+    for f in &all {
+        let minimal = !all
+            .iter()
+            .any(|g| g.rhs == f.rhs && g.lhs.is_proper_subset(f.lhs));
+        if minimal && !out.contains(f) {
+            out.push(*f);
+        }
+    }
+    sort_fds(&mut out);
+    out
+}
+
+/// Canonical output ordering shared by every baseline.
+pub fn sort_fds(fds: &mut [Fd]) {
+    fds.sort_by_key(|f| (f.lhs.len(), f.lhs.bits(), f.rhs));
+}
+
+/// Whether the FD `X → A` holds exactly over `rel` (pairwise equality).
+pub fn fd_holds(rel: &Relation, fd: &Fd) -> bool {
+    let sp = StrippedPartition::of(rel, fd.lhs);
+    let col = rel.column(fd.rhs);
+    sp.classes().iter().all(|class| {
+        let first = col[class[0] as usize];
+        class.iter().all(|&t| col[t as usize] == first)
+    })
+}
+
+/// Brute-force reference: all minimal non-trivial FDs, by enumeration.
+pub fn brute_force_fds(rel: &Relation) -> Vec<Fd> {
+    let n = rel.schema().len();
+    assert!(n <= 16, "brute force is for small schemas");
+    let mut valid: Vec<Fd> = Vec::new();
+    for bits in 0..(1u64 << n) {
+        let lhs = AttrSet::from_bits(bits);
+        for a in rel.schema().attrs() {
+            if lhs.contains(a) {
+                continue;
+            }
+            let fd = Fd::new(lhs, a);
+            if fd_holds(rel, &fd) {
+                valid.push(fd);
+            }
+        }
+    }
+    minimize_fds(valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::{table1, AttrId};
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from_index(i)
+    }
+
+    fn s(items: &[usize]) -> AttrSet {
+        AttrSet::from_attrs(items.iter().map(|&i| a(i)))
+    }
+
+    #[test]
+    fn agree_sets_of_table1_contain_symp_diag_pairs() {
+        let rel = table1();
+        let ag = agree_sets(&rel);
+        // t9 (US,USA,headache,MRI,hypertension,tiazac) vs
+        // t10 (US,America,headache,MRI,hypertension,tiazac): agree on all
+        // but CTRY.
+        let schema = rel.schema();
+        let expected = schema
+            .set(["CC", "SYMP", "TEST", "DIAG", "MED"])
+            .unwrap();
+        assert!(ag.contains(&expected), "missing {expected}");
+        // t1 vs t4 agree on nothing... t1 CC=US, t4 CC=IN; SYMP differ; all
+        // six attributes differ, so the empty agree set must be present.
+        assert!(ag.contains(&AttrSet::empty()));
+    }
+
+    #[test]
+    fn difference_sets_complement_agree_sets() {
+        let rel = table1();
+        let all = rel.schema().all();
+        let ag = agree_sets(&rel);
+        let df = difference_sets(&rel);
+        for d in &df {
+            assert!(ag.contains(&all.minus(*d)));
+        }
+        assert_eq!(ag.len(), df.len());
+    }
+
+    #[test]
+    fn maximal_and_minimal_sets() {
+        let family = vec![s(&[0]), s(&[0, 1]), s(&[2]), s(&[0, 1, 2])];
+        let max = maximal_sets(family.clone());
+        assert_eq!(max, vec![s(&[0, 1, 2])]);
+        let min = minimal_sets(family);
+        let mut min_sorted = min.clone();
+        min_sorted.sort_by_key(|x| x.bits());
+        assert_eq!(min_sorted, vec![s(&[0]), s(&[2])]);
+    }
+
+    #[test]
+    fn transversals_of_simple_family() {
+        let u = s(&[0, 1, 2, 3]);
+        // Family {{0,1},{1,2}} → minimal transversals {1}, {0,2}.
+        let family = vec![s(&[0, 1]), s(&[1, 2])];
+        let ts = minimal_transversals(u, &family);
+        assert_eq!(ts, vec![s(&[1]), s(&[0, 2])]);
+    }
+
+    #[test]
+    fn transversal_edge_cases() {
+        let u = s(&[0, 1]);
+        assert_eq!(minimal_transversals(u, &[]), vec![AttrSet::empty()]);
+        assert!(minimal_transversals(u, &[AttrSet::empty()]).is_empty());
+    }
+
+    #[test]
+    fn cardinality_counts_distinct_projections() {
+        let rel = table1();
+        let schema = rel.schema();
+        assert_eq!(cardinality(&rel, schema.set(["CC"]).unwrap()), 3);
+        assert_eq!(cardinality(&rel, schema.set(["SYMP"]).unwrap()), 4);
+        assert_eq!(cardinality(&rel, AttrSet::empty()), 1);
+        assert_eq!(cardinality(&rel, schema.all()), 11, "all rows distinct");
+    }
+
+    #[test]
+    fn minimize_removes_supersets_and_trivials() {
+        let fds = vec![
+            Fd::new(s(&[0]), a(2)),
+            Fd::new(s(&[0, 1]), a(2)),
+            Fd::new(s(&[0, 2]), a(2)),
+        ];
+        let min = minimize_fds(fds);
+        assert_eq!(min, vec![Fd::new(s(&[0]), a(2))]);
+    }
+
+    #[test]
+    fn brute_force_fds_on_table1_sanity() {
+        let rel = table1();
+        let fds = brute_force_fds(&rel);
+        let schema = rel.schema();
+        // SYMP -> DIAG holds in Table 1.
+        assert!(fds.contains(&Fd::new(
+            schema.set(["SYMP"]).unwrap(),
+            schema.attr("DIAG").unwrap()
+        )));
+        // CC -> CTRY does not (USA vs America).
+        assert!(!fds.iter().any(|f| f.lhs == schema.set(["CC"]).unwrap()
+            && f.rhs == schema.attr("CTRY").unwrap()));
+        // Everything reported holds and is minimal.
+        for f in &fds {
+            assert!(fd_holds(&rel, f));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Dep-Miner (Lopes, Petit & Lakhal, 2000): agree sets → per-attribute
+//! maximal sets → left-hand sides as minimal transversals of their
+//! complements.
+//!
+//! Like FastFDs, the pairwise agree-set computation is quadratic in the
+//! number of tuples (the paper's Exp-1 terminates it beyond 100K records).
+
+use ofd_core::{AttrSet, Fd, Relation};
+
+use crate::common::{agree_sets, maximal_sets, minimal_transversals, sort_fds};
+
+/// Runs Dep-Miner, returning the minimal non-trivial FDs of `rel`.
+pub fn discover(rel: &Relation) -> Vec<Fd> {
+    let schema = rel.schema();
+    let ag: Vec<AttrSet> = agree_sets(rel).into_iter().collect();
+    let mut fds = Vec::new();
+
+    for a in schema.attrs() {
+        let universe = schema.all().without(a);
+        // max(dep(r), A): maximal agree sets not containing A.
+        let max_a = maximal_sets(ag.iter().copied().filter(|s| !s.contains(a)));
+        // X → A holds iff X ⊄ S for every S ∈ max(A), i.e. X hits every
+        // complement (R \ {A}) \ S. Minimal such X are the minimal
+        // transversals.
+        let family: Vec<AttrSet> = max_a.iter().map(|s| universe.minus(*s)).collect();
+        for lhs in minimal_transversals(universe, &family) {
+            fds.push(Fd::new(lhs, a));
+        }
+    }
+
+    sort_fds(&mut fds);
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::brute_force_fds;
+    use ofd_core::table1;
+
+    #[test]
+    fn matches_brute_force_on_table1() {
+        let rel = table1();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn handles_keys_constants_and_undetermined() {
+        let rel = Relation::from_rows(
+            ["K", "C", "U"],
+            [
+                &["1", "c", "x"] as &[&str],
+                &["2", "c", "x"],
+                &["3", "c", "y"],
+            ],
+        )
+        .unwrap();
+        let fds = discover(&rel);
+        assert_eq!(fds, brute_force_fds(&rel));
+        let schema = rel.schema();
+        // C is constant.
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), schema.attr("C").unwrap())));
+        // K is a key, so K -> U.
+        assert!(fds.contains(&Fd::new(
+            schema.set(["K"]).unwrap(),
+            schema.attr("U").unwrap()
+        )));
+    }
+
+    #[test]
+    fn empty_agree_set_blocks_empty_lhs() {
+        // Rows disagree everywhere: only key-like FDs possible; in a
+        // two-row fully-distinct relation each single attribute is a key.
+        let rel = Relation::from_rows(
+            ["A", "B"],
+            [&["1", "x"] as &[&str], &["2", "y"]],
+        )
+        .unwrap();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+}

@@ -1,0 +1,152 @@
+//! FastFDs (Wyss, Giannella & Robertson, 2001): difference-set based FD
+//! discovery via depth-first search for minimal covers.
+//!
+//! Quadratic in tuples (pairwise difference sets), which is why the paper's
+//! Exp-1 shows it timing out beyond ~100K records — a behaviour this
+//! implementation reproduces by construction.
+
+use std::collections::HashSet;
+
+use ofd_core::{AttrId, AttrSet, Fd, Relation};
+
+use crate::common::{difference_sets, minimal_sets, sort_fds};
+
+/// Runs FastFDs, returning the minimal non-trivial FDs of `rel`.
+pub fn discover(rel: &Relation) -> Vec<Fd> {
+    let schema = rel.schema();
+    let all = schema.all();
+    let diffs: Vec<AttrSet> = difference_sets(rel).into_iter().collect();
+    let mut fds: Vec<Fd> = Vec::new();
+
+    for a in schema.attrs() {
+        // D_A: difference sets containing A, with A removed.
+        let d_a: Vec<AttrSet> = diffs
+            .iter()
+            .filter(|d| d.contains(a))
+            .map(|d| d.without(a))
+            .collect();
+        if d_a.iter().any(|d| d.is_empty()) {
+            // Some tuple pair differs *only* on A: no FD with consequent A.
+            continue;
+        }
+        if d_a.is_empty() {
+            // No pair ever differs on A: A is constant.
+            fds.push(Fd::new(AttrSet::empty(), a));
+            continue;
+        }
+        // Minimize per consequent: covering the minimal difference sets
+        // covers them all.
+        let d_a = minimal_sets(d_a);
+        let mut covers: HashSet<AttrSet> = HashSet::new();
+        let order = attribute_order(&d_a, all.without(a));
+        dfs(&d_a, AttrSet::empty(), &order, 0, &mut covers);
+        for x in covers {
+            if is_minimal_cover(x, &d_a) {
+                fds.push(Fd::new(x, a));
+            }
+        }
+    }
+
+    sort_fds(&mut fds);
+    fds
+}
+
+/// Orders candidate attributes by descending frequency in the difference
+/// sets (the paper's greedy heuristic), ties by index.
+fn attribute_order(d_a: &[AttrSet], universe: AttrSet) -> Vec<AttrId> {
+    let mut counted: Vec<(usize, AttrId)> = universe
+        .iter()
+        .map(|attr| {
+            let freq = d_a.iter().filter(|d| d.contains(attr)).count();
+            (freq, attr)
+        })
+        .collect();
+    counted.sort_by_key(|&(freq, attr)| (std::cmp::Reverse(freq), attr));
+    counted.into_iter().map(|(_, a)| a).collect()
+}
+
+/// Depth-first search over attribute orderings, accumulating covers.
+fn dfs(
+    d_a: &[AttrSet],
+    current: AttrSet,
+    order: &[AttrId],
+    next: usize,
+    covers: &mut HashSet<AttrSet>,
+) {
+    if d_a.iter().all(|d| !d.is_disjoint(current)) {
+        covers.insert(current);
+        return;
+    }
+    for (i, &attr) in order.iter().enumerate().skip(next) {
+        // Only branch on attributes that still cover something uncovered.
+        let useful = d_a
+            .iter()
+            .any(|d| d.is_disjoint(current) && d.contains(attr));
+        if useful {
+            dfs(d_a, current.with(attr), order, i + 1, covers);
+        }
+    }
+}
+
+/// A cover is minimal when removing any attribute leaves some difference set
+/// uncovered.
+fn is_minimal_cover(x: AttrSet, d_a: &[AttrSet]) -> bool {
+    x.iter().all(|attr| {
+        let reduced = x.without(attr);
+        d_a.iter().any(|d| d.is_disjoint(reduced))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::brute_force_fds;
+    use ofd_core::table1;
+
+    #[test]
+    fn matches_brute_force_on_table1() {
+        let rel = table1();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn constant_column_yields_empty_lhs() {
+        let rel = Relation::from_rows(
+            ["A", "B"],
+            [&["c", "1"] as &[&str], &["c", "2"]],
+        )
+        .unwrap();
+        let fds = discover(&rel);
+        assert!(fds.contains(&Fd::new(AttrSet::empty(), rel.schema().attr("A").unwrap())));
+        assert_eq!(fds, brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn no_fd_when_pair_differs_only_on_consequent() {
+        // Two rows equal on A, differing on B: nothing determines B.
+        let rel = Relation::from_rows(
+            ["A", "B"],
+            [&["x", "1"] as &[&str], &["x", "2"]],
+        )
+        .unwrap();
+        let fds = discover(&rel);
+        let b = rel.schema().attr("B").unwrap();
+        assert!(fds.iter().all(|f| f.rhs != b));
+        assert_eq!(fds, brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn unmaximized_difference_sets_still_give_minimal_covers() {
+        let rel = Relation::from_rows(
+            ["A", "B", "C", "D"],
+            [
+                &["1", "a", "x", "p"] as &[&str],
+                &["1", "b", "y", "p"],
+                &["2", "a", "y", "q"],
+                &["2", "b", "x", "q"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+}

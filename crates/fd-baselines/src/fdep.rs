@@ -1,0 +1,98 @@
+//! FDep (Flach & Savnik, 1999): negative-cover construction from pairwise
+//! tuple comparisons, followed by positive-cover specialization.
+//!
+//! The negative cover records maximal non-FDs; the positive cover starts at
+//! the most general hypotheses `∅ → A` and is specialized against every
+//! violation. Memory-hungry on large inputs (the paper reports it exceeding
+//! main memory in Exp-1/Exp-2).
+
+use ofd_core::{AttrSet, Fd, Relation};
+
+use crate::common::{agree_sets, maximal_sets, sort_fds};
+
+/// Runs FDep, returning the minimal non-trivial FDs of `rel`.
+pub fn discover(rel: &Relation) -> Vec<Fd> {
+    let schema = rel.schema();
+    let ag: Vec<AttrSet> = agree_sets(rel).into_iter().collect();
+    let mut fds = Vec::new();
+
+    for a in schema.attrs() {
+        let universe = schema.all().without(a);
+        // Negative cover for A: maximal agree sets S with A ∉ S — every
+        // X ⊆ S is a violated antecedent for X → A.
+        let violations = maximal_sets(ag.iter().copied().filter(|s| !s.contains(a)));
+
+        // Positive cover: start with the most general hypothesis ∅ → A and
+        // specialize against each violation.
+        let mut cover: Vec<AttrSet> = vec![AttrSet::empty()];
+        for s in &violations {
+            let mut next: Vec<AttrSet> = Vec::new();
+            let mut to_specialize: Vec<AttrSet> = Vec::new();
+            for x in cover {
+                if x.is_subset(*s) {
+                    to_specialize.push(x);
+                } else {
+                    next.push(x);
+                }
+            }
+            for x in to_specialize {
+                for b in universe.minus(*s).iter() {
+                    let candidate = x.with(b);
+                    // Keep only most-general (minimal) hypotheses.
+                    if !next.iter().any(|y| y.is_subset(candidate)) {
+                        next.retain(|y| !candidate.is_subset(*y));
+                        next.push(candidate);
+                    }
+                }
+            }
+            cover = next;
+        }
+        for lhs in cover {
+            fds.push(Fd::new(lhs, a));
+        }
+    }
+
+    sort_fds(&mut fds);
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::brute_force_fds;
+    use ofd_core::table1;
+
+    #[test]
+    fn matches_brute_force_on_table1() {
+        let rel = table1();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn specialization_handles_overlapping_violations() {
+        let rel = Relation::from_rows(
+            ["A", "B", "C"],
+            [
+                &["1", "x", "p"] as &[&str],
+                &["1", "x", "q"],
+                &["2", "x", "p"],
+                &["2", "y", "q"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn all_identical_rows_make_everything_constant() {
+        let rel = Relation::from_rows(
+            ["A", "B"],
+            [&["x", "y"] as &[&str], &["x", "y"], &["x", "y"]],
+        )
+        .unwrap();
+        let fds = discover(&rel);
+        assert_eq!(fds.len(), 2);
+        assert!(fds.iter().all(|f| f.lhs.is_empty()));
+        assert_eq!(fds, brute_force_fds(&rel));
+    }
+}

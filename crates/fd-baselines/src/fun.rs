@@ -1,0 +1,205 @@
+//! FUN (Novelli & Cicchetti, 2001): FD discovery over *free sets* —
+//! attribute sets none of whose proper subsets has the same cardinality
+//! (number of distinct projections).
+//!
+//! Freeness is anti-monotone, so the free sets form a downward-closed
+//! level-wise search space; `X → A` holds iff `|Π_X| = |Π_{X∪A}|`, and
+//! minimal FD antecedents are always free sets.
+
+use std::collections::HashMap;
+
+use ofd_core::{AttrId, AttrSet, Fd, ProductScratch, Relation, StrippedPartition};
+
+use crate::common::sort_fds;
+
+struct Node {
+    attrs: AttrSet,
+    partition: StrippedPartition,
+    card: usize,
+}
+
+fn card_of(rel: &Relation, p: &StrippedPartition) -> usize {
+    p.class_count() + (rel.n_rows() - p.tuple_count())
+}
+
+/// Runs FUN, returning the minimal non-trivial FDs of `rel`.
+pub fn discover(rel: &Relation) -> Vec<Fd> {
+    let schema = rel.schema();
+    let n = schema.len();
+    let n_rows = rel.n_rows();
+    let mut scratch = ProductScratch::default();
+    let mut fds: Vec<Fd> = Vec::new();
+
+    // Single-attribute partitions (reused to extend candidates by one
+    // attribute when probing X → A).
+    let single: Vec<StrippedPartition> = schema
+        .attrs()
+        .map(|a| StrippedPartition::of_attr(rel, a))
+        .collect();
+    let single_card: Vec<usize> = single.iter().map(|p| card_of(rel, p)).collect();
+
+    // Level 0: the empty set. Its cardinality is 1 (0 for an empty
+    // relation); columns matching it are constants, giving ∅ → A.
+    let card0 = usize::from(n_rows > 0);
+    for a in schema.attrs() {
+        if single_card[a.index()] == card0 {
+            fds.push(Fd::new(AttrSet::empty(), a));
+        }
+    }
+
+    // Level 1: free singletons — {A} is free iff card({A}) > card(∅).
+    let mut prev: Vec<Node> = schema
+        .attrs()
+        .filter(|a| single_card[a.index()] > card0)
+        .map(|a| Node {
+            attrs: AttrSet::single(a),
+            partition: single[a.index()].clone(),
+            card: single_card[a.index()],
+        })
+        .collect();
+    // Cardinalities of all known free sets (for freeness tests).
+    let mut card_by_set: HashMap<u64, usize> = std::iter::once((0u64, card0)).collect();
+    for node in &prev {
+        card_by_set.insert(node.attrs.bits(), node.card);
+    }
+
+    for _level in 1..=n {
+        // Emit FDs from the current free sets: X → A iff card(X∪A)=card(X).
+        for node in &prev {
+            if node.card == n_rows {
+                // X is a key: X → A for all A ∉ X; supersets are non-free.
+                for a in schema.all().minus(node.attrs).iter() {
+                    push_if_minimal(&mut fds, Fd::new(node.attrs, a));
+                }
+                continue;
+            }
+            for a in schema.all().minus(node.attrs).iter() {
+                let joined = node
+                    .partition
+                    .product_with_scratch(&single[a.index()], &mut scratch);
+                if card_of(rel, &joined) == node.card {
+                    push_if_minimal(&mut fds, Fd::new(node.attrs, a));
+                }
+            }
+        }
+
+        // Generate next level of free sets.
+        let prev_index: HashMap<u64, usize> = prev
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.attrs.bits(), i))
+            .collect();
+        let mut next: Vec<Node> = Vec::new();
+        let mut order: Vec<usize> = (0..prev.len()).collect();
+        order.sort_by_key(|&i| {
+            let attrs: Vec<u16> = prev[i].attrs.iter().map(|x| x.index() as u16).collect();
+            attrs
+        });
+        let mut block_start = 0;
+        while block_start < order.len() {
+            let head = prev[order[block_start]].attrs;
+            let head_prefix = head.without(last_attr(head));
+            let mut block_end = block_start + 1;
+            while block_end < order.len() {
+                let cur = prev[order[block_end]].attrs;
+                if cur.without(last_attr(cur)) != head_prefix {
+                    break;
+                }
+                block_end += 1;
+            }
+            for i in block_start..block_end {
+                for j in (i + 1)..block_end {
+                    let a = &prev[order[i]];
+                    let b = &prev[order[j]];
+                    let attrs = a.attrs.union(b.attrs);
+                    if !attrs
+                        .parents()
+                        .all(|(_, p)| prev_index.contains_key(&p.bits()))
+                    {
+                        continue; // some subset is non-free ⇒ X is non-free
+                    }
+                    let partition = a.partition.product_with_scratch(&b.partition, &mut scratch);
+                    let card = card_of(rel, &partition);
+                    // Free iff strictly finer than every parent.
+                    let free = attrs.parents().all(|(_, p)| {
+                        card_by_set
+                            .get(&p.bits())
+                            .is_some_and(|&pc| pc < card)
+                    });
+                    if free {
+                        card_by_set.insert(attrs.bits(), card);
+                        next.push(Node {
+                            attrs,
+                            partition,
+                            card,
+                        });
+                    }
+                }
+            }
+            block_start = block_end;
+        }
+        if next.is_empty() {
+            break;
+        }
+        prev = next;
+    }
+
+    sort_fds(&mut fds);
+    fds.dedup();
+    fds
+}
+
+fn push_if_minimal(fds: &mut Vec<Fd>, fd: Fd) {
+    if fds
+        .iter()
+        .any(|g| g.rhs == fd.rhs && g.lhs.is_subset(fd.lhs))
+    {
+        return;
+    }
+    fds.retain(|g| !(g.rhs == fd.rhs && fd.lhs.is_proper_subset(g.lhs)));
+    fds.push(fd);
+}
+
+fn last_attr(set: AttrSet) -> AttrId {
+    set.iter().last().expect("non-empty node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::brute_force_fds;
+    use ofd_core::table1;
+
+    #[test]
+    fn matches_brute_force_on_table1() {
+        let rel = table1();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn constants_and_keys() {
+        let rel = Relation::from_rows(
+            ["K", "C", "V"],
+            [
+                &["1", "c", "x"] as &[&str],
+                &["2", "c", "y"],
+                &["3", "c", "x"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(discover(&rel), brute_force_fds(&rel));
+    }
+
+    #[test]
+    fn equal_cardinality_columns_are_bidirectional() {
+        // A and B are renamings of each other: A -> B and B -> A.
+        let rel = Relation::from_rows(
+            ["A", "B"],
+            [&["1", "x"] as &[&str], &["2", "y"], &["1", "x"]],
+        )
+        .unwrap();
+        let fds = discover(&rel);
+        assert_eq!(fds, brute_force_fds(&rel));
+        assert_eq!(fds.len(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Checked applications of the OFD inference rules (Theorem 3.3) and the
+//! derived rules proved from them (Reflexivity, Augmentation, Union —
+//! the Opt-1/Opt-2 pruning rules of §3.2).
+//!
+//! Each function validates its side condition and returns the inferred
+//! dependency, so tests and the derivation engine can build sound proofs
+//! only.
+
+use crate::types::Dependency;
+use ofd_core::AttrSet;
+
+/// **O1 Identity**: `X → X` for any `X ⊆ R`.
+pub fn identity(x: AttrSet) -> Dependency {
+    Dependency::new(x, x)
+}
+
+/// **O2 Decomposition**: from `X → Y` and `Z ⊆ Y`, infer `X → Z`.
+/// Returns `None` when `Z ⊄ Y`.
+pub fn decomposition(premise: &Dependency, z: AttrSet) -> Option<Dependency> {
+    z.is_subset(premise.rhs)
+        .then(|| Dependency::new(premise.lhs, z))
+}
+
+/// **O3 Composition**: from `X → Y` and `Z → W`, infer `XZ → YW`.
+pub fn composition(d1: &Dependency, d2: &Dependency) -> Dependency {
+    Dependency::new(d1.lhs.union(d2.lhs), d1.rhs.union(d2.rhs))
+}
+
+/// **Reflexivity** (derived; Opt-1): if `Y ⊆ X` then `X → Y`.
+/// Returns `None` when `Y ⊄ X`.
+pub fn reflexivity(x: AttrSet, y: AttrSet) -> Option<Dependency> {
+    y.is_subset(x).then(|| Dependency::new(x, y))
+}
+
+/// **Augmentation** (derived; Opt-2): from `X → A`, infer `XY → A` for any
+/// `Y`. This is why supersets of a satisfied antecedent are pruned from the
+/// discovery lattice.
+pub fn augmentation(premise: &Dependency, y: AttrSet) -> Dependency {
+    Dependency::new(premise.lhs.union(y), premise.rhs)
+}
+
+/// **Union** (derived): from `X → Y` and `X → Z`, infer `X → YZ`.
+/// Returns `None` when the antecedents differ.
+pub fn union(d1: &Dependency, d2: &Dependency) -> Option<Dependency> {
+    (d1.lhs == d2.lhs).then(|| Dependency::new(d1.lhs, d1.rhs.union(d2.rhs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::implies;
+    use ofd_core::AttrId;
+    use proptest::prelude::*;
+
+    fn s(bits: u64) -> AttrSet {
+        AttrSet::from_bits(bits)
+    }
+
+    #[test]
+    fn rule_side_conditions() {
+        let d = Dependency::new(s(0b001), s(0b110));
+        assert_eq!(identity(s(0b101)), Dependency::new(s(0b101), s(0b101)));
+        assert_eq!(decomposition(&d, s(0b010)), Some(Dependency::new(s(0b001), s(0b010))));
+        assert_eq!(decomposition(&d, s(0b001)), None, "Z ⊄ Y");
+        assert_eq!(reflexivity(s(0b011), s(0b010)), Some(Dependency::new(s(0b011), s(0b010))));
+        assert_eq!(reflexivity(s(0b011), s(0b100)), None);
+        let e = Dependency::new(s(0b100), s(0b1000));
+        assert_eq!(composition(&d, &e), Dependency::new(s(0b101), s(0b1110)));
+        assert_eq!(augmentation(&d, s(0b1000)), Dependency::new(s(0b1001), s(0b110)));
+        let f = Dependency::new(s(0b001), s(0b1000));
+        assert_eq!(union(&d, &f), Some(Dependency::new(s(0b001), s(0b1110))));
+        assert_eq!(union(&e, &f), None, "different antecedents");
+    }
+
+    #[test]
+    fn derived_rules_follow_from_o1_o3() {
+        // Reflexivity = Identity + Decomposition.
+        let x = s(0b0111);
+        let y = s(0b0011);
+        let via_primitives = decomposition(&identity(x), y).unwrap();
+        assert_eq!(Some(via_primitives), reflexivity(x, y));
+
+        // Union = Composition + Decomposition (on the shared antecedent).
+        let d1 = Dependency::new(x, s(0b1000));
+        let d2 = Dependency::new(x, s(0b10000));
+        let composed = composition(&d1, &d2); // X∪X → YW
+        assert_eq!(composed.lhs, x);
+        assert_eq!(Some(composed), union(&d1, &d2));
+    }
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from_index(i)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Every rule output is implied by its premises — the rules are
+        /// sound w.r.t. the closure-based semantics.
+        #[test]
+        fn rules_are_sound_wrt_implication(
+            l1 in 0u64..64, r1 in 0u64..64, l2 in 0u64..64, r2 in 0u64..64, z in 0u64..64,
+        ) {
+            let d1 = Dependency::new(s(l1), s(r1));
+            let d2 = Dependency::new(s(l2), s(r2));
+            let sigma = [d1, d2];
+            prop_assert!(implies(&sigma, &composition(&d1, &d2)));
+            prop_assert!(implies(&sigma, &augmentation(&d1, s(z))));
+            if let Some(d) = decomposition(&d1, s(z)) {
+                prop_assert!(implies(&sigma, &d));
+            }
+            if let Some(d) = union(&d1, &d2) {
+                prop_assert!(implies(&sigma, &d));
+            }
+            if let Some(d) = reflexivity(s(l1), s(z)) {
+                prop_assert!(implies(&[], &d), "reflexive deps need no premises");
+            }
+            prop_assert!(implies(&[], &identity(s(l1))));
+            let _ = a(0);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Attribute-set closure and implication (Definition 3.1, Algorithm 1,
+//! Theorem 3.7).
+//!
+//! Two implementations:
+//!
+//! * [`closure_naive`] — a literal transcription of the paper's Algorithm 1
+//!   (repeatedly fire any unused dependency whose antecedent is contained in
+//!   the current set); worst-case quadratic in |Σ| but obviously correct.
+//! * [`closure`] — the linear-time counting algorithm (Beeri–Bernstein):
+//!   each dependency keeps a count of antecedent attributes not yet in the
+//!   closure; an attribute→dependency index lets each attribute be processed
+//!   once. This realizes Theorem 3.7's linear bound.
+//!
+//! Property tests assert the two agree on random inputs.
+
+use crate::types::Dependency;
+use ofd_core::{AttrId, AttrSet, MAX_ATTRS};
+
+/// The paper's Algorithm 1: closure of `attrs` under `sigma`, firing unused
+/// dependencies until a fixpoint.
+pub fn closure_naive(attrs: AttrSet, sigma: &[Dependency]) -> AttrSet {
+    let mut x = attrs;
+    let mut unused: Vec<bool> = vec![true; sigma.len()];
+    loop {
+        let fired = sigma.iter().enumerate().find(|(i, d)| {
+            unused[*i] && d.lhs.is_subset(x) && !d.rhs.is_subset(x)
+        });
+        match fired {
+            Some((i, d)) => {
+                x = x.union(d.rhs);
+                unused[i] = false;
+            }
+            None => {
+                // Also retire dependencies that add nothing, mirroring the
+                // Σ_unused bookkeeping; the fixpoint is reached either way.
+                return x;
+            }
+        }
+    }
+}
+
+/// Linear-time closure of `attrs` under `sigma`.
+pub fn closure(attrs: AttrSet, sigma: &[Dependency]) -> AttrSet {
+    // counter[i]: antecedent attributes of sigma[i] still missing from the
+    // closure. uses[a]: dependencies whose antecedent contains attribute a.
+    let mut counter: Vec<usize> = sigma.iter().map(|d| d.lhs.len()).collect();
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); MAX_ATTRS];
+    for (i, d) in sigma.iter().enumerate() {
+        for a in d.lhs.iter() {
+            uses[a.index()].push(i);
+        }
+    }
+
+    let mut result = attrs;
+    let mut queue: Vec<AttrId> = attrs.iter().collect();
+
+    // Dependencies with empty antecedents fire unconditionally.
+    for (i, d) in sigma.iter().enumerate() {
+        if counter[i] == 0 {
+            for b in d.rhs.minus(result).iter() {
+                result.insert(b);
+                queue.push(b);
+            }
+        }
+    }
+
+    while let Some(a) = queue.pop() {
+        for &i in &uses[a.index()] {
+            counter[i] -= 1;
+            if counter[i] == 0 {
+                for b in sigma[i].rhs.minus(result).iter() {
+                    result.insert(b);
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Whether `sigma ⊨ dep` — equivalently (Lemma 3.2) whether
+/// `dep.rhs ⊆ closure(dep.lhs)`.
+pub fn implies(sigma: &[Dependency], dep: &Dependency) -> bool {
+    dep.rhs.is_subset(closure(dep.lhs, sigma))
+}
+
+/// Whether two dependency sets imply each other.
+pub fn equivalent(a: &[Dependency], b: &[Dependency]) -> bool {
+    a.iter().all(|d| implies(b, d)) && b.iter().all(|d| implies(a, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::AttrId;
+    use proptest::prelude::*;
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from_index(i)
+    }
+
+    fn dep(lhs: &[usize], rhs: &[usize]) -> Dependency {
+        Dependency::new(
+            AttrSet::from_attrs(lhs.iter().map(|&i| a(i))),
+            AttrSet::from_attrs(rhs.iter().map(|&i| a(i))),
+        )
+    }
+
+    #[test]
+    fn closure_reaches_transitive_consequences() {
+        // Inference is shape-level, where chaining *is* valid (the axioms
+        // derive X→AB from X→A, A→B via Composition with X→X).
+        let sigma = vec![dep(&[0], &[1]), dep(&[1], &[2]), dep(&[2, 3], &[4])];
+        let c = closure(AttrSet::single(a(0)), &sigma);
+        assert_eq!(c, AttrSet::from_attrs([a(0), a(1), a(2)]));
+        let c2 = closure(AttrSet::from_attrs([a(0), a(3)]), &sigma);
+        assert_eq!(c2, AttrSet::from_attrs([a(0), a(1), a(2), a(3), a(4)]));
+    }
+
+    #[test]
+    fn closure_of_empty_set_fires_empty_lhs_deps() {
+        let sigma = vec![dep(&[], &[3]), dep(&[3], &[4])];
+        let c = closure(AttrSet::empty(), &sigma);
+        assert_eq!(c, AttrSet::from_attrs([a(3), a(4)]));
+    }
+
+    #[test]
+    fn implies_example_3_9() {
+        // Σ = {CC→CTRY, {CC,DIAG}→MED}; then {CC,DIAG}→{MED,CTRY} follows
+        // by Composition (the paper's Example 3.9 redundancy).
+        let cc = 0;
+        let ctry = 1;
+        let diag = 2;
+        let med = 3;
+        let sigma = vec![dep(&[cc], &[ctry]), dep(&[cc, diag], &[med])];
+        assert!(implies(&sigma, &dep(&[cc, diag], &[med, ctry])));
+        assert!(!implies(&sigma, &dep(&[diag], &[med])));
+    }
+
+    #[test]
+    fn equivalent_detects_redundancy() {
+        let sigma3 = vec![
+            dep(&[0], &[1]),
+            dep(&[0, 2], &[3]),
+            dep(&[0, 2], &[3, 1]),
+        ];
+        let sigma2 = vec![dep(&[0], &[1]), dep(&[0, 2], &[3])];
+        assert!(equivalent(&sigma3, &sigma2));
+        assert!(!equivalent(&sigma2, &[dep(&[0], &[1])]));
+    }
+
+    #[test]
+    fn trivial_dependencies_always_implied() {
+        assert!(implies(&[], &dep(&[0, 1], &[1])));
+        assert!(implies(&[], &dep(&[2], &[])));
+    }
+
+    fn arb_dep(width: usize) -> impl Strategy<Value = Dependency> {
+        let m = (1u64 << width) - 1;
+        (0..=m, 0..=m).prop_map(|(l, r)| Dependency::new(AttrSet::from_bits(l), AttrSet::from_bits(r)))
+    }
+
+    proptest! {
+        #[test]
+        fn linear_matches_naive(
+            sigma in prop::collection::vec(arb_dep(8), 0..12),
+            start in 0u64..256,
+        ) {
+            let x = AttrSet::from_bits(start);
+            prop_assert_eq!(closure(x, &sigma), closure_naive(x, &sigma));
+        }
+
+        #[test]
+        fn closure_is_monotone_and_idempotent(
+            sigma in prop::collection::vec(arb_dep(8), 0..12),
+            start in 0u64..256,
+            extra in 0u64..256,
+        ) {
+            let x = AttrSet::from_bits(start);
+            let y = AttrSet::from_bits(start | extra);
+            let cx = closure(x, &sigma);
+            let cy = closure(y, &sigma);
+            // Extensive: X ⊆ X⁺.
+            prop_assert!(x.is_subset(cx));
+            // Monotone: X ⊆ Y ⇒ X⁺ ⊆ Y⁺.
+            prop_assert!(cx.is_subset(cy));
+            // Idempotent: (X⁺)⁺ = X⁺.
+            prop_assert_eq!(closure(cx, &sigma), cx);
+        }
+
+        #[test]
+        fn every_sigma_member_is_implied(
+            sigma in prop::collection::vec(arb_dep(8), 1..12),
+        ) {
+            for d in &sigma {
+                prop_assert!(implies(&sigma, d));
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal covers (Definition 3.8, Theorem "every set of OFDs has a minimal
+//! cover").
+
+use crate::closure::{closure, equivalent, implies};
+use crate::types::Dependency;
+
+/// Removes extraneous antecedent attributes from one single-consequent
+/// dependency w.r.t. `sigma` (condition 2 of Definition 3.8): an attribute
+/// `B ∈ X` is extraneous for `X → A` when `A ∈ (X \ B)⁺`.
+pub fn remove_extraneous_lhs(dep: Dependency, sigma: &[Dependency]) -> Dependency {
+    debug_assert_eq!(dep.rhs.len(), 1, "normalize consequents first");
+    let mut lhs = dep.lhs;
+    // Iterate to a fixpoint; attribute order is ascending for determinism.
+    loop {
+        let mut changed = false;
+        for b in lhs.iter() {
+            let reduced = lhs.without(b);
+            if dep.rhs.is_subset(closure(reduced, sigma)) {
+                lhs = reduced;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            return Dependency::new(lhs, dep.rhs);
+        }
+    }
+}
+
+/// Computes a minimal cover of `sigma` (Definition 3.8):
+///
+/// 1. every consequent is a single attribute (Decomposition);
+/// 2. no antecedent attribute is extraneous;
+/// 3. no dependency is redundant.
+///
+/// The result is equivalent to the input and deterministic for a given input
+/// order.
+pub fn minimal_cover(sigma: &[Dependency]) -> Vec<Dependency> {
+    // Step 1: normalize to single consequents, dropping trivial parts.
+    let mut g: Vec<Dependency> = sigma
+        .iter()
+        .flat_map(|d| d.split())
+        .filter(|d| !d.is_trivial())
+        .collect();
+    g.sort_by_key(|d| (d.lhs.len(), d.lhs.bits(), d.rhs.bits()));
+    g.dedup();
+
+    // Step 2: drop extraneous antecedent attributes.
+    // Recompute against the evolving set for correctness.
+    for i in 0..g.len() {
+        let reduced = remove_extraneous_lhs(g[i], &g);
+        g[i] = reduced;
+    }
+    g.sort_by_key(|d| (d.lhs.len(), d.lhs.bits(), d.rhs.bits()));
+    g.dedup();
+
+    // Step 3: drop redundant dependencies.
+    let mut keep: Vec<Dependency> = Vec::with_capacity(g.len());
+    for i in 0..g.len() {
+        let rest: Vec<Dependency> = keep
+            .iter()
+            .copied()
+            .chain(g[i + 1..].iter().copied())
+            .collect();
+        if !implies(&rest, &g[i]) {
+            keep.push(g[i]);
+        }
+    }
+    keep
+}
+
+/// Checks the three conditions of Definition 3.8 on `sigma`.
+pub fn is_minimal_cover(sigma: &[Dependency]) -> bool {
+    // Condition 1: single-attribute consequents.
+    if sigma.iter().any(|d| d.rhs.len() != 1) {
+        return false;
+    }
+    // Condition 2: no proper-subset antecedent yields an equivalent set.
+    for (i, d) in sigma.iter().enumerate() {
+        for b in d.lhs.iter() {
+            let mut replaced: Vec<Dependency> = sigma.to_vec();
+            replaced[i] = Dependency::new(d.lhs.without(b), d.rhs);
+            if equivalent(sigma, &replaced) {
+                return false;
+            }
+        }
+    }
+    // Condition 3: no dependency is redundant.
+    for i in 0..sigma.len() {
+        let rest: Vec<Dependency> = sigma
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, d)| *d)
+            .collect();
+        if implies(&rest, &sigma[i]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::{AttrId, AttrSet};
+    use proptest::prelude::*;
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from_index(i)
+    }
+
+    fn dep(lhs: &[usize], rhs: &[usize]) -> Dependency {
+        Dependency::new(
+            AttrSet::from_attrs(lhs.iter().map(|&i| a(i))),
+            AttrSet::from_attrs(rhs.iter().map(|&i| a(i))),
+        )
+    }
+
+    #[test]
+    fn example_3_9_cover_drops_composed_dependency() {
+        // Σ = {CC→CTRY, {CC,DIAG}→MED, {CC,DIAG}→{MED,CTRY}} is not minimal;
+        // the third member follows by Composition.
+        let sigma = vec![
+            dep(&[0], &[1]),
+            dep(&[0, 2], &[3]),
+            dep(&[0, 2], &[3, 1]),
+        ];
+        let cover = minimal_cover(&sigma);
+        assert!(equivalent(&sigma, &cover));
+        assert!(is_minimal_cover(&cover));
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn extraneous_attributes_are_removed() {
+        // With A→B, the dependency {A,C}→B has an extraneous C.
+        let sigma = vec![dep(&[0], &[1]), dep(&[0, 2], &[1])];
+        let cover = minimal_cover(&sigma);
+        assert!(is_minimal_cover(&cover));
+        assert_eq!(cover, vec![dep(&[0], &[1])]);
+    }
+
+    #[test]
+    fn trivial_dependencies_vanish() {
+        let sigma = vec![dep(&[0, 1], &[1]), dep(&[2], &[2])];
+        assert!(minimal_cover(&sigma).is_empty());
+    }
+
+    #[test]
+    fn remove_extraneous_is_stable_when_nothing_extraneous() {
+        let sigma = vec![dep(&[0, 1], &[2])];
+        let d = remove_extraneous_lhs(sigma[0], &sigma);
+        assert_eq!(d, sigma[0]);
+    }
+
+    #[test]
+    fn cover_of_cycle_keeps_both_directions() {
+        let sigma = vec![dep(&[0], &[1]), dep(&[1], &[0])];
+        let cover = minimal_cover(&sigma);
+        assert!(equivalent(&sigma, &cover));
+        assert!(is_minimal_cover(&cover));
+        assert_eq!(cover.len(), 2);
+    }
+
+    fn arb_dep(width: usize) -> impl Strategy<Value = Dependency> {
+        let m = (1u64 << width) - 1;
+        (0..=m, 0..=m)
+            .prop_map(|(l, r)| Dependency::new(AttrSet::from_bits(l), AttrSet::from_bits(r)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn cover_is_equivalent_and_minimal(
+            sigma in prop::collection::vec(arb_dep(6), 0..8),
+        ) {
+            let cover = minimal_cover(&sigma);
+            prop_assert!(equivalent(&sigma, &cover));
+            prop_assert!(is_minimal_cover(&cover));
+        }
+
+        #[test]
+        fn cover_is_idempotent(
+            sigma in prop::collection::vec(arb_dep(6), 0..8),
+        ) {
+            let c1 = minimal_cover(&sigma);
+            let c2 = minimal_cover(&c1);
+            prop_assert!(equivalent(&c1, &c2));
+            prop_assert_eq!(c1.len(), c2.len());
+        }
+    }
+}

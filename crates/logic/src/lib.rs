@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # ofd-logic
+//!
+//! The formal framework of §3: a sound and complete axiomatization for OFDs
+//! (Identity, Decomposition, Composition — Theorem 3.3), the linear-time
+//! closure / inference procedure (Algorithm 1, Theorem 3.7), minimal covers
+//! (Definition 3.8), and a small derivation engine that produces explicit
+//! axiom-level proofs.
+//!
+//! OFD inference is *kind-agnostic*: the paper shows the OFD axiom system is
+//! equivalent to Lien's NFD system (Theorem 3.5), so implication depends
+//! only on the attribute-set shape of the dependencies, never on the
+//! ontology. This crate therefore works on bare `(lhs, rhs)` pairs
+//! ([`Dependency`]) convertible from both [`ofd_core::Fd`] and
+//! [`ofd_core::Ofd`].
+//!
+//! A notable *non*-theorem: **Transitivity fails for OFDs** (Example 3.2).
+//! The test `transitivity_counterexample` reproduces the paper's
+//! three-tuple instance where `A →syn B` and `B →syn C` hold but
+//! `A →syn C` does not — which is exactly why the axiom system above, and
+//! not Armstrong's, is used for OFD pruning.
+
+mod axioms;
+mod closure;
+mod cover;
+mod derive;
+pub mod nfd;
+mod types;
+
+pub use axioms::{augmentation, composition, decomposition, identity, reflexivity, union};
+pub use closure::{closure, closure_naive, equivalent, implies};
+pub use cover::{is_minimal_cover, minimal_cover, remove_extraneous_lhs};
+pub use derive::{derive, Derivation, Rule, Step};
+pub use types::Dependency;

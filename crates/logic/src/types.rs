@@ -1,0 +1,108 @@
+//! The shape-level dependency type used by inference.
+
+use std::fmt;
+
+use ofd_core::{AttrSet, Fd, Ofd, Schema};
+
+/// A dependency `X → Y` at the attribute-set level — the unit of logical
+/// inference, agnostic to synonym/inheritance semantics (Theorem 3.5 makes
+/// OFD inference equivalent to NFD inference, which depends only on shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dependency {
+    /// Antecedent.
+    pub lhs: AttrSet,
+    /// Consequent (possibly multi-attribute; covers split it).
+    pub rhs: AttrSet,
+}
+
+impl Dependency {
+    /// Constructs a dependency.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Dependency {
+        Dependency { lhs, rhs }
+    }
+
+    /// Whether the dependency is trivial (`Y ⊆ X`, provable by Reflexivity).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// Splits a multi-attribute consequent into single-attribute
+    /// dependencies (justified by Decomposition; reversible by Union).
+    pub fn split(&self) -> impl Iterator<Item = Dependency> + '_ {
+        self.rhs
+            .iter()
+            .map(move |a| Dependency::new(self.lhs, AttrSet::single(a)))
+    }
+
+    /// Renders with attribute names.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!(
+            "{} -> {}",
+            schema.display_set(self.lhs),
+            schema.display_set(self.rhs)
+        )
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+impl From<Fd> for Dependency {
+    fn from(fd: Fd) -> Dependency {
+        Dependency::new(fd.lhs, AttrSet::single(fd.rhs))
+    }
+}
+
+impl From<Ofd> for Dependency {
+    fn from(ofd: Ofd) -> Dependency {
+        Dependency::new(ofd.lhs, AttrSet::single(ofd.rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::AttrId;
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from_index(i)
+    }
+
+    #[test]
+    fn triviality_and_split() {
+        let d = Dependency::new(
+            AttrSet::from_attrs([a(0), a(1)]),
+            AttrSet::from_attrs([a(1), a(2)]),
+        );
+        assert!(!d.is_trivial());
+        let parts: Vec<Dependency> = d.split().collect();
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.lhs == d.lhs && p.rhs.len() == 1));
+
+        let t = Dependency::new(AttrSet::from_attrs([a(0), a(1)]), AttrSet::single(a(1)));
+        assert!(t.is_trivial());
+    }
+
+    #[test]
+    fn conversions_from_core_types() {
+        let fd = Fd::new(AttrSet::single(a(0)), a(2));
+        let d: Dependency = fd.into();
+        assert_eq!(d.rhs, AttrSet::single(a(2)));
+        let ofd = Ofd::synonym(AttrSet::single(a(1)), a(3));
+        let d2: Dependency = ofd.into();
+        assert_eq!(d2.lhs, AttrSet::single(a(1)));
+    }
+
+    #[test]
+    fn display_with_schema() {
+        let schema = Schema::new(["CC", "CTRY", "MED"]).unwrap();
+        let d = Dependency::new(
+            schema.set(["CC"]).unwrap(),
+            schema.set(["CTRY", "MED"]).unwrap(),
+        );
+        assert_eq!(d.display(&schema), "[CC] -> [CTRY, MED]");
+    }
+}

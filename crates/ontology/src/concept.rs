@@ -1,0 +1,154 @@
+//! Concept (class/sense) nodes and their identifiers.
+
+use std::fmt;
+
+/// Identifier of a [`Concept`] inside one [`crate::Ontology`].
+///
+/// Following the paper, a concept doubles as a **sense**: the interpretation
+/// under which a set of values are mutually synonymous. Sense ids are dense
+/// indices assigned in insertion order, so they can be used to index
+/// side-tables (`Vec<T>` keyed by sense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SenseId(pub(crate) u32);
+
+impl SenseId {
+    /// The dense index of this sense (0-based, insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a sense id from a dense index.
+    ///
+    /// Only meaningful for indices previously obtained from [`SenseId::index`]
+    /// against the same ontology.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        SenseId(u32::try_from(index).expect("sense index exceeds u32"))
+    }
+}
+
+impl fmt::Display for SenseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λ{}", self.0)
+    }
+}
+
+/// Identifier of an interpretation label (e.g. `FDA`, `MoH`, `ISO`, `UN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InterpretationId(pub(crate) u16);
+
+impl InterpretationId {
+    /// The dense index of this interpretation (0-based, insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an interpretation id from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        InterpretationId(u16::try_from(index).expect("interpretation index exceeds u16"))
+    }
+}
+
+/// A node of the ontology forest: a class `E` with a synonym set and an
+/// optional is-a parent.
+///
+/// The first synonym is the concept's *canonical* value, used by the cleaning
+/// algorithms when they project an equivalence class onto a sense.
+#[derive(Debug, Clone)]
+pub struct Concept {
+    pub(crate) id: SenseId,
+    pub(crate) label: String,
+    pub(crate) parent: Option<SenseId>,
+    pub(crate) children: Vec<SenseId>,
+    pub(crate) synonyms: Vec<String>,
+    pub(crate) interpretations: Vec<InterpretationId>,
+}
+
+impl Concept {
+    /// This concept's identifier.
+    #[inline]
+    pub fn id(&self) -> SenseId {
+        self.id
+    }
+
+    /// Human-readable class label (e.g. `"diltiazem hydrochloride"`).
+    #[inline]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The is-a parent, or `None` for a root concept.
+    #[inline]
+    pub fn parent(&self) -> Option<SenseId> {
+        self.parent
+    }
+
+    /// Direct is-a children.
+    #[inline]
+    pub fn children(&self) -> &[SenseId] {
+        &self.children
+    }
+
+    /// The synonym set `synonyms(E)` of this class.
+    #[inline]
+    pub fn synonyms(&self) -> &[String] {
+        &self.synonyms
+    }
+
+    /// The canonical value (first synonym), if the concept has synonyms.
+    #[inline]
+    pub fn canonical(&self) -> Option<&str> {
+        self.synonyms.first().map(String::as_str)
+    }
+
+    /// Interpretation labels under which this concept is defined.
+    #[inline]
+    pub fn interpretations(&self) -> &[InterpretationId] {
+        &self.interpretations
+    }
+
+    /// Whether `value` is one of this concept's synonyms.
+    pub fn has_synonym(&self, value: &str) -> bool {
+        self.synonyms.iter().any(|s| s == value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sense_id_round_trips_through_index() {
+        let id = SenseId(42);
+        assert_eq!(SenseId::from_index(id.index()), id);
+        assert_eq!(id.to_string(), "λ42");
+    }
+
+    #[test]
+    fn interpretation_id_round_trips_through_index() {
+        let id = InterpretationId(7);
+        assert_eq!(InterpretationId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn concept_accessors() {
+        let c = Concept {
+            id: SenseId(3),
+            label: "NSAID".into(),
+            parent: Some(SenseId(0)),
+            children: vec![],
+            synonyms: vec!["ibuprofen".into(), "naproxen".into()],
+            interpretations: vec![InterpretationId(0)],
+        };
+        assert_eq!(c.id(), SenseId(3));
+        assert_eq!(c.label(), "NSAID");
+        assert_eq!(c.parent(), Some(SenseId(0)));
+        assert_eq!(c.canonical(), Some("ibuprofen"));
+        assert!(c.has_synonym("naproxen"));
+        assert!(!c.has_synonym("tylenol"));
+        assert_eq!(c.interpretations(), &[InterpretationId(0)]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for ontology construction, mutation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::concept::SenseId;
+
+/// Errors raised while building, repairing or parsing an [`crate::Ontology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// A referenced parent concept does not exist.
+    UnknownParent(SenseId),
+    /// A referenced concept does not exist.
+    UnknownSense(SenseId),
+    /// A referenced interpretation does not exist.
+    UnknownInterpretation(u16),
+    /// The same value appears twice in one concept's synonym set.
+    DuplicateSynonym {
+        /// The concept holding the duplicate.
+        sense: SenseId,
+        /// The duplicated value.
+        value: String,
+    },
+    /// A concept label is empty.
+    EmptyLabel,
+    /// A synonym value is empty.
+    EmptyValue {
+        /// The concept holding the empty value.
+        sense: SenseId,
+    },
+    /// Text-format parse failure with 1-based line number.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::UnknownParent(id) => {
+                write!(f, "unknown parent concept {id}")
+            }
+            OntologyError::UnknownSense(id) => write!(f, "unknown concept {id}"),
+            OntologyError::UnknownInterpretation(id) => {
+                write!(f, "unknown interpretation #{id}")
+            }
+            OntologyError::DuplicateSynonym { sense, value } => {
+                write!(f, "duplicate synonym {value:?} in concept {sense}")
+            }
+            OntologyError::EmptyLabel => write!(f, "concept label must be non-empty"),
+            OntologyError::EmptyValue { sense } => {
+                write!(f, "empty synonym value in concept {sense}")
+            }
+            OntologyError::Parse { line, message } => {
+                write!(f, "ontology parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for OntologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OntologyError::DuplicateSynonym {
+            sense: SenseId(2),
+            value: "cartia".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cartia"), "{s}");
+        assert!(s.contains("λ2"), "{s}");
+
+        let p = OntologyError::Parse {
+            line: 12,
+            message: "bad field".into(),
+        };
+        assert!(p.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&OntologyError::EmptyLabel);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # ofd-ontology
+//!
+//! Tree-shaped ontologies with *senses* for Ontology Functional Dependencies
+//! (OFDs), as defined in *"FastOFD: Contextual Data Cleaning with Ontology
+//! Functional Dependencies"* and its extended version.
+//!
+//! An [`Ontology`] is a forest of [`Concept`] nodes. Each concept carries a
+//! set of **synonym** values (the first synonym is its *canonical* value) and
+//! optional **interpretation** labels (e.g. `FDA` vs `MoH`, `ISO` vs `UN`)
+//! recording under which real-world standard the concept's synonym set is
+//! meaningful. Following the paper, a concept doubles as a **sense**: the
+//! interpretation under which a group of attribute values are all synonyms.
+//!
+//! The three primitives from the paper's §2 map onto this API:
+//!
+//! * `synonyms(E)` → [`Ontology::synonyms`]
+//! * `names(C)`    → [`Ontology::names`] (constant-time via a value index)
+//! * `descendants(E)` → [`Ontology::descendant_values`]
+//!
+//! ```
+//! use ofd_ontology::OntologyBuilder;
+//!
+//! let mut b = OntologyBuilder::new();
+//! let fda = b.interpretation("FDA");
+//! let root = b.concept("continuant drug").build().unwrap();
+//! let dilt = b
+//!     .concept("diltiazem hydrochloride")
+//!     .parent(root)
+//!     .synonyms(["cartia", "tiazac"])
+//!     .interpretations([fda])
+//!     .build()
+//!     .unwrap();
+//! let onto = b.finish().unwrap();
+//!
+//! assert_eq!(onto.names("cartia"), &[dilt]);
+//! assert_eq!(onto.canonical(dilt).unwrap(), "cartia");
+//! assert!(onto.common_sense(["cartia", "tiazac"]).contains(&dilt));
+//! ```
+
+mod builder;
+mod concept;
+mod error;
+mod ontology;
+pub mod samples;
+mod text;
+
+pub use builder::{ConceptBuilder, OntologyBuilder};
+pub use concept::{Concept, InterpretationId, SenseId};
+pub use error::OntologyError;
+pub use ontology::{Ontology, OntologyRepair};
+pub use text::{parse_ontology, write_ontology};

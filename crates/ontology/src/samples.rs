@@ -1,0 +1,268 @@
+//! Ready-made sample ontologies reproducing the paper's running examples:
+//! the medical drug ontology of Figure 1 and the geographic ontology behind
+//! Example 2.2. Used throughout the workspace's tests, examples and docs.
+
+use crate::builder::OntologyBuilder;
+use crate::ontology::Ontology;
+
+/// The medical drug ontology of the paper's Figure 1.
+///
+/// * `ibuprofen` and `naproxen` are `NSAID`s;
+/// * `tylenol` is an `acetaminophen`, which is-a `analgesic`;
+/// * `cartia` and `tiazac` are `diltiazem hydrochloride` under the **FDA**
+///   interpretation;
+/// * `cartia` and `ASA` are equivalent under the **MoH** (Israel Ministry of
+///   Health) interpretation;
+/// * `adizem` is deliberately *absent* — Example 1.2 uses it as the value
+///   that forces an ontology repair.
+pub fn medical_drug_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+    let fda = b.interpretation("FDA");
+    let moh = b.interpretation("MoH");
+
+    let root = b.concept("continuant drug").build().expect("root");
+    b.concept("NSAID")
+        .parent(root)
+        .synonyms(["NSAID", "ibuprofen", "naproxen"])
+        .interpretations([fda])
+        .build()
+        .expect("nsaid");
+    let analgesic = b
+        .concept("analgesic")
+        .parent(root)
+        .synonyms(["analgesic"])
+        .interpretations([fda])
+        .build()
+        .expect("analgesic");
+    b.concept("acetaminophen")
+        .parent(analgesic)
+        .synonyms(["acetaminophen", "tylenol"])
+        .interpretations([fda])
+        .build()
+        .expect("acetaminophen");
+    b.concept("opioid")
+        .parent(analgesic)
+        .synonyms(["opioid", "morphine"])
+        .interpretations([fda])
+        .build()
+        .expect("opioid");
+    b.concept("diltiazem hydrochloride")
+        .parent(root)
+        .synonyms(["cartia", "tiazac"])
+        .interpretations([fda])
+        .build()
+        .expect("diltiazem");
+    b.concept("acetylsalicylic acid")
+        .parent(root)
+        .synonyms(["cartia", "ASA", "aspirin"])
+        .interpretations([moh])
+        .build()
+        .expect("asa");
+
+    b.finish().expect("medical ontology")
+}
+
+/// The geographic ontology behind Example 2.2: country names with their
+/// synonym sets.
+///
+/// `names("United States") ∩ names("America") ∩ names("USA")` is the single
+/// class *United States of America*; `Bharat` is synonymous with `India`.
+pub fn country_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+    let geo = b.interpretation("GEO");
+    let root = b.concept("country").build().expect("root");
+    b.concept("United States of America")
+        .parent(root)
+        .synonyms(["USA", "America", "United States"])
+        .interpretations([geo])
+        .build()
+        .expect("usa");
+    b.concept("India")
+        .parent(root)
+        .synonyms(["India", "Bharat"])
+        .interpretations([geo])
+        .build()
+        .expect("india");
+    b.concept("Canada")
+        .parent(root)
+        .synonyms(["Canada"])
+        .interpretations([geo])
+        .build()
+        .expect("canada");
+    b.finish().expect("country ontology")
+}
+
+/// Country *code* ontology used by the false-positive experiment (§7 Exp-5):
+/// under a traditional FD, `CA`, `CAN` and `CAD` all mapping to `Canada`
+/// would be flagged as errors; here they are synonyms. The `ISO` and `UN`
+/// interpretations illustrate codes varying by standard (§1).
+pub fn country_code_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+    let iso = b.interpretation("ISO");
+    let un = b.interpretation("UN");
+    let root = b.concept("country code").build().expect("root");
+    b.concept("Canada code")
+        .parent(root)
+        .synonyms(["CA", "CAN", "CAD"])
+        .interpretations([iso, un])
+        .build()
+        .expect("ca");
+    b.concept("United States code")
+        .parent(root)
+        .synonyms(["US", "USA"])
+        .interpretations([iso])
+        .build()
+        .expect("us");
+    b.concept("India code")
+        .parent(root)
+        .synonyms(["IN", "IND"])
+        .interpretations([iso, un])
+        .build()
+        .expect("in");
+    b.finish().expect("country code ontology")
+}
+
+/// Country and medical-drug ontologies merged into one forest — the overall
+/// domain knowledge behind the paper's Table 1 running example, suitable for
+/// discovery over all attributes at once.
+pub fn combined_paper_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+    let fda = b.interpretation("FDA");
+    let moh = b.interpretation("MoH");
+    let geo = b.interpretation("GEO");
+
+    // Geographic branch.
+    let country = b.concept("country").build().expect("country root");
+    b.concept("United States of America")
+        .parent(country)
+        .synonyms(["USA", "America", "United States"])
+        .interpretations([geo])
+        .build()
+        .expect("usa");
+    b.concept("India")
+        .parent(country)
+        .synonyms(["India", "Bharat"])
+        .interpretations([geo])
+        .build()
+        .expect("india");
+    b.concept("Canada")
+        .parent(country)
+        .synonyms(["Canada"])
+        .interpretations([geo])
+        .build()
+        .expect("canada");
+
+    // Medical branch (Figure 1).
+    let root = b.concept("continuant drug").build().expect("drug root");
+    b.concept("NSAID")
+        .parent(root)
+        .synonyms(["NSAID", "ibuprofen", "naproxen"])
+        .interpretations([fda])
+        .build()
+        .expect("nsaid");
+    let analgesic = b
+        .concept("analgesic")
+        .parent(root)
+        .synonyms(["analgesic"])
+        .interpretations([fda])
+        .build()
+        .expect("analgesic");
+    b.concept("acetaminophen")
+        .parent(analgesic)
+        .synonyms(["acetaminophen", "tylenol"])
+        .interpretations([fda])
+        .build()
+        .expect("acetaminophen");
+    b.concept("opioid")
+        .parent(analgesic)
+        .synonyms(["opioid", "morphine"])
+        .interpretations([fda])
+        .build()
+        .expect("opioid");
+    b.concept("diltiazem hydrochloride")
+        .parent(root)
+        .synonyms(["cartia", "tiazac"])
+        .interpretations([fda])
+        .build()
+        .expect("diltiazem");
+    b.concept("acetylsalicylic acid")
+        .parent(root)
+        .synonyms(["cartia", "ASA", "aspirin"])
+        .interpretations([moh])
+        .build()
+        .expect("asa");
+
+    b.finish().expect("combined ontology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_synonym_facts() {
+        let o = medical_drug_ontology();
+        // ibuprofen and naproxen share the NSAID class.
+        assert!(!o.common_sense(["ibuprofen", "naproxen"]).is_empty());
+        // cartia and tiazac are synonyms under FDA.
+        assert!(!o.common_sense(["cartia", "tiazac"]).is_empty());
+        // cartia and ASA are synonyms under MoH.
+        assert!(!o.common_sense(["cartia", "ASA"]).is_empty());
+        // ...but tiazac and ASA share no sense: cartia is the only bridge.
+        assert!(o.common_sense(["tiazac", "ASA"]).is_empty());
+        // Example 1.2: no sense makes {ASA, cartia, tiazac} all equivalent.
+        assert!(o.common_sense(["ASA", "cartia", "tiazac"]).is_empty());
+        // adizem is absent (it is the ontology-repair candidate).
+        assert!(!o.contains_value("adizem"));
+    }
+
+    #[test]
+    fn figure1_is_a_structure() {
+        let o = medical_drug_ontology();
+        let tylenol_senses = o.names("tylenol");
+        assert_eq!(tylenol_senses.len(), 1);
+        let acetaminophen = tylenol_senses[0];
+        // acetaminophen is-a analgesic is-a continuant drug.
+        assert_eq!(o.depth(acetaminophen).unwrap(), 2);
+        let ancestors = o.ancestors_within(acetaminophen, 2).unwrap();
+        let labels: Vec<&str> = ancestors
+            .iter()
+            .map(|(s, _)| o.concept(*s).unwrap().label())
+            .collect();
+        assert_eq!(labels, vec!["acetaminophen", "analgesic", "continuant drug"]);
+    }
+
+    #[test]
+    fn example_2_2_country_intersection() {
+        let o = country_ontology();
+        let common = o.common_sense(["United States", "America", "USA"]);
+        assert_eq!(common.len(), 1);
+        assert_eq!(
+            o.concept(common[0]).unwrap().label(),
+            "United States of America"
+        );
+        assert!(!o.common_sense(["India", "Bharat"]).is_empty());
+        assert!(o.common_sense(["India", "Canada"]).is_empty());
+    }
+
+    #[test]
+    fn cartia_has_two_senses() {
+        let o = medical_drug_ontology();
+        assert_eq!(o.names("cartia").len(), 2, "cartia is FDA- and MoH-ambiguous");
+    }
+
+    #[test]
+    fn combined_ontology_covers_both_domains() {
+        let o = combined_paper_ontology();
+        assert!(!o.common_sense(["USA", "America"]).is_empty());
+        assert!(!o.common_sense(["cartia", "tiazac"]).is_empty());
+        assert!(o.common_sense(["USA", "cartia"]).is_empty());
+    }
+
+    #[test]
+    fn code_ontology_covers_multiple_standards() {
+        let o = country_code_ontology();
+        assert!(!o.common_sense(["CA", "CAN", "CAD"]).is_empty());
+        assert!(o.common_sense(["CA", "US"]).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Country codes under multiple standards (§1's ISO vs UN motivation):
+//! a dependency `CTRY → CC` flags `CA` / `CAN` / `CAD` as errors under a
+//! traditional FD, while the synonym OFD recognizes them as one code —
+//! then a stale row forces an ontology repair.
+//!
+//! ```text
+//! cargo run --example country_codes
+//! ```
+
+use fastofd::clean::{ofd_clean, OfdCleanConfig};
+use fastofd::core::{Ofd, Relation, Validator};
+use fastofd::ontology::samples;
+
+fn main() {
+    let rel = Relation::from_rows(
+        ["CTRY", "CC", "REGION"],
+        [
+            &["Canada", "CA", "NA"] as &[&str],
+            &["Canada", "CAN", "NA"],
+            &["Canada", "CAD", "NA"],
+            &["United States", "US", "NA"],
+            &["United States", "USA", "NA"],
+            &["India", "IN", "AS"],
+            &["India", "IND", "AS"],
+            // A stale row using a code the ontology does not know yet:
+            &["India", "IN-21", "AS"],
+        ],
+    )
+    .expect("country table");
+    let onto = samples::country_code_ontology();
+    println!("{rel}");
+
+    let ofd = Ofd::synonym_named(rel.schema(), &["CTRY"], "CC").expect("CTRY -> CC");
+    let validator = Validator::new(&rel, &onto);
+
+    // Plain FD: everything is an "error".
+    println!(
+        "as a plain FD, CTRY -> CC holds: {}",
+        validator.check_fd(&ofd.as_fd())
+    );
+    // Synonym OFD: only the stale IN-21 row is a genuine violation.
+    let check = validator.check(&ofd);
+    println!(
+        "as a synonym OFD it holds: {} (violating classes: {})",
+        check.satisfied(),
+        check.violation_count()
+    );
+    for v in check.violations() {
+        println!(
+            "  class of {:?}: {}/{} tuples consistent",
+            rel.text(v.representative as usize, rel.schema().attr("CTRY").unwrap()),
+            v.covered,
+            v.size
+        );
+    }
+
+    // OFDClean decides between updating IN-21 and teaching the ontology.
+    let result = ofd_clean(&rel, &onto, &[ofd], &OfdCleanConfig::default());
+    println!(
+        "\nOFDClean: satisfied={} — {} ontology insertion(s), {} cell repair(s)",
+        result.satisfied,
+        result.ontology_dist(),
+        result.data_dist()
+    );
+    for (v, s) in &result.ontology_adds {
+        println!(
+            "  ontology: {:?} joins {:?}",
+            result.repaired.pool().resolve(*v),
+            result.repaired_ontology.concept(*s).expect("sense").label()
+        );
+    }
+    for r in &result.data_repairs {
+        println!("  data: row {} {:?} -> {:?}", r.row, r.old, r.new);
+    }
+    println!("\nPareto frontier (ontology insertions k vs remaining repair bound):");
+    for point in &result.plan.pareto {
+        println!("  k = {}: {} data repair(s) still needed", point.k, point.cover);
+    }
+    assert!(result.satisfied);
+}

@@ -1,0 +1,174 @@
+//! The whole paper as one asserted walkthrough: every running example from
+//! Table 1 to Table 6, executed in order against this implementation.
+//!
+//! ```text
+//! cargo run --example paper_walkthrough
+//! ```
+
+use std::collections::HashSet;
+
+use fastofd::clean::{
+    assign_all, build_classes, conflict_graph, delta_p, ofd_clean, vertex_cover,
+    OfdCleanConfig, SenseAssignment, SenseView,
+};
+use fastofd::core::{
+    table1, table1_updated, Ofd, Partition, Relation, SenseIndex, Validator,
+};
+use fastofd::discovery::FastOfd;
+use fastofd::logic::{derive, implies, minimal_cover, Dependency};
+use fastofd::ontology::{samples, OntologyBuilder};
+
+fn main() {
+    let rel = table1();
+    let onto = samples::combined_paper_ontology();
+    let schema = rel.schema();
+    let validator = Validator::new(&rel, &onto);
+
+    // ── §2: Π_CC and Example 2.2 ────────────────────────────────────────
+    println!("§2  Π_CC over Table 1:");
+    let cc = schema.attr("CC").unwrap();
+    let pi = Partition::of(&rel, fastofd::core::AttrSet::single(cc));
+    for class in pi.classes() {
+        let labels: Vec<String> = class.iter().map(|t| format!("t{}", t + 1)).collect();
+        println!("    {{{}}}", labels.join(","));
+    }
+    assert_eq!(pi.class_count(), 3);
+
+    let common = onto.common_sense(["United States", "America", "USA"]);
+    println!(
+        "    names(United States) ∩ names(America) ∩ names(USA) = {:?}",
+        onto.concept(common[0]).unwrap().label()
+    );
+
+    let f1 = Ofd::synonym_named(schema, &["CC"], "CTRY").unwrap();
+    assert!(!validator.check_fd(&f1.as_fd()) && validator.check(&f1).satisfied());
+    println!("    F1 [CC]→CTRY: FD ✗ / synonym OFD ✓\n");
+
+    // ── Table 2: pairwise-common but globally empty ─────────────────────
+    println!("Table 2  pairwise senses do not suffice:");
+    let t2 = Relation::from_rows(
+        ["X", "Y"],
+        [&["u", "v"] as &[&str], &["u", "w"], &["u", "z"]],
+    )
+    .unwrap();
+    let mut b = OntologyBuilder::new();
+    b.concept("C").synonyms(["v", "z"]).build().unwrap();
+    b.concept("D").synonyms(["v", "w"]).build().unwrap();
+    b.concept("F").synonyms(["w", "z"]).build().unwrap();
+    let t2_onto = b.finish().unwrap();
+    for (a, c) in [("v", "w"), ("v", "z"), ("w", "z")] {
+        assert!(!t2_onto.common_sense([a, c]).is_empty());
+    }
+    let xy = Ofd::synonym_named(t2.schema(), &["X"], "Y").unwrap();
+    assert!(!Validator::new(&t2, &t2_onto).check(&xy).satisfied());
+    println!("    every pair shares a class, the triple does not → OFD ✗\n");
+
+    // ── Example 3.2: transitivity fails on instances ────────────────────
+    println!("Example 3.2  transitivity fails for OFDs:");
+    let e32 = Relation::from_rows(
+        ["A", "B", "C"],
+        [&["a", "b", "d"] as &[&str], &["a", "c", "e"], &["a", "b", "d"]],
+    )
+    .unwrap();
+    let mut b = OntologyBuilder::new();
+    b.concept("bc").synonyms(["b", "c"]).build().unwrap();
+    let e32_onto = b.finish().unwrap();
+    let v32 = Validator::new(&e32, &e32_onto);
+    let ab = Ofd::synonym_named(e32.schema(), &["A"], "B").unwrap();
+    let bc = Ofd::synonym_named(e32.schema(), &["B"], "C").unwrap();
+    let ac = Ofd::synonym_named(e32.schema(), &["A"], "C").unwrap();
+    assert!(v32.check(&ab).satisfied() && v32.check(&bc).satisfied());
+    assert!(!v32.check(&ac).satisfied());
+    println!("    A→B ✓, B→C ✓, A→C ✗\n");
+
+    // ── Example 3.9: minimal cover + derivation ─────────────────────────
+    println!("Example 3.9  minimal cover:");
+    let d1 = Dependency::new(schema.set(["CC"]).unwrap(), schema.set(["CTRY"]).unwrap());
+    let d2 = Dependency::new(
+        schema.set(["CC", "DIAG"]).unwrap(),
+        schema.set(["MED"]).unwrap(),
+    );
+    let d3 = Dependency::new(
+        schema.set(["CC", "DIAG"]).unwrap(),
+        schema.set(["MED", "CTRY"]).unwrap(),
+    );
+    let cover = minimal_cover(&[d1, d2, d3]);
+    assert_eq!(cover.len(), 2);
+    assert!(implies(&[d1, d2], &d3));
+    let proof = derive(&[d1, d2], &d3).unwrap();
+    assert!(proof.verify(&[d1, d2]));
+    println!("    Σ₃ follows by Composition; proof of {} steps verified\n", proof.steps.len());
+
+    // ── §4: FastOFD discovery ───────────────────────────────────────────
+    let discovered = FastOfd::new(&rel, &onto).run();
+    assert!(discovered.ofds().any(|o| *o == f1));
+    println!(
+        "§4  FastOFD: {} minimal synonym OFDs over Table 1 (complete & brute-force-checked)\n",
+        discovered.len()
+    );
+
+    // ── Example 1.2 / Table 4 / Figure 7 / Table 6 ─────────────────────
+    println!("Table 4  the updated subset (t8–t11, t11[CTRY]=Uni. States):");
+    let sub = Relation::from_rows(
+        ["CC", "CTRY", "SYMP", "DIAG", "MED"],
+        [
+            &["US", "USA", "headache", "hypertension", "cartia"] as &[&str],
+            &["US", "USA", "headache", "hypertension", "ASA"],
+            &["US", "America", "headache", "hypertension", "tiazac"],
+            &["US", "Uni. States", "headache", "hypertension", "adizem"],
+        ],
+    )
+    .unwrap();
+    let sigma = vec![
+        Ofd::synonym_named(sub.schema(), &["CC"], "CTRY").unwrap(),
+        Ofd::synonym_named(sub.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+    ];
+    let classes = build_classes(&sub, &sigma);
+    let index = SenseIndex::synonym(&sub, &onto);
+    let overlay = HashSet::new();
+    let view = SenseView {
+        base: &index,
+        overlay: &overlay,
+    };
+    let mut assignment: SenseAssignment = assign_all(&classes, view);
+    assignment.set(1, 0, Some(onto.names("tiazac")[0])); // FDA sense, as §6
+    let conflicts = conflict_graph(&sub, &classes, &assignment, view);
+    let edges: Vec<String> = conflicts
+        .iter()
+        .map(|c| format!("(t{},t{})", c.t1 + 8, c.t2 + 8))
+        .collect();
+    println!("Figure 7  conflict edges: {}", edges.join(" "));
+    let cover: Vec<String> = vertex_cover(&conflicts)
+        .iter()
+        .map(|t| format!("t{}", t + 8))
+        .collect();
+    let dp = delta_p(&conflicts, &sigma);
+    println!("Table 6   C₂opt = {{{}}}, δ_P = {dp}", cover.join(","));
+    assert_eq!(dp, 4, "the ∅-repair row of Table 6");
+
+    // With ASA added under FDA the bound halves (row 2 of Table 6).
+    let mut asa_overlay = HashSet::new();
+    asa_overlay.insert((sub.pool().get("ASA").unwrap(), onto.names("tiazac")[0]));
+    let view2 = SenseView {
+        base: &index,
+        overlay: &asa_overlay,
+    };
+    let c2 = conflict_graph(&sub, &classes, &assignment, view2);
+    assert_eq!(delta_p(&c2, &sigma), 2);
+    println!("          +ASA(FDA): δ_P = 2 — the paper's best single repair\n");
+
+    // ── §5–6: OFDClean end to end on the full dirty table ───────────────
+    let dirty = table1_updated();
+    let sigma_full = vec![
+        Ofd::synonym_named(dirty.schema(), &["CC"], "CTRY").unwrap(),
+        Ofd::synonym_named(dirty.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+    ];
+    let result = ofd_clean(&dirty, &onto, &sigma_full, &OfdCleanConfig::default());
+    assert!(result.satisfied);
+    println!(
+        "§5–6  OFDClean on the dirty Table 1: I′ ⊨ Σ with {} ontology insertion(s) + {} cell repair(s)",
+        result.ontology_dist(),
+        result.data_dist()
+    );
+    println!("\nwalkthrough complete — every paper example asserted ✓");
+}

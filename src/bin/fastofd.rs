@@ -1,0 +1,352 @@
+//! `fastofd` — command-line front end for OFD checking, discovery and
+//! cleaning over CSV data and text-format ontologies.
+//!
+//! ```text
+//! fastofd generate --preset clinical --rows 5000 --err 3 --inc 4 \
+//!                  --out data.csv --onto-out onto.txt
+//! fastofd discover --data data.csv --ontology onto.txt [--kappa 0.9]
+//!                  [--theta N] [--max-level L] [--threads T]
+//! fastofd check    --data data.csv --ontology onto.txt --ofd "CC->CTRY"
+//! fastofd clean    --data data.csv --ontology onto.txt \
+//!                  --ofd "CC->CTRY" --ofd "SYMP,DIAG->MED" \
+//!                  [--tau 0.65] [--beam B] [--out repaired.csv]
+//!                  [--onto-out repaired-onto.txt]
+//! ```
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use fastofd::clean::{
+    enforce_approximate, explain_violations, ofd_clean, render_report, OfdCleanConfig,
+};
+use fastofd::core::{Ofd, Relation, Schema, Validator};
+use fastofd::datagen::{census, clinical, csv, demo_dataset, kiva, PresetConfig};
+use fastofd::discovery::{DiscoveryOptions, FastOfd};
+use fastofd::ontology::{parse_ontology, write_ontology, Ontology};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut flags: HashMap<String, Vec<String>> = HashMap::new();
+    let mut current: Option<String> = None;
+    for arg in args {
+        if let Some(name) = arg.strip_prefix("--") {
+            current = Some(name.to_owned());
+            flags.entry(name.to_owned()).or_default();
+        } else if let Some(name) = &current {
+            flags.get_mut(name).expect("flag registered").push(arg);
+            current = None;
+        } else {
+            return Err(format!("unexpected positional argument {arg:?}"));
+        }
+    }
+    let single = |name: &str| -> Option<&str> {
+        flags.get(name).and_then(|v| v.first()).map(String::as_str)
+    };
+
+    match command.as_str() {
+        "generate" => {
+            let preset = single("preset").unwrap_or("clinical");
+            let rows: usize = single("rows")
+                .unwrap_or("2000")
+                .parse()
+                .map_err(|_| "--rows expects an integer")?;
+            let err_pct: f64 = single("err").unwrap_or("0").parse().map_err(|_| "--err")?;
+            let inc_pct: f64 = single("inc").unwrap_or("0").parse().map_err(|_| "--inc")?;
+            let seed: u64 = single("seed").unwrap_or("42").parse().map_err(|_| "--seed")?;
+            let cfg = PresetConfig {
+                n_rows: rows,
+                seed,
+                ..PresetConfig::default()
+            };
+            let mut ds = match preset {
+                "clinical" => clinical(&cfg),
+                "kiva" => kiva(&cfg),
+                "census" => census(&PresetConfig { n_attrs: 11, ..cfg }),
+                // Real-world vocabulary: ISO codes, country-name variants,
+                // currencies, generic/brand drug names.
+                "demo" => demo_dataset(rows, seed),
+                other => return Err(format!("unknown preset {other:?}")),
+            };
+            if inc_pct > 0.0 {
+                ds.degrade_ontology(inc_pct / 100.0, seed);
+            }
+            if err_pct > 0.0 {
+                ds.inject_errors(err_pct / 100.0, seed);
+            }
+            let out = single("out").unwrap_or("data.csv");
+            fs::write(out, csv::write_csv(&ds.relation)).map_err(|e| e.to_string())?;
+            let onto_out = single("onto-out").unwrap_or("ontology.txt");
+            fs::write(onto_out, write_ontology(&ds.ontology)).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {rows} rows to {out}, {} senses to {onto_out} ({} errors injected, {} ontology values removed)",
+                ds.ontology.len(),
+                ds.injected.len(),
+                ds.removed_values.len()
+            );
+            println!("planted OFDs:");
+            for o in &ds.ofds {
+                println!("  {}", o.display(ds.relation.schema()));
+            }
+            Ok(())
+        }
+        "discover" => {
+            let (rel, onto) = load(&single("data"), &single("ontology"))?;
+            let mut opts = DiscoveryOptions::new();
+            if let Some(kappa) = single("kappa") {
+                opts = opts.min_support(kappa.parse().map_err(|_| "--kappa expects a float")?);
+            }
+            if let Some(theta) = single("theta") {
+                opts = opts.kind(fastofd::core::OfdKind::Inheritance {
+                    theta: theta.parse().map_err(|_| "--theta expects an integer")?,
+                });
+            }
+            if let Some(level) = single("max-level") {
+                opts = opts.max_level(level.parse().map_err(|_| "--max-level")?);
+            }
+            if let Some(t) = single("threads") {
+                opts = opts.threads(t.parse().map_err(|_| "--threads")?);
+            }
+            let out = FastOfd::new(&rel, &onto).options(opts).run();
+            print!("{}", out.display(rel.schema()));
+            eprintln!(
+                "{} minimal OFDs in {:.2?} ({} candidates verified)",
+                out.len(),
+                out.stats.elapsed,
+                out.stats.total_verified()
+            );
+            if let Some(path) = single("out") {
+                let text = sigma_to_text(rel.schema(), out.ofds());
+                fs::write(path, text).map_err(|e| e.to_string())?;
+                eprintln!("wrote Σ to {path} (load with --ofds-file)");
+            }
+            Ok(())
+        }
+        "check" => {
+            let (rel, onto) = load(&single("data"), &single("ontology"))?;
+            let ofds = parse_ofds(&flags, rel.schema())?;
+            if ofds.is_empty() {
+                return Err("check requires at least one --ofd".into());
+            }
+            let validator = Validator::new(&rel, &onto);
+            let mut all_ok = true;
+            for ofd in &ofds {
+                let v = validator.check(ofd);
+                all_ok &= v.satisfied();
+                println!(
+                    "{}: {} (support {:.4}, {} violating classes)",
+                    ofd.display(rel.schema()),
+                    if v.satisfied() { "SATISFIED" } else { "VIOLATED" },
+                    v.support(),
+                    v.violation_count()
+                );
+                for o in v.violations().take(5) {
+                    println!(
+                        "  class@t{}: {}/{} tuples consistent",
+                        o.representative, o.covered, o.size
+                    );
+                }
+            }
+            if !all_ok && flags.contains_key("explain") {
+                println!();
+                for e in explain_violations(&rel, &onto, &ofds) {
+                    print!("{}", e.render());
+                }
+            }
+            if all_ok {
+                Ok(())
+            } else {
+                Err("one or more OFDs violated".into())
+            }
+        }
+        "clean" => {
+            let (rel, onto) = load(&single("data"), &single("ontology"))?;
+            let ofds = parse_ofds(&flags, rel.schema())?;
+            if ofds.is_empty() {
+                return Err("clean requires at least one --ofd".into());
+            }
+            let mut config = OfdCleanConfig::default();
+            if let Some(tau) = single("tau") {
+                config.tau = tau.parse().map_err(|_| "--tau expects a float")?;
+            }
+            if let Some(beam) = single("beam") {
+                config.beam = Some(beam.parse().map_err(|_| "--beam expects an integer")?);
+            }
+            let result = ofd_clean(&rel, &onto, &ofds, &config);
+            println!(
+                "satisfied: {} — {} ontology insertion(s), {} cell repair(s), {} sense reassignment(s)",
+                result.satisfied,
+                result.ontology_dist(),
+                result.data_dist(),
+                result.reassignments
+            );
+            for (v, s) in &result.ontology_adds {
+                println!(
+                    "  S' += {:?} under {:?}",
+                    result.repaired.pool().resolve(*v),
+                    result
+                        .repaired_ontology
+                        .concept(*s)
+                        .map(|c| c.label().to_owned())
+                        .unwrap_or_default()
+                );
+            }
+            for r in result.data_repairs.iter().take(20) {
+                println!(
+                    "  I'[{}][{}]: {:?} -> {:?}",
+                    r.row,
+                    result.repaired.schema().name(r.attr),
+                    r.old,
+                    r.new
+                );
+            }
+            if result.data_repairs.len() > 20 {
+                println!("  … {} more repairs", result.data_repairs.len() - 20);
+            }
+            if let Some(out) = single("out") {
+                fs::write(out, csv::write_csv(&result.repaired)).map_err(|e| e.to_string())?;
+                println!("wrote repaired data to {out}");
+            }
+            if let Some(onto_out) = single("onto-out") {
+                fs::write(onto_out, write_ontology(&result.repaired_ontology))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote repaired ontology to {onto_out}");
+            }
+            if let Some(report_path) = single("report") {
+                let report = render_report(&rel, &onto, &ofds, &result);
+                fs::write(report_path, report).map_err(|e| e.to_string())?;
+                println!("wrote repair report to {report_path}");
+            }
+            Ok(())
+        }
+        "enforce" => {
+            // §5: discover κ-approximate OFDs on the (dirty) data, then
+            // repair until they hold exactly.
+            let (rel, onto) = load(&single("data"), &single("ontology"))?;
+            let kappa: f64 = single("kappa")
+                .unwrap_or("0.9")
+                .parse()
+                .map_err(|_| "--kappa expects a float")?;
+            let max_level: Option<usize> = match single("max-level") {
+                Some(l) => Some(l.parse().map_err(|_| "--max-level")?),
+                None => Some(3),
+            };
+            let mut config = OfdCleanConfig::default();
+            if let Some(tau) = single("tau") {
+                config.tau = tau.parse().map_err(|_| "--tau expects a float")?;
+            }
+            let result = enforce_approximate(&rel, &onto, kappa, max_level, &config);
+            println!("discovered {} repairable rules at κ = {kappa}:", result.sigma.len());
+            for o in &result.sigma {
+                println!("  {}", o.display(rel.schema()));
+            }
+            println!(
+                "repair: satisfied={} — {} ontology insertion(s), {} cell repair(s); all rules exact: {}",
+                result.clean.satisfied,
+                result.clean.ontology_dist(),
+                result.clean.data_dist(),
+                result.all_exact()
+            );
+            if let Some(out) = single("out") {
+                fs::write(out, csv::write_csv(&result.clean.repaired))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote repaired data to {out}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            eprintln!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: fastofd <generate|discover|check|clean|enforce> [--flags...]\n\
+     see the module docs (`cargo doc`) or README.md for details"
+        .to_owned()
+}
+
+fn load(
+    data: &Option<&str>,
+    ontology: &Option<&str>,
+) -> Result<(Relation, Ontology), String> {
+    let data = data.ok_or("--data <file.csv> is required")?;
+    let text = fs::read_to_string(data).map_err(|e| format!("{data}: {e}"))?;
+    let rel = csv::read_csv(&text).map_err(|e| format!("{data}: {e}"))?;
+    let onto = match ontology {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_ontology(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => Ontology::empty(),
+    };
+    Ok((rel, onto))
+}
+
+/// Serializes OFDs in the `A,B->C` line format `--ofds-file` loads
+/// (comments and blank lines allowed).
+fn sigma_to_text<'a>(schema: &Schema, ofds: impl Iterator<Item = &'a Ofd>) -> String {
+    let mut out = String::from("# fastofd Σ file: one \"A,B->C\" per line\n");
+    for ofd in ofds {
+        let lhs: Vec<&str> = ofd.lhs.iter().map(|a| schema.name(a)).collect();
+        out.push_str(&format!("{}->{}\n", lhs.join(","), schema.name(ofd.rhs)));
+    }
+    out
+}
+
+/// Parses every `--ofd "A,B->C"` occurrence plus any `--ofds-file` files;
+/// `--theta N` switches all of them to inheritance semantics.
+fn parse_ofds(
+    flags: &HashMap<String, Vec<String>>,
+    schema: &Schema,
+) -> Result<Vec<Ofd>, String> {
+    let theta: Option<usize> = match flags.get("theta").and_then(|v| v.first()) {
+        Some(t) => Some(t.parse().map_err(|_| "--theta expects an integer")?),
+        None => None,
+    };
+    let mut specs: Vec<String> = flags
+        .get("ofd").cloned()
+        .unwrap_or_default();
+    for path in flags.get("ofds-file").map(Vec::as_slice).unwrap_or(&[]) {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        specs.extend(
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_owned),
+        );
+    }
+    let mut out = Vec::new();
+    for spec in &specs {
+        let (lhs, rhs) = spec
+            .split_once("->")
+            .ok_or_else(|| format!("bad OFD {spec:?}; expected \"A,B->C\""))?;
+        let lhs_names: Vec<&str> = lhs
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let lhs_set = schema
+            .set(lhs_names.iter().copied())
+            .map_err(|e| e.to_string())?;
+        let rhs_attr = schema.attr(rhs.trim()).map_err(|e| e.to_string())?;
+        out.push(match theta {
+            Some(theta) => Ofd::inheritance(lhs_set, rhs_attr, theta),
+            None => Ofd::synonym(lhs_set, rhs_attr),
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # fastofd
+//!
+//! Umbrella crate for the FastOFD / OFDClean reproduction: discovery and
+//! contextual data cleaning with Ontology Functional Dependencies.
+//!
+//! Re-exports each workspace crate under a short module name; see the
+//! individual crates for full documentation:
+//!
+//! * [`ontology`] — senses, concepts, is-a trees ([`ofd_ontology`]);
+//! * [`core`] — relations, partitions, OFD definitions & verification
+//!   ([`ofd_core`]);
+//! * [`logic`] — axioms, closure, implication, minimal covers
+//!   ([`ofd_logic`]);
+//! * [`discovery`] — the FastOFD lattice discovery algorithm
+//!   ([`ofd_discovery`]);
+//! * [`baselines`] — the seven classic FD discovery algorithms used as
+//!   comparators ([`fd_baselines`]);
+//! * [`clean`] — the OFDClean repair framework ([`ofd_clean`]);
+//! * [`datagen`] — synthetic dataset & ontology generators ([`ofd_datagen`]).
+
+pub use fd_baselines as baselines;
+pub use ofd_clean as clean;
+pub use ofd_core as core;
+pub use ofd_datagen as datagen;
+pub use ofd_discovery as discovery;
+pub use ofd_logic as logic;
+pub use ofd_ontology as ontology;

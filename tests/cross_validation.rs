@@ -1,0 +1,171 @@
+//! Cross-crate consistency properties: FastOFD under a trivial ontology
+//! coincides with classic FD discovery; discovery output respects the logic
+//! layer; every OFD the validator accepts is re-derivable from the
+//! discovered minimal set.
+
+use fastofd::baselines::Algorithm;
+use fastofd::core::{Ofd, OfdKind, Relation, Schema, Validator};
+use fastofd::discovery::{brute_force, FastOfd};
+use fastofd::logic::{implies, Dependency};
+use fastofd::ontology::Ontology;
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (2usize..5, prop::collection::vec(prop::collection::vec(0u8..3, 4), 1..14)).prop_map(
+        |(n_attrs, rows)| {
+            let names: Vec<String> = (0..n_attrs).map(|i| format!("A{i}")).collect();
+            let mut b =
+                Relation::builder(Schema::new(names.iter().map(String::as_str)).unwrap());
+            for row in &rows {
+                let cells: Vec<String> =
+                    row[..n_attrs].iter().map(|v| format!("v{v}")).collect();
+                b.push_row(cells.iter().map(String::as_str)).unwrap();
+            }
+            b.finish()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With an empty ontology, synonym OFDs degenerate to FDs, so FastOFD
+    /// must produce exactly TANE's output (and the oracle's).
+    #[test]
+    fn fastofd_with_empty_ontology_equals_tane(rel in arb_relation()) {
+        let onto = Ontology::empty();
+        let ofds: Vec<(u64, u16)> = FastOfd::new(&rel, &onto)
+            .run()
+            .ofds()
+            .map(|o| (o.lhs.bits(), o.rhs.index() as u16))
+            .collect();
+        let fds: Vec<(u64, u16)> = Algorithm::Tane
+            .discover(&rel)
+            .into_iter()
+            .map(|f| (f.lhs.bits(), f.rhs.index() as u16))
+            .collect();
+        prop_assert_eq!(ofds, fds);
+    }
+
+    /// Any OFD satisfied by the instance is implied by the discovered
+    /// minimal set at the logic level (completeness through the axioms).
+    #[test]
+    fn satisfied_ofds_are_implied_by_discovery(rel in arb_relation()) {
+        let onto = Ontology::empty();
+        let discovered = FastOfd::new(&rel, &onto).run();
+        let sigma: Vec<Dependency> = discovered.dependencies();
+        let validator = Validator::new(&rel, &onto);
+        let n = rel.schema().len();
+        for bits in 0..(1u64 << n) {
+            let lhs = fastofd::core::AttrSet::from_bits(bits);
+            for a in rel.schema().attrs() {
+                if lhs.contains(a) {
+                    continue;
+                }
+                let ofd = Ofd::synonym(lhs, a);
+                if validator.check(&ofd).satisfied() {
+                    prop_assert!(
+                        implies(&sigma, &Dependency::from(ofd)),
+                        "{} satisfied but not implied",
+                        ofd.display(rel.schema())
+                    );
+                }
+            }
+        }
+    }
+
+    /// Inheritance discovery with θ = 0 equals synonym discovery (an
+    /// ancestor at distance zero is the sense itself).
+    #[test]
+    fn theta_zero_inheritance_equals_synonym(rel in arb_relation()) {
+        let onto = Ontology::empty();
+        let syn = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+        let inh = brute_force(&rel, &onto, OfdKind::Inheritance { theta: 0 }, 1.0);
+        let strip = |v: &[Ofd]| -> Vec<(u64, u16)> {
+            v.iter().map(|o| (o.lhs.bits(), o.rhs.index() as u16)).collect()
+        };
+        prop_assert_eq!(strip(&syn), strip(&inh));
+    }
+}
+
+fn arb_forest_ontology() -> impl Strategy<Value = Ontology> {
+    use fastofd::ontology::{OntologyBuilder, SenseId};
+    let concept = (
+        proptest::option::of(0usize..6),
+        prop::collection::vec(0u8..6, 0..3),
+    );
+    prop::collection::vec(concept, 0..8).prop_map(|specs| {
+        let mut b = OntologyBuilder::new();
+        for (ci, (parent, syns)) in specs.iter().enumerate() {
+            let mut cb = b.concept(format!("c{ci}"));
+            if let Some(p) = parent {
+                if *p < ci {
+                    cb = cb.parent(SenseId::from_index(*p));
+                }
+            }
+            let mut values: Vec<String> = syns.iter().map(|v| format!("v{v}")).collect();
+            values.sort();
+            values.dedup();
+            cb.synonyms(values).build().expect("valid concept");
+        }
+        b.finish().expect("valid ontology")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The θ-expansion equivalence behind inheritance cleaning: a native
+    /// inheritance check over S equals a synonym check over S↑θ, for every
+    /// dependency shape and θ.
+    #[test]
+    fn inheritance_check_equals_synonym_over_expansion(
+        rel in arb_relation(),
+        onto in arb_forest_ontology(),
+        theta in 0usize..4,
+    ) {
+        let expanded = onto.inheritance_expansion(theta);
+        let v_native = Validator::new(&rel, &onto);
+        let v_expanded = Validator::new(&rel, &expanded);
+        let n = rel.schema().len();
+        for bits in 0..(1u64 << n) {
+            let lhs = fastofd::core::AttrSet::from_bits(bits);
+            for a in rel.schema().attrs() {
+                if lhs.contains(a) {
+                    continue;
+                }
+                let inh = Ofd::inheritance(lhs, a, theta);
+                let syn = Ofd::synonym(lhs, a);
+                let native = v_native.check(&inh);
+                let via_expansion = v_expanded.check(&syn);
+                prop_assert_eq!(
+                    native.satisfied(),
+                    via_expansion.satisfied(),
+                    "{} θ={}",
+                    inh.display(rel.schema()),
+                    theta
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn discovered_supports_are_exact() {
+    // Every discovered OFD re-validates with support 1.0, and the validator
+    // agrees with the recorded support for approximate discovery.
+    let ds = fastofd::datagen::clinical(&fastofd::datagen::PresetConfig {
+        n_rows: 300,
+        n_attrs: 6,
+        n_ofds: 2,
+        seed: 13,
+        ..fastofd::datagen::PresetConfig::default()
+    });
+    let validator = Validator::new(&ds.clean, &ds.full_ontology);
+    let out = FastOfd::new(&ds.clean, &ds.full_ontology).run();
+    for d in &out.ofds {
+        let v = validator.check(&d.ofd);
+        assert!(v.satisfied());
+        assert!((v.support() - d.support).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Workspace-level tests locking the beyond-the-paper extension APIs:
+//! inheritance cleaning, lhs synonyms, incremental tracking, ontology
+//! diffs, κ-enforcement, DOT exports and the real-vocabulary demo data —
+//! all through the `fastofd` umbrella.
+
+use std::collections::HashSet;
+
+use fastofd::clean::{
+    assign_all, build_classes, conflicts_to_dot, enforce_approximate, explain_violations,
+    ofd_clean, ontology_to_dot, OfdCleanConfig, SenseView,
+};
+use fastofd::core::{
+    check_lhs_synonyms, estimate_support, table1, table1_updated, IncrementalChecker,
+    NfdChecker, Ofd, SenseIndex, Validator,
+};
+use fastofd::datagen::demo_dataset;
+use fastofd::logic::nfd;
+use fastofd::logic::Dependency;
+use fastofd::ontology::samples;
+
+#[test]
+fn inheritance_cleaning_full_stack() {
+    let dirty = table1_updated();
+    let onto = samples::combined_paper_ontology();
+    let schema = dirty.schema();
+    let inh = Ofd::inheritance(
+        schema.set(["SYMP", "DIAG"]).unwrap(),
+        schema.attr("MED").unwrap(),
+        1,
+    );
+    let result = ofd_clean(&dirty, &onto, &[inh], &OfdCleanConfig::default());
+    assert!(result.satisfied);
+    // Inheritance absorbs more variation: fewer changes than synonym mode.
+    let syn = Ofd::synonym(inh.lhs, inh.rhs);
+    let syn_result = ofd_clean(&dirty, &onto, &[syn], &OfdCleanConfig::default());
+    assert!(
+        result.data_dist() + result.ontology_dist()
+            <= syn_result.data_dist() + syn_result.ontology_dist()
+    );
+}
+
+#[test]
+fn demo_vocabulary_end_to_end_with_incremental_tracking() {
+    let mut ds = demo_dataset(800, 3);
+    ds.inject_errors(0.03, 4);
+
+    // Incremental checker agrees with the validator initially…
+    let index = SenseIndex::synonym(&ds.relation, &ds.ontology);
+    let checker = IncrementalChecker::new(&ds.relation, &index, &ds.ofds);
+    let validator = Validator::new(&ds.relation, &ds.ontology);
+    let full: usize = ds
+        .ofds
+        .iter()
+        .map(|o| validator.check(o).violation_count())
+        .sum();
+    assert_eq!(checker.violation_count(), full);
+    assert!(full > 0);
+
+    // …and OFDClean resolves everything the checker sees.
+    let result = ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &OfdCleanConfig::default());
+    assert!(result.satisfied);
+    let index2 = SenseIndex::synonym(&result.repaired, &result.repaired_ontology);
+    let after = IncrementalChecker::new(&result.repaired, &index2, &ds.ofds);
+    assert!(after.is_satisfied());
+}
+
+#[test]
+fn lhs_synonyms_and_nfd_contrast_on_paper_data() {
+    let rel = table1();
+    let onto = samples::combined_paper_ontology();
+    let f1 = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+    // NFD semantics reject what OFD semantics accept (§3.1).
+    assert!(Validator::new(&rel, &onto).check(&f1).satisfied());
+    assert!(!NfdChecker::new(&rel, "").check(&f1.as_fd()));
+    // lhs-synonym validation is vacuous here (CC values are not synonyms of
+    // each other in this ontology), so every interpretation view agrees
+    // with the plain check.
+    let result = check_lhs_synonyms(&rel, &onto, &f1);
+    assert!(result.satisfied());
+}
+
+#[test]
+fn ontology_diff_round_trips_cleaning_insertions() {
+    let dirty = table1_updated();
+    let onto = samples::combined_paper_ontology();
+    let sigma = vec![Ofd::synonym_named(dirty.schema(), &["SYMP", "DIAG"], "MED").unwrap()];
+    let config = OfdCleanConfig {
+        tau: 0.0, // force ontology repairs where possible
+        ..OfdCleanConfig::default()
+    };
+    let result = ofd_clean(&dirty, &onto, &sigma, &config);
+    let (adds, removed) = onto.diff(&result.repaired_ontology).unwrap();
+    assert_eq!(adds.dist(), result.ontology_dist(), "diff recovers the repair");
+    assert!(removed.is_empty());
+}
+
+#[test]
+fn enforcement_and_explanations_compose() {
+    let mut ds = demo_dataset(700, 7);
+    ds.inject_errors(0.03, 8);
+    // Before: explanations exist.
+    let before = explain_violations(&ds.relation, &ds.ontology, &ds.ofds);
+    assert!(!before.is_empty());
+    // Enforce κ-approximate rules discovered from the dirty data.
+    let result = enforce_approximate(
+        &ds.relation,
+        &ds.ontology,
+        0.9,
+        Some(3),
+        &OfdCleanConfig::default(),
+    );
+    assert!(result.all_exact());
+    // After: nothing left to explain for the enforced rules.
+    let after = explain_violations(
+        &result.clean.repaired,
+        &result.clean.repaired_ontology,
+        &result.sigma,
+    );
+    assert!(after.is_empty(), "{} residual explanations", after.len());
+}
+
+#[test]
+fn family_generator_supports_inheritance_discovery_and_cleaning() {
+    use fastofd::datagen::{generate, AttrRole, SynthSpec};
+    use fastofd::discovery::{DiscoveryOptions, FastOfd};
+    let spec = SynthSpec {
+        attrs: vec![
+            ("K".into(), AttrRole::Key),
+            ("D".into(), AttrRole::Driver { domain: 10 }),
+            (
+                "R".into(),
+                AttrRole::Dependent {
+                    determinants: vec!["D".into()],
+                    entities: 12,
+                    senses: 2,
+                    synonyms: 2,
+                },
+            ),
+        ],
+        n_rows: 400,
+        seed: 77,
+        extra_ofds: 0,
+        ambiguity: 0.2,
+        family_size: 3,
+        family_mix: 0.35,
+    };
+    let mut ds = generate(&spec);
+    let planted = ds.ofds[0];
+
+    // Inheritance discovery recovers the planted dependency (or a
+    // generalization) where synonym discovery cannot.
+    let inh_found = FastOfd::new(&ds.clean, &ds.full_ontology)
+        .options(DiscoveryOptions::new().kind(planted.kind).max_level(2))
+        .run();
+    assert!(inh_found
+        .ofds()
+        .any(|o| o.rhs == planted.rhs && o.lhs.is_subset(planted.lhs)));
+    let syn_found = FastOfd::new(&ds.clean, &ds.full_ontology)
+        .options(DiscoveryOptions::new().max_level(2))
+        .run();
+    assert!(!syn_found
+        .ofds()
+        .any(|o| o.rhs == planted.rhs && o.lhs.is_subset(planted.lhs)));
+
+    // And inheritance cleaning repairs injected errors.
+    ds.inject_errors(0.05, 78);
+    let result = ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &OfdCleanConfig::default());
+    assert!(result.satisfied);
+}
+
+#[test]
+fn dot_exports_are_well_formed() {
+    let onto = samples::medical_drug_ontology();
+    let dot = ontology_to_dot(&onto);
+    assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+
+    let rel = table1_updated();
+    let combined = samples::combined_paper_ontology();
+    let sigma = vec![Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap()];
+    let classes = build_classes(&rel, &sigma);
+    let index = SenseIndex::synonym(&rel, &combined);
+    let overlay = HashSet::new();
+    let view = SenseView {
+        base: &index,
+        overlay: &overlay,
+    };
+    let assignment = assign_all(&classes, view);
+    let conflicts = fastofd::clean::conflict_graph(&rel, &classes, &assignment, view);
+    let dot = conflicts_to_dot(&rel, &classes, &conflicts);
+    assert!(dot.contains("graph conflicts"));
+}
+
+#[test]
+fn sampled_support_and_nfd_translations_are_consistent() {
+    let ds = demo_dataset(1_000, 11);
+    let index = SenseIndex::synonym(&ds.clean, &ds.full_ontology);
+    for ofd in &ds.ofds {
+        let exact = Validator::new(&ds.clean, &ds.full_ontology)
+            .check(ofd)
+            .support();
+        assert_eq!(exact, 1.0, "clean data has full support");
+        let est = estimate_support(&ds.clean, &index, ofd, 300, 5);
+        assert!(est > 0.95, "estimate {est} on clean data");
+    }
+    // Theorem 3.5 translations at the workspace level.
+    let schema = ds.clean.schema();
+    let d1 = Dependency::new(schema.set(["CC"]).unwrap(), schema.set(["CTRY"]).unwrap());
+    let d2 = Dependency::new(
+        schema.set(["SYMPTOM"]).unwrap(),
+        schema.set(["DRUG"]).unwrap(),
+    );
+    let composed = nfd::composition_via_nfd(&d1, &d2);
+    assert_eq!(
+        composed,
+        Dependency::new(
+            schema.set(["CC", "SYMPTOM"]).unwrap(),
+            schema.set(["CTRY", "DRUG"]).unwrap()
+        )
+    );
+}

@@ -1,0 +1,138 @@
+//! Integration tests reproducing the paper's running examples end to end,
+//! spanning every crate through the `fastofd` umbrella.
+
+use fastofd::clean::{ofd_clean, OfdCleanConfig};
+use fastofd::core::{table1, table1_updated, Ofd, OfdKind, Validator, Witness};
+use fastofd::discovery::{brute_force, FastOfd};
+use fastofd::logic::{derive, implies, minimal_cover, Dependency};
+use fastofd::ontology::samples;
+
+#[test]
+fn example_1_1_fds_fail_where_ofds_hold() {
+    let rel = table1();
+    let onto = samples::combined_paper_ontology();
+    let v = Validator::new(&rel, &onto);
+    let f1 = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+    // F1 fails as an FD (USA vs America vs Bharat) but holds as an OFD.
+    assert!(!v.check_fd(&f1.as_fd()));
+    assert!(v.check(&f1).satisfied());
+}
+
+#[test]
+fn example_2_2_witness_is_united_states() {
+    let rel = table1();
+    let onto = samples::combined_paper_ontology();
+    let v = Validator::new(&rel, &onto);
+    let f1 = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+    let check = v.check(&f1);
+    let us_class = check
+        .outcomes
+        .iter()
+        .find(|o| o.representative == 0)
+        .expect("US class");
+    match us_class.witness {
+        Some(Witness::Sense(s)) => {
+            assert_eq!(onto.concept(s).unwrap().label(), "United States of America");
+        }
+        other => panic!("expected the USA sense, got {other:?}"),
+    }
+}
+
+#[test]
+fn example_3_2_transitivity_fails_for_ofds() {
+    // R(A,B,C) with tuples {(a,b,d),(a,c,e),(a,b,d)}; b ~ c synonyms,
+    // d !~ e: A →syn B and B →syn C hold but A →syn C does not.
+    let rel = fastofd::core::Relation::from_rows(
+        ["A", "B", "C"],
+        [
+            &["a", "b", "d"] as &[&str],
+            &["a", "c", "e"],
+            &["a", "b", "d"],
+        ],
+    )
+    .unwrap();
+    let mut builder = fastofd::ontology::OntologyBuilder::new();
+    builder.concept("bc").synonyms(["b", "c"]).build().unwrap();
+    let onto = builder.finish().unwrap();
+    let v = Validator::new(&rel, &onto);
+    let schema = rel.schema();
+    let ab = Ofd::synonym_named(schema, &["A"], "B").unwrap();
+    let bc = Ofd::synonym_named(schema, &["B"], "C").unwrap();
+    let ac = Ofd::synonym_named(schema, &["A"], "C").unwrap();
+    assert!(v.check(&ab).satisfied(), "A →syn B holds (b ~ c)");
+    assert!(v.check(&bc).satisfied(), "B →syn C holds (distinct B values)");
+    assert!(!v.check(&ac).satisfied(), "A →syn C fails (d !~ e)");
+    // Yet at the *inference* level the axioms do chain (Theorem 3.5 made
+    // them NFD-equivalent) — the instance above simply does not satisfy
+    // the premises as a set: discovery on it never reports both AB and AC.
+    let sigma = [Dependency::from(ab), Dependency::from(bc)];
+    assert!(implies(&sigma, &Dependency::from(ac)));
+}
+
+#[test]
+fn example_3_9_minimal_cover_and_derivation() {
+    // Σ = {CC→CTRY, {CC,DIAG}→MED, {CC,DIAG}→{MED,CTRY}}.
+    let rel = table1();
+    let schema = rel.schema();
+    let d1 = Dependency::new(schema.set(["CC"]).unwrap(), schema.set(["CTRY"]).unwrap());
+    let d2 = Dependency::new(
+        schema.set(["CC", "DIAG"]).unwrap(),
+        schema.set(["MED"]).unwrap(),
+    );
+    let d3 = Dependency::new(
+        schema.set(["CC", "DIAG"]).unwrap(),
+        schema.set(["MED", "CTRY"]).unwrap(),
+    );
+    let sigma = vec![d1, d2, d3];
+    let cover = minimal_cover(&sigma);
+    assert_eq!(cover.len(), 2, "the composed member is redundant");
+    // And d3 is derivable, with a verifiable proof.
+    let proof = derive(&[d1, d2], &d3).expect("derivable");
+    assert!(proof.verify(&[d1, d2]));
+}
+
+#[test]
+fn discovery_on_table1_is_minimal_complete_and_brute_force_checked() {
+    let rel = table1();
+    let onto = samples::combined_paper_ontology();
+    let fast: Vec<Ofd> = FastOfd::new(&rel, &onto).run().ofds().copied().collect();
+    let brute = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+    assert_eq!(fast, brute);
+    // [CC] →syn CTRY is among the discovered minimal OFDs.
+    let f1 = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+    assert!(fast.contains(&f1));
+}
+
+#[test]
+fn example_1_2_clean_pipeline_reaches_consistency() {
+    let dirty = table1_updated();
+    let onto = samples::combined_paper_ontology();
+    let sigma = vec![
+        Ofd::synonym_named(dirty.schema(), &["CC"], "CTRY").unwrap(),
+        Ofd::synonym_named(dirty.schema(), &["SYMP", "DIAG"], "MED").unwrap(),
+    ];
+    // The dirty instance violates Σ…
+    let v = Validator::new(&dirty, &onto);
+    assert!(sigma.iter().any(|o| !v.check(o).satisfied()));
+    // …and OFDClean re-establishes I′ ⊨ Σ w.r.t. S′.
+    let result = ofd_clean(&dirty, &onto, &sigma, &OfdCleanConfig::default());
+    assert!(result.satisfied);
+    let v2 = Validator::new(&result.repaired, &result.repaired_ontology);
+    for ofd in &sigma {
+        assert!(v2.check(ofd).satisfied());
+    }
+    // Repairs stay within the two resolution routes of Example 1.2.
+    assert!(result.data_dist() + result.ontology_dist() <= 4);
+}
+
+#[test]
+fn ontology_text_round_trip_preserves_validation() {
+    let rel = table1();
+    let onto = samples::combined_paper_ontology();
+    let text = fastofd::ontology::write_ontology(&onto);
+    let onto2 = fastofd::ontology::parse_ontology(&text).unwrap();
+    let f1 = Ofd::synonym_named(rel.schema(), &["CC"], "CTRY").unwrap();
+    let v1 = Validator::new(&rel, &onto);
+    let v2 = Validator::new(&rel, &onto2);
+    assert_eq!(v1.check(&f1).satisfied(), v2.check(&f1).satisfied());
+}

@@ -1,0 +1,139 @@
+//! Cross-crate pipeline tests on synthetic data: generate → discover →
+//! corrupt → clean → verify → score, plus CSV persistence.
+
+use fastofd::clean::{holo_clean, ofd_clean, repair_quality, HoloConfig, OfdCleanConfig};
+use fastofd::core::{AttrId, Validator};
+use fastofd::datagen::{clinical, csv, kiva, PresetConfig};
+use fastofd::discovery::{DiscoveryOptions, FastOfd};
+
+fn small(seed: u64) -> PresetConfig {
+    PresetConfig {
+        n_rows: 600,
+        n_ofds: 6,
+        seed,
+        ..PresetConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_clinical() {
+    let mut ds = clinical(&small(1));
+    // Discovery on clean data recovers (a generalization of) every planted
+    // OFD.
+    let discovered = FastOfd::new(&ds.clean, &ds.full_ontology)
+        .options(DiscoveryOptions::new().max_level(3))
+        .run();
+    for planted in &ds.ofds {
+        assert!(
+            discovered
+                .ofds()
+                .any(|o| o.rhs == planted.rhs && o.lhs.is_subset(planted.lhs)),
+            "planted {} not recovered",
+            planted.display(ds.clean.schema())
+        );
+    }
+
+    // Corrupt and clean.
+    ds.degrade_ontology(0.04, 2);
+    ds.inject_errors(0.03, 2);
+    let result = ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &OfdCleanConfig::default());
+    assert!(result.satisfied);
+
+    // The repaired instance satisfies Σ w.r.t. the repaired ontology.
+    let v = Validator::new(&result.repaired, &result.repaired_ontology);
+    for ofd in &ds.ofds {
+        assert!(v.check(ofd).satisfied(), "{}", ofd.display(ds.clean.schema()));
+    }
+
+    // Quality against ground truth.
+    let detectable: Vec<(usize, AttrId)> = ds
+        .detectable_errors()
+        .iter()
+        .map(|e| (e.row, e.attr))
+        .collect();
+    let q = repair_quality(
+        &ds.relation,
+        &result.repaired,
+        &ds.clean,
+        &detectable,
+        &ds.full_ontology,
+    );
+    assert!(q.precision > 0.6, "precision {}", q.precision);
+    assert!(q.recall > 0.6, "recall {}", q.recall);
+}
+
+#[test]
+fn full_pipeline_kiva_beats_holistic_baseline() {
+    let mut ds = kiva(&small(3));
+    ds.inject_errors(0.05, 4);
+    let detectable: Vec<(usize, AttrId)> = ds
+        .detectable_errors()
+        .iter()
+        .map(|e| (e.row, e.attr))
+        .collect();
+
+    let ofd = ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &OfdCleanConfig::default());
+    let holo = holo_clean(&ds.relation, &ds.ontology, &ds.ofds, &HoloConfig::default());
+    let q_ofd = repair_quality(&ds.relation, &ofd.repaired, &ds.clean, &detectable, &ds.full_ontology);
+    let q_holo = repair_quality(&ds.relation, &holo.repaired, &ds.clean, &detectable, &ds.full_ontology);
+    assert!(
+        q_ofd.precision > q_holo.precision,
+        "OFDClean {} vs holo {}",
+        q_ofd.precision,
+        q_holo.precision
+    );
+}
+
+#[test]
+fn csv_round_trip_preserves_discovery() {
+    let ds = clinical(&PresetConfig {
+        n_rows: 200,
+        n_attrs: 6,
+        n_ofds: 2,
+        seed: 5,
+        ..PresetConfig::default()
+    });
+    let text = csv::write_csv(&ds.clean);
+    let back = csv::read_csv(&text).unwrap();
+    let a = FastOfd::new(&ds.clean, &ds.full_ontology).run();
+    let b = FastOfd::new(&back, &ds.full_ontology).run();
+    let a_set: Vec<_> = a.ofds().copied().collect();
+    let b_set: Vec<_> = b.ofds().copied().collect();
+    assert_eq!(a_set, b_set);
+}
+
+#[test]
+fn cleaning_is_idempotent() {
+    let mut ds = clinical(&small(7));
+    ds.inject_errors(0.03, 8);
+    let config = OfdCleanConfig::default();
+    let first = ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &config);
+    assert!(first.satisfied);
+    // Cleaning the already-clean output changes nothing.
+    let second = ofd_clean(
+        &first.repaired,
+        &first.repaired_ontology,
+        &ds.ofds,
+        &config,
+    );
+    assert!(second.satisfied);
+    assert_eq!(second.data_dist(), 0, "second pass must be a no-op");
+    assert_eq!(second.ontology_dist(), 0);
+}
+
+#[test]
+fn tau_budget_caps_data_repairs() {
+    let mut ds = clinical(&small(9));
+    ds.inject_errors(0.10, 10);
+    let config = OfdCleanConfig {
+        tau: 0.001, // allow at most ~0.6 ≈ 0 repairs at 600 rows
+        ..OfdCleanConfig::default()
+    };
+    let result = ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &config);
+    let tau_max = (0.001f64 * ds.relation.n_rows() as f64).floor() as usize;
+    assert!(
+        result.data_dist() <= tau_max,
+        "{} repairs exceed τ budget {tau_max}",
+        result.data_dist()
+    );
+}
