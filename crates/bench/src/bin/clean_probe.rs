@@ -1,11 +1,17 @@
 //! Phase-level timing probe for OFDClean at scale.
+//! `clean_probe [N] [--timeout-ms MS] [--max-work W]`; with limits set the
+//! guarded phases stop at their next checkpoint and the probe marks the run
+//! INCOMPLETE.
 
 use std::collections::HashSet;
 use std::io::Write;
 use std::time::Instant;
 
-use ofd_clean::{assign_all, beam_search, build_classes, local_refinement, repair_data, SenseView};
-use ofd_core::SenseIndex;
+use ofd_clean::{
+    assign_all, beam_search_guarded, build_classes, local_refinement_guarded, repair_data_guarded,
+    SenseView,
+};
+use ofd_core::{ExecGuard, GuardConfig, SenseIndex};
 use ofd_datagen::{clinical, PresetConfig};
 
 fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
@@ -16,11 +22,35 @@ fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Parses `[N] [--timeout-ms MS] [--max-work W] [--max-rss-mib M]`.
+fn parse_args(default_n: usize) -> (usize, ExecGuard) {
+    let mut n = default_n;
+    let mut cfg = GuardConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--timeout-ms" => {
+                let ms: u64 = args.next().and_then(|v| v.parse().ok()).expect("--timeout-ms MS");
+                cfg.timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-work" => {
+                cfg.max_work = args.next().and_then(|v| v.parse().ok());
+            }
+            "--max-rss-mib" => {
+                cfg.max_rss_mib = args.next().and_then(|v| v.parse().ok());
+            }
+            other => {
+                if let Ok(v) = other.parse() {
+                    n = v;
+                }
+            }
+        }
+    }
+    (n, ExecGuard::new(cfg))
+}
+
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000);
+    let (n, guard) = parse_args(20_000);
     let mut ds = clinical(&PresetConfig {
         n_rows: n,
         ..PresetConfig::default()
@@ -36,10 +66,27 @@ fn main() {
     let view = SenseView { base: &index, overlay: &overlay };
     let mut assignment = stage("assign_all", || assign_all(&classes, view));
     stage("local_refinement", || {
-        local_refinement(&working, &ds.ontology, &classes, &mut assignment, view, 0.0)
+        local_refinement_guarded(
+            &working,
+            &ds.ontology,
+            &classes,
+            &mut assignment,
+            view,
+            0.0,
+            &guard,
+        )
     });
     let plan = stage("beam_search", || {
-        beam_search(&working, &ds.ofds, &classes, &assignment, &index, None, None)
+        beam_search_guarded(
+            &working,
+            &ds.ofds,
+            &classes,
+            &assignment,
+            &index,
+            None,
+            None,
+            &guard,
+        )
     });
     println!("  -> {} candidates, frontier {}", plan.candidates.len(), plan.frontier.len());
     let chosen = plan.select(usize::MAX).clone();
@@ -56,7 +103,7 @@ fn main() {
         })
         .unwrap();
     let (repairs, ok) = stage("repair_data", || {
-        repair_data(
+        repair_data_guarded(
             &mut working2,
             &repaired_onto,
             &ds.ofds,
@@ -65,7 +112,11 @@ fn main() {
             &overlay2,
             usize::MAX,
             10,
+            &guard,
         )
     });
     println!("  -> {} repairs, converged={ok}", repairs.len());
+    if let Some(i) = guard.interrupt() {
+        println!("INCOMPLETE: interrupted ({i}); results above are sound but partial");
+    }
 }

@@ -1,10 +1,13 @@
 //! Stage-by-stage timing probe for paper-scale feasibility measurements.
-//! `scale_probe [N]` prints per-stage wall times, flushing as it goes.
+//! `scale_probe [N] [--timeout-ms MS] [--max-work W]` prints per-stage wall
+//! times, flushing as it goes; with limits set, interrupted stages report
+//! sound partial results and the probe marks the run INCOMPLETE.
 
 use std::io::Write;
 use std::time::Instant;
 
 use ofd_clean::{ofd_clean, OfdCleanConfig};
+use ofd_core::{ExecGuard, GuardConfig};
 use ofd_datagen::{clinical, PresetConfig};
 use ofd_discovery::{DiscoveryOptions, FastOfd};
 
@@ -16,11 +19,35 @@ fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Parses `[N] [--timeout-ms MS] [--max-work W] [--max-rss-mib M]`.
+fn parse_args(default_n: usize) -> (usize, ExecGuard) {
+    let mut n = default_n;
+    let mut cfg = GuardConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--timeout-ms" => {
+                let ms: u64 = args.next().and_then(|v| v.parse().ok()).expect("--timeout-ms MS");
+                cfg.timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-work" => {
+                cfg.max_work = args.next().and_then(|v| v.parse().ok());
+            }
+            "--max-rss-mib" => {
+                cfg.max_rss_mib = args.next().and_then(|v| v.parse().ok());
+            }
+            other => {
+                if let Ok(v) = other.parse() {
+                    n = v;
+                }
+            }
+        }
+    }
+    (n, ExecGuard::new(cfg))
+}
+
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(50_000);
+    let (n, guard) = parse_args(50_000);
     let mut ds = stage("generate", || {
         clinical(&PresetConfig {
             n_rows: n,
@@ -29,7 +56,7 @@ fn main() {
     });
     let disc = stage("discover(level<=3)", || {
         FastOfd::new(&ds.clean, &ds.full_ontology)
-            .options(DiscoveryOptions::new().max_level(3))
+            .options(DiscoveryOptions::new().max_level(3).guard(guard.clone()))
             .run()
     });
     println!("  -> {} OFDs", disc.len());
@@ -37,8 +64,12 @@ fn main() {
         ds.degrade_ontology(0.04, 7);
         ds.inject_errors(0.03, 7);
     });
+    let config = OfdCleanConfig {
+        guard: guard.clone(),
+        ..OfdCleanConfig::default()
+    };
     let result = stage("ofd_clean", || {
-        ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &OfdCleanConfig::default())
+        ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &config)
     });
     println!(
         "  -> satisfied={} adds={} repairs={}",
@@ -46,4 +77,7 @@ fn main() {
         result.ontology_dist(),
         result.data_dist()
     );
+    if let Some(i) = guard.interrupt() {
+        println!("INCOMPLETE: interrupted ({i}); results above are sound but partial");
+    }
 }

@@ -1,4 +1,6 @@
-//! `exp` — regenerates the paper's tables and figures.
+//! The `exp` command line, shared by the `ofd-bench` binary and the
+//! umbrella crate's re-export so `cargo run --release --bin exp` works
+//! from the workspace root.
 //!
 //! ```text
 //! exp all                 # every experiment at the default scale
@@ -6,18 +8,31 @@
 //! exp --scale 0.5 exp13   # custom scale multiplier
 //! exp --full exp1         # paper-scale parameters (slow)
 //! exp --out results exp6  # output directory (default: results/)
+//! exp --timeout-ms 60000 all   # wall-clock budget for the whole run
+//! exp --max-work 1000000 exp1  # checkpoint budget
 //! ```
+//!
+//! The `--timeout-ms` / `--max-work` / `--max-rss-mib` limits build one
+//! [`ExecGuard`](ofd_core::ExecGuard) shared by every engine invocation.
+//! When it trips, the experiment in flight returns a sound partial result,
+//! every later experiment returns immediately, and each affected report is
+//! annotated `INCOMPLETE: interrupted (<reason>)` — both on stdout and in
+//! the saved JSON's `notes`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ofd_bench::{run_experiment, Params, ALL_EXPERIMENTS};
+use ofd_core::{ExecGuard, GuardConfig};
 
-fn main() -> ExitCode {
+use crate::{run_experiment, Params, ALL_EXPERIMENTS};
+
+/// Runs the `exp` command line; `main` of both `exp` binaries.
+pub fn exp_main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut params = Params::from_env();
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
+    let mut guard_cfg = GuardConfig::default();
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,6 +51,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--timeout-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => guard_cfg.timeout = Some(std::time::Duration::from_millis(ms)),
+                None => {
+                    eprintln!("--timeout-ms requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-work" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(w) => guard_cfg.max_work = Some(w),
+                None => {
+                    eprintln!("--max-work requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-rss-mib" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(m) => guard_cfg.max_rss_mib = Some(m),
+                None => {
+                    eprintln!("--max-rss-mib requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -44,20 +80,35 @@ fn main() -> ExitCode {
             other => ids.push(other.to_owned()),
         }
     }
-
+    // The guard clock starts here, after argument parsing.
+    params.guard = ExecGuard::new(guard_cfg);
 
     let want_summary = ids.iter().any(|i| i == "summary");
     ids.retain(|i| i != "summary");
     if ids.is_empty() && !want_summary {
-        print_help();
-        return ExitCode::FAILURE;
+        // No experiment named: default to exp1 when limits were given (so
+        // `exp --timeout-ms 1` exercises the guard), else print usage.
+        if guard_cfg.timeout.is_some()
+            || guard_cfg.max_work.is_some()
+            || guard_cfg.max_rss_mib.is_some()
+        {
+            ids.push("exp1".to_owned());
+        } else {
+            print_help();
+            return ExitCode::FAILURE;
+        }
     }
 
     for id in &ids {
         eprintln!("running {id} …");
         let started = std::time::Instant::now();
         match run_experiment(id, &params) {
-            Some(result) => {
+            Some(mut result) => {
+                if let Some(i) = params.guard.interrupt() {
+                    result.note(format!(
+                        "INCOMPLETE: interrupted ({i}); rows above are a sound partial result"
+                    ));
+                }
                 println!("{}", result.render());
                 match result.save(&out_dir) {
                     Ok(path) => eprintln!(
@@ -80,7 +131,7 @@ fn main() -> ExitCode {
     // Summarize last, so a combined `exp all summary` digests the results
     // just produced.
     if want_summary {
-        match ofd_bench::summary::summarize(&out_dir) {
+        match crate::summary::summarize(&out_dir) {
             Some(digest) => {
                 println!("{digest}");
                 let path = out_dir.join("SUMMARY.md");
@@ -98,7 +149,8 @@ fn main() -> ExitCode {
 
 fn print_help() {
     eprintln!(
-        "usage: exp [--full] [--scale F] [--out DIR] (all | <exp-id>...)\n\
+        "usage: exp [--full] [--scale F] [--out DIR] \
+         [--timeout-ms N] [--max-work N] [--max-rss-mib N] (all | <exp-id>...)\n\
          experiments: {ALL_EXPERIMENTS:?}"
     );
 }

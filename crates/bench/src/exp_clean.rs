@@ -111,6 +111,7 @@ pub fn exp9(p: &Params) -> ExpResult {
         let config = OfdCleanConfig {
             beam: Some(b),
             tau: p.tau,
+            guard: p.guard.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -151,6 +152,7 @@ pub fn exp10(p: &Params) -> ExpResult {
         let config = OfdCleanConfig {
             beam: Some(p.beam_default),
             tau: p.tau,
+            guard: p.guard.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -196,6 +198,7 @@ pub fn exp11(p: &Params) -> ExpResult {
         let config = OfdCleanConfig {
             beam: Some(p.beam_default),
             tau: p.tau,
+            guard: p.guard.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -226,6 +229,7 @@ pub fn exp12(p: &Params) -> ExpResult {
         let config = OfdCleanConfig {
             beam: Some(p.beam_default),
             tau: p.tau,
+            guard: p.guard.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -254,6 +258,7 @@ pub fn exp13(p: &Params) -> ExpResult {
         let config = OfdCleanConfig {
             beam: Some(p.beam_default),
             tau: p.tau,
+            guard: p.guard.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);

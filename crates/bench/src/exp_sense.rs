@@ -52,7 +52,7 @@ pub fn exp6(p: &Params) -> ExpResult {
     let mut result = ExpResult::new(
         "exp6",
         "Fig. 9a/9b — sense assignment accuracy & time vs |λ|",
-        json!({"n_rows": n, "err_pct": p.err_default, "sweep": p.lambda_sweep}),
+        json!({"n_rows": n, "err_pct": p.err_default, "sweep": p.lambda_sweep.clone()}),
         &["lambda", "precision", "recall", "secs"],
     );
     for &lambda in &p.lambda_sweep {
@@ -75,7 +75,7 @@ pub fn exp7(p: &Params) -> ExpResult {
     let mut result = ExpResult::new(
         "exp7",
         "Fig. 9c/9d — sense assignment accuracy & time vs err%",
-        json!({"n_rows": n, "lambda": p.lambda_default, "sweep": p.err_sweep}),
+        json!({"n_rows": n, "lambda": p.lambda_default, "sweep": p.err_sweep.clone()}),
         &["err_pct", "precision", "recall", "secs"],
     );
     for &err in &p.err_sweep {

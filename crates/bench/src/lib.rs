@@ -7,15 +7,17 @@
 //! the `exp` binary dispatches them:
 //!
 //! ```text
-//! cargo run --release -p ofd-bench --bin exp -- all
-//! cargo run --release -p ofd-bench --bin exp -- exp1 exp3
-//! cargo run --release -p ofd-bench --bin exp -- --full exp1   # paper-scale N
+//! cargo run --release --bin exp -- all
+//! cargo run --release --bin exp -- exp1 exp3
+//! cargo run --release --bin exp -- --full exp1   # paper-scale N
+//! cargo run --release --bin exp -- --timeout-ms 60000 all   # budgeted run
 //! ```
 //!
 //! Timing-shaped experiments additionally have criterion benches under
 //! `benches/`. See EXPERIMENTS.md for the experiment ↔ paper-artifact map
 //! and the recorded paper-vs-measured comparison.
 
+pub mod cli;
 pub mod exp_clean;
 pub mod exp_discovery;
 pub mod exp_sense;

@@ -47,6 +47,12 @@ pub struct Params {
     pub quadratic_cap: usize,
     /// Random seed.
     pub seed: u64,
+    /// Execution guard shared by every engine invocation of the run
+    /// (`--timeout-ms` / `--max-work` / `--max-rss-mib` on the `exp`
+    /// binary). The guard is sticky: once it trips, the remaining
+    /// experiments return immediately and their reports are annotated
+    /// INCOMPLETE.
+    pub guard: ofd_core::ExecGuard,
 }
 
 impl Params {
@@ -80,6 +86,7 @@ impl Params {
             attrs_discovery: 8,
             quadratic_cap: 4_000,
             seed: 42,
+            guard: ofd_core::ExecGuard::unlimited(),
         }
     }
 

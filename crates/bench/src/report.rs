@@ -5,11 +5,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
-use serde_json::Value;
+use serde_json::{ToJson, Value};
 
 /// One experiment's output: a titled table with typed cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExpResult {
     /// Experiment id (e.g. `"exp1"`).
     pub id: String,
@@ -86,6 +85,28 @@ impl ExpResult {
             out.push_str(&format!("note: {n}\n"));
         }
         out
+    }
+}
+
+impl ToJson for ExpResult {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_owned(), Value::from(self.id.as_str())),
+            ("title".to_owned(), Value::from(self.title.as_str())),
+            ("params".to_owned(), self.params.clone()),
+            (
+                "columns".to_owned(),
+                Value::Array(self.columns.iter().map(|c| Value::from(c.as_str())).collect()),
+            ),
+            (
+                "rows".to_owned(),
+                Value::Array(self.rows.iter().map(|r| Value::Array(r.clone())).collect()),
+            ),
+            (
+                "notes".to_owned(),
+                Value::Array(self.notes.iter().map(|n| Value::from(n.as_str())).collect()),
+            ),
+        ])
     }
 }
 

@@ -32,16 +32,25 @@ pub fn enforce_approximate(
     max_level: Option<usize>,
     config: &OfdCleanConfig,
 ) -> EnforceResult {
-    let mut opts = DiscoveryOptions::new().min_support(kappa);
+    // The discovery phase shares the cleaning guard: an interrupt mid-
+    // discovery yields a smaller (still sound) Σ and the subsequent
+    // cleaning phases fail their first checkpoint, so `clean.complete`
+    // reports the truncation.
+    let mut opts = DiscoveryOptions::new()
+        .min_support(kappa)
+        .guard(config.guard.clone());
     if let Some(level) = max_level {
         opts = opts.max_level(level);
     }
     let discovered = FastOfd::new(rel, onto).options(opts).run();
     // Restrict to the paper's repairable fragment (§5.1): no attribute may
     // be the consequent of one kept rule and an antecedent of another —
-    // otherwise repairing one rule re-partitions the other. Rules are
-    // considered compact-first (discovery order is by level), and the
-    // vacuous ∅ → A constants are skipped.
+    // otherwise repairing one rule re-partitions the other — and no two
+    // kept rules may share a consequent — their classes prescribe
+    // conflicting repair targets for the same cells, so the repair loop
+    // oscillates instead of converging. Rules are considered compact-first
+    // (discovery order is by level), and the vacuous ∅ → A constants are
+    // skipped.
     let mut lhs_used = ofd_core::AttrSet::empty();
     let mut rhs_used = ofd_core::AttrSet::empty();
     let mut sigma: Vec<Ofd> = Vec::new();
@@ -55,7 +64,7 @@ pub fn enforce_approximate(
         if ofd_core::StrippedPartition::of(rel, o.lhs).is_superkey() {
             continue;
         }
-        if !o.lhs.is_disjoint(rhs_used) || lhs_used.contains(o.rhs) {
+        if !o.lhs.is_disjoint(rhs_used) || lhs_used.contains(o.rhs) || rhs_used.contains(o.rhs) {
             continue;
         }
         lhs_used = lhs_used.union(o.lhs);

@@ -155,8 +155,43 @@ pub fn repair_data(
     max_repairs: usize,
     max_rounds: usize,
 ) -> (Vec<CellRepair>, bool) {
+    repair_data_guarded(
+        rel,
+        onto,
+        sigma,
+        assignment,
+        base_index,
+        overlay,
+        max_repairs,
+        max_rounds,
+        &ofd_core::ExecGuard::unlimited(),
+    )
+}
+
+/// [`repair_data`] with an execution guard, probed once per round and once
+/// per violating class.
+///
+/// Every repair already applied when the guard trips is individually sound
+/// — it rewrote an outlier cell to its class's repair target — so an
+/// interrupted run leaves the relation partially repaired, never corrupted;
+/// the `bool` is `false` because the remaining violations were not resolved.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_data_guarded(
+    rel: &mut Relation,
+    onto: &Ontology,
+    sigma: &[Ofd],
+    assignment: &SenseAssignment,
+    base_index: &mut SenseIndex,
+    overlay: &HashSet<(ValueId, ofd_ontology::SenseId)>,
+    max_repairs: usize,
+    max_rounds: usize,
+    guard: &ofd_core::ExecGuard,
+) -> (Vec<CellRepair>, bool) {
     let mut repairs: Vec<CellRepair> = Vec::new();
     for _round in 0..max_rounds {
+        if guard.check().is_err() {
+            return (repairs, false);
+        }
         let classes = build_classes(rel, sigma);
         let view = SenseView {
             base: base_index,
@@ -166,6 +201,9 @@ pub fn repair_data(
         let mut progressed = false;
         for oc in &classes {
             for (ci, class) in oc.classes.iter().enumerate() {
+                if guard.check().is_err() {
+                    return (repairs, false);
+                }
                 let sense = assignment.get(oc.ofd_idx, ci);
                 let Some(plan) = class_repair_plan(class, sense, view) else {
                     continue;

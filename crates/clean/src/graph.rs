@@ -225,6 +225,32 @@ pub fn local_refinement(
     view: SenseView<'_>,
     theta: f64,
 ) -> usize {
+    local_refinement_guarded(
+        rel,
+        onto,
+        classes,
+        assignment,
+        view,
+        theta,
+        &ofd_core::ExecGuard::unlimited(),
+    )
+}
+
+/// [`local_refinement`] with an execution guard, probed once per visited
+/// node and per heavy edge.
+///
+/// Interrupting mid-pass is safe: each applied reassignment was already
+/// individually validated to reduce its edge's weight, so a truncated pass
+/// leaves the assignment strictly no worse than it started.
+pub fn local_refinement_guarded(
+    rel: &Relation,
+    onto: &Ontology,
+    classes: &[OfdClasses],
+    assignment: &mut SenseAssignment,
+    view: SenseView<'_>,
+    theta: f64,
+    guard: &ofd_core::ExecGuard,
+) -> usize {
     let graph = build_graph(rel, onto, classes, assignment, view);
     let mut order: Vec<usize> = (0..graph.nodes.len()).collect();
     order.sort_by(|&a, &b| {
@@ -244,11 +270,17 @@ pub fn local_refinement(
     };
 
     let mut reassigned = 0usize;
-    for &u in &order {
+    'nodes: for &u in &order {
+        if guard.check().is_err() {
+            break;
+        }
         if graph.node_weight(u) <= theta {
             continue;
         }
         for &ei in graph.incident(u) {
+            if guard.check().is_err() {
+                break 'nodes;
+            }
             let edge = &graph.edges[ei];
             if edge.weight <= theta {
                 continue;

@@ -46,15 +46,19 @@ pub mod sense;
 
 pub use approx::{enforce_approximate, EnforceResult};
 pub use classes::{build_classes, ClassData, OfdClasses};
-pub use conflict::{conflict_graph, delta_p, repair_data, vertex_cover, CellRepair, Conflict};
+pub use conflict::{
+    conflict_graph, delta_p, repair_data, repair_data_guarded, vertex_cover, CellRepair, Conflict,
+};
 pub use dot::{conflicts_to_dot, depgraph_to_dot, ontology_to_dot};
 pub use emd::{emd, Histogram};
 pub use explain::{explain_violations, Explanation};
-pub use graph::{build_graph, local_refinement, DepGraph, Edge, NodeRef};
+pub use graph::{build_graph, local_refinement, local_refinement_guarded, DepGraph, Edge, NodeRef};
 pub use holo::{holo_clean, HoloConfig, HoloResult};
 pub use metrics::{ontology_quality, repair_quality, semantically_equal, sense_quality, PrecisionRecall};
 pub use ofdclean::{ofd_clean, CleanResult, OfdCleanConfig};
-pub use ontrepair::{beam_search, candidates, secretary_beam, OntologyRepairPlan, ParetoPoint};
+pub use ontrepair::{
+    beam_search, beam_search_guarded, candidates, secretary_beam, OntologyRepairPlan, ParetoPoint,
+};
 pub use report::render_report;
 pub use sense::{assign_all, initial_assignment, mad_ranking, SenseAssignment, SenseView};
 

@@ -4,13 +4,13 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{Ofd, Relation, SenseIndex, ValueId, Validator};
+use ofd_core::{ExecGuard, Interrupt, Ofd, Relation, SenseIndex, ValueId, Validator};
 use ofd_ontology::{Ontology, OntologyRepair, SenseId};
 
 use crate::classes::build_classes;
-use crate::conflict::{repair_data, CellRepair};
-use crate::graph::local_refinement;
-use crate::ontrepair::{beam_search, OntologyRepairPlan};
+use crate::conflict::{repair_data_guarded, CellRepair};
+use crate::graph::local_refinement_guarded;
+use crate::ontrepair::{beam_search_guarded, OntologyRepairPlan};
 use crate::sense::{assign_all, SenseAssignment, SenseView};
 
 /// Tunables of a cleaning run (defaults follow Table 5).
@@ -28,6 +28,10 @@ pub struct OfdCleanConfig {
     pub max_rounds: usize,
     /// Number of refinement sweeps over the dependency graph.
     pub refinement_passes: usize,
+    /// Execution guard probed throughout refinement, beam search and data
+    /// repair. On interrupt the run stops at the next checkpoint and
+    /// returns a sound partial result (see [`CleanResult::complete`]).
+    pub guard: ExecGuard,
 }
 
 impl Default for OfdCleanConfig {
@@ -39,6 +43,7 @@ impl Default for OfdCleanConfig {
             max_ontology_repairs: None,
             max_rounds: 10,
             refinement_passes: 1,
+            guard: ExecGuard::unlimited(),
         }
     }
 }
@@ -64,6 +69,13 @@ pub struct CleanResult {
     pub reassignments: usize,
     /// Whether `I′ ⊨ Σ` w.r.t. `S′`.
     pub satisfied: bool,
+    /// Whether the run finished without the guard tripping. When `false`,
+    /// everything reported is still sound — every applied repair is a
+    /// valid cell rewrite / ontology insertion and `satisfied` reflects
+    /// the actual final state — but further repairs may remain.
+    pub complete: bool,
+    /// Why the run stopped early, when it did.
+    pub interrupt: Option<Interrupt>,
 }
 
 impl CleanResult {
@@ -140,7 +152,18 @@ fn clean_core(
     let mut assignment = assign_all(&classes, view);
     let mut reassignments = 0;
     for _ in 0..config.refinement_passes {
-        let n = local_refinement(&working, onto, &classes, &mut assignment, view, config.theta);
+        if config.guard.check().is_err() {
+            break;
+        }
+        let n = local_refinement_guarded(
+            &working,
+            onto,
+            &classes,
+            &mut assignment,
+            view,
+            config.theta,
+            &config.guard,
+        );
         reassignments += n;
         if n == 0 {
             break;
@@ -148,7 +171,7 @@ fn clean_core(
     }
 
     // 2. Ontology repair (Algorithm 7): beam search over Cand(S).
-    let plan = beam_search(
+    let plan = beam_search_guarded(
         &working,
         sigma,
         &classes,
@@ -156,6 +179,7 @@ fn clean_core(
         &index,
         config.beam,
         config.max_ontology_repairs,
+        &config.guard,
     );
     let tau_max = (config.tau * working.n_rows() as f64).floor() as usize;
     let chosen = plan.select(tau_max).clone();
@@ -171,7 +195,7 @@ fn clean_core(
     let overlay: HashSet<(ValueId, SenseId)> = chosen.adds.iter().copied().collect();
 
     // 3. Data repair to the remaining violations.
-    let (data_repairs, _converged) = repair_data(
+    let (data_repairs, _converged) = repair_data_guarded(
         &mut working,
         &repaired_ontology,
         sigma,
@@ -180,12 +204,15 @@ fn clean_core(
         &overlay,
         tau_max,
         config.max_rounds,
+        &config.guard,
     );
 
-    // 4. Verify I′ ⊨ Σ w.r.t. S′.
+    // 4. Verify I′ ⊨ Σ w.r.t. S′. Runs even after an interrupt — the
+    // reported `satisfied` always reflects the actual final state.
     let validator = Validator::new(&working, &repaired_ontology);
     let satisfied = sigma.iter().all(|o| validator.check(o).satisfied());
 
+    let interrupt = config.guard.interrupt();
     CleanResult {
         repaired: working,
         repaired_ontology,
@@ -196,6 +223,8 @@ fn clean_core(
         plan,
         reassignments,
         satisfied,
+        complete: interrupt.is_none(),
+        interrupt,
     }
 }
 
@@ -326,6 +355,61 @@ mod tests {
             Ofd::inheritance(schema.set(["SYMP"]).unwrap(), schema.attr("DIAG").unwrap(), 1),
         ];
         let _ = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+    }
+
+    #[test]
+    fn unlimited_guard_runs_to_completion() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        assert!(result.complete);
+        assert!(result.interrupt.is_none());
+    }
+
+    /// Tripping the guard at every possible checkpoint must always yield a
+    /// sound partial result: the repaired instance differs from the input
+    /// exactly by the listed data repairs, the repaired ontology is S plus
+    /// exactly the listed adds, and `satisfied` is truthful.
+    #[test]
+    fn interrupted_cleaning_is_sound_at_every_checkpoint() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let mut saw_incomplete = false;
+        for n in 1..80 {
+            let config = OfdCleanConfig::default();
+            config.guard.fail_after(n);
+            let result = ofd_clean(&rel, &onto, &sigma, &config);
+            if result.complete {
+                assert!(result.interrupt.is_none());
+                // Past the last checkpoint the run is indistinguishable
+                // from an unguarded one; no later n can differ either.
+                break;
+            }
+            saw_incomplete = true;
+            assert!(result.interrupt.is_some());
+            // The repaired instance is the input plus the listed repairs.
+            assert_eq!(
+                result.repaired.cell_distance(&rel).unwrap(),
+                result.data_repairs.len(),
+                "n = {n}"
+            );
+            // The repaired ontology is S plus the listed adds.
+            assert_eq!(result.ontology_repair.dist(), result.ontology_adds.len());
+            for (v, s) in &result.ontology_adds {
+                let text = result.repaired.pool().resolve(*v);
+                assert!(result.repaired_ontology.concept(*s).unwrap().has_synonym(text));
+            }
+            // `satisfied` reflects the actual final state.
+            let v = Validator::new(&result.repaired, &result.repaired_ontology);
+            assert_eq!(
+                result.satisfied,
+                sigma.iter().all(|o| v.check(o).satisfied()),
+                "n = {n}"
+            );
+        }
+        assert!(saw_incomplete, "fail point 1 must interrupt the run");
     }
 
     #[test]

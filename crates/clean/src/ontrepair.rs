@@ -111,6 +111,37 @@ pub fn beam_search(
     beam: Option<usize>,
     max_k: Option<usize>,
 ) -> OntologyRepairPlan {
+    beam_search_guarded(
+        rel,
+        sigma,
+        classes,
+        assignment,
+        index,
+        beam,
+        max_k,
+        &ofd_core::ExecGuard::unlimited(),
+    )
+}
+
+/// [`beam_search`] with an execution guard, probed once per candidate
+/// evaluation and per beam expansion.
+///
+/// The frontier always contains the `k = 0` (no ontology repair) point, so
+/// an interrupted search still yields a usable plan — `select` falls back
+/// to the best fully evaluated point, in the worst case pure data repair.
+/// Every frontier entry was completely evaluated before the interrupt, so
+/// no partially costed point can be selected.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_guarded(
+    rel: &Relation,
+    sigma: &[Ofd],
+    classes: &[OfdClasses],
+    assignment: &SenseAssignment,
+    index: &SenseIndex,
+    beam: Option<usize>,
+    max_k: Option<usize>,
+    guard: &ofd_core::ExecGuard,
+) -> OntologyRepairPlan {
     let cands = candidates(classes, assignment, index);
     let w = cands.len();
     let b = beam.unwrap_or_else(|| secretary_beam(w));
@@ -257,8 +288,8 @@ pub fn beam_search(
                 .collect()
         })
         .collect();
-    let mut outlier_memo: std::collections::HashMap<(usize, Vec<(ValueId, SenseId)>), Vec<u32>> =
-        std::collections::HashMap::new();
+    type OutlierMemo = std::collections::HashMap<(usize, Vec<(ValueId, SenseId)>), Vec<u32>>;
+    let mut outlier_memo: OutlierMemo = std::collections::HashMap::new();
     let mut eval_with_touched = |adds: &[(ValueId, SenseId)]| -> (usize, Vec<u32>) {
         let mut affected: Vec<usize> = adds
             .iter()
@@ -327,21 +358,31 @@ pub fn beam_search(
     let mut gain1: Vec<usize> = Vec::with_capacity(cands.len());
     let mut touched1: Vec<Vec<u32>> = Vec::with_capacity(cands.len());
     for &cand in &cands {
+        if guard.check().is_err() {
+            break;
+        }
         let (cover, touched) = eval_with_touched(&[cand]);
         gain1.push(base_cover.saturating_sub(cover));
         touched1.push(touched);
     }
+    // The beam loop indexes gain1/touched1 by candidate; a truncated
+    // level-1 scan means no lattice level can be explored soundly, leaving
+    // the k = 0 fallback.
+    let max_k = if gain1.len() == cands.len() { max_k } else { 0 };
 
     // Beam over the candidate lattice; stop on plateau (an extra insertion
     // that buys no data repairs cannot be part of a Pareto improvement).
     let mut level: Vec<ParetoPoint> = vec![frontier[0].clone()];
     let mut best_so_far = base_cover;
-    for k in 1..=max_k {
+    'beam: for k in 1..=max_k {
         let mut next: Vec<ParetoPoint> = Vec::new();
         let mut seen: HashSet<Vec<(ValueId, SenseId)>> = HashSet::new();
         let cand_index: std::collections::HashMap<(ValueId, SenseId), usize> =
             cands.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
         for node in &level {
+            if guard.check().is_err() {
+                break 'beam;
+            }
             let node_touched: HashSet<u32> = node
                 .adds
                 .iter()

@@ -39,6 +39,12 @@ pub enum CoreError {
     MalformedDependency(String),
     /// A duplicate attribute name in a schema.
     DuplicateAttribute(String),
+    /// Malformed external input (CSV or ontology text): empty payload,
+    /// invalid encoding, unbalanced quoting and similar parse-level faults.
+    MalformedInput(String),
+    /// A guarded operation stopped early (deadline, budget or
+    /// cancellation); see [`crate::guard`].
+    Interrupted(crate::guard::Interrupt),
 }
 
 impl fmt::Display for CoreError {
@@ -62,6 +68,8 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateAttribute(name) => {
                 write!(f, "duplicate attribute name {name:?}")
             }
+            CoreError::MalformedInput(msg) => write!(f, "malformed input: {msg}"),
+            CoreError::Interrupted(i) => write!(f, "interrupted: {i}"),
         }
     }
 }
@@ -82,6 +90,8 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("row 3"));
+        let e = CoreError::Interrupted(crate::guard::Interrupt::DeadlineExceeded);
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Execution guards: deadlines, work/memory budgets and cooperative
+//! cancellation for the long-running engines (discovery, FD baselines,
+//! cleaning).
+//!
+//! An [`ExecGuard`] is a cheap, cloneable handle shared between the caller
+//! and an engine. The engine probes it at its natural checkpoints —
+//! lattice levels, candidate batches, node visits, search expansions —
+//! via [`ExecGuard::check`]; the caller sets limits up front
+//! ([`GuardConfig`]) and may flip the cancellation flag at any time from
+//! any thread ([`ExecGuard::cancel`]). On an [`Interrupt`] the engine
+//! stops where it is and returns a **sound** partial result wrapped in
+//! [`Partial`]: everything already emitted is valid, the wrapper records
+//! that the enumeration did not finish and why.
+//!
+//! Checkpoint placement policy: a checkpoint goes where the engine
+//! completes a unit of output (so stopping there never truncates an
+//! individual dependency or repair mid-construction) and inside any loop
+//! whose trip count grows with the input (so the latency between a limit
+//! expiring and the engine observing it is bounded by one unit of work,
+//! not one run). Wall-clock reads are amortised: only every
+//! [`TIME_CHECK_MASK`]+1-th probe looks at the clock, so a checkpoint in a
+//! hot loop costs an atomic increment in the common case.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why an engine stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The work-unit budget (checkpoint count) was exhausted.
+    WorkBudgetExceeded,
+    /// The process's resident set exceeded the memory budget.
+    MemoryBudgetExceeded,
+    /// The caller flipped the cancellation flag.
+    Cancelled,
+    /// A test-only fail point tripped (see [`ExecGuard::fail_after`]).
+    FailPoint,
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupt::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Interrupt::WorkBudgetExceeded => write!(f, "work budget exceeded"),
+            Interrupt::MemoryBudgetExceeded => write!(f, "memory budget exceeded"),
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::FailPoint => write!(f, "fail point tripped"),
+        }
+    }
+}
+
+impl Error for Interrupt {}
+
+/// A value an engine computed before an interrupt, tagged with whether the
+/// computation ran to completion.
+///
+/// The contract every guarded engine upholds: the `value` of an incomplete
+/// result is *sound* — a subset of (a prefix of) what the uninterrupted
+/// run would have produced, with every individual item valid — it is only
+/// *completeness* that is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partial<T> {
+    /// The (possibly truncated) result.
+    pub value: T,
+    /// `true` when the computation ran to the end.
+    pub complete: bool,
+    /// Why the computation stopped, when `complete` is false.
+    pub reason: Option<Interrupt>,
+}
+
+impl<T> Partial<T> {
+    /// Wraps a result that ran to completion.
+    pub fn complete(value: T) -> Partial<T> {
+        Partial {
+            value,
+            complete: true,
+            reason: None,
+        }
+    }
+
+    /// Wraps a result truncated by `reason`.
+    pub fn interrupted(value: T, reason: Interrupt) -> Partial<T> {
+        Partial {
+            value,
+            complete: false,
+            reason: Some(reason),
+        }
+    }
+
+    /// Wraps a result whose completeness is decided by `outcome` — the
+    /// usual way to finish a guarded function:
+    /// `Partial::from_outcome(out, guard_result.err())`.
+    pub fn from_outcome(value: T, interrupt: Option<Interrupt>) -> Partial<T> {
+        Partial {
+            value,
+            complete: interrupt.is_none(),
+            reason: interrupt,
+        }
+    }
+
+    /// Maps the value, preserving the completeness tag.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Partial<U> {
+        Partial {
+            value: f(self.value),
+            complete: self.complete,
+            reason: self.reason,
+        }
+    }
+
+    /// The value, if complete — an interrupted value is discarded.
+    pub fn into_complete(self) -> Option<T> {
+        if self.complete {
+            Some(self.value)
+        } else {
+            None
+        }
+    }
+}
+
+/// Limits for a guarded run; all default to unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuardConfig {
+    /// Wall-clock limit for the run.
+    pub timeout: Option<Duration>,
+    /// Maximum number of checkpoints (work units) the run may pass.
+    pub max_work: Option<u64>,
+    /// Resident-set ceiling in MiB (peak RSS, read from
+    /// `/proc/self/status`; ignored on platforms without procfs).
+    pub max_rss_mib: Option<usize>,
+}
+
+/// How many probes share one wall-clock / RSS read (power of two minus 1).
+const TIME_CHECK_MASK: u64 = 0x3F;
+
+#[derive(Debug)]
+struct GuardState {
+    /// Deadline, relative to `started`.
+    deadline: Option<Instant>,
+    /// Work-unit budget.
+    max_work: Option<u64>,
+    /// RSS ceiling in KiB (procfs unit).
+    max_rss_kib: Option<u64>,
+    /// Checkpoints passed so far.
+    work: AtomicU64,
+    /// Cooperative cancellation flag.
+    cancelled: AtomicBool,
+    /// Sticky first interrupt, encoded via `encode_interrupt`.
+    tripped: AtomicUsize,
+    /// Test-only: trip at the Nth checkpoint (0 = disabled; N means the
+    /// probe observing `work == N` fails).
+    fail_at: AtomicU64,
+}
+
+const TRIP_NONE: usize = 0;
+
+fn encode_interrupt(i: Interrupt) -> usize {
+    match i {
+        Interrupt::DeadlineExceeded => 1,
+        Interrupt::WorkBudgetExceeded => 2,
+        Interrupt::MemoryBudgetExceeded => 3,
+        Interrupt::Cancelled => 4,
+        Interrupt::FailPoint => 5,
+    }
+}
+
+fn decode_interrupt(code: usize) -> Option<Interrupt> {
+    match code {
+        1 => Some(Interrupt::DeadlineExceeded),
+        2 => Some(Interrupt::WorkBudgetExceeded),
+        3 => Some(Interrupt::MemoryBudgetExceeded),
+        4 => Some(Interrupt::Cancelled),
+        5 => Some(Interrupt::FailPoint),
+        _ => None,
+    }
+}
+
+/// A cheap, cloneable execution guard: clones share one deadline, budget
+/// and cancellation flag.
+///
+/// The default guard is unlimited — `ExecGuard::default().check()` never
+/// fails — so APIs can take a guard unconditionally and callers who don't
+/// care pass `&ExecGuard::default()`.
+#[derive(Debug, Clone, Default)]
+pub struct ExecGuard {
+    state: Arc<GuardState>,
+}
+
+impl Default for GuardState {
+    fn default() -> GuardState {
+        GuardState {
+            deadline: None,
+            max_work: None,
+            max_rss_kib: None,
+            work: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+            tripped: AtomicUsize::new(TRIP_NONE),
+            fail_at: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ExecGuard {
+    /// A guard with no limits; [`check`](ExecGuard::check) always succeeds
+    /// unless [`cancel`](ExecGuard::cancel) is called.
+    pub fn unlimited() -> ExecGuard {
+        ExecGuard::default()
+    }
+
+    /// A guard enforcing `config`'s limits, with the clock starting now.
+    pub fn new(config: GuardConfig) -> ExecGuard {
+        ExecGuard {
+            state: Arc::new(GuardState {
+                deadline: config.timeout.map(|t| Instant::now() + t),
+                max_work: config.max_work,
+                max_rss_kib: config.max_rss_mib.map(|m| m as u64 * 1024),
+                ..GuardState::default()
+            }),
+        }
+    }
+
+    /// Shorthand for a deadline-only guard.
+    pub fn with_timeout(timeout: Duration) -> ExecGuard {
+        ExecGuard::new(GuardConfig {
+            timeout: Some(timeout),
+            ..GuardConfig::default()
+        })
+    }
+
+    /// Shorthand for a work-budget-only guard.
+    pub fn with_max_work(max_work: u64) -> ExecGuard {
+        ExecGuard::new(GuardConfig {
+            max_work: Some(max_work),
+            ..GuardConfig::default()
+        })
+    }
+
+    /// The checkpoint probe. Counts one unit of work and returns
+    /// `Err(reason)` once any limit has been hit; after the first trip
+    /// every later probe fails with the same (sticky) reason.
+    ///
+    /// Cost: one atomic fetch-add plus two relaxed loads in the common
+    /// case; the wall clock and procfs are consulted every 64th probe
+    /// (and on the very first).
+    pub fn check(&self) -> Result<(), Interrupt> {
+        let s = &*self.state;
+        // Sticky: once tripped, stay tripped (keeps concurrent workers and
+        // nested loops consistent about the reason).
+        if let Some(i) = decode_interrupt(s.tripped.load(Ordering::Relaxed)) {
+            return Err(i);
+        }
+        let n = s.work.fetch_add(1, Ordering::Relaxed) + 1;
+        if s.cancelled.load(Ordering::Relaxed) {
+            return Err(self.trip(Interrupt::Cancelled));
+        }
+        let fail_at = s.fail_at.load(Ordering::Relaxed);
+        if fail_at != 0 && n >= fail_at {
+            return Err(self.trip(Interrupt::FailPoint));
+        }
+        if let Some(max) = s.max_work {
+            if n > max {
+                return Err(self.trip(Interrupt::WorkBudgetExceeded));
+            }
+        }
+        // Amortised clock / procfs reads.
+        if n & TIME_CHECK_MASK == 1 {
+            if let Some(deadline) = s.deadline {
+                if Instant::now() >= deadline {
+                    return Err(self.trip(Interrupt::DeadlineExceeded));
+                }
+            }
+            if let Some(max_kib) = s.max_rss_kib {
+                if rss_kib().is_some_and(|rss| rss > max_kib) {
+                    return Err(self.trip(Interrupt::MemoryBudgetExceeded));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records `reason` as the sticky interrupt (first writer wins) and
+    /// returns the reason actually recorded.
+    fn trip(&self, reason: Interrupt) -> Interrupt {
+        let s = &*self.state;
+        match s.tripped.compare_exchange(
+            TRIP_NONE,
+            encode_interrupt(reason),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => reason,
+            Err(prev) => decode_interrupt(prev).unwrap_or(reason),
+        }
+    }
+
+    /// Flips the cancellation flag; every clone's next probe fails with
+    /// [`Interrupt::Cancelled`]. Safe to call from any thread, repeatedly.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any probe has failed (or will, at the next probe after a
+    /// cancellation).
+    pub fn is_tripped(&self) -> bool {
+        self.state.tripped.load(Ordering::Relaxed) != TRIP_NONE
+    }
+
+    /// The sticky interrupt, if any probe has failed.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        decode_interrupt(self.state.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Checkpoints passed so far (across all clones).
+    pub fn work_done(&self) -> u64 {
+        self.state.work.load(Ordering::Relaxed)
+    }
+
+    /// Test-only fail point: the probe observing the `n`-th checkpoint
+    /// (1-based) fails with [`Interrupt::FailPoint`], deterministically.
+    /// `n = 0` disables the fail point. Used by the fault-injection tests
+    /// to stop an engine at an exact internal position.
+    pub fn fail_after(&self, n: u64) {
+        self.state.fail_at.store(n, Ordering::Relaxed);
+    }
+
+    /// Runs `check` and converts the outcome into the `Option<Interrupt>`
+    /// shape [`Partial::from_outcome`] takes.
+    pub fn probe(&self) -> Option<Interrupt> {
+        self.check().err()
+    }
+}
+
+/// Current resident set (VmRSS) in KiB from `/proc/self/status`; `None`
+/// off Linux or if procfs is unreadable.
+fn rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = ExecGuard::unlimited();
+        for _ in 0..10_000 {
+            assert!(g.check().is_ok());
+        }
+        assert!(!g.is_tripped());
+        assert_eq!(g.interrupt(), None);
+        assert_eq!(g.work_done(), 10_000);
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_probe() {
+        let g = ExecGuard::with_timeout(Duration::ZERO);
+        assert_eq!(g.check(), Err(Interrupt::DeadlineExceeded));
+        // Sticky thereafter.
+        assert_eq!(g.check(), Err(Interrupt::DeadlineExceeded));
+        assert_eq!(g.interrupt(), Some(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let g = ExecGuard::with_timeout(Duration::from_secs(3600));
+        for _ in 0..10_000 {
+            assert!(g.check().is_ok());
+        }
+    }
+
+    #[test]
+    fn work_budget_counts_checkpoints() {
+        let g = ExecGuard::with_max_work(5);
+        for _ in 0..5 {
+            assert!(g.check().is_ok());
+        }
+        assert_eq!(g.check(), Err(Interrupt::WorkBudgetExceeded));
+    }
+
+    #[test]
+    fn cancellation_is_observed_at_the_next_checkpoint() {
+        let g = ExecGuard::unlimited();
+        assert!(g.check().is_ok());
+        let clone = g.clone();
+        clone.cancel();
+        assert_eq!(g.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let g = ExecGuard::unlimited();
+        let clone = g.clone();
+        let handle = std::thread::spawn(move || clone.cancel());
+        handle.join().expect("cancel thread");
+        assert_eq!(g.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn fail_point_trips_at_exactly_the_nth_checkpoint() {
+        let g = ExecGuard::unlimited();
+        g.fail_after(3);
+        assert!(g.check().is_ok());
+        assert!(g.check().is_ok());
+        assert_eq!(g.check(), Err(Interrupt::FailPoint));
+    }
+
+    #[test]
+    fn first_trip_reason_is_sticky() {
+        let g = ExecGuard::with_max_work(1);
+        assert!(g.check().is_ok());
+        assert_eq!(g.check(), Err(Interrupt::WorkBudgetExceeded));
+        g.cancel();
+        // The recorded reason does not change after the fact.
+        assert_eq!(g.check(), Err(Interrupt::WorkBudgetExceeded));
+    }
+
+    #[test]
+    fn clones_share_the_work_counter() {
+        let g = ExecGuard::with_max_work(10);
+        let c = g.clone();
+        for _ in 0..5 {
+            assert!(g.check().is_ok());
+            assert!(c.check().is_ok());
+        }
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn tiny_memory_budget_trips() {
+        if rss_kib().is_none() {
+            return; // no procfs on this platform
+        }
+        let g = ExecGuard::new(GuardConfig {
+            max_rss_mib: Some(1),
+            ..GuardConfig::default()
+        });
+        // The first probe reads procfs; any live process exceeds 1 MiB.
+        assert_eq!(g.check(), Err(Interrupt::MemoryBudgetExceeded));
+    }
+
+    #[test]
+    fn partial_wrappers_carry_the_tag() {
+        let c = Partial::complete(vec![1, 2]);
+        assert!(c.complete && c.reason.is_none());
+        assert_eq!(c.into_complete(), Some(vec![1, 2]));
+
+        let i = Partial::interrupted(vec![1], Interrupt::Cancelled);
+        assert!(!i.complete);
+        assert_eq!(i.reason, Some(Interrupt::Cancelled));
+        assert_eq!(i.clone().into_complete(), None);
+        let mapped = i.map(|v| v.len());
+        assert_eq!(mapped.value, 1);
+        assert!(!mapped.complete);
+
+        let from = Partial::from_outcome(7, None);
+        assert!(from.complete);
+        let from = Partial::from_outcome(7, Some(Interrupt::DeadlineExceeded));
+        assert!(!from.complete);
+    }
+
+    #[test]
+    fn probe_mirrors_check() {
+        let g = ExecGuard::with_max_work(1);
+        assert_eq!(g.probe(), None);
+        assert_eq!(g.probe(), Some(Interrupt::WorkBudgetExceeded));
+    }
+
+    #[test]
+    fn interrupt_displays_are_informative() {
+        for i in [
+            Interrupt::DeadlineExceeded,
+            Interrupt::WorkBudgetExceeded,
+            Interrupt::MemoryBudgetExceeded,
+            Interrupt::Cancelled,
+            Interrupt::FailPoint,
+        ] {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

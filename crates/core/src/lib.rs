@@ -10,13 +10,17 @@
 //!   ([`StrippedPartition`]);
 //! * FDs and OFDs ([`Fd`], [`Ofd`]) and their verification over equivalence
 //!   classes ([`Validator`]), including approximate support for
-//!   κ-approximate discovery.
+//!   κ-approximate discovery;
+//! * execution guards ([`ExecGuard`], [`Partial`]) giving every
+//!   long-running engine deadlines, work/memory budgets and cooperative
+//!   cancellation with sound partial results.
 //!
 //! The running examples of the paper (Table 1 and its Example 1.2 update)
 //! ship as [`table1`] / [`table1_updated`] and are exercised throughout the
 //! test suites.
 
 mod error;
+pub mod guard;
 pub mod incremental;
 pub mod lhs_synonyms;
 pub mod nfd_check;
@@ -29,6 +33,7 @@ mod validate;
 mod value;
 
 pub use error::CoreError;
+pub use guard::{ExecGuard, GuardConfig, Interrupt, Partial};
 pub use incremental::IncrementalChecker;
 pub use nfd_check::NfdChecker;
 pub use lhs_synonyms::{check_lhs_synonyms, InterpretationOutcome, LhsSynonymValidation};

@@ -331,27 +331,38 @@ fn class_outcome(
         *value_counts.entry(col[t as usize]).or_insert(0) += 1;
     }
     let size = class.len();
-    let representative = class[0];
+    let representative = class.first().copied().unwrap_or(0);
 
     // Opt-4 fast path: a single distinct consequent value means the class
     // satisfies the traditional FD, hence the OFD, with no ontology lookups.
     if value_counts.len() == 1 {
-        let (&v, _) = value_counts.iter().next().expect("one entry");
+        if let Some((&v, _)) = value_counts.iter().next() {
+            return ClassOutcome {
+                class_index,
+                representative,
+                size,
+                covered: size,
+                witness: Some(Witness::Literal(v)),
+            };
+        }
+    }
+
+    // Best literal cover: tuples sharing one exact value are consistent even
+    // if the ontology does not know the value. An empty class (possible only
+    // through a degenerate caller) is vacuously satisfied rather than a
+    // panic.
+    let Some((&lit_value, &lit_count)) = value_counts
+        .iter()
+        .max_by_key(|&(v, c)| (*c, std::cmp::Reverse(*v)))
+    else {
         return ClassOutcome {
             class_index,
             representative,
             size,
             covered: size,
-            witness: Some(Witness::Literal(v)),
+            witness: None,
         };
-    }
-
-    // Best literal cover: tuples sharing one exact value are consistent even
-    // if the ontology does not know the value.
-    let (&lit_value, &lit_count) = value_counts
-        .iter()
-        .max_by_key(|&(v, c)| (*c, std::cmp::Reverse(*v)))
-        .expect("non-empty class");
+    };
 
     // Sense frequencies: a sense covers a tuple when it contains the tuple's
     // value.

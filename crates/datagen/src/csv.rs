@@ -21,19 +21,36 @@ pub fn write_csv(rel: &Relation) -> String {
 }
 
 /// Parses CSV with a header row into a relation.
+///
+/// Malformed input is a typed [`CoreError`], never a panic: an empty file
+/// is [`CoreError::MalformedInput`], a ragged row is
+/// [`CoreError::ArityMismatch`] (with its row index), and a row with an
+/// unterminated quoted cell is [`CoreError::MalformedInput`].
 pub fn read_csv(text: &str) -> Result<Relation, CoreError> {
-    let mut lines = text.lines().filter(|l| !l.is_empty());
-    let header = lines
+    let mut lines = text.lines().filter(|l| !l.is_empty()).enumerate();
+    let (_, header) = lines
         .next()
-        .ok_or_else(|| CoreError::MalformedDependency("empty csv".into()))?;
-    let names = split_row(header);
+        .ok_or_else(|| CoreError::MalformedInput("empty csv".into()))?;
+    let names = split_row(header)
+        .ok_or_else(|| CoreError::MalformedInput("unterminated quote in header".into()))?;
     let schema = Schema::new(names.iter().map(String::as_str))?;
     let mut b = Relation::builder(schema);
-    for line in lines {
-        let cells = split_row(line);
+    for (lineno, line) in lines {
+        let cells = split_row(line).ok_or_else(|| {
+            CoreError::MalformedInput(format!("unterminated quote on line {}", lineno + 1))
+        })?;
         b.push_row(cells.iter().map(String::as_str))?;
     }
     Ok(b.finish())
+}
+
+/// Parses raw bytes as CSV, rejecting invalid UTF-8 with a typed error
+/// instead of panicking — the entry point for untrusted files.
+pub fn read_csv_bytes(bytes: &[u8]) -> Result<Relation, CoreError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| {
+        CoreError::MalformedInput(format!("invalid utf-8 at byte {}", e.valid_up_to()))
+    })?;
+    read_csv(text)
 }
 
 fn quote(cell: &str) -> String {
@@ -44,7 +61,9 @@ fn quote(cell: &str) -> String {
     }
 }
 
-fn split_row(line: &str) -> Vec<String> {
+/// Splits one CSV record; `None` when a quoted cell never closes (the
+/// line-based reader cannot span records, so this is a hard parse fault).
+fn split_row(line: &str) -> Option<Vec<String>> {
     let mut cells = Vec::new();
     let mut cur = String::new();
     let mut chars = line.chars().peekable();
@@ -66,8 +85,11 @@ fn split_row(line: &str) -> Vec<String> {
             other => cur.push(other),
         }
     }
+    if in_quotes {
+        return None;
+    }
     cells.push(cur);
-    cells
+    Some(cells)
 }
 
 #[cfg(test)]
@@ -142,7 +164,48 @@ mod tests {
 
     #[test]
     fn rejects_empty_input_and_ragged_rows() {
-        assert!(read_csv("").is_err());
-        assert!(read_csv("A,B\nonly-one\n").is_err());
+        assert!(matches!(read_csv(""), Err(CoreError::MalformedInput(_))));
+        assert!(matches!(
+            read_csv("\n\n"),
+            Err(CoreError::MalformedInput(_)),
+        ));
+        assert!(matches!(
+            read_csv("A,B\nonly-one\n"),
+            Err(CoreError::ArityMismatch { row: 0, expected: 2, got: 1 }),
+        ));
+        assert!(matches!(
+            read_csv("A,B\na,b\nx,y,z\n"),
+            Err(CoreError::ArityMismatch { row: 1, expected: 2, got: 3 }),
+        ));
+    }
+
+    #[test]
+    fn rejects_unterminated_quotes() {
+        assert!(matches!(
+            read_csv("A,B\n\"open,b\n"),
+            Err(CoreError::MalformedInput(_)),
+        ));
+        assert!(matches!(
+            read_csv("\"A,B\n"),
+            Err(CoreError::MalformedInput(_)),
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_utf8_bytes() {
+        let err = read_csv_bytes(b"A,B\n\xff\xfe,x\n").unwrap_err();
+        assert!(matches!(err, CoreError::MalformedInput(_)));
+        assert!(err.to_string().contains("utf-8"));
+        // Valid bytes parse identically to the &str path.
+        let rel = read_csv_bytes(b"A,B\nx,y\n").unwrap();
+        assert_eq!(rel.n_rows(), 1);
+    }
+
+    #[test]
+    fn duplicate_header_names_are_typed_errors() {
+        assert!(matches!(
+            read_csv("A,A\nx,y\n"),
+            Err(CoreError::DuplicateAttribute(_)),
+        ));
     }
 }

@@ -3,7 +3,7 @@
 //! [`crate::FastOfd`] on small instances (property tests and the bench
 //! harness's self-checks).
 
-use ofd_core::{AttrSet, Ofd, OfdKind, Relation, Validator};
+use ofd_core::{AttrSet, ExecGuard, Ofd, OfdKind, Partial, Relation, Validator};
 use ofd_ontology::Ontology;
 
 /// Discovers all minimal OFDs of `kind` with support ≥ `min_support` by
@@ -14,6 +14,24 @@ pub fn brute_force(
     kind: OfdKind,
     min_support: f64,
 ) -> Vec<Ofd> {
+    brute_force_guarded(rel, onto, kind, min_support, &ExecGuard::unlimited()).value
+}
+
+/// [`brute_force`] with an execution guard, probed once per antecedent.
+///
+/// On interrupt the result is a *sound subset* of the full output:
+/// antecedents are enumerated in ascending bit order, and a proper subset
+/// of a set always has a strictly smaller bit pattern — so every subset of
+/// an enumerated antecedent was itself enumerated, which makes each
+/// minimality verdict over the prefix identical to the verdict the full
+/// run would reach.
+pub fn brute_force_guarded(
+    rel: &Relation,
+    onto: &Ontology,
+    kind: OfdKind,
+    min_support: f64,
+    guard: &ExecGuard,
+) -> Partial<Vec<Ofd>> {
     let n = rel.schema().len();
     assert!(n <= 20, "brute force is for small schemas only");
     let validator = Validator::new(rel, onto);
@@ -23,6 +41,9 @@ pub fn brute_force(
     let mut valid: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
     let masks = 1u64 << n;
     for bits in 0..masks {
+        if guard.check().is_err() {
+            break;
+        }
         let lhs = AttrSet::from_bits(bits);
         for a in rel.schema().attrs() {
             if lhs.contains(a) {
@@ -55,7 +76,7 @@ pub fn brute_force(
         }
     }
     out.sort_by_key(|o| (o.lhs.len(), o.lhs.bits(), o.rhs));
-    out
+    Partial::from_outcome(out, guard.interrupt())
 }
 
 #[cfg(test)]

@@ -37,13 +37,23 @@ pub struct DiscoveredOfd {
 }
 
 /// Output of a [`FastOfd`] run.
+///
+/// When the run's [`ExecGuard`](ofd_core::ExecGuard) interrupts it,
+/// `complete` is false and `interrupt` records why. The partial Σ is
+/// *sound*: every emitted OFD was verified against the instance and is
+/// minimal w.r.t. the fully-explored lower levels — only dependencies at
+/// unexplored positions may be missing.
 #[derive(Debug, Clone)]
 pub struct Discovery {
-    /// The complete, minimal set Σ, ordered by (level, antecedent,
-    /// consequent).
+    /// The minimal set Σ found so far, ordered by (level, antecedent,
+    /// consequent); complete iff `complete`.
     pub ofds: Vec<DiscoveredOfd>,
     /// Instrumentation counters.
     pub stats: DiscoveryStats,
+    /// Whether the lattice traversal ran to the end.
+    pub complete: bool,
+    /// Why the traversal stopped early, when `complete` is false.
+    pub interrupt: Option<ofd_core::Interrupt>,
 }
 
 impl Discovery {
@@ -67,7 +77,8 @@ impl Discovery {
         self.ofds.is_empty()
     }
 
-    /// Pretty-prints the result with attribute names.
+    /// Pretty-prints the result with attribute names; an interrupted run
+    /// is explicitly marked incomplete with its reason.
     pub fn display(&self, schema: &Schema) -> String {
         let mut out = String::new();
         for d in &self.ofds {
@@ -77,6 +88,9 @@ impl Discovery {
                 d.support,
                 d.ofd.display(schema)
             ));
+        }
+        if let Some(i) = self.interrupt {
+            out.push_str(&format!("INCOMPLETE: interrupted ({i}); Σ above is a sound subset\n"));
         }
         out
     }
@@ -148,8 +162,14 @@ impl<'a> FastOfd<'a> {
         let mut prev_index: HashMap<u64, usize> =
             std::iter::once((AttrSet::empty().bits(), 0)).collect();
 
+        let guard = &self.opts.guard;
         let max_level = self.opts.max_level.unwrap_or(n).min(n);
         for level in 1..=max_level {
+            // Per-level checkpoint: never start building a level once a
+            // limit has expired.
+            if guard.check().is_err() {
+                break;
+            }
             let level_started = Instant::now();
             let mut ls = LevelStats {
                 level,
@@ -215,10 +235,15 @@ impl<'a> FastOfd<'a> {
                 };
                 self.decide(&index, &ofd, &prev[pi].partition, &known, exact)
             };
-            let decisions: Vec<(bool, f64, Decision)> = if self.opts.threads <= 1
+            // Per-candidate checkpoint: a `None` decision means the guard
+            // tripped before that candidate was examined — it is simply
+            // not part of the (sound) partial output.
+            let decisions: Vec<Option<(bool, f64, Decision)>> = if self.opts.threads <= 1
                 || jobs.len() < 2 * self.opts.threads
             {
-                jobs.iter().map(decide_one).collect()
+                jobs.iter()
+                    .map(|j| guard.check().ok().map(|()| decide_one(j)))
+                    .collect()
             } else {
                 let n_threads = self.opts.threads.min(jobs.len());
                 let counter = std::sync::atomic::AtomicUsize::new(0);
@@ -231,6 +256,9 @@ impl<'a> FastOfd<'a> {
                         let decide_one = &decide_one;
                         let slot_ptr = &slot_ptr;
                         scope.spawn(move || loop {
+                            if guard.check().is_err() {
+                                break;
+                            }
                             let i = counter
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= jobs.len() {
@@ -246,12 +274,13 @@ impl<'a> FastOfd<'a> {
                         });
                     }
                 });
-                slots.into_iter().map(|s| s.expect("all jobs decided")).collect()
+                slots
             };
 
-            for (&(ni, a, lhs, _), &(valid, support, how)) in
-                jobs.iter().zip(decisions.iter())
-            {
+            for (&(ni, a, lhs, _), decision) in jobs.iter().zip(decisions.iter()) {
+                let &Some((valid, support, how)) = decision else {
+                    continue;
+                };
                 match how {
                     Decision::KeyShortcut => ls.key_shortcuts += 1,
                     Decision::FdShortcut => ls.fd_shortcuts += 1,
@@ -307,7 +336,13 @@ impl<'a> FastOfd<'a> {
 
         sigma.sort_by_key(|d| (d.level, d.ofd.lhs.bits(), d.ofd.rhs));
         stats.elapsed = started.elapsed();
-        Discovery { ofds: sigma, stats }
+        let interrupt = guard.interrupt();
+        Discovery {
+            ofds: sigma,
+            stats,
+            complete: interrupt.is_none(),
+            interrupt,
+        }
     }
 
     fn attr_partition(&self, attr: AttrId) -> StrippedPartition {

@@ -36,7 +36,7 @@ mod fastofd;
 mod options;
 mod stats;
 
-pub use brute::brute_force;
+pub use brute::{brute_force, brute_force_guarded};
 pub use fastofd::{DiscoveredOfd, Discovery, FastOfd};
 pub use options::DiscoveryOptions;
 pub use stats::{DiscoveryStats, LevelStats};
@@ -259,6 +259,48 @@ mod tests {
         assert_eq!(found[0].ofd.rhs, rel.schema().attr("A").unwrap());
     }
 
+    #[test]
+    fn zero_deadline_interrupts_discovery_immediately() {
+        use std::time::Duration;
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let guard = ofd_core::ExecGuard::with_timeout(Duration::ZERO);
+        let result = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().guard(guard))
+            .run();
+        assert!(!result.complete);
+        assert_eq!(result.interrupt, Some(ofd_core::Interrupt::DeadlineExceeded));
+        assert_eq!(result.len(), 0, "nothing emitted before the first probe");
+    }
+
+    #[test]
+    fn generous_deadline_discovery_is_complete_and_unchanged() {
+        use std::time::Duration;
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let guard = ofd_core::ExecGuard::with_timeout(Duration::from_secs(3600));
+        let result = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().guard(guard))
+            .run();
+        assert!(result.complete && result.interrupt.is_none());
+        let unguarded: Vec<Ofd> = discover(&rel, &onto, DiscoveryOptions::default());
+        let guarded: Vec<Ofd> = result.ofds().copied().collect();
+        assert_eq!(guarded, unguarded);
+    }
+
+    #[test]
+    fn pre_cancelled_discovery_reports_cancellation() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let guard = ofd_core::ExecGuard::unlimited();
+        guard.cancel();
+        let result = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().guard(guard))
+            .run();
+        assert!(!result.complete);
+        assert_eq!(result.interrupt, Some(ofd_core::Interrupt::Cancelled));
+    }
+
     /// Random small relations + random flat ontologies for differential
     /// testing against brute force.
     fn arb_instance() -> impl Strategy<Value = (Relation, Ontology)> {
@@ -317,6 +359,34 @@ mod tests {
                 DiscoveryOptions::new().min_support(0.7),
             );
             prop_assert_eq!(fast, brute);
+        }
+
+        /// Interrupting FastOFD at an arbitrary checkpoint yields a subset
+        /// of the uninterrupted Σ and never an invalid OFD — the tentpole
+        /// partial-result soundness property.
+        #[test]
+        fn interrupted_fastofd_emits_sound_subset(
+            ((rel, onto), n) in (arb_instance(), 1u64..120)
+        ) {
+            let full = brute_force(&rel, &onto, OfdKind::Synonym, 1.0);
+            let guard = ofd_core::ExecGuard::unlimited();
+            guard.fail_after(n);
+            let result = FastOfd::new(&rel, &onto)
+                .options(DiscoveryOptions::new().guard(guard))
+                .run();
+            let partial: Vec<Ofd> = result.ofds().copied().collect();
+            for ofd in &partial {
+                prop_assert!(
+                    full.contains(ofd),
+                    "interrupted run emitted an OFD outside the full output"
+                );
+            }
+            if result.complete {
+                prop_assert!(result.interrupt.is_none());
+                prop_assert_eq!(partial, full);
+            } else {
+                prop_assert!(result.interrupt.is_some());
+            }
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Configuration for the FastOFD discovery run.
 
-use ofd_core::{Fd, OfdKind};
+use ofd_core::{ExecGuard, Fd, OfdKind};
 
 /// Options controlling a [`crate::FastOfd`] run.
 ///
@@ -48,6 +48,11 @@ pub struct DiscoveryOptions {
     /// filtered by consequent — minimality is per-consequent, so the
     /// restriction is lossless and much cheaper.
     pub target_rhs: Option<ofd_core::AttrSet>,
+    /// Execution guard probed once per lattice level and once per
+    /// candidate decision. The default guard is unlimited; set a guard
+    /// with limits to get a sound-but-possibly-incomplete Σ (see
+    /// [`crate::Discovery::complete`]).
+    pub guard: ExecGuard,
 }
 
 impl Default for DiscoveryOptions {
@@ -62,6 +67,7 @@ impl Default for DiscoveryOptions {
             known_fds: Vec::new(),
             threads: 1,
             target_rhs: None,
+            guard: ExecGuard::unlimited(),
         }
     }
 }
@@ -118,6 +124,12 @@ impl DiscoveryOptions {
     /// Restricts discovery to consequents in `rhs`.
     pub fn target_rhs(mut self, rhs: ofd_core::AttrSet) -> Self {
         self.target_rhs = Some(rhs);
+        self
+    }
+
+    /// Installs an execution guard (deadline / budget / cancellation).
+    pub fn guard(mut self, guard: ExecGuard) -> Self {
+        self.guard = guard;
         self
     }
 

@@ -4,7 +4,7 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{AttrSet, Fd, Relation, StrippedPartition};
+use ofd_core::{AttrSet, ExecGuard, Fd, Relation, StrippedPartition};
 
 /// Computes the *agree sets* of `rel`: for every tuple pair, the set of
 /// attributes on which the two tuples agree. Quadratic in the number of
@@ -14,11 +14,25 @@ use ofd_core::{AttrSet, Fd, Relation, StrippedPartition};
 /// The returned set always contains the full-relation-relevant sets only;
 /// the empty agree set appears if some tuple pair disagrees everywhere.
 pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
+    agree_sets_guarded(rel, &ExecGuard::unlimited())
+        .expect("an unlimited guard never interrupts")
+}
+
+/// [`agree_sets`] with an execution guard, probed once per outer tuple
+/// (each probe covers one row's pairwise comparisons).
+///
+/// Returns `None` when interrupted: a partial agree-set family
+/// *under-reports* violations, so any FD mined from it could be invalid —
+/// the callers therefore discard it entirely rather than emit from it.
+pub fn agree_sets_guarded(rel: &Relation, guard: &ExecGuard) -> Option<HashSet<AttrSet>> {
     let n = rel.n_rows();
     let attrs: Vec<_> = rel.schema().attrs().collect();
     let cols: Vec<&[ofd_core::ValueId]> = attrs.iter().map(|&a| rel.column(a)).collect();
     let mut out = HashSet::new();
     for i in 0..n {
+        if guard.check().is_err() {
+            return None;
+        }
         for j in (i + 1)..n {
             let mut s = AttrSet::empty();
             for (k, &a) in attrs.iter().enumerate() {
@@ -29,7 +43,7 @@ pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
             out.insert(s);
         }
     }
-    out
+    Some(out)
 }
 
 /// Difference sets `D(r)`: complements of the agree sets w.r.t. the full
@@ -37,6 +51,17 @@ pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
 pub fn difference_sets(rel: &Relation) -> HashSet<AttrSet> {
     let all = rel.schema().all();
     agree_sets(rel).into_iter().map(|s| all.minus(s)).collect()
+}
+
+/// [`difference_sets`] with an execution guard; `None` when interrupted
+/// (see [`agree_sets_guarded`] for why a partial family is discarded).
+pub fn difference_sets_guarded(
+    rel: &Relation,
+    guard: &ExecGuard,
+) -> Option<HashSet<AttrSet>> {
+    let all = rel.schema().all();
+    agree_sets_guarded(rel, guard)
+        .map(|ag| ag.into_iter().map(|s| all.minus(s)).collect())
 }
 
 /// The maximal sets of a family (no member is a proper subset of another

@@ -5,17 +5,35 @@
 //! Like FastFDs, the pairwise agree-set computation is quadratic in the
 //! number of tuples (the paper's Exp-1 terminates it beyond 100K records).
 
-use ofd_core::{AttrSet, Fd, Relation};
+use ofd_core::{AttrSet, ExecGuard, Fd, Partial, Relation};
 
-use crate::common::{agree_sets, maximal_sets, minimal_transversals, sort_fds};
+use crate::common::{agree_sets_guarded, maximal_sets, minimal_transversals, sort_fds};
 
 /// Runs Dep-Miner, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
+    discover_guarded(rel, &ExecGuard::unlimited()).value
+}
+
+/// [`discover`] with an execution guard, probed throughout the quadratic
+/// agree-set scan and once per consequent attribute.
+///
+/// An interrupt during the agree-set scan yields the empty set (a partial
+/// agree-set family under-reports violations, so nothing mined from it is
+/// trustworthy); an interrupt afterwards keeps the FDs of every fully
+/// processed consequent, which are exactly what the full run emits for
+/// those consequents.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
-    let ag: Vec<AttrSet> = agree_sets(rel).into_iter().collect();
+    let Some(ag) = agree_sets_guarded(rel, guard) else {
+        return Partial::from_outcome(Vec::new(), guard.interrupt());
+    };
+    let ag: Vec<AttrSet> = ag.into_iter().collect();
     let mut fds = Vec::new();
 
     for a in schema.attrs() {
+        if guard.check().is_err() {
+            break;
+        }
         let universe = schema.all().without(a);
         // max(dep(r), A): maximal agree sets not containing A.
         let max_a = maximal_sets(ag.iter().copied().filter(|s| !s.contains(a)));
@@ -29,7 +47,7 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
     }
 
     sort_fds(&mut fds);
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, Fd, Relation, StrippedPartition};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, Relation, StrippedPartition};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -27,6 +27,25 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 
 /// Runs DFD with a caller-chosen random seed.
 pub fn discover_seeded(rel: &Relation, seed: u64) -> Vec<Fd> {
+    discover_seeded_guarded(rel, seed, &ExecGuard::unlimited()).value
+}
+
+/// [`discover`] with an execution guard, probed once per candidate node.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_seeded_guarded(rel, 0xDFD, guard)
+}
+
+/// [`discover_seeded`] with an execution guard.
+///
+/// On interrupt the result is a sound subset of the full output: every
+/// entry of `MinDeps` was certified minimal by `walk_down` (which verifies
+/// all children), so even a half-explored consequent contributes only true
+/// minimal dependencies — and the full run finds *all* of them.
+pub fn discover_seeded_guarded(
+    rel: &Relation,
+    seed: u64,
+    guard: &ExecGuard,
+) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fds: Vec<Fd> = Vec::new();
@@ -41,12 +60,18 @@ pub fn discover_seeded(rel: &Relation, seed: u64) -> Vec<Fd> {
         let mut min_deps: Vec<AttrSet> = Vec::new();
         let mut max_non_deps: Vec<AttrSet> = Vec::new();
 
-        loop {
+        'walks: loop {
+            if guard.check().is_err() {
+                break;
+            }
             let family: Vec<AttrSet> =
                 max_non_deps.iter().map(|m| universe.minus(*m)).collect();
             let candidates = minimal_transversals(universe, &family);
             let mut progress = false;
             for c in candidates {
+                if guard.check().is_err() {
+                    break 'walks;
+                }
                 if min_deps.contains(&c) {
                     continue;
                 }
@@ -65,10 +90,13 @@ pub fn discover_seeded(rel: &Relation, seed: u64) -> Vec<Fd> {
             }
         }
         fds.extend(min_deps.into_iter().map(|lhs| Fd::new(lhs, a)));
+        if guard.is_tripped() {
+            break;
+        }
     }
 
     sort_fds(&mut fds);
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
 struct RhsContext<'a> {

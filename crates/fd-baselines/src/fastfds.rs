@@ -7,18 +7,37 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{AttrId, AttrSet, Fd, Relation};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, Relation};
 
-use crate::common::{difference_sets, minimal_sets, sort_fds};
+use crate::common::{difference_sets_guarded, minimal_sets, sort_fds};
 
 /// Runs FastFDs, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
+    discover_guarded(rel, &ExecGuard::unlimited()).value
+}
+
+/// [`discover`] with an execution guard, probed throughout the quadratic
+/// difference-set scan and once per DFS node.
+///
+/// An interrupt during the difference-set scan yields the empty set (a
+/// partial family misses difference sets, so a "cover" of it may not be a
+/// real FD). After the scan, interrupts only truncate the cover search:
+/// every collected cover hits *all* of `D_A` and `is_minimal_cover` checks
+/// against all of `D_A`, so each emitted FD is valid and minimal even when
+/// the DFS was cut short — a subset of the full output.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let all = schema.all();
-    let diffs: Vec<AttrSet> = difference_sets(rel).into_iter().collect();
+    let Some(diffs) = difference_sets_guarded(rel, guard) else {
+        return Partial::from_outcome(Vec::new(), guard.interrupt());
+    };
+    let diffs: Vec<AttrSet> = diffs.into_iter().collect();
     let mut fds: Vec<Fd> = Vec::new();
 
     for a in schema.attrs() {
+        if guard.check().is_err() {
+            break;
+        }
         // D_A: difference sets containing A, with A removed.
         let d_a: Vec<AttrSet> = diffs
             .iter()
@@ -39,7 +58,7 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
         let d_a = minimal_sets(d_a);
         let mut covers: HashSet<AttrSet> = HashSet::new();
         let order = attribute_order(&d_a, all.without(a));
-        dfs(&d_a, AttrSet::empty(), &order, 0, &mut covers);
+        dfs(&d_a, AttrSet::empty(), &order, 0, &mut covers, guard);
         for x in covers {
             if is_minimal_cover(x, &d_a) {
                 fds.push(Fd::new(x, a));
@@ -48,7 +67,7 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
     }
 
     sort_fds(&mut fds);
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
 /// Orders candidate attributes by descending frequency in the difference
@@ -66,13 +85,18 @@ fn attribute_order(d_a: &[AttrSet], universe: AttrSet) -> Vec<AttrId> {
 }
 
 /// Depth-first search over attribute orderings, accumulating covers.
+/// Interrupts truncate the search; the covers already collected stay valid.
 fn dfs(
     d_a: &[AttrSet],
     current: AttrSet,
     order: &[AttrId],
     next: usize,
     covers: &mut HashSet<AttrSet>,
+    guard: &ExecGuard,
 ) {
+    if guard.check().is_err() {
+        return;
+    }
     if d_a.iter().all(|d| !d.is_disjoint(current)) {
         covers.insert(current);
         return;
@@ -83,7 +107,7 @@ fn dfs(
             .iter()
             .any(|d| d.is_disjoint(current) && d.contains(attr));
         if useful {
-            dfs(d_a, current.with(attr), order, i + 1, covers);
+            dfs(d_a, current.with(attr), order, i + 1, covers, guard);
         }
     }
 }

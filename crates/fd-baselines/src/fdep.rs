@@ -6,17 +6,34 @@
 //! violation. Memory-hungry on large inputs (the paper reports it exceeding
 //! main memory in Exp-1/Exp-2).
 
-use ofd_core::{AttrSet, Fd, Relation};
+use ofd_core::{AttrSet, ExecGuard, Fd, Partial, Relation};
 
-use crate::common::{agree_sets, maximal_sets, sort_fds};
+use crate::common::{agree_sets_guarded, maximal_sets, sort_fds};
 
 /// Runs FDep, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
+    discover_guarded(rel, &ExecGuard::unlimited()).value
+}
+
+/// [`discover`] with an execution guard, probed throughout the quadratic
+/// agree-set scan and once per specialization step.
+///
+/// A consequent's hypotheses are sound only after specialization against
+/// *every* violation, so an interrupt mid-specialization discards that
+/// consequent entirely; fully processed consequents contribute exactly what
+/// the full run emits for them — a sound subset.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
-    let ag: Vec<AttrSet> = agree_sets(rel).into_iter().collect();
+    let Some(ag) = agree_sets_guarded(rel, guard) else {
+        return Partial::from_outcome(Vec::new(), guard.interrupt());
+    };
+    let ag: Vec<AttrSet> = ag.into_iter().collect();
     let mut fds = Vec::new();
 
-    for a in schema.attrs() {
+    'attrs: for a in schema.attrs() {
+        if guard.check().is_err() {
+            break;
+        }
         let universe = schema.all().without(a);
         // Negative cover for A: maximal agree sets S with A ∉ S — every
         // X ⊆ S is a violated antecedent for X → A.
@@ -26,6 +43,11 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
         // specialize against each violation.
         let mut cover: Vec<AttrSet> = vec![AttrSet::empty()];
         for s in &violations {
+            if guard.check().is_err() {
+                // A partially specialized cover still contains violated
+                // hypotheses — drop this consequent.
+                break 'attrs;
+            }
             let mut next: Vec<AttrSet> = Vec::new();
             let mut to_specialize: Vec<AttrSet> = Vec::new();
             for x in cover {
@@ -53,7 +75,7 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
     }
 
     sort_fds(&mut fds);
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, Fd, ProductScratch, Relation, StrippedPartition};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, ProductScratch, Relation, StrippedPartition};
 
 use crate::common::{minimize_fds, sort_fds};
 
@@ -31,6 +31,16 @@ fn card_of(n_rows: usize, p: &StrippedPartition) -> usize {
 /// Runs FDMine and returns its raw (generally non-minimal) output — a cover
 /// of the FD set of `rel`.
 pub fn discover_raw(rel: &Relation) -> Vec<Fd> {
+    discover_raw_guarded(rel, &ExecGuard::unlimited()).value
+}
+
+/// [`discover_raw`] with an execution guard, probed once per lattice node.
+///
+/// Every raw emission is either verified by cardinality equality or a sound
+/// Armstrong inference from verified ones, so an interrupted prefix contains
+/// only valid FDs. It stops being a *cover*, though — minimize the prefix
+/// (as [`discover_guarded`] does) to compare against other baselines.
+pub fn discover_raw_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n = schema.len();
     let n_rows = rel.n_rows();
@@ -61,9 +71,12 @@ pub fn discover_raw(rel: &Relation) -> Vec<Fd> {
         })
         .collect();
 
-    for _l in 1..=n {
+    'levels: for _l in 1..=n {
         // Discover FDs at this level: X → A for A ∉ X ∪ closure(X).
         for node in &mut level {
+            if guard.check().is_err() {
+                break 'levels;
+            }
             let probe = all.minus(node.attrs).minus(node.closure);
             for a in probe.iter() {
                 let joined = node
@@ -115,6 +128,9 @@ pub fn discover_raw(rel: &Relation) -> Vec<Fd> {
             }
             for i in block_start..block_end {
                 for j in (i + 1)..block_end {
+                    if guard.check().is_err() {
+                        break 'levels;
+                    }
                     let x1 = &level[order[i]];
                     let x2 = &level[order[j]];
                     let attrs = x1.attrs.union(x2.attrs);
@@ -149,13 +165,23 @@ pub fn discover_raw(rel: &Relation) -> Vec<Fd> {
 
     sort_fds(&mut fds);
     fds.dedup();
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
 /// FDMine's output minimized — the view comparable with the other
 /// baselines.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
     minimize_fds(discover_raw(rel))
+}
+
+/// [`discover`] with an execution guard.
+///
+/// On interrupt the minimized prefix is a subset of the full minimized
+/// output: any FD that would displace a prefix member has a strictly
+/// smaller antecedent and therefore was emitted at an earlier — fully
+/// completed — level, i.e. it is already in the prefix.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_raw_guarded(rel, guard).map(minimize_fds)
 }
 
 fn last_attr(set: AttrSet) -> AttrId {

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, Fd, ProductScratch, Relation, StrippedPartition};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, ProductScratch, Relation, StrippedPartition};
 
 use crate::common::sort_fds;
 
@@ -24,6 +24,18 @@ fn card_of(rel: &Relation, p: &StrippedPartition) -> usize {
 
 /// Runs FUN, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
+    discover_guarded(rel, &ExecGuard::unlimited()).value
+}
+
+/// [`discover`] with an execution guard, probed once per free-set node
+/// (emission and generation).
+///
+/// On interrupt the result is a *sound prefix*: each emission is verified by
+/// cardinality equality against the data, and because free sets are visited
+/// level-by-level (antecedent sizes never decrease), `push_if_minimal` can
+/// never retro-actively drop an already-emitted FD — so the partial list is
+/// a subset of the uninterrupted output.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n = schema.len();
     let n_rows = rel.n_rows();
@@ -63,9 +75,12 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
         card_by_set.insert(node.attrs.bits(), node.card);
     }
 
-    for _level in 1..=n {
+    'levels: for _level in 1..=n {
         // Emit FDs from the current free sets: X → A iff card(X∪A)=card(X).
         for node in &prev {
+            if guard.check().is_err() {
+                break 'levels;
+            }
             if node.card == n_rows {
                 // X is a key: X → A for all A ∉ X; supersets are non-free.
                 for a in schema.all().minus(node.attrs).iter() {
@@ -109,6 +124,9 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
             }
             for i in block_start..block_end {
                 for j in (i + 1)..block_end {
+                    if guard.check().is_err() {
+                        break 'levels;
+                    }
                     let a = &prev[order[i]];
                     let b = &prev[order[j]];
                     let attrs = a.attrs.union(b.attrs);
@@ -146,7 +164,7 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 
     sort_fds(&mut fds);
     fds.dedup();
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
 fn push_if_minimal(fds: &mut Vec<Fd>, fd: Fd) {

@@ -19,12 +19,27 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{AttrId, AttrSet, Fd, Relation, StrippedPartition, ValueId};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, Relation, StrippedPartition, ValueId};
 
 use crate::common::sort_fds;
 
 /// Runs HyFD, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
+    discover_guarded(rel, &ExecGuard::unlimited()).value
+}
+
+/// [`discover`] with an execution guard, probed per sampled tuple, per
+/// induced non-FD and per validated hypothesis.
+///
+/// Only hypotheses that passed a full-data validation round are emitted on
+/// interrupt. Such a hypothesis `X → A` is a true minimal FD: it holds over
+/// the whole relation, and every proper subset of `X` is contained in some
+/// recorded agree set missing `A` (otherwise the cover would have kept the
+/// subset instead), i.e. is violated by a concrete tuple pair. Validated
+/// hypotheses are also stable — a later violation's agree set can never
+/// contain a valid antecedent — so the partial output is a subset of the
+/// full output.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n_attrs = schema.len();
     let n = rel.n_rows();
@@ -41,12 +56,17 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
     };
 
     // Phase 1: sampling via sorted-neighbourhood windows per attribute.
+    // A truncated sample only makes hypotheses too general; phase 3's
+    // full-data validation gates everything that is emitted.
     let mut non_fds: HashSet<AttrSet> = HashSet::new();
     const WINDOW: usize = 3;
-    for a in schema.attrs() {
+    'sampling: for a in schema.attrs() {
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_by_key(|&t| rel.value(t as usize, a));
         for (i, &t1) in order.iter().enumerate() {
+            if guard.check().is_err() {
+                break 'sampling;
+            }
             for &t2 in order.iter().skip(i + 1).take(WINDOW) {
                 non_fds.insert(agree_set_of(t1 as usize, t2 as usize));
             }
@@ -89,27 +109,38 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
         }
     };
     for &s in &non_fds {
+        if guard.check().is_err() {
+            break;
+        }
         apply_non_fd(&mut covers, s);
     }
 
     // Phase 3: validate hypotheses against the full data; feed violating
-    // pairs back. Partition results are cached across rounds.
+    // pairs back. Partition results are cached across rounds. `validated`
+    // records hypotheses that survived a full-data check — the only ones
+    // emitted on interrupt.
     let mut partitions: std::collections::HashMap<u64, StrippedPartition> =
         std::collections::HashMap::new();
+    let mut validated: Vec<HashSet<u64>> = (0..n_attrs).map(|_| HashSet::new()).collect();
     loop {
         let mut new_non_fds: Vec<AttrSet> = Vec::new();
-        for a in schema.attrs() {
+        'validation: for a in schema.attrs() {
             let col = rel.column(a);
             for &x in &covers[a.index()] {
+                if guard.check().is_err() {
+                    break 'validation;
+                }
                 let sp = partitions
                     .entry(x.bits())
                     .or_insert_with(|| StrippedPartition::of(rel, x));
                 if let Some((t1, t2)) = violating_pair(sp, col) {
                     new_non_fds.push(agree_set_of(t1 as usize, t2 as usize));
+                } else {
+                    validated[a.index()].insert(x.bits());
                 }
             }
         }
-        if new_non_fds.is_empty() {
+        if guard.is_tripped() || new_non_fds.is_empty() {
             break;
         }
         for s in new_non_fds {
@@ -122,11 +153,13 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
     let mut fds: Vec<Fd> = Vec::new();
     for a in schema.attrs() {
         for &x in &covers[a.index()] {
-            fds.push(Fd::new(x, a));
+            if validated[a.index()].contains(&x.bits()) {
+                fds.push(Fd::new(x, a));
+            }
         }
     }
     sort_fds(&mut fds);
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
 /// A pair of tuples inside one antecedent class with differing consequent

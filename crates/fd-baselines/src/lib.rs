@@ -35,7 +35,7 @@ pub mod fun;
 pub mod hyfd;
 pub mod tane;
 
-use ofd_core::{Fd, Relation};
+use ofd_core::{ExecGuard, Fd, Partial, Relation};
 
 /// The seven baseline algorithms, as an enumerable set for the benchmark
 /// harness.
@@ -93,14 +93,25 @@ impl Algorithm {
 
     /// Runs the algorithm on `rel`.
     pub fn discover(self, rel: &Relation) -> Vec<Fd> {
+        self.discover_guarded(rel, &ExecGuard::unlimited()).value
+    }
+
+    /// Runs the algorithm under an execution guard (deadline / budget /
+    /// cancellation), probed per node visit.
+    ///
+    /// On interrupt the result is tagged incomplete and contains a *sound
+    /// subset* of the full output: every FD in it is valid over `rel`,
+    /// minimal, and appears in the uninterrupted run's output. Each module
+    /// documents its own partial-result argument.
+    pub fn discover_guarded(self, rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
         match self {
-            Algorithm::Tane => tane::discover(rel),
-            Algorithm::Fun => fun::discover(rel),
-            Algorithm::FdMine => fdmine::discover(rel),
-            Algorithm::Dfd => dfd::discover(rel),
-            Algorithm::DepMiner => depminer::discover(rel),
-            Algorithm::FastFds => fastfds::discover(rel),
-            Algorithm::FDep => fdep::discover(rel),
+            Algorithm::Tane => tane::discover_guarded(rel, guard),
+            Algorithm::Fun => fun::discover_guarded(rel, guard),
+            Algorithm::FdMine => fdmine::discover_guarded(rel, guard),
+            Algorithm::Dfd => dfd::discover_guarded(rel, guard),
+            Algorithm::DepMiner => depminer::discover_guarded(rel, guard),
+            Algorithm::FastFds => fastfds::discover_guarded(rel, guard),
+            Algorithm::FDep => fdep::discover_guarded(rel, guard),
         }
     }
 }
@@ -143,6 +154,36 @@ mod tests {
     }
 
     #[test]
+    fn unlimited_guard_matches_unguarded_runs() {
+        let rel = table1();
+        for alg in Algorithm::ALL {
+            let p = alg.discover_guarded(&rel, &ExecGuard::unlimited());
+            assert!(p.complete && p.reason.is_none(), "{}", alg.name());
+            assert_eq!(p.value, alg.discover(&rel), "{}", alg.name());
+        }
+        let p = hyfd::discover_guarded(&rel, &ExecGuard::unlimited());
+        assert!(p.complete);
+        assert_eq!(p.value, hyfd::discover(&rel));
+    }
+
+    #[test]
+    fn immediate_interrupt_is_reported_and_sound() {
+        let rel = table1();
+        for alg in Algorithm::ALL {
+            let guard = ExecGuard::unlimited();
+            guard.fail_after(1);
+            let p = alg.discover_guarded(&rel, &guard);
+            assert!(!p.complete, "{} ignored the fail point", alg.name());
+            assert!(p.reason.is_some(), "{}", alg.name());
+            let full = alg.discover(&rel);
+            for fd in &p.value {
+                assert!(common::fd_holds(&rel, fd), "{} emitted an invalid FD", alg.name());
+                assert!(full.contains(fd), "{} emitted an FD outside the full output", alg.name());
+            }
+        }
+    }
+
+    #[test]
     fn names_and_classification() {
         assert_eq!(Algorithm::Tane.name(), "TANE");
         assert!(!Algorithm::Tane.is_quadratic());
@@ -180,6 +221,34 @@ mod tests {
             }
             prop_assert_eq!(hyfd::discover(&rel), oracle.clone(), "HyFD");
             assert_fdmine_cover(&rel, &oracle);
+        }
+
+        /// Interrupting any algorithm at an arbitrary checkpoint yields a
+        /// valid subset of its uninterrupted output — the partial-result
+        /// soundness contract of `discover_guarded`.
+        #[test]
+        fn interrupted_runs_emit_sound_subsets(
+            (rel, n) in (arb_relation(), 1u64..60)
+        ) {
+            type Run<'a> = (&'a str, Vec<Fd>, ofd_core::Partial<Vec<Fd>>);
+            let mut runs: Vec<Run> = Vec::new();
+            for alg in Algorithm::ALL {
+                let guard = ExecGuard::unlimited();
+                guard.fail_after(n);
+                runs.push((alg.name(), alg.discover(&rel), alg.discover_guarded(&rel, &guard)));
+            }
+            let hyfd_guard = ExecGuard::unlimited();
+            hyfd_guard.fail_after(n);
+            runs.push(("HyFD", hyfd::discover(&rel), hyfd::discover_guarded(&rel, &hyfd_guard)));
+            for (name, full, partial) in &runs {
+                for fd in &partial.value {
+                    prop_assert!(common::fd_holds(&rel, fd), "{} emitted an invalid FD", name);
+                    prop_assert!(full.contains(fd), "{} emitted an FD outside the full output", name);
+                }
+                if partial.complete {
+                    prop_assert_eq!(&partial.value, full, "{} claims completeness", name);
+                }
+            }
         }
     }
 }

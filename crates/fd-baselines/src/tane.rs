@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, Fd, ProductScratch, Relation, StrippedPartition};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, ProductScratch, Relation, StrippedPartition};
 
 use crate::common::sort_fds;
 
@@ -25,6 +25,17 @@ fn err(p: &StrippedPartition) -> usize {
 
 /// Runs TANE, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
+    discover_guarded(rel, &ExecGuard::unlimited()).value
+}
+
+/// [`discover`] with an execution guard, probed once per lattice node.
+///
+/// On interrupt the result is a *sound prefix* of the full output: every
+/// emitted FD was individually verified by partition-error equality (or, for
+/// key emissions, certified by the virtual-C⁺ minimality test against fully
+/// completed lower levels), and the emission sequence is deterministic, so
+/// the partial set is always a subset of what the uninterrupted run returns.
+pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n = schema.len();
     let all = schema.all();
@@ -44,7 +55,10 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
     let mut history: HashMap<u64, AttrSet> =
         std::iter::once((AttrSet::empty().bits(), all)).collect();
 
-    for level in 1..=n {
+    'levels: for level in 1..=n {
+        if guard.check().is_err() {
+            break;
+        }
         // Generate level nodes (all parents must exist — key/e  mpty pruning
         // may have removed them, in which case the child is dead too).
         let mut current: Vec<Node> = if level == 1 {
@@ -57,7 +71,7 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
                 })
                 .collect()
         } else {
-            generate_next(&prev, &prev_index, &mut scratch)
+            generate_next(&prev, &prev_index, &mut scratch, guard)
         };
         if current.is_empty() {
             break;
@@ -77,6 +91,9 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 
         // compute_dependencies.
         for node in &mut current {
+            if guard.check().is_err() {
+                break 'levels;
+            }
             let cands = node.attrs.intersect(node.c_plus);
             for a in cands.iter() {
                 let lhs = node.attrs.without(a);
@@ -138,13 +155,17 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 
     sort_fds(&mut fds);
     fds.dedup();
-    fds
+    Partial::from_outcome(fds, guard.interrupt())
 }
 
+/// Once the guard trips (it is sticky) the partially generated level is
+/// returned; the caller's next probe fails before any of its nodes are used
+/// for emission, so a truncated level never produces output.
 fn generate_next(
     prev: &[Node],
     prev_index: &HashMap<u64, usize>,
     scratch: &mut ProductScratch,
+    guard: &ExecGuard,
 ) -> Vec<Node> {
     let mut order: Vec<usize> = (0..prev.len()).collect();
     order.sort_by_key(|&i| {
@@ -166,6 +187,9 @@ fn generate_next(
         }
         for i in block_start..block_end {
             for j in (i + 1)..block_end {
+                if guard.check().is_err() {
+                    return out;
+                }
                 let a = &prev[order[i]];
                 let b = &prev[order[j]];
                 let attrs = a.attrs.union(b.attrs);

@@ -1,0 +1,8 @@
+//! `exp` from the workspace root — same binary as `ofd-bench`'s `exp`, so
+//! `cargo run --release --bin exp` works without `-p ofd-bench`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ofd_bench::cli::exp_main()
+}

@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use fastofd::clean::{
     enforce_approximate, explain_violations, ofd_clean, render_report, OfdCleanConfig,
 };
-use fastofd::core::{Ofd, Relation, Schema, Validator};
+use fastofd::core::{ExecGuard, GuardConfig, Ofd, Relation, Schema, Validator};
 use fastofd::datagen::{census, clinical, csv, demo_dataset, kiva, PresetConfig};
 use fastofd::discovery::{DiscoveryOptions, FastOfd};
 use fastofd::ontology::{parse_ontology, write_ontology, Ontology};
@@ -54,6 +54,10 @@ fn run() -> Result<(), String> {
     let single = |name: &str| -> Option<&str> {
         flags.get(name).and_then(|v| v.first()).map(String::as_str)
     };
+    // Execution limits shared by every long-running command: the guard is
+    // probed at every checkpoint and the command reports a sound partial
+    // result marked INCOMPLETE when a limit trips.
+    let guard = guard_from_flags(&flags)?;
 
     match command.as_str() {
         "generate" => {
@@ -118,6 +122,7 @@ fn run() -> Result<(), String> {
             if let Some(t) = single("threads") {
                 opts = opts.threads(t.parse().map_err(|_| "--threads")?);
             }
+            opts = opts.guard(guard);
             let out = FastOfd::new(&rel, &onto).options(opts).run();
             print!("{}", out.display(rel.schema()));
             eprintln!(
@@ -183,6 +188,7 @@ fn run() -> Result<(), String> {
             if let Some(beam) = single("beam") {
                 config.beam = Some(beam.parse().map_err(|_| "--beam expects an integer")?);
             }
+            config.guard = guard;
             let result = ofd_clean(&rel, &onto, &ofds, &config);
             println!(
                 "satisfied: {} — {} ontology insertion(s), {} cell repair(s), {} sense reassignment(s)",
@@ -191,6 +197,9 @@ fn run() -> Result<(), String> {
                 result.data_dist(),
                 result.reassignments
             );
+            if let Some(i) = result.interrupt {
+                println!("INCOMPLETE: interrupted ({i}); repairs above are sound but partial");
+            }
             for (v, s) in &result.ontology_adds {
                 println!(
                     "  S' += {:?} under {:?}",
@@ -246,6 +255,7 @@ fn run() -> Result<(), String> {
             if let Some(tau) = single("tau") {
                 config.tau = tau.parse().map_err(|_| "--tau expects a float")?;
             }
+            config.guard = guard;
             let result = enforce_approximate(&rel, &onto, kappa, max_level, &config);
             println!("discovered {} repairable rules at κ = {kappa}:", result.sigma.len());
             for o in &result.sigma {
@@ -258,6 +268,9 @@ fn run() -> Result<(), String> {
                 result.clean.data_dist(),
                 result.all_exact()
             );
+            if let Some(i) = result.clean.interrupt {
+                println!("INCOMPLETE: interrupted ({i}); repairs above are sound but partial");
+            }
             if let Some(out) = single("out") {
                 fs::write(out, csv::write_csv(&result.clean.repaired))
                     .map_err(|e| e.to_string())?;
@@ -275,8 +288,28 @@ fn run() -> Result<(), String> {
 
 fn usage() -> String {
     "usage: fastofd <generate|discover|check|clean|enforce> [--flags...]\n\
+     execution limits (discover/clean/enforce): --timeout-ms N --max-work N --max-rss-mib N\n\
      see the module docs (`cargo doc`) or README.md for details"
         .to_owned()
+}
+
+/// Builds the run's [`ExecGuard`] from `--timeout-ms`, `--max-work` and
+/// `--max-rss-mib`; unlimited when none are given.
+fn guard_from_flags(flags: &HashMap<String, Vec<String>>) -> Result<ExecGuard, String> {
+    let single =
+        |name: &str| -> Option<&str> { flags.get(name).and_then(|v| v.first()).map(String::as_str) };
+    let mut cfg = GuardConfig::default();
+    if let Some(ms) = single("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--timeout-ms expects an integer")?;
+        cfg.timeout = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(w) = single("max-work") {
+        cfg.max_work = Some(w.parse().map_err(|_| "--max-work expects an integer")?);
+    }
+    if let Some(m) = single("max-rss-mib") {
+        cfg.max_rss_mib = Some(m.parse().map_err(|_| "--max-rss-mib expects an integer")?);
+    }
+    Ok(ExecGuard::new(cfg))
 }
 
 fn load(

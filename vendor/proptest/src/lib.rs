@@ -1,0 +1,558 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for integer/float ranges,
+//!   tuples, `&str` character-class patterns (`".{0,300}"`-style) and
+//!   [`Just`];
+//! * [`collection::vec`] and [`option::of`];
+//! * the [`proptest!`] macro (both the block form with
+//!   `#![proptest_config(...)]` and the closure form) plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Failing cases are **not shrunk**; the failure message reports the case
+//! number and the deterministic seed so a run can be reproduced exactly.
+//! Set `PROPTEST_CASES` to override the per-test case count globally.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving every strategy (xoshiro-free SplitMix64:
+/// plenty for test-case generation and trivially seedable).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one test case: a pure function of the
+    /// test's identity and the case index.
+    pub fn for_case(test_id: u64, case: u64) -> TestRng {
+        TestRng {
+            state: test_id
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(case.wrapping_mul(0xD1B5_4A32_D192_ED03))
+                .wrapping_add(0x2545_F491_4F6C_DD1D),
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Widening-multiply mapping; the bias is < 2^-64 per draw, which is
+        // irrelevant for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test configuration. Mirrors the `proptest::test_runner` type of the
+/// same name; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count: `PROPTEST_CASES` overrides the configured one.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// `&str` patterns act as string strategies, as in proptest's regex
+/// support. Only the shapes the workspace uses are understood — a single
+/// character class (`.` or `[...]` with ranges) followed by an optional
+/// `{a,b}` repetition — with a graceful fallback to printable ASCII for
+/// anything else.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `<class>{a,b}` into (alphabet, min-len, max-len).
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let default_alphabet = || (' '..='~').collect::<Vec<char>>();
+    let chars: Vec<char> = pat.chars().collect();
+    let (alphabet, rest) = match chars.first() {
+        Some('.') => {
+            // `.`: any char except newline; printable ASCII plus a few
+            // multi-byte characters so UTF-8 boundaries get exercised.
+            let mut a = default_alphabet();
+            a.extend(['α', 'β', 'γ', 'é', '√']);
+            (a, &chars[1..])
+        }
+        Some('[') => match chars.iter().position(|&c| c == ']') {
+            Some(close) => (parse_class(&chars[1..close]), &chars[close + 1..]),
+            None => (default_alphabet(), &chars[..0]),
+        },
+        _ => (default_alphabet(), &chars[..0]),
+    };
+    let (lo, hi) = parse_repeat(rest).unwrap_or((0, 8));
+    (alphabet, lo, hi)
+}
+
+/// Parses a character-class body (`a-z`, explicit chars, mixed).
+fn parse_class(body: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            if lo <= hi {
+                out.extend(lo..=hi);
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        out.push('x');
+    }
+    out
+}
+
+/// Parses `{a,b}` / `{a}` repetitions.
+fn parse_repeat(rest: &[char]) -> Option<(usize, usize)> {
+    let s: String = rest.iter().collect();
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    match body.split_once(',') {
+        Some((a, b)) => Some((a.trim().parse().ok()?, b.trim().parse().ok()?)),
+        None => {
+            let n = body.trim().parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len =
+                self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// A strategy yielding `None` 25% of the time (proptest's default
+    /// weighting), `Some(inner)` otherwise.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` into an `Option` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property test needs; `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+    /// Alias letting prelude users write `prop::collection::vec(...)`.
+    pub use crate as prop;
+}
+
+/// Stable per-test identifier: a hash of the module path and test name,
+/// so each property gets an independent deterministic stream.
+#[doc(hidden)]
+pub fn test_id(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The main property-test macro. Supports the block form
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in prop::collection::vec(0u8..3, 1..5)) { ... }
+/// }
+/// ```
+///
+/// and the closure form
+/// `proptest!(config, |(x in strategy, ...)| { body });`.
+#[macro_export]
+macro_rules! proptest {
+    // Block form with a config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    // Block form with the default config. Matched before the closure form:
+    // its leading `#[...]`/`fn` tokens must never reach the closure arm's
+    // `$cfg:expr` fragment (a fragment parse error there would abort the
+    // expansion instead of falling through).
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::ProptestConfig::default();
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)+
+        }
+    };
+    // Closure form: proptest!(cfg, |(bindings)| { body });
+    ($cfg:expr, |($($pat:pat in $strat:expr),+ $(,)?)| $body:block) => {{
+        let __cfg: $crate::ProptestConfig = $cfg;
+        let __id = $crate::test_id(concat!(module_path!(), "::<closure>"));
+        for __case in 0..__cfg.effective_cases() as u64 {
+            let mut __rng = $crate::TestRng::for_case(__id, __case);
+            $(let $pat = $crate::Strategy::generate(&$strat, &mut __rng);)+
+            $body
+        }
+    }};
+    // Block form with the default config.
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Expands the function list of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __id = $crate::test_id(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.effective_cases() as u64 {
+                let mut __rng = $crate::TestRng::for_case(__id, __case);
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_case(1, 0);
+        for _ in 0..1000 {
+            let v = (0usize..7).generate(&mut rng);
+            assert!(v < 7);
+            let (a, b) = (1u8..=3, -2i64..3).generate(&mut rng);
+            assert!((1..=3).contains(&a));
+            assert!((-2..3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::for_case(2, 0);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u8..3, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            let fixed = prop::collection::vec(0u8..3, 3usize).generate(&mut rng);
+            assert_eq!(fixed.len(), 3);
+        }
+    }
+
+    #[test]
+    fn string_patterns_parse() {
+        let mut rng = crate::TestRng::for_case(3, 0);
+        for _ in 0..200 {
+            let s = ".{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            let t = "[ -~αβγ]{0,6}".generate(&mut rng);
+            assert!(t.chars().count() <= 6);
+            for c in t.chars() {
+                assert!((' '..='~').contains(&c) || ['α', 'β', 'γ'].contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        let mut rng = crate::TestRng::for_case(4, 0);
+        let outcomes: Vec<Option<usize>> =
+            (0..100).map(|_| crate::option::of(0usize..5).generate(&mut rng)).collect();
+        assert!(outcomes.iter().any(Option::is_none));
+        assert!(outcomes.iter().any(Option::is_some));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro's own plumbing: bindings, prop_map, assertions.
+        #[test]
+        fn macro_block_form_works(x in 0usize..10, v in prop::collection::vec(0u8..3, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0usize..5).prop_map(|v| v * 2)) {
+            prop_assert_eq!(y % 2, 0);
+            prop_assert_ne!(y, 11);
+        }
+    }
+
+    #[test]
+    fn macro_closure_form_works() {
+        proptest!(ProptestConfig::with_cases(8), |(s in ".{0,5}", n in 0u32..4)| {
+            prop_assert!(s.chars().count() <= 5);
+            prop_assert!(n < 4);
+        });
+    }
+}

@@ -1,0 +1,734 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides a self-contained JSON [`Value`], the [`json!`] macro, a strict
+//! parser ([`from_str`]) and compact/pretty printers ([`to_string`],
+//! [`to_string_pretty`]). Instead of serde's derived `Serialize`, types
+//! opt in by implementing [`ToJson`] — one method returning a [`Value`].
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer-ness is preserved so renderers can distinguish
+/// counts from measurements.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer beyond `i64::MAX`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        // Numeric equality, as in serde_json: 2 == 2.0 is false there,
+        // but integer widths are unified.
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => false,
+            (a, b) => a.as_i128() == b.as_i128(),
+        }
+    }
+}
+
+impl Number {
+    fn as_i128(&self) -> i128 {
+        match *self {
+            Number::Int(v) => v as i128,
+            Number::UInt(v) => v as i128,
+            Number::Float(v) => v as i128,
+        }
+    }
+
+    /// The number as an `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match *self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        })
+    }
+
+    /// The number as an `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(v) => Some(v),
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as a `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::UInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Whether this number is a float (serde_json's `is_f64`).
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) if v.is_finite() => {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    // Keep the float-ness visible, as serde_json does.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no NaN/Inf; serialize as null like serde_json's
+            // lossy mode.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+impl Value {
+    /// Member lookup on objects; `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::UInt(v)),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => Value::from(inner),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Conversion to JSON; the stand-in for serde's derived `Serialize`.
+pub trait ToJson {
+    /// This value as a JSON tree.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Error raised by [`from_str`] (and, for signature compatibility, carried
+/// by the printers, which cannot themselves fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Serializes compactly. Infallible for tree-shaped data; the `Result`
+/// mirrors serde_json's signature.
+pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Serializes with two-space indentation.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    use fmt::Write;
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                let _ = write_escaped(out, k);
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+/// Deserialization from a [`Value`] tree; the stand-in for serde's
+/// `Deserialize` as used by `from_str::<T>`.
+pub trait FromJson: Sized {
+    /// Builds `Self` from a parsed JSON tree.
+    fn from_json(value: Value) -> Result<Self, Error>;
+}
+
+impl FromJson for Value {
+    fn from_json(value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// Parses a JSON document.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_json(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.err("unexpected token"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.eat("null").map(|_| Value::Null),
+            Some(b't') => self.eat("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // {
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are rare in our data; map
+                            // lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Builds a [`Value`] from a JSON-looking literal: `json!(null)`,
+/// `json!(expr)`, `json!([a, b])`, `json!({"k": v, ...})`. Nested values
+/// may themselves be `null`, arrays or objects; the tt-munchers below
+/// dispatch on the leading token before any `expr` fragment starts
+/// parsing (a fragment parse error would abort the whole expansion).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_arr!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_obj!([] $($tt)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Object-body muncher: accumulates `(key, value)` tuples.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_obj {
+    ([$($done:tt)*]) => { $crate::Value::Object(vec![$($done)*]) };
+    ([$($done:tt)*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_obj!([$($done)* ($key.to_string(), $crate::Value::Null),] $($($rest)*)?)
+    };
+    ([$($done:tt)*] $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_obj!([$($done)* ($key.to_string(), $crate::json!([$($arr)*])),] $($($rest)*)?)
+    };
+    ([$($done:tt)*] $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_obj!([$($done)* ($key.to_string(), $crate::json!({$($obj)*})),] $($($rest)*)?)
+    };
+    ([$($done:tt)*] $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_obj!([$($done)* ($key.to_string(), $crate::Value::from($val)),] $($rest)*)
+    };
+    ([$($done:tt)*] $key:literal : $val:expr) => {
+        $crate::json_obj!([$($done)* ($key.to_string(), $crate::Value::from($val)),])
+    };
+}
+
+/// Array-body muncher: accumulates element values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_arr {
+    ([$($done:tt)*]) => { $crate::Value::Array(vec![$($done)*]) };
+    ([$($done:tt)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_arr!([$($done)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    ([$($done:tt)*] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_arr!([$($done)* $crate::json!([$($arr)*]),] $($($rest)*)?)
+    };
+    ([$($done:tt)*] { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_arr!([$($done)* $crate::json!({$($obj)*}),] $($($rest)*)?)
+    };
+    ([$($done:tt)*] $val:expr , $($rest:tt)*) => {
+        $crate::json_arr!([$($done)* $crate::Value::from($val),] $($rest)*)
+    };
+    ([$($done:tt)*] $val:expr) => {
+        $crate::json_arr!([$($done)* $crate::Value::from($val),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_trees() {
+        let v = json!({"a": 1, "b": 2.5, "c": "x", "d": null, "e": true});
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        assert!(v.get("d").unwrap().is_null());
+        assert_eq!(v.get("e").and_then(Value::as_bool), Some(true));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = json!({
+            "id": "exp1",
+            "rows": [1, 2, 3],
+            "nested": "quote \" backslash \\ newline \n αβγ",
+            "f": 1.25,
+            "neg": -7,
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v, "through {text}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated"] {
+            assert!(from_str::<Value>(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn parses_standalone_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>(" 42 ").unwrap(), json!(42));
+        assert_eq!(from_str::<Value>("-1.5e2").unwrap(), json!(-150.0));
+        assert_eq!(from_str::<Value>("\"s\"").unwrap(), json!("s"));
+    }
+
+    #[test]
+    fn numbers_preserve_integerness() {
+        assert!(!json!(3).as_f64().map(|_| json!(3)).unwrap().is_null());
+        match json!(3) {
+            Value::Number(n) => assert!(!n.is_f64()),
+            _ => panic!(),
+        }
+        match json!(3.0) {
+            Value::Number(n) => assert!(n.is_f64()),
+            _ => panic!(),
+        }
+        assert_eq!(json!(3), json!(3u32));
+        assert_ne!(json!(3), json!(3.0));
+    }
+
+    #[test]
+    fn pretty_printer_indents() {
+        let text = to_string_pretty(&json!({"a": [1, 2]})).unwrap();
+        assert!(text.contains("\n  \"a\": [\n    1,\n    2\n  ]\n"));
+    }
+}
