@@ -1,7 +1,9 @@
 //! Phase-level timing probe for OFDClean at scale.
 //! `clean_probe [N] [--timeout-ms MS] [--max-work W]`; with limits set the
 //! guarded phases stop at their next checkpoint and the probe marks the run
-//! INCOMPLETE.
+//! INCOMPLETE. `--metrics-out PATH` / `--trace` enable `ofd-obs`: a
+//! `probe.<stage>` span plus headline counters per phase, written as JSON /
+//! a span tree on stderr.
 
 use std::collections::HashSet;
 use std::io::Write;
@@ -11,10 +13,11 @@ use ofd_clean::{
     assign_all, beam_search_guarded, build_classes, local_refinement_guarded, repair_data_guarded,
     SenseView,
 };
-use ofd_core::{ExecGuard, GuardConfig, SenseIndex};
+use ofd_core::{ExecGuard, GuardConfig, Obs, SenseIndex};
 use ofd_datagen::{clinical, PresetConfig};
 
-fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
+fn stage<T>(obs: &Obs, name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = obs.span(&format!("probe.{name}"));
     let start = Instant::now();
     let out = f();
     println!("{name}: {:.2?}", start.elapsed());
@@ -22,10 +25,23 @@ fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Parses `[N] [--timeout-ms MS] [--max-work W] [--max-rss-mib M]`.
-fn parse_args(default_n: usize) -> (usize, ExecGuard) {
+/// Parsed probe arguments: tuple count, guard, obs handle, and where to
+/// emit the metrics snapshot.
+struct ProbeArgs {
+    n: usize,
+    guard: ExecGuard,
+    obs: Obs,
+    metrics_out: Option<String>,
+    trace: bool,
+}
+
+/// Parses `[N] [--timeout-ms MS] [--max-work W] [--max-rss-mib M]
+/// [--metrics-out PATH] [--trace]`.
+fn parse_args(default_n: usize) -> ProbeArgs {
     let mut n = default_n;
     let mut cfg = GuardConfig::default();
+    let mut metrics_out = None;
+    let mut trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,6 +55,10 @@ fn parse_args(default_n: usize) -> (usize, ExecGuard) {
             "--max-rss-mib" => {
                 cfg.max_rss_mib = args.next().and_then(|v| v.parse().ok());
             }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out PATH"));
+            }
+            "--trace" => trace = true,
             other => {
                 if let Ok(v) = other.parse() {
                     n = v;
@@ -46,26 +66,49 @@ fn parse_args(default_n: usize) -> (usize, ExecGuard) {
             }
         }
     }
-    (n, ExecGuard::new(cfg))
+    let obs = if metrics_out.is_some() || trace { Obs::enabled() } else { Obs::disabled() };
+    ProbeArgs { n, guard: ExecGuard::new(cfg), obs, metrics_out, trace }
+}
+
+/// Writes the metrics JSON / renders the span tree, per the flags.
+fn emit_obs(args: &ProbeArgs) {
+    if !args.obs.is_enabled() {
+        return;
+    }
+    let snapshot = args.obs.snapshot();
+    if let Some(path) = &args.metrics_out {
+        match std::fs::write(path, snapshot.to_json_string(true)) {
+            Ok(()) => eprintln!("wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.trace {
+        eprint!("{}", snapshot.render_trace());
+    }
 }
 
 fn main() {
-    let (n, guard) = parse_args(20_000);
+    let probe = parse_args(20_000);
+    let (guard, obs) = (&probe.guard, &probe.obs);
     let mut ds = clinical(&PresetConfig {
-        n_rows: n,
+        n_rows: probe.n,
         ..PresetConfig::default()
     });
     ds.degrade_ontology(0.04, 7);
     ds.inject_errors(0.03, 7);
     let working = ds.relation.clone();
-    let mut index = stage("index", || SenseIndex::synonym(&working, &ds.ontology));
-    let classes = stage("build_classes", || build_classes(&working, &ds.ofds));
+    let mut index = stage(obs, "index", || SenseIndex::synonym(&working, &ds.ontology));
+    let classes = stage(obs, "build_classes", || build_classes(&working, &ds.ofds));
     let n_classes: usize = classes.iter().map(|c| c.classes.len()).sum();
     println!("  -> {n_classes} classes");
+    obs.add("clean.classes", n_classes as u64);
     let overlay = HashSet::new();
     let view = SenseView { base: &index, overlay: &overlay };
-    let mut assignment = stage("assign_all", || assign_all(&classes, view));
-    stage("local_refinement", || {
+    let mut assignment = stage(obs, "assign_all", || assign_all(&classes, view));
+    stage(obs, "local_refinement", || {
         local_refinement_guarded(
             &working,
             &ds.ontology,
@@ -73,10 +116,10 @@ fn main() {
             &mut assignment,
             view,
             0.0,
-            &guard,
+            guard,
         )
     });
-    let plan = stage("beam_search", || {
+    let plan = stage(obs, "beam_search", || {
         beam_search_guarded(
             &working,
             &ds.ofds,
@@ -85,10 +128,12 @@ fn main() {
             &index,
             None,
             None,
-            &guard,
+            guard,
         )
     });
     println!("  -> {} candidates, frontier {}", plan.candidates.len(), plan.frontier.len());
+    obs.add("clean.search_expansions", plan.candidates.len() as u64);
+    obs.add("clean.frontier_points", plan.frontier.len() as u64);
     let chosen = plan.select(usize::MAX).clone();
     let overlay2: HashSet<_> = chosen.adds.iter().copied().collect();
     let mut working2 = working.clone();
@@ -102,7 +147,7 @@ fn main() {
             r
         })
         .unwrap();
-    let (repairs, ok) = stage("repair_data", || {
+    let (repairs, ok) = stage(obs, "repair_data", || {
         repair_data_guarded(
             &mut working2,
             &repaired_onto,
@@ -112,11 +157,15 @@ fn main() {
             &overlay2,
             usize::MAX,
             10,
-            &guard,
+            guard,
         )
     });
     println!("  -> {} repairs, converged={ok}", repairs.len());
+    obs.add("clean.repairs_applied", repairs.len() as u64);
+    obs.add("clean.ontology_adds", chosen.adds.len() as u64);
     if let Some(i) = guard.interrupt() {
         println!("INCOMPLETE: interrupted ({i}); results above are sound but partial");
+        obs.inc(&format!("guard.interrupt.{}", i.label()));
     }
+    emit_obs(&probe);
 }

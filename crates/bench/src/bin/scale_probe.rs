@@ -2,16 +2,19 @@
 //! `scale_probe [N] [--timeout-ms MS] [--max-work W]` prints per-stage wall
 //! times, flushing as it goes; with limits set, interrupted stages report
 //! sound partial results and the probe marks the run INCOMPLETE.
+//! `--metrics-out PATH` / `--trace` enable `ofd-obs`: engine counters plus a
+//! `probe.<stage>` span per stage, written as JSON / a span tree on stderr.
 
 use std::io::Write;
 use std::time::Instant;
 
 use ofd_clean::{ofd_clean, OfdCleanConfig};
-use ofd_core::{ExecGuard, GuardConfig};
+use ofd_core::{ExecGuard, GuardConfig, Obs};
 use ofd_datagen::{clinical, PresetConfig};
 use ofd_discovery::{DiscoveryOptions, FastOfd};
 
-fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
+fn stage<T>(obs: &Obs, name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = obs.span(&format!("probe.{name}"));
     let start = Instant::now();
     let out = f();
     println!("{name}: {:.2?}", start.elapsed());
@@ -19,10 +22,23 @@ fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Parses `[N] [--timeout-ms MS] [--max-work W] [--max-rss-mib M]`.
-fn parse_args(default_n: usize) -> (usize, ExecGuard) {
+/// Parsed probe arguments: tuple count, guard, obs handle, and where to
+/// emit the metrics snapshot.
+struct ProbeArgs {
+    n: usize,
+    guard: ExecGuard,
+    obs: Obs,
+    metrics_out: Option<String>,
+    trace: bool,
+}
+
+/// Parses `[N] [--timeout-ms MS] [--max-work W] [--max-rss-mib M]
+/// [--metrics-out PATH] [--trace]`.
+fn parse_args(default_n: usize) -> ProbeArgs {
     let mut n = default_n;
     let mut cfg = GuardConfig::default();
+    let mut metrics_out = None;
+    let mut trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,6 +52,10 @@ fn parse_args(default_n: usize) -> (usize, ExecGuard) {
             "--max-rss-mib" => {
                 cfg.max_rss_mib = args.next().and_then(|v| v.parse().ok());
             }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out PATH"));
+            }
+            "--trace" => trace = true,
             other => {
                 if let Ok(v) = other.parse() {
                     n = v;
@@ -43,32 +63,55 @@ fn parse_args(default_n: usize) -> (usize, ExecGuard) {
             }
         }
     }
-    (n, ExecGuard::new(cfg))
+    let obs = if metrics_out.is_some() || trace { Obs::enabled() } else { Obs::disabled() };
+    ProbeArgs { n, guard: ExecGuard::new(cfg), obs, metrics_out, trace }
+}
+
+/// Writes the metrics JSON / renders the span tree, per the flags.
+fn emit_obs(args: &ProbeArgs) {
+    if !args.obs.is_enabled() {
+        return;
+    }
+    let snapshot = args.obs.snapshot();
+    if let Some(path) = &args.metrics_out {
+        match std::fs::write(path, snapshot.to_json_string(true)) {
+            Ok(()) => eprintln!("wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.trace {
+        eprint!("{}", snapshot.render_trace());
+    }
 }
 
 fn main() {
-    let (n, guard) = parse_args(50_000);
-    let mut ds = stage("generate", || {
+    let probe = parse_args(50_000);
+    let (guard, obs) = (&probe.guard, &probe.obs);
+    let mut ds = stage(obs, "generate", || {
         clinical(&PresetConfig {
-            n_rows: n,
+            n_rows: probe.n,
             ..PresetConfig::default()
         })
     });
-    let disc = stage("discover(level<=3)", || {
+    let disc = stage(obs, "discover(level<=3)", || {
         FastOfd::new(&ds.clean, &ds.full_ontology)
-            .options(DiscoveryOptions::new().max_level(3).guard(guard.clone()))
+            .options(DiscoveryOptions::new().max_level(3).guard(guard.clone()).obs(obs.clone()))
             .run()
     });
     println!("  -> {} OFDs", disc.len());
-    stage("corrupt", || {
+    stage(obs, "corrupt", || {
         ds.degrade_ontology(0.04, 7);
         ds.inject_errors(0.03, 7);
     });
     let config = OfdCleanConfig {
         guard: guard.clone(),
+        obs: obs.clone(),
         ..OfdCleanConfig::default()
     };
-    let result = stage("ofd_clean", || {
+    let result = stage(obs, "ofd_clean", || {
         ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &config)
     });
     println!(
@@ -80,4 +123,5 @@ fn main() {
     if let Some(i) = guard.interrupt() {
         println!("INCOMPLETE: interrupted ({i}); results above are sound but partial");
     }
+    emit_obs(&probe);
 }

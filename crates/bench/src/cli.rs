@@ -10,6 +10,8 @@
 //! exp --out results exp6  # output directory (default: results/)
 //! exp --timeout-ms 60000 all   # wall-clock budget for the whole run
 //! exp --max-work 1000000 exp1  # checkpoint budget
+//! exp --metrics-out m.json exp1  # engine metrics as JSON
+//! exp --trace exp4             # span tree on stderr
 //! ```
 //!
 //! The `--timeout-ms` / `--max-work` / `--max-rss-mib` limits build one
@@ -18,11 +20,16 @@
 //! every later experiment returns immediately, and each affected report is
 //! annotated `INCOMPLETE: interrupted (<reason>)` — both on stdout and in
 //! the saved JSON's `notes`.
+//!
+//! `--metrics-out` / `--trace` enable one [`Obs`](ofd_core::Obs) handle
+//! shared the same way: every engine invocation of the run records into it,
+//! the final snapshot is written as JSON / rendered as a span tree, and each
+//! saved report embeds the (cumulative) snapshot under `"metrics"`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ofd_core::{ExecGuard, GuardConfig};
+use ofd_core::{ExecGuard, GuardConfig, Obs};
 
 use crate::{run_experiment, Params, ALL_EXPERIMENTS};
 
@@ -33,6 +40,8 @@ pub fn exp_main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut guard_cfg = GuardConfig::default();
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace = false;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,6 +81,14 @@ pub fn exp_main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--metrics-out requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => trace = true,
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -82,6 +99,9 @@ pub fn exp_main() -> ExitCode {
     }
     // The guard clock starts here, after argument parsing.
     params.guard = ExecGuard::new(guard_cfg);
+    if metrics_out.is_some() || trace {
+        params.obs = Obs::enabled();
+    }
 
     let want_summary = ids.iter().any(|i| i == "summary");
     ids.retain(|i| i != "summary");
@@ -109,6 +129,7 @@ pub fn exp_main() -> ExitCode {
                         "INCOMPLETE: interrupted ({i}); rows above are a sound partial result"
                     ));
                 }
+                result.attach_metrics(&params.obs.snapshot());
                 println!("{}", result.render());
                 match result.save(&out_dir) {
                     Ok(path) => eprintln!(
@@ -144,13 +165,27 @@ pub fn exp_main() -> ExitCode {
             None => eprintln!("no results found in {}", out_dir.display()),
         }
     }
+    if params.obs.is_enabled() {
+        let snapshot = params.obs.snapshot();
+        if let Some(path) = &metrics_out {
+            if let Err(e) = std::fs::write(path, snapshot.to_json_string(true)) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote metrics to {}", path.display());
+        }
+        if trace {
+            eprint!("{}", snapshot.render_trace());
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn print_help() {
     eprintln!(
         "usage: exp [--full] [--scale F] [--out DIR] \
-         [--timeout-ms N] [--max-work N] [--max-rss-mib N] (all | <exp-id>...)\n\
+         [--timeout-ms N] [--max-work N] [--max-rss-mib N] \
+         [--metrics-out PATH] [--trace] (all | <exp-id>...)\n\
          experiments: {ALL_EXPERIMENTS:?}"
     );
 }

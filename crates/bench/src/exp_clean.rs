@@ -112,6 +112,7 @@ pub fn exp9(p: &Params) -> ExpResult {
             beam: Some(b),
             tau: p.tau,
             guard: p.guard.clone(),
+            obs: p.obs.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -153,6 +154,7 @@ pub fn exp10(p: &Params) -> ExpResult {
             beam: Some(p.beam_default),
             tau: p.tau,
             guard: p.guard.clone(),
+            obs: p.obs.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -199,6 +201,7 @@ pub fn exp11(p: &Params) -> ExpResult {
             beam: Some(p.beam_default),
             tau: p.tau,
             guard: p.guard.clone(),
+            obs: p.obs.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -230,6 +233,7 @@ pub fn exp12(p: &Params) -> ExpResult {
             beam: Some(p.beam_default),
             tau: p.tau,
             guard: p.guard.clone(),
+            obs: p.obs.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);
@@ -259,6 +263,7 @@ pub fn exp13(p: &Params) -> ExpResult {
             beam: Some(p.beam_default),
             tau: p.tau,
             guard: p.guard.clone(),
+            obs: p.obs.clone(),
             ..OfdCleanConfig::default()
         };
         let run = run_ofdclean(&ds, &config);

@@ -40,7 +40,7 @@ pub fn exp1(p: &Params) -> ExpResult {
         let ds = clinical(&preset(p, n, p.attrs_discovery));
         let (fast, t_fast) = timed(|| {
             FastOfd::new(&ds.clean, &ds.full_ontology)
-                .options(DiscoveryOptions::new().guard(p.guard.clone()))
+                .options(DiscoveryOptions::new().guard(p.guard.clone()).obs(p.obs.clone()))
                 .run()
         });
         let mut row = vec![json!(n), json!(t_fast)];
@@ -52,12 +52,12 @@ pub fn exp1(p: &Params) -> ExpResult {
                 row.push(Value::Null);
                 continue;
             }
-            let (fds, secs) = timed(|| alg.discover_guarded(&ds.clean, &p.guard).value);
+            let (fds, secs) = timed(|| alg.discover_with(&ds.clean, &p.guard, &p.obs).value);
             fd_counts.push((alg.name(), fds.len()));
             row.push(json!(secs));
         }
         // Beyond the paper's seven: HyFD as the modern reference point.
-        let (_, t_hyfd) = timed(|| fd_baselines::hyfd::discover_guarded(&ds.clean, &p.guard));
+        let (_, t_hyfd) = timed(|| fd_baselines::hyfd::discover_with(&ds.clean, &p.guard, &p.obs));
         row.push(json!(t_hyfd));
         result.push_row(row);
         if n == *p.scaled_n_sweep().last().unwrap() {
@@ -105,13 +105,13 @@ pub fn exp2(p: &Params) -> ExpResult {
         let ds = clinical(&preset(p, n, n_attrs));
         let (fast, t_fast) = timed(|| {
             FastOfd::new(&ds.clean, &ds.full_ontology)
-                .options(DiscoveryOptions::new().guard(p.guard.clone()))
+                .options(DiscoveryOptions::new().guard(p.guard.clone()).obs(p.obs.clone()))
                 .run()
         });
         let mut row = vec![json!(n_attrs), json!(t_fast)];
         let mut n_fds = 0;
         for alg in Algorithm::ALL {
-            let (fds, secs) = timed(|| alg.discover_guarded(&ds.clean, &p.guard).value);
+            let (fds, secs) = timed(|| alg.discover_with(&ds.clean, &p.guard, &p.obs).value);
             if alg == Algorithm::Tane {
                 n_fds = fds.len();
             }
@@ -234,7 +234,7 @@ pub fn exp3(p: &Params) -> ExpResult {
         for _ in 0..REPS {
             let (run, secs) = timed(|| {
                 FastOfd::new(&ds.clean, &ds.full_ontology)
-                    .options(opts.clone().guard(p.guard.clone()))
+                    .options(opts.clone().guard(p.guard.clone()).obs(p.obs.clone()))
                     .run()
             });
             best_secs = best_secs.min(secs);
@@ -271,7 +271,7 @@ pub fn exp4(p: &Params) -> ExpResult {
     let n_attrs = 12usize.min(*p.attr_sweep.last().unwrap_or(&12));
     let ds = clinical(&preset(p, n, n_attrs));
     let out = FastOfd::new(&ds.clean, &ds.full_ontology)
-        .options(DiscoveryOptions::new().guard(p.guard.clone()))
+        .options(DiscoveryOptions::new().guard(p.guard.clone()).obs(p.obs.clone()))
         .run();
     let mut result = ExpResult::new(
         "exp4",
@@ -303,7 +303,7 @@ pub fn exp5(p: &Params) -> ExpResult {
     let n_attrs = 12usize.min(*p.attr_sweep.last().unwrap_or(&12));
     let ds = clinical(&preset(p, n, n_attrs));
     let out = FastOfd::new(&ds.clean, &ds.full_ontology)
-        .options(DiscoveryOptions::new().guard(p.guard.clone()))
+        .options(DiscoveryOptions::new().guard(p.guard.clone()).obs(p.obs.clone()))
         .run();
     let validator = Validator::new(&ds.clean, &ds.full_ontology);
     let mut result = ExpResult::new(

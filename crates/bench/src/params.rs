@@ -53,6 +53,10 @@ pub struct Params {
     /// experiments return immediately and their reports are annotated
     /// INCOMPLETE.
     pub guard: ofd_core::ExecGuard,
+    /// Observability handle shared by every engine invocation of the run
+    /// (`--metrics-out` / `--trace` on the `exp` binary). Disabled by
+    /// default, in which case every instrumentation call is a no-op.
+    pub obs: ofd_core::Obs,
 }
 
 impl Params {
@@ -87,6 +91,7 @@ impl Params {
             quadratic_cap: 4_000,
             seed: 42,
             guard: ofd_core::ExecGuard::unlimited(),
+            obs: ofd_core::Obs::disabled(),
         }
     }
 

@@ -22,6 +22,12 @@ pub struct ExpResult {
     pub rows: Vec<Vec<Value>>,
     /// Free-form observations (shape checks etc.).
     pub notes: Vec<String>,
+    /// Optional `ofd-obs` metrics snapshot (counters/gauges/histograms/
+    /// spans as of save time), embedded in the saved JSON when the run was
+    /// started with `--metrics-out` or `--trace`. The underlying handle is
+    /// shared by the whole `exp` invocation, so totals are cumulative
+    /// across the experiments run so far.
+    pub metrics: Option<Value>,
 }
 
 impl ExpResult {
@@ -34,6 +40,19 @@ impl ExpResult {
             columns: columns.iter().map(|c| (*c).to_owned()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Embeds an `ofd-obs` snapshot in the report (no-op when disabled).
+    /// The snapshot's own JSON writer is reparsed into a [`Value`] so the
+    /// report stays a single self-describing document.
+    pub fn attach_metrics(&mut self, snapshot: &ofd_core::MetricsSnapshot) {
+        if !snapshot.enabled {
+            return;
+        }
+        if let Ok(v) = serde_json::from_str(&snapshot.to_json_string(false)) {
+            self.metrics = Some(v);
         }
     }
 
@@ -105,6 +124,10 @@ impl ToJson for ExpResult {
             (
                 "notes".to_owned(),
                 Value::Array(self.notes.iter().map(|n| Value::from(n.as_str())).collect()),
+            ),
+            (
+                "metrics".to_owned(),
+                self.metrics.clone().unwrap_or(Value::Null),
             ),
         ])
     }

@@ -38,7 +38,8 @@ pub fn enforce_approximate(
     // reports the truncation.
     let mut opts = DiscoveryOptions::new()
         .min_support(kappa)
-        .guard(config.guard.clone());
+        .guard(config.guard.clone())
+        .obs(config.obs.clone());
     if let Some(level) = max_level {
         opts = opts.max_level(level);
     }

@@ -4,7 +4,7 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{ExecGuard, Interrupt, Ofd, Relation, SenseIndex, ValueId, Validator};
+use ofd_core::{ExecGuard, Interrupt, Obs, Ofd, Relation, SenseIndex, ValueId, Validator};
 use ofd_ontology::{Ontology, OntologyRepair, SenseId};
 
 use crate::classes::build_classes;
@@ -32,6 +32,14 @@ pub struct OfdCleanConfig {
     /// repair. On interrupt the run stops at the next checkpoint and
     /// returns a sound partial result (see [`CleanResult::complete`]).
     pub guard: ExecGuard,
+    /// Observability handle recording per-phase spans
+    /// (`ofdclean.assign` / `refine` / `beam_search` / `repair_data` /
+    /// `verify`) and the `clean.*` counters: `search_expansions` (ontology
+    /// candidates explored by beam search), `repairs_applied` (cell
+    /// rewrites), `ontology_adds` and `sense_reassignments`. Disabled by
+    /// default; guard interrupts are labelled as
+    /// `guard.interrupt.<reason>`.
+    pub obs: Obs,
 }
 
 impl Default for OfdCleanConfig {
@@ -44,6 +52,7 @@ impl Default for OfdCleanConfig {
             max_rounds: 10,
             refinement_passes: 1,
             guard: ExecGuard::unlimited(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -139,17 +148,22 @@ fn clean_core(
     sigma: &[Ofd],
     config: &OfdCleanConfig,
 ) -> CleanResult {
+    let obs = &config.obs;
+    let _run_span = obs.span("ofdclean.run");
     let mut working = rel.clone();
     let mut index = SenseIndex::synonym(&working, onto);
     let empty_overlay: HashSet<(ValueId, SenseId)> = HashSet::new();
 
     // 1. Sense assignment (Algorithm 8): initial + local refinement.
+    let assign_span = obs.span("ofdclean.assign");
     let classes = build_classes(&working, sigma);
     let view = SenseView {
         base: &index,
         overlay: &empty_overlay,
     };
     let mut assignment = assign_all(&classes, view);
+    drop(assign_span);
+    let refine_span = obs.span("ofdclean.refine");
     let mut reassignments = 0;
     for _ in 0..config.refinement_passes {
         if config.guard.check().is_err() {
@@ -169,8 +183,11 @@ fn clean_core(
             break;
         }
     }
+    drop(refine_span);
+    obs.add("clean.sense_reassignments", reassignments as u64);
 
     // 2. Ontology repair (Algorithm 7): beam search over Cand(S).
+    let beam_span = obs.span("ofdclean.beam_search");
     let plan = beam_search_guarded(
         &working,
         sigma,
@@ -181,6 +198,9 @@ fn clean_core(
         config.max_ontology_repairs,
         &config.guard,
     );
+    drop(beam_span);
+    obs.add("clean.search_expansions", plan.candidates.len() as u64);
+    obs.add("clean.frontier_points", plan.frontier.len() as u64);
     let tau_max = (config.tau * working.n_rows() as f64).floor() as usize;
     let chosen = plan.select(tau_max).clone();
 
@@ -195,6 +215,7 @@ fn clean_core(
     let overlay: HashSet<(ValueId, SenseId)> = chosen.adds.iter().copied().collect();
 
     // 3. Data repair to the remaining violations.
+    let repair_span = obs.span("ofdclean.repair_data");
     let (data_repairs, _converged) = repair_data_guarded(
         &mut working,
         &repaired_ontology,
@@ -206,13 +227,21 @@ fn clean_core(
         config.max_rounds,
         &config.guard,
     );
+    drop(repair_span);
+    obs.add("clean.repairs_applied", data_repairs.len() as u64);
+    obs.add("clean.ontology_adds", chosen.adds.len() as u64);
 
     // 4. Verify I′ ⊨ Σ w.r.t. S′. Runs even after an interrupt — the
     // reported `satisfied` always reflects the actual final state.
+    let verify_span = obs.span("ofdclean.verify");
     let validator = Validator::new(&working, &repaired_ontology);
     let satisfied = sigma.iter().all(|o| validator.check(o).satisfied());
+    drop(verify_span);
 
     let interrupt = config.guard.interrupt();
+    if let Some(i) = interrupt {
+        obs.inc(&format!("guard.interrupt.{}", i.label()));
+    }
     CleanResult {
         repaired: working,
         repaired_ontology,
@@ -410,6 +439,63 @@ mod tests {
             );
         }
         assert!(saw_incomplete, "fail point 1 must interrupt the run");
+    }
+
+    #[test]
+    fn instrumented_clean_records_phase_spans_and_counters() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let config = OfdCleanConfig {
+            obs: Obs::enabled(),
+            ..OfdCleanConfig::default()
+        };
+        let result = ofd_clean(&rel, &onto, &sigma, &config);
+        let snap = config.obs.snapshot();
+        assert_eq!(
+            snap.counter("clean.search_expansions").unwrap_or(0),
+            result.plan.candidates.len() as u64
+        );
+        assert_eq!(
+            snap.counter("clean.repairs_applied").unwrap_or(0),
+            result.data_repairs.len() as u64
+        );
+        assert_eq!(
+            snap.counter("clean.sense_reassignments").unwrap_or(0),
+            result.reassignments as u64
+        );
+        for phase in [
+            "ofdclean.run",
+            "ofdclean.assign",
+            "ofdclean.refine",
+            "ofdclean.beam_search",
+            "ofdclean.repair_data",
+            "ofdclean.verify",
+        ] {
+            assert!(
+                snap.spans.iter().any(|s| s.name == phase),
+                "missing span {phase}"
+            );
+        }
+        assert_eq!(snap.counter_sum("guard.interrupt."), 0);
+    }
+
+    #[test]
+    fn interrupted_clean_labels_the_interrupt() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let config = OfdCleanConfig {
+            obs: Obs::enabled(),
+            ..OfdCleanConfig::default()
+        };
+        config.guard.fail_after(3);
+        let result = ofd_clean(&rel, &onto, &sigma, &config);
+        assert!(!result.complete);
+        assert_eq!(
+            config.obs.snapshot().counter("guard.interrupt.fail_point"),
+            Some(1)
+        );
     }
 
     #[test]

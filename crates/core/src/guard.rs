@@ -42,6 +42,20 @@ pub enum Interrupt {
     FailPoint,
 }
 
+impl Interrupt {
+    /// Stable snake_case slug for metrics labels
+    /// (e.g. `guard.interrupt.deadline_exceeded`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Interrupt::DeadlineExceeded => "deadline_exceeded",
+            Interrupt::WorkBudgetExceeded => "work_budget_exceeded",
+            Interrupt::MemoryBudgetExceeded => "memory_budget_exceeded",
+            Interrupt::Cancelled => "cancelled",
+            Interrupt::FailPoint => "fail_point",
+        }
+    }
+}
+
 impl fmt::Display for Interrupt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

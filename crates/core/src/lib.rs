@@ -13,7 +13,13 @@
 //!   κ-approximate discovery;
 //! * execution guards ([`ExecGuard`], [`Partial`]) giving every
 //!   long-running engine deadlines, work/memory budgets and cooperative
-//!   cancellation with sound partial results.
+//!   cancellation with sound partial results;
+//! * zero-dependency observability ([`Obs`], [`MetricsSnapshot`]): counters,
+//!   gauges, histograms and span timers threaded through the engines the
+//!   same way the guards are;
+//! * exact κ-support arithmetic ([`meets_support`], [`support_threshold`]),
+//!   the single boundary comparison shared by discovery, the brute-force
+//!   oracle and approximate cleaning.
 //!
 //! The running examples of the paper (Table 1 and its Example 1.2 update)
 //! ship as [`table1`] / [`table1_updated`] and are exercised throughout the
@@ -24,7 +30,9 @@ pub mod guard;
 pub mod incremental;
 pub mod lhs_synonyms;
 pub mod nfd_check;
+pub mod obs;
 mod ofd;
+pub mod support;
 mod partition;
 mod relation;
 mod schema;
@@ -34,6 +42,8 @@ mod value;
 
 pub use error::CoreError;
 pub use guard::{ExecGuard, GuardConfig, Interrupt, Partial};
+pub use obs::{MetricsSnapshot, Obs, SpanGuard};
+pub use support::{meets_support, support_threshold};
 pub use incremental::IncrementalChecker;
 pub use nfd_check::NfdChecker;
 pub use lhs_synonyms::{check_lhs_synonyms, InterpretationOutcome, LhsSynonymValidation};

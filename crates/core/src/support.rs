@@ -1,0 +1,137 @@
+//! Exact κ-support arithmetic shared by discovery, the brute-force oracle
+//! and the cleaning stack.
+//!
+//! Support is a ratio of integers — `covered_tuples / n_rows` — so the
+//! threshold test `support ≥ κ` must not be decided in floating point on
+//! the ratio side. Doing so invited the historical epsilon fudge
+//! (`s + 1e-12 >= κ`), which could accept a candidate whose true support
+//! is strictly below κ (e.g. 7999/10000 at κ = 0.8 when the division
+//! rounds up) and let FastOFD disagree with the oracle at the boundary.
+//!
+//! The exact rule implemented here: a dependency meets support κ over
+//! `n_rows` tuples iff its covered-tuple count reaches
+//! [`support_threshold`] `= ceil(κ · n_rows)`, computed once and compared
+//! in pure integer arithmetic. The f64 `support()` value remains available
+//! for display only.
+
+/// The minimum number of covered tuples required for support κ over
+/// `n_rows` tuples: `ceil(κ · n_rows)`, clamped to `0..=n_rows`.
+///
+/// The product is evaluated once in f64 — for every κ that is a
+/// representable ratio over `n_rows` (e.g. 0.8 × 10) the rounded product
+/// is the exact integer, so boundary cases land exactly; all subsequent
+/// comparisons are integer-only.
+pub fn support_threshold(n_rows: usize, kappa: f64) -> usize {
+    if n_rows == 0 {
+        return 0;
+    }
+    let raw = (kappa * n_rows as f64).ceil();
+    // NaN κ demands nothing, like κ ≤ 0.
+    if raw.is_nan() || raw <= 0.0 {
+        0
+    } else if raw >= n_rows as f64 {
+        n_rows
+    } else {
+        raw as usize
+    }
+}
+
+/// Whether a dependency with `violations` uncovered tuples over `n_rows`
+/// meets support κ: `n_rows − violations ≥ ceil(κ · n_rows)`.
+///
+/// This is the single κ-threshold comparison in the codebase; FastOFD, the
+/// brute-force oracle and approximate cleaning all route through it, so
+/// they cannot disagree at the boundary.
+pub fn meets_support(violations: usize, n_rows: usize, kappa: f64) -> bool {
+    n_rows.saturating_sub(violations) >= support_threshold(n_rows, kappa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_exact_at_representable_boundaries() {
+        assert_eq!(support_threshold(10, 0.8), 8);
+        assert_eq!(support_threshold(10, 1.0), 10);
+        assert_eq!(support_threshold(10, 0.5), 5);
+        assert_eq!(support_threshold(4, 0.75), 3);
+        assert_eq!(support_threshold(10_000, 0.8), 8_000);
+    }
+
+    #[test]
+    fn threshold_rounds_up_for_unrepresentable_ratios() {
+        // 0.95 × 10 = 9.5 → 10: κ = 0.95 over 10 rows demands full support.
+        assert_eq!(support_threshold(10, 0.95), 10);
+        assert_eq!(support_threshold(3, 0.5), 2);
+        assert_eq!(support_threshold(7, 0.8), 6);
+    }
+
+    #[test]
+    fn threshold_edge_cases() {
+        assert_eq!(support_threshold(0, 0.8), 0);
+        assert_eq!(support_threshold(0, 1.0), 0);
+        assert_eq!(support_threshold(5, 0.0), 0);
+        assert_eq!(support_threshold(1, 1.0), 1);
+        // Tiny positive κ still demands at least one covered tuple.
+        assert_eq!(support_threshold(100, 1e-9), 1);
+    }
+
+    #[test]
+    fn meets_support_at_the_boundary() {
+        // Exactly 8/10 at κ = 0.8: accepted.
+        assert!(meets_support(2, 10, 0.8));
+        // 7/10 at κ = 0.8: rejected.
+        assert!(!meets_support(3, 10, 0.8));
+        // κ infinitesimally above 0.8 pushes the threshold to 9: the same
+        // 8/10 candidate is now rejected — where the old epsilon comparison
+        // (s + 1e-12 ≥ κ) wrongly accepted it.
+        let kappa = 0.8 + 1e-13;
+        assert!(kappa > 0.8, "test premise: κ is strictly above 0.8");
+        assert_eq!(support_threshold(10, kappa), 9);
+        assert!(!meets_support(2, 10, kappa));
+        let old_epsilon_accepts = 0.8 + 1e-12 >= kappa;
+        assert!(old_epsilon_accepts, "the bug this module fixes");
+    }
+
+    #[test]
+    fn meets_support_exact_mode() {
+        // κ = 1.0 ⇔ zero violations.
+        assert!(meets_support(0, 10, 1.0));
+        assert!(!meets_support(1, 10, 1.0));
+        // Empty relation: vacuously satisfied at any κ.
+        assert!(meets_support(0, 0, 1.0));
+        assert!(meets_support(0, 0, 0.5));
+    }
+
+    #[test]
+    fn meets_support_saturates_on_degenerate_violation_counts() {
+        assert!(!meets_support(11, 10, 0.5));
+    }
+
+    #[test]
+    fn threshold_matches_integer_ceil_across_a_sweep() {
+        // For κ = p/q ratios representable in f64 within the sweep, the
+        // threshold equals the integer ceil of p·n/q.
+        for q in 1usize..=16 {
+            for p in 0..=q {
+                let kappa = p as f64 / q as f64;
+                for n in 0usize..=64 {
+                    let expect = (p * n).div_ceil(q).min(n);
+                    let got = support_threshold(n, kappa);
+                    // f64 rounding of p/q may land the product a hair above
+                    // or below the exact rational; accept the documented
+                    // semantics (ceil of the f64 product) but require it to
+                    // stay within one of the rational ceil.
+                    assert!(
+                        got == expect || got == expect + 1,
+                        "n={n} κ={p}/{q}: got {got}, rational ceil {expect}"
+                    );
+                    if (kappa * n as f64).fract() == 0.0 {
+                        assert_eq!(got, expect, "exact product must be exact");
+                    }
+                }
+            }
+        }
+    }
+}

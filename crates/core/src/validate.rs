@@ -82,6 +82,19 @@ impl Validation {
         }
     }
 
+    /// Tuples left uncovered by the per-class best interpretations — the
+    /// integer numerator of `1 − support()`.
+    pub fn violating_tuples(&self) -> usize {
+        self.n_rows - self.covered_tuples
+    }
+
+    /// Whether the OFD meets support κ, decided by the shared exact integer
+    /// comparison [`crate::support::meets_support`] (never by the f64
+    /// [`support`](Validation::support), which is for display only).
+    pub fn meets_support(&self, kappa: f64) -> bool {
+        crate::support::meets_support(self.violating_tuples(), self.n_rows, kappa)
+    }
+
     /// Classes violating the OFD.
     pub fn violations(&self) -> impl Iterator<Item = &ClassOutcome> {
         self.outcomes.iter().filter(|o| !o.satisfied())
@@ -490,6 +503,23 @@ mod tests {
         // (4, best 2).
         assert_eq!(val.covered_tuples, 1 + 3 + 2 + 2);
         assert!((val.support() - 8.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meets_support_uses_exact_integer_arithmetic() {
+        // Continuation of the case above: 8 of 11 tuples covered.
+        let rel = table1_updated();
+        let onto = samples::medical_drug_ontology();
+        let v = Validator::new(&rel, &onto);
+        let syn = Ofd::synonym_named(rel.schema(), &["SYMP", "DIAG"], "MED").unwrap();
+        let val = v.check(&syn);
+        assert_eq!(val.violating_tuples(), 3);
+        // Exactly at the boundary: ceil(8/11 · 11) = 8 ≤ 8.
+        assert!(val.meets_support(8.0 / 11.0));
+        // Just above it: ceil(0.75 · 11) = 9 > 8.
+        assert!(!val.meets_support(0.75));
+        assert!(!val.meets_support(1.0));
+        assert!(val.meets_support(0.5));
     }
 
     #[test]

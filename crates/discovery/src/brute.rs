@@ -35,7 +35,6 @@ pub fn brute_force_guarded(
     let n = rel.schema().len();
     assert!(n <= 20, "brute force is for small schemas only");
     let validator = Validator::new(rel, onto);
-    let exact = min_support >= 1.0;
 
     // All valid non-trivial dependencies, grouped by consequent.
     let mut valid: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
@@ -51,12 +50,9 @@ pub fn brute_force_guarded(
             }
             let ofd = Ofd { lhs, rhs: a, kind };
             let v = validator.check(&ofd);
-            let ok = if exact {
-                v.satisfied()
-            } else {
-                v.support() + 1e-12 >= min_support
-            };
-            if ok {
+            // The single exact integer κ comparison shared with FastOFD;
+            // at κ = 1 it degenerates to `satisfied()` (zero violations).
+            if v.meets_support(min_support) {
                 valid[a.index()].push(lhs);
             }
         }

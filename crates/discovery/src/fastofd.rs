@@ -16,8 +16,8 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use ofd_core::{
-    check_ofd_exact, check_ofd_with_index, AttrId, AttrSet, Ofd, OfdKind, ProductScratch,
-    Relation, Schema, SenseIndex, StrippedPartition,
+    check_ofd_exact, check_ofd_with_index, support_threshold, AttrId, AttrSet, Ofd, OfdKind,
+    ProductScratch, Relation, Schema, SenseIndex, StrippedPartition,
 };
 use ofd_logic::{implies, Dependency};
 use ofd_ontology::Ontology;
@@ -130,15 +130,20 @@ impl<'a> FastOfd<'a> {
     /// Runs Algorithm 2: discovers the complete, minimal set of OFDs.
     pub fn run(&self) -> Discovery {
         let started = Instant::now();
+        let obs = &self.opts.obs;
+        let _run_span = obs.span("fastofd.run");
         let schema = self.rel.schema();
         let n = schema.len();
         let all = schema.all();
         // One shared sense index in the semantics of the requested kind;
         // `check_ofd_with_index` is thread-safe over it.
-        let index = match self.opts.kind {
-            OfdKind::Synonym => SenseIndex::synonym(self.rel, self.onto),
-            OfdKind::Inheritance { theta } => {
-                SenseIndex::inheritance(self.rel, self.onto, theta)
+        let index = {
+            let _span = obs.span("fastofd.index");
+            match self.opts.kind {
+                OfdKind::Synonym => SenseIndex::synonym(self.rel, self.onto),
+                OfdKind::Inheritance { theta } => {
+                    SenseIndex::inheritance(self.rel, self.onto, theta)
+                }
             }
         };
         let known: Vec<Dependency> = self
@@ -147,7 +152,16 @@ impl<'a> FastOfd<'a> {
             .iter()
             .map(|fd| Dependency::from(*fd))
             .collect();
-        let exact = self.opts.min_support >= 1.0;
+        // Exact integer support: a candidate meets κ iff it covers at least
+        // `ceil(κ · n_rows)` tuples. When that threshold is the full
+        // relation (κ = 1, or κ close enough that any violation fails it),
+        // the early-exit exact checker applies.
+        let exact =
+            support_threshold(self.rel.n_rows(), self.opts.min_support) == self.rel.n_rows();
+        // Worker-utilization bookkeeping (gauge — not thread-invariant by
+        // design, unlike every counter below).
+        let mut busy_us: u64 = 0;
+        let mut capacity_us: u64 = 0;
 
         let mut sigma: Vec<DiscoveredOfd> = Vec::new();
         let mut stats = DiscoveryStats::default();
@@ -171,6 +185,7 @@ impl<'a> FastOfd<'a> {
                 break;
             }
             let level_started = Instant::now();
+            let _level_span = obs.span(&format!("fastofd.level.{level}"));
             let mut ls = LevelStats {
                 level,
                 ..LevelStats::default()
@@ -208,20 +223,33 @@ impl<'a> FastOfd<'a> {
             // Candidate verification: collect the level's jobs, decide
             // them (in parallel when configured — order within a level is
             // immaterial), then apply emissions sequentially.
+            //
+            // Prune attribution (counters, thread-invariant): Opt-1 is
+            // structural — the trivial candidates `X → A, A ∈ X` at each
+            // node are never generated; Opt-2 removes consequents outside
+            // `C⁺(X)` and candidates whose parent node was deleted.
+            let mut opt1_trivial_skipped: u64 = 0;
+            let mut opt2_candidates_pruned: u64 = 0;
             let mut jobs: Vec<(usize, AttrId, AttrSet, usize)> = Vec::new();
             for (ni, node) in current.iter().enumerate() {
-                let mut cands = if self.opts.use_opt2 {
-                    node.attrs.intersect(node.c_plus)
-                } else {
-                    node.attrs
-                };
+                let mut base = node.attrs;
                 if let Some(target) = self.opts.target_rhs {
-                    cands = cands.intersect(target);
+                    base = base.intersect(target);
                 }
+                let cands = if self.opts.use_opt2 {
+                    base.intersect(node.c_plus)
+                } else {
+                    base
+                };
+                opt1_trivial_skipped += node.attrs.len() as u64;
+                opt2_candidates_pruned += (base.len() - cands.len()) as u64;
                 for a in cands.iter() {
                     let lhs = node.attrs.without(a);
                     if let Some(&pi) = prev_index.get(&lhs.bits()) {
                         jobs.push((ni, a, lhs, pi));
+                    } else {
+                        // Only Opt-2's node deletion removes parents.
+                        opt2_candidates_pruned += 1;
                     }
                 }
             }
@@ -238,44 +266,70 @@ impl<'a> FastOfd<'a> {
             // Per-candidate checkpoint: a `None` decision means the guard
             // tripped before that candidate was examined — it is simply
             // not part of the (sound) partial output.
+            let verify_started = Instant::now();
+            let verify_span = obs.span("fastofd.verify");
             let decisions: Vec<Option<(bool, f64, Decision)>> = if self.opts.threads <= 1
                 || jobs.len() < 2 * self.opts.threads
             {
-                jobs.iter()
+                let out = jobs
+                    .iter()
                     .map(|j| guard.check().ok().map(|()| decide_one(j)))
-                    .collect()
+                    .collect();
+                let wall = verify_started.elapsed().as_micros() as u64;
+                busy_us += wall;
+                capacity_us += wall;
+                out
             } else {
                 let n_threads = self.opts.threads.min(jobs.len());
                 let counter = std::sync::atomic::AtomicUsize::new(0);
+                let worker_busy = std::sync::atomic::AtomicU64::new(0);
                 let mut slots: Vec<Option<(bool, f64, Decision)>> = vec![None; jobs.len()];
                 let slot_ptr = SlotWriter(slots.as_mut_ptr());
                 std::thread::scope(|scope| {
                     for _ in 0..n_threads {
                         let counter = &counter;
+                        let worker_busy = &worker_busy;
                         let jobs = &jobs;
                         let decide_one = &decide_one;
                         let slot_ptr = &slot_ptr;
-                        scope.spawn(move || loop {
-                            if guard.check().is_err() {
-                                break;
+                        scope.spawn(move || {
+                            let worker_started = Instant::now();
+                            loop {
+                                if guard.check().is_err() {
+                                    break;
+                                }
+                                let i = counter
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= jobs.len() {
+                                    break;
+                                }
+                                let out = decide_one(&jobs[i]);
+                                // SAFETY: each index is claimed by exactly one
+                                // thread via the atomic counter, so writes are
+                                // disjoint.
+                                unsafe {
+                                    *slot_ptr.0.add(i) = Some(out);
+                                }
                             }
-                            let i = counter
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= jobs.len() {
-                                break;
-                            }
-                            let out = decide_one(&jobs[i]);
-                            // SAFETY: each index is claimed by exactly one
-                            // thread via the atomic counter, so writes are
-                            // disjoint.
-                            unsafe {
-                                *slot_ptr.0.add(i) = Some(out);
-                            }
+                            worker_busy.fetch_add(
+                                worker_started.elapsed().as_micros() as u64,
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
                         });
                     }
                 });
+                let wall = verify_started.elapsed().as_micros() as u64;
+                busy_us += worker_busy.load(std::sync::atomic::Ordering::Relaxed);
+                capacity_us += wall * n_threads as u64;
                 slots
             };
+            drop(verify_span);
+            if obs.is_enabled() {
+                obs.set_gauge(
+                    &format!("discovery.level.{level}.verify_ms"),
+                    verify_started.elapsed().as_secs_f64() * 1e3,
+                );
+            }
 
             for (&(ni, a, lhs, _), decision) in jobs.iter().zip(decisions.iter()) {
                 let &Some((valid, support, how)) = decision else {
@@ -328,6 +382,34 @@ impl<'a> FastOfd<'a> {
                 .collect();
             prev = current;
             ls.elapsed = level_started.elapsed();
+            // Per-level counters are emitted here, after the sequential
+            // emission pass, so their totals are identical for any worker
+            // thread count (the metrics-invariance contract).
+            if obs.is_enabled() {
+                obs.inc("discovery.levels");
+                obs.add(&format!("discovery.level.{level}.nodes"), ls.nodes as u64);
+                obs.add(
+                    &format!("discovery.level.{level}.candidates"),
+                    ls.candidates as u64,
+                );
+                obs.add(
+                    &format!("discovery.level.{level}.verified"),
+                    ls.verified as u64,
+                );
+                obs.add(&format!("discovery.level.{level}.found"), ls.found as u64);
+                obs.add("discovery.nodes", ls.nodes as u64);
+                obs.add("discovery.candidates", ls.candidates as u64);
+                obs.add("discovery.verified", ls.verified as u64);
+                obs.add("discovery.found", ls.found as u64);
+                obs.add("discovery.prune.opt1.trivial_skipped", opt1_trivial_skipped);
+                obs.add(
+                    "discovery.prune.opt2.candidates_pruned",
+                    opt2_candidates_pruned,
+                );
+                obs.add("discovery.prune.opt2.nodes_deleted", ls.pruned_nodes as u64);
+                obs.add("discovery.prune.opt3.key_shortcuts", ls.key_shortcuts as u64);
+                obs.add("discovery.prune.opt4.fd_shortcuts", ls.fd_shortcuts as u64);
+            }
             stats.levels.push(ls);
             if prev.is_empty() {
                 break;
@@ -337,6 +419,18 @@ impl<'a> FastOfd<'a> {
         sigma.sort_by_key(|d| (d.level, d.ofd.lhs.bits(), d.ofd.rhs));
         stats.elapsed = started.elapsed();
         let interrupt = guard.interrupt();
+        if obs.is_enabled() {
+            if capacity_us > 0 {
+                obs.set_gauge(
+                    "discovery.verify.utilization",
+                    busy_us as f64 / capacity_us as f64,
+                );
+            }
+            obs.set_gauge("discovery.elapsed_ms", stats.elapsed.as_secs_f64() * 1e3);
+            if let Some(i) = interrupt {
+                obs.inc(&format!("guard.interrupt.{}", i.label()));
+            }
+        }
         Discovery {
             ofds: sigma,
             stats,
@@ -358,6 +452,10 @@ impl<'a> FastOfd<'a> {
     ) -> Vec<Node> {
         // Sort node indices by attribute list; nodes sharing all but the
         // last attribute form a block.
+        let obs = &self.opts.obs;
+        let _span = obs.span("fastofd.next_level");
+        let mut products: u64 = 0;
+        let mut products_skipped: u64 = 0;
         let mut order: Vec<usize> = (0..prev.len()).collect();
         order.sort_by_key(|&i| {
             let attrs: Vec<u16> = prev[i].attrs.iter().map(|a| a.index() as u16).collect();
@@ -395,9 +493,17 @@ impl<'a> FastOfd<'a> {
                     {
                         // Opt-3: supersets of superkeys are superkeys; skip
                         // the product entirely.
+                        products_skipped += 1;
                         StrippedPartition::empty(self.rel.n_rows())
                     } else {
-                        a.partition.product_with_scratch(&b.partition, scratch)
+                        products += 1;
+                        let p = a.partition.product_with_scratch(&b.partition, scratch);
+                        obs.observe(
+                            "discovery.partition.class_count",
+                            CLASS_COUNT_BOUNDS,
+                            p.class_count() as f64,
+                        );
+                        p
                     };
                     out.push(Node {
                         attrs,
@@ -408,6 +514,8 @@ impl<'a> FastOfd<'a> {
             }
             block_start = block_end;
         }
+        obs.add("discovery.partition.products", products);
+        obs.add("discovery.prune.opt3.products_skipped", products_skipped);
         out
     }
 
@@ -438,11 +546,13 @@ impl<'a> FastOfd<'a> {
             let ok = check_ofd_exact(self.rel, index, ofd, lhs_partition);
             (ok, 1.0, Decision::Verified)
         } else {
+            // The κ comparison is exact integer arithmetic shared with the
+            // brute-force oracle ([`ofd_core::meets_support`]); the f64
+            // support is carried for display only.
             let validation = check_ofd_with_index(self.rel, index, ofd, lhs_partition);
-            let s = validation.support();
             (
-                s + 1e-12 >= self.opts.min_support,
-                s,
+                validation.meets_support(self.opts.min_support),
+                validation.support(),
                 Decision::Verified,
             )
         }
@@ -461,6 +571,12 @@ enum Decision {
 /// threads (each index claimed once through an atomic counter).
 struct SlotWriter<T>(*mut Option<T>);
 unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+/// Bucket boundaries for the partition class-count histogram
+/// (`discovery.partition.class_count`).
+const CLASS_COUNT_BOUNDS: &[f64] = &[
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0, 16384.0,
+];
 
 fn last_attr(set: AttrSet) -> AttrId {
     set.iter().last().expect("non-empty lattice node")

@@ -260,6 +260,87 @@ mod tests {
     }
 
     #[test]
+    fn metrics_counters_are_thread_invariant() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let run = |threads: usize| {
+            let obs = ofd_core::Obs::enabled();
+            let r = FastOfd::new(&rel, &onto)
+                .options(DiscoveryOptions::default().threads(threads).obs(obs.clone()))
+                .run();
+            (r, obs.snapshot())
+        };
+        let (r1, m1) = run(1);
+        let (r8, m8) = run(8);
+        assert_eq!(r1.ofds, r8.ofds, "output is thread-invariant");
+        assert_eq!(m1.counters, m8.counters, "counter totals are thread-invariant");
+        assert!(m1.counter("discovery.candidates").unwrap_or(0) > 0);
+        assert_eq!(
+            m1.counter("discovery.found"),
+            Some(r1.ofds.len() as u64),
+            "found counter matches |Σ|"
+        );
+        // Per-level counters and prune attribution are present.
+        assert!(m1.counter("discovery.level.1.candidates").is_some());
+        assert!(m1.counter_sum("discovery.prune.") > 0);
+        // Histograms stay thread-invariant too (partition products run on
+        // the sequential path).
+        assert_eq!(m1.histograms, m8.histograms);
+    }
+
+    #[test]
+    fn disabled_obs_changes_nothing() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let plain = discover(&rel, &onto, DiscoveryOptions::default());
+        let obs = ofd_core::Obs::disabled();
+        let with_obs = discover(&rel, &onto, DiscoveryOptions::default().obs(obs.clone()));
+        assert_eq!(plain, with_obs);
+        assert!(obs.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn interrupted_run_labels_the_guard_interrupt() {
+        let obs = ofd_core::Obs::enabled();
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let guard = ofd_core::ExecGuard::unlimited();
+        guard.fail_after(3);
+        let result = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().guard(guard).obs(obs.clone()))
+            .run();
+        assert!(!result.complete);
+        assert_eq!(obs.snapshot().counter("guard.interrupt.fail_point"), Some(1));
+    }
+
+    #[test]
+    fn boundary_support_is_decided_by_integer_arithmetic() {
+        // 10 rows; X → A has exactly 8/10 support (one class of 10 with a
+        // best cover of 8).
+        let mut rows: Vec<[&str; 2]> = vec![["x", "good"]; 8];
+        rows.push(["x", "bad1"]);
+        rows.push(["x", "bad2"]);
+        let rel = Relation::from_rows(["X", "A"], rows.iter().map(|r| &r[..])).unwrap();
+        let onto = Ontology::empty();
+        let has_dep = |kappa: f64| {
+            let found = discover(&rel, &onto, DiscoveryOptions::new().min_support(kappa));
+            let brute = brute_force(&rel, &onto, OfdKind::Synonym, kappa);
+            assert_eq!(found, brute, "FastOFD and oracle must agree at κ={kappa}");
+            let a = rel.schema().attr("A").unwrap();
+            found.iter().any(|o| o.rhs == a)
+        };
+        // Exactly at the boundary: accepted.
+        assert!(has_dep(0.8));
+        // Infinitesimally above: the old epsilon comparison
+        // (s + 1e-12 ≥ κ) accepted this; exact arithmetic rejects it.
+        let kappa = 0.8 + 1e-13;
+        assert!(0.8 + 1e-12 >= kappa, "the old comparison would accept");
+        assert!(!has_dep(kappa));
+        // Well below the boundary: rejected.
+        assert!(!has_dep(0.9));
+    }
+
+    #[test]
     fn zero_deadline_interrupts_discovery_immediately() {
         use std::time::Duration;
         let rel = table1();

@@ -1,6 +1,6 @@
 //! Configuration for the FastOFD discovery run.
 
-use ofd_core::{ExecGuard, Fd, OfdKind};
+use ofd_core::{ExecGuard, Fd, Obs, OfdKind};
 
 /// Options controlling a [`crate::FastOfd`] run.
 ///
@@ -53,6 +53,11 @@ pub struct DiscoveryOptions {
     /// with limits to get a sound-but-possibly-incomplete Σ (see
     /// [`crate::Discovery::complete`]).
     pub guard: ExecGuard,
+    /// Observability handle recording per-level counters, prune attribution
+    /// (Opt-1..4), partition-product work and verification spans. The
+    /// default handle is disabled (all recording is a no-op); counter
+    /// totals are independent of [`DiscoveryOptions::threads`].
+    pub obs: Obs,
 }
 
 impl Default for DiscoveryOptions {
@@ -68,6 +73,7 @@ impl Default for DiscoveryOptions {
             threads: 1,
             target_rhs: None,
             guard: ExecGuard::unlimited(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -130,6 +136,12 @@ impl DiscoveryOptions {
     /// Installs an execution guard (deadline / budget / cancellation).
     pub fn guard(mut self, guard: ExecGuard) -> Self {
         self.guard = guard;
+        self
+    }
+
+    /// Installs an observability handle (metrics / tracing).
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 

@@ -4,7 +4,15 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{AttrSet, ExecGuard, Fd, Relation, StrippedPartition};
+use ofd_core::{AttrSet, ExecGuard, Fd, Obs, Relation, StrippedPartition};
+
+/// Records a labelled `guard.interrupt.<reason>` counter when `guard` has
+/// tripped (no-op otherwise) — shared by every baseline's `discover_with`.
+pub fn record_interrupt(obs: &Obs, guard: &ExecGuard) {
+    if let Some(i) = guard.interrupt() {
+        obs.inc(&format!("guard.interrupt.{}", i.label()));
+    }
+}
 
 /// Computes the *agree sets* of `rel`: for every tuple pair, the set of
 /// attributes on which the two tuples agree. Quadratic in the number of

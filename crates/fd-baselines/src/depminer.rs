@@ -5,9 +5,11 @@
 //! Like FastFDs, the pairwise agree-set computation is quadratic in the
 //! number of tuples (the paper's Exp-1 terminates it beyond 100K records).
 
-use ofd_core::{AttrSet, ExecGuard, Fd, Partial, Relation};
+use ofd_core::{AttrSet, ExecGuard, Fd, Obs, Partial, Relation};
 
-use crate::common::{agree_sets_guarded, maximal_sets, minimal_transversals, sort_fds};
+use crate::common::{
+    agree_sets_guarded, maximal_sets, minimal_transversals, record_interrupt, sort_fds,
+};
 
 /// Runs Dep-Miner, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
@@ -23,8 +25,18 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 /// processed consequent, which are exactly what the full run emits for
 /// those consequents.
 pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_with(rel, guard, &Obs::disabled())
+}
+
+/// [`discover_guarded`] with an observability handle: records
+/// `baseline.depminer.node_visits` (consequents processed plus antecedents
+/// mined from their transversals; Dep-Miner builds no partitions), plus
+/// labelled guard interrupts.
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
+    let mut node_visits: u64 = 0;
     let Some(ag) = agree_sets_guarded(rel, guard) else {
+        record_interrupt(obs, guard);
         return Partial::from_outcome(Vec::new(), guard.interrupt());
     };
     let ag: Vec<AttrSet> = ag.into_iter().collect();
@@ -34,6 +46,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
         if guard.check().is_err() {
             break;
         }
+        node_visits += 1;
         let universe = schema.all().without(a);
         // max(dep(r), A): maximal agree sets not containing A.
         let max_a = maximal_sets(ag.iter().copied().filter(|s| !s.contains(a)));
@@ -42,11 +55,14 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
         // transversals.
         let family: Vec<AttrSet> = max_a.iter().map(|s| universe.minus(*s)).collect();
         for lhs in minimal_transversals(universe, &family) {
+            node_visits += 1;
             fds.push(Fd::new(lhs, a));
         }
     }
 
     sort_fds(&mut fds);
+    obs.add("baseline.depminer.node_visits", node_visits);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
 }
 

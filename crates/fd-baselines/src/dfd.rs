@@ -13,12 +13,12 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, Relation, StrippedPartition};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, Relation, StrippedPartition};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::common::{minimal_transversals, sort_fds};
+use crate::common::{minimal_transversals, record_interrupt, sort_fds};
 
 /// Runs DFD with a fixed seed (deterministic output ordering).
 pub fn discover(rel: &Relation) -> Vec<Fd> {
@@ -46,9 +46,30 @@ pub fn discover_seeded_guarded(
     seed: u64,
     guard: &ExecGuard,
 ) -> Partial<Vec<Fd>> {
+    discover_seeded_with(rel, seed, guard, &Obs::disabled())
+}
+
+/// [`discover_guarded`] with an observability handle (default seed).
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
+    discover_seeded_with(rel, 0xDFD, guard, obs)
+}
+
+/// [`discover_seeded_guarded`] with an observability handle: records
+/// `baseline.dfd.node_visits` (lattice nodes classified by a dependency
+/// check, including random-walk steps) and
+/// `baseline.dfd.partition_products` (stripped-partition products in the
+/// incremental partition cache), plus labelled guard interrupts.
+pub fn discover_seeded_with(
+    rel: &Relation,
+    seed: u64,
+    guard: &ExecGuard,
+    obs: &Obs,
+) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fds: Vec<Fd> = Vec::new();
+    let mut node_visits: u64 = 0;
+    let mut products: u64 = 0;
 
     for a in schema.attrs() {
         let universe = schema.all().without(a);
@@ -56,6 +77,8 @@ pub fn discover_seeded_guarded(
             rel,
             rhs: a,
             partitions: HashMap::new(),
+            visits: 0,
+            products: 0,
         };
         let mut min_deps: Vec<AttrSet> = Vec::new();
         let mut max_non_deps: Vec<AttrSet> = Vec::new();
@@ -90,12 +113,17 @@ pub fn discover_seeded_guarded(
             }
         }
         fds.extend(min_deps.into_iter().map(|lhs| Fd::new(lhs, a)));
+        node_visits += ctx.visits;
+        products += ctx.products;
         if guard.is_tripped() {
             break;
         }
     }
 
     sort_fds(&mut fds);
+    obs.add("baseline.dfd.node_visits", node_visits);
+    obs.add("baseline.dfd.partition_products", products);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
 }
 
@@ -105,6 +133,10 @@ struct RhsContext<'a> {
     /// Stripped partitions by attribute-set bits, built incrementally via
     /// partition products (as in the original DFD implementation).
     partitions: HashMap<u64, StrippedPartition>,
+    /// Dependency checks performed (one per classified lattice node).
+    visits: u64,
+    /// Partition products performed by the incremental cache.
+    products: u64,
 }
 
 impl RhsContext<'_> {
@@ -118,6 +150,7 @@ impl RhsContext<'_> {
                     let rest = attrs.without(a);
                     let single = self.partition(AttrSet::single(a)).clone();
                     let rest_p = self.partition(rest).clone();
+                    self.products += 1;
                     rest_p.product(&single)
                 }
             };
@@ -133,6 +166,7 @@ impl RhsContext<'_> {
 
     /// `X → A` holds iff adding `A` to `X` does not refine the partition.
     fn is_dep(&mut self, x: AttrSet) -> bool {
+        self.visits += 1;
         self.err(x) == self.err(x.with(self.rhs))
     }
 }

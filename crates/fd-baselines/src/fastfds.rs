@@ -7,9 +7,9 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, Relation};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, Relation};
 
-use crate::common::{difference_sets_guarded, minimal_sets, sort_fds};
+use crate::common::{difference_sets_guarded, minimal_sets, record_interrupt, sort_fds};
 
 /// Runs FastFDs, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
@@ -26,9 +26,19 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 /// against all of `D_A`, so each emitted FD is valid and minimal even when
 /// the DFS was cut short — a subset of the full output.
 pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_with(rel, guard, &Obs::disabled())
+}
+
+/// [`discover_guarded`] with an observability handle: records
+/// `baseline.fastfds.node_visits` (DFS nodes expanded during the cover
+/// search, plus one per consequent; FastFDs builds no partitions), plus
+/// labelled guard interrupts.
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let all = schema.all();
+    let mut node_visits: u64 = 0;
     let Some(diffs) = difference_sets_guarded(rel, guard) else {
+        record_interrupt(obs, guard);
         return Partial::from_outcome(Vec::new(), guard.interrupt());
     };
     let diffs: Vec<AttrSet> = diffs.into_iter().collect();
@@ -38,6 +48,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
         if guard.check().is_err() {
             break;
         }
+        node_visits += 1;
         // D_A: difference sets containing A, with A removed.
         let d_a: Vec<AttrSet> = diffs
             .iter()
@@ -58,7 +69,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
         let d_a = minimal_sets(d_a);
         let mut covers: HashSet<AttrSet> = HashSet::new();
         let order = attribute_order(&d_a, all.without(a));
-        dfs(&d_a, AttrSet::empty(), &order, 0, &mut covers, guard);
+        dfs(&d_a, AttrSet::empty(), &order, 0, &mut covers, guard, &mut node_visits);
         for x in covers {
             if is_minimal_cover(x, &d_a) {
                 fds.push(Fd::new(x, a));
@@ -67,6 +78,8 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     }
 
     sort_fds(&mut fds);
+    obs.add("baseline.fastfds.node_visits", node_visits);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
 }
 
@@ -86,6 +99,7 @@ fn attribute_order(d_a: &[AttrSet], universe: AttrSet) -> Vec<AttrId> {
 
 /// Depth-first search over attribute orderings, accumulating covers.
 /// Interrupts truncate the search; the covers already collected stay valid.
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     d_a: &[AttrSet],
     current: AttrSet,
@@ -93,10 +107,12 @@ fn dfs(
     next: usize,
     covers: &mut HashSet<AttrSet>,
     guard: &ExecGuard,
+    visits: &mut u64,
 ) {
     if guard.check().is_err() {
         return;
     }
+    *visits += 1;
     if d_a.iter().all(|d| !d.is_disjoint(current)) {
         covers.insert(current);
         return;
@@ -107,7 +123,7 @@ fn dfs(
             .iter()
             .any(|d| d.is_disjoint(current) && d.contains(attr));
         if useful {
-            dfs(d_a, current.with(attr), order, i + 1, covers, guard);
+            dfs(d_a, current.with(attr), order, i + 1, covers, guard, visits);
         }
     }
 }

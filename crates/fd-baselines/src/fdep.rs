@@ -6,9 +6,9 @@
 //! violation. Memory-hungry on large inputs (the paper reports it exceeding
 //! main memory in Exp-1/Exp-2).
 
-use ofd_core::{AttrSet, ExecGuard, Fd, Partial, Relation};
+use ofd_core::{AttrSet, ExecGuard, Fd, Obs, Partial, Relation};
 
-use crate::common::{agree_sets_guarded, maximal_sets, sort_fds};
+use crate::common::{agree_sets_guarded, maximal_sets, record_interrupt, sort_fds};
 
 /// Runs FDep, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
@@ -23,8 +23,18 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 /// consequent entirely; fully processed consequents contribute exactly what
 /// the full run emits for them — a sound subset.
 pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_with(rel, guard, &Obs::disabled())
+}
+
+/// [`discover_guarded`] with an observability handle: records
+/// `baseline.fdep.node_visits` (specialization steps — one per violation
+/// applied to a consequent's hypothesis cover, plus one per consequent;
+/// FDep builds no partitions), plus labelled guard interrupts.
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
+    let mut node_visits: u64 = 0;
     let Some(ag) = agree_sets_guarded(rel, guard) else {
+        record_interrupt(obs, guard);
         return Partial::from_outcome(Vec::new(), guard.interrupt());
     };
     let ag: Vec<AttrSet> = ag.into_iter().collect();
@@ -34,6 +44,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
         if guard.check().is_err() {
             break;
         }
+        node_visits += 1;
         let universe = schema.all().without(a);
         // Negative cover for A: maximal agree sets S with A ∉ S — every
         // X ⊆ S is a violated antecedent for X → A.
@@ -48,6 +59,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
                 // hypotheses — drop this consequent.
                 break 'attrs;
             }
+            node_visits += 1;
             let mut next: Vec<AttrSet> = Vec::new();
             let mut to_specialize: Vec<AttrSet> = Vec::new();
             for x in cover {
@@ -75,6 +87,8 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     }
 
     sort_fds(&mut fds);
+    obs.add("baseline.fdep.node_visits", node_visits);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
 }
 

@@ -10,9 +10,11 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, ProductScratch, Relation, StrippedPartition};
+use ofd_core::{
+    AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, ProductScratch, Relation, StrippedPartition,
+};
 
-use crate::common::{minimize_fds, sort_fds};
+use crate::common::{minimize_fds, record_interrupt, sort_fds};
 
 struct Node {
     attrs: AttrSet,
@@ -41,12 +43,22 @@ pub fn discover_raw(rel: &Relation) -> Vec<Fd> {
 /// only valid FDs. It stops being a *cover*, though — minimize the prefix
 /// (as [`discover_guarded`] does) to compare against other baselines.
 pub fn discover_raw_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_raw_with(rel, guard, &Obs::disabled())
+}
+
+/// [`discover_raw_guarded`] with an observability handle: records
+/// `baseline.fdmine.node_visits` (lattice nodes whose candidates were
+/// probed) and `baseline.fdmine.partition_products` (partition products for
+/// probes and next-level generation), plus labelled guard interrupts.
+pub fn discover_raw_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n = schema.len();
     let n_rows = rel.n_rows();
     let all = schema.all();
     let mut scratch = ProductScratch::default();
     let mut fds: Vec<Fd> = Vec::new();
+    let mut node_visits: u64 = 0;
+    let mut products: u64 = 0;
 
     let single: Vec<StrippedPartition> = schema
         .attrs()
@@ -77,8 +89,10 @@ pub fn discover_raw_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd
             if guard.check().is_err() {
                 break 'levels;
             }
+            node_visits += 1;
             let probe = all.minus(node.attrs).minus(node.closure);
             for a in probe.iter() {
+                products += 1;
                 let joined = node
                     .partition
                     .product_with_scratch(&single[a.index()], &mut scratch);
@@ -144,6 +158,7 @@ pub fn discover_raw_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd
                     {
                         continue;
                     }
+                    products += 1;
                     let partition =
                         x1.partition.product_with_scratch(&x2.partition, &mut scratch);
                     let card = card_of(n_rows, &partition);
@@ -165,6 +180,9 @@ pub fn discover_raw_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd
 
     sort_fds(&mut fds);
     fds.dedup();
+    obs.add("baseline.fdmine.node_visits", node_visits);
+    obs.add("baseline.fdmine.partition_products", products);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
 }
 
@@ -182,6 +200,12 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 /// completed — level, i.e. it is already in the prefix.
 pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
     discover_raw_guarded(rel, guard).map(minimize_fds)
+}
+
+/// [`discover_guarded`] with an observability handle (see
+/// [`discover_raw_with`] for the recorded counters).
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
+    discover_raw_with(rel, guard, obs).map(minimize_fds)
 }
 
 fn last_attr(set: AttrSet) -> AttrId {

@@ -8,9 +8,11 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, ProductScratch, Relation, StrippedPartition};
+use ofd_core::{
+    AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, ProductScratch, Relation, StrippedPartition,
+};
 
-use crate::common::sort_fds;
+use crate::common::{record_interrupt, sort_fds};
 
 struct Node {
     attrs: AttrSet,
@@ -36,11 +38,21 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 /// never retro-actively drop an already-emitted FD — so the partial list is
 /// a subset of the uninterrupted output.
 pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_with(rel, guard, &Obs::disabled())
+}
+
+/// [`discover_guarded`] with an observability handle: records
+/// `baseline.fun.node_visits` (free-set nodes whose candidates were probed)
+/// and `baseline.fun.partition_products` (partition products for both
+/// probes and next-level generation), plus labelled guard interrupts.
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n = schema.len();
     let n_rows = rel.n_rows();
     let mut scratch = ProductScratch::default();
     let mut fds: Vec<Fd> = Vec::new();
+    let mut node_visits: u64 = 0;
+    let mut products: u64 = 0;
 
     // Single-attribute partitions (reused to extend candidates by one
     // attribute when probing X → A).
@@ -81,6 +93,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
             if guard.check().is_err() {
                 break 'levels;
             }
+            node_visits += 1;
             if node.card == n_rows {
                 // X is a key: X → A for all A ∉ X; supersets are non-free.
                 for a in schema.all().minus(node.attrs).iter() {
@@ -89,6 +102,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
                 continue;
             }
             for a in schema.all().minus(node.attrs).iter() {
+                products += 1;
                 let joined = node
                     .partition
                     .product_with_scratch(&single[a.index()], &mut scratch);
@@ -136,6 +150,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
                     {
                         continue; // some subset is non-free ⇒ X is non-free
                     }
+                    products += 1;
                     let partition = a.partition.product_with_scratch(&b.partition, &mut scratch);
                     let card = card_of(rel, &partition);
                     // Free iff strictly finer than every parent.
@@ -164,6 +179,9 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
 
     sort_fds(&mut fds);
     fds.dedup();
+    obs.add("baseline.fun.node_visits", node_visits);
+    obs.add("baseline.fun.partition_products", products);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
 }
 

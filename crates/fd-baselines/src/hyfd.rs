@@ -19,9 +19,9 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, Relation, StrippedPartition, ValueId};
+use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, Relation, StrippedPartition, ValueId};
 
-use crate::common::sort_fds;
+use crate::common::{record_interrupt, sort_fds};
 
 /// Runs HyFD, returning the minimal non-trivial FDs of `rel`.
 pub fn discover(rel: &Relation) -> Vec<Fd> {
@@ -40,10 +40,20 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 /// contain a valid antecedent — so the partial output is a subset of the
 /// full output.
 pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_with(rel, guard, &Obs::disabled())
+}
+
+/// [`discover_guarded`] with an observability handle: records
+/// `baseline.hyfd.node_visits` (hypotheses validated against the full data)
+/// and `baseline.hyfd.partition_products` (full stripped-partition builds
+/// on validation-cache misses), plus labelled guard interrupts.
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n_attrs = schema.len();
     let n = rel.n_rows();
     let all = schema.all();
+    let mut node_visits: u64 = 0;
+    let mut partition_builds: u64 = 0;
 
     let agree_set_of = |t1: usize, t2: usize| -> AttrSet {
         let mut s = AttrSet::empty();
@@ -130,9 +140,11 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
                 if guard.check().is_err() {
                     break 'validation;
                 }
-                let sp = partitions
-                    .entry(x.bits())
-                    .or_insert_with(|| StrippedPartition::of(rel, x));
+                node_visits += 1;
+                let sp = partitions.entry(x.bits()).or_insert_with(|| {
+                    partition_builds += 1;
+                    StrippedPartition::of(rel, x)
+                });
                 if let Some((t1, t2)) = violating_pair(sp, col) {
                     new_non_fds.push(agree_set_of(t1 as usize, t2 as usize));
                 } else {
@@ -159,6 +171,9 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
         }
     }
     sort_fds(&mut fds);
+    obs.add("baseline.hyfd.node_visits", node_visits);
+    obs.add("baseline.hyfd.partition_products", partition_builds);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
 }
 

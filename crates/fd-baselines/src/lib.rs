@@ -35,7 +35,7 @@ pub mod fun;
 pub mod hyfd;
 pub mod tane;
 
-use ofd_core::{ExecGuard, Fd, Partial, Relation};
+use ofd_core::{ExecGuard, Fd, Obs, Partial, Relation};
 
 /// The seven baseline algorithms, as an enumerable set for the benchmark
 /// harness.
@@ -104,14 +104,37 @@ impl Algorithm {
     /// minimal, and appears in the uninterrupted run's output. Each module
     /// documents its own partial-result argument.
     pub fn discover_guarded(self, rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+        self.discover_with(rel, guard, &Obs::disabled())
+    }
+
+    /// Lower-case counter slug: `baseline.<slug>.node_visits` etc.
+    pub fn slug(self) -> &'static str {
         match self {
-            Algorithm::Tane => tane::discover_guarded(rel, guard),
-            Algorithm::Fun => fun::discover_guarded(rel, guard),
-            Algorithm::FdMine => fdmine::discover_guarded(rel, guard),
-            Algorithm::Dfd => dfd::discover_guarded(rel, guard),
-            Algorithm::DepMiner => depminer::discover_guarded(rel, guard),
-            Algorithm::FastFds => fastfds::discover_guarded(rel, guard),
-            Algorithm::FDep => fdep::discover_guarded(rel, guard),
+            Algorithm::Tane => "tane",
+            Algorithm::Fun => "fun",
+            Algorithm::FdMine => "fdmine",
+            Algorithm::Dfd => "dfd",
+            Algorithm::DepMiner => "depminer",
+            Algorithm::FastFds => "fastfds",
+            Algorithm::FDep => "fdep",
+        }
+    }
+
+    /// [`Algorithm::discover_guarded`] with an observability handle. Every
+    /// baseline records `baseline.<slug>.node_visits`; the partition-based
+    /// ones (TANE, FUN, FDMine, DFD) also record
+    /// `baseline.<slug>.partition_products`, and all label guard interrupts
+    /// as `guard.interrupt.<reason>` counters. Counter totals are
+    /// deterministic (all baselines are single-threaded).
+    pub fn discover_with(self, rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
+        match self {
+            Algorithm::Tane => tane::discover_with(rel, guard, obs),
+            Algorithm::Fun => fun::discover_with(rel, guard, obs),
+            Algorithm::FdMine => fdmine::discover_with(rel, guard, obs),
+            Algorithm::Dfd => dfd::discover_with(rel, guard, obs),
+            Algorithm::DepMiner => depminer::discover_with(rel, guard, obs),
+            Algorithm::FastFds => fastfds::discover_with(rel, guard, obs),
+            Algorithm::FDep => fdep::discover_with(rel, guard, obs),
         }
     }
 }
@@ -189,6 +212,54 @@ mod tests {
         assert!(!Algorithm::Tane.is_quadratic());
         assert!(Algorithm::FDep.is_quadratic());
         assert_eq!(Algorithm::ALL.len(), 7);
+    }
+
+    #[test]
+    fn instrumented_runs_match_and_count_node_visits() {
+        let rel = table1();
+        for alg in Algorithm::ALL {
+            let obs = Obs::enabled();
+            let p = alg.discover_with(&rel, &ExecGuard::unlimited(), &obs);
+            assert_eq!(p.value, alg.discover(&rel), "{}", alg.name());
+            let snap = obs.snapshot();
+            let visits = format!("baseline.{}.node_visits", alg.slug());
+            assert!(
+                snap.counter(&visits).unwrap_or(0) > 0,
+                "{} recorded no node visits",
+                alg.name()
+            );
+            assert_eq!(snap.counter_sum("guard.interrupt."), 0, "{}", alg.name());
+        }
+        let obs = Obs::enabled();
+        let p = hyfd::discover_with(&rel, &ExecGuard::unlimited(), &obs);
+        assert_eq!(p.value, hyfd::discover(&rel));
+        let snap = obs.snapshot();
+        assert!(snap.counter("baseline.hyfd.node_visits").unwrap_or(0) > 0);
+        assert!(snap.counter("baseline.hyfd.partition_products").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn interrupted_baseline_labels_the_interrupt() {
+        let rel = table1();
+        let guard = ExecGuard::unlimited();
+        guard.fail_after(2);
+        let obs = Obs::enabled();
+        let p = Algorithm::Tane.discover_with(&rel, &guard, &obs);
+        assert!(!p.complete);
+        assert_eq!(
+            obs.snapshot().counter("guard.interrupt.fail_point"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn tane_approx_agrees_with_fastofd_style_thresholds() {
+        // TANE's approximate mode at κ = 1 equals its exact mode on random
+        // instances too — checked here on the paper tables (the property
+        // test below covers random relations via the oracle).
+        for rel in [table1(), table1_updated()] {
+            assert_eq!(tane::discover_approx(&rel, 1.0), tane::discover(&rel));
+        }
     }
 
     fn arb_relation() -> impl Strategy<Value = Relation> {

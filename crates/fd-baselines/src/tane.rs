@@ -7,9 +7,12 @@
 
 use std::collections::HashMap;
 
-use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Partial, ProductScratch, Relation, StrippedPartition};
+use ofd_core::{
+    meets_support, AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, ProductScratch, Relation,
+    StrippedPartition, ValueId,
+};
 
-use crate::common::sort_fds;
+use crate::common::{record_interrupt, sort_fds};
 
 struct Node {
     attrs: AttrSet,
@@ -36,11 +39,22 @@ pub fn discover(rel: &Relation) -> Vec<Fd> {
 /// completed lower levels), and the emission sequence is deterministic, so
 /// the partial set is always a subset of what the uninterrupted run returns.
 pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
+    discover_with(rel, guard, &Obs::disabled())
+}
+
+/// [`discover_guarded`] with an observability handle: records
+/// `baseline.tane.node_visits` (lattice nodes whose dependencies were
+/// computed) and `baseline.tane.partition_products` (stripped-partition
+/// products during level generation), plus a labelled
+/// `guard.interrupt.<reason>` counter on interrupt.
+pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Vec<Fd>> {
     let schema = rel.schema();
     let n = schema.len();
     let all = schema.all();
     let mut fds: Vec<Fd> = Vec::new();
     let mut scratch = ProductScratch::default();
+    let mut node_visits: u64 = 0;
+    let mut products: u64 = 0;
 
     let mut prev: Vec<Node> = vec![Node {
         attrs: AttrSet::empty(),
@@ -71,7 +85,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
                 })
                 .collect()
         } else {
-            generate_next(&prev, &prev_index, &mut scratch, guard)
+            generate_next(&prev, &prev_index, &mut scratch, guard, &mut products)
         };
         if current.is_empty() {
             break;
@@ -94,6 +108,7 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
             if guard.check().is_err() {
                 break 'levels;
             }
+            node_visits += 1;
             let cands = node.attrs.intersect(node.c_plus);
             for a in cands.iter() {
                 let lhs = node.attrs.without(a);
@@ -155,7 +170,141 @@ pub fn discover_guarded(rel: &Relation, guard: &ExecGuard) -> Partial<Vec<Fd>> {
 
     sort_fds(&mut fds);
     fds.dedup();
+    obs.add("baseline.tane.node_visits", node_visits);
+    obs.add("baseline.tane.partition_products", products);
+    record_interrupt(obs, guard);
     Partial::from_outcome(fds, guard.interrupt())
+}
+
+/// Runs TANE's approximate extension (TANE §4.4): discovers the minimal FDs
+/// whose g₃-style support meets `kappa`, using the same exact integer
+/// threshold semantics as FastOFD ([`ofd_core::support_threshold`]).
+///
+/// `X → A` is κ-approximate when removing at most `n − ⌈κ·n⌉` tuples makes
+/// it exact; the violation count of a candidate is the number of tuples
+/// outside the majority consequent value within each antecedent class.
+/// Validity is monotone under antecedent growth, so the basic C⁺ candidate
+/// rule (remove `A` from `C⁺(X)` once `X \ A → A` is valid) yields exactly
+/// the minimal κ-approximate FDs. TANE's *extra* RHS⁺ rule and key pruning
+/// are sound only for exact FDs and are not applied here.
+///
+/// At `kappa = 1.0` the output equals [`discover`].
+pub fn discover_approx(rel: &Relation, kappa: f64) -> Vec<Fd> {
+    discover_approx_guarded(rel, kappa, &ExecGuard::unlimited()).value
+}
+
+/// [`discover_approx`] with an execution guard, probed once per lattice
+/// node. The same sound-prefix argument as [`discover_guarded`] applies:
+/// every emission is individually verified against the data.
+pub fn discover_approx_guarded(
+    rel: &Relation,
+    kappa: f64,
+    guard: &ExecGuard,
+) -> Partial<Vec<Fd>> {
+    let schema = rel.schema();
+    let n = schema.len();
+    let n_rows = rel.n_rows();
+    let all = schema.all();
+    let mut fds: Vec<Fd> = Vec::new();
+    let mut scratch = ProductScratch::default();
+    let mut products: u64 = 0;
+
+    let mut prev: Vec<Node> = vec![Node {
+        attrs: AttrSet::empty(),
+        c_plus: all,
+        partition: StrippedPartition::of(rel, AttrSet::empty()),
+    }];
+    let mut prev_index: HashMap<u64, usize> =
+        std::iter::once((AttrSet::empty().bits(), 0)).collect();
+
+    'levels: for level in 1..=n {
+        if guard.check().is_err() {
+            break;
+        }
+        let mut current: Vec<Node> = if level == 1 {
+            schema
+                .attrs()
+                .map(|a| Node {
+                    attrs: AttrSet::single(a),
+                    c_plus: all,
+                    partition: StrippedPartition::of_attr(rel, a),
+                })
+                .collect()
+        } else {
+            generate_next(&prev, &prev_index, &mut scratch, guard, &mut products)
+        };
+        if current.is_empty() {
+            break;
+        }
+
+        // C⁺(X) = ⋂_{A ∈ X} C⁺(X \ A), exactly as in the exact variant.
+        for node in &mut current {
+            let mut cp = all;
+            for (_, parent) in node.attrs.parents() {
+                match prev_index.get(&parent.bits()) {
+                    Some(&pi) => cp = cp.intersect(prev[pi].c_plus),
+                    None => cp = AttrSet::empty(),
+                }
+            }
+            node.c_plus = cp;
+        }
+
+        for node in &mut current {
+            if guard.check().is_err() {
+                break 'levels;
+            }
+            let cands = node.attrs.intersect(node.c_plus);
+            for a in cands.iter() {
+                let lhs = node.attrs.without(a);
+                let Some(&pi) = prev_index.get(&lhs.bits()) else {
+                    continue;
+                };
+                let violations = g3_violations(&prev[pi].partition, rel.column(a));
+                if meets_support(violations, n_rows, kappa) {
+                    fds.push(Fd::new(lhs, a));
+                    node.c_plus.remove(a);
+                }
+            }
+        }
+
+        // Only empty-C⁺ pruning: superkey nodes must keep expanding because
+        // their supersets can still carry new minimal approximate FDs'
+        // parent partitions.
+        current.retain(|node| !node.c_plus.is_empty());
+
+        prev_index = current
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.attrs.bits(), i))
+            .collect();
+        prev = current;
+        if prev.is_empty() {
+            break;
+        }
+    }
+
+    sort_fds(&mut fds);
+    fds.dedup();
+    Partial::from_outcome(fds, guard.interrupt())
+}
+
+/// g₃-style violation count of `X → A`: per class of the antecedent's
+/// stripped partition, the tuples outside the majority consequent value.
+/// Stripped-away singleton classes never violate.
+fn g3_violations(sp: &StrippedPartition, col: &[ValueId]) -> usize {
+    let mut freq: HashMap<ValueId, usize> = HashMap::new();
+    let mut total = 0;
+    for class in sp.classes() {
+        freq.clear();
+        let mut majority = 0;
+        for &t in class.iter() {
+            let c = freq.entry(col[t as usize]).or_insert(0usize);
+            *c += 1;
+            majority = majority.max(*c);
+        }
+        total += class.len() - majority;
+    }
+    total
 }
 
 /// Once the guard trips (it is sticky) the partially generated level is
@@ -166,6 +315,7 @@ fn generate_next(
     prev_index: &HashMap<u64, usize>,
     scratch: &mut ProductScratch,
     guard: &ExecGuard,
+    products: &mut u64,
 ) -> Vec<Node> {
     let mut order: Vec<usize> = (0..prev.len()).collect();
     order.sort_by_key(|&i| {
@@ -199,6 +349,7 @@ fn generate_next(
                 {
                     continue;
                 }
+                *products += 1;
                 out.push(Node {
                     attrs,
                     c_plus: AttrSet::empty(),
@@ -295,5 +446,82 @@ mod tests {
         // ∅ -> A and ∅ -> B.
         assert_eq!(fds.len(), 2);
         assert!(fds.iter().all(|f| f.lhs.is_empty()));
+    }
+
+    #[test]
+    fn approx_at_kappa_one_matches_exact_discovery() {
+        for rel in [table1(), ofd_core::table1_updated()] {
+            assert_eq!(discover_approx(&rel, 1.0), discover(&rel));
+        }
+    }
+
+    #[test]
+    fn approx_boundary_support_uses_integer_threshold() {
+        // One antecedent class of 10 rows: 8 share the majority consequent
+        // value, 2 deviate — support is exactly 8/10.
+        let rows: Vec<[&str; 2]> = vec![
+            ["k", "good"],
+            ["k", "good"],
+            ["k", "good"],
+            ["k", "good"],
+            ["k", "good"],
+            ["k", "good"],
+            ["k", "good"],
+            ["k", "good"],
+            ["k", "bad1"],
+            ["k", "bad2"],
+        ];
+        let mut b = Relation::builder(ofd_core::Schema::new(["X", "A"]).unwrap());
+        for r in &rows {
+            b.push_row(r.iter().copied()).unwrap();
+        }
+        let rel = b.finish();
+        let a = rel.schema().attr("A").unwrap();
+        let has_a = |kappa: f64| discover_approx(&rel, kappa).iter().any(|f| f.rhs == a);
+        assert!(has_a(0.8), "8/10 must satisfy κ = 0.8 exactly");
+        assert!(
+            !has_a(0.8 + 1e-13),
+            "⌈(0.8 + ε)·10⌉ = 9 > 8: the old float-epsilon compare would wrongly accept"
+        );
+        assert!(!has_a(0.9));
+    }
+
+    #[test]
+    fn approx_output_is_minimal_and_monotone_in_kappa() {
+        let rel = table1();
+        let loose = discover_approx(&rel, 0.8);
+        let tight = discover_approx(&rel, 1.0);
+        for f in &loose {
+            for g in &loose {
+                if f.rhs == g.rhs {
+                    assert!(
+                        !f.lhs.is_proper_subset(g.lhs),
+                        "{} subsumes {}",
+                        f.display(rel.schema()),
+                        g.display(rel.schema())
+                    );
+                }
+            }
+        }
+        // Every exact FD is covered by an approximate one with lhs ⊆ its own.
+        for t in &tight {
+            assert!(
+                loose.iter().any(|l| l.rhs == t.rhs && l.lhs.is_subset(t.lhs)),
+                "{} lost at κ = 0.8",
+                t.display(rel.schema())
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_run_counts_nodes_and_products() {
+        let rel = table1();
+        let obs = Obs::enabled();
+        let p = discover_with(&rel, &ExecGuard::unlimited(), &obs);
+        assert_eq!(p.value, discover(&rel));
+        let snap = obs.snapshot();
+        assert!(snap.counter("baseline.tane.node_visits").unwrap_or(0) > 0);
+        assert!(snap.counter("baseline.tane.partition_products").unwrap_or(0) > 0);
+        assert!(snap.counter_sum("guard.interrupt.").eq(&0));
     }
 }

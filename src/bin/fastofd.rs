@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use fastofd::clean::{
     enforce_approximate, explain_violations, ofd_clean, render_report, OfdCleanConfig,
 };
-use fastofd::core::{ExecGuard, GuardConfig, Ofd, Relation, Schema, Validator};
+use fastofd::core::{ExecGuard, GuardConfig, Obs, Ofd, Relation, Schema, Validator};
 use fastofd::datagen::{census, clinical, csv, demo_dataset, kiva, PresetConfig};
 use fastofd::discovery::{DiscoveryOptions, FastOfd};
 use fastofd::ontology::{parse_ontology, write_ontology, Ontology};
@@ -58,6 +58,10 @@ fn run() -> Result<(), String> {
     // probed at every checkpoint and the command reports a sound partial
     // result marked INCOMPLETE when a limit trips.
     let guard = guard_from_flags(&flags)?;
+    // Observability: `--metrics-out <path>` writes the metrics snapshot as
+    // JSON, `--trace` prints the span tree to stderr. The handle is
+    // disabled (zero-cost) unless one of the two flags is present.
+    let obs = obs_from_flags(&flags);
 
     match command.as_str() {
         "generate" => {
@@ -122,7 +126,7 @@ fn run() -> Result<(), String> {
             if let Some(t) = single("threads") {
                 opts = opts.threads(t.parse().map_err(|_| "--threads")?);
             }
-            opts = opts.guard(guard);
+            opts = opts.guard(guard).obs(obs.clone());
             let out = FastOfd::new(&rel, &onto).options(opts).run();
             print!("{}", out.display(rel.schema()));
             eprintln!(
@@ -136,6 +140,7 @@ fn run() -> Result<(), String> {
                 fs::write(path, text).map_err(|e| e.to_string())?;
                 eprintln!("wrote Σ to {path} (load with --ofds-file)");
             }
+            emit_obs(&obs, &flags)?;
             Ok(())
         }
         "check" => {
@@ -189,6 +194,7 @@ fn run() -> Result<(), String> {
                 config.beam = Some(beam.parse().map_err(|_| "--beam expects an integer")?);
             }
             config.guard = guard;
+            config.obs = obs.clone();
             let result = ofd_clean(&rel, &onto, &ofds, &config);
             println!(
                 "satisfied: {} — {} ontology insertion(s), {} cell repair(s), {} sense reassignment(s)",
@@ -237,6 +243,7 @@ fn run() -> Result<(), String> {
                 fs::write(report_path, report).map_err(|e| e.to_string())?;
                 println!("wrote repair report to {report_path}");
             }
+            emit_obs(&obs, &flags)?;
             Ok(())
         }
         "enforce" => {
@@ -256,6 +263,7 @@ fn run() -> Result<(), String> {
                 config.tau = tau.parse().map_err(|_| "--tau expects a float")?;
             }
             config.guard = guard;
+            config.obs = obs.clone();
             let result = enforce_approximate(&rel, &onto, kappa, max_level, &config);
             println!("discovered {} repairable rules at κ = {kappa}:", result.sigma.len());
             for o in &result.sigma {
@@ -276,6 +284,7 @@ fn run() -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 println!("wrote repaired data to {out}");
             }
+            emit_obs(&obs, &flags)?;
             Ok(())
         }
         "--help" | "-h" | "help" => {
@@ -289,8 +298,36 @@ fn run() -> Result<(), String> {
 fn usage() -> String {
     "usage: fastofd <generate|discover|check|clean|enforce> [--flags...]\n\
      execution limits (discover/clean/enforce): --timeout-ms N --max-work N --max-rss-mib N\n\
+     observability (discover/clean/enforce): --metrics-out metrics.json --trace\n\
      see the module docs (`cargo doc`) or README.md for details"
         .to_owned()
+}
+
+/// Builds the run's [`Obs`] handle: enabled when `--metrics-out` or
+/// `--trace` is present, disabled (all no-ops) otherwise.
+fn obs_from_flags(flags: &HashMap<String, Vec<String>>) -> Obs {
+    if flags.contains_key("metrics-out") || flags.contains_key("trace") {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Writes the metrics snapshot to `--metrics-out` (pretty JSON) and prints
+/// the span tree to stderr under `--trace`.
+fn emit_obs(obs: &Obs, flags: &HashMap<String, Vec<String>>) -> Result<(), String> {
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    let snapshot = obs.snapshot();
+    if let Some(path) = flags.get("metrics-out").and_then(|v| v.first()) {
+        fs::write(path, snapshot.to_json_string(true)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    if flags.contains_key("trace") {
+        eprint!("{}", snapshot.render_trace());
+    }
+    Ok(())
 }
 
 /// Builds the run's [`ExecGuard`] from `--timeout-ms`, `--max-work` and

@@ -1,0 +1,92 @@
+//! Shape validation for the `ofd-obs` metrics JSON (schema version 1).
+//!
+//! By default the document is produced in-process by an instrumented
+//! discovery run; set `METRICS_JSON=<path>` to validate a file instead —
+//! CI's metrics-smoke job points it at the output of
+//! `scale_probe --metrics-out` so the checked-in schema and the emitted
+//! artifact can never drift apart silently.
+
+use serde_json::Value;
+
+fn produce_in_process() -> String {
+    use fastofd::core::Obs;
+    use fastofd::discovery::{DiscoveryOptions, FastOfd};
+    let ds = fastofd::datagen::clinical(&fastofd::datagen::PresetConfig {
+        n_rows: 300,
+        n_attrs: 6,
+        n_ofds: 2,
+        seed: 11,
+        ..fastofd::datagen::PresetConfig::default()
+    });
+    let obs = Obs::enabled();
+    FastOfd::new(&ds.clean, &ds.full_ontology)
+        .options(DiscoveryOptions::new().obs(obs.clone()))
+        .run();
+    obs.snapshot().to_json_string(true)
+}
+
+#[test]
+fn metrics_json_matches_schema_v1() {
+    let text = match std::env::var("METRICS_JSON") {
+        Ok(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("METRICS_JSON={path}: {e}")),
+        Err(_) => produce_in_process(),
+    };
+    let v: Value = serde_json::from_str(&text).expect("metrics JSON parses");
+
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(1), "schema version");
+    assert_eq!(v.get("enabled").and_then(Value::as_bool), Some(true), "enabled flag");
+
+    let counters = match v.get("counters").expect("counters present") {
+        Value::Object(fields) => fields,
+        other => panic!("counters must be an object, got {other}"),
+    };
+    for (name, value) in counters {
+        assert!(value.as_u64().is_some(), "counter {name} must be a non-negative integer");
+    }
+
+    let gauges = match v.get("gauges").expect("gauges present") {
+        Value::Object(fields) => fields,
+        other => panic!("gauges must be an object, got {other}"),
+    };
+    for (name, value) in gauges {
+        assert!(value.as_f64().is_some(), "gauge {name} must be numeric");
+    }
+
+    let histograms = match v.get("histograms").expect("histograms present") {
+        Value::Object(fields) => fields,
+        other => panic!("histograms must be an object, got {other}"),
+    };
+    for (name, h) in histograms {
+        let bounds = h.get("bounds").and_then(Value::as_array).expect("bounds array");
+        let counts = h.get("counts").and_then(Value::as_array).expect("counts array");
+        assert_eq!(
+            counts.len(),
+            bounds.len() + 1,
+            "histogram {name}: one bucket per bound plus overflow"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0].as_f64() < w[1].as_f64()),
+            "histogram {name}: bounds must be strictly increasing"
+        );
+        let total: u64 = counts.iter().map(|c| c.as_u64().expect("bucket count")).sum();
+        assert_eq!(
+            h.get("count").and_then(Value::as_u64),
+            Some(total),
+            "histogram {name}: count equals the bucket sum"
+        );
+        assert!(h.get("sum").and_then(Value::as_f64).is_some(), "histogram {name}: sum");
+    }
+
+    let spans = v.get("spans").and_then(Value::as_array).expect("spans array");
+    for (i, s) in spans.iter().enumerate() {
+        assert!(s.get("name").and_then(Value::as_str).is_some(), "span {i}: name");
+        assert!(s.get("start_us").and_then(Value::as_u64).is_some(), "span {i}: start_us");
+        assert!(s.get("elapsed_us").and_then(Value::as_u64).is_some(), "span {i}: elapsed_us");
+        let parent = s.get("parent").expect("span parent present");
+        assert!(
+            parent.is_null() || (parent.as_u64().map(|p| (p as usize) < i) == Some(true)),
+            "span {i}: parent must be null or an earlier span index"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-crate observability and conformance tests: the exact integer
+//! support boundary agreed on by three independent engines, degenerate-
+//! relation conformance across every FD baseline, and well-formedness of
+//! the `ofd-obs` metrics JSON — including under a guard interrupt.
+
+use fastofd::baselines::{tane, Algorithm};
+use fastofd::core::{ExecGuard, Obs, OfdKind, Relation, Schema};
+use fastofd::discovery::{brute_force, DiscoveryOptions, FastOfd};
+use fastofd::ontology::Ontology;
+
+/// Ten rows over (X, A): X constant, A takes one value on eight tuples and
+/// two odd ones out — so X → A has exactly 2 violating tuples out of 10.
+fn boundary_relation() -> Relation {
+    let mut b = Relation::builder(Schema::new(["X", "A"]).unwrap());
+    for i in 0..10 {
+        let a = match i {
+            8 => "bad1",
+            9 => "bad2",
+            _ => "good",
+        };
+        b.push_row(["k", a]).unwrap();
+    }
+    b.finish()
+}
+
+fn fd_set(fds: &[fastofd::core::Fd]) -> Vec<(u64, usize)> {
+    let mut v: Vec<(u64, usize)> = fds.iter().map(|f| (f.lhs.bits(), f.rhs.index())).collect();
+    v.sort();
+    v
+}
+
+fn ofd_set<'a>(ofds: impl Iterator<Item = &'a fastofd::core::Ofd>) -> Vec<(u64, usize)> {
+    let mut v: Vec<(u64, usize)> = ofds.map(|o| (o.lhs.bits(), o.rhs.index())).collect();
+    v.sort();
+    v
+}
+
+/// Three independent engines — the FastOFD lattice, the brute-force oracle,
+/// and TANE's g3 approximate mode — must agree on the κ boundary decided by
+/// exact integer arithmetic: 8 of 10 covered tuples meet κ = 0.8 exactly,
+/// and fail any κ even 1e-13 above it (the old `support + 1e-12 ≥ κ`
+/// epsilon accepted both).
+#[test]
+fn boundary_support_three_way_agreement() {
+    let rel = boundary_relation();
+    let onto = Ontology::empty();
+    let a_idx = rel.schema().attr("A").unwrap().index();
+    for (kappa, expect_rule) in [(0.8, true), (0.8 + 1e-13, false), (0.9, false)] {
+        let fast = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().min_support(kappa))
+            .run();
+        let fast_set = ofd_set(fast.ofds());
+        let brute_set = ofd_set(brute_force(&rel, &onto, OfdKind::Synonym, kappa).iter());
+        let tane_set = fd_set(&tane::discover_approx(&rel, kappa));
+        assert_eq!(fast_set, brute_set, "FastOFD vs oracle at κ = {kappa}");
+        assert_eq!(fast_set, tane_set, "FastOFD vs TANE-approx at κ = {kappa}");
+        // X is constant, so the minimal rule for consequent A is ∅ → A:
+        // one class of ten tuples, majority eight — exactly the κ = 0.8
+        // boundary. Any rule with consequent A stands or falls with it.
+        assert_eq!(
+            fast_set.iter().any(|&(_, rhs)| rhs == a_idx),
+            expect_rule,
+            "a rule with consequent A (8/10 support) at κ = {kappa}"
+        );
+    }
+}
+
+/// Degenerate relations: every baseline must agree with FastOFD (empty
+/// ontology ⇒ synonym OFDs are plain FDs) on an empty relation, a single
+/// row, and a relation of duplicated rows.
+#[test]
+fn degenerate_relations_conform_across_all_engines() {
+    let schema = || Schema::new(["A", "B", "C"]).unwrap();
+    let empty = Relation::builder(schema()).finish();
+    let single = {
+        let mut b = Relation::builder(schema());
+        b.push_row(["x", "y", "z"]).unwrap();
+        b.finish()
+    };
+    let duplicated = {
+        let mut b = Relation::builder(schema());
+        for _ in 0..4 {
+            b.push_row(["x", "y", "z"]).unwrap();
+        }
+        b.finish()
+    };
+    let onto = Ontology::empty();
+    for (name, rel) in [("empty", &empty), ("single", &single), ("duplicated", &duplicated)] {
+        let reference = ofd_set(FastOfd::new(rel, &onto).run().ofds());
+        for alg in Algorithm::ALL {
+            assert_eq!(
+                fd_set(&alg.discover(rel)),
+                reference,
+                "{} disagrees with FastOFD on the {name} relation",
+                alg.name()
+            );
+        }
+        assert_eq!(
+            fd_set(&fastofd::baselines::hyfd::discover(rel)),
+            reference,
+            "HyFD disagrees with FastOFD on the {name} relation"
+        );
+        assert_eq!(
+            fd_set(&tane::discover_approx(rel, 1.0)),
+            reference,
+            "TANE-approx disagrees with FastOFD on the {name} relation"
+        );
+    }
+}
+
+/// An interrupted instrumented run must still produce well-formed metrics
+/// JSON (parsed with the vendored reader) carrying a labelled interrupt
+/// counter and the schema version.
+#[test]
+fn interrupted_run_emits_well_formed_metrics_json() {
+    let ds = fastofd::datagen::clinical(&fastofd::datagen::PresetConfig {
+        n_rows: 200,
+        n_attrs: 6,
+        n_ofds: 2,
+        seed: 7,
+        ..fastofd::datagen::PresetConfig::default()
+    });
+    let guard = ExecGuard::unlimited();
+    guard.fail_after(50);
+    let obs = Obs::enabled();
+    let out = FastOfd::new(&ds.clean, &ds.full_ontology)
+        .options(DiscoveryOptions::new().guard(guard.clone()).obs(obs.clone()))
+        .run();
+    assert!(!out.complete, "fail point must interrupt the run");
+
+    let text = obs.snapshot().to_json_string(true);
+    let v: serde_json::Value = serde_json::from_str(&text).expect("metrics JSON parses");
+    assert_eq!(v.get("version").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(v.get("enabled").and_then(|x| x.as_bool()), Some(true));
+    let counters = v.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("guard.interrupt.fail_point").and_then(|x| x.as_u64()),
+        Some(1),
+        "interrupt must surface as a labelled counter"
+    );
+}
