@@ -1,0 +1,248 @@
+//! Crash-safety soak harness: kill discovery and cleaning at random
+//! points, resume from on-disk checkpoints, and assert the final result
+//! is **identical** to an uninterrupted run's — the kill-at-any-point
+//! contract behind `--checkpoint-dir`/`--resume`.
+//!
+//! ```text
+//! chaos_probe [--seed S] [--trials T] [--rows N] [--dir D]
+//! ```
+//!
+//! Each trial kills the engine at a random guard checkpoint (the same
+//! on-disk state a `kill -9` at a level/phase boundary leaves behind,
+//! since snapshots cover only completed boundaries), then resumes —
+//! possibly killing again — until a run completes. A third of the trials
+//! also inject snapshot-write faults (I/O errors and torn writes) from a
+//! seeded [`FaultPlan`]; a lost checkpoint may cost recompute but must
+//! never change the answer. A final pass injects worker panics and
+//! asserts they degrade to a sound partial result instead of aborting.
+//! Any divergence prints the differing trial and exits non-zero.
+
+use std::process::ExitCode;
+
+use ofd_clean::{ofd_clean, CleanResult, OfdCleanConfig};
+use ofd_core::{
+    silence_injected_panics, CheckpointOptions, FaultPlan, Interrupt, SnapshotStore,
+};
+use ofd_datagen::{clinical, Dataset, PresetConfig};
+use ofd_discovery::{Discovery, DiscoveryOptions, FastOfd};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+struct Args {
+    seed: u64,
+    trials: u64,
+    rows: usize,
+    dir: std::path::PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        seed: 42,
+        trials: 12,
+        rows: 300,
+        dir: std::env::temp_dir().join(format!("ofd_chaos_{}", std::process::id())),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} VALUE"));
+        match arg.as_str() {
+            "--seed" => out.seed = value("--seed").parse().expect("--seed expects an integer"),
+            "--trials" => {
+                out.trials = value("--trials").parse().expect("--trials expects an integer");
+            }
+            "--rows" => out.rows = value("--rows").parse().expect("--rows expects an integer"),
+            "--dir" => out.dir = value("--dir").into(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    out
+}
+
+/// The comparable essence of a discovery run: `(lhs, rhs, support bits,
+/// level)` per OFD. Bit-level support comparison — resumed runs must be
+/// byte-identical, not merely approximately equal.
+fn sigma_key(d: &Discovery) -> Vec<(u64, u64, u64, u64)> {
+    d.ofds
+        .iter()
+        .map(|o| {
+            (
+                o.ofd.lhs.bits(),
+                o.ofd.rhs.index() as u64,
+                o.support.to_bits(),
+                o.level as u64,
+            )
+        })
+        .collect()
+}
+
+fn discover(ds: &Dataset, ck: Option<CheckpointOptions>, kill_at: Option<u64>) -> Discovery {
+    let mut opts = DiscoveryOptions::new().max_level(3);
+    if let Some(ck) = ck {
+        opts = opts.checkpoint(ck);
+    }
+    if let Some(n) = kill_at {
+        opts.guard.fail_after(n);
+    }
+    FastOfd::new(&ds.relation, &ds.ontology).options(opts).run()
+}
+
+fn clean(ds: &Dataset, ck: Option<CheckpointOptions>, kill_at: Option<u64>) -> CleanResult {
+    let config = OfdCleanConfig {
+        checkpoint: ck,
+        ..OfdCleanConfig::default()
+    };
+    if let Some(n) = kill_at {
+        config.guard.fail_after(n);
+    }
+    ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &config)
+}
+
+/// Snapshot-write fault plan for every third trial: probabilistic I/O
+/// errors and torn writes, seeded per trial so reruns reproduce exactly.
+fn trial_faults(rng: &mut StdRng, trial: u64) -> FaultPlan {
+    if !trial.is_multiple_of(3) {
+        return FaultPlan::none();
+    }
+    let spec = format!(
+        "seed={},snapshot-io%0.2,snapshot-torn%0.15",
+        rng.random_range(0u64..u64::MAX)
+    );
+    FaultPlan::parse(&spec).expect("valid fault spec")
+}
+
+fn checkpoint(dir: &std::path::Path, faults: &FaultPlan, resume: bool) -> CheckpointOptions {
+    let mut store = SnapshotStore::new(dir);
+    if faults.is_active() {
+        store = store.with_faults(faults.clone());
+    }
+    CheckpointOptions { store, resume }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    silence_injected_panics();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut ds = clinical(&PresetConfig {
+        n_rows: args.rows,
+        n_ofds: 6,
+        seed: args.seed,
+        ..PresetConfig::default()
+    });
+    ds.degrade_ontology(0.04, args.seed);
+    ds.inject_errors(0.03, args.seed);
+
+    // Ground truth: one uninterrupted run of each engine.
+    let ref_sigma = sigma_key(&discover(&ds, None, None));
+    let ref_clean = clean(&ds, None, None);
+    assert!(ref_clean.complete, "reference clean must complete");
+    println!(
+        "reference: {} OFDs, {} cell repairs, {} ontology adds",
+        ref_sigma.len(),
+        ref_clean.data_repairs.len(),
+        ref_clean.ontology_adds.len()
+    );
+
+    let mut failures = 0u64;
+    for trial in 0..args.trials {
+        let dir = args.dir.join(format!("trial{trial}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults = trial_faults(&mut rng, trial);
+
+        // Kill → resume (→ kill → resume …) until a run completes. 64
+        // attempts bounds the loop; the last attempt runs unlimited.
+        let mut kill_at = Some(rng.random_range(1u64..2000));
+        let mut resume = false;
+        let (mut resumes, mut disc) = (0u64, None);
+        for attempt in 0..64 {
+            let out = discover(&ds, Some(checkpoint(&dir, &faults, resume)), kill_at);
+            resume = true;
+            resumes += u64::from(out.resumed_from_level.is_some());
+            if out.complete {
+                disc = Some(out);
+                break;
+            }
+            kill_at = if attempt < 62 {
+                Some(rng.random_range(1u64..2000))
+            } else {
+                None
+            };
+        }
+        let disc = disc.expect("an unlimited attempt always completes");
+        if sigma_key(&disc) != ref_sigma {
+            eprintln!(
+                "FAIL trial {trial}: resumed Σ diverged ({} vs {} OFDs, faults {})",
+                disc.ofds.len(),
+                ref_sigma.len(),
+                faults.total_fired()
+            );
+            failures += 1;
+        }
+
+        // Same game for the cleaner, phase-boundary checkpoints.
+        let clean_dir = dir.join("clean");
+        let mut kill_at = Some(rng.random_range(1u64..80));
+        let mut resume = false;
+        let mut repaired = None;
+        for attempt in 0..64 {
+            let out = clean(&ds, Some(checkpoint(&clean_dir, &faults, resume)), kill_at);
+            resume = true;
+            if out.complete {
+                repaired = Some(out);
+                break;
+            }
+            kill_at = if attempt < 62 {
+                Some(rng.random_range(1u64..80))
+            } else {
+                None
+            };
+        }
+        let repaired = repaired.expect("an unlimited attempt always completes");
+        let same_instance = repaired
+            .repaired
+            .cell_distance(&ref_clean.repaired)
+            .map(|d| d == 0)
+            .unwrap_or(false);
+        if !same_instance
+            || repaired.data_repairs != ref_clean.data_repairs
+            || repaired.ontology_adds != ref_clean.ontology_adds
+            || repaired.satisfied != ref_clean.satisfied
+        {
+            eprintln!("FAIL trial {trial}: resumed clean diverged");
+            failures += 1;
+        }
+
+        println!(
+            "trial {trial}: ok ({resumes} discovery resumes, {} injected faults)",
+            faults.total_fired()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Panic isolation: an injected worker panic must degrade to a sound
+    // partial result — never abort the process.
+    let panic_faults = FaultPlan::parse(&format!("seed={},panic@3", args.seed)).expect("spec");
+    let mut opts = DiscoveryOptions::new().max_level(3).faults(panic_faults);
+    opts = opts.threads(2);
+    let out = FastOfd::new(&ds.relation, &ds.ontology).options(opts).run();
+    if out.complete || out.interrupt != Some(Interrupt::WorkerPanic) {
+        eprintln!(
+            "FAIL: injected panic did not surface as WorkerPanic (complete={}, interrupt={:?})",
+            out.complete, out.interrupt
+        );
+        failures += 1;
+    } else {
+        println!(
+            "panic isolation: ok ({} OFDs in the sound partial result)",
+            out.ofds.len()
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&args.dir);
+    if failures == 0 {
+        println!("chaos_probe: all {} trials consistent", args.trials);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos_probe: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -74,7 +74,8 @@ fn emit_obs(args: &ProbeArgs) {
     }
     let snapshot = args.obs.snapshot();
     if let Some(path) = &args.metrics_out {
-        match std::fs::write(path, snapshot.to_json_string(true)) {
+        let bytes = snapshot.to_json_string(true);
+        match ofd_core::atomic_write(std::path::Path::new(path), bytes.as_bytes()) {
             Ok(()) => eprintln!("wrote metrics to {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");

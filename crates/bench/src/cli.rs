@@ -156,7 +156,7 @@ pub fn exp_main() -> ExitCode {
             Some(digest) => {
                 println!("{digest}");
                 let path = out_dir.join("SUMMARY.md");
-                if let Err(e) = std::fs::write(&path, digest) {
+                if let Err(e) = ofd_core::atomic_write(&path, digest.as_bytes()) {
                     eprintln!("failed to write summary: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -168,7 +168,7 @@ pub fn exp_main() -> ExitCode {
     if params.obs.is_enabled() {
         let snapshot = params.obs.snapshot();
         if let Some(path) = &metrics_out {
-            if let Err(e) = std::fs::write(path, snapshot.to_json_string(true)) {
+            if let Err(e) = ofd_core::atomic_write(path, snapshot.to_json_string(true).as_bytes()) {
                 eprintln!("failed to write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }

@@ -71,7 +71,9 @@ impl ExpResult {
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_string_pretty(self)?)?;
+        // Atomic replace: a crash mid-run never leaves a truncated report
+        // for the summarizer to trip over.
+        ofd_core::atomic_write(&path, serde_json::to_string_pretty(self)?.as_bytes())?;
         Ok(path)
     }
 

@@ -256,8 +256,7 @@ pub fn local_refinement_guarded(
     order.sort_by(|&a, &b| {
         graph
             .node_weight(b)
-            .partial_cmp(&graph.node_weight(a))
-            .expect("finite weights")
+            .total_cmp(&graph.node_weight(a))
             .then(a.cmp(&b))
     });
 

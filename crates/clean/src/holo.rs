@@ -85,7 +85,7 @@ pub fn holo_clean(
                 .value_counts
                 .iter()
                 .map(|&(v, c)| (v, score(v, c)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty class");
             let target = working.pool().resolve(best_value).to_owned();
             for &t in &class.tuples {

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod approx;
+pub mod checkpoint;
 pub mod classes;
 pub mod conflict;
 pub mod dot;

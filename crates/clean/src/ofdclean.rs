@@ -4,9 +4,10 @@
 
 use std::collections::HashSet;
 
-use ofd_core::{ExecGuard, Interrupt, Obs, Ofd, Relation, SenseIndex, ValueId, Validator};
+use ofd_core::{CheckpointOptions, ExecGuard, Interrupt, Obs, Ofd, Relation, SenseIndex, ValueId, Validator};
 use ofd_ontology::{Ontology, OntologyRepair, SenseId};
 
+use crate::checkpoint;
 use crate::classes::build_classes;
 use crate::conflict::{repair_data_guarded, CellRepair};
 use crate::graph::local_refinement_guarded;
@@ -40,6 +41,12 @@ pub struct OfdCleanConfig {
     /// default; guard interrupts are labelled as
     /// `guard.interrupt.<reason>`.
     pub obs: Obs,
+    /// Crash-safety checkpointing: when set, a cumulative snapshot is
+    /// written after each completed phase (refine / beam search / data
+    /// repair) and, with [`CheckpointOptions::resume`], the run restores
+    /// the newest valid snapshot and skips the phases it covers. The
+    /// final verification always re-runs. `None` disables.
+    pub checkpoint: Option<CheckpointOptions>,
 }
 
 impl Default for OfdCleanConfig {
@@ -53,6 +60,7 @@ impl Default for OfdCleanConfig {
             refinement_passes: 1,
             guard: ExecGuard::unlimited(),
             obs: Obs::disabled(),
+            checkpoint: None,
         }
     }
 }
@@ -85,6 +93,14 @@ pub struct CleanResult {
     pub complete: bool,
     /// Why the run stopped early, when it did.
     pub interrupt: Option<Interrupt>,
+    /// The completed phase (1 = refine, 2 = beam search, 3 = data repair)
+    /// a resumed run restarted after; `None` for a fresh run.
+    pub resumed_from_phase: Option<u64>,
+    /// Phase-boundary snapshots written by this run.
+    pub snapshots_written: usize,
+    /// Snapshot writes that failed (I/O or injected faults); the run
+    /// continues regardless.
+    pub snapshot_errors: usize,
 }
 
 impl CleanResult {
@@ -142,6 +158,51 @@ pub fn ofd_clean(
     }
 }
 
+/// Writes the cumulative snapshot for `phase`, if checkpointing is on and
+/// no interrupt is pending (an interrupted phase is incomplete; recording
+/// it as done would make resume unsound — this is also what makes the
+/// on-disk state identical to a hard kill's).
+#[allow(clippy::too_many_arguments)]
+fn save_phase_snapshot(
+    config: &OfdCleanConfig,
+    fp: Option<u64>,
+    phase: u64,
+    rel: &Relation,
+    assignment: &SenseAssignment,
+    reassignments: usize,
+    plan: Option<&OntologyRepairPlan>,
+    repairs: Option<&[CellRepair]>,
+    written: &mut usize,
+    errors: &mut usize,
+) {
+    let Some(ck) = &config.checkpoint else {
+        return;
+    };
+    if config.guard.interrupt().is_some() {
+        return;
+    }
+    let body = checkpoint::snapshot_body(
+        fp.expect("fingerprint is set whenever checkpointing is"),
+        phase,
+        rel,
+        assignment,
+        reassignments,
+        plan,
+        repairs,
+        &config.obs,
+    );
+    match ck.store.save(checkpoint::STREAM, phase, &body) {
+        Ok(_) => {
+            *written += 1;
+            config.obs.inc("clean.checkpoint.written");
+        }
+        Err(_) => {
+            *errors += 1;
+            config.obs.inc("clean.checkpoint.error");
+        }
+    }
+}
+
 fn clean_core(
     rel: &Relation,
     onto: &Ontology,
@@ -154,57 +215,143 @@ fn clean_core(
     let mut index = SenseIndex::synonym(&working, onto);
     let empty_overlay: HashSet<(ValueId, SenseId)> = HashSet::new();
 
-    // 1. Sense assignment (Algorithm 8): initial + local refinement.
-    let assign_span = obs.span("ofdclean.assign");
-    let classes = build_classes(&working, sigma);
-    let view = SenseView {
-        base: &index,
-        overlay: &empty_overlay,
-    };
-    let mut assignment = assign_all(&classes, view);
-    drop(assign_span);
-    let refine_span = obs.span("ofdclean.refine");
-    let mut reassignments = 0;
-    for _ in 0..config.refinement_passes {
-        if config.guard.check().is_err() {
-            break;
-        }
-        let n = local_refinement_guarded(
-            &working,
-            onto,
-            &classes,
-            &mut assignment,
-            view,
-            config.theta,
-            &config.guard,
-        );
-        reassignments += n;
-        if n == 0 {
-            break;
+    // Checkpoint/resume: load the newest valid snapshot, bound to exactly
+    // these inputs by the fingerprint.
+    let fp = config
+        .checkpoint
+        .as_ref()
+        .map(|_| checkpoint::fingerprint(rel, onto, sigma, config));
+    let mut snapshots_written = 0;
+    let mut snapshot_errors = 0;
+    let mut resume: Option<checkpoint::CleanResume> = None;
+    if let Some(ck) = config.checkpoint.as_ref().filter(|c| c.resume) {
+        if let Ok(Some(loaded)) = ck.store.load_latest(checkpoint::STREAM) {
+            match checkpoint::restore(&loaded.body, fp.expect("fp set"), rel) {
+                Some(rs) => resume = Some(rs),
+                None => obs.inc("clean.resume.rejected"),
+            }
         }
     }
-    drop(refine_span);
-    obs.add("clean.sense_reassignments", reassignments as u64);
+
+    let classes = build_classes(&working, sigma);
+    // A restored assignment must be shaped exactly like the class table
+    // the current inputs produce; anything else is discarded wholesale.
+    if let Some(rs) = &resume {
+        let shape_ok = rs.assignment.table().len() == classes.len()
+            && rs
+                .assignment
+                .table()
+                .iter()
+                .zip(classes.iter())
+                .all(|(row, c)| row.len() == c.classes.len());
+        if !shape_ok {
+            resume = None;
+            obs.inc("clean.resume.rejected");
+        }
+    }
+    let restored_phase = resume.as_ref().map_or(0, |rs| rs.phase);
+    let resumed_from_phase = resume.as_ref().map(|rs| rs.phase);
+    if let Some(rs) = &resume {
+        // Re-seed obs accumulators so final totals cover the whole
+        // logical run, not just the tail.
+        for (name, v) in &rs.counters {
+            obs.add(name, *v);
+        }
+        if obs.is_enabled() {
+            obs.inc("clean.resume");
+            obs.set_gauge("clean.resumed_from_phase", rs.phase as f64);
+        }
+    }
+
+    // 1. Sense assignment (Algorithm 8): initial + local refinement.
+    let (assignment, reassignments) = if restored_phase >= 1 {
+        let rs = resume.as_ref().expect("restored");
+        (rs.assignment.clone(), rs.reassignments)
+    } else {
+        let assign_span = obs.span("ofdclean.assign");
+        let view = SenseView {
+            base: &index,
+            overlay: &empty_overlay,
+        };
+        let mut assignment = assign_all(&classes, view);
+        drop(assign_span);
+        let refine_span = obs.span("ofdclean.refine");
+        let mut reassignments = 0;
+        for _ in 0..config.refinement_passes {
+            if config.guard.check().is_err() {
+                break;
+            }
+            let n = local_refinement_guarded(
+                &working,
+                onto,
+                &classes,
+                &mut assignment,
+                view,
+                config.theta,
+                &config.guard,
+            );
+            reassignments += n;
+            if n == 0 {
+                break;
+            }
+        }
+        drop(refine_span);
+        obs.add("clean.sense_reassignments", reassignments as u64);
+        save_phase_snapshot(
+            config,
+            fp,
+            1,
+            rel,
+            &assignment,
+            reassignments,
+            None,
+            None,
+            &mut snapshots_written,
+            &mut snapshot_errors,
+        );
+        (assignment, reassignments)
+    };
 
     // 2. Ontology repair (Algorithm 7): beam search over Cand(S).
-    let beam_span = obs.span("ofdclean.beam_search");
-    let plan = beam_search_guarded(
-        &working,
-        sigma,
-        &classes,
-        &assignment,
-        &index,
-        config.beam,
-        config.max_ontology_repairs,
-        &config.guard,
-    );
-    drop(beam_span);
-    obs.add("clean.search_expansions", plan.candidates.len() as u64);
-    obs.add("clean.frontier_points", plan.frontier.len() as u64);
+    let plan = if restored_phase >= 2 {
+        resume
+            .as_ref()
+            .and_then(|rs| rs.plan.clone())
+            .expect("phase ≥ 2 snapshots carry a plan")
+    } else {
+        let beam_span = obs.span("ofdclean.beam_search");
+        let plan = beam_search_guarded(
+            &working,
+            sigma,
+            &classes,
+            &assignment,
+            &index,
+            config.beam,
+            config.max_ontology_repairs,
+            &config.guard,
+        );
+        drop(beam_span);
+        obs.add("clean.search_expansions", plan.candidates.len() as u64);
+        obs.add("clean.frontier_points", plan.frontier.len() as u64);
+        save_phase_snapshot(
+            config,
+            fp,
+            2,
+            rel,
+            &assignment,
+            reassignments,
+            Some(&plan),
+            None,
+            &mut snapshots_written,
+            &mut snapshot_errors,
+        );
+        plan
+    };
     let tau_max = (config.tau * working.n_rows() as f64).floor() as usize;
     let chosen = plan.select(tau_max).clone();
 
-    // Apply the chosen ontology repair.
+    // Apply the chosen ontology repair (recomputed deterministically from
+    // the plan on resume).
     let mut ontology_repair = OntologyRepair::new();
     for &(v, s) in &chosen.adds {
         ontology_repair.add(s, working.pool().resolve(v));
@@ -215,21 +362,49 @@ fn clean_core(
     let overlay: HashSet<(ValueId, SenseId)> = chosen.adds.iter().copied().collect();
 
     // 3. Data repair to the remaining violations.
-    let repair_span = obs.span("ofdclean.repair_data");
-    let (data_repairs, _converged) = repair_data_guarded(
-        &mut working,
-        &repaired_ontology,
-        sigma,
-        &assignment,
-        &mut index,
-        &overlay,
-        tau_max,
-        config.max_rounds,
-        &config.guard,
-    );
-    drop(repair_span);
-    obs.add("clean.repairs_applied", data_repairs.len() as u64);
-    obs.add("clean.ontology_adds", chosen.adds.len() as u64);
+    let data_repairs = if restored_phase >= 3 {
+        let repairs = resume
+            .as_ref()
+            .and_then(|rs| rs.repairs.clone())
+            .expect("phase 3 snapshots carry the repairs");
+        // Replay onto the input instance: reproduces I′ cell-for-cell
+        // (bounds were validated during restore).
+        for r in &repairs {
+            working
+                .set(r.row, r.attr, &r.new)
+                .expect("bounds validated on restore");
+        }
+        repairs
+    } else {
+        let repair_span = obs.span("ofdclean.repair_data");
+        let (data_repairs, _converged) = repair_data_guarded(
+            &mut working,
+            &repaired_ontology,
+            sigma,
+            &assignment,
+            &mut index,
+            &overlay,
+            tau_max,
+            config.max_rounds,
+            &config.guard,
+        );
+        drop(repair_span);
+        obs.add("clean.repairs_applied", data_repairs.len() as u64);
+        obs.add("clean.ontology_adds", chosen.adds.len() as u64);
+        save_phase_snapshot(
+            config,
+            fp,
+            3,
+            rel,
+            &assignment,
+            reassignments,
+            Some(&plan),
+            Some(&data_repairs),
+            &mut snapshots_written,
+            &mut snapshot_errors,
+        );
+        data_repairs
+    };
 
     // 4. Verify I′ ⊨ Σ w.r.t. S′. Runs even after an interrupt — the
     // reported `satisfied` always reflects the actual final state.
@@ -254,6 +429,9 @@ fn clean_core(
         satisfied,
         complete: interrupt.is_none(),
         interrupt,
+        resumed_from_phase,
+        snapshots_written,
+        snapshot_errors,
     }
 }
 
@@ -506,5 +684,118 @@ mod tests {
         let result = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
         assert!(!result.plan.pareto.is_empty());
         assert!(result.plan.frontier[0].k == 0);
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ofd_clean_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Kill OFDClean at every reachable checkpoint, resume from disk, and
+    /// demand the resumed run is indistinguishable from an uninterrupted
+    /// one: same repaired instance (cell for cell), same ontology adds,
+    /// same data repairs, same verdict.
+    #[test]
+    fn killed_and_resumed_clean_equals_uninterrupted_run() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let reference = ofd_clean(&rel, &onto, &sigma, &OfdCleanConfig::default());
+        assert!(reference.complete);
+
+        let mut resumed_at_least_once = false;
+        for n in 1..80 {
+            let dir = temp_ckpt_dir(&format!("kill{n}"));
+            let killed = OfdCleanConfig {
+                checkpoint: Some(CheckpointOptions::new(&dir)),
+                ..OfdCleanConfig::default()
+            };
+            killed.guard.fail_after(n);
+            let partial = ofd_clean(&rel, &onto, &sigma, &killed);
+            if partial.complete {
+                let _ = std::fs::remove_dir_all(&dir);
+                break;
+            }
+
+            let resume = OfdCleanConfig {
+                checkpoint: Some(CheckpointOptions::new(&dir).resume(true)),
+                ..OfdCleanConfig::default()
+            };
+            let result = ofd_clean(&rel, &onto, &sigma, &resume);
+            assert!(result.complete, "n = {n}");
+            resumed_at_least_once |= result.resumed_from_phase.is_some();
+            assert_eq!(
+                result.repaired.cell_distance(&reference.repaired).unwrap(),
+                0,
+                "n = {n}: repaired instance must match uninterrupted run"
+            );
+            assert_eq!(result.ontology_adds, reference.ontology_adds, "n = {n}");
+            assert_eq!(result.data_repairs, reference.data_repairs, "n = {n}");
+            assert_eq!(result.satisfied, reference.satisfied, "n = {n}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert!(resumed_at_least_once, "no kill point left a usable snapshot");
+    }
+
+    #[test]
+    fn full_checkpointed_clean_writes_one_snapshot_per_phase() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let dir = temp_ckpt_dir("phases");
+        let config = OfdCleanConfig {
+            checkpoint: Some(CheckpointOptions::new(&dir)),
+            ..OfdCleanConfig::default()
+        };
+        let result = ofd_clean(&rel, &onto, &sigma, &config);
+        assert!(result.complete);
+        assert_eq!(result.snapshots_written, 3);
+        assert_eq!(result.snapshot_errors, 0);
+        assert_eq!(result.resumed_from_phase, None);
+
+        // Resuming from the final snapshot replays everything and agrees.
+        let resume = OfdCleanConfig {
+            checkpoint: Some(CheckpointOptions::new(&dir).resume(true)),
+            ..OfdCleanConfig::default()
+        };
+        let replay = ofd_clean(&rel, &onto, &sigma, &resume);
+        assert_eq!(replay.resumed_from_phase, Some(3));
+        assert_eq!(replay.snapshots_written, 0, "no phase re-ran");
+        assert_eq!(replay.repaired.cell_distance(&result.repaired).unwrap(), 0);
+        assert_eq!(replay.data_repairs, result.data_repairs);
+        assert_eq!(replay.satisfied, result.satisfied);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A snapshot taken under different inputs or result-affecting config
+    /// must be ignored, not spliced into the wrong run.
+    #[test]
+    fn clean_resume_with_mismatched_inputs_recomputes_fresh() {
+        let rel = table1_updated();
+        let onto = samples::combined_paper_ontology();
+        let sigma = sigma_for(&rel);
+        let dir = temp_ckpt_dir("mismatch");
+        let config = OfdCleanConfig {
+            checkpoint: Some(CheckpointOptions::new(&dir)),
+            ..OfdCleanConfig::default()
+        };
+        let _ = ofd_clean(&rel, &onto, &sigma, &config);
+
+        // Same directory, different τ → different fingerprint.
+        let other = OfdCleanConfig {
+            checkpoint: Some(CheckpointOptions::new(&dir).resume(true)),
+            tau: 0.5,
+            obs: Obs::enabled(),
+            ..OfdCleanConfig::default()
+        };
+        let result = ofd_clean(&rel, &onto, &sigma, &other);
+        assert!(result.complete);
+        assert_eq!(result.resumed_from_phase, None);
+        assert_eq!(
+            other.obs.snapshot().counter("clean.resume.rejected"),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -35,6 +35,16 @@ impl SenseAssignment {
         self.senses[ofd_idx][class_idx] = sense;
     }
 
+    /// The full table, for checkpoint serialization.
+    pub fn table(&self) -> &[Vec<Option<SenseId>>] {
+        &self.senses
+    }
+
+    /// Rebuilds an assignment from a serialized table.
+    pub fn from_table(senses: Vec<Vec<Option<SenseId>>>) -> Self {
+        SenseAssignment { senses }
+    }
+
     /// Number of assigned (non-`None`) classes.
     pub fn assigned_count(&self) -> usize {
         self.senses
@@ -109,8 +119,7 @@ pub fn mad_ranking(class: &ClassData) -> Vec<ValueId> {
         .map(|&(v, c)| ((c as f64 - median).abs(), c, v))
         .collect();
     ranked.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("finite scores")
+        b.0.total_cmp(&a.0)
             .then(b.1.cmp(&a.1))
             .then(a.2.cmp(&b.2))
     });

@@ -40,6 +40,9 @@ pub enum Interrupt {
     Cancelled,
     /// A test-only fail point tripped (see [`ExecGuard::fail_after`]).
     FailPoint,
+    /// A worker thread panicked; the panic was caught and isolated, and
+    /// the run degraded to a sound partial result instead of aborting.
+    WorkerPanic,
 }
 
 impl Interrupt {
@@ -52,6 +55,7 @@ impl Interrupt {
             Interrupt::MemoryBudgetExceeded => "memory_budget_exceeded",
             Interrupt::Cancelled => "cancelled",
             Interrupt::FailPoint => "fail_point",
+            Interrupt::WorkerPanic => "worker_panic",
         }
     }
 }
@@ -64,6 +68,7 @@ impl fmt::Display for Interrupt {
             Interrupt::MemoryBudgetExceeded => write!(f, "memory budget exceeded"),
             Interrupt::Cancelled => write!(f, "cancelled"),
             Interrupt::FailPoint => write!(f, "fail point tripped"),
+            Interrupt::WorkerPanic => write!(f, "worker panic"),
         }
     }
 }
@@ -179,6 +184,7 @@ fn encode_interrupt(i: Interrupt) -> usize {
         Interrupt::MemoryBudgetExceeded => 3,
         Interrupt::Cancelled => 4,
         Interrupt::FailPoint => 5,
+        Interrupt::WorkerPanic => 6,
     }
 }
 
@@ -189,6 +195,7 @@ fn decode_interrupt(code: usize) -> Option<Interrupt> {
         3 => Some(Interrupt::MemoryBudgetExceeded),
         4 => Some(Interrupt::Cancelled),
         5 => Some(Interrupt::FailPoint),
+        6 => Some(Interrupt::WorkerPanic),
         _ => None,
     }
 }
@@ -309,6 +316,15 @@ impl ExecGuard {
             Ok(_) => reason,
             Err(prev) => decode_interrupt(prev).unwrap_or(reason),
         }
+    }
+
+    /// Records an externally observed failure — e.g. a caught worker
+    /// panic ([`Interrupt::WorkerPanic`]) — as the sticky interrupt, so
+    /// every clone's next probe fails and the engine degrades to its
+    /// sound partial result. First recorded interrupt wins; returns the
+    /// one actually in effect. Safe from any thread, repeatedly.
+    pub fn trip_external(&self, reason: Interrupt) -> Interrupt {
+        self.trip(reason)
     }
 
     /// Flips the cancellation flag; every clone's next probe fails with
@@ -493,8 +509,21 @@ mod tests {
             Interrupt::MemoryBudgetExceeded,
             Interrupt::Cancelled,
             Interrupt::FailPoint,
+            Interrupt::WorkerPanic,
         ] {
             assert!(!i.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn trip_external_is_sticky_and_first_writer_wins() {
+        let g = ExecGuard::default();
+        assert_eq!(g.trip_external(Interrupt::WorkerPanic), Interrupt::WorkerPanic);
+        assert_eq!(g.check(), Err(Interrupt::WorkerPanic));
+        // A later external trip does not overwrite the first interrupt.
+        assert_eq!(g.trip_external(Interrupt::Cancelled), Interrupt::WorkerPanic);
+        assert_eq!(g.interrupt(), Some(Interrupt::WorkerPanic));
+        // Clones share the sticky state.
+        assert_eq!(g.clone().check(), Err(Interrupt::WorkerPanic));
     }
 }

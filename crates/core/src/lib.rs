@@ -14,6 +14,10 @@
 //! * execution guards ([`ExecGuard`], [`Partial`]) giving every
 //!   long-running engine deadlines, work/memory budgets and cooperative
 //!   cancellation with sound partial results;
+//! * crash safety ([`SnapshotStore`], [`atomic_write`]): versioned,
+//!   checksummed checkpoint snapshots written atomically at level/phase
+//!   boundaries, plus seeded deterministic fault injection
+//!   ([`FaultPlan`]) for I/O errors, worker panics and delays;
 //! * zero-dependency observability ([`Obs`], [`MetricsSnapshot`]): counters,
 //!   gauges, histograms and span timers threaded through the engines the
 //!   same way the guards are;
@@ -26,7 +30,9 @@
 //! test suites.
 
 mod error;
+pub mod fault;
 pub mod guard;
+pub mod snapshot;
 pub mod incremental;
 pub mod lhs_synonyms;
 pub mod nfd_check;
@@ -41,7 +47,9 @@ mod validate;
 mod value;
 
 pub use error::CoreError;
+pub use fault::{silence_injected_panics, FaultPlan, FaultSite, FaultSpecError, SnapshotFault, INJECTED_PANIC};
 pub use guard::{ExecGuard, GuardConfig, Interrupt, Partial};
+pub use snapshot::{atomic_write, fnv1a64, hash_ontology, hash_relation, CheckpointOptions, Fingerprint, LoadedSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_VERSION};
 pub use obs::{MetricsSnapshot, Obs, SpanGuard};
 pub use support::{meets_support, support_threshold};
 pub use incremental::IncrementalChecker;

@@ -1,0 +1,576 @@
+//! Crash-safe checkpoint persistence: atomic writes, a versioned and
+//! checksummed snapshot envelope, and a directory store that always
+//! recovers the newest *valid* snapshot.
+//!
+//! ## Crash model
+//!
+//! A run may die at any instruction (process kill, OOM, power loss) and
+//! any in-flight write may be torn. The store defends with three layers:
+//!
+//! 1. **Atomic replace** ([`atomic_write`]): payloads go to a temporary
+//!    file in the target directory, are fsynced, then renamed over the
+//!    final path — readers never observe a half-written file *created by
+//!    this writer*.
+//! 2. **Checksummed envelope**: every snapshot file starts with
+//!    `OFDSNAP v1 <fnv64-hex> <len>` followed by the JSON body; a torn or
+//!    bit-rotted file fails validation and is skipped, never trusted.
+//! 3. **Append-only sequence** ([`SnapshotStore`]): each checkpoint gets a
+//!    fresh `name.NNNNNN.ckpt` file; [`SnapshotStore::load_latest`] walks
+//!    the sequence newest-first and returns the first snapshot that
+//!    validates, so corrupting the newest file merely falls back to the
+//!    one before it.
+//!
+//! Snapshot-write faults from a [`FaultPlan`](crate::FaultPlan) are
+//! injected here — a clean I/O error, or a deliberately torn file at the
+//! final path (simulating a *non-atomic* writer dying mid-write), which
+//! the loader must reject by checksum.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::fault::{FaultPlan, SnapshotFault};
+use crate::Relation;
+use ofd_ontology::Ontology;
+
+/// Version of the snapshot envelope and of every body schema; bump on any
+/// incompatible change (older snapshots are then skipped, not misread).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &str = "OFDSNAP";
+
+/// 64-bit FNV-1a: the snapshot checksum (also used for input
+/// fingerprints). Not cryptographic — it guards against torn writes and
+/// bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Incremental FNV-1a hasher for building input fingerprints from
+/// heterogeneous parts without materializing one buffer.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher.
+    pub fn new() -> Fingerprint {
+        Fingerprint::default()
+    }
+
+    /// Feeds raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Feeds a length-prefixed string (so `["ab","c"]` ≠ `["a","bc"]`).
+    pub fn update_str(&mut self, s: &str) -> &mut Self {
+        self.update(&(s.len() as u64).to_le_bytes());
+        self.update(s.as_bytes())
+    }
+
+    /// Feeds one u64.
+    pub fn update_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Feeds a relation — schema names, cell contents and value pool — into a
+/// fingerprint. Two relations with the same digest are cell-for-cell
+/// identical (up to FNV collisions).
+pub fn hash_relation(fp: &mut Fingerprint, rel: &Relation) {
+    let schema = rel.schema();
+    fp.update_u64(schema.len() as u64);
+    for a in schema.attrs() {
+        fp.update_str(schema.name(a));
+    }
+    fp.update_u64(rel.n_rows() as u64);
+    for a in schema.attrs() {
+        for &v in rel.column(a) {
+            fp.update_u64(v.index() as u64);
+        }
+    }
+    fp.update_u64(rel.pool().len() as u64);
+    for (_, text) in rel.pool().iter() {
+        fp.update_str(text);
+    }
+}
+
+/// Feeds an ontology — concept labels, parent links and synonym sets — into
+/// a fingerprint.
+pub fn hash_ontology(fp: &mut Fingerprint, onto: &Ontology) {
+    fp.update_u64(onto.len() as u64);
+    for concept in onto.concepts() {
+        fp.update_str(concept.label());
+        fp.update_u64(concept.parent().map_or(u64::MAX, |p| p.index() as u64));
+        fp.update_u64(concept.synonyms().len() as u64);
+        for s in concept.synonyms() {
+            fp.update_str(s);
+        }
+    }
+}
+
+/// Checkpoint configuration shared by the discovery and cleaning drivers:
+/// where snapshots go, and whether to restore from the newest valid one
+/// before running.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Where snapshots are written and read. Install a [`FaultPlan`] on
+    /// the store to inject snapshot-write faults.
+    pub store: SnapshotStore,
+    /// Restore from the newest valid snapshot before running. A missing,
+    /// corrupt or fingerprint-mismatched snapshot falls back to a fresh
+    /// run — resume is always safe to request.
+    pub resume: bool,
+}
+
+impl CheckpointOptions {
+    /// Checkpoints into `dir`, without resuming.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointOptions {
+        CheckpointOptions {
+            store: SnapshotStore::new(dir),
+            resume: false,
+        }
+    }
+
+    /// Toggles resume-from-snapshot.
+    pub fn resume(mut self, on: bool) -> CheckpointOptions {
+        self.resume = on;
+        self
+    }
+}
+
+/// Errors of the snapshot layer.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed (includes injected
+    /// `snapshot-io` faults).
+    Io(io::Error),
+    /// A snapshot file failed validation (bad magic, version, checksum or
+    /// JSON) — reported with the reason; loaders skip such files.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to validate.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::Corrupt { path, reason } => {
+                write!(f, "corrupt snapshot {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the destination, best-effort directory fsync. On any
+/// error the destination is left untouched (either the old content or
+/// absent).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself; failure here is not fatal to
+        // atomicity (the rename is already visible), so best-effort.
+        if let Some(dir) = dir {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Serializes `body` into the versioned, checksummed envelope.
+pub fn encode_snapshot(body: &Value) -> Vec<u8> {
+    let json = serde_json::to_string(body).expect("JSON trees always serialize");
+    let mut out = format!(
+        "{MAGIC} v{SNAPSHOT_VERSION} {:016x} {}\n",
+        fnv1a64(json.as_bytes()),
+        json.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(json.as_bytes());
+    out
+}
+
+/// Parses and validates an envelope produced by [`encode_snapshot`].
+pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<Value, SnapshotError> {
+    let corrupt = |reason: String| SnapshotError::Corrupt {
+        path: path.to_path_buf(),
+        reason,
+    };
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("missing envelope header".into()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| corrupt("non-UTF-8 envelope header".into()))?;
+    let mut parts = header.split_ascii_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(corrupt("bad magic".into()));
+    }
+    match parts.next() {
+        Some(v) if v == format!("v{SNAPSHOT_VERSION}") => {}
+        Some(v) => return Err(corrupt(format!("unsupported version {v:?}"))),
+        None => return Err(corrupt("missing version".into())),
+    }
+    let checksum = parts
+        .next()
+        .and_then(|c| u64::from_str_radix(c, 16).ok())
+        .ok_or_else(|| corrupt("missing checksum".into()))?;
+    let len: usize = parts
+        .next()
+        .and_then(|l| l.parse().ok())
+        .ok_or_else(|| corrupt("missing length".into()))?;
+    let body = &bytes[newline + 1..];
+    if body.len() != len {
+        return Err(corrupt(format!("length mismatch: header {len}, body {}", body.len())));
+    }
+    if fnv1a64(body) != checksum {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    let text = std::str::from_utf8(body).map_err(|_| corrupt("non-UTF-8 body".into()))?;
+    serde_json::from_str(text).map_err(|e| corrupt(format!("body is not valid JSON: {e}")))
+}
+
+/// A directory of sequenced snapshots for one or more named streams.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    faults: FaultPlan,
+}
+
+impl SnapshotStore {
+    /// A store rooted at `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> SnapshotStore {
+        SnapshotStore {
+            dir: dir.into(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Installs a fault plan probed on every save.
+    pub fn with_faults(mut self, faults: FaultPlan) -> SnapshotStore {
+        self.faults = faults;
+        self
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_path(&self, name: &str, seq: u64) -> PathBuf {
+        self.dir.join(format!("{name}.{seq:06}.ckpt"))
+    }
+
+    /// Saves `body` as snapshot `seq` of stream `name`, atomically.
+    /// Injected faults surface as errors (and, for torn writes, leave an
+    /// invalid file at the final path — exactly what a non-atomic crash
+    /// would, so loaders get exercised against it).
+    pub fn save(&self, name: &str, seq: u64, body: &Value) -> Result<PathBuf, SnapshotError> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.file_path(name, seq);
+        let bytes = encode_snapshot(body);
+        match self.faults.snapshot_write_fault() {
+            Some(SnapshotFault::Error) => {
+                return Err(SnapshotError::Io(io::Error::other("injected snapshot I/O fault")));
+            }
+            Some(SnapshotFault::Torn) => {
+                // Simulate a non-atomic writer dying mid-write: half the
+                // envelope lands at the final path.
+                let torn = &bytes[..bytes.len() / 2];
+                fs::write(&path, torn)?;
+                return Err(SnapshotError::Io(io::Error::other("injected torn snapshot write")));
+            }
+            None => {}
+        }
+        atomic_write(&path, &bytes)?;
+        Ok(path)
+    }
+
+    /// Loads the newest snapshot of stream `name` that validates, as
+    /// `(seq, body, skipped)` where `skipped` counts newer files rejected
+    /// as corrupt. `Ok(None)` when the stream has no valid snapshot (or
+    /// the directory does not exist).
+    pub fn load_latest(&self, name: &str) -> Result<Option<LoadedSnapshot>, SnapshotError> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let prefix = format!("{name}.");
+        let mut seqs: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            let Some(fname) = file_name.to_str() else {
+                continue;
+            };
+            let Some(middle) = fname
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".ckpt"))
+            else {
+                continue;
+            };
+            if let Ok(seq) = middle.parse::<u64>() {
+                seqs.push((seq, entry.path()));
+            }
+        }
+        seqs.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+        let mut skipped = 0;
+        for (seq, path) in seqs {
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => {
+                    skipped += 1;
+                    continue;
+                }
+            };
+            match decode_snapshot(&path, &bytes) {
+                Ok(body) => {
+                    return Ok(Some(LoadedSnapshot {
+                        seq,
+                        body,
+                        path,
+                        skipped,
+                    }))
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// A successfully loaded and validated snapshot.
+#[derive(Debug, Clone)]
+pub struct LoadedSnapshot {
+    /// Sequence number of the snapshot file.
+    pub seq: u64,
+    /// The decoded JSON body.
+    pub body: Value,
+    /// The file it came from.
+    pub path: PathBuf,
+    /// Newer files that failed validation and were skipped to reach this
+    /// one.
+    pub skipped: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSite;
+    use serde_json::json;
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir = std::env::temp_dir().join(format!(
+            "ofd_snapshot_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        SnapshotStore::new(dir)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = temp_store("roundtrip");
+        let body = json!({"version": 1, "level": 3, "sigma": [1, 2, 3]});
+        store.save("discovery", 3, &body).unwrap();
+        let loaded = store.load_latest("discovery").unwrap().unwrap();
+        assert_eq!(loaded.seq, 3);
+        assert_eq!(loaded.body, body);
+        assert_eq!(loaded.skipped, 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins() {
+        let store = temp_store("newest");
+        store.save("d", 1, &json!({"level": 1})).unwrap();
+        store.save("d", 2, &json!({"level": 2})).unwrap();
+        let loaded = store.load_latest("d").unwrap().unwrap();
+        assert_eq!(loaded.seq, 2);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let store = temp_store("fallback");
+        store.save("d", 1, &json!({"level": 1})).unwrap();
+        let p2 = store.save("d", 2, &json!({"level": 2})).unwrap();
+        // Corrupt the newest file in place.
+        let mut bytes = fs::read(&p2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        fs::write(&p2, &bytes).unwrap();
+        let loaded = store.load_latest("d").unwrap().unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.skipped, 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let store = temp_store("bitflip");
+        let p = store.save("d", 1, &json!({"x": 42})).unwrap();
+        let mut bytes = fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&p, &bytes).unwrap();
+        assert!(store.load_latest("d").unwrap().is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_directory_is_empty_not_error() {
+        let store = SnapshotStore::new("/nonexistent/ofd/snapshot/dir");
+        assert!(store.load_latest("d").unwrap().is_none());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let store = temp_store("streams");
+        store.save("a", 5, &json!({"s": "a"})).unwrap();
+        store.save("b", 9, &json!({"s": "b"})).unwrap();
+        assert_eq!(store.load_latest("a").unwrap().unwrap().seq, 5);
+        assert_eq!(store.load_latest("b").unwrap().unwrap().seq, 9);
+        assert!(store.load_latest("c").unwrap().is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn injected_io_fault_leaves_previous_snapshot_intact() {
+        let store = temp_store("iofault");
+        store.save("d", 1, &json!({"level": 1})).unwrap();
+        let faulty = store
+            .clone()
+            .with_faults(FaultPlan::scheduled(FaultSite::SnapshotIo, 1));
+        assert!(matches!(
+            faulty.save("d", 2, &json!({"level": 2})),
+            Err(SnapshotError::Io(_))
+        ));
+        let loaded = store.load_latest("d").unwrap().unwrap();
+        assert_eq!(loaded.seq, 1, "failed write must not clobber the stream");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn injected_torn_write_is_skipped_by_the_loader() {
+        let store = temp_store("torn");
+        store.save("d", 1, &json!({"level": 1})).unwrap();
+        let faulty = store
+            .clone()
+            .with_faults(FaultPlan::scheduled(FaultSite::SnapshotTorn, 1));
+        assert!(faulty.save("d", 2, &json!({"level": 2})).is_err());
+        let loaded = store.load_latest("d").unwrap().unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.skipped, 1, "torn file observed and rejected");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let dir = std::env::temp_dir().join(format!("ofd_aw_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No temp litter.
+        let leftover: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftover.is_empty(), "temp files must be cleaned up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_boundary_sensitive() {
+        let mut a = Fingerprint::new();
+        a.update_str("ab").update_str("c");
+        let mut b = Fingerprint::new();
+        b.update_str("a").update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.update_str("ab").update_str("c");
+        assert_eq!(a.finish(), c.finish());
+        assert_ne!(
+            Fingerprint::new().update_u64(1).update_u64(2).finish(),
+            Fingerprint::new().update_u64(2).update_u64(1).finish()
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_version_and_magic() {
+        let body = json!({"v": 1});
+        let bytes = encode_snapshot(&body);
+        let p = Path::new("test.ckpt");
+        assert!(decode_snapshot(p, &bytes).is_ok());
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            decode_snapshot(p, &wrong),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let v2 = String::from_utf8(bytes.clone())
+            .unwrap()
+            .replace("v1", "v2");
+        assert!(decode_snapshot(p, v2.as_bytes()).is_err());
+    }
+}

@@ -22,6 +22,7 @@ use ofd_core::{
 use ofd_logic::{implies, Dependency};
 use ofd_ontology::Ontology;
 
+use crate::checkpoint;
 use crate::options::DiscoveryOptions;
 use crate::stats::{DiscoveryStats, LevelStats};
 
@@ -54,6 +55,14 @@ pub struct Discovery {
     pub complete: bool,
     /// Why the traversal stopped early, when `complete` is false.
     pub interrupt: Option<ofd_core::Interrupt>,
+    /// The completed level a resumed run restarted after (`None` for a
+    /// fresh run, including a requested resume with no usable snapshot).
+    pub resumed_from_level: Option<usize>,
+    /// Level-boundary snapshots written by this run.
+    pub snapshots_written: usize,
+    /// Snapshot writes that failed (I/O or injected faults); the run
+    /// continues — a missed checkpoint only costs recompute on resume.
+    pub snapshot_errors: usize,
 }
 
 impl Discovery {
@@ -178,7 +187,76 @@ impl<'a> FastOfd<'a> {
 
         let guard = &self.opts.guard;
         let max_level = self.opts.max_level.unwrap_or(n).min(n);
-        for level in 1..=max_level {
+
+        // Checkpoint/resume: the fingerprint binds snapshots to exactly
+        // these inputs and result-affecting options.
+        let fp = self
+            .opts
+            .checkpoint
+            .as_ref()
+            .map(|_| checkpoint::fingerprint(self.rel, self.onto, &self.opts));
+        let mut start_level = 1;
+        let mut resumed_from_level = None;
+        let mut snapshots_written = 0;
+        let mut snapshot_errors = 0;
+        if let Some(ck) = self.opts.checkpoint.as_ref().filter(|ck| ck.resume) {
+            if let Ok(Some(loaded)) = ck.store.load_latest(checkpoint::STREAM) {
+                match checkpoint::restore(&loaded.body, fp.expect("fp set"), self.opts.kind) {
+                    Some(rs) => {
+                        sigma = rs.sigma;
+                        stats.levels = rs.levels;
+                        // Stripped partitions are recomputed from the
+                        // relation; `StrippedPartition::of` equals the
+                        // product-built partition semantically, so every
+                        // later decision is unchanged.
+                        prev = rs
+                            .frontier
+                            .iter()
+                            .map(|&(attrs, c_plus)| Node {
+                                attrs,
+                                c_plus,
+                                partition: StrippedPartition::of(self.rel, attrs),
+                            })
+                            .collect();
+                        prev_index = prev
+                            .iter()
+                            .enumerate()
+                            .map(|(i, node)| (node.attrs.bits(), i))
+                            .collect();
+                        start_level = rs.completed_level + 1;
+                        resumed_from_level = Some(rs.completed_level);
+                        // Re-seed obs accumulators so final totals cover
+                        // the whole logical run, not just the tail.
+                        for (name, v) in &rs.counters {
+                            obs.add(name, *v);
+                        }
+                        if obs.is_enabled() {
+                            obs.inc("discovery.resume");
+                            obs.set_gauge(
+                                "discovery.resumed_from_level",
+                                rs.completed_level as f64,
+                            );
+                        }
+                        // An empty restored frontier means the traversal
+                        // had already converged: nothing left to run.
+                        if prev.is_empty() {
+                            start_level = max_level + 1;
+                        }
+                    }
+                    None => {
+                        if obs.is_enabled() {
+                            obs.inc("discovery.resume.rejected");
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fault injection (worker panics, delays) probed at every
+        // candidate decision; panics are caught, never propagated.
+        let faults = &self.opts.faults;
+
+        for level in start_level..=max_level {
             // Per-level checkpoint: never start building a level once a
             // limit has expired.
             if guard.check().is_err() {
@@ -256,6 +334,8 @@ impl<'a> FastOfd<'a> {
             ls.candidates = jobs.len();
 
             let decide_one = |&(_, a, lhs, pi): &(usize, AttrId, AttrSet, usize)| {
+                faults.delay();
+                faults.worker_panic();
                 let ofd = Ofd {
                     lhs,
                     rhs: a,
@@ -263,9 +343,24 @@ impl<'a> FastOfd<'a> {
                 };
                 self.decide(&index, &ofd, &prev[pi].partition, &known, exact)
             };
+            // Panic isolation: a worker panic (a bug in verification, or
+            // an injected fault) is caught, recorded as the sticky
+            // `WorkerPanic` interrupt, and degrades the run to the same
+            // sound partial result every other interrupt produces — the
+            // process never aborts.
+            let decide_caught = |j: &(usize, AttrId, AttrSet, usize)| {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| decide_one(j))) {
+                    Ok(out) => Some(out),
+                    Err(_) => {
+                        guard.trip_external(ofd_core::Interrupt::WorkerPanic);
+                        None
+                    }
+                }
+            };
             // Per-candidate checkpoint: a `None` decision means the guard
-            // tripped before that candidate was examined — it is simply
-            // not part of the (sound) partial output.
+            // tripped before that candidate was examined (or the worker
+            // deciding it panicked) — it is simply not part of the
+            // (sound) partial output.
             let verify_started = Instant::now();
             let verify_span = obs.span("fastofd.verify");
             let decisions: Vec<Option<(bool, f64, Decision)>> = if self.opts.threads <= 1
@@ -273,7 +368,7 @@ impl<'a> FastOfd<'a> {
             {
                 let out = jobs
                     .iter()
-                    .map(|j| guard.check().ok().map(|()| decide_one(j)))
+                    .map(|j| guard.check().ok().and_then(|()| decide_caught(j)))
                     .collect();
                 let wall = verify_started.elapsed().as_micros() as u64;
                 busy_us += wall;
@@ -290,7 +385,7 @@ impl<'a> FastOfd<'a> {
                         let counter = &counter;
                         let worker_busy = &worker_busy;
                         let jobs = &jobs;
-                        let decide_one = &decide_one;
+                        let decide_caught = &decide_caught;
                         let slot_ptr = &slot_ptr;
                         scope.spawn(move || {
                             let worker_started = Instant::now();
@@ -303,7 +398,12 @@ impl<'a> FastOfd<'a> {
                                 if i >= jobs.len() {
                                     break;
                                 }
-                                let out = decide_one(&jobs[i]);
+                                let Some(out) = decide_caught(&jobs[i]) else {
+                                    // This worker panicked; the guard is
+                                    // tripped, so every worker (including
+                                    // this one) stops at its next probe.
+                                    continue;
+                                };
                                 // SAFETY: each index is claimed by exactly one
                                 // thread via the atomic counter, so writes are
                                 // disjoint.
@@ -411,6 +511,38 @@ impl<'a> FastOfd<'a> {
                 obs.add("discovery.prune.opt4.fd_shortcuts", ls.fd_shortcuts as u64);
             }
             stats.levels.push(ls);
+            // Level-boundary checkpoint. Written only when no interrupt
+            // is pending: a tripped run processed this level partially,
+            // and recording it as completed would make resume unsound.
+            // This also models a hard kill — on-disk state only ever
+            // describes fully completed levels.
+            if let Some(ck) = &self.opts.checkpoint {
+                if guard.interrupt().is_none() {
+                    let frontier: Vec<(u64, u64)> = prev
+                        .iter()
+                        .map(|node| (node.attrs.bits(), node.c_plus.bits()))
+                        .collect();
+                    let body = checkpoint::snapshot_body(
+                        fp.expect("fp set"),
+                        level,
+                        &sigma,
+                        &frontier,
+                        &stats.levels,
+                        guard.work_done(),
+                        obs,
+                    );
+                    match ck.store.save(checkpoint::STREAM, level as u64, &body) {
+                        Ok(_) => {
+                            snapshots_written += 1;
+                            obs.inc("discovery.checkpoint.written");
+                        }
+                        Err(_) => {
+                            snapshot_errors += 1;
+                            obs.inc("discovery.checkpoint.error");
+                        }
+                    }
+                }
+            }
             if prev.is_empty() {
                 break;
             }
@@ -436,6 +568,9 @@ impl<'a> FastOfd<'a> {
             stats,
             complete: interrupt.is_none(),
             interrupt,
+            resumed_from_level,
+            snapshots_written,
+            snapshot_errors,
         }
     }
 

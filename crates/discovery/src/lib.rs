@@ -32,11 +32,13 @@
 //! ```
 
 mod brute;
+mod checkpoint;
 mod fastofd;
 mod options;
 mod stats;
 
 pub use brute::{brute_force, brute_force_guarded};
+pub use checkpoint::CheckpointOptions;
 pub use fastofd::{DiscoveredOfd, Discovery, FastOfd};
 pub use options::DiscoveryOptions;
 pub use stats::{DiscoveryStats, LevelStats};
@@ -380,6 +382,116 @@ mod tests {
             .run();
         assert!(!result.complete);
         assert_eq!(result.interrupt, Some(ofd_core::Interrupt::Cancelled));
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ofd_discovery_ckpt_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn killed_and_resumed_run_equals_uninterrupted_run() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let reference = FastOfd::new(&rel, &onto).run();
+        assert!(reference.complete);
+        let dir = temp_ckpt_dir("resume");
+        for kill_at in [1u64, 3, 7, 12, 20, 35] {
+            let _ = std::fs::remove_dir_all(&dir);
+            // "Kill" the run at an arbitrary checkpoint: on-disk state is
+            // identical to a hard kill, since snapshots cover only fully
+            // completed levels.
+            let guard = ofd_core::ExecGuard::unlimited();
+            guard.fail_after(kill_at);
+            let killed = FastOfd::new(&rel, &onto)
+                .options(
+                    DiscoveryOptions::new()
+                        .guard(guard)
+                        .checkpoint(CheckpointOptions::new(&dir)),
+                )
+                .run();
+            // Resume in a fresh engine until complete (a snapshot may not
+            // exist yet if the kill landed before level 1 finished).
+            let resumed = FastOfd::new(&rel, &onto)
+                .options(
+                    DiscoveryOptions::new()
+                        .checkpoint(CheckpointOptions::new(&dir).resume(true)),
+                )
+                .run();
+            assert!(resumed.complete, "kill_at={kill_at}");
+            assert_eq!(
+                resumed.ofds, reference.ofds,
+                "kill_at={kill_at}: resumed Σ must be byte-identical"
+            );
+            if !killed.complete && killed.snapshots_written > 0 {
+                assert!(resumed.resumed_from_level.is_some(), "kill_at={kill_at}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_mismatched_inputs_recomputes_fresh() {
+        let onto = samples::combined_paper_ontology();
+        let dir = temp_ckpt_dir("mismatch");
+        let rel1 = table1();
+        let complete = FastOfd::new(&rel1, &onto)
+            .options(DiscoveryOptions::new().checkpoint(CheckpointOptions::new(&dir)))
+            .run();
+        assert!(complete.complete && complete.snapshots_written > 0);
+        // Same checkpoint dir, different relation: the fingerprint rejects
+        // the snapshot and the run starts fresh.
+        let rel2 = ofd_core::table1_updated();
+        let resumed = FastOfd::new(&rel2, &onto)
+            .options(
+                DiscoveryOptions::new().checkpoint(CheckpointOptions::new(&dir).resume(true)),
+            )
+            .run();
+        assert!(resumed.resumed_from_level.is_none());
+        assert_eq!(
+            resumed.ofds,
+            FastOfd::new(&rel2, &onto).run().ofds,
+            "fresh run output"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_to_sound_partial() {
+        ofd_core::silence_injected_panics();
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let reference = FastOfd::new(&rel, &onto).run();
+        for threads in [1usize, 4] {
+            let obs = ofd_core::Obs::enabled();
+            let plan = ofd_core::FaultPlan::parse("seed=7,panic@5").unwrap();
+            let result = FastOfd::new(&rel, &onto)
+                .options(
+                    DiscoveryOptions::new()
+                        .threads(threads)
+                        .faults(plan.clone())
+                        .obs(obs.clone()),
+                )
+                .run();
+            assert_eq!(plan.fired(ofd_core::FaultSite::WorkerPanic), 1);
+            assert!(!result.complete, "threads={threads}");
+            assert_eq!(result.interrupt, Some(ofd_core::Interrupt::WorkerPanic));
+            for d in &result.ofds {
+                assert!(
+                    reference.ofds.contains(d),
+                    "threads={threads}: partial Σ must be a sound subset"
+                );
+            }
+            assert_eq!(
+                obs.snapshot().counter("guard.interrupt.worker_panic"),
+                Some(1),
+                "threads={threads}"
+            );
+        }
     }
 
     /// Random small relations + random flat ontologies for differential

@@ -1,6 +1,8 @@
 //! Configuration for the FastOFD discovery run.
 
-use ofd_core::{ExecGuard, Fd, Obs, OfdKind};
+use ofd_core::{ExecGuard, FaultPlan, Fd, Obs, OfdKind};
+
+use crate::checkpoint::CheckpointOptions;
 
 /// Options controlling a [`crate::FastOfd`] run.
 ///
@@ -58,6 +60,16 @@ pub struct DiscoveryOptions {
     /// default handle is disabled (all recording is a no-op); counter
     /// totals are independent of [`DiscoveryOptions::threads`].
     pub obs: Obs,
+    /// Crash-safety checkpointing: when set, a snapshot of the resumable
+    /// state is written after every completed lattice level, and (with
+    /// [`CheckpointOptions::resume`]) the run restarts from the newest
+    /// valid snapshot instead of recomputing. `None` disables.
+    pub checkpoint: Option<CheckpointOptions>,
+    /// Seeded fault injection probed at every candidate decision (worker
+    /// panics, delays). The default plan is inert. Snapshot-write faults
+    /// are installed on the checkpoint store instead
+    /// ([`ofd_core::SnapshotStore::with_faults`]).
+    pub faults: FaultPlan,
 }
 
 impl Default for DiscoveryOptions {
@@ -74,6 +86,8 @@ impl Default for DiscoveryOptions {
             target_rhs: None,
             guard: ExecGuard::unlimited(),
             obs: Obs::disabled(),
+            checkpoint: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -142,6 +156,18 @@ impl DiscoveryOptions {
     /// Installs an observability handle (metrics / tracing).
     pub fn obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Enables crash-safety checkpointing (and, optionally, resume).
+    pub fn checkpoint(mut self, ck: CheckpointOptions) -> Self {
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    /// Installs a seeded fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 

@@ -111,6 +111,10 @@ pub fn parse_ontology(text: &str) -> Result<Ontology, OntologyError> {
                 let idx: usize = parent_tok
                     .parse()
                     .map_err(|_| parse_err(lineno, format!("bad parent {parent_tok:?}")))?;
+                // Range-check before `from_index`, which panics past u32.
+                if u32::try_from(idx).is_err() {
+                    return Err(parse_err(lineno, format!("parent id {idx} out of range")));
+                }
                 Some(SenseId::from_index(idx))
             };
             let mut interps = Vec::new();
@@ -119,6 +123,12 @@ pub fn parse_ontology(text: &str) -> Result<Ontology, OntologyError> {
                     let idx: usize = part.parse().map_err(|_| {
                         parse_err(lineno, format!("bad interpretation {part:?}"))
                     })?;
+                    if u16::try_from(idx).is_err() {
+                        return Err(parse_err(
+                            lineno,
+                            format!("interpretation id {idx} out of range"),
+                        ));
+                    }
                     interps.push(InterpretationId::from_index(idx));
                 }
             }
@@ -195,6 +205,18 @@ mod tests {
     fn rejects_bad_interpretation_ref() {
         let text = "ONTO v1\nC - 5\troot\n";
         assert!(parse_ontology(text).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids_without_panicking() {
+        // Ids that parse as usize but exceed the id types' width must be
+        // a typed parse error, not a panic.
+        let big_parent = format!("ONTO v1\nC - -\troot\nC {} -\tchild\n", u64::from(u32::MAX) + 1);
+        let err = parse_ontology(&big_parent).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let big_interp = format!("ONTO v1\nC - {}\troot\n", u32::from(u16::MAX) + 1);
+        let err = parse_ontology(&big_interp).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     mod properties {

@@ -20,7 +20,10 @@ use std::process::ExitCode;
 use fastofd::clean::{
     enforce_approximate, explain_violations, ofd_clean, render_report, OfdCleanConfig,
 };
-use fastofd::core::{ExecGuard, GuardConfig, Obs, Ofd, Relation, Schema, Validator};
+use fastofd::core::{
+    silence_injected_panics, CheckpointOptions, ExecGuard, FaultPlan, GuardConfig, Obs, Ofd,
+    Relation, Schema, SnapshotStore, Validator,
+};
 use fastofd::datagen::{census, clinical, csv, demo_dataset, kiva, PresetConfig};
 use fastofd::discovery::{DiscoveryOptions, FastOfd};
 use fastofd::ontology::{parse_ontology, write_ontology, Ontology};
@@ -62,6 +65,15 @@ fn run() -> Result<(), String> {
     // JSON, `--trace` prints the span tree to stderr. The handle is
     // disabled (zero-cost) unless one of the two flags is present.
     let obs = obs_from_flags(&flags);
+    // Crash safety: `--checkpoint-dir DIR` snapshots resumable state at
+    // every completed level/phase boundary; `--resume` restarts from the
+    // newest valid snapshot. `--faults SPEC` (or FASTOFD_FAULTS) installs
+    // a seeded fault-injection plan — testing only.
+    let faults = faults_from_flags(&flags)?;
+    if faults.is_active() {
+        silence_injected_panics();
+    }
+    let checkpoint = checkpoint_from_flags(&flags, &faults)?;
 
     match command.as_str() {
         "generate" => {
@@ -126,9 +138,21 @@ fn run() -> Result<(), String> {
             if let Some(t) = single("threads") {
                 opts = opts.threads(t.parse().map_err(|_| "--threads")?);
             }
-            opts = opts.guard(guard).obs(obs.clone());
+            opts = opts.guard(guard).obs(obs.clone()).faults(faults.clone());
+            if let Some(ck) = checkpoint.clone() {
+                opts = opts.checkpoint(ck);
+            }
             let out = FastOfd::new(&rel, &onto).options(opts).run();
             print!("{}", out.display(rel.schema()));
+            if let Some(level) = out.resumed_from_level {
+                eprintln!("resumed from checkpoint: levels 1..={level} restored");
+            }
+            if out.snapshots_written > 0 || out.snapshot_errors > 0 {
+                eprintln!(
+                    "checkpoints: {} written, {} failed",
+                    out.snapshots_written, out.snapshot_errors
+                );
+            }
             eprintln!(
                 "{} minimal OFDs in {:.2?} ({} candidates verified)",
                 out.len(),
@@ -195,7 +219,17 @@ fn run() -> Result<(), String> {
             }
             config.guard = guard;
             config.obs = obs.clone();
+            config.checkpoint = checkpoint.clone();
             let result = ofd_clean(&rel, &onto, &ofds, &config);
+            if let Some(phase) = result.resumed_from_phase {
+                eprintln!("resumed from checkpoint: phases 1..={phase} restored");
+            }
+            if result.snapshots_written > 0 || result.snapshot_errors > 0 {
+                eprintln!(
+                    "checkpoints: {} written, {} failed",
+                    result.snapshots_written, result.snapshot_errors
+                );
+            }
             println!(
                 "satisfied: {} — {} ontology insertion(s), {} cell repair(s), {} sense reassignment(s)",
                 result.satisfied,
@@ -264,6 +298,7 @@ fn run() -> Result<(), String> {
             }
             config.guard = guard;
             config.obs = obs.clone();
+            config.checkpoint = checkpoint.clone();
             let result = enforce_approximate(&rel, &onto, kappa, max_level, &config);
             println!("discovered {} repairable rules at κ = {kappa}:", result.sigma.len());
             for o in &result.sigma {
@@ -299,8 +334,50 @@ fn usage() -> String {
     "usage: fastofd <generate|discover|check|clean|enforce> [--flags...]\n\
      execution limits (discover/clean/enforce): --timeout-ms N --max-work N --max-rss-mib N\n\
      observability (discover/clean/enforce): --metrics-out metrics.json --trace\n\
+     crash safety (discover/clean/enforce): --checkpoint-dir DIR [--resume]\n\
+     fault injection (testing only): --faults \"seed=N,snapshot-io%P,panic@N\" or FASTOFD_FAULTS\n\
      see the module docs (`cargo doc`) or README.md for details"
         .to_owned()
+}
+
+/// Parses the seeded fault-injection plan from `--faults SPEC`, falling
+/// back to the `FASTOFD_FAULTS` environment variable. Inert unless set;
+/// meant for the chaos harness and crash-safety tests.
+fn faults_from_flags(flags: &HashMap<String, Vec<String>>) -> Result<FaultPlan, String> {
+    let spec = flags
+        .get("faults")
+        .and_then(|v| v.first())
+        .cloned()
+        .or_else(|| std::env::var("FASTOFD_FAULTS").ok());
+    match spec {
+        Some(s) if !s.trim().is_empty() => {
+            FaultPlan::parse(&s).map_err(|e| format!("--faults: {e}"))
+        }
+        _ => Ok(FaultPlan::none()),
+    }
+}
+
+/// Builds checkpointing options from `--checkpoint-dir DIR` and `--resume`.
+/// Snapshot-write faults from the active fault plan are installed on the
+/// store so injected I/O errors and torn writes hit the real write path.
+fn checkpoint_from_flags(
+    flags: &HashMap<String, Vec<String>>,
+    faults: &FaultPlan,
+) -> Result<Option<CheckpointOptions>, String> {
+    let Some(dir) = flags.get("checkpoint-dir").and_then(|v| v.first()) else {
+        if flags.contains_key("resume") {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        return Ok(None);
+    };
+    let mut store = SnapshotStore::new(dir);
+    if faults.is_active() {
+        store = store.with_faults(faults.clone());
+    }
+    Ok(Some(CheckpointOptions {
+        store,
+        resume: flags.contains_key("resume"),
+    }))
 }
 
 /// Builds the run's [`Obs`] handle: enabled when `--metrics-out` or
@@ -321,7 +398,8 @@ fn emit_obs(obs: &Obs, flags: &HashMap<String, Vec<String>>) -> Result<(), Strin
     }
     let snapshot = obs.snapshot();
     if let Some(path) = flags.get("metrics-out").and_then(|v| v.first()) {
-        fs::write(path, snapshot.to_json_string(true)).map_err(|e| format!("{path}: {e}"))?;
+        fastofd::core::atomic_write(std::path::Path::new(path), snapshot.to_json_string(true).as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote metrics to {path}");
     }
     if flags.contains_key("trace") {

@@ -1,0 +1,195 @@
+//! Shape validation for checkpoint snapshots (envelope + body, schema
+//! version 1).
+//!
+//! By default the snapshots are produced in-process by checkpointed
+//! discovery and clean runs; set `SNAPSHOT_CKPT=<path>` to validate a
+//! discovery snapshot file instead — CI's chaos-smoke job points it at a
+//! `fastofd discover --checkpoint-dir` artifact so the checked-in schema
+//! and the written files can never drift apart silently.
+
+use fastofd::clean::{ofd_clean, OfdCleanConfig};
+use fastofd::core::{fnv1a64, CheckpointOptions, SNAPSHOT_VERSION};
+use fastofd::datagen::{clinical, PresetConfig};
+use fastofd::discovery::{DiscoveryOptions, FastOfd};
+use serde_json::Value;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fastofd_snapshot_schema_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Validates the `OFDSNAP` envelope and returns the decoded JSON body.
+fn check_envelope(bytes: &[u8]) -> Value {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("envelope has a header line");
+    let header = std::str::from_utf8(&bytes[..nl]).expect("header is UTF-8");
+    let fields: Vec<&str> = header.split(' ').collect();
+    assert_eq!(fields.len(), 4, "header is `OFDSNAP v<N> <checksum> <len>`");
+    assert_eq!(fields[0], "OFDSNAP");
+    assert_eq!(fields[1], format!("v{SNAPSHOT_VERSION}"));
+    let body = &bytes[nl + 1..];
+    assert_eq!(
+        fields[2],
+        format!("{:016x}", fnv1a64(body)),
+        "checksum covers the body"
+    );
+    assert_eq!(
+        fields[3].parse::<usize>().expect("length is an integer"),
+        body.len(),
+        "declared length matches"
+    );
+    serde_json::from_str(std::str::from_utf8(body).expect("body is UTF-8"))
+        .expect("body is JSON")
+}
+
+fn u64_field(v: &Value, name: &str) -> u64 {
+    v.get(name)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("{name} must be a u64, got {:?}", v.get(name)))
+}
+
+/// Counters serialize as `[[name, value], …]` pairs.
+fn check_counters(v: &Value) {
+    for pair in v.get("counters").and_then(Value::as_array).expect("counters") {
+        let pair = pair.as_array().expect("counter entry is a pair");
+        assert_eq!(pair.len(), 2);
+        assert!(pair[0].as_str().is_some(), "counter name is a string");
+        assert!(pair[1].as_u64().is_some(), "counter value is a u64");
+    }
+}
+
+fn check_discovery_body(body: &Value) {
+    assert_eq!(u64_field(body, "version"), 1, "schema version");
+    assert_eq!(body.get("kind").and_then(Value::as_str), Some("discovery"));
+    u64_field(body, "fingerprint");
+    u64_field(body, "completed_level");
+    u64_field(body, "work_done");
+    for d in body.get("sigma").and_then(Value::as_array).expect("sigma") {
+        for field in ["lhs", "rhs", "support_bits", "level"] {
+            u64_field(d, field);
+        }
+    }
+    let frontier = body.get("frontier").and_then(Value::as_array).expect("frontier");
+    for n in frontier {
+        u64_field(n, "attrs");
+        u64_field(n, "c_plus");
+    }
+    for l in body.get("levels").and_then(Value::as_array).expect("levels") {
+        for field in [
+            "level",
+            "nodes",
+            "candidates",
+            "verified",
+            "key_shortcuts",
+            "fd_shortcuts",
+            "found",
+            "pruned_nodes",
+            "elapsed_us",
+        ] {
+            u64_field(l, field);
+        }
+    }
+    check_counters(body);
+}
+
+#[test]
+fn discovery_snapshot_matches_schema_v1() {
+    let (bytes, cleanup) = match std::env::var("SNAPSHOT_CKPT") {
+        Ok(path) => (
+            std::fs::read(&path).unwrap_or_else(|e| panic!("SNAPSHOT_CKPT={path}: {e}")),
+            None,
+        ),
+        Err(_) => {
+            let ds = clinical(&PresetConfig {
+                n_rows: 200,
+                n_ofds: 3,
+                seed: 17,
+                ..PresetConfig::default()
+            });
+            let dir = temp_dir("discovery");
+            let out = FastOfd::new(&ds.relation, &ds.ontology)
+                .options(
+                    DiscoveryOptions::new()
+                        .max_level(2)
+                        .checkpoint(CheckpointOptions::new(&dir)),
+                )
+                .run();
+            assert!(out.snapshots_written > 0);
+            let newest = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+                .max()
+                .expect("a snapshot exists");
+            (std::fs::read(newest).unwrap(), Some(dir))
+        }
+    };
+    let body = check_envelope(&bytes);
+    check_discovery_body(&body);
+    if let Some(dir) = cleanup {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn clean_snapshot_matches_schema_v1() {
+    let mut ds = clinical(&PresetConfig {
+        n_rows: 150,
+        n_ofds: 3,
+        seed: 23,
+        ..PresetConfig::default()
+    });
+    ds.degrade_ontology(0.04, 23);
+    ds.inject_errors(0.03, 23);
+    let dir = temp_dir("clean");
+    let config = OfdCleanConfig {
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        ..OfdCleanConfig::default()
+    };
+    let out = ofd_clean(&ds.relation, &ds.ontology, &ds.ofds, &config);
+    assert_eq!(out.snapshots_written, 3, "one snapshot per phase");
+
+    for phase in 1u64..=3 {
+        let path = dir.join(format!("clean.{phase:06}.ckpt"));
+        let body = check_envelope(&std::fs::read(&path).unwrap());
+        assert_eq!(u64_field(&body, "version"), 1);
+        assert_eq!(body.get("kind").and_then(Value::as_str), Some("clean"));
+        u64_field(&body, "fingerprint");
+        assert_eq!(u64_field(&body, "phase"), phase);
+        u64_field(&body, "reassignments");
+        // Assignment: one array per OFD, entries are sense ids or null.
+        let assignment = body
+            .get("assignment")
+            .and_then(Value::as_array)
+            .expect("assignment");
+        for per_ofd in assignment {
+            for s in per_ofd.as_array().expect("per-OFD class array") {
+                assert!(
+                    s.as_u64().is_some() || matches!(s, Value::Null),
+                    "sense is a u64 or null"
+                );
+            }
+        }
+        // Cumulative sections appear exactly from their phase onward.
+        let has_plan = !matches!(body.get("plan"), Some(Value::Null) | None);
+        let has_repairs = !matches!(body.get("repairs"), Some(Value::Null) | None);
+        assert_eq!(has_plan, phase >= 2, "plan present iff phase ≥ 2");
+        assert_eq!(has_repairs, phase >= 3, "repairs present iff phase ≥ 3");
+        if has_repairs {
+            for r in body.get("repairs").and_then(Value::as_array).unwrap() {
+                u64_field(r, "row");
+                u64_field(r, "attr");
+                assert!(r.get("old").and_then(Value::as_str).is_some());
+                assert!(r.get("new").and_then(Value::as_str).is_some());
+            }
+        }
+        check_counters(&body);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
