@@ -1,0 +1,176 @@
+//! Pinned discovery workload for the perf baseline (`BENCH_discovery.json`)
+//! and the CI `perf-smoke` regression gate.
+//!
+//! ```text
+//! perf_probe [--rows N] [--seed S] [--max-level L] [--repeats K]
+//!            [--out PATH]                  # write/refresh the baseline
+//! perf_probe --check PATH [--max-regress-pct P]   # CI gate (default 25%)
+//! ```
+//!
+//! The workload is deliberately fixed (clinical preset, single-threaded,
+//! partition cache on at the default budget) so the recorded wall time is
+//! comparable across commits. `--check` re-runs the same workload the
+//! baseline records and exits non-zero when the best-of-`repeats` wall time
+//! regresses by more than the threshold, or when the result shape (|Σ|)
+//! drifts — a perf gate must not pass on wrong answers.
+
+use std::path::Path;
+use std::time::Instant;
+
+use ofd_datagen::{clinical, PresetConfig};
+use ofd_discovery::{DiscoveryOptions, FastOfd};
+use serde_json::Value;
+
+struct Workload {
+    rows: usize,
+    seed: u64,
+    max_level: usize,
+    repeats: usize,
+}
+
+struct Measured {
+    wall_ms: u64,
+    ofds: usize,
+    peak_partition_bytes: u64,
+    cache_hit_rate: f64,
+}
+
+/// Runs the pinned workload `repeats` times and keeps the fastest wall time
+/// (the standard noise-rejection choice for regression gates).
+fn measure(w: &Workload) -> Measured {
+    let ds = clinical(&PresetConfig {
+        n_rows: w.rows,
+        seed: w.seed,
+        ..PresetConfig::default()
+    });
+    let mut best: Option<Measured> = None;
+    for _ in 0..w.repeats {
+        let start = Instant::now();
+        let result = FastOfd::new(&ds.clean, &ds.full_ontology)
+            .options(DiscoveryOptions::new().max_level(w.max_level))
+            .run();
+        let wall_ms = start.elapsed().as_millis() as u64;
+        assert!(result.complete, "pinned workload must run to completion");
+        let cs = result.stats.cache.expect("cache on by default");
+        let lookups = cs.hits + cs.misses;
+        let m = Measured {
+            wall_ms,
+            ofds: result.len(),
+            peak_partition_bytes: cs.peak_resident_bytes,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                cs.hits as f64 / lookups as f64
+            },
+        };
+        if best.as_ref().is_none_or(|b| m.wall_ms < b.wall_ms) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn report(w: &Workload, m: &Measured) -> Value {
+    Value::Object(vec![
+        ("bench".to_owned(), Value::from("discovery")),
+        (
+            "workload".to_owned(),
+            Value::Object(vec![
+                ("preset".to_owned(), Value::from("clinical")),
+                ("rows".to_owned(), Value::from(w.rows)),
+                ("seed".to_owned(), Value::from(w.seed)),
+                ("max_level".to_owned(), Value::from(w.max_level)),
+                ("threads".to_owned(), Value::from(1u64)),
+                (
+                    "partition_cache_mib".to_owned(),
+                    Value::from(ofd_discovery::DEFAULT_PARTITION_CACHE_MIB),
+                ),
+                ("repeats".to_owned(), Value::from(w.repeats)),
+            ]),
+        ),
+        ("wall_ms".to_owned(), Value::from(m.wall_ms)),
+        ("ofds".to_owned(), Value::from(m.ofds)),
+        (
+            "peak_partition_bytes".to_owned(),
+            Value::from(m.peak_partition_bytes),
+        ),
+        ("cache_hit_rate".to_owned(), Value::from(m.cache_hit_rate)),
+    ])
+}
+
+/// Reconstructs the pinned workload recorded in a baseline report so
+/// `--check` measures apples-to-apples even if the defaults move later.
+fn workload_of(baseline: &Value, repeats: usize) -> Workload {
+    let w = baseline.get("workload").expect("baseline has workload");
+    let field = |k: &str| w.get(k).and_then(Value::as_u64).expect("workload field");
+    Workload {
+        rows: field("rows") as usize,
+        seed: field("seed"),
+        max_level: field("max_level") as usize,
+        repeats,
+    }
+}
+
+fn main() {
+    let mut w = Workload {
+        rows: 40_000,
+        seed: 42,
+        max_level: 4,
+        repeats: 3,
+    };
+    let mut out = "BENCH_discovery.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut max_regress_pct = 25.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |what: &str| args.next().unwrap_or_else(|| panic!("{what} expects a value"));
+        match arg.as_str() {
+            "--rows" => w.rows = next("--rows").parse().expect("--rows N"),
+            "--seed" => w.seed = next("--seed").parse().expect("--seed S"),
+            "--max-level" => w.max_level = next("--max-level").parse().expect("--max-level L"),
+            "--repeats" => w.repeats = next("--repeats").parse().expect("--repeats K"),
+            "--out" => out = next("--out"),
+            "--check" => check = Some(next("--check")),
+            "--max-regress-pct" => {
+                max_regress_pct = next("--max-regress-pct").parse().expect("--max-regress-pct P");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Value = serde_json::from_str(&text).expect("baseline parses as JSON");
+        let pinned = workload_of(&baseline, w.repeats);
+        let m = measure(&pinned);
+        let base_ms = baseline.get("wall_ms").and_then(Value::as_u64).expect("wall_ms");
+        let base_ofds = baseline.get("ofds").and_then(Value::as_u64).expect("ofds");
+        let limit_ms = (base_ms as f64) * (1.0 + max_regress_pct / 100.0);
+        println!(
+            "perf-smoke: wall {} ms vs baseline {} ms (limit {:.0} ms, +{max_regress_pct}%), \
+             |Σ| {} vs {}",
+            m.wall_ms, base_ms, limit_ms, m.ofds, base_ofds
+        );
+        if m.ofds as u64 != base_ofds {
+            eprintln!("FAIL: |Σ| drifted from the baseline — fix correctness before perf");
+            std::process::exit(1);
+        }
+        if (m.wall_ms as f64) > limit_ms {
+            eprintln!("FAIL: wall-time regression exceeds {max_regress_pct}%");
+            std::process::exit(1);
+        }
+        println!("OK");
+        return;
+    }
+
+    let m = measure(&w);
+    let json = serde_json::to_string_pretty(&report(&w, &m)).expect("report serializes");
+    let path = Path::new(&out);
+    ofd_core::atomic_write(path, json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "wrote {out}: wall {} ms, |Σ| {}, peak partition bytes {}, hit rate {:.3}",
+        m.wall_ms, m.ofds, m.peak_partition_bytes, m.cache_hit_rate
+    );
+}

@@ -1,6 +1,6 @@
 //! Equivalence-class extraction shared by sense assignment and repair.
 
-use std::collections::HashMap;
+use ofd_core::FxHashMap;
 
 use ofd_core::{Ofd, Relation, StrippedPartition, ValueId};
 
@@ -65,9 +65,8 @@ pub fn build_classes(rel: &Relation, sigma: &[Ofd]) -> Vec<OfdClasses> {
             let col = rel.column(ofd.rhs);
             let classes = sp
                 .classes()
-                .iter()
                 .map(|tuples| {
-                    let mut counts: HashMap<ValueId, u32> = HashMap::new();
+                    let mut counts: FxHashMap<ValueId, u32> = FxHashMap::default();
                     for &t in tuples {
                         *counts.entry(col[t as usize]).or_insert(0) += 1;
                     }
@@ -75,7 +74,7 @@ pub fn build_classes(rel: &Relation, sigma: &[Ofd]) -> Vec<OfdClasses> {
                     value_counts.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
                     ClassData {
                         rep: tuples[0],
-                        tuples: tuples.clone(),
+                        tuples: tuples.to_vec(),
                         value_counts,
                     }
                 })

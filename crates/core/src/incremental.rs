@@ -7,7 +7,9 @@
 //! construction costs one pass per OFD, and each update costs
 //! O(distinct values of the touched classes), independent of |I|.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use crate::fxhash::FxHashMap;
 
 use ofd_ontology::SenseId;
 
@@ -22,7 +24,7 @@ use crate::value::ValueId;
 #[derive(Debug, Clone)]
 struct ClassState {
     size: u32,
-    counts: HashMap<ValueId, u32>,
+    counts: FxHashMap<ValueId, u32>,
 }
 
 impl ClassState {
@@ -31,7 +33,7 @@ impl ClassState {
         if self.counts.len() <= 1 {
             return true;
         }
-        let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
+        let mut sense_counts: FxHashMap<SenseId, u32> = FxHashMap::default();
         for (&v, &c) in &self.counts {
             let senses = index.senses(v);
             if senses.is_empty() {
@@ -55,13 +57,13 @@ impl ClassState {
 pub struct IncrementalChecker {
     sigma: Vec<Ofd>,
     /// Per OFD: tuple → class index (only tuples in non-singleton classes).
-    membership: Vec<HashMap<u32, u32>>,
+    membership: Vec<FxHashMap<u32, u32>>,
     /// Per OFD: per class state.
     classes: Vec<Vec<ClassState>>,
     /// Currently violating (ofd, class) pairs, deterministic order.
     violated: BTreeSet<(usize, usize)>,
     /// OFD indexes per consequent attribute.
-    by_rhs: HashMap<AttrId, Vec<usize>>,
+    by_rhs: FxHashMap<AttrId, Vec<usize>>,
 }
 
 impl IncrementalChecker {
@@ -71,15 +73,15 @@ impl IncrementalChecker {
         let mut membership = Vec::with_capacity(sigma.len());
         let mut classes = Vec::with_capacity(sigma.len());
         let mut violated = BTreeSet::new();
-        let mut by_rhs: HashMap<AttrId, Vec<usize>> = HashMap::new();
+        let mut by_rhs: FxHashMap<AttrId, Vec<usize>> = FxHashMap::default();
         for (oi, ofd) in sigma.iter().enumerate() {
             by_rhs.entry(ofd.rhs).or_default().push(oi);
             let sp = StrippedPartition::of(rel, ofd.lhs);
             let col = rel.column(ofd.rhs);
-            let mut member: HashMap<u32, u32> = HashMap::new();
+            let mut member: FxHashMap<u32, u32> = FxHashMap::default();
             let mut states: Vec<ClassState> = Vec::with_capacity(sp.class_count());
-            for (ci, class) in sp.classes().iter().enumerate() {
-                let mut counts: HashMap<ValueId, u32> = HashMap::new();
+            for (ci, class) in sp.classes().enumerate() {
+                let mut counts: FxHashMap<ValueId, u32> = FxHashMap::default();
                 for &t in class {
                     member.insert(t, ci as u32);
                     *counts.entry(col[t as usize]).or_insert(0) += 1;

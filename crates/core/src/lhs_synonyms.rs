@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use ofd_ontology::{InterpretationId, Ontology};
 
+use crate::fxhash::FxHashMap;
 use crate::ofd::Ofd;
 use crate::relation::Relation;
 use crate::validate::{Validation, Validator};
@@ -66,8 +67,8 @@ fn canonicalizer(
     rel: &Relation,
     onto: &Ontology,
     interp: InterpretationId,
-) -> HashMap<ValueId, String> {
-    let mut map: HashMap<ValueId, String> = HashMap::new();
+) -> FxHashMap<ValueId, String> {
+    let mut map: FxHashMap<ValueId, String> = FxHashMap::default();
     for concept in onto.concepts() {
         if !concept.interpretations().contains(&interp) {
             continue;
@@ -116,12 +117,10 @@ pub fn check_lhs_synonyms(
                 .collect();
             groups.entry(key).or_default().push(t as u32);
         }
-        let mut classes: Vec<Vec<u32>> = groups
-            .into_values()
-            .filter(|c| c.len() >= 2)
-            .collect();
-        classes.sort_by_key(|c| c[0]);
-        let merged = merged_partition(rel.n_rows(), classes);
+        let merged = crate::partition::StrippedPartition::from_classes(
+            rel.n_rows(),
+            groups.into_values(),
+        );
         let validation = validator.check_with_partition(ofd, &merged);
         outcomes.push(InterpretationOutcome {
             interpretation: interp,
@@ -131,36 +130,6 @@ pub fn check_lhs_synonyms(
         });
     }
     LhsSynonymValidation { outcomes }
-}
-
-fn merged_partition(
-    n_rows: usize,
-    classes: Vec<Vec<u32>>,
-) -> crate::partition::StrippedPartition {
-    // Build through a throwaway single-column relation keyed by class id so
-    // the partition type's invariants hold without exposing a raw
-    // constructor.
-    let mut keys: Vec<usize> = vec![usize::MAX; n_rows];
-    for (ci, class) in classes.iter().enumerate() {
-        for &t in class {
-            keys[t as usize] = ci;
-        }
-    }
-    let mut b = Relation::builder(
-        crate::schema::Schema::new(["k"]).expect("one attribute"),
-    );
-    let mut singleton = classes.len();
-    for k in &keys {
-        let cell = if *k == usize::MAX {
-            singleton += 1;
-            format!("s{singleton}")
-        } else {
-            format!("c{k}")
-        };
-        b.push_row([cell.as_str()]).expect("arity 1");
-    }
-    let rel = b.finish();
-    crate::partition::StrippedPartition::of(&rel, rel.schema().all())
 }
 
 #[cfg(test)]

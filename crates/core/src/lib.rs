@@ -31,6 +31,7 @@
 
 mod error;
 pub mod fault;
+pub mod fxhash;
 pub mod guard;
 pub mod snapshot;
 pub mod incremental;
@@ -56,7 +57,8 @@ pub use incremental::IncrementalChecker;
 pub use nfd_check::NfdChecker;
 pub use lhs_synonyms::{check_lhs_synonyms, InterpretationOutcome, LhsSynonymValidation};
 pub use ofd::{Fd, Ofd, OfdKind};
-pub use partition::{Partition, ProductScratch, StrippedPartition};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use partition::{Classes, Partition, ProductScratch, StrippedPartition};
 pub use relation::{table1, table1_updated, Relation, RelationBuilder};
 pub use schema::{AttrId, AttrSet, AttrSetIter, Schema, MAX_ATTRS};
 pub use sense_index::SenseIndex;

@@ -423,6 +423,16 @@ impl Obs {
         }
     }
 
+    /// Ensures the named counter exists (at zero) without incrementing it.
+    /// Schema-pinned counters use this so a zero total still appears in
+    /// snapshots — [`Obs::add`] deliberately drops zero increments.
+    pub fn touch_counter(&self, name: &str) {
+        if let Some(inner) = &self.inner {
+            let mut c = inner.counters.lock().unwrap();
+            c.entry(name.to_owned()).or_insert(0);
+        }
+    }
+
     /// Adds one to the named counter.
     pub fn inc(&self, name: &str) {
         self.add(name, 1);

@@ -5,12 +5,79 @@
 //! an OFD (Lemma 3.10). Products of stripped partitions are computed in
 //! linear time with the classic TANE probe-table scheme, which is what makes
 //! level-wise lattice discovery linear in the number of tuples.
+//!
+//! ## Memory layout
+//!
+//! Both partition types use a flat CSR (compressed sparse row) layout:
+//! one `tuples` array holding every member, and an `offsets` array of
+//! `class_count + 1` entries delimiting classes — class `i` is
+//! `tuples[offsets[i]..offsets[i+1]]`. Two allocations per partition
+//! regardless of class count, cache-linear iteration, and byte accounting
+//! ([`StrippedPartition::approx_bytes`]) in O(1).
+//!
+//! The layout is **canonical by construction**: members ascend within a
+//! class and classes are ordered by representative (smallest member), so
+//! `==` on the flat arrays is semantic partition equality. Group ids are
+//! assigned in first-occurrence order during refinement, which already
+//! orders groups by representative — a counting-sort scatter in row order
+//! therefore emits canonical CSR without any final sort.
 
-use std::collections::HashMap;
-
+use crate::fxhash::FxHashMap;
 use crate::relation::Relation;
 use crate::schema::{AttrId, AttrSet};
 use crate::value::ValueId;
+
+/// Iterator over the classes of a CSR partition, yielding `&[u32]` slices.
+#[derive(Debug, Clone)]
+pub struct Classes<'a> {
+    tuples: &'a [u32],
+    offsets: &'a [u32],
+}
+
+impl<'a> Iterator for Classes<'a> {
+    type Item = &'a [u32];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u32]> {
+        match self.offsets {
+            [start, rest @ ..] if !rest.is_empty() => {
+                self.offsets = rest;
+                Some(&self.tuples[*start as usize..rest[0] as usize])
+            }
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.offsets.len().saturating_sub(1);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Classes<'_> {}
+
+/// Builds canonical CSR arrays from per-row group ids, where group ids were
+/// assigned in first-occurrence order (id 0 appears before id 1, …). A
+/// counting-sort scatter in row order then yields members ascending within
+/// each class and classes ordered by representative — no sort needed.
+fn csr_from_group_ids(group_of: &[u32], n_groups: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; n_groups + 1];
+    for &g in group_of {
+        offsets[g as usize + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor: Vec<u32> = offsets[..n_groups].to_vec();
+    let mut tuples = vec![0u32; group_of.len()];
+    for (t, &g) in group_of.iter().enumerate() {
+        let c = &mut cursor[g as usize];
+        tuples[*c as usize] = t as u32;
+        *c += 1;
+    }
+    (tuples, offsets)
+}
 
 /// A full partition Π_X: every equivalence class, including singletons.
 ///
@@ -18,7 +85,8 @@ use crate::value::ValueId;
 /// representative (smallest member), so partitions compare deterministically.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
-    classes: Vec<Vec<u32>>,
+    tuples: Vec<u32>,
+    offsets: Vec<u32>,
     n_rows: usize,
 }
 
@@ -27,67 +95,72 @@ impl Partition {
     pub fn of(rel: &Relation, attrs: AttrSet) -> Partition {
         let n = rel.n_rows();
         let attr_list: Vec<AttrId> = attrs.iter().collect();
-        let mut classes: Vec<Vec<u32>> = match attr_list.as_slice() {
+        let (tuples, offsets) = match attr_list.as_slice() {
             [] => {
                 if n == 0 {
-                    Vec::new()
+                    (Vec::new(), vec![0])
                 } else {
-                    vec![(0..n as u32).collect()]
+                    ((0..n as u32).collect(), vec![0, n as u32])
                 }
-            }
-            [single] => {
-                let mut groups: HashMap<ValueId, Vec<u32>> = HashMap::new();
-                for (t, &v) in rel.column(*single).iter().enumerate() {
-                    groups.entry(v).or_default().push(t as u32);
-                }
-                groups.into_values().collect()
             }
             many => {
                 // Two-pass refinement instead of Vec-keyed hashing: group
                 // by the first attribute, then refine group ids attribute
                 // by attribute — one (u32, ValueId) key per row per
-                // attribute, no per-row Vec allocation.
+                // attribute, no per-row Vec allocation. Group ids are
+                // assigned densely in first-occurrence order.
+                let mut n_groups;
                 let mut group_of: Vec<u32> = {
-                    let mut ids: HashMap<ValueId, u32> = HashMap::new();
-                    rel.column(many[0])
+                    let mut ids: FxHashMap<ValueId, u32> = FxHashMap::default();
+                    let col = rel.column(many[0]);
+                    let out = col
                         .iter()
                         .map(|v| {
                             let next = ids.len() as u32;
                             *ids.entry(*v).or_insert(next)
                         })
-                        .collect()
+                        .collect();
+                    n_groups = ids.len();
+                    out
                 };
                 for a in &many[1..] {
                     let col = rel.column(*a);
-                    let mut ids: HashMap<(u32, ValueId), u32> = HashMap::new();
+                    let mut ids: FxHashMap<(u32, ValueId), u32> = FxHashMap::default();
                     for t in 0..n {
                         let next = ids.len() as u32;
                         group_of[t] = *ids.entry((group_of[t], col[t])).or_insert(next);
                     }
+                    n_groups = ids.len();
                 }
-                let n_groups = group_of.iter().copied().max().map_or(0, |m| m as usize + 1);
-                let mut classes: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
-                for (t, &g) in group_of.iter().enumerate() {
-                    classes[g as usize].push(t as u32);
-                }
-                classes.retain(|c| !c.is_empty());
-                classes
+                csr_from_group_ids(&group_of, n_groups)
             }
         };
-        classes.sort_unstable_by_key(|c| c[0]);
-        Partition { classes, n_rows: n }
+        Partition {
+            tuples,
+            offsets,
+            n_rows: n,
+        }
     }
 
-    /// The equivalence classes.
+    /// Iterates the equivalence classes as slices, in canonical order.
     #[inline]
-    pub fn classes(&self) -> &[Vec<u32>] {
-        &self.classes
+    pub fn classes(&self) -> Classes<'_> {
+        Classes {
+            tuples: &self.tuples,
+            offsets: &self.offsets,
+        }
+    }
+
+    /// The `i`-th equivalence class in canonical order.
+    #[inline]
+    pub fn class(&self, i: usize) -> &[u32] {
+        &self.tuples[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Number of classes (including singletons).
     #[inline]
     pub fn class_count(&self) -> usize {
-        self.classes.len()
+        self.offsets.len() - 1
     }
 
     /// Number of tuples partitioned.
@@ -96,16 +169,36 @@ impl Partition {
         self.n_rows
     }
 
-    /// Drops singleton classes, yielding Π*_X.
+    /// Drops singleton classes, yielding Π*_X (copying; prefer
+    /// [`Partition::into_stripped`] when the full partition is no longer
+    /// needed).
     pub fn strip(&self) -> StrippedPartition {
+        self.clone().into_stripped()
+    }
+
+    /// Drops singleton classes in place, yielding Π*_X without copying the
+    /// retained tuple data to a fresh allocation.
+    pub fn into_stripped(self) -> StrippedPartition {
+        let Partition {
+            mut tuples,
+            offsets,
+            n_rows,
+        } = self;
+        let mut kept = vec![0u32];
+        let mut w = 0usize;
+        for i in 0..offsets.len() - 1 {
+            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+            if e - s >= 2 {
+                tuples.copy_within(s..e, w);
+                w += e - s;
+                kept.push(w as u32);
+            }
+        }
+        tuples.truncate(w);
         StrippedPartition {
-            classes: self
-                .classes
-                .iter()
-                .filter(|c| c.len() >= 2)
-                .cloned()
-                .collect(),
-            n_rows: self.n_rows,
+            tuples,
+            offsets: kept,
+            n_rows,
         }
     }
 }
@@ -113,32 +206,51 @@ impl Partition {
 /// A stripped partition Π*_X: only classes with at least two tuples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StrippedPartition {
-    classes: Vec<Vec<u32>>,
+    tuples: Vec<u32>,
+    offsets: Vec<u32>,
     n_rows: usize,
 }
 
 /// Reusable scratch buffers for [`StrippedPartition::product_with_scratch`],
 /// so repeated products during lattice traversal do not reallocate.
+///
+/// Invariant between calls: every `probe` entry is `UNASSIGNED` and every
+/// `counts` entry is zero — each product resets exactly the entries it
+/// touched (O(‖Π*‖), not O(n)) before returning.
 #[derive(Debug, Default)]
 pub struct ProductScratch {
-    probe: Vec<usize>,
-    bins: Vec<Vec<u32>>,
-    touched: Vec<usize>,
+    probe: Vec<u32>,
+    counts: Vec<u32>,
+    cursor: Vec<u32>,
+    touched: Vec<u32>,
+    out_tuples: Vec<u32>,
+    metas: Vec<ClassMeta>,
 }
 
-const UNASSIGNED: usize = usize::MAX;
+/// Per-output-class bookkeeping during a product: representative (smallest
+/// member) plus the class's region in the staging buffer.
+#[derive(Debug, Clone, Copy)]
+struct ClassMeta {
+    first: u32,
+    start: u32,
+    len: u32,
+}
+
+const UNASSIGNED: u32 = u32::MAX;
+const SKIP: u32 = u32::MAX;
 
 impl StrippedPartition {
     /// Computes Π*_X directly.
     pub fn of(rel: &Relation, attrs: AttrSet) -> StrippedPartition {
-        Partition::of(rel, attrs).strip()
+        Partition::of(rel, attrs).into_stripped()
     }
 
     /// The empty stripped partition over `n_rows` tuples — the partition of
     /// any superkey. Used by Opt-3 to skip partition products below keys.
     pub fn empty(n_rows: usize) -> StrippedPartition {
         StrippedPartition {
-            classes: Vec::new(),
+            tuples: Vec::new(),
+            offsets: vec![0],
             n_rows,
         }
     }
@@ -149,16 +261,58 @@ impl StrippedPartition {
         StrippedPartition::of(rel, AttrSet::single(attr))
     }
 
-    /// The equivalence classes, each of size ≥ 2.
+    /// Builds Π* from explicit classes (used by lhs-synonym merging, which
+    /// coarsens a partition outside any attribute set). Classes are
+    /// canonicalized: members sorted ascending, singletons dropped, classes
+    /// ordered by representative. Members must be distinct and `< n_rows`.
+    pub fn from_classes(
+        n_rows: usize,
+        classes: impl IntoIterator<Item = Vec<u32>>,
+    ) -> StrippedPartition {
+        let mut sorted: Vec<Vec<u32>> = classes
+            .into_iter()
+            .filter(|c| c.len() >= 2)
+            .map(|mut c| {
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        sorted.sort_unstable_by_key(|c| c[0]);
+        let mut tuples = Vec::with_capacity(sorted.iter().map(Vec::len).sum());
+        let mut offsets = Vec::with_capacity(sorted.len() + 1);
+        offsets.push(0u32);
+        for c in &sorted {
+            debug_assert!(c.iter().all(|&t| (t as usize) < n_rows));
+            tuples.extend_from_slice(c);
+            offsets.push(tuples.len() as u32);
+        }
+        StrippedPartition {
+            tuples,
+            offsets,
+            n_rows,
+        }
+    }
+
+    /// Iterates the equivalence classes (each of size ≥ 2) as slices, in
+    /// canonical order.
     #[inline]
-    pub fn classes(&self) -> &[Vec<u32>] {
-        &self.classes
+    pub fn classes(&self) -> Classes<'_> {
+        Classes {
+            tuples: &self.tuples,
+            offsets: &self.offsets,
+        }
+    }
+
+    /// The `i`-th equivalence class in canonical order.
+    #[inline]
+    pub fn class(&self, i: usize) -> &[u32] {
+        &self.tuples[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Number of non-singleton classes.
     #[inline]
     pub fn class_count(&self) -> usize {
-        self.classes.len()
+        self.offsets.len() - 1
     }
 
     /// Number of tuples in the underlying relation.
@@ -168,8 +322,18 @@ impl StrippedPartition {
     }
 
     /// Total tuples across all retained classes (`||Π*||`).
+    #[inline]
     pub fn tuple_count(&self) -> usize {
-        self.classes.iter().map(Vec::len).sum()
+        self.tuples.len()
+    }
+
+    /// Approximate heap + inline footprint in bytes, used for cache byte
+    /// accounting. Exact for the CSR arrays (4 bytes per entry); allocator
+    /// overhead is not modelled.
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<StrippedPartition>()
+            + (self.tuples.capacity() + self.offsets.capacity()) * std::mem::size_of::<u32>()
     }
 
     /// TANE's error measure `e(X) = (||Π*|| − |Π*|) / n`: the fraction of
@@ -185,7 +349,7 @@ impl StrippedPartition {
     /// (Optimization 3 / Lemma "Keys").
     #[inline]
     pub fn is_superkey(&self) -> bool {
-        self.classes.is_empty()
+        self.tuples.is_empty()
     }
 
     /// Linear-time product Π*_X · Π*_Y = Π*_{X ∪ Y}.
@@ -194,47 +358,101 @@ impl StrippedPartition {
         self.product_with_scratch(other, &mut scratch)
     }
 
-    /// Product reusing caller-provided scratch buffers.
+    /// Product reusing caller-provided scratch buffers. The hot path does
+    /// not allocate per class: intersections are counted, staged into one
+    /// flat buffer, and emitted as CSR; only the two output arrays are
+    /// freshly allocated.
     pub fn product_with_scratch(
         &self,
         other: &StrippedPartition,
         scratch: &mut ProductScratch,
     ) -> StrippedPartition {
         debug_assert_eq!(self.n_rows, other.n_rows);
-        // Probe table: tuple -> index of its class in `self` (or UNASSIGNED).
-        scratch.probe.clear();
-        scratch.probe.resize(self.n_rows, UNASSIGNED);
-        if scratch.bins.len() < self.classes.len() {
-            scratch.bins.resize_with(self.classes.len(), Vec::new);
+        // Probe table: tuple -> class index in `self` (or UNASSIGNED). Grown
+        // lazily; entries outside a call are UNASSIGNED by invariant, so
+        // only `self`'s tuples need resetting afterwards.
+        if scratch.probe.len() < self.n_rows {
+            scratch.probe.resize(self.n_rows, UNASSIGNED);
         }
-        for (i, class) in self.classes.iter().enumerate() {
+        let nc = self.class_count();
+        if scratch.counts.len() < nc {
+            scratch.counts.resize(nc, 0);
+            scratch.cursor.resize(nc, 0);
+        }
+        for (i, class) in self.classes().enumerate() {
             for &t in class {
-                scratch.probe[t as usize] = i;
+                scratch.probe[t as usize] = i as u32;
             }
         }
-        let mut out: Vec<Vec<u32>> = Vec::new();
-        for class in &other.classes {
+        scratch.out_tuples.clear();
+        scratch.metas.clear();
+        for class in other.classes() {
+            // Count pass: size of each intersection with `self`'s classes.
             scratch.touched.clear();
             for &t in class {
                 let p = scratch.probe[t as usize];
                 if p != UNASSIGNED {
-                    if scratch.bins[p].is_empty() {
+                    if scratch.counts[p as usize] == 0 {
                         scratch.touched.push(p);
                     }
-                    scratch.bins[p].push(t);
+                    scratch.counts[p as usize] += 1;
+                }
+            }
+            // Reserve a staging region per intersection of size ≥ 2.
+            for &p in &scratch.touched {
+                let c = scratch.counts[p as usize];
+                scratch.cursor[p as usize] = if c >= 2 {
+                    let start = scratch.out_tuples.len() as u32;
+                    scratch.metas.push(ClassMeta {
+                        first: 0,
+                        start,
+                        len: c,
+                    });
+                    scratch
+                        .out_tuples
+                        .resize(scratch.out_tuples.len() + c as usize, 0);
+                    start
+                } else {
+                    SKIP
+                };
+            }
+            // Scatter pass: members arrive in ascending order because the
+            // source class is ascending.
+            for &t in class {
+                let p = scratch.probe[t as usize];
+                if p != UNASSIGNED {
+                    let cur = scratch.cursor[p as usize];
+                    if cur != SKIP {
+                        scratch.out_tuples[cur as usize] = t;
+                        scratch.cursor[p as usize] = cur + 1;
+                    }
                 }
             }
             for &p in &scratch.touched {
-                if scratch.bins[p].len() >= 2 {
-                    out.push(std::mem::take(&mut scratch.bins[p]));
-                } else {
-                    scratch.bins[p].clear();
-                }
+                scratch.counts[p as usize] = 0;
             }
         }
-        out.sort_unstable_by_key(|c| c[0]);
+        // Canonical class order: sort by representative (distinct keys).
+        for m in &mut scratch.metas {
+            m.first = scratch.out_tuples[m.start as usize];
+        }
+        scratch.metas.sort_unstable_by_key(|m| m.first);
+        let mut tuples = Vec::with_capacity(scratch.out_tuples.len());
+        let mut offsets = Vec::with_capacity(scratch.metas.len() + 1);
+        offsets.push(0u32);
+        for m in &scratch.metas {
+            tuples.extend_from_slice(
+                &scratch.out_tuples[m.start as usize..(m.start + m.len) as usize],
+            );
+            offsets.push(tuples.len() as u32);
+        }
+        // Restore the probe invariant in O(||self||).
+        for &t in &self.tuples {
+            scratch.probe[t as usize] = UNASSIGNED;
+        }
         StrippedPartition {
-            classes: out,
+            tuples,
+            offsets,
             n_rows: self.n_rows,
         }
     }
@@ -244,12 +462,12 @@ impl StrippedPartition {
     /// singletons). Π*_{X∪Y} always refines Π*_X.
     pub fn refines(&self, other: &StrippedPartition) -> bool {
         let mut probe = vec![UNASSIGNED; self.n_rows];
-        for (i, class) in other.classes.iter().enumerate() {
+        for (i, class) in other.classes().enumerate() {
             for &t in class {
-                probe[t as usize] = i;
+                probe[t as usize] = i as u32;
             }
         }
-        self.classes.iter().all(|class| {
+        self.classes().all(|class| {
             let first = probe[class[0] as usize];
             first != UNASSIGNED && class.iter().all(|&t| probe[t as usize] == first)
         })
@@ -276,9 +494,9 @@ mod tests {
         let cc = rel.schema().attr("CC").unwrap();
         let p = Partition::of(&rel, AttrSet::single(cc));
         assert_eq!(p.class_count(), 3);
-        assert_eq!(p.classes()[0], vec![0, 4, 5, 7, 8, 9, 10]); // US
-        assert_eq!(p.classes()[1], vec![1, 3, 6]); // IN
-        assert_eq!(p.classes()[2], vec![2]); // CA
+        assert_eq!(p.class(0), &[0, 4, 5, 7, 8, 9, 10]); // US
+        assert_eq!(p.class(1), &[1, 3, 6]); // IN
+        assert_eq!(p.class(2), &[2]); // CA
     }
 
     #[test]
@@ -290,11 +508,21 @@ mod tests {
     }
 
     #[test]
+    fn into_stripped_matches_strip() {
+        let rel = table1();
+        for name in ["CC", "SYMP", "DIAG", "TEST"] {
+            let set = rel.schema().set([name]).unwrap();
+            let full = Partition::of(&rel, set);
+            assert_eq!(full.strip(), full.clone().into_stripped(), "{name}");
+        }
+    }
+
+    #[test]
     fn empty_attrset_partition_is_one_class() {
         let rel = table1();
         let p = Partition::of(&rel, AttrSet::empty());
         assert_eq!(p.class_count(), 1);
-        assert_eq!(p.classes()[0].len(), 11);
+        assert_eq!(p.class(0).len(), 11);
     }
 
     #[test]
@@ -304,7 +532,7 @@ mod tests {
         let p = Partition::of(&rel, set);
         // joint pain/osteo ×3, nausea/migrane ×3, chest pain/hyp ×1, headache/hyp ×4
         assert_eq!(p.class_count(), 4);
-        let sizes: Vec<usize> = p.classes().iter().map(Vec::len).collect();
+        let sizes: Vec<usize> = p.classes().map(<[u32]>::len).collect();
         assert_eq!(sizes, vec![3, 3, 1, 4]);
     }
 
@@ -366,6 +594,27 @@ mod tests {
         assert_eq!(r2, pa.product(&pc));
     }
 
+    #[test]
+    fn from_classes_canonicalizes() {
+        // Unsorted members, unordered classes, and a singleton to drop.
+        let sp = StrippedPartition::from_classes(
+            8,
+            vec![vec![5, 3], vec![7], vec![2, 0, 4]],
+        );
+        assert_eq!(sp.class_count(), 2);
+        assert_eq!(sp.class(0), &[0, 2, 4]);
+        assert_eq!(sp.class(1), &[3, 5]);
+        assert_eq!(sp.n_rows(), 8);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_csr_arrays() {
+        let (_, p) = cc_partition();
+        let base = std::mem::size_of::<StrippedPartition>();
+        assert!(p.approx_bytes() >= base + (p.tuple_count() + p.class_count() + 1) * 4);
+        assert!(StrippedPartition::empty(100).approx_bytes() >= base);
+    }
+
     mod properties {
         use super::*;
         use crate::schema::Schema;
@@ -384,6 +633,44 @@ mod tests {
             })
         }
 
+        /// The pre-CSR nested product, kept as a differential reference: the
+        /// classic probe-table scheme building `Vec<Vec<u32>>` bins.
+        fn nested_reference_product(
+            a: &StrippedPartition,
+            b: &StrippedPartition,
+        ) -> Vec<Vec<u32>> {
+            const FREE: usize = usize::MAX;
+            let mut probe = vec![FREE; a.n_rows()];
+            for (i, class) in a.classes().enumerate() {
+                for &t in class {
+                    probe[t as usize] = i;
+                }
+            }
+            let mut bins: Vec<Vec<u32>> = vec![Vec::new(); a.class_count()];
+            let mut out: Vec<Vec<u32>> = Vec::new();
+            for class in b.classes() {
+                let mut touched = Vec::new();
+                for &t in class {
+                    let p = probe[t as usize];
+                    if p != FREE {
+                        if bins[p].is_empty() {
+                            touched.push(p);
+                        }
+                        bins[p].push(t);
+                    }
+                }
+                for p in touched {
+                    if bins[p].len() >= 2 {
+                        out.push(std::mem::take(&mut bins[p]));
+                    } else {
+                        bins[p].clear();
+                    }
+                }
+            }
+            out.sort_unstable_by_key(|c| c[0]);
+            out
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -397,6 +684,27 @@ mod tests {
                     AttrSet::single(AttrId::from_index(a)).with(AttrId::from_index(b)),
                 );
                 prop_assert_eq!(pa.product(&pb), direct);
+            }
+
+            /// Differential test: the CSR product agrees class-for-class
+            /// with the legacy nested-Vec probe-table product, including
+            /// over multi-attribute operands.
+            #[test]
+            fn csr_product_matches_nested_reference(
+                rel in arb_relation(),
+                a in 0usize..4,
+                b in 0usize..4,
+                c in 0usize..4,
+            ) {
+                let pa = StrippedPartition::of(
+                    &rel,
+                    AttrSet::single(AttrId::from_index(a)).with(AttrId::from_index(c)),
+                );
+                let pb = StrippedPartition::of(&rel, AttrSet::single(AttrId::from_index(b)));
+                let csr = pa.product(&pb);
+                let reference = nested_reference_product(&pa, &pb);
+                let got: Vec<Vec<u32>> = csr.classes().map(<[u32]>::to_vec).collect();
+                prop_assert_eq!(got, reference);
             }
 
             /// Product is commutative and associative.
@@ -423,6 +731,14 @@ mod tests {
                 prop_assert!(prod.error() <= pa.error() + 1e-12);
                 prop_assert!(prod.error() <= pb.error() + 1e-12);
             }
+
+            /// into_stripped is strip without the copy.
+            #[test]
+            fn into_stripped_equals_strip(rel in arb_relation(), a in 0usize..4, b in 0usize..4) {
+                let set = AttrSet::single(AttrId::from_index(a)).with(AttrId::from_index(b));
+                let full = Partition::of(&rel, set);
+                prop_assert_eq!(full.strip(), full.into_stripped());
+            }
         }
     }
 
@@ -432,8 +748,9 @@ mod tests {
         for c in p.classes() {
             assert!(c.windows(2).all(|w| w[0] < w[1]), "members ascending");
         }
+        let reps: Vec<u32> = p.classes().map(|c| c[0]).collect();
         assert!(
-            p.classes().windows(2).all(|w| w[0][0] < w[1][0]),
+            reps.windows(2).all(|w| w[0] < w[1]),
             "classes ordered by representative"
         );
     }

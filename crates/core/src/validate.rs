@@ -11,6 +11,8 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use crate::fxhash::FxHashMap;
+
 use ofd_ontology::{Ontology, SenseId};
 
 use crate::ofd::{Fd, Ofd, OfdKind};
@@ -175,7 +177,7 @@ impl<'a> Validator<'a> {
     /// partition.
     pub fn check_fd_with_partition(&self, fd: &Fd, partition: &StrippedPartition) -> bool {
         let col = self.rel.column(fd.rhs);
-        partition.classes().iter().all(|class| {
+        partition.classes().all(|class| {
             let first = col[class[0] as usize];
             class.iter().all(|&t| col[t as usize] == first)
         })
@@ -208,9 +210,9 @@ pub fn check_ofd_with_index(
     let col = rel.column(ofd.rhs);
     let mut outcomes = Vec::with_capacity(partition.class_count());
     let mut covered_total = rel.n_rows() - partition.tuple_count();
-    let mut value_counts: HashMap<ValueId, u32> = HashMap::new();
-    let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
-    for (class_index, class) in partition.classes().iter().enumerate() {
+    let mut value_counts: FxHashMap<ValueId, u32> = FxHashMap::default();
+    let mut sense_counts: FxHashMap<SenseId, u32> = FxHashMap::default();
+    for (class_index, class) in partition.classes().enumerate() {
         let outcome = class_outcome(
             class_index,
             class,
@@ -266,15 +268,15 @@ pub fn estimate_support(
 
     // Build the sampled sub-relation's antecedent partition directly.
     let lhs: Vec<crate::schema::AttrId> = ofd.lhs.iter().collect();
-    let mut groups: HashMap<Vec<ValueId>, Vec<u32>> = HashMap::new();
+    let mut groups: FxHashMap<Vec<ValueId>, Vec<u32>> = FxHashMap::default();
     for &t in &rows {
         let key: Vec<ValueId> = lhs.iter().map(|&a| rel.value(t as usize, a)).collect();
         groups.entry(key).or_default().push(t);
     }
     let col = rel.column(ofd.rhs);
     let mut covered = 0usize;
-    let mut value_counts: HashMap<ValueId, u32> = HashMap::new();
-    let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
+    let mut value_counts: FxHashMap<ValueId, u32> = FxHashMap::default();
+    let mut sense_counts: FxHashMap<SenseId, u32> = FxHashMap::default();
     for class in groups.values() {
         if class.len() < 2 {
             covered += class.len();
@@ -297,8 +299,8 @@ pub fn check_ofd_exact(
     partition: &StrippedPartition,
 ) -> bool {
     let col = rel.column(ofd.rhs);
-    let mut value_counts: HashMap<ValueId, u32> = HashMap::new();
-    let mut sense_counts: HashMap<SenseId, u32> = HashMap::new();
+    let mut value_counts: FxHashMap<ValueId, u32> = FxHashMap::default();
+    let mut sense_counts: FxHashMap<SenseId, u32> = FxHashMap::default();
     'class: for class in partition.classes() {
         value_counts.clear();
         for &t in class {
@@ -336,8 +338,8 @@ fn class_outcome(
     class: &[u32],
     col: &[ValueId],
     index: &SenseIndex,
-    value_counts: &mut HashMap<ValueId, u32>,
-    sense_counts: &mut HashMap<SenseId, u32>,
+    value_counts: &mut FxHashMap<ValueId, u32>,
+    sense_counts: &mut FxHashMap<SenseId, u32>,
 ) -> ClassOutcome {
     value_counts.clear();
     for &t in class {

@@ -1,0 +1,330 @@
+//! Memory-budgeted cache of stripped partitions Π*_X for the lattice.
+//!
+//! With the cache enabled, FastOFD's lattice nodes stop owning their
+//! partitions: every Π*_X is produced through [`PartitionCache::produce`],
+//! which reuses a resident copy when one exists and otherwise computes the
+//! partition from the **cheapest available operand pair** — the two cached
+//! parents with the smallest `‖Π*‖`, one cached parent times its missing
+//! pinned level-1 attribute partition, or (when nothing usable is resident)
+//! directly from the relation. Because partitions are canonical by
+//! construction, every route yields byte-identical CSR arrays, so cache
+//! configuration can never change Σ.
+//!
+//! Byte accounting uses [`StrippedPartition::approx_bytes`] (exact for the
+//! CSR arrays). Insertions evict least-recently-used unpinned entries until
+//! the resident total fits the budget; level-1 attribute partitions are
+//! pinned — they are the universal fallback operands and together cost at
+//! most one `u32` per cell of the relation. Outstanding [`Arc`] references
+//! keep evicted partitions alive until their borrowers finish, so eviction
+//! is always safe mid-level.
+
+use std::sync::Arc;
+
+use ofd_core::{AttrSet, FxHashMap, Obs, ProductScratch, Relation, StrippedPartition};
+
+/// Cache counters, exposed on [`crate::DiscoveryStats`] and as
+/// `discovery.partition.cache.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a resident partition.
+    pub hits: u64,
+    /// Lookups that had to compute the partition.
+    pub misses: u64,
+    /// Total bytes released by LRU eviction.
+    pub evicted_bytes: u64,
+    /// Bytes resident at the end of the run.
+    pub resident_bytes: u64,
+    /// High-water mark of resident bytes.
+    pub peak_resident_bytes: u64,
+    /// Partition products performed (pair-combining computes; misses that
+    /// fell back to a direct scan are `misses − products`).
+    pub products: u64,
+}
+
+struct Entry {
+    part: Arc<StrippedPartition>,
+    bytes: u64,
+    last_used: u64,
+    pinned: bool,
+}
+
+/// LRU partition cache keyed by antecedent attribute-set bits.
+pub(crate) struct PartitionCache {
+    entries: FxHashMap<u64, Entry>,
+    budget_bytes: u64,
+    resident_bytes: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl PartitionCache {
+    pub(crate) fn new(budget_mib: usize) -> PartitionCache {
+        PartitionCache {
+            entries: FxHashMap::default(),
+            budget_bytes: (budget_mib as u64) << 20,
+            resident_bytes: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Non-counting peek used during operand search (operand availability is
+    /// an implementation detail, not a logical lookup).
+    fn peek(&self, bits: u64) -> Option<&Arc<StrippedPartition>> {
+        self.entries.get(&bits).map(|e| &e.part)
+    }
+
+    /// Inserts a computed partition, evicting LRU unpinned entries until the
+    /// resident total fits the budget again. Pinned entries are never
+    /// evicted; an unpinned partition larger than the whole budget is not
+    /// retained at all.
+    pub(crate) fn insert(
+        &mut self,
+        bits: u64,
+        part: Arc<StrippedPartition>,
+        pinned: bool,
+    ) {
+        let bytes = part.approx_bytes() as u64;
+        if !pinned && bytes > self.budget_bytes {
+            return;
+        }
+        let now = self.tick();
+        if let Some(old) = self.entries.insert(
+            bits,
+            Entry {
+                part,
+                bytes,
+                last_used: now,
+                pinned,
+            },
+        ) {
+            self.resident_bytes -= old.bytes;
+        }
+        self.resident_bytes += bytes;
+        self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(self.resident_bytes);
+        self.evict_to_budget();
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.resident_bytes > self.budget_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.pinned)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&bits, _)| bits);
+            let Some(bits) = victim else {
+                break; // only pinned entries left
+            };
+            let e = self.entries.remove(&bits).expect("victim resident");
+            self.resident_bytes -= e.bytes;
+            self.stats.evicted_bytes += e.bytes;
+        }
+    }
+
+    /// Produces Π*_X, preferring (in order): the resident copy, a product of
+    /// the two cheapest resident operands, a direct computation. The result
+    /// is (re-)inserted unpinned unless already resident.
+    pub(crate) fn produce(
+        &mut self,
+        rel: &Relation,
+        attrs: AttrSet,
+        scratch: &mut ProductScratch,
+    ) -> Arc<StrippedPartition> {
+        let bits = attrs.bits();
+        if let Some(e) = self.entries.get_mut(&bits) {
+            self.clock += 1;
+            e.last_used = self.clock;
+            self.stats.hits += 1;
+            return Arc::clone(&e.part);
+        }
+        self.stats.misses += 1;
+        let part = Arc::new(self.compute(rel, attrs, scratch));
+        self.insert(bits, Arc::clone(&part), false);
+        part
+    }
+
+    /// Computes Π*_X from the cheapest available operand pair: the resident
+    /// parent with the smallest `‖Π*‖`, paired with either the next-smallest
+    /// resident parent or its own missing level-1 attribute partition —
+    /// whichever is smaller. Falls back to a direct relation scan when no
+    /// parent is resident (or `|X| < 2`).
+    fn compute(
+        &mut self,
+        rel: &Relation,
+        attrs: AttrSet,
+        scratch: &mut ProductScratch,
+    ) -> StrippedPartition {
+        if attrs.len() < 2 {
+            return StrippedPartition::of(rel, attrs);
+        }
+        // Resident parents, cheapest first.
+        let mut parents: Vec<(usize, AttrSet, u64)> = attrs
+            .parents()
+            .filter_map(|(a, p)| {
+                self.peek(p.bits())
+                    .map(|sp| (sp.tuple_count(), AttrSet::single(a), p.bits()))
+            })
+            .collect();
+        parents.sort_unstable_by_key(|&(cost, _, _)| cost);
+        let (left_bits, right_bits) = match parents.as_slice() {
+            [] => {
+                return StrippedPartition::of(rel, attrs);
+            }
+            [(_, missing, p_bits), rest @ ..] => {
+                // Partner: next-cheapest parent vs the pinned level-1
+                // partition of this parent's missing attribute.
+                let attr_bits = missing.bits();
+                let attr_cost = self.peek(attr_bits).map(|sp| sp.tuple_count());
+                let parent2 = rest.first();
+                match (parent2, attr_cost) {
+                    (Some(&(c2, _, _)), Some(ca)) if ca < c2 => (*p_bits, attr_bits),
+                    (Some(&(_, _, p2)), _) => (*p_bits, p2),
+                    (None, Some(_)) => (*p_bits, attr_bits),
+                    (None, None) => {
+                        return StrippedPartition::of(rel, attrs);
+                    }
+                }
+            }
+        };
+        let left = Arc::clone(self.peek(left_bits).expect("left operand resident"));
+        let right = Arc::clone(self.peek(right_bits).expect("right operand resident"));
+        self.stats.products += 1;
+        left.product_with_scratch(&right, scratch)
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            resident_bytes: self.resident_bytes,
+            ..self.stats
+        }
+    }
+
+    /// Emits the cache counters/gauges under `discovery.partition.cache.*`.
+    pub(crate) fn flush_obs(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let s = self.stats();
+        // Touch first: the counters are schema-pinned, so they must appear
+        // in snapshots even when a total is zero (`Obs::add` drops zeros).
+        for name in [
+            "discovery.partition.cache.hits",
+            "discovery.partition.cache.misses",
+            "discovery.partition.cache.evicted_bytes",
+        ] {
+            obs.touch_counter(name);
+        }
+        obs.add("discovery.partition.cache.hits", s.hits);
+        obs.add("discovery.partition.cache.misses", s.misses);
+        obs.add("discovery.partition.cache.evicted_bytes", s.evicted_bytes);
+        obs.set_gauge(
+            "discovery.partition.cache.resident_bytes",
+            s.resident_bytes as f64,
+        );
+        obs.set_gauge(
+            "discovery.partition.cache.peak_resident_bytes",
+            s.peak_resident_bytes as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofd_core::{table1, AttrId};
+
+    fn attr_set(rel: &Relation, names: &[&str]) -> AttrSet {
+        rel.schema().set(names.iter().copied()).unwrap()
+    }
+
+    fn seed_level1(cache: &mut PartitionCache, rel: &Relation) {
+        for a in rel.schema().attrs() {
+            let sp = Arc::new(StrippedPartition::of_attr(rel, a));
+            cache.insert(AttrSet::single(a).bits(), sp, true);
+        }
+    }
+
+    #[test]
+    fn produce_hits_after_insert_and_matches_direct() {
+        let rel = table1();
+        let mut cache = PartitionCache::new(64);
+        let mut scratch = ProductScratch::default();
+        seed_level1(&mut cache, &rel);
+        let x = attr_set(&rel, &["CC", "SYMP"]);
+        let first = cache.produce(&rel, x, &mut scratch);
+        assert_eq!(*first, StrippedPartition::of(&rel, x));
+        let before = cache.stats();
+        let second = cache.produce(&rel, x, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn cheapest_pair_routes_equal_direct_everywhere() {
+        // Whatever operands the cache picks, canonical CSR makes the result
+        // equal the direct computation — over all 2- and 3-subsets.
+        let rel = table1();
+        let mut cache = PartitionCache::new(64);
+        let mut scratch = ProductScratch::default();
+        seed_level1(&mut cache, &rel);
+        let attrs: Vec<AttrId> = rel.schema().attrs().collect();
+        let mut sets: Vec<AttrSet> = Vec::new();
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                sets.push(AttrSet::single(attrs[i]).with(attrs[j]));
+                for k in (j + 1)..attrs.len() {
+                    sets.push(AttrSet::single(attrs[i]).with(attrs[j]).with(attrs[k]));
+                }
+            }
+        }
+        sets.sort_by_key(|s| s.len()); // parents first, like the lattice
+        for x in sets {
+            let got = cache.produce(&rel, x, &mut scratch);
+            assert_eq!(*got, StrippedPartition::of(&rel, x), "{:?}", x);
+        }
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_pins() {
+        let rel = table1();
+        // A zero-MiB budget: nothing unpinned survives, pins stay.
+        let mut cache = PartitionCache::new(0);
+        let mut scratch = ProductScratch::default();
+        seed_level1(&mut cache, &rel);
+        let pinned_bytes = cache.stats().resident_bytes;
+        assert!(pinned_bytes > 0, "pinned entries exceed the zero budget");
+        let x = attr_set(&rel, &["CC", "SYMP"]);
+        let p1 = cache.produce(&rel, x, &mut scratch);
+        // The unpinned product cannot be retained.
+        assert_eq!(cache.stats().resident_bytes, pinned_bytes);
+        let p2 = cache.produce(&rel, x, &mut scratch);
+        assert_eq!(p1, p2, "recompute reproduces the canonical partition");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let rel = table1();
+        let mut cache = PartitionCache::new(64);
+        let mut scratch = ProductScratch::default();
+        seed_level1(&mut cache, &rel);
+        let x = attr_set(&rel, &["CC", "SYMP"]);
+        let y = attr_set(&rel, &["CC", "DIAG"]);
+        let _ = cache.produce(&rel, x, &mut scratch);
+        let _ = cache.produce(&rel, y, &mut scratch);
+        let _ = cache.produce(&rel, x, &mut scratch); // x newer than y
+        // Shrink the budget to force eviction of exactly the colder entry.
+        cache.budget_bytes = cache.resident_bytes - 1;
+        cache.evict_to_budget();
+        assert!(cache.peek(x.bits()).is_some(), "recently used survives");
+        assert!(cache.peek(y.bits()).is_none(), "LRU entry evicted");
+        assert!(cache.stats().evicted_bytes > 0);
+    }
+}

@@ -216,6 +216,12 @@ mod tests {
             base,
             fingerprint(&rel, &onto, &DiscoveryOptions::default().threads(8))
         );
+        // The partition cache is result-neutral, so its budget is excluded:
+        // a snapshot written cache-on resumes cache-off and vice versa.
+        assert_eq!(
+            base,
+            fingerprint(&rel, &onto, &DiscoveryOptions::default().partition_cache_mib(0))
+        );
         // Result-affecting options change the print.
         assert_ne!(
             base,

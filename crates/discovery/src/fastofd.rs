@@ -12,7 +12,8 @@
 //! worst case) only in the number of attributes — matching the paper's
 //! complexity analysis.
 
-use std::collections::HashMap;
+use ofd_core::FxHashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ofd_core::{
@@ -22,6 +23,7 @@ use ofd_core::{
 use ofd_logic::{implies, Dependency};
 use ofd_ontology::Ontology;
 
+use crate::cache::PartitionCache;
 use crate::checkpoint;
 use crate::options::DiscoveryOptions;
 use crate::stats::{DiscoveryStats, LevelStats};
@@ -110,7 +112,14 @@ struct Node {
     attrs: AttrSet,
     /// Candidate consequents `C⁺(X)`; `schema.all()` when Opt-2 is off.
     c_plus: AttrSet,
-    partition: StrippedPartition,
+    /// The node-owned partition Π*_X — `Some` only when the partition
+    /// cache is disabled. With the cache on, partitions live in (and are
+    /// re-produced through) the [`PartitionCache`] instead, so residency is
+    /// byte-bounded.
+    partition: Option<Arc<StrippedPartition>>,
+    /// Whether Π*_X is empty (X is a superkey) — retained on the node so
+    /// Opt-3 never needs the partition to be resident.
+    superkey: bool,
 }
 
 /// The FastOFD discovery driver.
@@ -176,13 +185,35 @@ impl<'a> FastOfd<'a> {
         let mut stats = DiscoveryStats::default();
         let mut scratch = ProductScratch::default();
 
+        // Byte-budgeted partition cache (result-neutral: partitions are
+        // canonical however produced, so Σ is identical at any budget).
+        // Level-0/1 partitions are pinned — they are the universal operand
+        // fallbacks for every later product.
+        let mut cache: Option<PartitionCache> = (self.opts.partition_cache_mib > 0)
+            .then(|| PartitionCache::new(self.opts.partition_cache_mib));
+        if let Some(c) = cache.as_mut() {
+            let _span = obs.span("fastofd.cache.seed");
+            for a in schema.attrs() {
+                let sp = Arc::new(StrippedPartition::of_attr(self.rel, a));
+                c.insert(AttrSet::single(a).bits(), sp, true);
+            }
+        }
+
         // Level 0: the empty antecedent.
+        let level0 = Arc::new(StrippedPartition::of(self.rel, AttrSet::empty()));
         let mut prev: Vec<Node> = vec![Node {
             attrs: AttrSet::empty(),
             c_plus: all,
-            partition: StrippedPartition::of(self.rel, AttrSet::empty()),
+            superkey: level0.is_superkey(),
+            partition: match cache.as_mut() {
+                Some(c) => {
+                    c.insert(AttrSet::empty().bits(), level0, true);
+                    None
+                }
+                None => Some(level0),
+            },
         }];
-        let mut prev_index: HashMap<u64, usize> =
+        let mut prev_index: FxHashMap<u64, usize> =
             std::iter::once((AttrSet::empty().bits(), 0)).collect();
 
         let guard = &self.opts.guard;
@@ -212,10 +243,22 @@ impl<'a> FastOfd<'a> {
                         prev = rs
                             .frontier
                             .iter()
-                            .map(|&(attrs, c_plus)| Node {
-                                attrs,
-                                c_plus,
-                                partition: StrippedPartition::of(self.rel, attrs),
+                            .map(|&(attrs, c_plus)| {
+                                let sp = Arc::new(StrippedPartition::of(self.rel, attrs));
+                                let superkey = sp.is_superkey();
+                                let partition = match cache.as_mut() {
+                                    Some(c) => {
+                                        c.insert(attrs.bits(), sp, false);
+                                        None
+                                    }
+                                    None => Some(sp),
+                                };
+                                Node {
+                                    attrs,
+                                    c_plus,
+                                    partition,
+                                    superkey,
+                                }
                             })
                             .collect();
                         prev_index = prev
@@ -273,14 +316,33 @@ impl<'a> FastOfd<'a> {
             let mut current: Vec<Node> = if level == 1 {
                 schema
                     .attrs()
-                    .map(|a| Node {
-                        attrs: AttrSet::single(a),
-                        c_plus: all,
-                        partition: self.attr_partition(a),
+                    .map(|a| {
+                        let attrs = AttrSet::single(a);
+                        match cache.as_mut() {
+                            Some(c) => {
+                                // Seeded pinned at startup: always a hit.
+                                let sp = c.produce(self.rel, attrs, &mut scratch);
+                                Node {
+                                    attrs,
+                                    c_plus: all,
+                                    superkey: sp.is_superkey(),
+                                    partition: None,
+                                }
+                            }
+                            None => {
+                                let sp = Arc::new(self.attr_partition(a));
+                                Node {
+                                    attrs,
+                                    c_plus: all,
+                                    superkey: sp.is_superkey(),
+                                    partition: Some(sp),
+                                }
+                            }
+                        }
                     })
                     .collect()
             } else {
-                self.next_level(&prev, &prev_index, &mut scratch)
+                self.next_level(&prev, &prev_index, &mut scratch, &mut cache)
             };
             ls.nodes = current.len();
 
@@ -333,6 +395,32 @@ impl<'a> FastOfd<'a> {
             }
             ls.candidates = jobs.len();
 
+            // Resolve each referenced antecedent partition once, before any
+            // workers spawn: cache lookups stay on this thread (counters
+            // remain thread-invariant) and workers only read `Arc`s.
+            let resolved: Vec<Option<Arc<StrippedPartition>>> = {
+                let mut resolved: Vec<Option<Arc<StrippedPartition>>> = Vec::new();
+                resolved.resize_with(prev.len(), || None);
+                for &(_, _, _, pi) in &jobs {
+                    if resolved[pi].is_some() {
+                        continue;
+                    }
+                    let node = &prev[pi];
+                    resolved[pi] = Some(if let Some(p) = &node.partition {
+                        Arc::clone(p)
+                    } else if node.superkey {
+                        // Canonical empty partition; no cache traffic.
+                        Arc::new(StrippedPartition::empty(self.rel.n_rows()))
+                    } else {
+                        cache
+                            .as_mut()
+                            .expect("cache is on when node partitions are deferred")
+                            .produce(self.rel, node.attrs, &mut scratch)
+                    });
+                }
+                resolved
+            };
+
             let decide_one = |&(_, a, lhs, pi): &(usize, AttrId, AttrSet, usize)| {
                 faults.delay();
                 faults.worker_panic();
@@ -341,7 +429,8 @@ impl<'a> FastOfd<'a> {
                     rhs: a,
                     kind: self.opts.kind,
                 };
-                self.decide(&index, &ofd, &prev[pi].partition, &known, exact)
+                let lhs_partition = resolved[pi].as_ref().expect("resolved before decisions");
+                self.decide(&index, &ofd, lhs_partition, &known, exact)
             };
             // Panic isolation: a worker panic (a bug in verification, or
             // an injected fault) is caught, recorded as the sticky
@@ -550,6 +639,10 @@ impl<'a> FastOfd<'a> {
 
         sigma.sort_by_key(|d| (d.level, d.ofd.lhs.bits(), d.ofd.rhs));
         stats.elapsed = started.elapsed();
+        if let Some(c) = &cache {
+            c.flush_obs(obs);
+            stats.cache = Some(c.stats());
+        }
         let interrupt = guard.interrupt();
         if obs.is_enabled() {
             if capacity_us > 0 {
@@ -582,8 +675,9 @@ impl<'a> FastOfd<'a> {
     fn next_level(
         &self,
         prev: &[Node],
-        prev_index: &HashMap<u64, usize>,
+        prev_index: &FxHashMap<u64, usize>,
         scratch: &mut ProductScratch,
+        cache: &mut Option<PartitionCache>,
     ) -> Vec<Node> {
         // Sort node indices by attribute list; nodes sharing all but the
         // last attribute form a block.
@@ -623,26 +717,45 @@ impl<'a> FastOfd<'a> {
                     if !parents_ok {
                         continue;
                     }
-                    let partition = if self.opts.use_opt3
-                        && (a.partition.is_superkey() || b.partition.is_superkey())
-                    {
+                    if self.opts.use_opt3 && (a.superkey || b.superkey) {
                         // Opt-3: supersets of superkeys are superkeys; skip
                         // the product entirely.
                         products_skipped += 1;
-                        StrippedPartition::empty(self.rel.n_rows())
-                    } else {
-                        products += 1;
-                        let p = a.partition.product_with_scratch(&b.partition, scratch);
-                        obs.observe(
-                            "discovery.partition.class_count",
-                            CLASS_COUNT_BOUNDS,
-                            p.class_count() as f64,
-                        );
-                        p
+                        out.push(Node {
+                            attrs,
+                            c_plus: all,
+                            superkey: true,
+                            partition: cache
+                                .is_none()
+                                .then(|| Arc::new(StrippedPartition::empty(self.rel.n_rows()))),
+                        });
+                        continue;
+                    }
+                    products += 1;
+                    let (p, partition) = match cache.as_mut() {
+                        Some(c) => {
+                            // First sight of X this run: the cache picks the
+                            // cheapest resident operand pair.
+                            (c.produce(self.rel, attrs, scratch), None)
+                        }
+                        None => {
+                            let left =
+                                a.partition.as_ref().expect("resident when cache off");
+                            let right =
+                                b.partition.as_ref().expect("resident when cache off");
+                            let p = Arc::new(left.product_with_scratch(right, scratch));
+                            (Arc::clone(&p), Some(p))
+                        }
                     };
+                    obs.observe(
+                        "discovery.partition.class_count",
+                        CLASS_COUNT_BOUNDS,
+                        p.class_count() as f64,
+                    );
                     out.push(Node {
                         attrs,
                         c_plus: all,
+                        superkey: p.is_superkey(),
                         partition,
                     });
                 }

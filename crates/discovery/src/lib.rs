@@ -32,15 +32,17 @@
 //! ```
 
 mod brute;
+mod cache;
 mod checkpoint;
 mod fastofd;
 mod options;
 mod stats;
 
 pub use brute::{brute_force, brute_force_guarded};
+pub use cache::CacheStats;
 pub use checkpoint::CheckpointOptions;
 pub use fastofd::{DiscoveredOfd, Discovery, FastOfd};
-pub use options::DiscoveryOptions;
+pub use options::{DiscoveryOptions, DEFAULT_PARTITION_CACHE_MIB};
 pub use stats::{DiscoveryStats, LevelStats};
 
 #[cfg(test)]
@@ -214,6 +216,63 @@ mod tests {
             DiscoveryOptions::new().min_support(0.8).threads(4),
         );
         assert_eq!(seq_approx, par_approx);
+    }
+
+    #[test]
+    fn partition_cache_is_result_neutral() {
+        // Σ — including raw support bits and levels — must be byte-identical
+        // whether the cache is off, generously budgeted, or starved into
+        // thrashing, at any thread count.
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let reference = FastOfd::new(&rel, &onto).run();
+        assert!(reference.stats.cache.is_some(), "cache defaults on");
+        for mib in [0usize, 1, 256] {
+            for threads in [1usize, 4] {
+                let run = FastOfd::new(&rel, &onto)
+                    .options(
+                        DiscoveryOptions::default()
+                            .partition_cache_mib(mib)
+                            .threads(threads),
+                    )
+                    .run();
+                assert_eq!(
+                    run.ofds, reference.ofds,
+                    "cache={mib}MiB threads={threads}: Σ diverged"
+                );
+                for (a, b) in run.ofds.iter().zip(&reference.ofds) {
+                    assert_eq!(
+                        a.support.to_bits(),
+                        b.support.to_bits(),
+                        "cache={mib}MiB threads={threads}: support bits diverged"
+                    );
+                }
+                // Per-level counters are part of the contract too.
+                assert_eq!(run.stats.levels.len(), reference.stats.levels.len());
+                for (l, r) in run.stats.levels.iter().zip(&reference.stats.levels) {
+                    assert_eq!(
+                        (l.nodes, l.candidates, l.verified, l.key_shortcuts,
+                         l.fd_shortcuts, l.found, l.pruned_nodes),
+                        (r.nodes, r.candidates, r.verified, r.key_shortcuts,
+                         r.fd_shortcuts, r.found, r.pruned_nodes),
+                        "cache={mib}MiB threads={threads}: level {} stats diverged",
+                        l.level
+                    );
+                }
+                assert_eq!(run.stats.cache.is_some(), mib > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_cache_reports_hits_on_table1() {
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let result = FastOfd::new(&rel, &onto).run();
+        let cs = result.stats.cache.expect("cache on by default");
+        assert!(cs.hits > 0, "lattice reuse must produce hits: {cs:?}");
+        assert!(cs.resident_bytes > 0);
+        assert!(cs.peak_resident_bytes >= cs.resident_bytes);
     }
 
     #[test]
@@ -552,6 +611,27 @@ mod tests {
                 DiscoveryOptions::new().min_support(0.7),
             );
             prop_assert_eq!(fast, brute);
+        }
+
+        /// Cache-on and cache-off runs agree on Σ over random instances and
+        /// thread counts (the perf-layer result-neutrality contract).
+        #[test]
+        fn cached_fastofd_equals_uncached(
+            ((rel, onto), threads) in (arb_instance(), 1usize..5)
+        ) {
+            let uncached = FastOfd::new(&rel, &onto)
+                .options(DiscoveryOptions::default().partition_cache_mib(0))
+                .run();
+            for mib in [1usize, 256] {
+                let cached = FastOfd::new(&rel, &onto)
+                    .options(
+                        DiscoveryOptions::default()
+                            .partition_cache_mib(mib)
+                            .threads(threads),
+                    )
+                    .run();
+                prop_assert_eq!(&cached.ofds, &uncached.ofds);
+            }
         }
 
         /// Interrupting FastOFD at an arbitrary checkpoint yields a subset

@@ -70,7 +70,18 @@ pub struct DiscoveryOptions {
     /// are installed on the checkpoint store instead
     /// ([`ofd_core::SnapshotStore::with_faults`]).
     pub faults: FaultPlan,
+    /// Byte budget (MiB) of the partition cache retaining computed Π*_X
+    /// across lattice levels with LRU eviction; `0` disables the cache and
+    /// restores node-owned partitions with fixed parent-pair products.
+    /// Like [`DiscoveryOptions::threads`], this is result-neutral —
+    /// partitions are canonical however they are produced, so Σ and the
+    /// per-level stats are byte-identical at any budget (and the setting is
+    /// deliberately excluded from the checkpoint fingerprint).
+    pub partition_cache_mib: usize,
 }
+
+/// Default [`DiscoveryOptions::partition_cache_mib`].
+pub const DEFAULT_PARTITION_CACHE_MIB: usize = 256;
 
 impl Default for DiscoveryOptions {
     fn default() -> Self {
@@ -88,6 +99,7 @@ impl Default for DiscoveryOptions {
             obs: Obs::disabled(),
             checkpoint: None,
             faults: FaultPlan::none(),
+            partition_cache_mib: DEFAULT_PARTITION_CACHE_MIB,
         }
     }
 }
@@ -171,6 +183,13 @@ impl DiscoveryOptions {
         self
     }
 
+    /// Sets the partition-cache byte budget in MiB (`0` disables the
+    /// cache). Result-neutral: any budget yields byte-identical Σ.
+    pub fn partition_cache_mib(mut self, mib: usize) -> Self {
+        self.partition_cache_mib = mib;
+        self
+    }
+
     /// Sets the verification thread count.
     pub fn threads(mut self, n: usize) -> Self {
         assert!(n >= 1, "at least one thread");
@@ -199,6 +218,13 @@ mod tests {
         assert_eq!(o.kind, OfdKind::Synonym);
         assert!(o.max_level.is_none());
         assert_eq!(o.threads, 1);
+        assert_eq!(o.partition_cache_mib, DEFAULT_PARTITION_CACHE_MIB);
+    }
+
+    #[test]
+    fn cache_budget_is_configurable() {
+        assert_eq!(DiscoveryOptions::new().partition_cache_mib(0).partition_cache_mib, 0);
+        assert_eq!(DiscoveryOptions::new().partition_cache_mib(8).partition_cache_mib, 8);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct DiscoveryStats {
     pub levels: Vec<LevelStats>,
     /// Total wall-clock time.
     pub elapsed: Duration,
+    /// Partition-cache counters (`None` when the cache is disabled).
+    /// Cache behaviour is result-neutral, so these are excluded from the
+    /// byte-identical-Σ contract — only Σ and the per-level counters are.
+    pub cache: Option<crate::cache::CacheStats>,
 }
 
 impl DiscoveryStats {
@@ -103,6 +107,7 @@ mod tests {
         let stats = DiscoveryStats {
             levels: vec![level(1, 2, 10), level(2, 3, 30), level(3, 5, 60)],
             elapsed: Duration::from_millis(100),
+            cache: None,
         };
         assert_eq!(stats.total_found(), 10);
         assert!((stats.found_in_first_levels(2) - 0.5).abs() < 1e-12);
@@ -129,6 +134,7 @@ mod tests {
                 },
             ],
             elapsed: Duration::from_millis(5),
+            cache: None,
         };
         assert_eq!(stats.total_candidates(), 14);
         assert_eq!(stats.total_verified(), 10);

@@ -2,7 +2,7 @@
 //! difference sets, cardinalities, minimality filtering and a brute-force
 //! reference.
 
-use std::collections::HashSet;
+use ofd_core::FxHashSet;
 
 use ofd_core::{AttrSet, ExecGuard, Fd, Obs, Relation, StrippedPartition};
 
@@ -21,7 +21,7 @@ pub fn record_interrupt(obs: &Obs, guard: &ExecGuard) {
 ///
 /// The returned set always contains the full-relation-relevant sets only;
 /// the empty agree set appears if some tuple pair disagrees everywhere.
-pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
+pub fn agree_sets(rel: &Relation) -> FxHashSet<AttrSet> {
     agree_sets_guarded(rel, &ExecGuard::unlimited())
         .expect("an unlimited guard never interrupts")
 }
@@ -32,11 +32,11 @@ pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
 /// Returns `None` when interrupted: a partial agree-set family
 /// *under-reports* violations, so any FD mined from it could be invalid —
 /// the callers therefore discard it entirely rather than emit from it.
-pub fn agree_sets_guarded(rel: &Relation, guard: &ExecGuard) -> Option<HashSet<AttrSet>> {
+pub fn agree_sets_guarded(rel: &Relation, guard: &ExecGuard) -> Option<FxHashSet<AttrSet>> {
     let n = rel.n_rows();
     let attrs: Vec<_> = rel.schema().attrs().collect();
     let cols: Vec<&[ofd_core::ValueId]> = attrs.iter().map(|&a| rel.column(a)).collect();
-    let mut out = HashSet::new();
+    let mut out = FxHashSet::default();
     for i in 0..n {
         if guard.check().is_err() {
             return None;
@@ -56,7 +56,7 @@ pub fn agree_sets_guarded(rel: &Relation, guard: &ExecGuard) -> Option<HashSet<A
 
 /// Difference sets `D(r)`: complements of the agree sets w.r.t. the full
 /// schema (FastFDs' starting point).
-pub fn difference_sets(rel: &Relation) -> HashSet<AttrSet> {
+pub fn difference_sets(rel: &Relation) -> FxHashSet<AttrSet> {
     let all = rel.schema().all();
     agree_sets(rel).into_iter().map(|s| all.minus(s)).collect()
 }
@@ -66,7 +66,7 @@ pub fn difference_sets(rel: &Relation) -> HashSet<AttrSet> {
 pub fn difference_sets_guarded(
     rel: &Relation,
     guard: &ExecGuard,
-) -> Option<HashSet<AttrSet>> {
+) -> Option<FxHashSet<AttrSet>> {
     let all = rel.schema().all();
     agree_sets_guarded(rel, guard)
         .map(|ag| ag.into_iter().map(|s| all.minus(s)).collect())
@@ -115,7 +115,7 @@ pub fn minimal_transversals(universe: AttrSet, family: &[AttrSet]) -> Vec<AttrSe
     // Incremental: transversals of the first k members, refined per member.
     let mut partial: Vec<AttrSet> = vec![AttrSet::empty()];
     for &member in family {
-        let mut next: HashSet<AttrSet> = HashSet::new();
+        let mut next: FxHashSet<AttrSet> = FxHashSet::default();
         for &t in &partial {
             if !t.is_disjoint(member) {
                 next.insert(t);
@@ -163,7 +163,7 @@ pub fn sort_fds(fds: &mut [Fd]) {
 pub fn fd_holds(rel: &Relation, fd: &Fd) -> bool {
     let sp = StrippedPartition::of(rel, fd.lhs);
     let col = rel.column(fd.rhs);
-    sp.classes().iter().all(|class| {
+    sp.classes().all(|class| {
         let first = col[class[0] as usize];
         class.iter().all(|&t| col[t as usize] == first)
     })

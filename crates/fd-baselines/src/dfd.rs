@@ -11,7 +11,7 @@
 //! confirmed minimal dependency — sound and complete irrespective of the
 //! random choices, which only affect how quickly the lattice is covered.
 
-use std::collections::HashMap;
+use ofd_core::FxHashMap;
 
 use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, Relation, StrippedPartition};
 use rand::rngs::StdRng;
@@ -76,7 +76,7 @@ pub fn discover_seeded_with(
         let mut ctx = RhsContext {
             rel,
             rhs: a,
-            partitions: HashMap::new(),
+            partitions: FxHashMap::default(),
             visits: 0,
             products: 0,
         };
@@ -132,7 +132,7 @@ struct RhsContext<'a> {
     rhs: AttrId,
     /// Stripped partitions by attribute-set bits, built incrementally via
     /// partition products (as in the original DFD implementation).
-    partitions: HashMap<u64, StrippedPartition>,
+    partitions: FxHashMap<u64, StrippedPartition>,
     /// Dependency checks performed (one per classified lattice node).
     visits: u64,
     /// Partition products performed by the incremental cache.

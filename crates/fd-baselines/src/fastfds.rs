@@ -5,7 +5,7 @@
 //! Exp-1 shows it timing out beyond ~100K records — a behaviour this
 //! implementation reproduces by construction.
 
-use std::collections::HashSet;
+use ofd_core::FxHashSet;
 
 use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, Relation};
 
@@ -67,7 +67,7 @@ pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Ve
         // Minimize per consequent: covering the minimal difference sets
         // covers them all.
         let d_a = minimal_sets(d_a);
-        let mut covers: HashSet<AttrSet> = HashSet::new();
+        let mut covers: FxHashSet<AttrSet> = FxHashSet::default();
         let order = attribute_order(&d_a, all.without(a));
         dfs(&d_a, AttrSet::empty(), &order, 0, &mut covers, guard, &mut node_visits);
         for x in covers {
@@ -105,7 +105,7 @@ fn dfs(
     current: AttrSet,
     order: &[AttrId],
     next: usize,
-    covers: &mut HashSet<AttrSet>,
+    covers: &mut FxHashSet<AttrSet>,
     guard: &ExecGuard,
     visits: &mut u64,
 ) {

@@ -8,7 +8,7 @@
 //! tests); [`discover`] is the minimized view used for cross-algorithm
 //! comparisons.
 
-use std::collections::HashMap;
+use ofd_core::FxHashMap;
 
 use ofd_core::{
     AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, ProductScratch, Relation, StrippedPartition,
@@ -126,7 +126,7 @@ pub fn discover_raw_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partia
             let attrs: Vec<u16> = level[i].attrs.iter().map(|x| x.index() as u16).collect();
             attrs
         });
-        let mut seen: HashMap<u64, ()> = HashMap::new();
+        let mut seen: FxHashMap<u64, ()> = FxHashMap::default();
         let mut next: Vec<Node> = Vec::new();
         let mut block_start = 0;
         while block_start < order.len() {

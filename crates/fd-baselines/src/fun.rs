@@ -6,7 +6,7 @@
 //! level-wise search space; `X → A` holds iff `|Π_X| = |Π_{X∪A}|`, and
 //! minimal FD antecedents are always free sets.
 
-use std::collections::HashMap;
+use ofd_core::FxHashMap;
 
 use ofd_core::{
     AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, ProductScratch, Relation, StrippedPartition,
@@ -82,7 +82,7 @@ pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Ve
         })
         .collect();
     // Cardinalities of all known free sets (for freeness tests).
-    let mut card_by_set: HashMap<u64, usize> = std::iter::once((0u64, card0)).collect();
+    let mut card_by_set: FxHashMap<u64, usize> = std::iter::once((0u64, card0)).collect();
     for node in &prev {
         card_by_set.insert(node.attrs.bits(), node.card);
     }
@@ -113,7 +113,7 @@ pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Ve
         }
 
         // Generate next level of free sets.
-        let prev_index: HashMap<u64, usize> = prev
+        let prev_index: FxHashMap<u64, usize> = prev
             .iter()
             .enumerate()
             .map(|(i, node)| (node.attrs.bits(), i))

@@ -17,7 +17,7 @@
 //! On exit every hypothesis is validated, and the same most-general-cover
 //! argument as FDep's shows the output is exactly the minimal FD set.
 
-use std::collections::HashSet;
+use ofd_core::{FxHashMap, FxHashSet};
 
 use ofd_core::{AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, Relation, StrippedPartition, ValueId};
 
@@ -68,7 +68,7 @@ pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Ve
     // Phase 1: sampling via sorted-neighbourhood windows per attribute.
     // A truncated sample only makes hypotheses too general; phase 3's
     // full-data validation gates everything that is emitted.
-    let mut non_fds: HashSet<AttrSet> = HashSet::new();
+    let mut non_fds: FxHashSet<AttrSet> = FxHashSet::default();
     const WINDOW: usize = 3;
     'sampling: for a in schema.attrs() {
         let mut order: Vec<u32> = (0..n as u32).collect();
@@ -129,9 +129,9 @@ pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Ve
     // pairs back. Partition results are cached across rounds. `validated`
     // records hypotheses that survived a full-data check — the only ones
     // emitted on interrupt.
-    let mut partitions: std::collections::HashMap<u64, StrippedPartition> =
-        std::collections::HashMap::new();
-    let mut validated: Vec<HashSet<u64>> = (0..n_attrs).map(|_| HashSet::new()).collect();
+    let mut partitions: FxHashMap<u64, StrippedPartition> =
+        FxHashMap::default();
+    let mut validated: Vec<FxHashSet<u64>> = (0..n_attrs).map(|_| FxHashSet::default()).collect();
     loop {
         let mut new_non_fds: Vec<AttrSet> = Vec::new();
         'validation: for a in schema.attrs() {

@@ -5,7 +5,7 @@
 //! of FastOFD — the paper reports FastOFD at ~1.8× TANE's runtime due to
 //! ontology verification (Exp-1).
 
-use std::collections::HashMap;
+use ofd_core::FxHashMap;
 
 use ofd_core::{
     meets_support, AttrId, AttrSet, ExecGuard, Fd, Obs, Partial, ProductScratch, Relation,
@@ -61,12 +61,12 @@ pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Ve
         c_plus: all,
         partition: StrippedPartition::of(rel, AttrSet::empty()),
     }];
-    let mut prev_index: HashMap<u64, usize> =
+    let mut prev_index: FxHashMap<u64, usize> =
         std::iter::once((AttrSet::empty().bits(), 0)).collect();
     // Final C⁺ value of every node ever processed (including pruned ones),
     // so the key-pruning step can resolve C⁺ of nodes absent from the
     // current level by intersecting ancestors (TANE §4.4).
-    let mut history: HashMap<u64, AttrSet> =
+    let mut history: FxHashMap<u64, AttrSet> =
         std::iter::once((AttrSet::empty().bits(), all)).collect();
 
     'levels: for level in 1..=n {
@@ -132,7 +132,7 @@ pub fn discover_with(rel: &Relation, guard: &ExecGuard, obs: &Obs) -> Partial<Ve
 
         // prune: drop empty-C⁺ nodes; key nodes emit their remaining
         // dependencies and are dropped.
-        let mut virtual_cache: HashMap<u64, AttrSet> = HashMap::new();
+        let mut virtual_cache: FxHashMap<u64, AttrSet> = FxHashMap::default();
         let key_emissions: Vec<Fd> = current
             .iter()
             .filter(|node| node.partition.is_superkey() && !node.c_plus.is_empty())
@@ -214,7 +214,7 @@ pub fn discover_approx_guarded(
         c_plus: all,
         partition: StrippedPartition::of(rel, AttrSet::empty()),
     }];
-    let mut prev_index: HashMap<u64, usize> =
+    let mut prev_index: FxHashMap<u64, usize> =
         std::iter::once((AttrSet::empty().bits(), 0)).collect();
 
     'levels: for level in 1..=n {
@@ -292,7 +292,7 @@ pub fn discover_approx_guarded(
 /// stripped partition, the tuples outside the majority consequent value.
 /// Stripped-away singleton classes never violate.
 fn g3_violations(sp: &StrippedPartition, col: &[ValueId]) -> usize {
-    let mut freq: HashMap<ValueId, usize> = HashMap::new();
+    let mut freq: FxHashMap<ValueId, usize> = FxHashMap::default();
     let mut total = 0;
     for class in sp.classes() {
         freq.clear();
@@ -312,7 +312,7 @@ fn g3_violations(sp: &StrippedPartition, col: &[ValueId]) -> usize {
 /// for emission, so a truncated level never produces output.
 fn generate_next(
     prev: &[Node],
-    prev_index: &HashMap<u64, usize>,
+    prev_index: &FxHashMap<u64, usize>,
     scratch: &mut ProductScratch,
     guard: &ExecGuard,
     products: &mut u64,
@@ -372,8 +372,8 @@ fn last_attr(set: AttrSet) -> AttrId {
 fn virtual_cplus(
     attrs: AttrSet,
     all: AttrSet,
-    history: &HashMap<u64, AttrSet>,
-    cache: &mut HashMap<u64, AttrSet>,
+    history: &FxHashMap<u64, AttrSet>,
+    cache: &mut FxHashMap<u64, AttrSet>,
 ) -> AttrSet {
     if let Some(&v) = history.get(&attrs.bits()) {
         return v;

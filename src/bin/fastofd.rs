@@ -6,6 +6,7 @@
 //!                  --out data.csv --onto-out onto.txt
 //! fastofd discover --data data.csv --ontology onto.txt [--kappa 0.9]
 //!                  [--theta N] [--max-level L] [--threads T]
+//!                  [--partition-cache-mib M]
 //! fastofd check    --data data.csv --ontology onto.txt --ofd "CC->CTRY"
 //! fastofd clean    --data data.csv --ontology onto.txt \
 //!                  --ofd "CC->CTRY" --ofd "SYMP,DIAG->MED" \
@@ -137,6 +138,12 @@ fn run() -> Result<(), String> {
             }
             if let Some(t) = single("threads") {
                 opts = opts.threads(t.parse().map_err(|_| "--threads")?);
+            }
+            if let Some(mib) = single("partition-cache-mib") {
+                opts = opts.partition_cache_mib(
+                    mib.parse()
+                        .map_err(|_| "--partition-cache-mib expects MiB (0 disables)")?,
+                );
             }
             opts = opts.guard(guard).obs(obs.clone()).faults(faults.clone());
             if let Some(ck) = checkpoint.clone() {
@@ -335,6 +342,7 @@ fn usage() -> String {
      execution limits (discover/clean/enforce): --timeout-ms N --max-work N --max-rss-mib N\n\
      observability (discover/clean/enforce): --metrics-out metrics.json --trace\n\
      crash safety (discover/clean/enforce): --checkpoint-dir DIR [--resume]\n\
+     performance (discover): --partition-cache-mib M (0 disables; default 256)\n\
      fault injection (testing only): --faults \"seed=N,snapshot-io%P,panic@N\" or FASTOFD_FAULTS\n\
      see the module docs (`cargo doc`) or README.md for details"
         .to_owned()

@@ -44,6 +44,18 @@ fn metrics_json_matches_schema_v1() {
     for (name, value) in counters {
         assert!(value.as_u64().is_some(), "counter {name} must be a non-negative integer");
     }
+    // The partition cache is on by default, so every instrumented discovery
+    // run must publish its counters (values are workload-dependent).
+    for name in [
+        "discovery.partition.cache.hits",
+        "discovery.partition.cache.misses",
+        "discovery.partition.cache.evicted_bytes",
+    ] {
+        assert!(
+            counters.iter().any(|(n, _)| n == name),
+            "partition-cache counter {name} missing"
+        );
+    }
 
     let gauges = match v.get("gauges").expect("gauges present") {
         Value::Object(fields) => fields,
@@ -51,6 +63,15 @@ fn metrics_json_matches_schema_v1() {
     };
     for (name, value) in gauges {
         assert!(value.as_f64().is_some(), "gauge {name} must be numeric");
+    }
+    for name in [
+        "discovery.partition.cache.resident_bytes",
+        "discovery.partition.cache.peak_resident_bytes",
+    ] {
+        assert!(
+            gauges.iter().any(|(n, _)| n == name),
+            "partition-cache gauge {name} missing"
+        );
     }
 
     let histograms = match v.get("histograms").expect("histograms present") {
