@@ -1,0 +1,566 @@
+//! Service-layer soak harness: hammer a real `ofd-serve` child process
+//! with bursts, kill it mid-flight, drain it with SIGTERM, and corrupt
+//! its snapshots — then assert every accepted request is answered, shed
+//! requests carry honest backoff hints, and a restarted server produces
+//! **byte-identical** results on the same checkpoint directory.
+//!
+//! ```text
+//! serve_probe [--seed S] [--rows N] [--dir D]
+//! serve_probe --server [--workers N] [--queue-cap N] [--budget-ms N]
+//!             [--checkpoint-dir D] [--faults SPEC]   # child mode
+//! ```
+//!
+//! The parent re-execs itself (`current_exe`) in `--server` mode so the
+//! soak exercises real process boundaries: SIGKILL loses everything not
+//! on disk, SIGTERM triggers the cooperative drain path, and the client
+//! side sees genuine connection resets, not in-process shortcuts.
+//!
+//! Phases:
+//! 1. **Shed** — burst a tiny-queue server; retried-with-backoff clients
+//!    must all eventually succeed bit-identically, and `/metrics` must
+//!    report the shed.
+//! 2. **SIGKILL + resume** — kill the child mid-discovery at a seeded
+//!    delay, restart on the same checkpoint dir, resend: Σ must be
+//!    byte-identical to the uninterrupted reference.
+//! 3. **SIGTERM drain** — the in-flight request is answered (complete or
+//!    a sound cancelled partial) before the child exits 0.
+//! 4. **Snapshot faults** — same kill/restart game with seeded snapshot
+//!    I/O errors and torn writes; a lost checkpoint may cost recompute
+//!    but must never change the answer.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use ofd_core::FaultPlan;
+use ofd_datagen::{clinical, csv, PresetConfig};
+use ofd_discovery::{DiscoveryOptions, FastOfd};
+use ofd_serve::{termination_flag, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde_json::{json, Value};
+
+// ---------------------------------------------------------- child mode
+
+/// Runs a real server in this process until SIGTERM/SIGINT, then drains.
+/// The parent scrapes the `listening on ADDR` line to find the port.
+fn server_mode(flags: &[(String, String)]) -> ExitCode {
+    let get = |name: &str| flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = get("workers") {
+        cfg.workers = n.parse().expect("--workers N");
+    }
+    if let Some(n) = get("queue-cap") {
+        cfg.queue_cap = n.parse().expect("--queue-cap N");
+    }
+    if let Some(ms) = get("budget-ms") {
+        cfg.budget_ms = ms.parse().expect("--budget-ms N");
+    }
+    cfg.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
+    if let Some(spec) = get("faults") {
+        cfg.faults = FaultPlan::parse(spec).expect("valid fault spec");
+        ofd_core::silence_injected_panics();
+    }
+    let server = Server::bind(cfg).expect("child bind");
+    println!("listening on {}", server.addr());
+    std::io::stdout().flush().expect("flush");
+    let term = termination_flag();
+    while !term.load(std::sync::atomic::Ordering::SeqCst) && !server.drain_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let summary = server.shutdown(Duration::from_secs(30));
+    eprintln!(
+        "child drained: admitted={} shed={} drained={} resumed={}",
+        summary.admitted, summary.shed, summary.drained, summary.resumed
+    );
+    ExitCode::SUCCESS
+}
+
+// --------------------------------------------------------- child control
+
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawns `current_exe --server` with the given flags and waits for its
+/// `listening on` line.
+fn spawn_server(flags: &[(&str, String)]) -> ServerProc {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--server");
+    for (name, value) in flags {
+        cmd.arg(format!("--{name}")).arg(value);
+    }
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn server child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .expect("child prints its address")
+        .expect("read child stdout");
+    let addr: SocketAddr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected child banner {line:?}"))
+        .parse()
+        .expect("child address parses");
+    // Keep draining the pipe so the child never blocks on a full stdout.
+    std::thread::spawn(move || for _ in lines {});
+    ServerProc { child, addr }
+}
+
+impl ServerProc {
+    /// SIGTERM on unix (cooperative drain); hard kill elsewhere.
+    fn terminate(&mut self) {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn kill(pid: i32, sig: i32) -> i32;
+            }
+            let rc = unsafe { kill(self.child.id() as i32, 15) };
+            assert_eq!(rc, 0, "SIGTERM delivered");
+        }
+        #[cfg(not(unix))]
+        self.child.kill().expect("kill child");
+    }
+
+    /// SIGKILL: the child gets no chance to drain — only the checkpoint
+    /// directory survives.
+    fn kill_hard(&mut self) {
+        self.child.kill().expect("SIGKILL child");
+        let _ = self.child.wait();
+    }
+
+    fn wait_exit(&mut self, timeout: Duration) -> Option<i32> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.code();
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+// ------------------------------------------------------------ tiny client
+
+struct Reply {
+    status: u16,
+    retry_after_ms: Option<u64>,
+    body: Value,
+}
+
+/// One request over a fresh connection. `Err` means the transport died
+/// (expected while a child is being SIGKILLed), never a served error.
+fn try_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+) -> std::io::Result<Reply> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body_text = body
+        .map(|b| serde_json::to_string(b).expect("serialize"))
+        .unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: probe\r\ncontent-length: {}\r\n\r\n",
+        body_text.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body_text.as_bytes())?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 reply"))?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated reply"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let parsed = if payload.is_empty() {
+        Value::Null
+    } else {
+        serde_json::from_str(payload).unwrap_or(Value::Null)
+    };
+    let retry_after_ms = parsed.get("retry_after_ms").and_then(Value::as_u64);
+    Ok(Reply {
+        status,
+        retry_after_ms,
+        body: parsed,
+    })
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&Value>) -> Reply {
+    try_request(addr, method, path, body).expect("request against a live server")
+}
+
+/// Retries through 429/503 with jittered exponential backoff, honouring
+/// the server's `retry_after_ms` hint as the floor. Returns the first
+/// 2xx reply and how many times it was shed on the way.
+fn request_with_backoff(addr: SocketAddr, body: &Value, rng: &mut StdRng) -> (Reply, u64) {
+    let mut backoff = Duration::from_millis(25);
+    let mut shed = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = request(addr, "POST", "/v1/discover", Some(body));
+        if reply.status == 200 {
+            return (reply, shed);
+        }
+        assert!(
+            reply.status == 429 || reply.status == 503,
+            "only load shedding is retryable, got {}",
+            reply.status
+        );
+        shed += 1;
+        assert!(Instant::now() < deadline, "backoff retries must converge");
+        let hint = reply.retry_after_ms.map(Duration::from_millis);
+        let jitter = Duration::from_millis(rng.random_range(0u64..backoff.as_millis() as u64 + 1));
+        std::thread::sleep(backoff.max(hint.unwrap_or(Duration::ZERO)) + jitter);
+        backoff = (backoff * 2).min(Duration::from_secs(2));
+    }
+}
+
+// --------------------------------------------------------------- fixtures
+
+fn dataset(rows: usize, attrs: usize, seed: u64) -> (String, String) {
+    let ds = clinical(&PresetConfig {
+        n_rows: rows,
+        n_attrs: attrs,
+        n_ofds: 2,
+        seed,
+        ..PresetConfig::default()
+    });
+    (
+        csv::write_csv(&ds.clean),
+        ofd_ontology::write_ontology(&ds.full_ontology),
+    )
+}
+
+/// Sorted `(lhs, rhs, support bits, level)` keys from a served reply.
+fn sigma_keys(reply: &Value) -> Vec<(String, String, u64, u64)> {
+    let mut keys: Vec<_> = reply
+        .get("ofds")
+        .and_then(Value::as_array)
+        .expect("ofds array")
+        .iter()
+        .map(|o| {
+            let lhs: Vec<&str> = o
+                .get("lhs")
+                .and_then(Value::as_array)
+                .expect("lhs")
+                .iter()
+                .map(|v| v.as_str().expect("lhs name"))
+                .collect();
+            (
+                lhs.join(","),
+                o.get("rhs").and_then(Value::as_str).expect("rhs").to_string(),
+                o.get("support_bits").and_then(Value::as_u64).expect("bits"),
+                o.get("level").and_then(Value::as_u64).expect("level"),
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Uninterrupted in-process ground truth for the same payload.
+fn reference_sigma(csv_text: &str, onto_text: &str) -> Vec<(String, String, u64, u64)> {
+    let rel = csv::read_csv(csv_text).expect("csv");
+    let onto = ofd_ontology::parse_ontology(onto_text).expect("onto");
+    let out = FastOfd::new(&rel, &onto).options(DiscoveryOptions::new()).run();
+    assert!(out.complete, "reference run is uninterrupted");
+    let schema = rel.schema();
+    let mut keys: Vec<_> = out
+        .ofds
+        .iter()
+        .map(|d| {
+            let lhs: Vec<&str> = d.ofd.lhs.iter().map(|a| schema.name(a)).collect();
+            (
+                lhs.join(","),
+                schema.name(d.ofd.rhs).to_string(),
+                d.support.to_bits(),
+                d.level as u64,
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn counter(metrics: &Value, name: &str) -> u64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("metrics expose pinned counter {name}"))
+}
+
+// ----------------------------------------------------------------- phases
+
+struct Args {
+    seed: u64,
+    rows: usize,
+    dir: PathBuf,
+}
+
+/// Phase 1: a burst over a tiny admission queue. Every client converges
+/// through backoff, shed replies carried hints, and `/metrics` owns up.
+fn phase_shed(args: &Args, csv_text: &str, onto_text: &str, reference: &[(String, String, u64, u64)]) {
+    let mut server = spawn_server(&[
+        ("workers", "1".to_owned()),
+        ("queue-cap", "1".to_owned()),
+    ]);
+    let addr = server.addr;
+
+    let mut clients = Vec::new();
+    for i in 0..8u64 {
+        let body = json!({ "csv": csv_text, "ontology": onto_text });
+        let mut rng = StdRng::seed_from_u64(args.seed ^ i);
+        clients.push(std::thread::spawn(move || {
+            request_with_backoff(addr, &body, &mut rng)
+        }));
+    }
+    let mut total_shed = 0u64;
+    for client in clients {
+        let (reply, shed) = client.join().expect("burst client");
+        assert_eq!(sigma_keys(&reply.body), reference, "burst Σ bit-identical");
+        total_shed += shed;
+    }
+    let metrics = request(addr, "GET", "/metrics", None).body;
+    for name in ofd_serve::SERVE_COUNTERS {
+        counter(&metrics, name); // presence: the schema pin, served live
+    }
+    assert!(counter(&metrics, "serve.admitted") >= 8, "all clients admitted eventually");
+    assert_eq!(
+        counter(&metrics, "serve.shed"),
+        total_shed,
+        "server-side shed count matches what clients saw"
+    );
+    println!(
+        "phase shed: ok (8 clients converged, {total_shed} sheds, admitted {})",
+        counter(&metrics, "serve.admitted")
+    );
+
+    server.terminate();
+    assert_eq!(server.wait_exit(Duration::from_secs(30)), Some(0), "clean drain exit");
+}
+
+/// Kill → restart → resend on one checkpoint dir; Σ must match `reference`
+/// byte-for-byte whether the restarted run resumed or recomputed.
+fn kill_restart_resend(
+    tag: &str,
+    ckpt: &std::path::Path,
+    faults: Option<&str>,
+    body: &Value,
+    reference: &[(String, String, u64, u64)],
+    kill_after: Duration,
+) -> bool {
+    let mut flags = vec![("checkpoint-dir", ckpt.display().to_string())];
+    if let Some(spec) = faults {
+        flags.push(("faults", spec.to_owned()));
+    }
+    let mut server = spawn_server(&flags);
+    let addr = server.addr;
+
+    // Fire the long request; the SIGKILL races it, so transport errors
+    // and even a served reply are both legitimate outcomes.
+    let inflight = {
+        let body = body.clone();
+        std::thread::spawn(move || try_request(addr, "POST", "/v1/discover", Some(&body)))
+    };
+    std::thread::sleep(kill_after);
+    server.kill_hard();
+    match inflight.join().expect("inflight client") {
+        Err(_) => println!("phase {tag}: SIGKILL severed the in-flight connection (expected)"),
+        Ok(reply) => println!("phase {tag}: reply won the race with status {}", reply.status),
+    }
+
+    // Restart on the same dir: byte-identical, resumed or not.
+    let mut server = spawn_server(&flags);
+    let reply = request(server.addr, "POST", "/v1/discover", Some(body));
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.body.get("status").and_then(Value::as_str), Some("complete"));
+    assert_eq!(
+        sigma_keys(&reply.body),
+        reference,
+        "phase {tag}: post-restart Σ is byte-identical to the reference"
+    );
+    let resumed = reply
+        .body
+        .get("resumed_from_level")
+        .and_then(Value::as_u64)
+        .is_some();
+    let metrics = request(server.addr, "GET", "/metrics", None).body;
+    if resumed {
+        assert!(counter(&metrics, "serve.resumed") >= 1, "resume is counted");
+    }
+    server.terminate();
+    assert_eq!(server.wait_exit(Duration::from_secs(30)), Some(0));
+    resumed
+}
+
+/// The engines finish the probe workloads in milliseconds — far inside
+/// any kill window. A deterministic per-candidate delay stretches
+/// discovery to seconds without changing a single bit of the result, so
+/// SIGKILL/SIGTERM reliably land mid-flight with snapshots on disk.
+fn slow_engine_spec(seed: u64) -> String {
+    format!("seed={seed},delay%1.0,delay-ms=1")
+}
+
+/// Phase 2: seeded SIGKILLs mid-discovery. At least one trial must
+/// actually resume from a snapshot, or the soak proves nothing.
+fn phase_sigkill(args: &Args, body: &Value, reference: &[(String, String, u64, u64)]) {
+    let mut rng = StdRng::seed_from_u64(args.seed.wrapping_mul(7919));
+    let spec = slow_engine_spec(args.seed);
+    let mut resumes = 0u64;
+    let trials = 3u64;
+    for trial in 0..trials {
+        let ckpt = args.dir.join(format!("sigkill{trial}"));
+        let kill_after = Duration::from_millis(rng.random_range(300u64..1200));
+        if kill_restart_resend("sigkill", &ckpt, Some(&spec), body, reference, kill_after) {
+            resumes += 1;
+        }
+    }
+    assert!(
+        resumes >= 1,
+        "no SIGKILL trial resumed from a snapshot — the kill window is not landing mid-flight"
+    );
+    println!("phase sigkill: ok ({resumes}/{trials} trials resumed from snapshots)");
+}
+
+/// Phase 3: SIGTERM drain. The admitted in-flight request is answered —
+/// complete or a sound cancelled partial — and the child exits 0.
+fn phase_drain(args: &Args, body: &Value, reference: &[(String, String, u64, u64)]) {
+    let ckpt = args.dir.join("drain");
+    let flags = [
+        ("checkpoint-dir", ckpt.display().to_string()),
+        ("faults", slow_engine_spec(args.seed)),
+    ];
+    let mut server = spawn_server(&flags);
+    let addr = server.addr;
+
+    let inflight = {
+        let body = body.clone();
+        std::thread::spawn(move || request(addr, "POST", "/v1/discover", Some(&body)))
+    };
+    std::thread::sleep(Duration::from_millis(250));
+    server.terminate();
+
+    let reply = inflight.join().expect("inflight client");
+    assert_eq!(reply.status, 200, "admitted work is answered through the drain");
+    let status = reply.body.get("status").and_then(Value::as_str).expect("status");
+    if status == "incomplete" {
+        assert_eq!(
+            reply.body.get("interrupt").and_then(Value::as_str),
+            Some("cancelled"),
+            "drain cancels cooperatively"
+        );
+        for key in sigma_keys(&reply.body) {
+            assert!(reference.contains(&key), "drained partial Σ entry {key:?} is sound");
+        }
+    } else {
+        assert_eq!(sigma_keys(&reply.body), reference);
+    }
+    assert_eq!(server.wait_exit(Duration::from_secs(30)), Some(0), "drained child exits 0");
+
+    // A restart on the drain's checkpoints finishes the job exactly.
+    let mut server = spawn_server(&flags);
+    let reply = request(server.addr, "POST", "/v1/discover", Some(body));
+    assert_eq!(sigma_keys(&reply.body), reference, "post-drain restart is byte-identical");
+    server.terminate();
+    assert_eq!(server.wait_exit(Duration::from_secs(30)), Some(0));
+    println!("phase drain: ok (in-flight answered as {status}, restart byte-identical)");
+}
+
+/// Phase 4: snapshot-write faults under the same kill/restart game.
+fn phase_snapshot_faults(args: &Args, body: &Value, reference: &[(String, String, u64, u64)]) {
+    let spec = format!(
+        "seed={},snapshot-io%0.2,snapshot-torn%0.15,delay%1.0,delay-ms=1",
+        args.seed
+    );
+    let ckpt = args.dir.join("faults");
+    kill_restart_resend(
+        "faults",
+        &ckpt,
+        Some(&spec),
+        body,
+        reference,
+        Duration::from_millis(400),
+    );
+    println!("phase faults: ok (byte-identical despite injected snapshot corruption)");
+}
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("--server") {
+        raw.next();
+        let mut flags = Vec::new();
+        while let Some(arg) = raw.next() {
+            let name = arg.strip_prefix("--").expect("--flag VALUE").to_owned();
+            let value = raw.next().unwrap_or_else(|| panic!("--{name} expects a value"));
+            flags.push((name, value));
+        }
+        return server_mode(&flags);
+    }
+
+    let mut args = Args {
+        seed: 42,
+        rows: 2500,
+        dir: std::env::temp_dir().join(format!("ofd_serve_probe_{}", std::process::id())),
+    };
+    while let Some(arg) = raw.next() {
+        let mut value = |name: &str| raw.next().unwrap_or_else(|| panic!("{name} VALUE"));
+        match arg.as_str() {
+            "--seed" => args.seed = value("--seed").parse().expect("--seed expects an integer"),
+            "--rows" => args.rows = value("--rows").parse().expect("--rows expects an integer"),
+            "--dir" => args.dir = value("--dir").into(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&args.dir);
+
+    // Medium payload for the shed burst; a wide lattice (more attributes)
+    // for the kill/drain phases — rows barely move discovery wall time,
+    // attribute count does, and the kill window must land mid-discovery
+    // with completed-level snapshots already on disk.
+    let (burst_csv, burst_onto) = dataset(args.rows.min(800), 6, args.seed);
+    let burst_ref = reference_sigma(&burst_csv, &burst_onto);
+    let (long_csv, long_onto) = dataset(args.rows, 9, args.seed);
+    let t0 = Instant::now();
+    let long_ref = reference_sigma(&long_csv, &long_onto);
+    let long_wall = t0.elapsed();
+    let long_body = json!({ "csv": &long_csv, "ontology": &long_onto });
+    println!(
+        "reference: burst |Σ|={}, long |Σ|={} in {:?} ({} rows, seed {})",
+        burst_ref.len(),
+        long_ref.len(),
+        long_wall,
+        args.rows,
+        args.seed
+    );
+
+    phase_shed(&args, &burst_csv, &burst_onto, &burst_ref);
+    phase_sigkill(&args, &long_body, &long_ref);
+    phase_drain(&args, &long_body, &long_ref);
+    phase_snapshot_faults(&args, &long_body, &long_ref);
+
+    let _ = std::fs::remove_dir_all(&args.dir);
+    println!("serve_probe: all phases consistent");
+    ExitCode::SUCCESS
+}

@@ -23,8 +23,9 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 /// Why an engine stopped early.
@@ -164,6 +165,12 @@ struct GuardState {
     max_work: Option<u64>,
     /// RSS ceiling in KiB (procfs unit).
     max_rss_kib: Option<u64>,
+    /// Where to read the resident set from (`None` = `/proc/self/status`);
+    /// overridable so the degraded no-procfs path is unit-testable.
+    rss_source: Option<PathBuf>,
+    /// Set once a probe wanted to enforce `max_rss_kib` but the RSS source
+    /// was unreadable — the ceiling is inert from then on.
+    rss_unavailable: AtomicBool,
     /// Checkpoints passed so far.
     work: AtomicU64,
     /// Cooperative cancellation flag.
@@ -217,6 +224,8 @@ impl Default for GuardState {
             deadline: None,
             max_work: None,
             max_rss_kib: None,
+            rss_source: None,
+            rss_unavailable: AtomicBool::new(false),
             work: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
             tripped: AtomicUsize::new(TRIP_NONE),
@@ -239,6 +248,23 @@ impl ExecGuard {
                 deadline: config.timeout.map(|t| Instant::now() + t),
                 max_work: config.max_work,
                 max_rss_kib: config.max_rss_mib.map(|m| m as u64 * 1024),
+                ..GuardState::default()
+            }),
+        }
+    }
+
+    /// A guard like [`new`](ExecGuard::new) but reading the resident set
+    /// from `rss_source` instead of `/proc/self/status`. The seam that
+    /// makes the degraded no-procfs path ([`rss_limit_inert`]
+    /// (ExecGuard::rss_limit_inert)) testable on Linux; engines never need
+    /// it.
+    pub fn with_rss_source(config: GuardConfig, rss_source: impl Into<PathBuf>) -> ExecGuard {
+        ExecGuard {
+            state: Arc::new(GuardState {
+                deadline: config.timeout.map(|t| Instant::now() + t),
+                max_work: config.max_work,
+                max_rss_kib: config.max_rss_mib.map(|m| m as u64 * 1024),
+                rss_source: Some(rss_source.into()),
                 ..GuardState::default()
             }),
         }
@@ -295,8 +321,25 @@ impl ExecGuard {
                 }
             }
             if let Some(max_kib) = s.max_rss_kib {
-                if rss_kib().is_some_and(|rss| rss > max_kib) {
-                    return Err(self.trip(Interrupt::MemoryBudgetExceeded));
+                match read_rss_kib(s.rss_source.as_deref()) {
+                    Some(rss) if rss > max_kib => {
+                        return Err(self.trip(Interrupt::MemoryBudgetExceeded));
+                    }
+                    Some(_) => {}
+                    // No readable RSS source: the ceiling is inert. Record
+                    // it on the guard (for callers that report metrics) and
+                    // warn once per process so operators learn the limit
+                    // they configured is not being enforced.
+                    None => {
+                        s.rss_unavailable.store(true, Ordering::Relaxed);
+                        static WARN_ONCE: Once = Once::new();
+                        WARN_ONCE.call_once(|| {
+                            eprintln!(
+                                "warning: guard.rss.unavailable: --max-rss-mib is inert \
+                                 (no readable RSS source on this platform)"
+                            );
+                        });
+                    }
                 }
             }
         }
@@ -362,12 +405,28 @@ impl ExecGuard {
     pub fn probe(&self) -> Option<Interrupt> {
         self.check().err()
     }
+
+    /// `true` once a probe wanted to enforce the configured RSS ceiling
+    /// but could not read the resident set — the ceiling is inert and the
+    /// run is effectively memory-unbounded. Callers with an `Obs` handle
+    /// should surface this as a `guard.rss.unavailable` counter.
+    pub fn rss_limit_inert(&self) -> bool {
+        self.state.rss_unavailable.load(Ordering::Relaxed)
+    }
 }
 
 /// Current resident set (VmRSS) in KiB from `/proc/self/status`; `None`
-/// off Linux or if procfs is unreadable.
-fn rss_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+/// off Linux or if procfs is unreadable. Public so services can make
+/// load-shedding decisions (and detect the degraded no-procfs path) with
+/// the same reading the guard enforces.
+pub fn rss_kib() -> Option<u64> {
+    read_rss_kib(None)
+}
+
+/// VmRSS in KiB from `source` (`None` = `/proc/self/status`).
+fn read_rss_kib(source: Option<&std::path::Path>) -> Option<u64> {
+    let path = source.unwrap_or(std::path::Path::new("/proc/self/status"));
+    let status = std::fs::read_to_string(path).ok()?;
     let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
 }
@@ -472,6 +531,45 @@ mod tests {
         });
         // The first probe reads procfs; any live process exceeds 1 MiB.
         assert_eq!(g.check(), Err(Interrupt::MemoryBudgetExceeded));
+    }
+
+    #[test]
+    fn unreadable_rss_source_marks_the_limit_inert_instead_of_tripping() {
+        let g = ExecGuard::with_rss_source(
+            GuardConfig {
+                max_rss_mib: Some(1),
+                ..GuardConfig::default()
+            },
+            "/nonexistent/ofd-guard-rss-test",
+        );
+        assert!(!g.rss_limit_inert(), "inert flag starts clear");
+        // A 1 MiB ceiling would trip the very first probe if the source
+        // were readable (see tiny_memory_budget_trips); with the source
+        // unreadable the run must continue, memory-unbounded but sound.
+        for _ in 0..1_000 {
+            assert!(g.check().is_ok());
+        }
+        assert!(g.rss_limit_inert(), "degraded path is recorded");
+        assert!(g.clone().rss_limit_inert(), "clones share the flag");
+        assert_eq!(g.interrupt(), None);
+    }
+
+    #[test]
+    fn readable_rss_source_still_enforces_the_ceiling() {
+        let dir = std::env::temp_dir().join(format!("ofd-guard-rss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("status");
+        std::fs::write(&path, "Name:\ttest\nVmRSS:\t   4096 kB\n").expect("write status");
+        let g = ExecGuard::with_rss_source(
+            GuardConfig {
+                max_rss_mib: Some(1), // 1024 KiB < 4096 KiB reported
+                ..GuardConfig::default()
+            },
+            &path,
+        );
+        assert_eq!(g.check(), Err(Interrupt::MemoryBudgetExceeded));
+        assert!(!g.rss_limit_inert());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

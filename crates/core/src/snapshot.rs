@@ -206,11 +206,18 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let file_name = path
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    // The temp name must be unique per call, not just per process: two
+    // threads (serve workers sharing a checkpoint dir) writing the same
+    // destination would otherwise truncate each other's in-flight temp
+    // file and fail the rename.
+    static TMP_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let nonce = TMP_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut tmp = path.to_path_buf();
     tmp.set_file_name(format!(
-        ".{}.tmp.{}",
+        ".{}.tmp.{}.{}",
         file_name.to_string_lossy(),
-        std::process::id()
+        std::process::id(),
+        nonce
     ));
     let result = (|| -> io::Result<()> {
         let mut f = fs::File::create(&tmp)?;
@@ -490,6 +497,92 @@ mod tests {
         assert_eq!(store.load_latest("b").unwrap().unwrap().seq, 9);
         assert!(store.load_latest("c").unwrap().is_none());
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn concurrent_handles_share_a_directory_without_corruption() {
+        // The serve worker pool hands every job its own store handle, and
+        // several of them point at subdirectories of one checkpoint root
+        // — or, for same-stream writers, at the very same directory. Two
+        // handles interleaving saves must never corrupt or cross-load.
+        let store = temp_store("concurrent");
+        let dir = store.dir().to_path_buf();
+        let writers: Vec<_> = ["alpha", "beta"]
+            .into_iter()
+            .map(|stream| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let handle = SnapshotStore::new(&dir);
+                    for seq in 1..=40u64 {
+                        handle
+                            .save(stream, seq, &json!({"stream": stream, "seq": seq}))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        // A third handle reads both streams: each latest is intact, from
+        // the right writer, with nothing skipped as corrupt.
+        let reader = SnapshotStore::new(&dir);
+        for stream in ["alpha", "beta"] {
+            let loaded = reader.load_latest(stream).unwrap().unwrap();
+            assert_eq!(loaded.seq, 40);
+            assert_eq!(loaded.skipped, 0, "no snapshot of {stream} was torn");
+            assert_eq!(
+                loaded.body.get("stream").and_then(Value::as_str),
+                Some(stream),
+                "stream {stream} cross-loaded another writer's snapshot"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interleaved_writers_on_one_stream_yield_a_self_consistent_latest() {
+        // Worst case: two handles race on the SAME stream (two servers
+        // misconfigured onto one job directory). Atomic writes mean the
+        // loader must always see a checksum-valid snapshot whose body is
+        // internally consistent — one writer's or the other's, never a
+        // splice of both.
+        let store = temp_store("interleave");
+        let dir = store.dir().to_path_buf();
+        let writers: Vec<_> = [1u64, 2u64]
+            .into_iter()
+            .map(|writer| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let handle = SnapshotStore::new(&dir);
+                    for seq in 1..=25u64 {
+                        let body = json!({
+                            "writer": writer,
+                            "seq": seq,
+                            "fingerprint": writer.wrapping_mul(1_000_003) ^ seq,
+                        });
+                        handle.save("discovery", seq, &body).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let loaded = SnapshotStore::new(&dir)
+            .load_latest("discovery")
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.seq, 25);
+        let writer = loaded.body.get("writer").and_then(Value::as_u64).unwrap();
+        let fp = loaded.body.get("fingerprint").and_then(Value::as_u64).unwrap();
+        assert!(writer == 1 || writer == 2);
+        assert_eq!(
+            fp,
+            writer.wrapping_mul(1_000_003) ^ loaded.seq,
+            "loaded body mixes fields from both writers"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! A per-endpoint circuit breaker.
+//!
+//! The classic three-state machine: **closed** (requests flow; consecutive
+//! handler failures are counted), **open** (requests are rejected outright
+//! until a cooldown passes — a crashing handler must not take the whole
+//! worker pool down with it), **half-open** (exactly one probe request is
+//! admitted; its outcome decides between closing the circuit and another
+//! cooldown). Only *handler* failures — panics caught by the worker pool —
+//! move the breaker; client errors (bad CSV, unparsable OFDs) and guard
+//! interrupts do not, since they say nothing about endpoint health.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: State,
+    consecutive_failures: u32,
+    /// When an open circuit may admit its half-open probe.
+    retry_at: Option<Instant>,
+}
+
+/// Admission decision from [`Breaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Request may proceed.
+    Allowed,
+    /// Circuit open (or a half-open probe already in flight); retry after
+    /// the given hint.
+    Rejected {
+        /// Suggested client backoff before retrying.
+        retry_after: Duration,
+    },
+}
+
+/// A circuit breaker guarding one endpoint.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    /// A closed breaker that opens after `threshold` consecutive handler
+    /// failures and admits a half-open probe after `cooldown`.
+    /// `threshold == 0` disables the breaker entirely.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold,
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: State::Closed,
+                consecutive_failures: 0,
+                retry_at: None,
+            }),
+        }
+    }
+
+    /// Decides whether a request may proceed right now.
+    pub fn admit(&self) -> Admission {
+        if self.threshold == 0 {
+            return Admission::Allowed;
+        }
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            State::Closed => Admission::Allowed,
+            State::HalfOpen => Admission::Rejected {
+                // A probe is already in flight; its outcome will settle the
+                // circuit, so the hint is one cooldown.
+                retry_after: self.cooldown,
+            },
+            State::Open => {
+                let retry_at = inner.retry_at.expect("open breaker has retry_at");
+                let now = Instant::now();
+                if now >= retry_at {
+                    inner.state = State::HalfOpen;
+                    Admission::Allowed
+                } else {
+                    Admission::Rejected {
+                        retry_after: retry_at - now,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a successful (non-panicking) handler run: closes the
+    /// circuit and clears the failure streak.
+    pub fn on_success(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.state = State::Closed;
+        inner.consecutive_failures = 0;
+        inner.retry_at = None;
+    }
+
+    /// Records a handler failure (panic). Returns `true` when this failure
+    /// opened (or re-opened) the circuit — the caller counts those.
+    pub fn on_failure(&self) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            // A failed half-open probe re-opens immediately.
+            State::HalfOpen => {
+                inner.state = State::Open;
+                inner.retry_at = Some(Instant::now() + self.cooldown);
+                true
+            }
+            State::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    inner.state = State::Open;
+                    inner.retry_at = Some(Instant::now() + self.cooldown);
+                    true
+                } else {
+                    false
+                }
+            }
+            State::Open => false,
+        }
+    }
+
+    /// Called when an admitted half-open probe never ran (e.g. it was
+    /// shed by the admission queue): re-opens the circuit for another
+    /// cooldown so the breaker cannot get stuck waiting on a probe whose
+    /// outcome will never arrive.
+    pub fn probe_aborted(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("breaker lock");
+        if inner.state == State::HalfOpen {
+            inner.state = State::Open;
+            inner.retry_at = Some(Instant::now() + self.cooldown);
+        }
+    }
+
+    /// Whether the circuit is currently refusing requests.
+    pub fn is_open(&self) -> bool {
+        self.inner.lock().expect("breaker lock").state != State::Closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = Breaker::new(3, Duration::from_millis(50));
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert!(matches!(b.admit(), Admission::Allowed), "still closed below threshold");
+        assert!(b.on_failure(), "third consecutive failure opens");
+        assert!(matches!(b.admit(), Admission::Rejected { .. }));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = Breaker::new(2, Duration::from_millis(50));
+        b.on_failure();
+        b.on_success();
+        assert!(!b.on_failure(), "streak restarted after success");
+        assert!(matches!(b.admit(), Admission::Allowed));
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_settles() {
+        let b = Breaker::new(1, Duration::from_millis(10));
+        b.on_failure();
+        assert!(matches!(b.admit(), Admission::Rejected { .. }));
+        std::thread::sleep(Duration::from_millis(15));
+        // Cooldown passed: exactly one probe gets through.
+        assert!(matches!(b.admit(), Admission::Allowed));
+        assert!(matches!(b.admit(), Admission::Rejected { .. }), "second concurrent probe refused");
+        // Probe succeeds → closed again.
+        b.on_success();
+        assert!(matches!(b.admit(), Admission::Allowed));
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let b = Breaker::new(1, Duration::from_millis(10));
+        b.on_failure();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(matches!(b.admit(), Admission::Allowed), "half-open probe");
+        assert!(b.on_failure(), "probe failure re-opens");
+        assert!(matches!(b.admit(), Admission::Rejected { .. }));
+    }
+
+    #[test]
+    fn aborted_probe_reopens_instead_of_sticking_half_open() {
+        let b = Breaker::new(1, Duration::from_millis(10));
+        b.on_failure();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(matches!(b.admit(), Admission::Allowed), "half-open probe");
+        b.probe_aborted();
+        assert!(matches!(b.admit(), Admission::Rejected { .. }), "back to open");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(matches!(b.admit(), Admission::Allowed), "and recoverable");
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let b = Breaker::new(0, Duration::from_millis(10));
+        for _ in 0..100 {
+            assert!(!b.on_failure());
+        }
+        assert!(matches!(b.admit(), Admission::Allowed));
+    }
+
+    #[test]
+    fn rejection_carries_a_backoff_hint() {
+        let b = Breaker::new(1, Duration::from_secs(60));
+        b.on_failure();
+        match b.admit() {
+            Admission::Rejected { retry_after } => {
+                assert!(retry_after > Duration::from_secs(1));
+            }
+            Admission::Allowed => panic!("open breaker admitted"),
+        }
+    }
+}

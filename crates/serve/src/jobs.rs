@@ -1,0 +1,514 @@
+//! Request decoding and engine invocation for the three job endpoints.
+//!
+//! A job carries its inputs inline (CSV text, ontology text, OFD specs)
+//! so the server holds no session state — every piece of durable state
+//! lives in the checkpoint directory, keyed by a fingerprint of the
+//! request, which is what makes kill/restart resume work: the same
+//! request sent to a restarted server maps to the same per-job
+//! [`SnapshotStore`] and the engine's own input fingerprint decides
+//! whether the snapshot is resumable.
+//!
+//! Support values are reported both as JSON floats (for humans) and as
+//! raw IEEE-754 bit patterns (`support_bits`), the same trick the
+//! checkpoint layer uses: clients asserting byte-identical resume compare
+//! the bits and sidestep float formatting entirely.
+
+use std::path::{Path, PathBuf};
+
+use ofd_clean::{ofd_clean, OfdCleanConfig};
+use ofd_core::{
+    CheckpointOptions, ExecGuard, FaultPlan, Fingerprint, Interrupt, Obs, Ofd, OfdKind, Relation,
+    Schema, SnapshotStore, Validator,
+};
+use ofd_datagen::csv;
+use ofd_discovery::{DiscoveryOptions, FastOfd};
+use ofd_ontology::{parse_ontology, Ontology};
+use serde_json::{json, Value};
+
+/// The three job endpoints behind admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/discover` — FastOFD lattice traversal.
+    Discover,
+    /// `POST /v1/clean` — OFDClean repair.
+    Clean,
+    /// `POST /v1/validate` — per-OFD validation.
+    Validate,
+}
+
+/// Number of job endpoints (size of the breaker array).
+pub const ENDPOINT_COUNT: usize = 3;
+
+impl Endpoint {
+    /// Routes a request path to its endpoint.
+    pub fn from_path(path: &str) -> Option<Endpoint> {
+        match path {
+            "/v1/discover" => Some(Endpoint::Discover),
+            "/v1/clean" => Some(Endpoint::Clean),
+            "/v1/validate" => Some(Endpoint::Validate),
+            _ => None,
+        }
+    }
+
+    /// Stable slug used in responses and metrics labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Discover => "discover",
+            Endpoint::Clean => "clean",
+            Endpoint::Validate => "validate",
+        }
+    }
+
+    /// Dense index into per-endpoint arrays (breakers).
+    pub fn index(self) -> usize {
+        match self {
+            Endpoint::Discover => 0,
+            Endpoint::Clean => 1,
+            Endpoint::Validate => 2,
+        }
+    }
+}
+
+/// What the worker needs to know about a finished job beyond its body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobOutcome {
+    /// The engine returned a sound partial result (`INCOMPLETE`).
+    pub incomplete: bool,
+    /// The run restored state from a checkpoint before continuing.
+    pub resumed: bool,
+    /// Why the run stopped early, when `incomplete`.
+    pub interrupt: Option<Interrupt>,
+}
+
+/// A request the handler rejected before running an engine. Client
+/// errors — they map to 400 and never move the circuit breaker.
+#[derive(Debug)]
+pub struct BadRequest(pub String);
+
+/// Everything a handler needs besides the request body.
+pub struct JobContext {
+    /// Per-request guard (deadline from the server budget; cancel on
+    /// client disconnect or drain).
+    pub guard: ExecGuard,
+    /// Server-wide metrics handle.
+    pub obs: Obs,
+    /// Seeded fault plan (inert in production).
+    pub faults: FaultPlan,
+    /// Root checkpoint directory; `None` disables checkpointing.
+    pub checkpoint_root: Option<PathBuf>,
+}
+
+/// Runs `endpoint` on `body`, returning the response body and outcome.
+pub fn execute(
+    endpoint: Endpoint,
+    body: &Value,
+    ctx: &JobContext,
+) -> Result<(Value, JobOutcome), BadRequest> {
+    // Chaos hook for the circuit-breaker path: when (and only when) the
+    // server was started with an active fault plan, a request carrying
+    // `"inject_panic": true` panics inside the handler. The worker's
+    // catch_unwind turns it into a 500 and a breaker failure — the soak
+    // harness uses this to drive endpoints through open/half-open/closed.
+    if ctx.faults.is_active()
+        && field(body, "inject_panic").and_then(Value::as_bool) == Some(true)
+    {
+        panic!("{}", ofd_core::INJECTED_PANIC);
+    }
+    match endpoint {
+        Endpoint::Discover => discover(body, ctx),
+        Endpoint::Clean => clean(body, ctx),
+        Endpoint::Validate => validate(body, ctx),
+    }
+}
+
+// ---------------------------------------------------------------- inputs
+
+fn field<'a>(body: &'a Value, name: &str) -> Option<&'a Value> {
+    body.get(name).filter(|v| !v.is_null())
+}
+
+fn required_str<'a>(body: &'a Value, name: &str) -> Result<&'a str, BadRequest> {
+    field(body, name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| BadRequest(format!("missing required string field {name:?}")))
+}
+
+fn opt_str<'a>(body: &'a Value, name: &str) -> Result<Option<&'a str>, BadRequest> {
+    match field(body, name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| BadRequest(format!("field {name:?} must be a string"))),
+    }
+}
+
+fn opt_u64(body: &Value, name: &str) -> Result<Option<u64>, BadRequest> {
+    match field(body, name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| BadRequest(format!("field {name:?} must be a non-negative integer"))),
+    }
+}
+
+fn opt_f64(body: &Value, name: &str) -> Result<Option<f64>, BadRequest> {
+    match field(body, name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| BadRequest(format!("field {name:?} must be a number"))),
+    }
+}
+
+fn load_inputs(body: &Value) -> Result<(Relation, Ontology), BadRequest> {
+    let csv_text = required_str(body, "csv")?;
+    let rel = csv::read_csv(csv_text).map_err(|e| BadRequest(format!("csv: {e}")))?;
+    let onto = match opt_str(body, "ontology")? {
+        Some(text) => parse_ontology(text).map_err(|e| BadRequest(format!("ontology: {e}")))?,
+        None => Ontology::empty(),
+    };
+    Ok((rel, onto))
+}
+
+/// Parses the `"ofds": ["A,B->C", ...]` array (inheritance when `theta`
+/// is present, synonym otherwise) — the same grammar as the CLI's
+/// `--ofd` flag.
+fn parse_ofds(body: &Value, schema: &Schema) -> Result<Vec<Ofd>, BadRequest> {
+    let theta = opt_u64(body, "theta")?.map(|t| t as usize);
+    let specs = field(body, "ofds")
+        .and_then(Value::as_array)
+        .ok_or_else(|| BadRequest("missing required array field \"ofds\"".into()))?;
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let spec = spec
+            .as_str()
+            .ok_or_else(|| BadRequest("\"ofds\" entries must be strings".into()))?;
+        let (lhs, rhs) = spec
+            .split_once("->")
+            .ok_or_else(|| BadRequest(format!("bad OFD {spec:?}; expected \"A,B->C\"")))?;
+        let lhs_set = schema
+            .set(lhs.split(',').map(str::trim).filter(|s| !s.is_empty()))
+            .map_err(|e| BadRequest(e.to_string()))?;
+        let rhs_attr = schema
+            .attr(rhs.trim())
+            .map_err(|e| BadRequest(e.to_string()))?;
+        out.push(match theta {
+            Some(theta) => Ofd::inheritance(lhs_set, rhs_attr, theta),
+            None => Ofd::synonym(lhs_set, rhs_attr),
+        });
+    }
+    if out.is_empty() {
+        return Err(BadRequest("\"ofds\" must not be empty".into()));
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------- checkpoints
+
+/// Per-job checkpoint directory: `root/job-<fnv64-hex>` keyed by a
+/// fingerprint of the endpoint and every result-affecting input. Two
+/// concurrent jobs with different inputs therefore never share snapshot
+/// files, while a resubmitted identical request (the restart path) maps
+/// back to its own directory — the engine's internal fingerprint then
+/// validates that the snapshot really matches before resuming.
+fn job_checkpoint(
+    ctx: &JobContext,
+    endpoint: Endpoint,
+    body: &Value,
+) -> Result<Option<CheckpointOptions>, BadRequest> {
+    let Some(root) = &ctx.checkpoint_root else {
+        return Ok(None);
+    };
+    let mut fp = Fingerprint::new();
+    fp.update_str(endpoint.label());
+    fp.update_str(required_str(body, "csv")?);
+    fp.update_str(opt_str(body, "ontology")?.unwrap_or(""));
+    for opt in ["kappa", "tau"] {
+        fp.update_u64(opt_f64(body, opt)?.unwrap_or(-1.0).to_bits());
+    }
+    for opt in ["theta", "max_level", "beam"] {
+        fp.update_u64(opt_u64(body, opt)?.map_or(u64::MAX, |v| v.wrapping_add(1)));
+    }
+    if let Some(specs) = field(body, "ofds").and_then(Value::as_array) {
+        for spec in specs {
+            fp.update_str(spec.as_str().unwrap_or(""));
+        }
+    }
+    let dir: &Path = root.as_ref();
+    let mut store = SnapshotStore::new(dir.join(format!("job-{:016x}", fp.finish())));
+    if ctx.faults.is_active() {
+        store = store.with_faults(ctx.faults.clone());
+    }
+    // Resume is unconditional: loading is fingerprint-validated and falls
+    // back to a fresh run on any mismatch, so opting in is always sound.
+    Ok(Some(CheckpointOptions { store, resume: true }))
+}
+
+// -------------------------------------------------------------- handlers
+
+fn status_fields(outcome: &JobOutcome) -> (Value, Value) {
+    (
+        json!(if outcome.incomplete { "incomplete" } else { "complete" }),
+        match outcome.interrupt {
+            Some(i) => json!(i.label()),
+            None => Value::Null,
+        },
+    )
+}
+
+fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRequest> {
+    let (rel, onto) = load_inputs(body)?;
+    let mut opts = DiscoveryOptions::new()
+        .guard(ctx.guard.clone())
+        .obs(ctx.obs.clone())
+        .faults(ctx.faults.clone());
+    if let Some(kappa) = opt_f64(body, "kappa")? {
+        if !(0.0..=1.0).contains(&kappa) || kappa == 0.0 {
+            return Err(BadRequest("\"kappa\" must be in (0, 1]".into()));
+        }
+        opts = opts.min_support(kappa);
+    }
+    if let Some(theta) = opt_u64(body, "theta")? {
+        opts = opts.kind(OfdKind::Inheritance {
+            theta: theta as usize,
+        });
+    }
+    if let Some(level) = opt_u64(body, "max_level")? {
+        opts = opts.max_level(level as usize);
+    }
+    if let Some(threads) = opt_u64(body, "threads")? {
+        if threads == 0 {
+            return Err(BadRequest("\"threads\" must be at least 1".into()));
+        }
+        opts = opts.threads(threads as usize);
+    }
+    if let Some(ck) = job_checkpoint(ctx, Endpoint::Discover, body)? {
+        opts = opts.checkpoint(ck);
+    }
+
+    let out = FastOfd::new(&rel, &onto).options(opts).run();
+    let outcome = JobOutcome {
+        incomplete: !out.complete,
+        resumed: out.resumed_from_level.is_some(),
+        interrupt: out.interrupt,
+    };
+    let schema = rel.schema();
+    let ofds: Vec<Value> = out
+        .ofds
+        .iter()
+        .map(|d| {
+            let lhs: Vec<Value> = d.ofd.lhs.iter().map(|a| json!(schema.name(a))).collect();
+            json!({
+                "lhs": Value::Array(lhs),
+                "rhs": schema.name(d.ofd.rhs),
+                "support": d.support,
+                "support_bits": d.support.to_bits(),
+                "level": d.level as u64,
+            })
+        })
+        .collect();
+    let (status, interrupt) = status_fields(&outcome);
+    let value = json!({
+        "endpoint": "discover",
+        "status": status,
+        "interrupt": interrupt,
+        "ofds": Value::Array(ofds),
+        "resumed_from_level": match out.resumed_from_level {
+            Some(l) => json!(l as u64),
+            None => Value::Null,
+        },
+        "snapshots_written": out.snapshots_written as u64,
+        "snapshot_errors": out.snapshot_errors as u64,
+    });
+    Ok((value, outcome))
+}
+
+fn validate(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRequest> {
+    let (rel, onto) = load_inputs(body)?;
+    let ofds = parse_ofds(body, rel.schema())?;
+    let validator = Validator::new(&rel, &onto);
+    let mut results = Vec::with_capacity(ofds.len());
+    let mut all_satisfied = true;
+    let mut outcome = JobOutcome::default();
+    for ofd in &ofds {
+        // One checkpoint per dependency: a validate batch interrupted by
+        // drain or disconnect reports the prefix it finished.
+        if let Err(i) = ctx.guard.check() {
+            outcome.incomplete = true;
+            outcome.interrupt = Some(i);
+            break;
+        }
+        let v = validator.check(ofd);
+        all_satisfied &= v.satisfied();
+        results.push(json!({
+            "ofd": ofd.display(rel.schema()),
+            "satisfied": v.satisfied(),
+            "support": v.support(),
+            "support_bits": v.support().to_bits(),
+            "violating_classes": v.violation_count() as u64,
+        }));
+    }
+    let (status, interrupt) = status_fields(&outcome);
+    let value = json!({
+        "endpoint": "validate",
+        "status": status,
+        "interrupt": interrupt,
+        "results": Value::Array(results),
+        "all_satisfied": all_satisfied,
+    });
+    Ok((value, outcome))
+}
+
+fn clean(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRequest> {
+    let (rel, onto) = load_inputs(body)?;
+    let ofds = parse_ofds(body, rel.schema())?;
+    let mut config = OfdCleanConfig {
+        guard: ctx.guard.clone(),
+        obs: ctx.obs.clone(),
+        ..OfdCleanConfig::default()
+    };
+    if let Some(tau) = opt_f64(body, "tau")? {
+        config.tau = tau;
+    }
+    if let Some(beam) = opt_u64(body, "beam")? {
+        config.beam = Some(beam as usize);
+    }
+    config.checkpoint = job_checkpoint(ctx, Endpoint::Clean, body)?;
+
+    let result = ofd_clean(&rel, &onto, &ofds, &config);
+    let outcome = JobOutcome {
+        incomplete: !result.complete,
+        resumed: result.resumed_from_phase.is_some(),
+        interrupt: result.interrupt,
+    };
+    let (status, interrupt) = status_fields(&outcome);
+    let value = json!({
+        "endpoint": "clean",
+        "status": status,
+        "interrupt": interrupt,
+        "satisfied": result.satisfied,
+        "ontology_insertions": result.ontology_dist() as u64,
+        "cell_repairs": result.data_dist() as u64,
+        "sense_reassignments": result.reassignments as u64,
+        "resumed_from_phase": match result.resumed_from_phase {
+            Some(p) => json!(p),
+            None => Value::Null,
+        },
+        "snapshots_written": result.snapshots_written as u64,
+        "snapshot_errors": result.snapshot_errors as u64,
+        "repaired_csv": csv::write_csv(&result.repaired),
+    });
+    Ok((value, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> JobContext {
+        JobContext {
+            guard: ExecGuard::unlimited(),
+            obs: Obs::disabled(),
+            faults: FaultPlan::none(),
+            checkpoint_root: None,
+        }
+    }
+
+    fn sample_body() -> Value {
+        let ds = ofd_datagen::clinical(&ofd_datagen::PresetConfig {
+            n_rows: 120,
+            n_attrs: 5,
+            n_ofds: 2,
+            seed: 7,
+            ..ofd_datagen::PresetConfig::default()
+        });
+        json!({
+            "csv": csv::write_csv(&ds.clean),
+            "ontology": ofd_ontology::write_ontology(&ds.full_ontology),
+        })
+    }
+
+    #[test]
+    fn discover_returns_complete_sigma_with_support_bits() {
+        let (v, outcome) = discover(&sample_body(), &ctx()).expect("discover");
+        assert!(!outcome.incomplete);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("complete"));
+        let ofds = v.get("ofds").and_then(Value::as_array).expect("ofds");
+        assert!(!ofds.is_empty(), "clinical preset plants OFDs");
+        for o in ofds {
+            let bits = o.get("support_bits").and_then(Value::as_u64).expect("bits");
+            let support = o.get("support").and_then(Value::as_f64).expect("support");
+            assert_eq!(f64::from_bits(bits), support, "bits round-trip the float");
+        }
+    }
+
+    #[test]
+    fn discover_under_a_tripped_guard_reports_incomplete() {
+        let mut c = ctx();
+        c.guard = ExecGuard::with_max_work(1);
+        let (v, outcome) = discover(&sample_body(), &c).expect("discover");
+        assert!(outcome.incomplete);
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("incomplete"));
+        assert!(v.get("interrupt").and_then(Value::as_str).is_some());
+    }
+
+    #[test]
+    fn validate_checks_each_ofd() {
+        let mut body = sample_body();
+        if let Value::Object(fields) = &mut body {
+            fields.push(("ofds".into(), json!(["CC->CTRY"])));
+        }
+        match validate(&body, &ctx()) {
+            Ok((v, _)) => {
+                let results = v.get("results").and_then(Value::as_array).expect("results");
+                assert_eq!(results.len(), 1);
+                assert!(results[0].get("satisfied").and_then(Value::as_bool).is_some());
+            }
+            // The preset's attribute names vary with config; a schema miss
+            // must come back as a client error, not a panic.
+            Err(BadRequest(msg)) => assert!(!msg.is_empty()),
+        }
+    }
+
+    #[test]
+    fn missing_csv_is_a_bad_request() {
+        let err = discover(&json!({}), &ctx()).expect_err("missing csv");
+        assert!(err.0.contains("csv"));
+    }
+
+    #[test]
+    fn bad_ofd_spec_is_a_bad_request() {
+        let mut body = sample_body();
+        if let Value::Object(fields) = &mut body {
+            fields.push(("ofds".into(), json!(["no-arrow-here"])));
+        }
+        let err = validate(&body, &ctx()).expect_err("bad spec");
+        assert!(err.0.contains("expected"));
+    }
+
+    #[test]
+    fn job_checkpoint_keys_by_inputs() {
+        let mut c = ctx();
+        c.checkpoint_root = Some(std::env::temp_dir().join("ofd-serve-ckpt-key-test"));
+        let a = json!({"csv": "A,B\n1,2\n"});
+        let b = json!({"csv": "A,B\n1,3\n"});
+        let dir_of = |body: &Value| {
+            job_checkpoint(&c, Endpoint::Discover, body)
+                .expect("checkpoint")
+                .expect("enabled")
+                .store
+                .dir()
+                .to_path_buf()
+        };
+        assert_eq!(dir_of(&a), dir_of(&a), "same request, same directory");
+        assert_ne!(dir_of(&a), dir_of(&b), "different csv, different directory");
+        assert_ne!(
+            job_checkpoint(&c, Endpoint::Discover, &a).unwrap().unwrap().store.dir(),
+            job_checkpoint(&c, Endpoint::Clean, &a).unwrap().unwrap().store.dir(),
+            "different endpoint, different directory"
+        );
+    }
+}

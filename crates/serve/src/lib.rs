@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # ofd-serve
+//!
+//! A resilient, zero-dependency HTTP/1.1 service layer over the FastOFD /
+//! OFDClean engines — the piece that turns the batch binaries into a
+//! long-running process that survives overload, bad requests and
+//! restarts:
+//!
+//! * **Endpoints** — `POST /v1/discover`, `POST /v1/clean`,
+//!   `POST /v1/validate` (inputs inline as JSON: CSV text, ontology text,
+//!   OFD specs), plus `GET /healthz`, `GET /readyz`, `GET /metrics`
+//!   (ofd-obs schema-v1 JSON) and `POST /admin/drain`.
+//! * **Admission control** — a bounded queue ([`queue::BoundedQueue`])
+//!   feeding a fixed worker pool; each admitted job runs under a
+//!   per-request [`ExecGuard`](ofd_core::ExecGuard) deadline derived from
+//!   the server budget, started at admission so queue wait counts.
+//! * **Load shedding** — 429 + `Retry-After` + `retry_after_ms` backoff
+//!   hints when the queue is full or the process RSS crosses a high-water
+//!   mark; 503 while draining.
+//! * **Circuit breaking** — per-endpoint [`breaker::Breaker`]s open after
+//!   N consecutive handler panics, refuse with a cooldown hint, then
+//!   half-open a single probe.
+//! * **Cooperative cancel** — a disconnect watcher cancels the guard when
+//!   the client goes away; the engine stops at its next checkpoint.
+//! * **Checkpointed graceful drain** — SIGTERM (or `/admin/drain`)
+//!   cancels in-flight jobs to their next snapshot boundary; per-job
+//!   [`SnapshotStore`](ofd_core::SnapshotStore) directories (keyed by a
+//!   request fingerprint) let a restarted server resume the same request
+//!   byte-identically.
+//!
+//! The soak harness for all of this is `serve_probe` in `ofd-bench`.
+
+pub mod breaker;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+pub mod server;
+
+pub use breaker::{Admission, Breaker};
+pub use jobs::{BadRequest, Endpoint, JobContext, JobOutcome};
+pub use server::{termination_flag, ServeConfig, ServeSummary, Server, SERVE_COUNTERS};

@@ -1,0 +1,140 @@
+//! A bounded MPMC admission queue (`Mutex<VecDeque>` + `Condvar`).
+//!
+//! Admission is non-blocking by design: [`BoundedQueue::try_push`] either
+//! admits instantly or reports `Full` so the connection handler can shed
+//! the request with a 429 + backoff hint instead of queueing unbounded
+//! work. Only the worker side blocks, with a timeout so workers can
+//! observe shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Returned by [`BoundedQueue::try_push`] when the queue is at capacity;
+/// carries the rejected item back so the caller can respond to it.
+#[derive(Debug)]
+pub struct Full<T>(pub T);
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO shared between connection handlers (producers) and the
+/// worker pool (consumers).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` items (`cap == 0` sheds everything).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap.min(1024)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Admits `item` if there is room, returning the queue depth after the
+    /// push; hands the item back inside [`Full`] otherwise. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<usize, Full<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.items.len() >= self.cap {
+            return Err(Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Waits up to `timeout` for an item. `None` means timeout or closed —
+    /// callers re-check their shutdown flag and loop.
+    pub fn pop(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.items.is_empty() && !inner.closed {
+            let (guard, _) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .expect("queue wait");
+            inner = guard;
+        }
+        inner.items.pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rejects future pushes and wakes all waiting consumers. Items
+    /// already queued can still be popped (drain semantics).
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_when_full_and_admits_after_pop() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).expect("admit"), 1);
+        assert_eq!(q.try_push(2).expect("admit"), 2);
+        let Full(rejected) = q.try_push(3).expect_err("full");
+        assert_eq!(rejected, 3);
+        assert_eq!(q.pop(Duration::from_millis(10)), Some(1));
+        assert_eq!(q.try_push(3).expect("room again"), 2);
+    }
+
+    #[test]
+    fn pop_times_out_on_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert_eq!(q.pop(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_existing() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).expect("admit");
+        q.close();
+        assert!(q.try_push(8).is_err());
+        assert_eq!(q.pop(Duration::from_millis(5)), Some(7));
+        assert_eq!(q.pop(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = BoundedQueue::new(0);
+        assert!(q.try_push(1).is_err());
+    }
+
+    #[test]
+    fn wakes_a_blocked_consumer() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop(Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42).expect("admit");
+        assert_eq!(consumer.join().expect("join"), Some(42));
+    }
+}

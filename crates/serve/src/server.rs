@@ -1,0 +1,680 @@
+//! The resilient HTTP server: admission queue → worker pool → engines.
+//!
+//! Request lifecycle for the job endpoints (`/v1/*`):
+//!
+//! ```text
+//!          conn thread                         worker pool
+//!   ┌──────────────────────┐       ┌──────────────────────────────┐
+//!   │ parse → drain gate → │ queue │ pop → disconnect watcher →   │
+//!   │ breaker → RSS gate → │ ────▶ │ catch_unwind(engine) →       │
+//!   │ guard → try_push     │  429  │ breaker verdict → respond    │
+//!   └──────────────────────┘ shed  └──────────────────────────────┘
+//! ```
+//!
+//! Every rejection path answers immediately with a backoff hint; every
+//! admitted request is answered exactly once — complete, `INCOMPLETE`
+//! sound partial (guard trip, drain, disconnect), or 500 after a caught
+//! panic. Drain cancels the guards of queued and running jobs, so the
+//! pool converges in one checkpoint interval and in-flight discovery
+//! state survives in the per-job snapshot directories.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ofd_core::guard::rss_kib;
+use ofd_core::{ExecGuard, FaultPlan, GuardConfig, Interrupt, Obs};
+use serde_json::{json, Value};
+
+use crate::breaker::{Admission, Breaker};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::jobs::{self, BadRequest, Endpoint, JobContext, ENDPOINT_COUNT};
+use crate::queue::{BoundedQueue, Full};
+
+/// Server configuration; every knob has a production-shaped default.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission-queue capacity; requests beyond it are shed with 429.
+    pub queue_cap: usize,
+    /// Per-request wall-clock budget (ms). A client `timeout_ms` may only
+    /// lower it. The guard starts at admission, so queue wait burns the
+    /// same budget the engine does.
+    pub budget_ms: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Load-shed when the process RSS crosses this many MiB (`None`
+    /// disables the gate).
+    pub rss_high_water_mib: Option<usize>,
+    /// Consecutive handler panics that open an endpoint's circuit
+    /// breaker (`0` disables breakers).
+    pub breaker_threshold: u32,
+    /// Cooldown before an open circuit admits its half-open probe (ms).
+    pub breaker_cooldown_ms: u64,
+    /// Root directory for per-job checkpoints (`None` disables
+    /// checkpointed drain/resume).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Seeded fault plan passed through to the engines and snapshot
+    /// stores (inert by default; the soak harness sets it).
+    pub faults: FaultPlan,
+    /// Metrics handle backing `/metrics` and the shutdown summary.
+    pub obs: Obs,
+    /// Base backoff hint (ms) attached to shed responses; scaled by the
+    /// queue depth so a deeper backlog pushes retries further out.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            budget_ms: 30_000,
+            max_body_bytes: 16 * 1024 * 1024,
+            rss_high_water_mib: None,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
+            checkpoint_dir: None,
+            faults: FaultPlan::none(),
+            obs: Obs::enabled(),
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// The `serve.*` counters pinned by the metrics schema test; touched at
+/// bind time so they are present (zero) in every `/metrics` document.
+pub const SERVE_COUNTERS: [&str; 10] = [
+    "serve.requests",
+    "serve.admitted",
+    "serve.shed",
+    "serve.breaker_open",
+    "serve.drained",
+    "serve.resumed",
+    "serve.completed",
+    "serve.incomplete",
+    "serve.panics",
+    "serve.bad_request",
+];
+
+/// One queued job: everything the worker needs to run and answer it.
+struct Job {
+    id: u64,
+    endpoint: Endpoint,
+    body: Value,
+    stream: TcpStream,
+    guard: ExecGuard,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    obs: Obs,
+    queue: BoundedQueue<Job>,
+    /// Admission closed; in-flight work being cancelled to checkpoints.
+    draining: AtomicBool,
+    /// Drain finished; threads should exit.
+    stopping: AtomicBool,
+    /// Set by `POST /admin/drain` — the run loop polls it.
+    drain_requested: AtomicBool,
+    /// Guards of every admitted-but-unanswered job, for drain to cancel.
+    inflight: Mutex<HashMap<u64, ExecGuard>>,
+    next_job: AtomicU64,
+    breakers: [Breaker; ENDPOINT_COUNT],
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Cancel queued and running jobs; each engine stops at its next
+        // checkpoint and the worker answers with a sound INCOMPLETE
+        // partial. Discovery state up to the last completed level is
+        // already in the per-job snapshot directory.
+        for guard in self.inflight.lock().expect("inflight lock").values() {
+            guard.cancel();
+        }
+    }
+}
+
+/// Final tallies returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Jobs admitted past the queue.
+    pub admitted: u64,
+    /// Requests shed (queue full or RSS high-water).
+    pub shed: u64,
+    /// Requests refused by an open circuit breaker.
+    pub breaker_open: u64,
+    /// Admitted jobs answered `INCOMPLETE` because drain cancelled them.
+    pub drained: u64,
+    /// Jobs that restored engine state from a checkpoint.
+    pub resumed: u64,
+}
+
+/// A running server; dropping it without [`Server::shutdown`] leaves the
+/// threads detached, so call `shutdown` (tests and binaries all do).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns the
+    /// running server. `/readyz` turns 200 as soon as this returns.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let obs = cfg.obs.clone();
+        for name in SERVE_COUNTERS {
+            obs.touch_counter(name);
+        }
+        // Satellite of the guard work: an RSS gate that cannot read the
+        // resident set is inert — say so once, loudly, instead of letting
+        // the operator believe the ceiling is enforced.
+        if cfg.rss_high_water_mib.is_some() && rss_kib().is_none() {
+            obs.inc("guard.rss.unavailable");
+            eprintln!(
+                "warning: guard.rss.unavailable: --rss-high-water-mib is inert \
+                 (no readable RSS source on this platform)"
+            );
+        }
+
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_cap),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            inflight: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            breakers: std::array::from_fn(|_| {
+                Breaker::new(
+                    cfg.breaker_threshold,
+                    Duration::from_millis(cfg.breaker_cooldown_ms),
+                )
+            }),
+            obs,
+            cfg,
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ofd-serve-accept".into())
+                    .spawn(move || accept_loop(listener, shared))?,
+            );
+        }
+        for i in 0..workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ofd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics handle.
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
+    }
+
+    /// Starts a graceful drain: admission closes (503), queued and
+    /// running jobs are cancelled to their next checkpoint. Idempotent.
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether a drain is in progress (or done).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether a client asked for drain via `POST /admin/drain` — the
+    /// serve binaries poll this next to their SIGTERM flag.
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested.load(Ordering::SeqCst)
+    }
+
+    /// Drains, waits for every admitted job to be answered (bounded by
+    /// `wait`), stops the threads and returns the final tallies.
+    pub fn shutdown(mut self, wait: Duration) -> ServeSummary {
+        self.shared.begin_drain();
+        let deadline = Instant::now() + wait;
+        while Instant::now() < deadline {
+            let idle = self.shared.queue.is_empty()
+                && self.shared.inflight.lock().expect("inflight lock").is_empty();
+            if idle {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Exact lookups: `counter_sum` is prefix-based and would fold the
+        // `serve.shed.*` reason breakdowns into `serve.shed` twice over.
+        let snap = self.shared.obs.snapshot();
+        let exact = |name: &str| snap.counter(name).unwrap_or(0);
+        ServeSummary {
+            admitted: exact("serve.admitted"),
+            shed: exact("serve.shed"),
+            breaker_open: exact("serve.breaker_open"),
+            drained: exact("serve.drained"),
+            resumed: exact("serve.resumed"),
+        }
+    }
+}
+
+// ------------------------------------------------------------ accept side
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stopping.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                // One short-lived thread per connection for the parse +
+                // admission stage only; heavy work happens in the fixed
+                // worker pool. A slow client therefore cannot stall the
+                // accept loop, and admission itself never blocks.
+                let _ = std::thread::Builder::new()
+                    .name("ofd-serve-conn".into())
+                    .spawn(move || handle_connection(stream, shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn retry_after_headers(resp: Response, hint: Duration) -> Response {
+    let secs = hint.as_secs() + u64::from(hint.subsec_nanos() > 0);
+    resp.with_header("retry-after", secs.max(1).to_string())
+}
+
+fn shed_body(error: &str, retry_after_ms: u64) -> Value {
+    json!({ "error": error, "retry_after_ms": retry_after_ms })
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let req = match read_request(&mut stream, cfg.max_body_bytes, Duration::from_secs(10)) {
+        Ok(req) => req,
+        Err(HttpError::Disconnected) => return,
+        Err(e) => {
+            let status = match e {
+                HttpError::HeadTooLarge => 431,
+                HttpError::BodyTooLarge => 413,
+                _ => 400,
+            };
+            let _ = Response::json(status, &json!({ "error": format!("{e}") }))
+                .write_to(&mut stream);
+            return;
+        }
+    };
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = Response::text(200, "ok\n").write_to(&mut stream);
+        }
+        ("GET", "/readyz") => {
+            let draining = shared.draining.load(Ordering::SeqCst);
+            let resp = if draining {
+                Response::json(503, &json!({ "ready": false, "draining": true }))
+            } else {
+                Response::json(200, &json!({ "ready": true, "draining": false }))
+            };
+            let _ = resp.write_to(&mut stream);
+        }
+        ("GET", "/metrics") => {
+            shared
+                .obs
+                .set_gauge("serve.queue.depth", shared.queue.len() as f64);
+            shared.obs.set_gauge(
+                "serve.inflight",
+                shared.inflight.lock().expect("inflight lock").len() as f64,
+            );
+            let text = shared.obs.snapshot().to_json_string(true);
+            let _ = Response::json_text(200, text).write_to(&mut stream);
+        }
+        ("POST", "/admin/drain") => {
+            shared.drain_requested.store(true, Ordering::SeqCst);
+            shared.begin_drain();
+            let _ = Response::json(200, &json!({ "draining": true })).write_to(&mut stream);
+        }
+        ("POST", path) => match Endpoint::from_path(path) {
+            Some(endpoint) => admit(endpoint, req, stream, &shared),
+            None => {
+                let _ = Response::json(404, &json!({ "error": "unknown endpoint" }))
+                    .write_to(&mut stream);
+            }
+        },
+        _ => {
+            let _ = Response::json(405, &json!({ "error": "method not allowed" }))
+                .write_to(&mut stream);
+        }
+    }
+}
+
+/// The admission pipeline for a job endpoint; answers inline on every
+/// rejection path, enqueues on success.
+fn admit(endpoint: Endpoint, req: Request, mut stream: TcpStream, shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let obs = &shared.obs;
+    obs.inc("serve.requests");
+
+    // Gate 1: drain. New work is refused outright so the pool converges.
+    if shared.draining.load(Ordering::SeqCst) {
+        let resp = Response::json(503, &shed_body("draining", cfg.retry_after_ms));
+        let _ = retry_after_headers(resp, Duration::from_millis(cfg.retry_after_ms))
+            .write_to(&mut stream);
+        return;
+    }
+
+    // Gate 2: circuit breaker — a repeatedly-panicking endpoint must not
+    // keep consuming worker slots the healthy endpoints need.
+    let breaker = &shared.breakers[endpoint.index()];
+    if let Admission::Rejected { retry_after } = breaker.admit() {
+        obs.inc("serve.breaker_open");
+        let resp = Response::json(
+            503,
+            &json!({
+                "error": "circuit_open",
+                "endpoint": endpoint.label(),
+                "retry_after_ms": retry_after.as_millis() as u64,
+            }),
+        );
+        let _ = retry_after_headers(resp, retry_after).write_to(&mut stream);
+        return;
+    }
+
+    // Gate 3: memory high-water. Shed before parsing the body into a
+    // long-lived job — admission is the last point where refusing is
+    // cheap.
+    if let Some(hw_mib) = cfg.rss_high_water_mib {
+        if rss_kib().is_some_and(|rss| rss > hw_mib as u64 * 1024) {
+            obs.inc("serve.shed");
+            obs.inc("serve.shed.rss");
+            breaker.probe_aborted();
+            let resp = Response::json(429, &shed_body("rss_high_water", cfg.retry_after_ms));
+            let _ = retry_after_headers(resp, Duration::from_millis(cfg.retry_after_ms))
+                .write_to(&mut stream);
+            return;
+        }
+    }
+
+    let body: Value = match serde_json::from_str(
+        std::str::from_utf8(&req.body).unwrap_or(""),
+    ) {
+        Ok(v) => v,
+        Err(e) => {
+            obs.inc("serve.bad_request");
+            breaker.probe_aborted();
+            let _ = Response::json(400, &json!({ "error": format!("body: {e}") }))
+                .write_to(&mut stream);
+            return;
+        }
+    };
+
+    // The guard starts here: queue wait spends the same budget the engine
+    // does, so a request stuck behind a backlog times out instead of
+    // running long after its client gave up. Clients may lower (never
+    // raise) the server budget.
+    let budget_ms = match body.get("timeout_ms").and_then(Value::as_u64) {
+        Some(client_ms) => client_ms.min(cfg.budget_ms),
+        None => cfg.budget_ms,
+    };
+    let guard = ExecGuard::new(GuardConfig {
+        timeout: Some(Duration::from_millis(budget_ms)),
+        ..GuardConfig::default()
+    });
+
+    let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+    shared
+        .inflight
+        .lock()
+        .expect("inflight lock")
+        .insert(id, guard.clone());
+    // Drain may have raced admission: a job registered after the cancel
+    // sweep still gets cancelled here, preserving "no new work after
+    // drain" without a queue-wide lock.
+    if shared.draining.load(Ordering::SeqCst) {
+        guard.cancel();
+    }
+
+    let job = Job {
+        id,
+        endpoint,
+        body,
+        stream,
+        guard,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            obs.inc("serve.admitted");
+            obs.set_gauge("serve.queue.depth", depth as f64);
+        }
+        Err(Full(mut job)) => {
+            // Gate 4: bounded queue. The backoff hint scales with the
+            // backlog so clients spread their retries.
+            shared
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .remove(&job.id);
+            obs.inc("serve.shed");
+            obs.inc("serve.shed.queue_full");
+            breaker.probe_aborted();
+            let hint_ms = cfg.retry_after_ms * (1 + shared.queue.len() as u64);
+            let resp = Response::json(429, &shed_body("queue_full", hint_ms));
+            let _ = retry_after_headers(resp, Duration::from_millis(hint_ms))
+                .write_to(&mut job.stream);
+        }
+    }
+}
+
+// ------------------------------------------------------------ worker side
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        match shared.queue.pop(Duration::from_millis(50)) {
+            Some(job) => execute_job(job, &shared),
+            None => {
+                if shared.stopping.load(Ordering::SeqCst) && shared.queue.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Watches the client socket while the engine runs; EOF means the client
+/// went away, and the guard is cancelled so the engine stops burning a
+/// worker slot on an answer nobody will read.
+fn spawn_disconnect_watcher(
+    job_stream: &TcpStream,
+    guard: ExecGuard,
+    obs: Obs,
+    done: Arc<AtomicBool>,
+) -> Option<JoinHandle<()>> {
+    let mut watch = job_stream.try_clone().ok()?;
+    if watch
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return None;
+    }
+    std::thread::Builder::new()
+        .name("ofd-serve-watch".into())
+        .spawn(move || {
+            use std::io::Read;
+            let mut buf = [0u8; 64];
+            while !done.load(Ordering::SeqCst) {
+                match watch.read(&mut buf) {
+                    Ok(0) => {
+                        obs.inc("serve.client_disconnect");
+                        guard.cancel();
+                        return;
+                    }
+                    // Unexpected extra bytes: ignore them, keep watching.
+                    Ok(_) => {}
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => return,
+                }
+            }
+        })
+        .ok()
+}
+
+fn execute_job(mut job: Job, shared: &Arc<Shared>) {
+    let obs = &shared.obs;
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher = spawn_disconnect_watcher(&job.stream, job.guard.clone(), obs.clone(), done.clone());
+
+    let ctx = JobContext {
+        guard: job.guard.clone(),
+        obs: obs.clone(),
+        faults: shared.cfg.faults.clone(),
+        checkpoint_root: shared.cfg.checkpoint_dir.clone(),
+    };
+    let span = obs.span(&format!("serve.job.{}", job.endpoint.label()));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        jobs::execute(job.endpoint, &job.body, &ctx)
+    }));
+    drop(span);
+    done.store(true, Ordering::SeqCst);
+    if let Some(w) = watcher {
+        let _ = w.join();
+    }
+
+    let breaker = &shared.breakers[job.endpoint.index()];
+    let response = match result {
+        Ok(Ok((value, outcome))) => {
+            breaker.on_success();
+            if outcome.incomplete {
+                obs.inc("serve.incomplete");
+                // A cancel observed while draining is the drain path: the
+                // job's progress is in its checkpoint directory, waiting
+                // for the restarted server.
+                if outcome.interrupt == Some(Interrupt::Cancelled)
+                    && shared.draining.load(Ordering::SeqCst)
+                {
+                    obs.inc("serve.drained");
+                }
+            } else {
+                obs.inc("serve.completed");
+            }
+            if outcome.resumed {
+                obs.inc("serve.resumed");
+            }
+            Response::json(200, &value)
+        }
+        Ok(Err(BadRequest(msg))) => {
+            // Client errors say nothing about endpoint health: the
+            // breaker treats them as a successful handler run.
+            breaker.on_success();
+            obs.inc("serve.bad_request");
+            Response::json(400, &json!({ "error": msg }))
+        }
+        Err(_panic) => {
+            obs.inc("serve.panics");
+            if breaker.on_failure() {
+                obs.inc("serve.breaker_opened");
+            }
+            job.guard.trip_external(Interrupt::WorkerPanic);
+            Response::json(
+                500,
+                &json!({ "error": "internal", "endpoint": job.endpoint.label() }),
+            )
+        }
+    };
+    let _ = response.write_to(&mut job.stream);
+    // Unregister only after the response hit the socket: shutdown's
+    // "all answered" wait keys off this map.
+    shared
+        .inflight
+        .lock()
+        .expect("inflight lock")
+        .remove(&job.id);
+}
+
+// --------------------------------------------------------------- signals
+
+#[cfg(unix)]
+mod termination {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        FLAG.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn termination_flag() -> &'static AtomicBool {
+        INSTALL.call_once(|| unsafe {
+            signal(15, on_signal as *const () as usize); // SIGTERM
+            signal(2, on_signal as *const () as usize); // SIGINT
+        });
+        &FLAG
+    }
+}
+
+#[cfg(not(unix))]
+mod termination {
+    use std::sync::atomic::AtomicBool;
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+
+    pub fn termination_flag() -> &'static AtomicBool {
+        // No signals to hook; the flag simply never flips and binaries
+        // fall back to /admin/drain.
+        &FLAG
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers (first call only) and returns the
+/// flag they flip. Serve binaries poll it next to
+/// [`Server::drain_requested`] and run [`Server::shutdown`] when either
+/// fires; on platforms without Unix signals the flag never flips and
+/// `POST /admin/drain` is the drain path.
+pub fn termination_flag() -> &'static AtomicBool {
+    termination::termination_flag()
+}

@@ -12,7 +12,16 @@
 //!                  --ofd "CC->CTRY" --ofd "SYMP,DIAG->MED" \
 //!                  [--tau 0.65] [--beam B] [--out repaired.csv]
 //!                  [--onto-out repaired-onto.txt]
+//! fastofd serve    [--addr 127.0.0.1:8080] [--workers N] [--queue-cap N]
+//!                  [--budget-ms N] [--rss-high-water-mib N]
+//!                  [--breaker-failures N] [--breaker-cooldown-ms N]
+//!                  [--checkpoint-dir DIR]
 //! ```
+//!
+//! Exit codes: `0` success, `1` error (bad flags, I/O failure, violated
+//! `check`), `3` the run finished with a sound-but-INCOMPLETE partial
+//! result (guard limit, drain or injected fault) — scripts can tell
+//! partial from complete without parsing output.
 
 use std::collections::HashMap;
 use std::fs;
@@ -29,9 +38,14 @@ use fastofd::datagen::{census, clinical, csv, demo_dataset, kiva, PresetConfig};
 use fastofd::discovery::{DiscoveryOptions, FastOfd};
 use fastofd::ontology::{parse_ontology, write_ontology, Ontology};
 
+/// Exit code for a run that finished with a sound-but-partial
+/// (`INCOMPLETE`) result: everything printed/written is valid, but a
+/// guard limit or interrupt stopped the run before completion.
+const EXIT_INCOMPLETE: u8 = 3;
+
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -39,7 +53,16 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
+/// `SUCCESS` for a complete run, [`EXIT_INCOMPLETE`] otherwise.
+fn completion_code(complete: bool) -> ExitCode {
+    if complete {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_INCOMPLETE)
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
     let mut flags: HashMap<String, Vec<String>> = HashMap::new();
@@ -120,7 +143,7 @@ fn run() -> Result<(), String> {
             for o in &ds.ofds {
                 println!("  {}", o.display(ds.relation.schema()));
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "discover" => {
             let (rel, onto) = load(&single("data"), &single("ontology"))?;
@@ -172,7 +195,7 @@ fn run() -> Result<(), String> {
                 eprintln!("wrote Σ to {path} (load with --ofds-file)");
             }
             emit_obs(&obs, &flags)?;
-            Ok(())
+            Ok(completion_code(out.complete))
         }
         "check" => {
             let (rel, onto) = load(&single("data"), &single("ontology"))?;
@@ -206,7 +229,7 @@ fn run() -> Result<(), String> {
                 }
             }
             if all_ok {
-                Ok(())
+                Ok(ExitCode::SUCCESS)
             } else {
                 Err("one or more OFDs violated".into())
             }
@@ -285,7 +308,7 @@ fn run() -> Result<(), String> {
                 println!("wrote repair report to {report_path}");
             }
             emit_obs(&obs, &flags)?;
-            Ok(())
+            Ok(completion_code(result.complete))
         }
         "enforce" => {
             // §5: discover κ-approximate OFDs on the (dirty) data, then
@@ -327,18 +350,95 @@ fn run() -> Result<(), String> {
                 println!("wrote repaired data to {out}");
             }
             emit_obs(&obs, &flags)?;
-            Ok(())
+            Ok(completion_code(result.clean.complete))
+        }
+        "serve" => {
+            // Long-running resilient service over the same engines; see
+            // the README "Serving" section for endpoint and shedding
+            // semantics. Drains gracefully on SIGTERM/SIGINT or
+            // `POST /admin/drain`, checkpointing in-flight jobs under
+            // `--checkpoint-dir` for byte-identical resume after restart.
+            let mut cfg = fastofd::serve::ServeConfig {
+                faults: faults.clone(),
+                ..fastofd::serve::ServeConfig::default()
+            };
+            if let Some(addr) = single("addr") {
+                cfg.addr = addr.to_owned();
+            }
+            if let Some(n) = single("workers") {
+                cfg.workers = n.parse().map_err(|_| "--workers expects an integer")?;
+            }
+            if let Some(n) = single("queue-cap") {
+                cfg.queue_cap = n.parse().map_err(|_| "--queue-cap expects an integer")?;
+            }
+            if let Some(ms) = single("budget-ms") {
+                cfg.budget_ms = ms.parse().map_err(|_| "--budget-ms expects an integer")?;
+            }
+            if let Some(mib) = single("max-body-mib") {
+                let mib: usize = mib.parse().map_err(|_| "--max-body-mib expects an integer")?;
+                cfg.max_body_bytes = mib * 1024 * 1024;
+            }
+            if let Some(mib) = single("rss-high-water-mib") {
+                cfg.rss_high_water_mib =
+                    Some(mib.parse().map_err(|_| "--rss-high-water-mib expects an integer")?);
+            }
+            if let Some(n) = single("breaker-failures") {
+                cfg.breaker_threshold =
+                    n.parse().map_err(|_| "--breaker-failures expects an integer")?;
+            }
+            if let Some(ms) = single("breaker-cooldown-ms") {
+                cfg.breaker_cooldown_ms =
+                    ms.parse().map_err(|_| "--breaker-cooldown-ms expects an integer")?;
+            }
+            if let Some(ms) = single("retry-after-ms") {
+                cfg.retry_after_ms =
+                    ms.parse().map_err(|_| "--retry-after-ms expects an integer")?;
+            }
+            cfg.checkpoint_dir = single("checkpoint-dir").map(std::path::PathBuf::from);
+
+            let server = fastofd::serve::Server::bind(cfg).map_err(|e| format!("bind: {e}"))?;
+            let obs_handle = server.obs().clone();
+            println!(
+                "listening on {} (workers={}, queue={})",
+                server.addr(),
+                single("workers").unwrap_or("2"),
+                single("queue-cap").unwrap_or("64"),
+            );
+            {
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            let term = fastofd::serve::termination_flag();
+            while !term.load(std::sync::atomic::Ordering::SeqCst) && !server.drain_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            eprintln!("draining: admission closed, cancelling in-flight jobs to checkpoints");
+            let summary = server.shutdown(std::time::Duration::from_secs(30));
+            eprintln!(
+                "drained: admitted={} shed={} breaker_open={} drained={} resumed={}",
+                summary.admitted,
+                summary.shed,
+                summary.breaker_open,
+                summary.drained,
+                summary.resumed
+            );
+            emit_obs(&obs_handle, &flags)?;
+            Ok(ExitCode::SUCCESS)
         }
         "--help" | "-h" | "help" => {
             eprintln!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: fastofd <generate|discover|check|clean|enforce> [--flags...]\n\
+    "usage: fastofd <generate|discover|check|clean|enforce|serve> [--flags...]\n\
+     serving: fastofd serve [--addr A] [--workers N] [--queue-cap N] [--budget-ms N]\n\
+              [--rss-high-water-mib N] [--breaker-failures N] [--breaker-cooldown-ms N]\n\
+              [--checkpoint-dir DIR] — graceful drain on SIGTERM or POST /admin/drain\n\
+     exit codes: 0 complete, 1 error, 3 sound-but-INCOMPLETE partial result\n\
      execution limits (discover/clean/enforce): --timeout-ms N --max-work N --max-rss-mib N\n\
      observability (discover/clean/enforce): --metrics-out metrics.json --trace\n\
      crash safety (discover/clean/enforce): --checkpoint-dir DIR [--resume]\n\

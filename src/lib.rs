@@ -17,7 +17,8 @@
 //! * [`baselines`] — the seven classic FD discovery algorithms used as
 //!   comparators ([`fd_baselines`]);
 //! * [`clean`] — the OFDClean repair framework ([`ofd_clean`]);
-//! * [`datagen`] — synthetic dataset & ontology generators ([`ofd_datagen`]).
+//! * [`datagen`] — synthetic dataset & ontology generators ([`ofd_datagen`]);
+//! * [`serve`] — the resilient HTTP service layer ([`ofd_serve`]).
 
 pub use fd_baselines as baselines;
 pub use ofd_clean as clean;
@@ -26,3 +27,4 @@ pub use ofd_datagen as datagen;
 pub use ofd_discovery as discovery;
 pub use ofd_logic as logic;
 pub use ofd_ontology as ontology;
+pub use ofd_serve as serve;

@@ -154,6 +154,43 @@ fn check_explain_prints_options() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A run that trips an execution limit exits with the dedicated
+/// INCOMPLETE code (3): the printed partial result is sound, and scripts
+/// can tell "finished early under a budget" from an outright failure.
+#[test]
+fn incomplete_run_exits_with_code_3() {
+    let dir = tmp_dir("exit3");
+    let data = dir.join("d.csv");
+    let onto = dir.join("o.txt");
+    let out = bin()
+        .args(["generate", "--preset", "clinical", "--rows", "600", "--seed", "5"])
+        .args(["--out", data.to_str().unwrap()])
+        .args(["--onto-out", onto.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["discover", "--data", data.to_str().unwrap()])
+        .args(["--ontology", onto.to_str().unwrap()])
+        .args(["--max-work", "1"])
+        .output()
+        .expect("run budget-capped discover");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An outright usage error stays on the generic failure code.
+    let out = bin().args(["discover"]).output().expect("missing --data");
+    assert_eq!(out.status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let out = bin().output().expect("run with no args");

@@ -157,6 +157,63 @@ fn pipeline_checkpoints_share_a_directory() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Two engines interleaving checkpoints in one directory — the situation
+/// a misrouted serve worker would create — must stay isolated by the
+/// engine fingerprint: neither resumes from the other's snapshot, and
+/// both still reproduce their uninterrupted references exactly.
+#[test]
+fn concurrent_discoveries_in_one_directory_stay_fingerprint_isolated() {
+    let ds_a = dataset(110, 21);
+    let ds_b = dataset(95, 22);
+    let dir = temp_dir("shared");
+    let base = || DiscoveryOptions::new().max_level(3);
+
+    let ref_a = FastOfd::new(&ds_a.relation, &ds_a.ontology).options(base()).run();
+    let ref_b = FastOfd::new(&ds_b.relation, &ds_b.ontology).options(base()).run();
+    assert!(ref_a.complete && ref_b.complete);
+
+    // Interrupted runs of BOTH datasets, concurrently, into the same
+    // directory and the same `discovery` stream: their snapshot writes
+    // interleave freely.
+    let handles: Vec<_> = [(&ds_a, 400u64), (&ds_b, 300u64)]
+        .into_iter()
+        .map(|(ds, kill_at)| {
+            let (rel, onto, dir) = (ds.relation.clone(), ds.ontology.clone(), dir.clone());
+            std::thread::spawn(move || {
+                let guard = ExecGuard::unlimited();
+                guard.fail_after(kill_at);
+                FastOfd::new(&rel, &onto)
+                    .options(
+                        DiscoveryOptions::new()
+                            .max_level(3)
+                            .guard(guard)
+                            .checkpoint(CheckpointOptions::new(&dir)),
+                    )
+                    .run()
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join().unwrap();
+    }
+
+    // Each resumed run must reproduce ITS reference bit-for-bit. The
+    // newest snapshot in the shared stream belongs to one dataset at
+    // most; the fingerprint check forces the other onto a fresh run
+    // instead of silently adopting foreign state.
+    for (ds, reference) in [(&ds_a, &ref_a), (&ds_b, &ref_b)] {
+        let resumed = FastOfd::new(&ds.relation, &ds.ontology)
+            .options(base().checkpoint(CheckpointOptions::new(&dir).resume(true)))
+            .run();
+        assert!(resumed.complete);
+        assert_eq!(resumed.ofds, reference.ofds);
+        for (r, f) in resumed.ofds.iter().zip(reference.ofds.iter()) {
+            assert_eq!(r.support.to_bits(), f.support.to_bits());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// An injected worker panic must surface as a labelled interrupt with a
 /// sound partial Σ — the process survives, and a later clean run over the
 /// partial output still works end to end.

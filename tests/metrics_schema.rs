@@ -4,7 +4,9 @@
 //! discovery run; set `METRICS_JSON=<path>` to validate a file instead —
 //! CI's metrics-smoke job points it at the output of
 //! `scale_probe --metrics-out` so the checked-in schema and the emitted
-//! artifact can never drift apart silently.
+//! artifact can never drift apart silently. A second test scrapes a live
+//! `ofd-serve` `/metrics` endpoint and holds it to the same schema, with
+//! the `serve.*` counters pinned by name.
 
 use serde_json::Value;
 
@@ -25,14 +27,10 @@ fn produce_in_process() -> String {
     obs.snapshot().to_json_string(true)
 }
 
-#[test]
-fn metrics_json_matches_schema_v1() {
-    let text = match std::env::var("METRICS_JSON") {
-        Ok(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("METRICS_JSON={path}: {e}")),
-        Err(_) => produce_in_process(),
-    };
-    let v: Value = serde_json::from_str(&text).expect("metrics JSON parses");
+/// Assert the structural invariants every schema-v1 document must hold,
+/// and return the parsed document for producer-specific checks.
+fn validate_schema_v1(text: &str) -> Value {
+    let v: Value = serde_json::from_str(text).expect("metrics JSON parses");
 
     assert_eq!(v.get("version").and_then(Value::as_u64), Some(1), "schema version");
     assert_eq!(v.get("enabled").and_then(Value::as_bool), Some(true), "enabled flag");
@@ -44,18 +42,6 @@ fn metrics_json_matches_schema_v1() {
     for (name, value) in counters {
         assert!(value.as_u64().is_some(), "counter {name} must be a non-negative integer");
     }
-    // The partition cache is on by default, so every instrumented discovery
-    // run must publish its counters (values are workload-dependent).
-    for name in [
-        "discovery.partition.cache.hits",
-        "discovery.partition.cache.misses",
-        "discovery.partition.cache.evicted_bytes",
-    ] {
-        assert!(
-            counters.iter().any(|(n, _)| n == name),
-            "partition-cache counter {name} missing"
-        );
-    }
 
     let gauges = match v.get("gauges").expect("gauges present") {
         Value::Object(fields) => fields,
@@ -63,15 +49,6 @@ fn metrics_json_matches_schema_v1() {
     };
     for (name, value) in gauges {
         assert!(value.as_f64().is_some(), "gauge {name} must be numeric");
-    }
-    for name in [
-        "discovery.partition.cache.resident_bytes",
-        "discovery.partition.cache.peak_resident_bytes",
-    ] {
-        assert!(
-            gauges.iter().any(|(n, _)| n == name),
-            "partition-cache gauge {name} missing"
-        );
     }
 
     let histograms = match v.get("histograms").expect("histograms present") {
@@ -110,4 +87,97 @@ fn metrics_json_matches_schema_v1() {
             "span {i}: parent must be null or an earlier span index"
         );
     }
+
+    v
+}
+
+fn counter_names(v: &Value) -> Vec<String> {
+    match v.get("counters").expect("counters present") {
+        Value::Object(fields) => fields.iter().map(|(n, _)| n.clone()).collect(),
+        other => panic!("counters must be an object, got {other}"),
+    }
+}
+
+#[test]
+fn metrics_json_matches_schema_v1() {
+    let text = match std::env::var("METRICS_JSON") {
+        Ok(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("METRICS_JSON={path}: {e}")),
+        Err(_) => produce_in_process(),
+    };
+    let v = validate_schema_v1(&text);
+
+    // The partition cache is on by default, so every instrumented discovery
+    // run must publish its counters (values are workload-dependent).
+    let names = counter_names(&v);
+    for name in [
+        "discovery.partition.cache.hits",
+        "discovery.partition.cache.misses",
+        "discovery.partition.cache.evicted_bytes",
+    ] {
+        assert!(names.iter().any(|n| n == name), "partition-cache counter {name} missing");
+    }
+    let gauges = match v.get("gauges").expect("gauges present") {
+        Value::Object(fields) => fields.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        other => panic!("gauges must be an object, got {other}"),
+    };
+    for name in [
+        "discovery.partition.cache.resident_bytes",
+        "discovery.partition.cache.peak_resident_bytes",
+    ] {
+        assert!(gauges.iter().any(|n| n == name), "partition-cache gauge {name} missing");
+    }
+}
+
+/// A live `/metrics` scrape is a schema-v1 document, and the service-layer
+/// counters are present by name from the moment the server binds — a
+/// dashboard pointed at a fresh instance sees zeros, never absent series.
+#[test]
+fn serve_metrics_endpoint_matches_schema_v1_with_serve_counters_pinned() {
+    use fastofd::serve::{ServeConfig, Server, SERVE_COUNTERS};
+    use std::io::{Read, Write};
+
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind serve on an ephemeral port");
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n")
+        .expect("send scrape");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read scrape reply");
+    let text = String::from_utf8(raw).expect("utf8 reply");
+    let (head, body) = text.split_once("\r\n\r\n").expect("reply head");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "scrape must succeed, got head: {head}"
+    );
+
+    let v = validate_schema_v1(body);
+    let names = counter_names(&v);
+    // The full pinned surface, via the crate's own constant so the server
+    // and this test cannot drift apart...
+    for name in SERVE_COUNTERS {
+        assert!(names.iter().any(|n| n == name), "serve counter {name} missing");
+    }
+    // ...and the five acceptance-pinned names spelled out, so renaming a
+    // counter in SERVE_COUNTERS still fails here rather than silently
+    // repinning the schema.
+    for name in [
+        "serve.admitted",
+        "serve.shed",
+        "serve.breaker_open",
+        "serve.drained",
+        "serve.resumed",
+    ] {
+        assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
+    }
+
+    server.shutdown(std::time::Duration::from_secs(10));
 }

@@ -566,12 +566,24 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the longest run of plain bytes in one UTF-8
+                    // validation and one push. `"` and `\` are ASCII and
+                    // never occur inside a multi-byte sequence, so the
+                    // scan cannot split a scalar. (Validating per
+                    // character from `pos` to end-of-input made large
+                    // string bodies quadratic.)
+                    let start = self.pos;
+                    let mut end = self.pos;
+                    while let Some(&c) = self.bytes.get(end) {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
+                    self.pos = end;
                 }
             }
         }
@@ -701,6 +713,18 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated"] {
             assert!(from_str::<Value>(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn parses_large_string_bodies_in_linear_time() {
+        // Tripwire for the quadratic per-character validation this parser
+        // once had: a few hundred KiB with sprinkled escapes and
+        // multi-byte scalars — instant when linear, glacial when not.
+        let payload = "line α,β,γ with \"quotes\" and \\ backslashes\n".repeat(8_000);
+        let text = to_string(&json!({ "csv": &payload })).unwrap();
+        assert!(text.len() > 300_000);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back.get("csv").and_then(Value::as_str), Some(payload.as_str()));
     }
 
     #[test]
