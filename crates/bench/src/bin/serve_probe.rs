@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! serve_probe [--seed S] [--rows N] [--dir D]
+//! serve_probe --router [--seed S] [--rows N] [--dir D]
+//!             [--metrics-out PATH]                   # fleet soak
 //! serve_probe --server [--workers N] [--queue-cap N] [--budget-ms N]
 //!             [--checkpoint-dir D] [--faults SPEC]   # child mode
 //! ```
@@ -15,7 +17,7 @@
 //! on disk, SIGTERM triggers the cooperative drain path, and the client
 //! side sees genuine connection resets, not in-process shortcuts.
 //!
-//! Phases:
+//! Phases (default mode):
 //! 1. **Shed** — burst a tiny-queue server; retried-with-backoff clients
 //!    must all eventually succeed bit-identically, and `/metrics` must
 //!    report the shed.
@@ -27,17 +29,31 @@
 //! 4. **Snapshot faults** — same kill/restart game with seeded snapshot
 //!    I/O errors and torn writes; a lost checkpoint may cost recompute
 //!    but must never change the answer.
+//!
+//! `--router` runs the fleet soak instead: a supervised two-worker fleet
+//! behind the shard router, all replicas sharing one checkpoint/catalog
+//! root. It registers a dataset through the router's catalog API,
+//! SIGKILLs the owning worker mid-discovery and requires the surviving
+//! replica to **adopt** the dead worker's checkpoint on the *same*
+//! still-open client connection, waits for the supervisor to respawn the
+//! slot, then restarts the whole fleet and proves the catalog and every
+//! answer survive byte-identically. `--metrics-out` dumps the final
+//! router and worker `/metrics` documents as one JSON file for CI
+//! artifacts.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 
-use ofd_core::FaultPlan;
+use ofd_core::{FaultPlan, Obs};
 use ofd_datagen::{clinical, csv, PresetConfig};
 use ofd_discovery::{DiscoveryOptions, FastOfd};
-use ofd_serve::{termination_flag, ServeConfig, Server};
+use ofd_serve::{
+    termination_flag, Fleet, Router, RouterConfig, ServeConfig, Server, Supervisor,
+    SupervisorConfig, WorkerSpec,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde_json::{json, Value};
@@ -506,6 +522,257 @@ fn phase_snapshot_faults(args: &Args, body: &Value, reference: &[(String, String
     println!("phase faults: ok (byte-identical despite injected snapshot corruption)");
 }
 
+// ------------------------------------------------------ router fleet soak
+
+/// Spawns a supervised two-worker fleet sharing `root` for checkpoints
+/// and the catalog, fronted by the shard router. The same `Obs` handle
+/// feeds supervisor and router so `serve.router.*` counters survive a
+/// full-fleet restart (the processes die; the soak's ledger does not).
+fn start_fleet(args: &Args, obs: &Obs, root: &Path) -> Router {
+    let spec = WorkerSpec {
+        program: std::env::current_exe().expect("current_exe"),
+        args: vec![
+            "--server".into(),
+            "--checkpoint-dir".into(),
+            root.display().to_string(),
+            "--faults".into(),
+            slow_engine_spec(args.seed),
+        ],
+    };
+    let mut sup_cfg = SupervisorConfig::new(spec);
+    sup_cfg.workers = 2;
+    sup_cfg.obs = obs.clone();
+    let supervisor = Supervisor::start(sup_cfg).expect("supervisor start");
+    let router_cfg = RouterConfig {
+        catalog_dir: Some(root.join("catalog")),
+        obs: obs.clone(),
+        ..RouterConfig::default()
+    };
+    Router::bind(router_cfg, Fleet::Supervised(supervisor)).expect("router bind")
+}
+
+fn supervised(router: &Router) -> &Supervisor {
+    match router.fleet() {
+        Fleet::Supervised(s) => s,
+        Fleet::Static(_) => unreachable!("the fleet soak always supervises its workers"),
+    }
+}
+
+/// A counter scraped straight off one worker's `/metrics` (0 when the
+/// worker is unreachable — e.g. freshly killed).
+fn worker_counter(addr: SocketAddr, name: &str) -> u64 {
+    try_request(addr, "GET", "/metrics", None)
+        .ok()
+        .and_then(|r| {
+            r.body
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Value::as_u64)
+        })
+        .unwrap_or(0)
+}
+
+/// One SIGKILL-adoption trial: fire a by-reference discovery through the
+/// router, find the worker that admitted it by watching `serve.admitted`
+/// move, SIGKILL that owner mid-flight, and require the router to answer
+/// the *original* client connection byte-identically via the surviving
+/// replica. Returns whether the survivor adopted the dead worker's
+/// checkpoint (resumed mid-level) — at least one trial must.
+fn router_kill_trial(
+    router_addr: SocketAddr,
+    sup: &Supervisor,
+    version: u64,
+    reference: &[(String, String, u64, u64)],
+    rng: &mut StdRng,
+) -> bool {
+    let reference_str = format!("clinical@{version}");
+    let body = json!({ "dataset": &reference_str });
+    let before: Vec<(usize, SocketAddr, u64)> = sup
+        .addrs()
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, addr)| addr.map(|a| (slot, a, worker_counter(a, "serve.admitted"))))
+        .collect();
+    assert_eq!(before.len(), 2, "both replicas live before the trial");
+
+    let inflight = {
+        let body = body.clone();
+        std::thread::spawn(move || request(router_addr, "POST", "/v1/discover", Some(&body)))
+    };
+
+    // The admitting worker is the ring owner; metrics give it away.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let owner = loop {
+        if let Some(&(slot, _, _)) = before
+            .iter()
+            .find(|&&(_, addr, n)| worker_counter(addr, "serve.admitted") > n)
+        {
+            break slot;
+        }
+        assert!(Instant::now() < deadline, "no worker admitted the in-flight request");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // Let discovery run into the snapshot-writing window, then pull the
+    // rug. The supervisor notices, respawns; the router fails over.
+    std::thread::sleep(Duration::from_millis(rng.random_range(300u64..1000)));
+    let owner_pid = sup.pids()[owner];
+    let killed = sup.kill_worker(owner);
+
+    let reply = inflight.join().expect("inflight client");
+    assert_eq!(reply.status, 200, "failover answers the original connection");
+    assert_eq!(reply.body.get("status").and_then(Value::as_str), Some("complete"));
+    assert_eq!(
+        sigma_keys(&reply.body),
+        reference,
+        "failover Σ is byte-identical to the reference"
+    );
+    assert_eq!(
+        reply.body.get("dataset").and_then(Value::as_str),
+        Some(reference_str.as_str()),
+        "the reply names the resolved dataset version"
+    );
+    let adopted = reply
+        .body
+        .get("resumed_from_level")
+        .and_then(Value::as_u64)
+        .is_some();
+
+    // The slot must rejoin the ring before the next trial leans on it.
+    if killed {
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            match sup.pids()[owner] {
+                Some(pid) if Some(pid) != owner_pid => break,
+                _ => {}
+            }
+            assert!(Instant::now() < deadline, "killed worker never respawned");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    adopted
+}
+
+/// `--router`: the whole fleet game — catalog registration through the
+/// router, SIGKILL + checkpoint adoption on the surviving replica,
+/// supervisor respawns, and a full-fleet restart that must preserve the
+/// catalog and every answer.
+fn phase_router(args: &Args, metrics_out: Option<&Path>) {
+    let obs = Obs::enabled();
+    let root = args.dir.join("fleet");
+    let router = start_fleet(args, &obs, &root);
+    let addr = router.addr();
+
+    // Register v1 through the router and discover it by bare reference.
+    let (csv_v1, onto_v1) = dataset(args.rows, 9, args.seed);
+    let ref_v1 = reference_sigma(&csv_v1, &onto_v1);
+    let put = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_v1, "ontology": &onto_v1 })),
+    );
+    assert_eq!(put.status, 200, "catalog PUT through the router");
+    assert_eq!(put.body.get("version").and_then(Value::as_u64), Some(1));
+    let reply = request(addr, "POST", "/v1/discover", Some(&json!({ "dataset": "clinical" })));
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.body.get("dataset").and_then(Value::as_str),
+        Some("clinical@1"),
+        "a bare reference resolves to the newest version"
+    );
+    assert_eq!(sigma_keys(&reply.body), ref_v1, "by-reference Σ matches the reference");
+    println!("phase router: v1 registered and discovered by reference (|Σ|={})", ref_v1.len());
+
+    // SIGKILL trials, each on a fresh catalog version so every trial
+    // starts from a cold checkpoint directory.
+    let mut rng = StdRng::seed_from_u64(args.seed.wrapping_mul(6271));
+    let trials = 3u64;
+    let mut adoptions = 0u64;
+    for trial in 0..trials {
+        let (csv_t, onto_t) = dataset(args.rows, 9, args.seed ^ (trial + 1));
+        let ref_t = reference_sigma(&csv_t, &onto_t);
+        let put = request(
+            addr,
+            "PUT",
+            "/v1/datasets/clinical",
+            Some(&json!({ "csv": &csv_t, "ontology": &onto_t })),
+        );
+        let version = put.body.get("version").and_then(Value::as_u64).expect("version");
+        assert_eq!(version, trial + 2, "versions are append-only");
+        let adopted = router_kill_trial(addr, supervised(&router), version, &ref_t, &mut rng);
+        println!(
+            "phase router: trial {trial} survived its SIGKILL ({})",
+            if adopted { "checkpoint adopted mid-level" } else { "survivor recomputed" }
+        );
+        adoptions += u64::from(adopted);
+    }
+    assert!(
+        adoptions >= 1,
+        "no trial adopted a dead worker's checkpoint — the kill window is not landing mid-flight"
+    );
+
+    // Full-fleet restart on the same root: catalog and answers survive.
+    let workers_before: Vec<Value> = supervised(&router)
+        .addrs()
+        .into_iter()
+        .flatten()
+        .filter_map(|a| try_request(a, "GET", "/metrics", None).ok().map(|r| r.body))
+        .collect();
+    router.shutdown();
+    let router = start_fleet(args, &obs, &root);
+    let addr = router.addr();
+    let described = request(addr, "GET", "/v1/datasets/clinical", None);
+    assert_eq!(described.status, 200);
+    assert_eq!(
+        described.body.get("version").and_then(Value::as_u64),
+        Some(trials + 1),
+        "every registered version survives the restart"
+    );
+    let reply = request(addr, "POST", "/v1/discover", Some(&json!({ "dataset": "clinical@1" })));
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        sigma_keys(&reply.body),
+        ref_v1,
+        "v1 is byte-identical across a full-fleet restart"
+    );
+
+    // The router's counters are the soak's ledger; pin them.
+    let snap = obs.snapshot();
+    let count = |name: &str| snap.counter(name).unwrap_or_else(|| panic!("counter {name} present"));
+    assert!(count("serve.router.routed") >= trials + 2, "every reply was routed");
+    assert!(count("serve.router.retried") >= 1, "failover retried at least once");
+    assert!(count("serve.router.respawned") >= trials, "every killed worker respawned");
+    assert!(count("serve.router.adopted") >= 1, "adoption was observed end to end");
+
+    if let Some(path) = metrics_out {
+        let workers_final: Vec<Value> = supervised(&router)
+            .addrs()
+            .into_iter()
+            .flatten()
+            .filter_map(|a| try_request(a, "GET", "/metrics", None).ok().map(|r| r.body))
+            .collect();
+        let doc = json!({
+            "router": request(addr, "GET", "/metrics", None).body,
+            "workers": workers_final,
+            "workers_before_restart": workers_before,
+        });
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("metrics-out parent dir");
+        }
+        let text = serde_json::to_string_pretty(&doc).expect("serialize metrics") + "\n";
+        std::fs::write(path, text).expect("write metrics-out");
+        println!("phase router: metrics written to {}", path.display());
+    }
+    router.shutdown();
+    println!(
+        "phase router: ok ({adoptions}/{trials} trials adopted, routed={} retried={} respawned={})",
+        count("serve.router.routed"),
+        count("serve.router.retried"),
+        count("serve.router.respawned"),
+    );
+}
+
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("--server") {
@@ -524,16 +791,31 @@ fn main() -> ExitCode {
         rows: 2500,
         dir: std::env::temp_dir().join(format!("ofd_serve_probe_{}", std::process::id())),
     };
+    let mut router_mode = false;
+    let mut metrics_out: Option<PathBuf> = None;
     while let Some(arg) = raw.next() {
         let mut value = |name: &str| raw.next().unwrap_or_else(|| panic!("{name} VALUE"));
         match arg.as_str() {
             "--seed" => args.seed = value("--seed").parse().expect("--seed expects an integer"),
             "--rows" => args.rows = value("--rows").parse().expect("--rows expects an integer"),
             "--dir" => args.dir = value("--dir").into(),
+            "--router" => router_mode = true,
+            "--metrics-out" => metrics_out = Some(value("--metrics-out").into()),
             other => panic!("unknown argument {other:?}"),
         }
     }
+    assert!(
+        metrics_out.is_none() || router_mode,
+        "--metrics-out only applies to --router runs"
+    );
     let _ = std::fs::remove_dir_all(&args.dir);
+
+    if router_mode {
+        phase_router(&args, metrics_out.as_deref());
+        let _ = std::fs::remove_dir_all(&args.dir);
+        println!("serve_probe: router fleet consistent");
+        return ExitCode::SUCCESS;
+    }
 
     // Medium payload for the shed burst; a wide lattice (more attributes)
     // for the kill/drain phases — rows barely move discovery wall time,

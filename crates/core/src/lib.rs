@@ -50,7 +50,7 @@ mod value;
 pub use error::CoreError;
 pub use fault::{silence_injected_panics, FaultPlan, FaultSite, FaultSpecError, SnapshotFault, INJECTED_PANIC};
 pub use guard::{rss_kib, ExecGuard, GuardConfig, Interrupt, Partial};
-pub use snapshot::{atomic_write, fnv1a64, hash_ontology, hash_relation, CheckpointOptions, Fingerprint, LoadedSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_VERSION};
+pub use snapshot::{atomic_write, fnv1a64, fsync_dir, hash_ontology, hash_relation, CheckpointOptions, Fingerprint, LoadedSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_VERSION};
 pub use obs::{MetricsSnapshot, Obs, SpanGuard};
 pub use support::{meets_support, support_threshold};
 pub use incremental::IncrementalChecker;

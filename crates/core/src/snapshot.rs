@@ -197,10 +197,36 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
+/// Fsyncs a directory so a rename that landed in it survives power loss.
+///
+/// POSIX only guarantees a rename is durable once the *directory* entry
+/// is flushed; without this a checkpoint can pass its own fsync, be
+/// renamed into place, and still vanish when power is cut before the
+/// kernel writes the directory block back. On Unix a failure here is a
+/// real durability gap and is propagated; on platforms where directory
+/// handles cannot be opened or synced (e.g. Windows) the call is
+/// best-effort and reports success.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
-/// fsync, rename over the destination, best-effort directory fsync. On any
-/// error the destination is left untouched (either the old content or
-/// absent).
+/// fsync, rename over the destination, then fsync of the parent directory
+/// so the rename itself is durable ([`fsync_dir`]). On any error before
+/// the rename the destination is left untouched (either the old content
+/// or absent); an error from the directory fsync means the new content is
+/// visible but its durability across power loss is not guaranteed — which
+/// checkpoint writers must treat as a failed snapshot.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
@@ -225,12 +251,12 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         f.sync_all()?;
         drop(f);
         fs::rename(&tmp, path)?;
-        // Persist the rename itself; failure here is not fatal to
-        // atomicity (the rename is already visible), so best-effort.
+        // Persist the rename itself: without the directory fsync the
+        // checkpoint can vanish on power loss between the rename and the
+        // kernel's own directory flush. Propagated, not best-effort — a
+        // checkpoint whose durability is unknown counts as failed.
         if let Some(dir) = dir {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
+            fsync_dir(dir)?;
         }
         Ok(())
     })();
@@ -400,6 +426,81 @@ impl SnapshotStore {
             }
         }
         Ok(None)
+    }
+
+    /// Loads snapshot `seq` of stream `name` exactly. `Ok(None)` when the
+    /// file does not exist; a file that fails validation is an error (the
+    /// caller asked for that precise version, so silently falling back
+    /// would lie).
+    pub fn load_seq(&self, name: &str, seq: u64) -> Result<Option<LoadedSnapshot>, SnapshotError> {
+        let path = self.file_path(name, seq);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let body = decode_snapshot(&path, &bytes)?;
+        Ok(Some(LoadedSnapshot {
+            seq,
+            body,
+            path,
+            skipped: 0,
+        }))
+    }
+
+    /// Distinct stream names present in the store's directory, sorted.
+    /// Files that do not match the `name.NNNNNN.ckpt` pattern are ignored;
+    /// a missing directory is an empty store, not an error.
+    pub fn streams(&self) -> Result<Vec<String>, SnapshotError> {
+        let mut names: Vec<String> = self
+            .walk()?
+            .into_iter()
+            .map(|(name, _, _)| name)
+            .collect();
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    /// All sequence numbers on disk for stream `name`, ascending. Presence
+    /// only — a listed sequence may still fail validation when loaded.
+    pub fn versions(&self, name: &str) -> Result<Vec<u64>, SnapshotError> {
+        let mut seqs: Vec<u64> = self
+            .walk()?
+            .into_iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|(_, seq, _)| seq)
+            .collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        Ok(seqs)
+    }
+
+    /// Every `(stream, seq, path)` triple in the directory.
+    fn walk(&self) -> Result<Vec<(String, u64, PathBuf)>, SnapshotError> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            let Some(fname) = file_name.to_str() else {
+                continue;
+            };
+            let Some(stem) = fname.strip_suffix(".ckpt") else {
+                continue;
+            };
+            let Some((name, seq)) = stem.rsplit_once('.') else {
+                continue;
+            };
+            if let Ok(seq) = seq.parse::<u64>() {
+                out.push((name.to_owned(), seq, entry.path()));
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -631,6 +732,65 @@ mod tests {
             .collect();
         assert!(leftover.is_empty(), "temp files must be cleaned up");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_fsyncs_the_parent_directory() {
+        // The durability path: rename, then fsync_dir on the parent. A
+        // live directory syncs cleanly; a vanished one must surface as an
+        // error instead of a silently non-durable checkpoint.
+        let dir = std::env::temp_dir().join(format!("ofd_fsync_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fsync_dir(&dir).expect("fsync of a real directory succeeds");
+        atomic_write(&dir.join("snap.ckpt"), b"payload").expect("write with dir fsync");
+        assert_eq!(fs::read(dir.join("snap.ckpt")).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&dir);
+        #[cfg(unix)]
+        {
+            assert!(
+                fsync_dir(&dir).is_err(),
+                "fsync of a missing directory reports the durability gap"
+            );
+            assert!(
+                atomic_write(&dir.join("snap.ckpt"), b"x").is_err(),
+                "atomic_write cannot pretend durability without its parent"
+            );
+        }
+    }
+
+    #[test]
+    fn store_enumerates_streams_and_versions() {
+        let store = temp_store("enumerate");
+        store.save("catalog-a", 1, &json!({"v": 1})).unwrap();
+        store.save("catalog-a", 3, &json!({"v": 3})).unwrap();
+        store.save("catalog-b", 7, &json!({"v": 7})).unwrap();
+        assert_eq!(store.streams().unwrap(), vec!["catalog-a", "catalog-b"]);
+        assert_eq!(store.versions("catalog-a").unwrap(), vec![1, 3]);
+        assert_eq!(store.versions("catalog-b").unwrap(), vec![7]);
+        assert!(store.versions("catalog-c").unwrap().is_empty());
+        // Exact-version load: hit, miss, and corrupt-is-an-error.
+        assert_eq!(
+            store.load_seq("catalog-a", 3).unwrap().unwrap().body,
+            json!({"v": 3})
+        );
+        assert!(store.load_seq("catalog-a", 2).unwrap().is_none());
+        let p = store.save("catalog-a", 4, &json!({"v": 4})).unwrap();
+        let mut bytes = fs::read(&p).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            store.load_seq("catalog-a", 4),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_directory_enumerates_empty() {
+        let store = SnapshotStore::new("/nonexistent/ofd/snapshot/dir");
+        assert!(store.streams().unwrap().is_empty());
+        assert!(store.versions("d").unwrap().is_empty());
+        assert!(store.load_seq("d", 1).unwrap().is_none());
     }
 
     #[test]

@@ -151,6 +151,16 @@ impl Breaker {
     pub fn is_open(&self) -> bool {
         self.inner.lock().expect("breaker lock").state != State::Closed
     }
+
+    /// Stable label of the current state — `closed`, `open` or
+    /// `half_open` — for `/readyz` summaries and logs.
+    pub fn state_label(&self) -> &'static str {
+        match self.inner.lock().expect("breaker lock").state {
+            State::Closed => "closed",
+            State::Open => "open",
+            State::HalfOpen => "half_open",
+        }
+    }
 }
 
 #[cfg(test)]

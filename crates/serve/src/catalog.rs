@@ -1,0 +1,437 @@
+//! A persistent, versioned dataset/ontology catalog.
+//!
+//! `PUT /v1/datasets/{name}` registers a dataset (CSV text plus optional
+//! ontology text) once; job requests then reference it as
+//! `"dataset": "name"` or `"dataset": "name@version"` instead of
+//! re-shipping hundreds of kilobytes of rows on every request. Entries
+//! are:
+//!
+//! * **persistent** — each version is one checksummed snapshot file
+//!   (`<name>.<version>.ckpt`, the same `OFDSNAP` envelope and atomic
+//!   write path as checkpoints) in a catalog directory under the
+//!   checkpoint root, so a registered dataset survives process restarts
+//!   and full-fleet restarts;
+//! * **versioned** — a re-`PUT` of an existing name appends the next
+//!   version; older versions stay readable, and `name@version` pins one;
+//! * **interned once** — the first job to touch `name@version` parses the
+//!   CSV/ontology into a [`Relation`]/[`Ontology`] and caches the parsed
+//!   entry behind an [`Arc`]; every later job on any worker thread shares
+//!   it instead of re-parsing.
+//!
+//! The catalog directory is *shared between fleet workers* (they all
+//! point at the same checkpoint root), which is what lets the router
+//! route by dataset fingerprint: any worker can resolve any registered
+//! dataset straight from disk even if a different worker registered it.
+//! Cross-process freshness comes from re-listing the directory on cache
+//! miss, not from any coordination protocol — the router's
+//! consistent-hash routing keeps each dataset's writes on one worker in
+//! the common case.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use ofd_core::{fnv1a64, FaultPlan, FxHashMap, Obs, Relation, SnapshotStore};
+use ofd_datagen::csv;
+use ofd_ontology::{parse_ontology, Ontology};
+use serde_json::{json, Value};
+
+/// One resolved catalog entry: the raw texts (for fingerprinting and
+/// byte-identical checkpoint keys) and the parsed, shareable inputs.
+#[derive(Debug)]
+pub struct CatalogEntry {
+    /// Registered dataset name.
+    pub name: String,
+    /// Version of this entry (1-based, append-only).
+    pub version: u64,
+    /// The CSV text exactly as registered.
+    pub csv: String,
+    /// The ontology text exactly as registered (empty when none).
+    pub ontology: String,
+    /// FNV-1a digest of `csv` + `ontology`; the router routes on it.
+    pub fingerprint: u64,
+    /// Parsed relation, interned once per process.
+    pub relation: Relation,
+    /// Parsed ontology, interned once per process.
+    pub ontology_parsed: Ontology,
+}
+
+/// Why a catalog operation failed, split the same way job errors are:
+/// client mistakes map to 4xx, storage trouble to 5xx.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// Bad name, bad version syntax, unknown dataset, unparsable inputs.
+    BadRequest(String),
+    /// The snapshot layer failed underneath a well-formed request.
+    Storage(String),
+}
+
+impl CatalogError {
+    /// The message, whichever side it is.
+    pub fn message(&self) -> &str {
+        match self {
+            CatalogError::BadRequest(m) | CatalogError::Storage(m) => m,
+        }
+    }
+}
+
+/// Content digest of a dataset's raw texts — shared by [`Catalog::put`]
+/// and the router, which fingerprints inline bodies the same way so a
+/// dataset routes to the same worker whether shipped by name or inline.
+pub fn content_fingerprint(csv_text: &str, onto_text: &str) -> u64 {
+    let mut fp = ofd_core::Fingerprint::new();
+    fp.update_str(csv_text);
+    fp.update_str(onto_text);
+    fp.finish()
+}
+
+/// Validates a dataset name: 1–64 chars of `[A-Za-z0-9_-]`. Dots are
+/// excluded on purpose — the snapshot store uses `.` to separate the
+/// stream name from the sequence number.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Splits a `name` / `name@version` reference.
+fn parse_reference(reference: &str) -> Result<(&str, Option<u64>), CatalogError> {
+    let (name, version) = match reference.split_once('@') {
+        Some((n, v)) => {
+            let v: u64 = v.parse().map_err(|_| {
+                CatalogError::BadRequest(format!("bad dataset version in {reference:?}"))
+            })?;
+            (n, Some(v))
+        }
+        None => (reference, None),
+    };
+    if !valid_name(name) {
+        return Err(CatalogError::BadRequest(format!(
+            "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
+        )));
+    }
+    Ok((name, version))
+}
+
+/// The persistent catalog; cheap to clone handles via [`Arc`].
+#[derive(Debug)]
+pub struct Catalog {
+    store: SnapshotStore,
+    obs: Obs,
+    /// Interned `(name, version)` → parsed entry. Never invalidated:
+    /// versions are append-only and immutable once written.
+    interned: Mutex<FxHashMap<(String, u64), Arc<CatalogEntry>>>,
+}
+
+impl Catalog {
+    /// Opens (or creates on first `put`) a catalog rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>, faults: FaultPlan, obs: Obs) -> Catalog {
+        let mut store = SnapshotStore::new(dir);
+        if faults.is_active() {
+            store = store.with_faults(faults);
+        }
+        Catalog {
+            store,
+            obs,
+            interned: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The directory entries persist in.
+    pub fn dir(&self) -> &std::path::Path {
+        self.store.dir()
+    }
+
+    /// Registers (or re-registers, bumping the version) a dataset. The
+    /// CSV and ontology must parse — a catalog that accepts garbage
+    /// would turn every later job into a 4xx lottery. Returns the entry.
+    pub fn put(
+        &self,
+        name: &str,
+        csv_text: &str,
+        onto_text: &str,
+    ) -> Result<Arc<CatalogEntry>, CatalogError> {
+        if !valid_name(name) {
+            return Err(CatalogError::BadRequest(format!(
+                "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
+            )));
+        }
+        let relation =
+            csv::read_csv(csv_text).map_err(|e| CatalogError::BadRequest(format!("csv: {e}")))?;
+        let ontology_parsed = if onto_text.is_empty() {
+            Ontology::empty()
+        } else {
+            parse_ontology(onto_text)
+                .map_err(|e| CatalogError::BadRequest(format!("ontology: {e}")))?
+        };
+        let version = self
+            .store
+            .versions(name)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?
+            .last()
+            .copied()
+            .unwrap_or(0)
+            + 1;
+        let body = json!({
+            "name": name,
+            "version": version,
+            "csv": csv_text,
+            "ontology": onto_text,
+        });
+        self.store
+            .save(name, version, &body)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?;
+        self.obs.inc("serve.catalog.put");
+        let entry = Arc::new(CatalogEntry {
+            name: name.to_owned(),
+            version,
+            csv: csv_text.to_owned(),
+            ontology: onto_text.to_owned(),
+            fingerprint: content_fingerprint(csv_text, onto_text),
+            relation,
+            ontology_parsed,
+        });
+        self.interned
+            .lock()
+            .expect("catalog intern lock")
+            .insert((name.to_owned(), version), entry.clone());
+        Ok(entry)
+    }
+
+    /// Resolves a `name` / `name@version` reference to its entry,
+    /// interning the parse on first touch. A bare name means the newest
+    /// version *on disk* — so an entry registered through another worker
+    /// of the fleet is found without any cross-process chatter.
+    pub fn resolve(&self, reference: &str) -> Result<Arc<CatalogEntry>, CatalogError> {
+        let (name, version) = parse_reference(reference)?;
+        let version = match version {
+            Some(v) => v,
+            None => self
+                .store
+                .versions(name)
+                .map_err(|e| CatalogError::Storage(e.to_string()))?
+                .last()
+                .copied()
+                .ok_or_else(|| {
+                    CatalogError::BadRequest(format!("unknown dataset {name:?}"))
+                })?,
+        };
+        if let Some(entry) = self
+            .interned
+            .lock()
+            .expect("catalog intern lock")
+            .get(&(name.to_owned(), version))
+        {
+            self.obs.inc("serve.catalog.hit");
+            return Ok(entry.clone());
+        }
+        let loaded = self
+            .store
+            .load_seq(name, version)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?
+            .ok_or_else(|| {
+                CatalogError::BadRequest(format!("unknown dataset {name:?} version {version}"))
+            })?;
+        let text = |field: &str| {
+            loaded
+                .body
+                .get(field)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| {
+                    CatalogError::Storage(format!(
+                        "catalog entry {name}@{version} is missing field {field:?}"
+                    ))
+                })
+        };
+        let csv_text = text("csv")?;
+        let onto_text = text("ontology")?;
+        let relation = csv::read_csv(&csv_text)
+            .map_err(|e| CatalogError::Storage(format!("catalog entry {name}@{version}: {e}")))?;
+        let ontology_parsed = if onto_text.is_empty() {
+            Ontology::empty()
+        } else {
+            parse_ontology(&onto_text).map_err(|e| {
+                CatalogError::Storage(format!("catalog entry {name}@{version}: {e}"))
+            })?
+        };
+        let entry = Arc::new(CatalogEntry {
+            name: name.to_owned(),
+            version,
+            fingerprint: content_fingerprint(&csv_text, &onto_text),
+            csv: csv_text,
+            ontology: onto_text,
+            relation,
+            ontology_parsed,
+        });
+        self.obs.inc("serve.catalog.miss");
+        self.interned
+            .lock()
+            .expect("catalog intern lock")
+            .insert((name.to_owned(), version), entry.clone());
+        Ok(entry)
+    }
+
+    /// Metadata for `GET /v1/datasets/{name}` — never the row payload;
+    /// clients that want the data reference it from a job instead.
+    pub fn describe(&self, reference: &str) -> Result<Value, CatalogError> {
+        let entry = self.resolve(reference)?;
+        let versions = self
+            .store
+            .versions(&entry.name)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?;
+        Ok(json!({
+            "name": entry.name.clone(),
+            "version": entry.version,
+            "versions": versions,
+            "n_rows": entry.relation.n_rows() as u64,
+            "n_attrs": entry.relation.schema().len() as u64,
+            "csv_bytes": entry.csv.len() as u64,
+            "ontology_bytes": entry.ontology.len() as u64,
+            "fingerprint": format!("{:016x}", entry.fingerprint),
+        }))
+    }
+
+    /// All registered dataset names (from disk, so fleet-wide).
+    pub fn list(&self) -> Result<Vec<String>, CatalogError> {
+        self.store
+            .streams()
+            .map_err(|e| CatalogError::Storage(e.to_string()))
+    }
+
+    /// Routing digest of a dataset reference without parsing the data:
+    /// the digest of the *content* of the resolved version, falling back
+    /// to a digest of the reference string when the dataset is unknown
+    /// here (the target worker will answer the 4xx).
+    pub fn route_fingerprint(&self, reference: &str) -> u64 {
+        match self.resolve(reference) {
+            Ok(entry) => entry.fingerprint,
+            Err(_) => fnv1a64(reference.as_bytes()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ofd-catalog-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> (String, String) {
+        let ds = ofd_datagen::clinical(&ofd_datagen::PresetConfig {
+            n_rows: 60,
+            n_attrs: 4,
+            n_ofds: 1,
+            seed: 3,
+            ..ofd_datagen::PresetConfig::default()
+        });
+        (
+            csv::write_csv(&ds.clean),
+            ofd_ontology::write_ontology(&ds.full_ontology),
+        )
+    }
+
+    fn catalog(dir: &PathBuf) -> Catalog {
+        Catalog::open(dir.clone(), FaultPlan::none(), Obs::disabled())
+    }
+
+    #[test]
+    fn put_resolve_and_versioning() {
+        let dir = tmp("versioning");
+        let c = catalog(&dir);
+        let (csv_text, onto_text) = sample();
+        let v1 = c.put("clinical", &csv_text, &onto_text).expect("put v1");
+        assert_eq!(v1.version, 1);
+        let v2 = c.put("clinical", &csv_text, "").expect("put v2");
+        assert_eq!(v2.version, 2);
+
+        // Bare name resolves newest; @version pins.
+        assert_eq!(c.resolve("clinical").expect("latest").version, 2);
+        let pinned = c.resolve("clinical@1").expect("pinned");
+        assert_eq!(pinned.version, 1);
+        assert_eq!(pinned.ontology, onto_text);
+        assert!(c.resolve("clinical@9").is_err());
+        assert!(c.resolve("nope").is_err());
+        assert_eq!(c.list().expect("list"), vec!["clinical"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_survive_reopen_and_intern_once() {
+        let dir = tmp("reopen");
+        let (csv_text, onto_text) = sample();
+        catalog(&dir).put("kiva", &csv_text, &onto_text).expect("put");
+
+        // A fresh catalog (fresh process, restarted fleet) sees it.
+        let c2 = catalog(&dir);
+        let a = c2.resolve("kiva").expect("resolve after reopen");
+        let b = c2.resolve("kiva@1").expect("resolve again");
+        assert!(Arc::ptr_eq(&a, &b), "second resolve reuses the interned parse");
+        assert_eq!(a.csv, csv_text);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_handles_share_one_directory() {
+        // A worker registers; a *different* worker (separate handle, same
+        // dir — the fleet case) resolves without any coordination.
+        let dir = tmp("shared");
+        let (csv_text, _) = sample();
+        let writer = catalog(&dir);
+        let reader = catalog(&dir);
+        writer.put("shared", &csv_text, "").expect("put");
+        let got = reader.resolve("shared").expect("cross-handle resolve");
+        assert_eq!(got.csv, csv_text);
+        assert_eq!(
+            got.fingerprint,
+            content_fingerprint(&csv_text, ""),
+            "router and worker agree on the routing digest"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_bad_names_versions_and_garbage() {
+        let dir = tmp("reject");
+        let c = catalog(&dir);
+        let (csv_text, _) = sample();
+        for bad in ["", "has.dot", "has/slash", "has space", &"x".repeat(65)] {
+            assert!(matches!(
+                c.put(bad, &csv_text, ""),
+                Err(CatalogError::BadRequest(_))
+            ));
+        }
+        assert!(matches!(
+            c.put("ok", &csv_text, "not an ontology {{{"),
+            Err(CatalogError::BadRequest(_))
+        ));
+        assert!(matches!(
+            c.resolve("ok@notanumber"),
+            Err(CatalogError::BadRequest(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn describe_reports_metadata_not_rows() {
+        let dir = tmp("describe");
+        let c = catalog(&dir);
+        let (csv_text, onto_text) = sample();
+        c.put("meta", &csv_text, &onto_text).expect("put");
+        let d = c.describe("meta").expect("describe");
+        assert_eq!(d.get("name").and_then(Value::as_str), Some("meta"));
+        assert_eq!(d.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(d.get("n_rows").and_then(Value::as_u64), Some(60));
+        assert!(d.get("csv").is_none(), "metadata only, no payload");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

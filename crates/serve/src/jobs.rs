@@ -14,6 +14,7 @@
 //! the bits and sidestep float formatting entirely.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use ofd_clean::{ofd_clean, OfdCleanConfig};
 use ofd_core::{
@@ -24,6 +25,8 @@ use ofd_datagen::csv;
 use ofd_discovery::{DiscoveryOptions, FastOfd};
 use ofd_ontology::{parse_ontology, Ontology};
 use serde_json::{json, Value};
+
+use crate::catalog::{Catalog, CatalogEntry};
 
 /// The three job endpoints behind admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +99,9 @@ pub struct JobContext {
     pub faults: FaultPlan,
     /// Root checkpoint directory; `None` disables checkpointing.
     pub checkpoint_root: Option<PathBuf>,
+    /// Dataset catalog, when the server has one; lets requests reference
+    /// `"dataset": "name@version"` instead of shipping rows inline.
+    pub catalog: Option<Arc<Catalog>>,
 }
 
 /// Runs `endpoint` on `body`, returning the response body and outcome.
@@ -163,14 +169,96 @@ fn opt_f64(body: &Value, name: &str) -> Result<Option<f64>, BadRequest> {
     }
 }
 
-fn load_inputs(body: &Value) -> Result<(Relation, Ontology), BadRequest> {
+/// A request's resolved data inputs: parsed rows and ontology, plus the
+/// raw texts that key the checkpoint fingerprint. Inline requests own
+/// their parse; catalog references share the interned [`CatalogEntry`],
+/// so a hot dataset is parsed once per process, not once per request.
+// One short-lived value per admitted job; the inline variant's size is
+// irrelevant next to the parse it holds, so boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
+enum Inputs<'a> {
+    Inline {
+        rel: Relation,
+        onto: Ontology,
+        csv: &'a str,
+        onto_text: &'a str,
+    },
+    Cataloged(Arc<CatalogEntry>),
+}
+
+impl Inputs<'_> {
+    fn rel(&self) -> &Relation {
+        match self {
+            Inputs::Inline { rel, .. } => rel,
+            Inputs::Cataloged(e) => &e.relation,
+        }
+    }
+
+    fn onto(&self) -> &Ontology {
+        match self {
+            Inputs::Inline { onto, .. } => onto,
+            Inputs::Cataloged(e) => &e.ontology_parsed,
+        }
+    }
+
+    /// The CSV text — resolved, not the reference — so a job shipped
+    /// inline and the same job shipped as `name@version` fingerprint to
+    /// the *same* checkpoint directory and can adopt each other's
+    /// snapshots.
+    fn csv_text(&self) -> &str {
+        match self {
+            Inputs::Inline { csv, .. } => csv,
+            Inputs::Cataloged(e) => &e.csv,
+        }
+    }
+
+    fn onto_text(&self) -> &str {
+        match self {
+            Inputs::Inline { onto_text, .. } => onto_text,
+            Inputs::Cataloged(e) => &e.ontology,
+        }
+    }
+
+    /// `"name@version"` echo for responses; `Null` for inline inputs.
+    fn dataset_field(&self) -> Value {
+        match self {
+            Inputs::Inline { .. } => Value::Null,
+            Inputs::Cataloged(e) => json!(format!("{}@{}", e.name, e.version)),
+        }
+    }
+}
+
+fn load_inputs<'a>(body: &'a Value, ctx: &JobContext) -> Result<Inputs<'a>, BadRequest> {
+    if let Some(reference) = opt_str(body, "dataset")? {
+        if field(body, "csv").is_some() {
+            return Err(BadRequest(
+                "request carries both \"dataset\" and inline \"csv\"; pick one".into(),
+            ));
+        }
+        let catalog = ctx.catalog.as_ref().ok_or_else(|| {
+            BadRequest(
+                "no dataset catalog on this server (start it with --checkpoint-dir)".into(),
+            )
+        })?;
+        let entry = catalog
+            .resolve(reference)
+            .map_err(|e| BadRequest(format!("dataset: {}", e.message())))?;
+        return Ok(Inputs::Cataloged(entry));
+    }
     let csv_text = required_str(body, "csv")?;
     let rel = csv::read_csv(csv_text).map_err(|e| BadRequest(format!("csv: {e}")))?;
-    let onto = match opt_str(body, "ontology")? {
-        Some(text) => parse_ontology(text).map_err(|e| BadRequest(format!("ontology: {e}")))?,
-        None => Ontology::empty(),
+    let onto_text = opt_str(body, "ontology")?.unwrap_or("");
+    let onto = if onto_text.is_empty() {
+        Ontology::empty()
+    } else {
+        parse_ontology(onto_text).map_err(|e| BadRequest(format!("ontology: {e}")))?
     };
-    Ok((rel, onto))
+    Ok(Inputs::Inline {
+        rel,
+        onto,
+        csv: csv_text,
+        onto_text,
+    })
 }
 
 /// Parses the `"ofds": ["A,B->C", ...]` array (inheritance when `theta`
@@ -214,18 +302,25 @@ fn parse_ofds(body: &Value, schema: &Schema) -> Result<Vec<Ofd>, BadRequest> {
 /// files, while a resubmitted identical request (the restart path) maps
 /// back to its own directory — the engine's internal fingerprint then
 /// validates that the snapshot really matches before resuming.
+///
+/// The fingerprint hashes *resolved* content, never worker identity or
+/// the `dataset` reference syntax, which is what makes the directories
+/// worker-agnostic: any fleet worker handed the same request (inline or
+/// by reference) computes the same path under the shared checkpoint
+/// root and can adopt a dead sibling's snapshots mid-level.
 fn job_checkpoint(
     ctx: &JobContext,
     endpoint: Endpoint,
     body: &Value,
+    inputs: &Inputs<'_>,
 ) -> Result<Option<CheckpointOptions>, BadRequest> {
     let Some(root) = &ctx.checkpoint_root else {
         return Ok(None);
     };
     let mut fp = Fingerprint::new();
     fp.update_str(endpoint.label());
-    fp.update_str(required_str(body, "csv")?);
-    fp.update_str(opt_str(body, "ontology")?.unwrap_or(""));
+    fp.update_str(inputs.csv_text());
+    fp.update_str(inputs.onto_text());
     for opt in ["kappa", "tau"] {
         fp.update_u64(opt_f64(body, opt)?.unwrap_or(-1.0).to_bits());
     }
@@ -260,7 +355,8 @@ fn status_fields(outcome: &JobOutcome) -> (Value, Value) {
 }
 
 fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRequest> {
-    let (rel, onto) = load_inputs(body)?;
+    let inputs = load_inputs(body, ctx)?;
+    let (rel, onto) = (inputs.rel(), inputs.onto());
     let mut opts = DiscoveryOptions::new()
         .guard(ctx.guard.clone())
         .obs(ctx.obs.clone())
@@ -285,11 +381,11 @@ fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
         }
         opts = opts.threads(threads as usize);
     }
-    if let Some(ck) = job_checkpoint(ctx, Endpoint::Discover, body)? {
+    if let Some(ck) = job_checkpoint(ctx, Endpoint::Discover, body, &inputs)? {
         opts = opts.checkpoint(ck);
     }
 
-    let out = FastOfd::new(&rel, &onto).options(opts).run();
+    let out = FastOfd::new(rel, onto).options(opts).run();
     let outcome = JobOutcome {
         incomplete: !out.complete,
         resumed: out.resumed_from_level.is_some(),
@@ -315,6 +411,7 @@ fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
         "endpoint": "discover",
         "status": status,
         "interrupt": interrupt,
+        "dataset": inputs.dataset_field(),
         "ofds": Value::Array(ofds),
         "resumed_from_level": match out.resumed_from_level {
             Some(l) => json!(l as u64),
@@ -327,9 +424,10 @@ fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
 }
 
 fn validate(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRequest> {
-    let (rel, onto) = load_inputs(body)?;
+    let inputs = load_inputs(body, ctx)?;
+    let (rel, onto) = (inputs.rel(), inputs.onto());
     let ofds = parse_ofds(body, rel.schema())?;
-    let validator = Validator::new(&rel, &onto);
+    let validator = Validator::new(rel, onto);
     let mut results = Vec::with_capacity(ofds.len());
     let mut all_satisfied = true;
     let mut outcome = JobOutcome::default();
@@ -356,6 +454,7 @@ fn validate(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
         "endpoint": "validate",
         "status": status,
         "interrupt": interrupt,
+        "dataset": inputs.dataset_field(),
         "results": Value::Array(results),
         "all_satisfied": all_satisfied,
     });
@@ -363,7 +462,8 @@ fn validate(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
 }
 
 fn clean(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRequest> {
-    let (rel, onto) = load_inputs(body)?;
+    let inputs = load_inputs(body, ctx)?;
+    let (rel, onto) = (inputs.rel(), inputs.onto());
     let ofds = parse_ofds(body, rel.schema())?;
     let mut config = OfdCleanConfig {
         guard: ctx.guard.clone(),
@@ -376,9 +476,9 @@ fn clean(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadReque
     if let Some(beam) = opt_u64(body, "beam")? {
         config.beam = Some(beam as usize);
     }
-    config.checkpoint = job_checkpoint(ctx, Endpoint::Clean, body)?;
+    config.checkpoint = job_checkpoint(ctx, Endpoint::Clean, body, &inputs)?;
 
-    let result = ofd_clean(&rel, &onto, &ofds, &config);
+    let result = ofd_clean(rel, onto, &ofds, &config);
     let outcome = JobOutcome {
         incomplete: !result.complete,
         resumed: result.resumed_from_phase.is_some(),
@@ -389,6 +489,7 @@ fn clean(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadReque
         "endpoint": "clean",
         "status": status,
         "interrupt": interrupt,
+        "dataset": inputs.dataset_field(),
         "satisfied": result.satisfied,
         "ontology_insertions": result.ontology_dist() as u64,
         "cell_repairs": result.data_dist() as u64,
@@ -414,6 +515,7 @@ mod tests {
             obs: Obs::disabled(),
             faults: FaultPlan::none(),
             checkpoint_root: None,
+            catalog: None,
         }
     }
 
@@ -495,20 +597,68 @@ mod tests {
         c.checkpoint_root = Some(std::env::temp_dir().join("ofd-serve-ckpt-key-test"));
         let a = json!({"csv": "A,B\n1,2\n"});
         let b = json!({"csv": "A,B\n1,3\n"});
-        let dir_of = |body: &Value| {
-            job_checkpoint(&c, Endpoint::Discover, body)
+        let dir_of = |endpoint: Endpoint, body: &Value| {
+            let inputs = load_inputs(body, &c).expect("inputs");
+            job_checkpoint(&c, endpoint, body, &inputs)
                 .expect("checkpoint")
                 .expect("enabled")
                 .store
                 .dir()
                 .to_path_buf()
         };
-        assert_eq!(dir_of(&a), dir_of(&a), "same request, same directory");
-        assert_ne!(dir_of(&a), dir_of(&b), "different csv, different directory");
+        assert_eq!(
+            dir_of(Endpoint::Discover, &a),
+            dir_of(Endpoint::Discover, &a),
+            "same request, same directory"
+        );
         assert_ne!(
-            job_checkpoint(&c, Endpoint::Discover, &a).unwrap().unwrap().store.dir(),
-            job_checkpoint(&c, Endpoint::Clean, &a).unwrap().unwrap().store.dir(),
+            dir_of(Endpoint::Discover, &a),
+            dir_of(Endpoint::Discover, &b),
+            "different csv, different directory"
+        );
+        assert_ne!(
+            dir_of(Endpoint::Discover, &a),
+            dir_of(Endpoint::Clean, &a),
             "different endpoint, different directory"
         );
+    }
+
+    #[test]
+    fn dataset_reference_without_a_catalog_is_a_bad_request() {
+        let err = discover(&json!({"dataset": "flights"}), &ctx()).expect_err("no catalog");
+        assert!(err.0.contains("catalog"), "actual: {}", err.0);
+    }
+
+    #[test]
+    fn dataset_and_inline_csv_together_are_rejected() {
+        let err = discover(&json!({"dataset": "flights", "csv": "A\n1\n"}), &ctx())
+            .expect_err("ambiguous inputs");
+        assert!(err.0.contains("pick one"), "actual: {}", err.0);
+    }
+
+    #[test]
+    fn cataloged_and_inline_requests_share_a_checkpoint_directory() {
+        let tmp = std::env::temp_dir().join("ofd-serve-ckpt-adopt-test");
+        let catalog = Catalog::open(tmp.join("catalog"), FaultPlan::none(), Obs::disabled());
+        let csv_text = "A,B\n1,2\n3,4\n";
+        catalog.put("shared", csv_text, "").expect("put");
+        let mut c = ctx();
+        c.checkpoint_root = Some(tmp.clone());
+        c.catalog = Some(Arc::new(catalog));
+        let dir_of = |body: &Value| {
+            let inputs = load_inputs(body, &c).expect("inputs");
+            job_checkpoint(&c, Endpoint::Discover, body, &inputs)
+                .expect("checkpoint")
+                .expect("enabled")
+                .store
+                .dir()
+                .to_path_buf()
+        };
+        assert_eq!(
+            dir_of(&json!({"csv": csv_text})),
+            dir_of(&json!({"dataset": "shared@1"})),
+            "inline and by-reference requests with identical content adopt the same snapshots"
+        );
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 }

@@ -7,9 +7,11 @@
 //! restarts:
 //!
 //! * **Endpoints** — `POST /v1/discover`, `POST /v1/clean`,
-//!   `POST /v1/validate` (inputs inline as JSON: CSV text, ontology text,
-//!   OFD specs), plus `GET /healthz`, `GET /readyz`, `GET /metrics`
-//!   (ofd-obs schema-v1 JSON) and `POST /admin/drain`.
+//!   `POST /v1/validate` (inputs inline as JSON — CSV text, ontology
+//!   text, OFD specs — or by `dataset: "name@version"` reference), the
+//!   [`catalog`] API under `/v1/datasets`, plus `GET /healthz`,
+//!   `GET /readyz` (tri-state: `ok` | `degraded` | `draining`),
+//!   `GET /metrics` (ofd-obs schema-v1 JSON) and `POST /admin/drain`.
 //! * **Admission control** — a bounded queue ([`queue::BoundedQueue`])
 //!   feeding a fixed worker pool; each admitted job runs under a
 //!   per-request [`ExecGuard`](ofd_core::ExecGuard) deadline derived from
@@ -27,15 +29,35 @@
 //!   [`SnapshotStore`](ofd_core::SnapshotStore) directories (keyed by a
 //!   request fingerprint) let a restarted server resume the same request
 //!   byte-identically.
+//! * **Dataset catalog** — [`catalog::Catalog`] registers immutable,
+//!   append-only dataset versions under `<checkpoint-dir>/catalog`;
+//!   requests reference `dataset: "name@version"` instead of re-shipping
+//!   rows, parses are interned per version, and the catalog is shared by
+//!   every replica pointed at the same directory.
+//! * **Fleet mode** — [`router::Router`] fronts N worker processes kept
+//!   alive by [`supervisor::Supervisor`] (respawn behind a restart-storm
+//!   breaker). Requests are consistent-hash routed by dataset content
+//!   fingerprint and fail over to the next replica on connect/5xx
+//!   errors; because checkpoints are content-keyed and the root is
+//!   shared, the surviving replica **adopts** a dead worker's checkpoint
+//!   and resumes mid-level, still byte-identical
+//!   (`serve.router.adopted`).
 //!
-//! The soak harness for all of this is `serve_probe` in `ofd-bench`.
+//! The soak harness for all of this is `serve_probe` in `ofd-bench`
+//! (`--router` for the fleet soak).
 
 pub mod breaker;
+pub mod catalog;
 pub mod http;
 pub mod jobs;
 pub mod queue;
+pub mod router;
 pub mod server;
+pub mod supervisor;
 
 pub use breaker::{Admission, Breaker};
+pub use catalog::{content_fingerprint, Catalog, CatalogEntry, CatalogError};
 pub use jobs::{BadRequest, Endpoint, JobContext, JobOutcome};
+pub use router::{Fleet, Router, RouterConfig, ROUTER_COUNTERS};
 pub use server::{termination_flag, ServeConfig, ServeSummary, Server, SERVE_COUNTERS};
+pub use supervisor::{Supervisor, SupervisorConfig, WorkerSpec};

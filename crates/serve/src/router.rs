@@ -1,0 +1,686 @@
+//! The shard router: one front process, N worker replicas.
+//!
+//! ```text
+//!                       ┌────────────┐  consistent hash   ┌──────────┐
+//!   clients ──────────▶ │   router   │ ─────────────────▶ │ worker 0 │──┐
+//!            POST /v1/* │ (no engine │   retry next       ├──────────┤  │ shared
+//!            PUT  /v1/  │   inside)  │   replica on       │ worker 1 │──┤ checkpoint
+//!            datasets/* │            │   connect/5xx      ├──────────┤  │ + catalog
+//!                       └─────┬──────┘                    │ worker N │──┘ root
+//!                             │ supervises (respawn,      └──────────┘
+//!                             ▼  restart-storm breaker)
+//!                       [Supervisor]
+//! ```
+//!
+//! Routing is by **dataset content fingerprint**: inline bodies hash
+//! their CSV/ontology text, `"dataset": "name@version"` references
+//! resolve through the shared catalog to the same digest, and catalog
+//! API calls hash the dataset name — so a dataset's jobs, versions and
+//! checkpoint traffic land on one worker in the steady state, keeping
+//! its interned parse and partition caches hot. The hash ring hashes
+//! *slot indices*, not addresses, so a respawned worker (fresh port)
+//! inherits its predecessor's ring segment.
+//!
+//! Failover is what makes the fleet resilient rather than just wide:
+//! a connect failure, i/o error mid-reply, or 5xx moves the request to
+//! the next distinct replica on the ring after a backoff
+//! (`serve.router.retried`). Because every worker shares one checkpoint
+//! root and job directories are keyed by request content (never worker
+//! identity), the replica that inherits a SIGKILLed worker's request
+//! **adopts its checkpoint** and resumes mid-level — observed as a 200
+//! with a non-null `resumed_from_*` field on a retried request, counted
+//! as `serve.router.adopted`.
+//!
+//! The router never parses engine results; it relays worker reply bytes
+//! verbatim, which is why byte-identical-response assertions hold
+//! through it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ofd_core::{fnv1a64, FaultPlan, Obs};
+use serde_json::{json, Value};
+
+use crate::catalog::{content_fingerprint, Catalog};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::supervisor::Supervisor;
+
+/// The `serve.router.*` counters pinned by the metrics schema test;
+/// touched at bind so they are present (zero) in every router
+/// `/metrics` document.
+pub const ROUTER_COUNTERS: [&str; 4] = [
+    "serve.router.routed",
+    "serve.router.retried",
+    "serve.router.respawned",
+    "serve.router.adopted",
+];
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port — the router plays
+    /// by the same OS-assigned-port rule as its workers).
+    pub addr: String,
+    /// Virtual nodes per worker slot on the hash ring; more vnodes
+    /// smooth the key distribution across slots.
+    pub vnodes_per_slot: usize,
+    /// Base backoff between failover attempts (grows linearly).
+    pub retry_backoff_ms: u64,
+    /// Extra failover passes over the replica list after the first
+    /// (covers the window where every replica is mid-respawn).
+    pub extra_rounds: usize,
+    /// TCP connect timeout per forward attempt.
+    pub connect_timeout_ms: u64,
+    /// Read/write timeout on a forwarded request (must cover the worker
+    /// job budget, or the router gives up on jobs that would finish).
+    pub forward_timeout_ms: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Worker `/readyz` probe cadence.
+    pub probe_interval_ms: u64,
+    /// Catalog directory (the fleet-shared one) so the router can
+    /// resolve `dataset:` references to content fingerprints for
+    /// routing. `None` falls back to hashing the reference string.
+    pub catalog_dir: Option<PathBuf>,
+    /// Router-side metrics (`serve.router.*`).
+    pub obs: Obs,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            vnodes_per_slot: 40,
+            retry_backoff_ms: 100,
+            extra_rounds: 1,
+            connect_timeout_ms: 1_000,
+            forward_timeout_ms: 120_000,
+            max_body_bytes: 16 * 1024 * 1024,
+            probe_interval_ms: 500,
+            catalog_dir: None,
+            obs: Obs::enabled(),
+        }
+    }
+}
+
+/// Where the router's replicas come from.
+pub enum Fleet {
+    /// A fixed address list (tests, externally managed workers).
+    Static(Vec<SocketAddr>),
+    /// A supervised fleet; the router reads live addresses every
+    /// request, so respawns are picked up immediately.
+    Supervised(Supervisor),
+}
+
+impl Fleet {
+    fn addrs(&self) -> Vec<Option<SocketAddr>> {
+        match self {
+            Fleet::Static(addrs) => addrs.iter().copied().map(Some).collect(),
+            Fleet::Supervised(s) => s.addrs(),
+        }
+    }
+}
+
+struct RouterShared {
+    cfg: RouterConfig,
+    obs: Obs,
+    fleet: Fleet,
+    catalog: Option<Catalog>,
+    stopping: AtomicBool,
+    /// Set by `POST /admin/drain`; the serve binary polls it and shuts
+    /// the whole fleet down (otherwise the supervisor would respawn the
+    /// drained workers right back).
+    drain_requested: AtomicBool,
+    /// Last probed `/readyz` state label per slot (`down` when
+    /// unreachable); written by the prober, read by `/readyz`.
+    probe_states: Mutex<Vec<String>>,
+}
+
+/// A running router; see the module docs for the topology.
+pub struct Router {
+    shared: Arc<RouterShared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the front listener and starts the accept and probe loops.
+    pub fn bind(cfg: RouterConfig, fleet: Fleet) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let obs = cfg.obs.clone();
+        for name in ROUTER_COUNTERS {
+            obs.touch_counter(name);
+        }
+        let slots = fleet.addrs().len();
+        let catalog = cfg
+            .catalog_dir
+            .clone()
+            .map(|dir| Catalog::open(dir, FaultPlan::none(), obs.clone()));
+        let shared = Arc::new(RouterShared {
+            obs,
+            fleet,
+            catalog,
+            stopping: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            probe_states: Mutex::new(vec!["unknown".into(); slots]),
+            cfg,
+        });
+        let mut threads = Vec::with_capacity(2);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ofd-router-accept".into())
+                    .spawn(move || accept_loop(listener, shared))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ofd-router-probe".into())
+                    .spawn(move || probe_loop(&shared))?,
+            );
+        }
+        Ok(Router {
+            shared,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound front address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's metrics handle.
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
+    }
+
+    /// The fleet (e.g. to SIGKILL a worker from a chaos harness).
+    pub fn fleet(&self) -> &Fleet {
+        &self.shared.fleet
+    }
+
+    /// Whether a client asked the fleet to drain via `POST /admin/drain`.
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested.load(Ordering::SeqCst)
+    }
+
+    /// Stops the router threads and, for a supervised fleet, the
+    /// supervisor and its workers.
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Fleet::Supervised(s) = &self.shared.fleet {
+            s.stop();
+        }
+    }
+}
+
+// -------------------------------------------------------------- hash ring
+
+/// Murmur3-style finalizer: FNV over the short, near-identical vnode
+/// labels clusters in the upper bits, and ring balance is entirely a
+/// property of how uniformly the points spread.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Consistent-hash ring over worker *slot indices*: `vnodes` points per
+/// slot, sorted by hash. Stable across respawns because addresses never
+/// enter the hash.
+fn build_ring(slots: usize, vnodes: usize) -> Vec<(u64, usize)> {
+    let mut ring = Vec::with_capacity(slots * vnodes);
+    for slot in 0..slots {
+        for v in 0..vnodes {
+            ring.push((
+                mix(fnv1a64(format!("slot-{slot}-vnode-{v}").as_bytes())),
+                slot,
+            ));
+        }
+    }
+    ring.sort_unstable();
+    ring
+}
+
+/// Failover order for `key`: the owning slot first, then each remaining
+/// distinct slot in ring-walk order.
+fn candidates(ring: &[(u64, usize)], slots: usize, key: u64) -> Vec<usize> {
+    let mut order = Vec::with_capacity(slots);
+    if ring.is_empty() {
+        return order;
+    }
+    // Keys get the same finalizer as ring points: FNV digests of small
+    // inputs live in a narrow band and would otherwise walk the same arc.
+    let key = mix(key);
+    let start = ring.partition_point(|&(h, _)| h < key) % ring.len();
+    for i in 0..ring.len() {
+        let slot = ring[(start + i) % ring.len()].1;
+        if !order.contains(&slot) {
+            order.push(slot);
+            if order.len() == slots {
+                break;
+            }
+        }
+    }
+    order
+}
+
+/// The routing key for a request; see the module docs for the scheme.
+fn route_key(req: &Request, body: Option<&Value>, shared: &RouterShared) -> u64 {
+    if let Some(reference) = req.path.strip_prefix("/v1/datasets/") {
+        // All versions of a dataset co-locate: hash the bare name.
+        let name = reference.split('@').next().unwrap_or(reference);
+        return fnv1a64(name.as_bytes());
+    }
+    if let Some(body) = body {
+        if let Some(reference) = body.get("dataset").and_then(Value::as_str) {
+            return match &shared.catalog {
+                Some(catalog) => catalog.route_fingerprint(reference),
+                None => fnv1a64(reference.as_bytes()),
+            };
+        }
+        if let Some(csv) = body.get("csv").and_then(Value::as_str) {
+            let onto = body.get("ontology").and_then(Value::as_str).unwrap_or("");
+            return content_fingerprint(csv, onto);
+        }
+    }
+    fnv1a64(req.path.as_bytes())
+}
+
+// ------------------------------------------------------------- forwarding
+
+/// Sends `req` to `addr` and reads the complete reply (workers are
+/// `Connection: close`, so EOF delimits it). Returns the status code
+/// and the raw response bytes for verbatim relay.
+fn forward(
+    addr: SocketAddr,
+    req: &Request,
+    cfg: &RouterConfig,
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect_timeout(
+        &addr,
+        Duration::from_millis(cfg.connect_timeout_ms),
+    )?;
+    let timeout = Some(Duration::from_millis(cfg.forward_timeout_ms));
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let head = format!(
+        "{} {} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        req.method,
+        req.path,
+        req.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&req.body)?;
+    let mut raw = Vec::with_capacity(4096);
+    stream.read_to_end(&mut raw)?;
+    let status = parse_status(&raw).ok_or_else(|| {
+        std::io::Error::other("worker reply missing a status line")
+    })?;
+    Ok((status, raw))
+}
+
+fn parse_status(raw: &[u8]) -> Option<u16> {
+    let line_end = raw.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(&raw[..line_end]).ok()?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The JSON body of a raw reply, for the adoption check only.
+fn reply_body(raw: &[u8]) -> Option<Value> {
+    let sep = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    serde_json::from_str(std::str::from_utf8(&raw[sep + 4..]).ok()?).ok()
+}
+
+/// Whether a 200 reply reports a checkpoint resume — on a *retried*
+/// request this is adoption: the replica restored a checkpoint some
+/// other worker wrote.
+fn reply_resumed(raw: &[u8]) -> bool {
+    reply_body(raw).is_some_and(|v| {
+        ["resumed_from_level", "resumed_from_phase"]
+            .iter()
+            .any(|f| v.get(f).is_some_and(|x| !x.is_null()))
+    })
+}
+
+// ------------------------------------------------------------ front loops
+
+fn accept_loop(listener: TcpListener, shared: Arc<RouterShared>) {
+    while !shared.stopping.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                let _ = std::thread::Builder::new()
+                    .name("ofd-router-conn".into())
+                    .spawn(move || handle_connection(stream, shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Polls every worker's `/readyz` and records its `state` label; a slot
+/// that refuses the connection is `down`. The aggregated view is what
+/// the router's own `/readyz` serves.
+fn probe_loop(shared: &RouterShared) {
+    while !shared.stopping.load(Ordering::SeqCst) {
+        let addrs = shared.fleet.addrs();
+        let mut states = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let state = match addr {
+                None => "down".to_string(),
+                Some(addr) => probe_one(addr, &shared.cfg).unwrap_or_else(|| "down".into()),
+            };
+            states.push(state);
+        }
+        *shared.probe_states.lock().expect("probe states lock") = states;
+        std::thread::sleep(Duration::from_millis(shared.cfg.probe_interval_ms));
+    }
+}
+
+fn probe_one(addr: SocketAddr, cfg: &RouterConfig) -> Option<String> {
+    let req = Request {
+        method: "GET".into(),
+        path: "/readyz".into(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut probe_cfg = cfg.clone();
+    probe_cfg.forward_timeout_ms = cfg.connect_timeout_ms.max(250);
+    let (_, raw) = forward(addr, &req, &probe_cfg).ok()?;
+    let state = reply_body(&raw)?
+        .get("state")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    Some(state)
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
+    let cfg = &shared.cfg;
+    let req = match read_request(&mut stream, cfg.max_body_bytes, Duration::from_secs(10)) {
+        Ok(req) => req,
+        Err(HttpError::Disconnected) => return,
+        Err(e) => {
+            let status = match e {
+                HttpError::HeadTooLarge => 431,
+                HttpError::BodyTooLarge => 413,
+                _ => 400,
+            };
+            let _ = Response::json(status, &json!({ "error": format!("{e}") }))
+                .write_to(&mut stream);
+            return;
+        }
+    };
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = Response::text(200, "ok\n").write_to(&mut stream);
+        }
+        ("GET", "/readyz") => {
+            let addrs = shared.fleet.addrs();
+            let states = shared.probe_states.lock().expect("probe states lock").clone();
+            let workers: Vec<Value> = addrs
+                .iter()
+                .zip(states.iter())
+                .map(|(addr, state)| {
+                    json!({
+                        "addr": addr.map(|a| a.to_string()),
+                        "state": state,
+                    })
+                })
+                .collect();
+            let live = addrs.iter().filter(|a| a.is_some()).count();
+            let ready = live > 0;
+            let body = json!({
+                "ready": ready,
+                "role": "router",
+                "workers": workers,
+                "live_workers": live as u64,
+            });
+            let _ = Response::json(if ready { 200 } else { 503 }, &body).write_to(&mut stream);
+        }
+        ("GET", "/metrics") => {
+            let text = shared.obs.snapshot().to_json_string(true);
+            let _ = Response::json_text(200, text).write_to(&mut stream);
+        }
+        ("POST", "/admin/drain") => {
+            // Fan the drain out to every live worker; the router itself
+            // holds no in-flight engine state to checkpoint.
+            shared.drain_requested.store(true, Ordering::SeqCst);
+            let mut drained = 0u64;
+            for addr in shared.fleet.addrs().into_iter().flatten() {
+                let drain = Request {
+                    method: "POST".into(),
+                    path: "/admin/drain".into(),
+                    headers: Vec::new(),
+                    body: Vec::new(),
+                };
+                if forward(addr, &drain, cfg).is_ok() {
+                    drained += 1;
+                }
+            }
+            let _ = Response::json(200, &json!({ "draining": true, "workers": drained }))
+                .write_to(&mut stream);
+        }
+        _ => route(req, stream, &shared),
+    }
+}
+
+/// Routes one request: pick the ring owner, forward, fail over with
+/// backoff to the next distinct replica on connect error, i/o error or
+/// 5xx. Replies are relayed byte-for-byte.
+fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
+    let cfg = &shared.cfg;
+    let obs = &shared.obs;
+
+    let body: Option<Value> = if req.body.is_empty() {
+        None
+    } else {
+        std::str::from_utf8(&req.body)
+            .ok()
+            .and_then(|text| serde_json::from_str(text).ok())
+    };
+    let key = route_key(&req, body.as_ref(), shared);
+
+    let slots = shared.fleet.addrs().len();
+    let ring = build_ring(slots, cfg.vnodes_per_slot.max(1));
+    let order = candidates(&ring, slots, key);
+
+    let mut attempts = 0usize;
+    let mut last_error = String::from("no worker replicas configured");
+    for round in 0..=cfg.extra_rounds {
+        for &slot in &order {
+            // Re-read the slot's address every attempt: a respawn during
+            // failover swaps the port under us, and that fresh worker is
+            // exactly who we want next.
+            let Some(addr) = shared.fleet.addrs().get(slot).copied().flatten() else {
+                last_error = format!("worker slot {slot} is down");
+                continue;
+            };
+            if attempts > 0 {
+                obs.inc("serve.router.retried");
+                std::thread::sleep(Duration::from_millis(
+                    cfg.retry_backoff_ms * attempts as u64,
+                ));
+            }
+            attempts += 1;
+            match forward(addr, &req, cfg) {
+                Ok((status, raw)) if status < 500 => {
+                    obs.inc("serve.router.routed");
+                    if attempts > 1 && status == 200 && reply_resumed(&raw) {
+                        obs.inc("serve.router.adopted");
+                    }
+                    let _ = stream.write_all(&raw);
+                    return;
+                }
+                Ok((status, _)) => {
+                    last_error = format!("worker {addr} answered {status} (round {round})");
+                }
+                Err(e) => {
+                    last_error = format!("worker {addr}: {e} (round {round})");
+                }
+            }
+        }
+    }
+    obs.inc("serve.router.exhausted");
+    let _ = Response::json(
+        502,
+        &json!({ "error": "no replica could answer", "detail": last_error }),
+    )
+    .write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_covers_all_slots_and_is_deterministic() {
+        let ring = build_ring(4, 40);
+        assert_eq!(ring.len(), 160);
+        assert_eq!(ring, build_ring(4, 40), "same inputs, same ring");
+        for slot in 0..4 {
+            assert!(ring.iter().any(|&(_, s)| s == slot), "slot {slot} present");
+        }
+    }
+
+    #[test]
+    fn candidates_visit_each_slot_exactly_once() {
+        let ring = build_ring(3, 40);
+        for key in [0u64, 1, u64::MAX, fnv1a64(b"clinical")] {
+            let order = candidates(&ring, 3, key);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "key {key}: order {order:?}");
+        }
+        assert!(candidates(&build_ring(0, 40), 0, 7).is_empty());
+    }
+
+    #[test]
+    fn same_key_routes_to_the_same_owner() {
+        let ring = build_ring(5, 40);
+        let a = candidates(&ring, 5, fnv1a64(b"dataset-a"));
+        let b = candidates(&ring, 5, fnv1a64(b"dataset-a"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keys_spread_across_slots() {
+        // Not a uniformity proof — just that 40 vnodes/slot doesn't
+        // degenerate to one owner for everything.
+        let ring = build_ring(4, 40);
+        let mut owners = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            owners.insert(candidates(&ring, 4, fnv1a64(format!("key-{i}").as_bytes()))[0]);
+        }
+        assert!(owners.len() >= 3, "64 keys landed on {} slot(s)", owners.len());
+    }
+
+    #[test]
+    fn status_line_parsing() {
+        assert_eq!(parse_status(b"HTTP/1.1 200 OK\r\n\r\n"), Some(200));
+        assert_eq!(parse_status(b"HTTP/1.1 503 Service Unavailable\r\nx: y\r\n\r\n"), Some(503));
+        assert_eq!(parse_status(b"garbage"), None);
+    }
+
+    #[test]
+    fn resumed_detection_reads_the_reply_body() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\r\n{\"resumed_from_level\":3}";
+        assert!(reply_resumed(raw));
+        let raw = b"HTTP/1.1 200 OK\r\n\r\n{\"resumed_from_level\":null,\"resumed_from_phase\":null}";
+        assert!(!reply_resumed(raw));
+    }
+
+    #[test]
+    fn router_with_zero_workers_answers_502_and_serves_metrics() {
+        let obs = Obs::enabled();
+        let router = Router::bind(
+            RouterConfig {
+                obs: obs.clone(),
+                ..RouterConfig::default()
+            },
+            Fleet::Static(Vec::new()),
+        )
+        .expect("bind");
+        let addr = router.addr();
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"POST /v1/discover HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}")
+            .expect("write");
+        let mut reply = Vec::new();
+        s.read_to_end(&mut reply).expect("read");
+        assert_eq!(parse_status(&reply), Some(502), "no replicas → bad gateway");
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").expect("write");
+        let mut reply = Vec::new();
+        s.read_to_end(&mut reply).expect("read");
+        assert_eq!(parse_status(&reply), Some(200));
+        let body = reply_body(&reply).expect("metrics json");
+        let counters = body.get("counters").expect("counters");
+        for name in ROUTER_COUNTERS {
+            assert!(counters.get(name).is_some(), "{name} pinned at bind");
+        }
+        router.shutdown();
+    }
+
+    #[test]
+    fn routes_dataset_references_and_inline_content_identically() {
+        // The whole point of fingerprint routing: a job shipped inline
+        // and the same job shipped by reference land on the same worker.
+        let dir = std::env::temp_dir().join(format!(
+            "ofd-router-key-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Catalog::open(dir.clone(), FaultPlan::none(), Obs::disabled());
+        catalog.put("routed", "A,B\n1,2\n", "").expect("put");
+        let shared = RouterShared {
+            cfg: RouterConfig {
+                catalog_dir: Some(dir.clone()),
+                ..RouterConfig::default()
+            },
+            obs: Obs::disabled(),
+            fleet: Fleet::Static(Vec::new()),
+            catalog: Some(catalog),
+            stopping: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            probe_states: Mutex::new(Vec::new()),
+        };
+        let post = |body: &Value| Request {
+            method: "POST".into(),
+            path: "/v1/discover".into(),
+            headers: Vec::new(),
+            body: serde_json::to_string(body).expect("body").into_bytes(),
+        };
+        let inline = json!({"csv": "A,B\n1,2\n"});
+        let by_ref = json!({"dataset": "routed@1"});
+        assert_eq!(
+            route_key(&post(&inline), Some(&inline), &shared),
+            route_key(&post(&by_ref), Some(&by_ref), &shared),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

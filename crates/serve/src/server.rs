@@ -32,6 +32,7 @@ use ofd_core::{ExecGuard, FaultPlan, GuardConfig, Interrupt, Obs};
 use serde_json::{json, Value};
 
 use crate::breaker::{Admission, Breaker};
+use crate::catalog::{Catalog, CatalogError};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::jobs::{self, BadRequest, Endpoint, JobContext, ENDPOINT_COUNT};
 use crate::queue::{BoundedQueue, Full};
@@ -62,6 +63,10 @@ pub struct ServeConfig {
     /// Root directory for per-job checkpoints (`None` disables
     /// checkpointed drain/resume).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Directory for the persistent dataset catalog. Defaults to
+    /// `<checkpoint_dir>/catalog`; with neither set, `dataset:`
+    /// references are refused (there is nowhere to persist them).
+    pub catalog_dir: Option<PathBuf>,
     /// Seeded fault plan passed through to the engines and snapshot
     /// stores (inert by default; the soak harness sets it).
     pub faults: FaultPlan,
@@ -84,6 +89,7 @@ impl Default for ServeConfig {
             breaker_threshold: 5,
             breaker_cooldown_ms: 1_000,
             checkpoint_dir: None,
+            catalog_dir: None,
             faults: FaultPlan::none(),
             obs: Obs::enabled(),
             retry_after_ms: 250,
@@ -93,7 +99,7 @@ impl Default for ServeConfig {
 
 /// The `serve.*` counters pinned by the metrics schema test; touched at
 /// bind time so they are present (zero) in every `/metrics` document.
-pub const SERVE_COUNTERS: [&str; 10] = [
+pub const SERVE_COUNTERS: [&str; 13] = [
     "serve.requests",
     "serve.admitted",
     "serve.shed",
@@ -104,6 +110,9 @@ pub const SERVE_COUNTERS: [&str; 10] = [
     "serve.incomplete",
     "serve.panics",
     "serve.bad_request",
+    "serve.catalog.put",
+    "serve.catalog.hit",
+    "serve.catalog.miss",
 ];
 
 /// One queued job: everything the worker needs to run and answer it.
@@ -129,6 +138,9 @@ struct Shared {
     inflight: Mutex<HashMap<u64, ExecGuard>>,
     next_job: AtomicU64,
     breakers: [Breaker; ENDPOINT_COUNT],
+    /// Persistent dataset catalog; `None` when no directory is
+    /// configured (in-memory-only servers refuse `dataset:` references).
+    catalog: Option<Arc<Catalog>>,
 }
 
 impl Shared {
@@ -192,6 +204,16 @@ impl Server {
             );
         }
 
+        // First-scrape presence for the queue gauge, like the counters.
+        obs.set_gauge("serve.queue.depth", 0.0);
+
+        let catalog_dir = cfg
+            .catalog_dir
+            .clone()
+            .or_else(|| cfg.checkpoint_dir.as_ref().map(|d| d.join("catalog")));
+        let catalog = catalog_dir
+            .map(|dir| Arc::new(Catalog::open(dir, cfg.faults.clone(), obs.clone())));
+
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_cap),
@@ -206,6 +228,7 @@ impl Server {
                     Duration::from_millis(cfg.breaker_cooldown_ms),
                 )
             }),
+            catalog,
             obs,
             cfg,
         });
@@ -242,6 +265,11 @@ impl Server {
     /// The server's metrics handle.
     pub fn obs(&self) -> &Obs {
         &self.shared.obs
+    }
+
+    /// The dataset catalog, when one is configured.
+    pub fn catalog(&self) -> Option<&Arc<Catalog>> {
+        self.shared.catalog.as_ref()
     }
 
     /// Starts a graceful drain: admission closes (503), queued and
@@ -347,13 +375,8 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             let _ = Response::text(200, "ok\n").write_to(&mut stream);
         }
         ("GET", "/readyz") => {
-            let draining = shared.draining.load(Ordering::SeqCst);
-            let resp = if draining {
-                Response::json(503, &json!({ "ready": false, "draining": true }))
-            } else {
-                Response::json(200, &json!({ "ready": true, "draining": false }))
-            };
-            let _ = resp.write_to(&mut stream);
+            let (status, body) = readiness(&shared);
+            let _ = Response::json(status, &body).write_to(&mut stream);
         }
         ("GET", "/metrics") => {
             shared
@@ -371,6 +394,9 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             shared.begin_drain();
             let _ = Response::json(200, &json!({ "draining": true })).write_to(&mut stream);
         }
+        (_, path) if path == "/v1/datasets" || path.starts_with("/v1/datasets/") => {
+            handle_datasets(req, stream, &shared);
+        }
         ("POST", path) => match Endpoint::from_path(path) {
             Some(endpoint) => admit(endpoint, req, stream, &shared),
             None => {
@@ -383,6 +409,124 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 .write_to(&mut stream);
         }
     }
+}
+
+/// `/readyz` tri-state: `ok` (200), `degraded` (200 — still serving, but
+/// an open breaker, a full queue or RSS past the high water mean callers
+/// should expect shed responses) or `draining` (503 — routers take the
+/// replica out of rotation). The body always carries `ready`/`draining`
+/// plus queue depth and the per-endpoint breaker states, so an operator
+/// gets the shape of the trouble from one probe.
+fn readiness(shared: &Shared) -> (u16, Value) {
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let depth = shared.queue.len();
+    let cap = shared.cfg.queue_cap;
+    let mut breakers: Vec<(String, Value)> = Vec::with_capacity(ENDPOINT_COUNT);
+    let mut any_open = false;
+    for (i, b) in shared.breakers.iter().enumerate() {
+        let endpoint = match i {
+            0 => Endpoint::Discover,
+            1 => Endpoint::Clean,
+            _ => Endpoint::Validate,
+        };
+        any_open |= b.is_open();
+        breakers.push((endpoint.label().to_string(), json!(b.state_label())));
+    }
+    let rss_high = shared
+        .cfg
+        .rss_high_water_mib
+        .is_some_and(|hw| rss_kib().is_some_and(|rss| rss > hw as u64 * 1024));
+    let state = if draining {
+        "draining"
+    } else if any_open || depth >= cap || rss_high {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let body = json!({
+        "ready": !draining,
+        "draining": draining,
+        "state": state,
+        "queue_depth": depth as u64,
+        "queue_cap": cap as u64,
+        "breakers": Value::Object(breakers),
+    });
+    (if draining { 503 } else { 200 }, body)
+}
+
+fn catalog_error_response(e: &CatalogError) -> Response {
+    let status = match e {
+        CatalogError::BadRequest(_) => 400,
+        CatalogError::Storage(_) => 500,
+    };
+    Response::json(status, &json!({ "error": e.message() }))
+}
+
+/// The dataset catalog API: `PUT /v1/datasets/{name}` registers a
+/// version, `GET /v1/datasets` lists names, `GET /v1/datasets/{name}`
+/// (or `{name}@{version}`) describes one. Reads stay open during drain —
+/// they are cheap and a draining replica may still be asked "what do you
+/// have?" — but writes are refused like any other new work.
+fn handle_datasets(req: Request, mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.obs.inc("serve.requests");
+    let Some(catalog) = &shared.catalog else {
+        let _ = Response::json(
+            503,
+            &json!({ "error": "no dataset catalog on this server (start it with --checkpoint-dir)" }),
+        )
+        .write_to(&mut stream);
+        return;
+    };
+    let reference = req
+        .path
+        .strip_prefix("/v1/datasets")
+        .map(|r| r.trim_start_matches('/'))
+        .unwrap_or("");
+    let resp = match (req.method.as_str(), reference) {
+        ("GET", "") => match catalog.list() {
+            Ok(names) => Response::json(200, &json!({ "datasets": names })),
+            Err(e) => catalog_error_response(&e),
+        },
+        ("GET", reference) => match catalog.describe(reference) {
+            Ok(meta) => Response::json(200, &meta),
+            Err(e) => catalog_error_response(&e),
+        },
+        ("PUT", "") => Response::json(400, &json!({ "error": "missing dataset name in path" })),
+        ("PUT", name) => {
+            if shared.draining.load(Ordering::SeqCst) {
+                let resp = Response::json(
+                    503,
+                    &shed_body("draining", shared.cfg.retry_after_ms),
+                );
+                let _ = retry_after_headers(
+                    resp,
+                    Duration::from_millis(shared.cfg.retry_after_ms),
+                )
+                .write_to(&mut stream);
+                return;
+            }
+            match serde_json::from_str::<Value>(std::str::from_utf8(&req.body).unwrap_or("")) {
+                Err(e) => Response::json(400, &json!({ "error": format!("body: {e}") })),
+                Ok(body) => {
+                    let csv_text = body.get("csv").and_then(Value::as_str).unwrap_or("");
+                    let onto_text = body.get("ontology").and_then(Value::as_str).unwrap_or("");
+                    match catalog.put(name, csv_text, onto_text) {
+                        Ok(entry) => Response::json(
+                            200,
+                            &json!({
+                                "name": entry.name.clone(),
+                                "version": entry.version,
+                                "fingerprint": format!("{:016x}", entry.fingerprint),
+                            }),
+                        ),
+                        Err(e) => catalog_error_response(&e),
+                    }
+                }
+            }
+        }
+        _ => Response::json(405, &json!({ "error": "method not allowed" })),
+    };
+    let _ = resp.write_to(&mut stream);
 }
 
 /// The admission pipeline for a job endpoint; answers inline on every
@@ -567,6 +711,7 @@ fn execute_job(mut job: Job, shared: &Arc<Shared>) {
         obs: obs.clone(),
         faults: shared.cfg.faults.clone(),
         checkpoint_root: shared.cfg.checkpoint_dir.clone(),
+        catalog: shared.catalog.clone(),
     };
     let span = obs.span(&format!("serve.job.{}", job.endpoint.label()));
     let result = catch_unwind(AssertUnwindSafe(|| {

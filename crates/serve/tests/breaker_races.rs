@@ -1,0 +1,143 @@
+//! Threaded stress tests for the circuit breaker's half-open window.
+//!
+//! The half-open contract is "exactly one probe": when an open circuit's
+//! cooldown expires, many requests race `admit()` at once and precisely
+//! one may proceed — two concurrent probes would double the blast radius
+//! the breaker exists to bound, zero would wedge the circuit open
+//! forever. The mutex in `Breaker` makes the `Open → HalfOpen`
+//! transition atomic with the admission decision; these tests hammer
+//! that window from many threads, repeatedly, to catch any regression
+//! toward check-then-act.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ofd_serve::{Admission, Breaker};
+
+/// Races `threads` callers into `admit()` right as the cooldown expires
+/// and returns how many were admitted.
+fn race_once(breaker: &Arc<Breaker>, threads: usize) -> usize {
+    // Open the circuit, then let the cooldown lapse so the *next* admit
+    // is the half-open probe.
+    breaker.on_failure();
+    std::thread::sleep(Duration::from_millis(3));
+
+    let barrier = Arc::new(Barrier::new(threads));
+    let admitted = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let breaker = breaker.clone();
+            let barrier = barrier.clone();
+            let admitted = admitted.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                if matches!(breaker.admit(), Admission::Allowed) {
+                    admitted.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("racer");
+    }
+    admitted.load(Ordering::SeqCst)
+}
+
+#[test]
+fn half_open_admits_exactly_one_probe_under_contention() {
+    let breaker = Arc::new(Breaker::new(1, Duration::from_millis(1)));
+    for round in 0..50 {
+        let admitted = race_once(&breaker, 8);
+        assert_eq!(
+            admitted, 1,
+            "round {round}: {admitted} concurrent probes admitted (want exactly 1)"
+        );
+        // Settle the probe so the next round starts from a closed
+        // circuit; alternate outcomes so both settle paths are raced.
+        if round % 2 == 0 {
+            breaker.on_success();
+        } else {
+            breaker.on_failure();
+            std::thread::sleep(Duration::from_millis(3));
+            assert!(
+                matches!(breaker.admit(), Admission::Allowed),
+                "failed probe re-opens, then recovers after cooldown"
+            );
+            breaker.on_success();
+        }
+    }
+}
+
+#[test]
+fn aborted_probe_never_loses_the_slot_under_contention() {
+    // The probe_aborted path (probe shed before running) races new
+    // admits: the circuit must end up open — never stuck half-open with
+    // the lone probe slot leaked.
+    let breaker = Arc::new(Breaker::new(1, Duration::from_millis(1)));
+    for _ in 0..50 {
+        breaker.on_failure();
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(matches!(breaker.admit(), Admission::Allowed), "probe slot");
+
+        let barrier = Arc::new(Barrier::new(5));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let breaker = breaker.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    matches!(breaker.admit(), Admission::Allowed)
+                })
+            })
+            .collect();
+        barrier.wait();
+        breaker.probe_aborted();
+        let stolen: usize = handles
+            .into_iter()
+            .map(|h| usize::from(h.join().expect("racer")))
+            .sum();
+        // The abort re-opens the circuit; a concurrent admit may land in
+        // the fresh cooldown's expiry only if the cooldown already
+        // lapsed, in which case it *is* the new legitimate probe.
+        assert!(stolen <= 1, "{stolen} admits raced one aborted probe");
+        breaker.on_success();
+    }
+}
+
+#[test]
+fn sustained_hammering_settles_to_a_usable_circuit() {
+    // Mixed traffic — admits, failures, successes from many threads for
+    // a while — must leave the breaker in a state that still serves.
+    let breaker = Arc::new(Breaker::new(3, Duration::from_millis(2)));
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let breaker = breaker.clone();
+            std::thread::spawn(move || {
+                while Instant::now() < deadline {
+                    match breaker.admit() {
+                        Admission::Allowed => {
+                            if i % 3 == 0 {
+                                breaker.on_failure();
+                            } else {
+                                breaker.on_success();
+                            }
+                        }
+                        Admission::Rejected { retry_after } => {
+                            assert!(retry_after <= Duration::from_millis(2));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread");
+    }
+    breaker.on_success();
+    assert!(
+        matches!(breaker.admit(), Admission::Allowed),
+        "circuit recovers once traffic is healthy"
+    );
+}

@@ -539,6 +539,124 @@ fn client_disconnect_cancels_the_running_job() {
 }
 
 #[test]
+fn readyz_reports_state_queue_depth_and_breaker_summary() {
+    let server = Server::bind(ServeConfig::default()).expect("bind");
+    let ready = request(server.addr(), "GET", "/readyz", None);
+    assert_eq!(ready.status, 200);
+    assert_eq!(ready.body.get("state").and_then(Value::as_str), Some("ok"));
+    assert_eq!(ready.body.get("queue_depth").and_then(Value::as_u64), Some(0));
+    assert!(
+        ready.body.get("queue_cap").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "capacity reported next to depth"
+    );
+    let breakers = ready.body.get("breakers").expect("breaker summary");
+    for endpoint in ["discover", "clean", "validate"] {
+        assert_eq!(
+            breakers.get(endpoint).and_then(Value::as_str),
+            Some("closed"),
+            "fresh server: {endpoint} breaker closed"
+        );
+    }
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn dataset_catalog_registers_resolves_and_survives_restart() {
+    let (csv_text, onto_text) = dataset(200);
+    let ckpt = tmp_dir("catalog");
+    let reference = reference_sigma(&csv_text, &onto_text);
+
+    let server = Server::bind(ServeConfig {
+        checkpoint_dir: Some(ckpt.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Register once...
+    let put = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_text, "ontology": &onto_text })),
+    );
+    assert_eq!(put.status, 200);
+    assert_eq!(put.body.get("version").and_then(Value::as_u64), Some(1));
+
+    // ...then run jobs by reference instead of re-shipping rows.
+    let by_ref = request(addr, "POST", "/v1/discover", Some(&json!({ "dataset": "clinical" })));
+    assert_eq!(by_ref.status, 200);
+    assert_eq!(
+        by_ref.body.get("dataset").and_then(Value::as_str),
+        Some("clinical@1"),
+        "response echoes the resolved reference"
+    );
+    assert_eq!(
+        sigma_keys(&by_ref.body),
+        reference,
+        "by-reference Σ is bit-identical to the inline run"
+    );
+
+    // Catalog API: list and describe (metadata only).
+    let list = request(addr, "GET", "/v1/datasets", None);
+    assert_eq!(list.status, 200);
+    assert_eq!(
+        list.body.get("datasets").and_then(Value::as_array).map(Vec::len),
+        Some(1)
+    );
+    let meta = request(addr, "GET", "/v1/datasets/clinical", None);
+    assert_eq!(meta.status, 200);
+    assert_eq!(meta.body.get("n_rows").and_then(Value::as_u64), Some(200));
+    assert!(meta.body.get("csv").is_none(), "describe never ships rows");
+
+    // Re-registration appends a version; the pin still resolves v1.
+    let put2 = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_text })),
+    );
+    assert_eq!(put2.body.get("version").and_then(Value::as_u64), Some(2));
+
+    // Unknown references and bad names are client errors.
+    let unknown = request(addr, "POST", "/v1/discover", Some(&json!({ "dataset": "nope" })));
+    assert_eq!(unknown.status, 400);
+    let bad = request(addr, "PUT", "/v1/datasets/has.dot", Some(&json!({ "csv": "A\n1\n" })));
+    assert_eq!(bad.status, 400);
+
+    server.shutdown(Duration::from_secs(10));
+
+    // Full restart on the same root: the catalog is durable and the
+    // pinned version still answers byte-identically.
+    let server = Server::bind(ServeConfig {
+        checkpoint_dir: Some(ckpt.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind restarted");
+    let reply = request(
+        server.addr(),
+        "POST",
+        "/v1/discover",
+        Some(&json!({ "dataset": "clinical@1" })),
+    );
+    assert_eq!(reply.status, 200);
+    assert_eq!(sigma_keys(&reply.body), reference, "catalog survives restart");
+    server.shutdown(Duration::from_secs(10));
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+#[test]
+fn dataset_reference_on_a_catalogless_server_is_refused() {
+    let server = Server::bind(ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let reply = request(addr, "POST", "/v1/discover", Some(&json!({ "dataset": "x" })));
+    assert_eq!(reply.status, 400, "no catalog dir → dataset refs are client errors");
+    let put = request(addr, "PUT", "/v1/datasets/x", Some(&json!({ "csv": "A\n1\n" })));
+    assert_eq!(put.status, 503, "catalog API reports the missing configuration");
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
 fn timeout_budget_yields_incomplete_not_error() {
     let (csv_text, onto_text) = dataset(2500);
     let server = Server::bind(ServeConfig::default()).expect("bind");

@@ -352,6 +352,82 @@ fn run() -> Result<ExitCode, String> {
             emit_obs(&obs, &flags)?;
             Ok(completion_code(result.clean.complete))
         }
+        "serve" if flags.contains_key("router") => {
+            // Router mode: this process runs no engines. It spawns and
+            // supervises `--workers N` single-server worker processes
+            // (each `fastofd serve` on an OS-assigned port, re-execed
+            // from this binary), consistent-hash routes requests by
+            // dataset fingerprint, fails over to the next replica on
+            // connect/5xx errors, and respawns crashed workers behind a
+            // restart-storm breaker. Give the fleet a shared
+            // `--checkpoint-dir` so any replica can adopt a dead
+            // sibling's checkpoints and the dataset catalog is
+            // fleet-wide.
+            let workers: usize = match single("workers") {
+                Some(n) => n.parse().map_err(|_| "--workers expects an integer")?,
+                None => 2,
+            };
+            let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+            let mut worker_args: Vec<String> =
+                vec!["serve".into(), "--addr".into(), "127.0.0.1:0".into()];
+            // Workers inherit every serve flag that shapes job execution;
+            // `--workers` is the *process* count here, so per-process
+            // thread count travels as `--worker-threads`.
+            for flag in [
+                "queue-cap",
+                "budget-ms",
+                "max-body-mib",
+                "rss-high-water-mib",
+                "breaker-failures",
+                "breaker-cooldown-ms",
+                "retry-after-ms",
+                "checkpoint-dir",
+                "faults",
+            ] {
+                if let Some(v) = single(flag) {
+                    worker_args.push(format!("--{flag}"));
+                    worker_args.push(v.to_owned());
+                }
+            }
+            if let Some(n) = single("worker-threads") {
+                worker_args.push("--workers".into());
+                worker_args.push(n.to_owned());
+            }
+            let obs_handle = Obs::enabled();
+            let supervisor = fastofd::serve::Supervisor::start(fastofd::serve::SupervisorConfig {
+                workers,
+                obs: obs_handle.clone(),
+                ..fastofd::serve::SupervisorConfig::new(fastofd::serve::WorkerSpec {
+                    program: exe,
+                    args: worker_args,
+                })
+            })
+            .map_err(|e| format!("supervisor: {e}"))?;
+            let router = fastofd::serve::Router::bind(
+                fastofd::serve::RouterConfig {
+                    addr: single("addr").unwrap_or("127.0.0.1:0").to_owned(),
+                    catalog_dir: single("checkpoint-dir")
+                        .map(|d| std::path::PathBuf::from(d).join("catalog")),
+                    obs: obs_handle.clone(),
+                    ..fastofd::serve::RouterConfig::default()
+                },
+                fastofd::serve::Fleet::Supervised(supervisor),
+            )
+            .map_err(|e| format!("router bind: {e}"))?;
+            println!("listening on {} (router, workers={workers})", router.addr());
+            {
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            let term = fastofd::serve::termination_flag();
+            while !term.load(std::sync::atomic::Ordering::SeqCst) && !router.drain_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            eprintln!("router stopping: drained workers will not be respawned");
+            router.shutdown();
+            emit_obs(&obs_handle, &flags)?;
+            Ok(ExitCode::SUCCESS)
+        }
         "serve" => {
             // Long-running resilient service over the same engines; see
             // the README "Serving" section for endpoint and shedding
@@ -438,6 +514,9 @@ fn usage() -> String {
      serving: fastofd serve [--addr A] [--workers N] [--queue-cap N] [--budget-ms N]\n\
               [--rss-high-water-mib N] [--breaker-failures N] [--breaker-cooldown-ms N]\n\
               [--checkpoint-dir DIR] — graceful drain on SIGTERM or POST /admin/drain\n\
+     fleet: fastofd serve --router [--workers N] [--worker-threads N] [--checkpoint-dir DIR]\n\
+            — supervised worker processes, consistent-hash routing by dataset fingerprint,\n\
+            failover + respawn; share --checkpoint-dir for checkpoint adoption + catalog\n\
      exit codes: 0 complete, 1 error, 3 sound-but-INCOMPLETE partial result\n\
      execution limits (discover/clean/enforce): --timeout-ms N --max-work N --max-rss-mib N\n\
      observability (discover/clean/enforce): --metrics-out metrics.json --trace\n\

@@ -178,6 +178,55 @@ fn serve_metrics_endpoint_matches_schema_v1_with_serve_counters_pinned() {
     ] {
         assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
     }
+    // The admission-queue depth gauge is published from bind, so a fresh
+    // scrape reads an explicit zero rather than a missing series.
+    let depth = v
+        .get("gauges")
+        .and_then(|g| g.get("serve.queue.depth"))
+        .and_then(Value::as_f64);
+    assert_eq!(depth, Some(0.0), "serve.queue.depth gauge present on a fresh server");
 
     server.shutdown(std::time::Duration::from_secs(10));
+}
+
+/// The shard router's `/metrics` document obeys the same schema, with the
+/// `serve.router.*` counters pinned from the moment the router binds —
+/// even with zero workers behind it.
+#[test]
+fn router_metrics_endpoint_matches_schema_v1_with_router_counters_pinned() {
+    use fastofd::serve::{Fleet, Router, RouterConfig, ROUTER_COUNTERS};
+    use std::io::{Read, Write};
+
+    let router = Router::bind(RouterConfig::default(), Fleet::Static(Vec::new()))
+        .expect("bind router on an ephemeral port");
+
+    let mut stream = std::net::TcpStream::connect(router.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n")
+        .expect("send scrape");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read scrape reply");
+    let text = String::from_utf8(raw).expect("utf8 reply");
+    let (head, body) = text.split_once("\r\n\r\n").expect("reply head");
+    assert!(head.starts_with("HTTP/1.1 200"), "scrape must succeed, got head: {head}");
+
+    let v = validate_schema_v1(body);
+    let names = counter_names(&v);
+    for name in ROUTER_COUNTERS {
+        assert!(names.iter().any(|n| n == name), "router counter {name} missing");
+    }
+    // The acceptance-pinned spellings, independent of the constant.
+    for name in [
+        "serve.router.routed",
+        "serve.router.retried",
+        "serve.router.respawned",
+        "serve.router.adopted",
+    ] {
+        assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
+    }
+
+    router.shutdown();
 }
