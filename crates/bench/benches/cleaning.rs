@@ -137,7 +137,9 @@ fn bench_incremental_checker(c: &mut Criterion) {
         b.iter(|| {
             let (old, new) = if flip { (v_b, v_a) } else { (v_a, v_b) };
             rel.set_id(0, attr, new).expect("in bounds");
-            checker.apply_update(black_box(&index), 0, attr, old, new);
+            checker
+                .apply_update(black_box(&index), 0, attr, old, new)
+                .expect("flip is in sync");
             flip = !flip;
             checker.violation_count()
         })

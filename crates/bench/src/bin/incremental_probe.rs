@@ -1,0 +1,261 @@
+//! Pinned streaming-maintenance workload for the incremental baseline
+//! (`BENCH_incremental.json`).
+//!
+//! ```text
+//! incremental_probe [--rows N] [--edits K] [--seed S] [--out PATH]
+//! incremental_probe --check PATH       # result-shape + speedup gate
+//! ```
+//!
+//! Feeds a seeded interleaving of appends, retracts and consequent
+//! updates through an [`IncrementalChecker`] over the clinical preset.
+//! **Every edit prefix** is cross-checked against a from-scratch
+//! [`Validator`] rebuild — the probe is an equivalence proof first and a
+//! benchmark second — and the same rebuild is what the per-edit
+//! maintenance time is measured against. The delta-partition path must
+//! beat full revalidation by at least 100× at the median or the probe
+//! exits non-zero: that factor is the point of maintaining partitions
+//! instead of recomputing them, and it is wall-clock-ratio based, so the
+//! gate is stable across machines.
+//!
+//! `--check` re-runs the workload a baseline file records and fails on
+//! any drift in the final violation count or row count (a perf artifact
+//! must not go stale on wrong answers).
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ofd_core::{IncrementalChecker, SenseIndex, Validator};
+use ofd_datagen::{clinical, PresetConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde_json::Value;
+
+struct Workload {
+    rows: usize,
+    edits: usize,
+    seed: u64,
+}
+
+struct Measured {
+    edit_p50_us: f64,
+    edit_p95_us: f64,
+    edit_max_us: f64,
+    full_p50_us: f64,
+    speedup: f64,
+    final_violations: usize,
+    final_rows: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the seeded edit stream, timing each incremental maintenance step
+/// and the from-scratch revalidation it must agree with.
+fn measure(w: &Workload) -> Measured {
+    let ds = clinical(&PresetConfig {
+        n_rows: w.rows,
+        n_attrs: 5,
+        n_ofds: 2,
+        seed: w.seed,
+        ..PresetConfig::default()
+    });
+    let mut rel = ds.clean.clone();
+    let mut index = SenseIndex::synonym(&rel, &ds.full_ontology);
+    let mut checker = IncrementalChecker::new(&rel, &index, &ds.ofds);
+
+    let rhs = ds.ofds[0].rhs;
+    let upd = ds
+        .ofds
+        .iter()
+        .map(|o| o.rhs)
+        .find(|&r| !ds.ofds.iter().any(|o| o.lhs.contains(r)))
+        .expect("the clinical preset plants an update-safe consequent");
+    let base_rows = ds.clean.n_rows();
+
+    let mut rng = StdRng::seed_from_u64(w.seed.wrapping_mul(31907));
+    let mut edit_us: Vec<f64> = Vec::with_capacity(w.edits);
+    let mut full_us: Vec<f64> = Vec::with_capacity(w.edits);
+    for i in 0..w.edits {
+        // The edit is chosen before the clock starts; only maintenance
+        // (relation mutation + index extension + delta repartitioning)
+        // is timed.
+        match rng.random_range(0u64..10) {
+            0..=3 => {
+                let src = rng.random_range(0..base_rows as u64) as usize;
+                let mut cells: Vec<String> =
+                    ds.clean.row_texts(src).iter().map(|s| s.to_string()).collect();
+                if rng.random_range(0u64..3) == 0 {
+                    cells[rhs.index()] = format!("novel-{i}");
+                }
+                let start = Instant::now();
+                let row = rel
+                    .push_row(cells.iter().map(String::as_str))
+                    .expect("append in bounds");
+                index.extend_synonym(&rel, &ds.full_ontology);
+                checker
+                    .apply_insert(&rel, &index, row)
+                    .expect("insert maintains");
+                edit_us.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            4..=6 => {
+                let row = rng.random_range(0..rel.n_rows() as u64) as usize;
+                let value = if rng.random_range(0u64..4) == 0 {
+                    format!("novel-{i}")
+                } else {
+                    ds.clean
+                        .text(rng.random_range(0..base_rows as u64) as usize, upd)
+                        .to_string()
+                };
+                let start = Instant::now();
+                let old = rel.value(row, upd);
+                let new = rel.set(row, upd, &value).expect("update in bounds");
+                index.extend_synonym(&rel, &ds.full_ontology);
+                checker
+                    .apply_update(&index, row, upd, old, new)
+                    .expect("update maintains");
+                edit_us.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            _ => {
+                let row = rng.random_range(0..rel.n_rows() as u64) as usize;
+                let start = Instant::now();
+                checker
+                    .apply_retract(&mut rel, &index, row)
+                    .expect("retract maintains");
+                edit_us.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+
+        // Prefix equivalence: a from-scratch validation of the current
+        // rows must agree OFD by OFD, and its wall time is the baseline
+        // the incremental path is credited against.
+        let start = Instant::now();
+        let validator = Validator::new(&rel, &ds.full_ontology);
+        let fresh: Vec<usize> = ds
+            .ofds
+            .iter()
+            .map(|o| validator.check(o).violation_count())
+            .collect();
+        full_us.push(start.elapsed().as_secs_f64() * 1e6);
+        let maintained = checker.per_ofd_violations();
+        assert_eq!(
+            maintained, fresh,
+            "edit {i}: maintained violations diverged from from-scratch validation"
+        );
+    }
+
+    edit_us.sort_by(|a, b| a.total_cmp(b));
+    full_us.sort_by(|a, b| a.total_cmp(b));
+    let edit_p50_us = percentile(&edit_us, 0.5);
+    let full_p50_us = percentile(&full_us, 0.5);
+    Measured {
+        edit_p50_us,
+        edit_p95_us: percentile(&edit_us, 0.95),
+        edit_max_us: percentile(&edit_us, 1.0),
+        full_p50_us,
+        speedup: full_p50_us / edit_p50_us,
+        final_violations: checker.violation_count(),
+        final_rows: rel.n_rows(),
+    }
+}
+
+fn report(w: &Workload, m: &Measured) -> Value {
+    Value::Object(vec![
+        ("bench".to_owned(), Value::from("incremental")),
+        (
+            "workload".to_owned(),
+            Value::Object(vec![
+                ("preset".to_owned(), Value::from("clinical")),
+                ("rows".to_owned(), Value::from(w.rows)),
+                ("edits".to_owned(), Value::from(w.edits)),
+                ("seed".to_owned(), Value::from(w.seed)),
+            ]),
+        ),
+        ("edit_p50_us".to_owned(), Value::from(m.edit_p50_us)),
+        ("edit_p95_us".to_owned(), Value::from(m.edit_p95_us)),
+        ("edit_max_us".to_owned(), Value::from(m.edit_max_us)),
+        ("full_revalidate_p50_us".to_owned(), Value::from(m.full_p50_us)),
+        ("speedup".to_owned(), Value::from(m.speedup)),
+        ("final_violations".to_owned(), Value::from(m.final_violations)),
+        ("final_rows".to_owned(), Value::from(m.final_rows)),
+    ])
+}
+
+const MIN_SPEEDUP: f64 = 100.0;
+
+fn main() -> ExitCode {
+    let mut w = Workload {
+        rows: 40_000,
+        edits: 500,
+        seed: 42,
+    };
+    let mut out = "BENCH_incremental.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--rows" => w.rows = value("--rows").parse().expect("--rows N"),
+            "--edits" => w.edits = value("--edits").parse().expect("--edits K"),
+            "--seed" => w.seed = value("--seed").parse().expect("--seed S"),
+            "--out" => out = value("--out"),
+            "--check" => check = Some(value("--check")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    if let Some(path) = check {
+        let baseline: Value = serde_json::from_str(
+            &std::fs::read_to_string(Path::new(&path))
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}")),
+        )
+        .expect("baseline parses");
+        let wl = baseline.get("workload").expect("baseline workload");
+        w.rows = wl.get("rows").and_then(Value::as_u64).expect("rows") as usize;
+        w.edits = wl.get("edits").and_then(Value::as_u64).expect("edits") as usize;
+        w.seed = wl.get("seed").and_then(Value::as_u64).expect("seed");
+        let m = measure(&w);
+        let recorded_violations =
+            baseline.get("final_violations").and_then(Value::as_u64).expect("violations") as usize;
+        let recorded_rows =
+            baseline.get("final_rows").and_then(Value::as_u64).expect("rows") as usize;
+        if m.final_violations != recorded_violations || m.final_rows != recorded_rows {
+            eprintln!(
+                "incremental_probe: result drift — baseline ({recorded_rows} rows, {recorded_violations} violations) vs now ({} rows, {} violations)",
+                m.final_rows, m.final_violations
+            );
+            return ExitCode::FAILURE;
+        }
+        if m.speedup < MIN_SPEEDUP {
+            eprintln!(
+                "incremental_probe: speedup {:.1}x is below the {MIN_SPEEDUP:.0}x floor (edit p50 {:.1}us vs full {:.1}us)",
+                m.speedup, m.edit_p50_us, m.full_p50_us
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "incremental_probe: check ok ({} edits equivalent at every prefix, {:.0}x over full revalidation)",
+            w.edits, m.speedup
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let m = measure(&w);
+    assert!(
+        m.speedup >= MIN_SPEEDUP,
+        "incremental maintenance must beat full revalidation by {MIN_SPEEDUP:.0}x at the median, got {:.1}x",
+        m.speedup
+    );
+    let text = serde_json::to_string_pretty(&report(&w, &m)).expect("serialize") + "\n";
+    std::fs::write(&out, &text).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "incremental_probe: {} edits on {} rows, per-edit p50 {:.1}us (p95 {:.1}us), full revalidation p50 {:.0}us — {:.0}x; baseline written to {out}",
+        w.edits, w.rows, m.edit_p50_us, m.edit_p95_us, m.full_p50_us, m.speedup
+    );
+    ExitCode::SUCCESS
+}

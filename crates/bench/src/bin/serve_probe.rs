@@ -30,6 +30,15 @@
 //!    I/O errors and torn writes; a lost checkpoint may cost recompute
 //!    but must never change the answer.
 //!
+//! `--stream` runs the streaming soak instead: a seeded interleaving of
+//! `/v1/append` / `/v1/retract` edits against a checkpointed session,
+//! SIGKILLed mid-stream and resumed on a fresh process. Every reply must
+//! be byte-identical to an uninterrupted reference run of the same edit
+//! script, the final state must match a from-scratch validation of the
+//! final rows, and a deliberately stale update must come back as a 409
+//! that leaves the session usable. `--metrics-out` dumps the final
+//! worker `/metrics` document for CI artifacts.
+//!
 //! `--router` runs the fleet soak instead: a supervised two-worker fleet
 //! behind the shard router, all replicas sharing one checkpoint/catalog
 //! root. It registers a dataset through the router's catalog API,
@@ -522,6 +531,305 @@ fn phase_snapshot_faults(args: &Args, body: &Value, reference: &[(String, String
     println!("phase faults: ok (byte-identical despite injected snapshot corruption)");
 }
 
+// -------------------------------------------------------- streaming soak
+
+/// One streaming edit, kept alongside a local row mirror so the final
+/// state can be re-validated from scratch.
+enum StreamEdit {
+    Append(Vec<String>),
+    Retract(usize),
+    Update { row: usize, attr: String, value: String },
+}
+
+/// A consequent attribute that is not also an antecedent of any planted
+/// OFD — the only cell the update path may touch.
+fn updatable_rhs(ds: &ofd_datagen::Dataset) -> ofd_core::AttrId {
+    ds.ofds
+        .iter()
+        .map(|o| o.rhs)
+        .find(|&r| !ds.ofds.iter().any(|o| o.lhs.contains(r)))
+        .expect("the clinical preset plants an update-safe consequent")
+}
+
+/// Seeded edit script over the planted dataset: duplicated rows, novel
+/// senseless consequents, retracts and consequent updates. The first
+/// three edits are one of each kind so every incremental counter moves.
+fn stream_script(ds: &ofd_datagen::Dataset, seed: u64, count: usize) -> Vec<StreamEdit> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31907));
+    let schema = ds.clean.schema();
+    let rhs = ds.ofds[0].rhs;
+    let upd = updatable_rhs(ds);
+    let upd_name = schema.name(upd).to_string();
+    let base_rows = ds.clean.n_rows();
+    let mut n_rows = base_rows;
+    let mut edits = Vec::with_capacity(count);
+    for i in 0..count {
+        let kind = if i < 3 { i as u64 * 4 } else { rng.random_range(0u64..10) };
+        match kind {
+            0..=3 => {
+                let mut cells: Vec<String> = ds
+                    .clean
+                    .row_texts(rng.random_range(0..base_rows as u64) as usize)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                if rng.random_range(0u64..3) == 0 {
+                    cells[rhs.index()] = format!("novel-{i}");
+                }
+                edits.push(StreamEdit::Append(cells));
+                n_rows += 1;
+            }
+            4..=6 => {
+                let value = if rng.random_range(0u64..4) == 0 {
+                    format!("novel-{i}")
+                } else {
+                    ds.clean
+                        .text(rng.random_range(0..base_rows as u64) as usize, upd)
+                        .to_string()
+                };
+                edits.push(StreamEdit::Update {
+                    row: rng.random_range(0..n_rows as u64) as usize,
+                    attr: upd_name.clone(),
+                    value,
+                });
+            }
+            _ if n_rows > 1 => {
+                edits.push(StreamEdit::Retract(rng.random_range(0..n_rows as u64) as usize));
+                n_rows -= 1;
+            }
+            _ => {}
+        }
+    }
+    edits
+}
+
+/// The `/v1/append` or `/v1/retract` request for one edit.
+fn stream_request(base: &Value, edit: &StreamEdit) -> (&'static str, Value) {
+    let mut body = base.clone();
+    let Value::Object(fields) = &mut body else {
+        unreachable!("stream base body is an object")
+    };
+    match edit {
+        StreamEdit::Append(cells) => {
+            fields.push(("rows".into(), json!([cells.clone()])));
+            ("/v1/append", body)
+        }
+        StreamEdit::Retract(row) => {
+            fields.push(("rows".into(), json!([*row as u64])));
+            ("/v1/retract", body)
+        }
+        StreamEdit::Update { row, attr, value } => {
+            fields.push((
+                "updates".into(),
+                json!([{"row": *row as u64, "attr": attr, "value": value}]),
+            ));
+            ("/v1/append", body)
+        }
+    }
+}
+
+/// Serialized reply with `resumed_from_seq` blanked: the one field that
+/// legitimately differs between the killed run and the reference run.
+fn normalized_reply(mut reply: Value) -> String {
+    if let Value::Object(fields) = &mut reply {
+        for (name, value) in fields.iter_mut() {
+            if name == "resumed_from_seq" {
+                *value = Value::Null;
+            }
+        }
+    }
+    serde_json::to_string(&reply).expect("serialize reply")
+}
+
+/// `--stream`: seeded edit soak with a mid-stream SIGKILL. The resumed
+/// run must be byte-identical to an uninterrupted reference, the final
+/// state must match from-scratch validation, and conflicts must be 409s
+/// that leave the session usable.
+fn phase_stream(args: &Args, metrics_out: Option<&Path>) {
+    let ds = clinical(&PresetConfig {
+        n_rows: args.rows,
+        n_attrs: 5,
+        n_ofds: 2,
+        seed: args.seed,
+        ..PresetConfig::default()
+    });
+    let schema = ds.clean.schema();
+    let specs: Vec<String> = ds
+        .ofds
+        .iter()
+        .map(|o| {
+            let lhs: Vec<&str> = o.lhs.iter().map(|a| schema.name(a)).collect();
+            format!("{}->{}", lhs.join(","), schema.name(o.rhs))
+        })
+        .collect();
+    let base = json!({
+        "csv": csv::write_csv(&ds.clean),
+        "ontology": ofd_ontology::write_ontology(&ds.full_ontology),
+        "ofds": specs.clone(),
+    });
+    let edits = stream_script(&ds, args.seed, 160);
+    let mut rng = StdRng::seed_from_u64(args.seed.wrapping_mul(48271));
+    let kill_at = rng.random_range(edits.len() as u64 / 4..(edits.len() as u64 * 3) / 4) as usize;
+
+    // Reference: the full script against one uninterrupted server.
+    let ref_dir = args.dir.join("stream-ref");
+    let mut server = spawn_server(&[("checkpoint-dir", ref_dir.display().to_string())]);
+    let mut reference = Vec::with_capacity(edits.len());
+    for edit in &edits {
+        let (path, body) = stream_request(&base, edit);
+        let reply = request(server.addr, "POST", path, Some(&body));
+        assert_eq!(reply.status, 200, "reference edit accepted");
+        reference.push(normalized_reply(reply.body));
+    }
+    let ref_metrics = request(server.addr, "GET", "/metrics", None).body;
+    assert!(counter(&ref_metrics, "serve.stream.sessions") >= 1, "session opened");
+    assert_eq!(
+        counter(&ref_metrics, "serve.stream.edits"),
+        edits.len() as u64,
+        "every reference edit is counted"
+    );
+    server.terminate();
+    assert_eq!(server.wait_exit(Duration::from_secs(30)), Some(0), "reference drains");
+    println!(
+        "phase stream: reference run complete ({} edits, kill scheduled at {kill_at})",
+        edits.len()
+    );
+
+    // Soak: same script, SIGKILL between edits, resume on a new process.
+    let soak_dir = args.dir.join("stream-soak");
+    let flags = [("checkpoint-dir", soak_dir.display().to_string())];
+    let mut server = spawn_server(&flags);
+    for (i, edit) in edits[..kill_at].iter().enumerate() {
+        let (path, body) = stream_request(&base, edit);
+        let reply = request(server.addr, "POST", path, Some(&body));
+        assert_eq!(reply.status, 200);
+        assert_eq!(
+            normalized_reply(reply.body),
+            reference[i],
+            "pre-kill edit {i} is byte-identical to the reference"
+        );
+    }
+    server.kill_hard();
+
+    let mut server = spawn_server(&flags);
+    for (i, edit) in edits[kill_at..].iter().enumerate() {
+        let (path, body) = stream_request(&base, edit);
+        let reply = request(server.addr, "POST", path, Some(&body));
+        assert_eq!(reply.status, 200, "post-restart edit accepted");
+        if i == 0 {
+            assert_eq!(
+                reply.body.get("resumed_from_seq").and_then(Value::as_u64),
+                Some(kill_at as u64),
+                "the first post-restart edit adopts the session snapshot"
+            );
+        }
+        assert_eq!(
+            normalized_reply(reply.body),
+            reference[kill_at + i],
+            "post-restart edit {} is byte-identical to the reference",
+            kill_at + i
+        );
+    }
+
+    // Independent ground truth: replay the script on a local row mirror
+    // and re-validate the final rows from scratch.
+    let mut mirror: Vec<Vec<String>> = (0..ds.clean.n_rows())
+        .map(|r| ds.clean.row_texts(r).iter().map(|s| s.to_string()).collect())
+        .collect();
+    for edit in &edits {
+        match edit {
+            StreamEdit::Append(cells) => mirror.push(cells.clone()),
+            StreamEdit::Retract(row) => {
+                mirror.swap_remove(*row);
+            }
+            StreamEdit::Update { row, attr, value } => {
+                let col = schema.attr(attr).expect("script attr").index();
+                mirror[*row][col] = value.clone();
+            }
+        }
+    }
+    let names: Vec<&str> = schema.attrs().map(|a| schema.name(a)).collect();
+    let row_refs: Vec<Vec<&str>> = mirror
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let final_rel =
+        ofd_core::Relation::from_rows(names, row_refs.iter().map(Vec::as_slice)).expect("mirror");
+    let validator = ofd_core::Validator::new(&final_rel, &ds.full_ontology);
+    let expect: usize = ds.ofds.iter().map(|o| validator.check(o).violation_count()).sum();
+    let final_reply: Value =
+        serde_json::from_str(reference.last().expect("non-empty script")).expect("final reply");
+    assert_eq!(
+        final_reply.get("violations").and_then(Value::as_u64),
+        Some(expect as u64),
+        "final session state matches from-scratch validation"
+    );
+    assert_eq!(
+        final_reply.get("n_rows").and_then(Value::as_u64),
+        Some(mirror.len() as u64),
+        "final row count matches the mirror"
+    );
+
+    // Conflict probe: a stale optimistic update is a 409 and the session
+    // keeps serving afterwards.
+    let upd_name = schema.name(updatable_rhs(&ds)).to_string();
+    let mut stale = base.clone();
+    if let Value::Object(fields) = &mut stale {
+        fields.push((
+            "updates".into(),
+            json!([{"row": 0, "attr": &upd_name, "value": "x", "old": "definitely-not-current"}]),
+        ));
+    }
+    let reply = request(server.addr, "POST", "/v1/append", Some(&stale));
+    assert_eq!(reply.status, 409, "a stale update is a conflict, not a 500");
+    let (path, body) = stream_request(&base, &StreamEdit::Append(mirror[0].clone()));
+    let reply = request(server.addr, "POST", path, Some(&body));
+    assert_eq!(reply.status, 200, "the session survives a conflict");
+    assert_eq!(
+        reply.body.get("n_rows").and_then(Value::as_u64),
+        Some(mirror.len() as u64 + 1),
+        "post-conflict edits keep applying"
+    );
+
+    // The respawned worker's ledger: resume observed, every live edit
+    // counted, conflicts owned up to. (Replayed edits are deliberately
+    // not re-counted.)
+    let metrics = request(server.addr, "GET", "/metrics", None).body;
+    let live_edits = (edits.len() - kill_at) as u64 + 1; // + post-conflict append
+    assert!(counter(&metrics, "serve.stream.resumed") >= 1, "resume is counted");
+    assert_eq!(counter(&metrics, "serve.stream.edits"), live_edits, "live edits counted");
+    assert_eq!(
+        counter(&metrics, "incremental.inserts")
+            + counter(&metrics, "incremental.retracts")
+            + counter(&metrics, "incremental.updates"),
+        live_edits,
+        "every live edit lands in exactly one incremental counter"
+    );
+    assert!(counter(&metrics, "serve.stream.conflicts") >= 1, "conflict counted");
+    assert!(counter(&metrics, "incremental.stale_updates") >= 1, "stale update counted");
+
+    if let Some(path) = metrics_out {
+        let doc = json!({
+            "worker": metrics,
+            "reference_worker": ref_metrics,
+            "edits": edits.len() as u64,
+            "kill_at": kill_at as u64,
+        });
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("metrics-out parent dir");
+        }
+        let text = serde_json::to_string_pretty(&doc).expect("serialize metrics") + "\n";
+        std::fs::write(path, text).expect("write metrics-out");
+        println!("phase stream: metrics written to {}", path.display());
+    }
+    server.terminate();
+    assert_eq!(server.wait_exit(Duration::from_secs(30)), Some(0), "soak drains");
+    println!(
+        "phase stream: ok ({} edits byte-identical across SIGKILL at {kill_at}, final violations {expect})",
+        edits.len()
+    );
+}
+
 // ------------------------------------------------------ router fleet soak
 
 /// Spawns a supervised two-worker fleet sharing `root` for checkpoints
@@ -792,6 +1100,7 @@ fn main() -> ExitCode {
         dir: std::env::temp_dir().join(format!("ofd_serve_probe_{}", std::process::id())),
     };
     let mut router_mode = false;
+    let mut stream_mode = false;
     let mut metrics_out: Option<PathBuf> = None;
     while let Some(arg) = raw.next() {
         let mut value = |name: &str| raw.next().unwrap_or_else(|| panic!("{name} VALUE"));
@@ -800,15 +1109,24 @@ fn main() -> ExitCode {
             "--rows" => args.rows = value("--rows").parse().expect("--rows expects an integer"),
             "--dir" => args.dir = value("--dir").into(),
             "--router" => router_mode = true,
+            "--stream" => stream_mode = true,
             "--metrics-out" => metrics_out = Some(value("--metrics-out").into()),
             other => panic!("unknown argument {other:?}"),
         }
     }
     assert!(
-        metrics_out.is_none() || router_mode,
-        "--metrics-out only applies to --router runs"
+        metrics_out.is_none() || router_mode || stream_mode,
+        "--metrics-out only applies to --router and --stream runs"
     );
+    assert!(!(router_mode && stream_mode), "--router and --stream are separate soaks");
     let _ = std::fs::remove_dir_all(&args.dir);
+
+    if stream_mode {
+        phase_stream(&args, metrics_out.as_deref());
+        let _ = std::fs::remove_dir_all(&args.dir);
+        println!("serve_probe: streaming session consistent");
+        return ExitCode::SUCCESS;
+    }
 
     if router_mode {
         phase_router(&args, metrics_out.as_deref());

@@ -42,6 +42,16 @@ pub enum CoreError {
     /// Malformed external input (CSV or ontology text): empty payload,
     /// invalid encoding, unbalanced quoting and similar parse-level faults.
     MalformedInput(String),
+    /// An incremental maintenance call whose view of the relation is out of
+    /// sync with the checker's tracked state — e.g. the caller's `old` value
+    /// for a cell is not the value the checker has for it. The edit was not
+    /// applied; the checker state is unchanged and still usable.
+    StaleUpdate {
+        /// The row of the stale edit.
+        row: usize,
+        /// The attribute index of the stale edit.
+        attr: usize,
+    },
     /// A guarded operation stopped early (deadline, budget or
     /// cancellation); see [`crate::guard`].
     Interrupted(crate::guard::Interrupt),
@@ -69,6 +79,10 @@ impl fmt::Display for CoreError {
                 write!(f, "duplicate attribute name {name:?}")
             }
             CoreError::MalformedInput(msg) => write!(f, "malformed input: {msg}"),
+            CoreError::StaleUpdate { row, attr } => write!(
+                f,
+                "stale update at row {row}, attribute #{attr}: caller state is out of sync with the tracked relation"
+            ),
             CoreError::Interrupted(i) => write!(f, "interrupted: {i}"),
         }
     }
@@ -92,6 +106,9 @@ mod tests {
         assert!(e.to_string().contains("row 3"));
         let e = CoreError::Interrupted(crate::guard::Interrupt::DeadlineExceeded);
         assert!(e.to_string().contains("deadline"));
+        let e = CoreError::StaleUpdate { row: 7, attr: 2 };
+        assert!(e.to_string().contains("row 7"));
+        assert!(e.to_string().contains("#2"));
     }
 
     #[test]

@@ -53,13 +53,13 @@ pub use guard::{rss_kib, ExecGuard, GuardConfig, Interrupt, Partial};
 pub use snapshot::{atomic_write, fnv1a64, fsync_dir, hash_ontology, hash_relation, CheckpointOptions, Fingerprint, LoadedSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_VERSION};
 pub use obs::{MetricsSnapshot, Obs, SpanGuard};
 pub use support::{meets_support, support_threshold};
-pub use incremental::IncrementalChecker;
+pub use incremental::{IncrementalChecker, RetractOutcome};
 pub use nfd_check::NfdChecker;
 pub use lhs_synonyms::{check_lhs_synonyms, InterpretationOutcome, LhsSynonymValidation};
 pub use ofd::{Fd, Ofd, OfdKind};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use partition::{Classes, Partition, ProductScratch, StrippedPartition};
-pub use relation::{table1, table1_updated, Relation, RelationBuilder};
+pub use relation::{table1, table1_updated, Relation, RelationBuilder, MAX_ROWS};
 pub use schema::{AttrId, AttrSet, AttrSetIter, Schema, MAX_ATTRS};
 pub use sense_index::SenseIndex;
 pub use validate::{check_ofd_exact, check_ofd_with_index, estimate_support, ClassOutcome, Validation, Validator, Witness};

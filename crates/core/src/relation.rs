@@ -7,6 +7,13 @@ use crate::error::CoreError;
 use crate::schema::{AttrId, Schema};
 use crate::value::{ValueId, ValuePool};
 
+/// Hard cap on relation cardinality. The CSR partition engine and the
+/// incremental membership maps address tuples as `u32`, and `u32::MAX`
+/// itself is reserved as the partition sentinel (`UNASSIGNED` / `SKIP`), so
+/// the largest admissible tuple id is `u32::MAX - 1`. Ingest rejects the
+/// row that would exceed this instead of silently truncating ids.
+pub const MAX_ROWS: usize = u32::MAX as usize;
+
 /// A relation instance `I`: a schema plus column-major interned values.
 ///
 /// Columns are `Vec<ValueId>` so partition computation touches one cache-
@@ -105,10 +112,19 @@ impl Relation {
     }
 
     /// Appends a row, interning its values. Returns the new row index.
+    ///
+    /// Fails with [`CoreError::MalformedInput`] once the relation holds
+    /// [`MAX_ROWS`] tuples: tuple ids are `u32` throughout the partition
+    /// engine, so admitting more rows would silently truncate them.
     pub fn push_row<'a, I>(&mut self, values: I) -> Result<usize, CoreError>
     where
         I: IntoIterator<Item = &'a str>,
     {
+        if self.rows >= MAX_ROWS {
+            return Err(CoreError::MalformedInput(format!(
+                "relation is at the {MAX_ROWS}-row cap (tuple ids are u32)"
+            )));
+        }
         let ids: Vec<ValueId> = values.into_iter().map(|v| self.pool.intern(v)).collect();
         if ids.len() != self.schema.len() {
             return Err(CoreError::ArityMismatch {
@@ -141,6 +157,26 @@ impl Relation {
         let id = self.pool.intern(value);
         self.columns[attr.index()][row] = id;
         Ok(id)
+    }
+
+    /// Removes a row in O(attrs) by swapping the last row into its place.
+    ///
+    /// Returns the *former* index of the row that was moved into `row`'s
+    /// slot (always the old last index), or `None` when `row` *was* the
+    /// last row and nothing moved. Callers that keep row-addressed state
+    /// (e.g. [`crate::IncrementalChecker`]) must rename that tuple id.
+    pub fn swap_remove_row(&mut self, row: usize) -> Result<Option<usize>, CoreError> {
+        if row >= self.rows {
+            return Err(CoreError::RowOutOfBounds {
+                row,
+                rows: self.rows,
+            });
+        }
+        for col in &mut self.columns {
+            col.swap_remove(row);
+        }
+        self.rows -= 1;
+        Ok((row < self.rows).then_some(self.rows))
     }
 
     /// Updates one cell to an already-interned value.
@@ -360,5 +396,42 @@ mod tests {
             .unwrap();
         assert_eq!(n, 11);
         assert_eq!(r.n_rows(), 12);
+    }
+
+    #[test]
+    fn ingest_rejects_rows_past_the_u32_cap() {
+        // Materialising u32::MAX rows is infeasible; fake the count instead.
+        // The cap check runs before any column is touched, so the phantom
+        // row count is never observed by the rejected push.
+        let mut r = Relation::builder(Schema::new(["A"]).unwrap()).finish();
+        // u32::MAX is the partition sentinel, so index MAX_ROWS - 1
+        // (== u32::MAX - 1) is the last admissible id: a relation holding
+        // exactly MAX_ROWS rows is full.
+        r.rows = MAX_ROWS;
+        let err = r.push_row(["x"]).unwrap_err();
+        assert!(
+            matches!(err, CoreError::MalformedInput(ref m) if m.contains("cap")),
+            "expected a typed MalformedInput, got {err:?}"
+        );
+        // No partial column writes happened.
+        assert!(r.columns.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn swap_remove_row_moves_the_last_row_in() {
+        let mut r = table1();
+        let cc = r.schema().attr("CC").unwrap();
+        let last = r.row_texts(10).join("|");
+        assert_eq!(r.swap_remove_row(2).unwrap(), Some(10));
+        assert_eq!(r.n_rows(), 10);
+        assert_eq!(r.row_texts(2).join("|"), last);
+        // Removing the (new) last row moves nothing.
+        assert_eq!(r.swap_remove_row(9).unwrap(), None);
+        assert_eq!(r.n_rows(), 9);
+        assert!(matches!(
+            r.swap_remove_row(9),
+            Err(CoreError::RowOutOfBounds { .. })
+        ));
+        assert_eq!(r.text(0, cc), "US");
     }
 }

@@ -64,6 +64,28 @@ impl SenseIndex {
         }
     }
 
+    /// Resolves values interned after this index was built in inheritance
+    /// mode, expanding with ancestors within `theta` steps exactly as
+    /// [`SenseIndex::inheritance`] does at construction. `theta` must match
+    /// the construction-time value for the index to stay coherent.
+    pub fn extend_inheritance(&mut self, rel: &Relation, onto: &Ontology, theta: usize) {
+        for i in self.per_value.len()..rel.pool().len() {
+            let text = rel.pool().resolve(ValueId::from_index(i));
+            let mut senses: Vec<SenseId> = Vec::new();
+            for &s in onto.names(text) {
+                for (anc, _) in onto
+                    .ancestors_within(s, theta)
+                    .expect("sense from names() exists")
+                {
+                    senses.push(anc);
+                }
+            }
+            senses.sort_unstable();
+            senses.dedup();
+            self.per_value.push(senses);
+        }
+    }
+
     /// The senses containing `value`, sorted ascending. Values unknown to
     /// the index (or the ontology) yield the empty slice.
     #[inline]
@@ -155,6 +177,25 @@ mod tests {
         assert_eq!(idx.len(), before + 1);
         let aspirin = rel.pool().get("aspirin").unwrap();
         assert_eq!(idx.senses(aspirin).len(), 1, "aspirin is MoH-only");
+    }
+
+    #[test]
+    fn extend_inheritance_matches_fresh_construction() {
+        let mut rel = table1();
+        let onto = samples::medical_drug_ontology();
+        for theta in [0usize, 1, 2] {
+            let mut idx = SenseIndex::inheritance(&rel, &onto, theta);
+            let med = rel.schema().attr("MED").unwrap();
+            rel.set(5, med, "aspirin").unwrap();
+            rel.set(6, med, "no-such-drug").unwrap();
+            idx.extend_inheritance(&rel, &onto, theta);
+            let fresh = SenseIndex::inheritance(&rel, &onto, theta);
+            assert_eq!(idx.len(), fresh.len(), "theta={theta}");
+            for i in 0..idx.len() {
+                let v = ValueId::from_index(i);
+                assert_eq!(idx.senses(v), fresh.senses(v), "theta={theta} value {i}");
+            }
+        }
     }
 
     #[test]

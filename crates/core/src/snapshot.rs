@@ -476,6 +476,31 @@ impl SnapshotStore {
         Ok(seqs)
     }
 
+    /// Deletes all but the newest `keep_last` snapshots of stream `name`,
+    /// returning how many files were removed. Streams that snapshot every
+    /// batch (e.g. the serve session layer) call this after each save to
+    /// bound disk growth; keeping more than one file preserves the
+    /// newest-first corrupt-skipping fallback of [`SnapshotStore::load_latest`].
+    pub fn prune(&self, name: &str, keep_last: usize) -> Result<usize, SnapshotError> {
+        let mut files: Vec<(u64, PathBuf)> = self
+            .walk()?
+            .into_iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|(_, seq, path)| (seq, path))
+            .collect();
+        files.sort_unstable_by_key(|(seq, _)| *seq);
+        let cut = files.len().saturating_sub(keep_last);
+        let mut removed = 0;
+        for (_, path) in &files[..cut] {
+            match fs::remove_file(path) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(removed)
+    }
+
     /// Every `(stream, seq, path)` triple in the directory.
     fn walk(&self) -> Result<Vec<(String, u64, PathBuf)>, SnapshotError> {
         let entries = match fs::read_dir(&self.dir) {
@@ -587,6 +612,24 @@ mod tests {
     fn missing_directory_is_empty_not_error() {
         let store = SnapshotStore::new("/nonexistent/ofd/snapshot/dir");
         assert!(store.load_latest("d").unwrap().is_none());
+        assert_eq!(store.prune("d", 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_and_other_streams() {
+        let store = temp_store("prune");
+        for seq in 1..=5 {
+            store.save("session", seq, &json!({"seq": seq})).unwrap();
+        }
+        store.save("other", 1, &json!({"seq": 1})).unwrap();
+        assert_eq!(store.prune("session", 2).unwrap(), 3);
+        assert_eq!(store.versions("session").unwrap(), vec![4, 5]);
+        assert_eq!(store.versions("other").unwrap(), vec![1]);
+        let loaded = store.load_latest("session").unwrap().unwrap();
+        assert_eq!(loaded.seq, 5);
+        // Pruning to more files than exist removes nothing.
+        assert_eq!(store.prune("session", 10).unwrap(), 0);
+        let _ = fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Request decoding and engine invocation for the three job endpoints.
+//! Request decoding and engine invocation for the job endpoints.
 //!
 //! A job carries its inputs inline (CSV text, ontology text, OFD specs)
 //! so the server holds no session state — every piece of durable state
@@ -28,7 +28,7 @@ use serde_json::{json, Value};
 
 use crate::catalog::{Catalog, CatalogEntry};
 
-/// The three job endpoints behind admission control.
+/// The job endpoints behind admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     /// `POST /v1/discover` — FastOFD lattice traversal.
@@ -37,10 +37,25 @@ pub enum Endpoint {
     Clean,
     /// `POST /v1/validate` — per-OFD validation.
     Validate,
+    /// `POST /v1/append` — streaming session: insert rows / update cells.
+    Append,
+    /// `POST /v1/retract` — streaming session: remove rows.
+    Retract,
 }
 
 /// Number of job endpoints (size of the breaker array).
-pub const ENDPOINT_COUNT: usize = 3;
+pub const ENDPOINT_COUNT: usize = 5;
+
+/// Every endpoint, in [`Endpoint::index`] order — the one place that
+/// enumerates them, so per-endpoint arrays iterate without a hand-kept
+/// index match.
+pub const ENDPOINTS: [Endpoint; ENDPOINT_COUNT] = [
+    Endpoint::Discover,
+    Endpoint::Clean,
+    Endpoint::Validate,
+    Endpoint::Append,
+    Endpoint::Retract,
+];
 
 impl Endpoint {
     /// Routes a request path to its endpoint.
@@ -49,6 +64,8 @@ impl Endpoint {
             "/v1/discover" => Some(Endpoint::Discover),
             "/v1/clean" => Some(Endpoint::Clean),
             "/v1/validate" => Some(Endpoint::Validate),
+            "/v1/append" => Some(Endpoint::Append),
+            "/v1/retract" => Some(Endpoint::Retract),
             _ => None,
         }
     }
@@ -59,6 +76,8 @@ impl Endpoint {
             Endpoint::Discover => "discover",
             Endpoint::Clean => "clean",
             Endpoint::Validate => "validate",
+            Endpoint::Append => "append",
+            Endpoint::Retract => "retract",
         }
     }
 
@@ -68,6 +87,8 @@ impl Endpoint {
             Endpoint::Discover => 0,
             Endpoint::Clean => 1,
             Endpoint::Validate => 2,
+            Endpoint::Append => 3,
+            Endpoint::Retract => 4,
         }
     }
 }
@@ -88,6 +109,32 @@ pub struct JobOutcome {
 #[derive(Debug)]
 pub struct BadRequest(pub String);
 
+/// A handler rejection with an HTTP classification. Neither variant moves
+/// the circuit breaker — both describe the request, not endpoint health.
+#[derive(Debug)]
+pub enum JobError {
+    /// Malformed request → 400.
+    BadRequest(String),
+    /// The request's view of session state is stale (wrong `old` value,
+    /// retracted row index) → 409, retry after refreshing.
+    Conflict(String),
+}
+
+impl From<BadRequest> for JobError {
+    fn from(e: BadRequest) -> JobError {
+        JobError::BadRequest(e.0)
+    }
+}
+
+impl JobError {
+    /// The rejection message.
+    pub fn message(&self) -> &str {
+        match self {
+            JobError::BadRequest(m) | JobError::Conflict(m) => m,
+        }
+    }
+}
+
 /// Everything a handler needs besides the request body.
 pub struct JobContext {
     /// Per-request guard (deadline from the server budget; cancel on
@@ -102,6 +149,9 @@ pub struct JobContext {
     /// Dataset catalog, when the server has one; lets requests reference
     /// `"dataset": "name@version"` instead of shipping rows inline.
     pub catalog: Option<Arc<Catalog>>,
+    /// In-memory streaming sessions for `/v1/append` / `/v1/retract`
+    /// (their durable state lives under `checkpoint_root`).
+    pub sessions: Arc<crate::stream::StreamSessions>,
 }
 
 /// Runs `endpoint` on `body`, returning the response body and outcome.
@@ -109,7 +159,7 @@ pub fn execute(
     endpoint: Endpoint,
     body: &Value,
     ctx: &JobContext,
-) -> Result<(Value, JobOutcome), BadRequest> {
+) -> Result<(Value, JobOutcome), JobError> {
     // Chaos hook for the circuit-breaker path: when (and only when) the
     // server was started with an active fault plan, a request carrying
     // `"inject_panic": true` panics inside the handler. The worker's
@@ -121,25 +171,27 @@ pub fn execute(
         panic!("{}", ofd_core::INJECTED_PANIC);
     }
     match endpoint {
-        Endpoint::Discover => discover(body, ctx),
-        Endpoint::Clean => clean(body, ctx),
-        Endpoint::Validate => validate(body, ctx),
+        Endpoint::Discover => discover(body, ctx).map_err(JobError::from),
+        Endpoint::Clean => clean(body, ctx).map_err(JobError::from),
+        Endpoint::Validate => validate(body, ctx).map_err(JobError::from),
+        Endpoint::Append => crate::stream::append(body, ctx),
+        Endpoint::Retract => crate::stream::retract(body, ctx),
     }
 }
 
 // ---------------------------------------------------------------- inputs
 
-fn field<'a>(body: &'a Value, name: &str) -> Option<&'a Value> {
+pub(crate) fn field<'a>(body: &'a Value, name: &str) -> Option<&'a Value> {
     body.get(name).filter(|v| !v.is_null())
 }
 
-fn required_str<'a>(body: &'a Value, name: &str) -> Result<&'a str, BadRequest> {
+pub(crate) fn required_str<'a>(body: &'a Value, name: &str) -> Result<&'a str, BadRequest> {
     field(body, name)
         .and_then(Value::as_str)
         .ok_or_else(|| BadRequest(format!("missing required string field {name:?}")))
 }
 
-fn opt_str<'a>(body: &'a Value, name: &str) -> Result<Option<&'a str>, BadRequest> {
+pub(crate) fn opt_str<'a>(body: &'a Value, name: &str) -> Result<Option<&'a str>, BadRequest> {
     match field(body, name) {
         None => Ok(None),
         Some(v) => v
@@ -149,7 +201,7 @@ fn opt_str<'a>(body: &'a Value, name: &str) -> Result<Option<&'a str>, BadReques
     }
 }
 
-fn opt_u64(body: &Value, name: &str) -> Result<Option<u64>, BadRequest> {
+pub(crate) fn opt_u64(body: &Value, name: &str) -> Result<Option<u64>, BadRequest> {
     match field(body, name) {
         None => Ok(None),
         Some(v) => v
@@ -159,7 +211,7 @@ fn opt_u64(body: &Value, name: &str) -> Result<Option<u64>, BadRequest> {
     }
 }
 
-fn opt_f64(body: &Value, name: &str) -> Result<Option<f64>, BadRequest> {
+pub(crate) fn opt_f64(body: &Value, name: &str) -> Result<Option<f64>, BadRequest> {
     match field(body, name) {
         None => Ok(None),
         Some(v) => v
@@ -176,7 +228,7 @@ fn opt_f64(body: &Value, name: &str) -> Result<Option<f64>, BadRequest> {
 // One short-lived value per admitted job; the inline variant's size is
 // irrelevant next to the parse it holds, so boxing would buy nothing.
 #[allow(clippy::large_enum_variant)]
-enum Inputs<'a> {
+pub(crate) enum Inputs<'a> {
     Inline {
         rel: Relation,
         onto: Ontology,
@@ -187,14 +239,14 @@ enum Inputs<'a> {
 }
 
 impl Inputs<'_> {
-    fn rel(&self) -> &Relation {
+    pub(crate) fn rel(&self) -> &Relation {
         match self {
             Inputs::Inline { rel, .. } => rel,
             Inputs::Cataloged(e) => &e.relation,
         }
     }
 
-    fn onto(&self) -> &Ontology {
+    pub(crate) fn onto(&self) -> &Ontology {
         match self {
             Inputs::Inline { onto, .. } => onto,
             Inputs::Cataloged(e) => &e.ontology_parsed,
@@ -205,14 +257,14 @@ impl Inputs<'_> {
     /// inline and the same job shipped as `name@version` fingerprint to
     /// the *same* checkpoint directory and can adopt each other's
     /// snapshots.
-    fn csv_text(&self) -> &str {
+    pub(crate) fn csv_text(&self) -> &str {
         match self {
             Inputs::Inline { csv, .. } => csv,
             Inputs::Cataloged(e) => &e.csv,
         }
     }
 
-    fn onto_text(&self) -> &str {
+    pub(crate) fn onto_text(&self) -> &str {
         match self {
             Inputs::Inline { onto_text, .. } => onto_text,
             Inputs::Cataloged(e) => &e.ontology,
@@ -220,7 +272,7 @@ impl Inputs<'_> {
     }
 
     /// `"name@version"` echo for responses; `Null` for inline inputs.
-    fn dataset_field(&self) -> Value {
+    pub(crate) fn dataset_field(&self) -> Value {
         match self {
             Inputs::Inline { .. } => Value::Null,
             Inputs::Cataloged(e) => json!(format!("{}@{}", e.name, e.version)),
@@ -228,7 +280,7 @@ impl Inputs<'_> {
     }
 }
 
-fn load_inputs<'a>(body: &'a Value, ctx: &JobContext) -> Result<Inputs<'a>, BadRequest> {
+pub(crate) fn load_inputs<'a>(body: &'a Value, ctx: &JobContext) -> Result<Inputs<'a>, BadRequest> {
     if let Some(reference) = opt_str(body, "dataset")? {
         if field(body, "csv").is_some() {
             return Err(BadRequest(
@@ -269,11 +321,26 @@ fn parse_ofds(body: &Value, schema: &Schema) -> Result<Vec<Ofd>, BadRequest> {
     let specs = field(body, "ofds")
         .and_then(Value::as_array)
         .ok_or_else(|| BadRequest("missing required array field \"ofds\"".into()))?;
-    let mut out = Vec::with_capacity(specs.len());
+    let mut strings = Vec::with_capacity(specs.len());
     for spec in specs {
-        let spec = spec
-            .as_str()
-            .ok_or_else(|| BadRequest("\"ofds\" entries must be strings".into()))?;
+        strings.push(
+            spec.as_str()
+                .ok_or_else(|| BadRequest("\"ofds\" entries must be strings".into()))?,
+        );
+    }
+    parse_spec_list(&strings, theta, schema)
+}
+
+/// Parses `"A,B->C"` spec strings into [`Ofd`]s (inheritance when `theta`
+/// is present, synonym otherwise) — shared by the batch endpoints and the
+/// streaming sessions, which persist their Σ as exactly these strings.
+pub(crate) fn parse_spec_list(
+    specs: &[&str],
+    theta: Option<usize>,
+    schema: &Schema,
+) -> Result<Vec<Ofd>, BadRequest> {
+    let mut out = Vec::with_capacity(specs.len());
+    for &spec in specs {
         let (lhs, rhs) = spec
             .split_once("->")
             .ok_or_else(|| BadRequest(format!("bad OFD {spec:?}; expected \"A,B->C\"")))?;
@@ -516,6 +583,7 @@ mod tests {
             faults: FaultPlan::none(),
             checkpoint_root: None,
             catalog: None,
+            sessions: Arc::new(crate::stream::StreamSessions::new()),
         }
     }
 

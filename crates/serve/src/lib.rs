@@ -53,11 +53,13 @@ pub mod jobs;
 pub mod queue;
 pub mod router;
 pub mod server;
+pub mod stream;
 pub mod supervisor;
 
 pub use breaker::{Admission, Breaker};
 pub use catalog::{content_fingerprint, Catalog, CatalogEntry, CatalogError};
-pub use jobs::{BadRequest, Endpoint, JobContext, JobOutcome};
+pub use jobs::{BadRequest, Endpoint, JobContext, JobError, JobOutcome};
+pub use stream::{StreamSessions, STREAM_COUNTERS};
 pub use router::{Fleet, Router, RouterConfig, ROUTER_COUNTERS};
 pub use server::{termination_flag, ServeConfig, ServeSummary, Server, SERVE_COUNTERS};
 pub use supervisor::{Supervisor, SupervisorConfig, WorkerSpec};

@@ -41,7 +41,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ofd_core::{fnv1a64, FaultPlan, Obs};
 use serde_json::{json, Value};
@@ -355,7 +355,7 @@ fn reply_body(raw: &[u8]) -> Option<Value> {
 /// other worker wrote.
 fn reply_resumed(raw: &[u8]) -> bool {
     reply_body(raw).is_some_and(|v| {
-        ["resumed_from_level", "resumed_from_phase"]
+        ["resumed_from_level", "resumed_from_phase", "resumed_from_seq"]
             .iter()
             .any(|f| v.get(f).is_some_and(|x| !x.is_null()))
     })
@@ -508,22 +508,47 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
     let ring = build_ring(slots, cfg.vnodes_per_slot.max(1));
     let order = candidates(&ring, slots, key);
 
+    // The client's own timeout hint bounds the failover schedule: the
+    // linear backoff must never sleep past the moment the caller stops
+    // listening. Without the hint, backoff runs as configured.
+    let deadline = body
+        .as_ref()
+        .and_then(|b| b.get("timeout_ms"))
+        .and_then(Value::as_u64)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+
     let mut attempts = 0usize;
     let mut last_error = String::from("no worker replicas configured");
-    for round in 0..=cfg.extra_rounds {
+    'failover: for round in 0..=cfg.extra_rounds {
         for &slot in &order {
             // Re-read the slot's address every attempt: a respawn during
             // failover swaps the port under us, and that fresh worker is
-            // exactly who we want next.
+            // exactly who we want next. A down slot costs no sleep — the
+            // backoff belongs to real retries, not skipped ones.
             let Some(addr) = shared.fleet.addrs().get(slot).copied().flatten() else {
                 last_error = format!("worker slot {slot} is down");
                 continue;
             };
             if attempts > 0 {
+                // Sleep only here, where another forward definitely
+                // follows; clamp to the remaining deadline and give up
+                // once it has passed — answering 502 immediately beats
+                // sleeping toward a reply nobody reads.
+                let mut backoff =
+                    Duration::from_millis(cfg.retry_backoff_ms.saturating_mul(attempts as u64));
+                if let Some(deadline) = deadline {
+                    match deadline.checked_duration_since(Instant::now()) {
+                        Some(remaining) => backoff = backoff.min(remaining),
+                        None => {
+                            last_error = format!(
+                                "request deadline passed after {attempts} attempts; last: {last_error}"
+                            );
+                            break 'failover;
+                        }
+                    }
+                }
                 obs.inc("serve.router.retried");
-                std::thread::sleep(Duration::from_millis(
-                    cfg.retry_backoff_ms * attempts as u64,
-                ));
+                std::thread::sleep(backoff);
             }
             attempts += 1;
             match forward(addr, &req, cfg) {
@@ -609,7 +634,9 @@ mod tests {
     fn resumed_detection_reads_the_reply_body() {
         let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\r\n{\"resumed_from_level\":3}";
         assert!(reply_resumed(raw));
-        let raw = b"HTTP/1.1 200 OK\r\n\r\n{\"resumed_from_level\":null,\"resumed_from_phase\":null}";
+        let raw = b"HTTP/1.1 200 OK\r\n\r\n{\"resumed_from_seq\":7}";
+        assert!(reply_resumed(raw), "stream-session adoption is detected");
+        let raw = b"HTTP/1.1 200 OK\r\n\r\n{\"resumed_from_level\":null,\"resumed_from_phase\":null,\"resumed_from_seq\":null}";
         assert!(!reply_resumed(raw));
     }
 
@@ -682,5 +709,83 @@ mod tests {
             route_key(&post(&by_ref), Some(&by_ref), &shared),
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An address nothing listens on (bound, then immediately released).
+    fn dead_addr() -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    }
+
+    /// Runs `route` against a fleet and returns (status, elapsed).
+    fn route_once(cfg: RouterConfig, fleet: Fleet, body: &Value) -> (Option<u16>, Duration) {
+        let shared = Arc::new(RouterShared {
+            cfg,
+            obs: Obs::disabled(),
+            fleet,
+            catalog: None,
+            stopping: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            probe_states: Mutex::new(Vec::new()),
+        });
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/discover".into(),
+            headers: Vec::new(),
+            body: serde_json::to_string(body).expect("body").into_bytes(),
+        };
+        let started = Instant::now();
+        route(req, server_side, &shared);
+        let elapsed = started.elapsed();
+        let mut reply = Vec::new();
+        client.read_to_end(&mut reply).expect("read");
+        (parse_status(&reply), elapsed)
+    }
+
+    #[test]
+    fn failover_backoff_is_clamped_to_the_request_deadline() {
+        // A backoff schedule of minutes, but a client that only waits
+        // 50 ms: the old loop would sleep the full backoff between every
+        // failed attempt; the fix clamps each sleep to the remaining
+        // deadline and answers 502 as soon as it has passed.
+        let cfg = RouterConfig {
+            retry_backoff_ms: 120_000,
+            extra_rounds: 3,
+            connect_timeout_ms: 200,
+            obs: Obs::disabled(),
+            ..RouterConfig::default()
+        };
+        let fleet = Fleet::Static(vec![dead_addr(), dead_addr()]);
+        let (status, elapsed) = route_once(cfg, fleet, &json!({"timeout_ms": 50u64}));
+        assert_eq!(status, Some(502), "dead fleet → bad gateway");
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "deadline-clamped failover must not sleep the configured {:?}-scale backoff (took {elapsed:?})",
+            Duration::from_millis(120_000),
+        );
+    }
+
+    #[test]
+    fn single_attempt_failover_never_sleeps() {
+        // One replica, no extra rounds: there is no retry to back off
+        // for, so a pathological backoff setting must cost nothing.
+        let cfg = RouterConfig {
+            retry_backoff_ms: 600_000,
+            extra_rounds: 0,
+            connect_timeout_ms: 200,
+            obs: Obs::disabled(),
+            ..RouterConfig::default()
+        };
+        let fleet = Fleet::Static(vec![dead_addr()]);
+        let (status, elapsed) = route_once(cfg, fleet, &json!({"csv": "A\n1\n"}));
+        assert_eq!(status, Some(502));
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "no-retry path must answer without backoff (took {elapsed:?})"
+        );
     }
 }

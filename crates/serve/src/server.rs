@@ -34,7 +34,8 @@ use serde_json::{json, Value};
 use crate::breaker::{Admission, Breaker};
 use crate::catalog::{Catalog, CatalogError};
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::jobs::{self, BadRequest, Endpoint, JobContext, ENDPOINT_COUNT};
+use crate::jobs::{self, Endpoint, JobContext, JobError, ENDPOINTS, ENDPOINT_COUNT};
+use crate::stream::{StreamSessions, STREAM_COUNTERS};
 use crate::queue::{BoundedQueue, Full};
 
 /// Server configuration; every knob has a production-shaped default.
@@ -99,7 +100,7 @@ impl Default for ServeConfig {
 
 /// The `serve.*` counters pinned by the metrics schema test; touched at
 /// bind time so they are present (zero) in every `/metrics` document.
-pub const SERVE_COUNTERS: [&str; 13] = [
+pub const SERVE_COUNTERS: [&str; 14] = [
     "serve.requests",
     "serve.admitted",
     "serve.shed",
@@ -110,6 +111,7 @@ pub const SERVE_COUNTERS: [&str; 13] = [
     "serve.incomplete",
     "serve.panics",
     "serve.bad_request",
+    "serve.conflict",
     "serve.catalog.put",
     "serve.catalog.hit",
     "serve.catalog.miss",
@@ -141,6 +143,9 @@ struct Shared {
     /// Persistent dataset catalog; `None` when no directory is
     /// configured (in-memory-only servers refuse `dataset:` references).
     catalog: Option<Arc<Catalog>>,
+    /// Streaming sessions for `/v1/append` / `/v1/retract`; their
+    /// durable state lives under the checkpoint directory.
+    sessions: Arc<StreamSessions>,
 }
 
 impl Shared {
@@ -193,6 +198,9 @@ impl Server {
         for name in SERVE_COUNTERS {
             obs.touch_counter(name);
         }
+        for name in STREAM_COUNTERS {
+            obs.touch_counter(name);
+        }
         // Satellite of the guard work: an RSS gate that cannot read the
         // resident set is inert — say so once, loudly, instead of letting
         // the operator believe the ceiling is enforced.
@@ -229,6 +237,7 @@ impl Server {
                 )
             }),
             catalog,
+            sessions: Arc::new(StreamSessions::new()),
             obs,
             cfg,
         });
@@ -423,12 +432,7 @@ fn readiness(shared: &Shared) -> (u16, Value) {
     let cap = shared.cfg.queue_cap;
     let mut breakers: Vec<(String, Value)> = Vec::with_capacity(ENDPOINT_COUNT);
     let mut any_open = false;
-    for (i, b) in shared.breakers.iter().enumerate() {
-        let endpoint = match i {
-            0 => Endpoint::Discover,
-            1 => Endpoint::Clean,
-            _ => Endpoint::Validate,
-        };
+    for (endpoint, b) in ENDPOINTS.iter().zip(shared.breakers.iter()) {
         any_open |= b.is_open();
         breakers.push((endpoint.label().to_string(), json!(b.state_label())));
     }
@@ -712,6 +716,7 @@ fn execute_job(mut job: Job, shared: &Arc<Shared>) {
         faults: shared.cfg.faults.clone(),
         checkpoint_root: shared.cfg.checkpoint_dir.clone(),
         catalog: shared.catalog.clone(),
+        sessions: shared.sessions.clone(),
     };
     let span = obs.span(&format!("serve.job.{}", job.endpoint.label()));
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -745,12 +750,19 @@ fn execute_job(mut job: Job, shared: &Arc<Shared>) {
             }
             Response::json(200, &value)
         }
-        Ok(Err(BadRequest(msg))) => {
+        Ok(Err(JobError::BadRequest(msg))) => {
             // Client errors say nothing about endpoint health: the
             // breaker treats them as a successful handler run.
             breaker.on_success();
             obs.inc("serve.bad_request");
             Response::json(400, &json!({ "error": msg }))
+        }
+        Ok(Err(JobError::Conflict(msg))) => {
+            // A stale client view of a streaming session — also a client
+            // error; the session itself stays healthy and usable.
+            breaker.on_success();
+            obs.inc("serve.conflict");
+            Response::json(409, &json!({ "error": msg }))
         }
         Err(_panic) => {
             obs.inc("serve.panics");

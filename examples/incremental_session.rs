@@ -38,7 +38,9 @@ fn main() {
         let old = rel.value(err.row, err.attr);
         let new = rel.set(err.row, err.attr, &err.original).expect("in bounds");
         index.extend_synonym(&rel, &ds.ontology);
-        checker.apply_update(&index, err.row, err.attr, old, new);
+        checker
+            .apply_update(&index, err.row, err.attr, old, new)
+            .expect("ground-truth repair is in sync");
         let now = checker.violation_count();
         if now != prev {
             println!(

@@ -18,6 +18,13 @@
 //!                  [--checkpoint-dir DIR]
 //! ```
 //!
+//! `serve` also exposes the streaming endpoints `POST /v1/append` and
+//! `POST /v1/retract`: tuple inserts, deletes and consequent-cell updates
+//! are maintained incrementally against a per-dataset session (delta
+//! stripped partitions — only the touched equivalence classes are
+//! re-verified), checkpointed under `--checkpoint-dir` so sessions
+//! survive restarts and replica failover.
+//!
 //! Exit codes: `0` success, `1` error (bad flags, I/O failure, violated
 //! `check`), `3` the run finished with a sound-but-INCOMPLETE partial
 //! result (guard limit, drain or injected fault) — scripts can tell
@@ -514,6 +521,11 @@ fn usage() -> String {
      serving: fastofd serve [--addr A] [--workers N] [--queue-cap N] [--budget-ms N]\n\
               [--rss-high-water-mib N] [--breaker-failures N] [--breaker-cooldown-ms N]\n\
               [--checkpoint-dir DIR] — graceful drain on SIGTERM or POST /admin/drain\n\
+     streaming: POST /v1/append {csv, ontology, ofds|kappa, rows:[[cells]], updates:[{row,\n\
+              attr, value[, old]}]} and POST /v1/retract {.., rows:[idx]} maintain a live\n\
+              session incrementally (delta partitions, no re-validation of untouched\n\
+              classes); sessions persist under --checkpoint-dir and survive restarts;\n\
+              stale \"old\" guards and out-of-range rows answer 409\n\
      fleet: fastofd serve --router [--workers N] [--worker-threads N] [--checkpoint-dir DIR]\n\
             — supervised worker processes, consistent-hash routing by dataset fingerprint,\n\
             failover + respawn; share --checkpoint-dir for checkpoint adoption + catalog\n\

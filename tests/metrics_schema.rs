@@ -134,7 +134,7 @@ fn metrics_json_matches_schema_v1() {
 /// dashboard pointed at a fresh instance sees zeros, never absent series.
 #[test]
 fn serve_metrics_endpoint_matches_schema_v1_with_serve_counters_pinned() {
-    use fastofd::serve::{ServeConfig, Server, SERVE_COUNTERS};
+    use fastofd::serve::{ServeConfig, Server, SERVE_COUNTERS, STREAM_COUNTERS};
     use std::io::{Read, Write};
 
     let server = Server::bind(ServeConfig {
@@ -175,6 +175,24 @@ fn serve_metrics_endpoint_matches_schema_v1_with_serve_counters_pinned() {
         "serve.breaker_open",
         "serve.drained",
         "serve.resumed",
+    ] {
+        assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
+    }
+    // The streaming layer's counters are pinned the same way: present
+    // (zero) from bind, via the constant and by acceptance spelling.
+    for name in STREAM_COUNTERS {
+        assert!(names.iter().any(|n| n == name), "stream counter {name} missing");
+    }
+    for name in [
+        "serve.stream.sessions",
+        "serve.stream.resumed",
+        "serve.stream.edits",
+        "serve.stream.conflicts",
+        "incremental.inserts",
+        "incremental.retracts",
+        "incremental.updates",
+        "incremental.reverified_classes",
+        "incremental.stale_updates",
     ] {
         assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
     }
