@@ -8,8 +8,11 @@
 //! serve_probe [--seed S] [--rows N] [--dir D]
 //! serve_probe --router [--seed S] [--rows N] [--dir D]
 //!             [--metrics-out PATH]                   # fleet soak
+//! serve_probe --peers [--seed S] [--rows N] [--dir D]
+//!             [--metrics-out PATH]                   # multi-host soak
 //! serve_probe --server [--workers N] [--queue-cap N] [--budget-ms N]
-//!             [--checkpoint-dir D] [--faults SPEC]   # child mode
+//!             [--checkpoint-dir D] [--faults SPEC]
+//!             [--addr HOST:PORT] [--peers LIST]      # child mode
 //! ```
 //!
 //! The parent re-execs itself (`current_exe`) in `--server` mode so the
@@ -49,6 +52,17 @@
 //! answer survive byte-identically. `--metrics-out` dumps the final
 //! router and worker `/metrics` documents as one JSON file for CI
 //! artifacts.
+//!
+//! `--peers` runs the multi-host soak: two workers with **disjoint**
+//! checkpoint roots (private filesystems, like separate hosts) and
+//! mutual `--peers` lists, fronted by a probe-driven router over a
+//! static fleet. It proves quorum catalog replication (a PUT lands on
+//! both replicas or neither), cross-filesystem checkpoint shipping for
+//! jobs and stream sessions (`resumed_from: "peer"`), SIGKILL failover
+//! with re-execution fallback (`resumed_from: "none"`, byte-identical
+//! reply on the original connection), ring ejection/readmission with
+//! hysteresis, a sub-quorum PUT refused with no torn version, and
+//! peer-to-peer catalog read repair.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -77,6 +91,12 @@ fn server_mode(flags: &[(String, String)]) -> ExitCode {
         addr: "127.0.0.1:0".to_owned(),
         ..ServeConfig::default()
     };
+    if let Some(a) = get("addr") {
+        cfg.addr = a.to_owned();
+    }
+    if let Some(spec) = get("peers") {
+        cfg.peers = ofd_serve::parse_peer_list(spec).expect("valid --peers list");
+    }
     if let Some(n) = get("workers") {
         cfg.workers = n.parse().expect("--workers N");
     }
@@ -114,8 +134,10 @@ struct ServerProc {
 }
 
 /// Spawns `current_exe --server` with the given flags and waits for its
-/// `listening on` line.
-fn spawn_server(flags: &[(&str, String)]) -> ServerProc {
+/// `listening on` line. `Err` means the child died before announcing
+/// itself — e.g. a reserved fixed port was stolen between reservation
+/// and bind — and the caller may retry with fresh ports.
+fn try_spawn_server(flags: &[(&str, String)]) -> Result<ServerProc, String> {
     let exe = std::env::current_exe().expect("current_exe");
     let mut cmd = Command::new(exe);
     cmd.arg("--server");
@@ -126,21 +148,35 @@ fn spawn_server(flags: &[(&str, String)]) -> ServerProc {
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
-        .expect("spawn server child");
+        .map_err(|e| format!("spawn server child: {e}"))?;
     let stdout = child.stdout.take().expect("child stdout");
     let mut lines = BufReader::new(stdout).lines();
-    let line = lines
-        .next()
-        .expect("child prints its address")
-        .expect("read child stdout");
-    let addr: SocketAddr = line
-        .strip_prefix("listening on ")
-        .unwrap_or_else(|| panic!("unexpected child banner {line:?}"))
-        .parse()
-        .expect("child address parses");
+    let banner = lines.next().and_then(Result::ok).and_then(|line| {
+        line.strip_prefix("listening on ")
+            .and_then(|rest| rest.parse::<SocketAddr>().ok())
+    });
+    let Some(addr) = banner else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("child exited before announcing its address".into());
+    };
     // Keep draining the pipe so the child never blocks on a full stdout.
     std::thread::spawn(move || for _ in lines {});
-    ServerProc { child, addr }
+    Ok(ServerProc { child, addr })
+}
+
+fn spawn_server(flags: &[(&str, String)]) -> ServerProc {
+    try_spawn_server(flags).expect("spawn server child")
+}
+
+/// Reserves an address by binding `127.0.0.1:0`, noting the port the OS
+/// picked, and dropping the listener. Peer fleets need every address
+/// known *before* any worker starts (the `--peers` lists are mutual), so
+/// each worker binds a pre-reserved fixed port instead of `:0`. The tiny
+/// reserve-to-bind race is real; callers retry with fresh ports.
+fn reserve_port() -> SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve a port");
+    listener.local_addr().expect("reserved port address")
 }
 
 impl ServerProc {
@@ -1081,6 +1117,414 @@ fn phase_router(args: &Args, metrics_out: Option<&Path>) {
     );
 }
 
+// ------------------------------------------------------- peer fleet soak
+
+/// One worker of a static multi-host fleet: its process handle plus the
+/// flags needed to restart it on the *same* fixed address and the *same*
+/// private checkpoint root.
+struct PeerWorker {
+    proc: ServerProc,
+    flags: Vec<(&'static str, String)>,
+}
+
+impl PeerWorker {
+    fn addr(&self) -> SocketAddr {
+        self.proc.addr
+    }
+
+    /// Restarts the worker on its fixed address after a SIGKILL. The
+    /// port was just freed by the kill; a short retry loop rides out any
+    /// lingering OS-level reluctance to rebind it.
+    fn restart(&mut self) {
+        for attempt in 0..20u32 {
+            match try_spawn_server(&self.flags) {
+                Ok(proc) => {
+                    self.proc = proc;
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("peer fleet: restart attempt {attempt} failed: {e}");
+                    std::thread::sleep(Duration::from_millis(150));
+                }
+            }
+        }
+        panic!("killed worker never rebound its fixed address");
+    }
+}
+
+/// Spawns `n` workers with mutual `--peers` lists and **disjoint**
+/// checkpoint roots — each worker owns a private filesystem, exactly
+/// like separate hosts. Addresses are reserved up front so every worker
+/// can name its siblings at spawn time; a stolen port retries the whole
+/// fleet on fresh reservations.
+fn spawn_peer_fleet(args: &Args, root: &Path, n: usize) -> Vec<PeerWorker> {
+    'attempt: for attempt in 0..3u32 {
+        let addrs: Vec<SocketAddr> = (0..n).map(|_| reserve_port()).collect();
+        let mut fleet = Vec::with_capacity(n);
+        for (i, addr) in addrs.iter().enumerate() {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let flags = vec![
+                ("addr", addr.to_string()),
+                ("peers", peers),
+                ("checkpoint-dir", root.join(format!("host-{i}")).display().to_string()),
+                ("faults", slow_engine_spec(args.seed)),
+            ];
+            match try_spawn_server(&flags) {
+                Ok(proc) => fleet.push(PeerWorker { proc, flags }),
+                Err(e) => {
+                    eprintln!("peer fleet: spawn attempt {attempt} failed: {e}");
+                    for worker in &mut fleet {
+                        worker.proc.kill_hard();
+                    }
+                    continue 'attempt;
+                }
+            }
+        }
+        return fleet;
+    }
+    panic!("could not bind the peer fleet on reserved ports after 3 attempts");
+}
+
+/// `--peers`: the multi-host game. Two workers with **disjoint**
+/// checkpoint roots and mutual peer lists behind a probe-driven router:
+/// quorum-replicated catalog PUTs, cross-filesystem checkpoint shipping
+/// (`resumed_from: "peer"`), SIGKILL failover with re-execution fallback
+/// (`resumed_from: "none"`), ring ejection/readmission with hysteresis,
+/// a sub-quorum PUT refused with no torn version, and peer-to-peer
+/// catalog read repair. Every served Σ must be byte-identical to the
+/// uninterrupted in-process reference.
+fn phase_peer_fleet(args: &Args, metrics_out: Option<&Path>) {
+    let obs = Obs::enabled();
+    let root = args.dir.join("peer-fleet");
+    let mut fleet = spawn_peer_fleet(args, &root, 2);
+    let worker_addrs: Vec<SocketAddr> = fleet.iter().map(PeerWorker::addr).collect();
+    let router_cfg = RouterConfig {
+        probe_interval_ms: 100,
+        obs: obs.clone(),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(router_cfg, Fleet::Static(worker_addrs.clone())).expect("router bind");
+    let addr = router.addr();
+    let snap_count = |name: &str| obs.snapshot().counter(name).unwrap_or(0);
+
+    // v1: a quorum PUT through the router lands on every replica, and a
+    // by-reference discovery through the router matches the reference.
+    let (csv_v1, onto_v1) = dataset(args.rows, 9, args.seed);
+    let ref_v1 = reference_sigma(&csv_v1, &onto_v1);
+    let put = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_v1, "ontology": &onto_v1 })),
+    );
+    assert_eq!(put.status, 200, "quorum PUT with the full fleet live");
+    assert_eq!(put.body.get("version").and_then(Value::as_u64), Some(1));
+    assert_eq!(put.body.get("replicas").and_then(Value::as_u64), Some(2), "both replicas acked");
+    for &w in &worker_addrs {
+        let described = request(w, "GET", "/v1/datasets/clinical", None);
+        assert_eq!(described.status, 200, "replica {w} serves the replicated dataset");
+        assert_eq!(described.body.get("version").and_then(Value::as_u64), Some(1));
+    }
+    let reply = request(addr, "POST", "/v1/discover", Some(&json!({ "dataset": "clinical@1" })));
+    assert_eq!(reply.status, 200);
+    assert_eq!(sigma_keys(&reply.body), ref_v1, "routed Σ matches the reference");
+    println!("phase peers: v1 replicated to both hosts and discovered (|Σ|={})", ref_v1.len());
+
+    // v2: cross-filesystem checkpoint shipping. Run the job to
+    // completion on host 0, then send the identical request to host 1 —
+    // whose checkpoint root has never seen this job. It must ship the
+    // snapshot from its peer, not recompute from scratch.
+    let (csv_v2, onto_v2) = dataset(args.rows, 9, args.seed ^ 0x5eed);
+    let ref_v2 = reference_sigma(&csv_v2, &onto_v2);
+    let put = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_v2, "ontology": &onto_v2 })),
+    );
+    assert_eq!(put.body.get("version").and_then(Value::as_u64), Some(2));
+    let body_v2 = json!({ "dataset": "clinical@2" });
+    let first = request(worker_addrs[0], "POST", "/v1/discover", Some(&body_v2));
+    assert_eq!(first.status, 200);
+    assert_eq!(sigma_keys(&first.body), ref_v2);
+    assert_eq!(
+        first.body.get("resumed_from").and_then(Value::as_str),
+        Some("none"),
+        "the first run of fresh content is cold everywhere"
+    );
+    let fetched_before = worker_counter(worker_addrs[1], "serve.ship.fetched");
+    let served_before = worker_counter(worker_addrs[0], "serve.ship.served");
+    let second = request(worker_addrs[1], "POST", "/v1/discover", Some(&body_v2));
+    assert_eq!(second.status, 200);
+    assert_eq!(sigma_keys(&second.body), ref_v2, "shipped-snapshot Σ is byte-identical");
+    assert_eq!(
+        second.body.get("resumed_from").and_then(Value::as_str),
+        Some("peer"),
+        "host 1's cold root resumed from host 0's shipped checkpoint"
+    );
+    assert!(
+        worker_counter(worker_addrs[1], "serve.ship.fetched") > fetched_before,
+        "the requester counted the fetch"
+    );
+    assert!(
+        worker_counter(worker_addrs[0], "serve.ship.served") > served_before,
+        "the owner counted the transfer"
+    );
+    println!("phase peers: v2 checkpoint shipped across filesystems (resumed_from=peer)");
+
+    // Stream sessions ship the same way: two edits against host 0, then
+    // the third edit of the same session against host 1, which must
+    // rebuild the session from its peer's persisted snapshot.
+    let stream_ds = clinical(&PresetConfig {
+        n_rows: args.rows.min(400),
+        n_attrs: 5,
+        n_ofds: 2,
+        seed: args.seed,
+        ..PresetConfig::default()
+    });
+    let schema = stream_ds.clean.schema();
+    let specs: Vec<String> = stream_ds
+        .ofds
+        .iter()
+        .map(|o| {
+            let lhs: Vec<&str> = o.lhs.iter().map(|a| schema.name(a)).collect();
+            format!("{}->{}", lhs.join(","), schema.name(o.rhs))
+        })
+        .collect();
+    let stream_base = json!({
+        "csv": csv::write_csv(&stream_ds.clean),
+        "ontology": ofd_ontology::write_ontology(&stream_ds.full_ontology),
+        "ofds": specs,
+    });
+    let edits = stream_script(&stream_ds, args.seed, 3);
+    for edit in &edits[..2] {
+        let (path, body) = stream_request(&stream_base, edit);
+        let reply = request(worker_addrs[0], "POST", path, Some(&body));
+        assert_eq!(reply.status, 200, "stream edit accepted on host 0");
+    }
+    let fetched_before = worker_counter(worker_addrs[1], "serve.ship.fetched");
+    let (path, body) = stream_request(&stream_base, &edits[2]);
+    let reply = request(worker_addrs[1], "POST", path, Some(&body));
+    assert_eq!(reply.status, 200, "stream edit accepted on host 1");
+    assert_eq!(
+        reply.body.get("resumed_from_seq").and_then(Value::as_u64),
+        Some(2),
+        "host 1 rebuilt the session from host 0's shipped snapshot"
+    );
+    assert!(
+        worker_counter(worker_addrs[1], "serve.ship.fetched") > fetched_before,
+        "the stream adoption counted its fetch"
+    );
+    println!("phase peers: stream session shipped across filesystems (resumed_from_seq=2)");
+
+    // SIGKILL the owner mid-discovery through the router. The survivor
+    // cannot ship from a dead peer, so it must fall back to re-execution
+    // from inputs — and still answer the original connection
+    // byte-identically. The kill window is seeded; retry on a fresh
+    // version until the failover actually lands mid-flight.
+    let mut rng = StdRng::seed_from_u64(args.seed.wrapping_mul(9241));
+    let mut version = 2u64;
+    let mut dead: Option<usize> = None;
+    for trial in 0..3u64 {
+        let (csv_t, onto_t) = dataset(args.rows, 9, args.seed ^ (0x100 + trial));
+        let ref_t = reference_sigma(&csv_t, &onto_t);
+        let put = request(
+            addr,
+            "PUT",
+            "/v1/datasets/clinical",
+            Some(&json!({ "csv": &csv_t, "ontology": &onto_t })),
+        );
+        assert_eq!(put.status, 200, "trial PUT with the full fleet live");
+        version = put.body.get("version").and_then(Value::as_u64).expect("trial version");
+        let body = json!({ "dataset": format!("clinical@{version}") });
+        let before: Vec<u64> = worker_addrs
+            .iter()
+            .map(|&a| worker_counter(a, "serve.admitted"))
+            .collect();
+        let retried_before = snap_count("serve.router.retried");
+        let inflight = {
+            let body = body.clone();
+            std::thread::spawn(move || request(addr, "POST", "/v1/discover", Some(&body)))
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let owner = loop {
+            if let Some(slot) = (0..worker_addrs.len())
+                .find(|&i| worker_counter(worker_addrs[i], "serve.admitted") > before[i])
+            {
+                break slot;
+            }
+            assert!(Instant::now() < deadline, "no worker admitted the in-flight request");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        std::thread::sleep(Duration::from_millis(rng.random_range(300u64..1000)));
+        fleet[owner].proc.kill_hard();
+
+        let reply = inflight.join().expect("inflight client");
+        assert_eq!(reply.status, 200, "failover answers the original connection");
+        assert_eq!(sigma_keys(&reply.body), ref_t, "failover Σ is byte-identical");
+        let resumed = reply.body.get("resumed_from").and_then(Value::as_str);
+        if snap_count("serve.router.retried") > retried_before && resumed == Some("none") {
+            println!(
+                "phase peers: trial {trial} failed over; survivor re-executed from inputs \
+                 (resumed_from=none)"
+            );
+            dead = Some(owner);
+            break;
+        }
+        // The job finished before the kill landed — restart the owner on
+        // its fixed address and try again with fresh content.
+        println!("phase peers: trial {trial} finished before the kill; retrying");
+        fleet[owner].restart();
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let ready = request(addr, "GET", "/readyz", None);
+            if ready.body.get("live_workers").and_then(Value::as_u64) == Some(2) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "restarted worker never rejoined the ring");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    let dead = dead.expect("re-execution fallback never observed across 3 trials");
+
+    // With the owner still dead, the prober must eject it: /readyz turns
+    // degraded, and a catalog PUT is refused outright — one live replica
+    // cannot make a two-replica quorum, and no torn version may appear.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let ready = loop {
+        let ready = request(addr, "GET", "/readyz", None);
+        if ready.body.get("state").and_then(Value::as_str) == Some("degraded") {
+            break ready;
+        }
+        assert!(Instant::now() < deadline, "dead worker was never ejected from the ring");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(ready.status, 200, "a partial ring is degraded, not down");
+    assert_eq!(ready.body.get("live_workers").and_then(Value::as_u64), Some(1));
+    assert!(snap_count("serve.router.ring.ejected") >= 1, "the ejection was counted");
+    let (csv_x, onto_x) = dataset(args.rows.min(600), 6, args.seed ^ 0xdead);
+    let denied = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_x, "ontology": &onto_x })),
+    );
+    assert_eq!(denied.status, 503, "a sub-quorum PUT is refused");
+    let survivor = worker_addrs[1 - dead];
+    let described = request(survivor, "GET", "/v1/datasets/clinical", None);
+    assert_eq!(
+        described.body.get("version").and_then(Value::as_u64),
+        Some(version),
+        "the refused write left the newest version untouched"
+    );
+    let torn = request(survivor, "GET", &format!("/v1/datasets/clinical@{}", version + 1), None);
+    assert_ne!(torn.status, 200, "no torn version is visible after the refused write");
+    assert_eq!(
+        snap_count("serve.catalog.replicated_partial"),
+        0,
+        "a two-replica quorum is all-or-nothing; partial replication is impossible"
+    );
+    println!("phase peers: ejection observed, sub-quorum PUT refused with no torn version");
+
+    // Restart the dead host: the prober readmits it with hysteresis, and
+    // quorum writes work again.
+    fleet[dead].restart();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let ready = loop {
+        let ready = request(addr, "GET", "/readyz", None);
+        if ready.body.get("state").and_then(Value::as_str) == Some("ok") {
+            break ready;
+        }
+        assert!(Instant::now() < deadline, "restarted worker was never readmitted");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(ready.body.get("live_workers").and_then(Value::as_u64), Some(2));
+    assert!(snap_count("serve.router.ring.readmitted") >= 1, "the readmission was counted");
+    let (csv_y, onto_y) = dataset(args.rows.min(600), 6, args.seed ^ 0xbeef);
+    let put = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_y, "ontology": &onto_y })),
+    );
+    assert_eq!(put.status, 200, "quorum restored after readmission");
+    assert_eq!(put.body.get("version").and_then(Value::as_u64), Some(version + 1));
+    assert_eq!(put.body.get("replicas").and_then(Value::as_u64), Some(2));
+    for &w in &worker_addrs {
+        let described = request(w, "GET", "/v1/datasets/clinical", None);
+        assert_eq!(described.body.get("version").and_then(Value::as_u64), Some(version + 1));
+    }
+    println!("phase peers: readmission observed, quorum writes restored (v{})", version + 1);
+
+    // Peer-to-peer read repair: write one version to a single host
+    // behind the router's back, then ask the *other* host for it by
+    // explicit reference — it must fetch the gap from its peer.
+    let (csv_r, onto_r) = dataset(args.rows.min(600), 6, args.seed ^ 0xfeed);
+    let direct = request(
+        worker_addrs[0],
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_r, "ontology": &onto_r })),
+    );
+    assert_eq!(direct.status, 200);
+    let divergent = direct.body.get("version").and_then(Value::as_u64).expect("direct version");
+    let fetch_before = worker_counter(worker_addrs[1], "serve.catalog.peer_fetch");
+    let repaired = request(
+        worker_addrs[1],
+        "GET",
+        &format!("/v1/datasets/clinical@{divergent}"),
+        None,
+    );
+    assert_eq!(repaired.status, 200, "the missing version was repaired from a peer");
+    assert_eq!(repaired.body.get("version").and_then(Value::as_u64), Some(divergent));
+    assert!(
+        worker_counter(worker_addrs[1], "serve.catalog.peer_fetch") > fetch_before,
+        "the read repair counted its peer fetch"
+    );
+    println!("phase peers: catalog read repair fetched v{divergent} peer-to-peer");
+
+    // The soak's ledger: every membership and replication event landed.
+    assert!(snap_count("serve.router.ring.ejected") >= 1, "ejection was counted");
+    assert!(snap_count("serve.router.ring.readmitted") >= 1, "readmission was counted");
+    assert!(snap_count("serve.router.retried") >= 1, "failover retried at least once");
+
+    if let Some(path) = metrics_out {
+        let workers: Vec<Value> = worker_addrs
+            .iter()
+            .filter_map(|&a| try_request(a, "GET", "/metrics", None).ok().map(|r| r.body))
+            .collect();
+        let doc = json!({
+            "router": request(addr, "GET", "/metrics", None).body,
+            "workers": workers,
+        });
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("metrics-out parent dir");
+        }
+        let text = serde_json::to_string_pretty(&doc).expect("serialize metrics") + "\n";
+        std::fs::write(path, text).expect("write metrics-out");
+        println!("phase peers: metrics written to {}", path.display());
+    }
+
+    router.shutdown();
+    for worker in &mut fleet {
+        worker.proc.terminate();
+        assert_eq!(worker.proc.wait_exit(Duration::from_secs(30)), Some(0), "worker drains");
+    }
+    println!(
+        "phase peers: ok (ejected={} readmitted={} retried={} routed={})",
+        snap_count("serve.router.ring.ejected"),
+        snap_count("serve.router.ring.readmitted"),
+        snap_count("serve.router.retried"),
+        snap_count("serve.router.routed"),
+    );
+}
+
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("--server") {
@@ -1101,6 +1545,7 @@ fn main() -> ExitCode {
     };
     let mut router_mode = false;
     let mut stream_mode = false;
+    let mut peers_mode = false;
     let mut metrics_out: Option<PathBuf> = None;
     while let Some(arg) = raw.next() {
         let mut value = |name: &str| raw.next().unwrap_or_else(|| panic!("{name} VALUE"));
@@ -1110,15 +1555,19 @@ fn main() -> ExitCode {
             "--dir" => args.dir = value("--dir").into(),
             "--router" => router_mode = true,
             "--stream" => stream_mode = true,
+            "--peers" => peers_mode = true,
             "--metrics-out" => metrics_out = Some(value("--metrics-out").into()),
             other => panic!("unknown argument {other:?}"),
         }
     }
     assert!(
-        metrics_out.is_none() || router_mode || stream_mode,
-        "--metrics-out only applies to --router and --stream runs"
+        metrics_out.is_none() || router_mode || stream_mode || peers_mode,
+        "--metrics-out only applies to --router, --stream and --peers runs"
     );
-    assert!(!(router_mode && stream_mode), "--router and --stream are separate soaks");
+    assert!(
+        u32::from(router_mode) + u32::from(stream_mode) + u32::from(peers_mode) <= 1,
+        "--router, --stream and --peers are separate soaks"
+    );
     let _ = std::fs::remove_dir_all(&args.dir);
 
     if stream_mode {
@@ -1132,6 +1581,13 @@ fn main() -> ExitCode {
         phase_router(&args, metrics_out.as_deref());
         let _ = std::fs::remove_dir_all(&args.dir);
         println!("serve_probe: router fleet consistent");
+        return ExitCode::SUCCESS;
+    }
+
+    if peers_mode {
+        phase_peer_fleet(&args, metrics_out.as_deref());
+        let _ = std::fs::remove_dir_all(&args.dir);
+        println!("serve_probe: peer fleet consistent");
         return ExitCode::SUCCESS;
     }
 

@@ -501,6 +501,18 @@ impl SnapshotStore {
         Ok(removed)
     }
 
+    /// Deletes snapshot `seq` of stream `name`, returning whether a file
+    /// was actually removed. Used by replicated writers to roll back a
+    /// version that failed to reach quorum; a missing file is a no-op so
+    /// rollback is idempotent.
+    pub fn remove(&self, name: &str, seq: u64) -> Result<bool, SnapshotError> {
+        match fs::remove_file(self.file_path(name, seq)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Every `(stream, seq, path)` triple in the directory.
     fn walk(&self) -> Result<Vec<(String, u64, PathBuf)>, SnapshotError> {
         let entries = match fs::read_dir(&self.dir) {

@@ -61,6 +61,10 @@ pub struct CatalogEntry {
 pub enum CatalogError {
     /// Bad name, bad version syntax, unknown dataset, unparsable inputs.
     BadRequest(String),
+    /// A pinned replicated write collided with *different* content
+    /// already stored at that version — the replica must refuse rather
+    /// than silently fork history (409).
+    Conflict(String),
     /// The snapshot layer failed underneath a well-formed request.
     Storage(String),
 }
@@ -69,7 +73,9 @@ impl CatalogError {
     /// The message, whichever side it is.
     pub fn message(&self) -> &str {
         match self {
-            CatalogError::BadRequest(m) | CatalogError::Storage(m) => m,
+            CatalogError::BadRequest(m)
+            | CatalogError::Conflict(m)
+            | CatalogError::Storage(m) => m,
         }
     }
 }
@@ -119,6 +125,12 @@ fn parse_reference(reference: &str) -> Result<(&str, Option<u64>), CatalogError>
 pub struct Catalog {
     store: SnapshotStore,
     obs: Obs,
+    /// Sibling workers consulted when a reference misses the local disk
+    /// (multi-host mode: the catalog is quorum-replicated, not shared
+    /// through one filesystem, so a replica that missed a write — down
+    /// during the PUT, or freshly re-imaged — repairs itself by fetching
+    /// the version's snapshot from a peer).
+    peers: Vec<std::net::SocketAddr>,
     /// Interned `(name, version)` → parsed entry. Never invalidated:
     /// versions are append-only and immutable once written.
     interned: Mutex<FxHashMap<(String, u64), Arc<CatalogEntry>>>,
@@ -134,8 +146,16 @@ impl Catalog {
         Catalog {
             store,
             obs,
+            peers: Vec::new(),
             interned: Mutex::new(FxHashMap::default()),
         }
+    }
+
+    /// Installs the sibling-worker list used for peer-to-peer read
+    /// repair on local miss.
+    pub fn with_peers(mut self, peers: Vec<std::net::SocketAddr>) -> Catalog {
+        self.peers = peers;
+        self
     }
 
     /// The directory entries persist in.
@@ -152,6 +172,64 @@ impl Catalog {
         csv_text: &str,
         onto_text: &str,
     ) -> Result<Arc<CatalogEntry>, CatalogError> {
+        let version = self
+            .store
+            .versions(name)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?
+            .last()
+            .copied()
+            .unwrap_or(0)
+            + 1;
+        self.save_entry(name, csv_text, onto_text, version)
+    }
+
+    /// Registers a dataset at an explicitly pinned version — the
+    /// replicated-write path: the router picks one version number and
+    /// fans it out, so every replica stores the same history. Pinned
+    /// writes are **idempotent by content**: re-registering identical
+    /// texts at an existing version acks without rewriting (a retried
+    /// fan-out, or a shared-disk fleet where a sibling already landed
+    /// the file), while different content at an existing version is a
+    /// [`CatalogError::Conflict`] — replicas never fork history.
+    pub fn put_pinned(
+        &self,
+        name: &str,
+        csv_text: &str,
+        onto_text: &str,
+        version: u64,
+    ) -> Result<Arc<CatalogEntry>, CatalogError> {
+        if version == 0 {
+            return Err(CatalogError::BadRequest(
+                "pinned version must be >= 1".into(),
+            ));
+        }
+        if let Some(existing) = self
+            .store
+            .load_seq(name, version)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?
+        {
+            let same = existing.body.get("csv").and_then(Value::as_str) == Some(csv_text)
+                && existing.body.get("ontology").and_then(Value::as_str) == Some(onto_text);
+            if same {
+                return self.resolve(&format!("{name}@{version}"));
+            }
+            return Err(CatalogError::Conflict(format!(
+                "dataset {name:?} version {version} already exists with different content"
+            )));
+        }
+        self.save_entry(name, csv_text, onto_text, version)
+    }
+
+    /// Parse, persist and intern one `(name, version)` entry. The CSV
+    /// and ontology must parse — a catalog that accepts garbage would
+    /// turn every later job into a 4xx lottery.
+    fn save_entry(
+        &self,
+        name: &str,
+        csv_text: &str,
+        onto_text: &str,
+        version: u64,
+    ) -> Result<Arc<CatalogEntry>, CatalogError> {
         if !valid_name(name) {
             return Err(CatalogError::BadRequest(format!(
                 "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
@@ -165,14 +243,6 @@ impl Catalog {
             parse_ontology(onto_text)
                 .map_err(|e| CatalogError::BadRequest(format!("ontology: {e}")))?
         };
-        let version = self
-            .store
-            .versions(name)
-            .map_err(|e| CatalogError::Storage(e.to_string()))?
-            .last()
-            .copied()
-            .unwrap_or(0)
-            + 1;
         let body = json!({
             "name": name,
             "version": version,
@@ -199,6 +269,48 @@ impl Catalog {
         Ok(entry)
     }
 
+    /// Deletes one stored version — the quorum-write *rollback* path:
+    /// when a replicated PUT fails to reach majority ack, the router
+    /// removes the pinned version from every replica that took it, so no
+    /// survivor serves a write the fleet did not commit. Returns whether
+    /// a file was actually removed; deleting an absent version is a
+    /// no-op, keeping rollback idempotent.
+    pub fn delete_version(&self, name: &str, version: u64) -> Result<bool, CatalogError> {
+        if !valid_name(name) {
+            return Err(CatalogError::BadRequest(format!(
+                "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
+            )));
+        }
+        self.interned
+            .lock()
+            .expect("catalog intern lock")
+            .remove(&(name.to_owned(), version));
+        self.store
+            .remove(name, version)
+            .map_err(|e| CatalogError::Storage(e.to_string()))
+    }
+
+    /// The raw stored payload of one version (`{name, version, csv,
+    /// ontology}`) — served by the internal
+    /// `GET /v1/datasets/{name}/{version}/snapshot` transfer endpoint so
+    /// a peer that missed the replicated write can install the entry
+    /// verbatim.
+    pub fn snapshot_payload(&self, name: &str, version: u64) -> Result<Value, CatalogError> {
+        if !valid_name(name) {
+            return Err(CatalogError::BadRequest(format!(
+                "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
+            )));
+        }
+        let loaded = self
+            .store
+            .load_seq(name, version)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?
+            .ok_or_else(|| {
+                CatalogError::BadRequest(format!("unknown dataset {name:?} version {version}"))
+            })?;
+        Ok(loaded.body)
+    }
+
     /// Resolves a `name` / `name@version` reference to its entry,
     /// interning the parse on first touch. A bare name means the newest
     /// version *on disk* — so an entry registered through another worker
@@ -207,15 +319,21 @@ impl Catalog {
         let (name, version) = parse_reference(reference)?;
         let version = match version {
             Some(v) => v,
-            None => self
+            None => match self
                 .store
                 .versions(name)
                 .map_err(|e| CatalogError::Storage(e.to_string()))?
                 .last()
                 .copied()
-                .ok_or_else(|| {
+            {
+                Some(v) => v,
+                // Nothing local: in multi-host mode this replica may
+                // simply have missed the quorum write — ask the peers
+                // what the newest version is before declaring unknown.
+                None => self.newest_on_peers(name).ok_or_else(|| {
                     CatalogError::BadRequest(format!("unknown dataset {name:?}"))
                 })?,
+            },
         };
         if let Some(entry) = self
             .interned
@@ -226,13 +344,24 @@ impl Catalog {
             self.obs.inc("serve.catalog.hit");
             return Ok(entry.clone());
         }
-        let loaded = self
+        let loaded = match self
             .store
             .load_seq(name, version)
             .map_err(|e| CatalogError::Storage(e.to_string()))?
-            .ok_or_else(|| {
-                CatalogError::BadRequest(format!("unknown dataset {name:?} version {version}"))
-            })?;
+        {
+            Some(loaded) => loaded,
+            None => {
+                // Read repair: fetch the version's snapshot from a peer,
+                // install it locally, and serve it — after which this
+                // replica answers from its own disk like everyone else.
+                if let Some(entry) = self.fetch_from_peers(name, version) {
+                    return Ok(entry);
+                }
+                return Err(CatalogError::BadRequest(format!(
+                    "unknown dataset {name:?} version {version}"
+                )));
+            }
+        };
         let text = |field: &str| {
             loaded
                 .body
@@ -300,6 +429,43 @@ impl Catalog {
             .map_err(|e| CatalogError::Storage(e.to_string()))
     }
 
+    /// The newest version any peer reports for `name` (via describe), or
+    /// `None` when no peer knows it either.
+    fn newest_on_peers(&self, name: &str) -> Option<u64> {
+        let path = format!("/v1/datasets/{name}");
+        self.peers
+            .iter()
+            .filter_map(|&peer| match crate::peers::peer_json(peer, "GET", &path, None) {
+                Ok((200, reply)) => reply.get("version").and_then(Value::as_u64),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Fetches `name@version` from the first peer that has it and
+    /// installs it locally via the pinned-write path (so the repaired
+    /// copy is byte-compatible with the quorum's). Counted as
+    /// `serve.catalog.peer_fetch`.
+    fn fetch_from_peers(&self, name: &str, version: u64) -> Option<Arc<CatalogEntry>> {
+        let path = format!("/v1/datasets/{name}/{version}/snapshot");
+        for &peer in &self.peers {
+            let Ok((200, payload)) = crate::peers::peer_json(peer, "GET", &path, None) else {
+                continue;
+            };
+            let (Some(csv_text), Some(onto_text)) = (
+                payload.get("csv").and_then(Value::as_str),
+                payload.get("ontology").and_then(Value::as_str),
+            ) else {
+                continue;
+            };
+            if let Ok(entry) = self.put_pinned(name, csv_text, onto_text, version) {
+                self.obs.inc("serve.catalog.peer_fetch");
+                return Some(entry);
+            }
+        }
+        None
+    }
+
     /// Routing digest of a dataset reference without parsing the data:
     /// the digest of the *content* of the resolved version, falling back
     /// to a digest of the reference string when the dataset is unknown
@@ -315,6 +481,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn tmp(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -340,8 +507,8 @@ mod tests {
         )
     }
 
-    fn catalog(dir: &PathBuf) -> Catalog {
-        Catalog::open(dir.clone(), FaultPlan::none(), Obs::disabled())
+    fn catalog(dir: &Path) -> Catalog {
+        Catalog::open(dir.to_path_buf(), FaultPlan::none(), Obs::disabled())
     }
 
     #[test]

@@ -152,6 +152,10 @@ pub struct JobContext {
     /// In-memory streaming sessions for `/v1/append` / `/v1/retract`
     /// (their durable state lives under `checkpoint_root`).
     pub sessions: Arc<crate::stream::StreamSessions>,
+    /// Sibling workers of a multi-host fleet. When a job's checkpoint
+    /// directory is empty locally, the dead owner's newest snapshot is
+    /// fetched from here before falling back to re-execution.
+    pub peers: Vec<std::net::SocketAddr>,
 }
 
 /// Runs `endpoint` on `body`, returning the response body and outcome.
@@ -375,12 +379,19 @@ pub(crate) fn parse_spec_list(
 /// worker-agnostic: any fleet worker handed the same request (inline or
 /// by reference) computes the same path under the shared checkpoint
 /// root and can adopt a dead sibling's snapshots mid-level.
+///
+/// The second element of the returned pair is the snapshot *provenance*
+/// (echoed as `resumed_from` in job responses): `"local"` when this
+/// replica already holds snapshots for the fingerprint, `"peer"` when
+/// they were just shipped over from a sibling's checkpoint root (the
+/// cross-filesystem adoption path, `serve.ship.fetched`), `"none"` when
+/// no snapshot survives anywhere and the engine re-executes from inputs.
 fn job_checkpoint(
     ctx: &JobContext,
     endpoint: Endpoint,
     body: &Value,
     inputs: &Inputs<'_>,
-) -> Result<Option<CheckpointOptions>, BadRequest> {
+) -> Result<Option<(CheckpointOptions, &'static str)>, BadRequest> {
     let Some(root) = &ctx.checkpoint_root else {
         return Ok(None);
     };
@@ -399,14 +410,29 @@ fn job_checkpoint(
             fp.update_str(spec.as_str().unwrap_or(""));
         }
     }
+    let fp = fp.finish();
     let dir: &Path = root.as_ref();
-    let mut store = SnapshotStore::new(dir.join(format!("job-{:016x}", fp.finish())));
+    let mut store = SnapshotStore::new(dir.join(format!("job-{fp:016x}")));
     if ctx.faults.is_active() {
         store = store.with_faults(ctx.faults.clone());
     }
+    let provenance = if store.streams().map(|s| !s.is_empty()).unwrap_or(false) {
+        "local"
+    } else if !ctx.peers.is_empty()
+        && crate::peers::fetch_and_install(
+            &ctx.peers,
+            &format!("/v1/jobs/{fp:016x}/snapshot"),
+            &store,
+        ) > 0
+    {
+        ctx.obs.inc("serve.ship.fetched");
+        "peer"
+    } else {
+        "none"
+    };
     // Resume is unconditional: loading is fingerprint-validated and falls
     // back to a fresh run on any mismatch, so opting in is always sound.
-    Ok(Some(CheckpointOptions { store, resume: true }))
+    Ok(Some((CheckpointOptions { store, resume: true }, provenance)))
 }
 
 // -------------------------------------------------------------- handlers
@@ -448,8 +474,10 @@ fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
         }
         opts = opts.threads(threads as usize);
     }
-    if let Some(ck) = job_checkpoint(ctx, Endpoint::Discover, body, &inputs)? {
+    let mut resumed_from = Value::Null;
+    if let Some((ck, provenance)) = job_checkpoint(ctx, Endpoint::Discover, body, &inputs)? {
         opts = opts.checkpoint(ck);
+        resumed_from = json!(provenance);
     }
 
     let out = FastOfd::new(rel, onto).options(opts).run();
@@ -486,6 +514,7 @@ fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
         },
         "snapshots_written": out.snapshots_written as u64,
         "snapshot_errors": out.snapshot_errors as u64,
+        "resumed_from": resumed_from,
     });
     Ok((value, outcome))
 }
@@ -543,7 +572,11 @@ fn clean(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadReque
     if let Some(beam) = opt_u64(body, "beam")? {
         config.beam = Some(beam as usize);
     }
-    config.checkpoint = job_checkpoint(ctx, Endpoint::Clean, body, &inputs)?;
+    let mut resumed_from = Value::Null;
+    if let Some((ck, provenance)) = job_checkpoint(ctx, Endpoint::Clean, body, &inputs)? {
+        config.checkpoint = Some(ck);
+        resumed_from = json!(provenance);
+    }
 
     let result = ofd_clean(rel, onto, &ofds, &config);
     let outcome = JobOutcome {
@@ -567,6 +600,7 @@ fn clean(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadReque
         },
         "snapshots_written": result.snapshots_written as u64,
         "snapshot_errors": result.snapshot_errors as u64,
+        "resumed_from": resumed_from,
         "repaired_csv": csv::write_csv(&result.repaired),
     });
     Ok((value, outcome))
@@ -584,6 +618,7 @@ mod tests {
             checkpoint_root: None,
             catalog: None,
             sessions: Arc::new(crate::stream::StreamSessions::new()),
+            peers: Vec::new(),
         }
     }
 
@@ -670,6 +705,7 @@ mod tests {
             job_checkpoint(&c, endpoint, body, &inputs)
                 .expect("checkpoint")
                 .expect("enabled")
+                .0
                 .store
                 .dir()
                 .to_path_buf()
@@ -718,6 +754,7 @@ mod tests {
             job_checkpoint(&c, Endpoint::Discover, body, &inputs)
                 .expect("checkpoint")
                 .expect("enabled")
+                .0
                 .store
                 .dir()
                 .to_path_buf()

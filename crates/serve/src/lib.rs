@@ -50,6 +50,7 @@ pub mod breaker;
 pub mod catalog;
 pub mod http;
 pub mod jobs;
+pub mod peers;
 pub mod queue;
 pub mod router;
 pub mod server;
@@ -59,6 +60,7 @@ pub mod supervisor;
 pub use breaker::{Admission, Breaker};
 pub use catalog::{content_fingerprint, Catalog, CatalogEntry, CatalogError};
 pub use jobs::{BadRequest, Endpoint, JobContext, JobError, JobOutcome};
+pub use peers::parse_peer_list;
 pub use stream::{StreamSessions, STREAM_COUNTERS};
 pub use router::{Fleet, Router, RouterConfig, ROUTER_COUNTERS};
 pub use server::{termination_flag, ServeConfig, ServeSummary, Server, SERVE_COUNTERS};

@@ -1,0 +1,222 @@
+//! Static peer lists and the tiny HTTP client behind cross-host recovery.
+//!
+//! Multi-host mode (`fastofd serve --peers host:port,...`) gives every
+//! process a fixed list of sibling workers. Three subsystems use it:
+//!
+//! * the router fans catalog `PUT`s out to a write quorum of peers,
+//! * [`Catalog`](crate::catalog::Catalog) resolves a locally-missing
+//!   dataset version by fetching its snapshot from a peer, and
+//! * job / stream recovery ships a dead owner's newest checkpoint across
+//!   filesystems via `GET /v1/{jobs,streams}/{fingerprint}/snapshot`.
+//!
+//! Everything here is bounded: short connect timeouts, one read to EOF,
+//! no retries — callers iterate the peer list themselves and degrade
+//! gracefully when nobody answers.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ofd_core::SnapshotStore;
+use serde_json::Value;
+
+/// Connect timeout for peer-to-peer transfer requests.
+const PEER_CONNECT_MS: u64 = 1_000;
+/// Read deadline for peer-to-peer transfer requests. Snapshot bundles are
+/// small (a handful of JSON levels), so a stalled peer should not hold a
+/// recovery path hostage.
+const PEER_READ_MS: u64 = 10_000;
+
+/// Parse a comma-separated `host:port,...` peer list into socket
+/// addresses. Entries are trimmed; empty entries are rejected so a typo
+/// like `a:1,,b:2` fails loudly instead of silently shrinking the quorum.
+pub fn parse_peer_list(spec: &str) -> Result<Vec<SocketAddr>, String> {
+    let mut peers = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(format!("empty entry in peer list {spec:?}"));
+        }
+        let addr = entry
+            .to_socket_addrs()
+            .map_err(|e| format!("peer {entry:?}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("peer {entry:?}: no addresses"))?;
+        peers.push(addr);
+    }
+    Ok(peers)
+}
+
+/// One bounded HTTP exchange with a peer: connect, send `method path`
+/// with an optional JSON body, read the reply to EOF. Returns the status
+/// code and raw body bytes.
+pub(crate) fn peer_exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+) -> io::Result<(u16, Vec<u8>)> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(PEER_CONNECT_MS))?;
+    stream.set_read_timeout(Some(Duration::from_millis(PEER_READ_MS)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(PEER_READ_MS)))?;
+    let payload = body.map(|v| v.to_string()).unwrap_or_default();
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: peer\r\ncontent-length: {}\r\nconnection: close\r\n",
+        payload.len()
+    );
+    if body.is_some() {
+        req.push_str("content-type: application/json\r\n");
+    }
+    req.push_str("\r\n");
+    let mut stream = stream;
+    stream.write_all(req.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated peer reply"))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad peer status line"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+/// Like [`peer_exchange`], but parse the body as JSON. Non-JSON bodies
+/// become `Null` so callers can treat "peer answered garbage" the same
+/// as "peer answered nothing".
+pub(crate) fn peer_json(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+) -> io::Result<(u16, Value)> {
+    let (status, raw) = peer_exchange(addr, method, path, body)?;
+    let parsed = std::str::from_utf8(&raw)
+        .ok()
+        .and_then(|text| serde_json::from_str(text).ok())
+        .unwrap_or(Value::Null);
+    Ok((status, parsed))
+}
+
+/// Fetch a snapshot bundle (`{"files": [{name, seq, body}, ...]}`) from
+/// the first peer that answers 200 for `path`, and install every file
+/// into `store` via [`SnapshotStore::save`]. Returns the number of
+/// snapshot files installed (0 when no peer had anything to ship —
+/// callers then fall back to re-execution from inputs).
+pub(crate) fn fetch_and_install(
+    peers: &[SocketAddr],
+    path: &str,
+    store: &SnapshotStore,
+) -> usize {
+    for &peer in peers {
+        let Ok((200, bundle)) = peer_json(peer, "GET", path, None) else {
+            continue;
+        };
+        let Some(files) = bundle.get("files").and_then(Value::as_array) else {
+            continue;
+        };
+        let mut installed = 0usize;
+        for file in files {
+            let (Some(name), Some(seq), Some(body)) = (
+                file.get("name").and_then(Value::as_str),
+                file.get("seq").and_then(Value::as_u64),
+                file.get("body"),
+            ) else {
+                continue;
+            };
+            if store.save(name, seq, body).is_ok() {
+                installed += 1;
+            }
+        }
+        if installed > 0 {
+            return installed;
+        }
+    }
+    0
+}
+
+/// Build the snapshot-bundle JSON a transfer endpoint serves: the newest
+/// snapshot per stream name found in `store`. Returns `None` when the
+/// store holds nothing to ship.
+pub(crate) fn snapshot_bundle(store: &SnapshotStore) -> Option<Value> {
+    let names = store.streams().ok()?;
+    let mut files = Vec::new();
+    for name in names {
+        if let Ok(Some(loaded)) = store.load_latest(&name) {
+            files.push(serde_json::json!({
+                "name": name,
+                "seq": loaded.seq,
+                "body": loaded.body,
+            }));
+        }
+    }
+    if files.is_empty() {
+        None
+    } else {
+        Some(serde_json::json!({ "files": files }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_lists_parse_and_reject_empty_entries() {
+        let peers = parse_peer_list("127.0.0.1:7001, 127.0.0.1:7002").expect("two peers");
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[0].port(), 7001);
+        assert_eq!(peers[1].port(), 7002);
+        assert!(parse_peer_list("127.0.0.1:7001,,127.0.0.1:7002").is_err());
+        assert!(parse_peer_list("").is_err());
+        assert!(parse_peer_list("not-an-addr").is_err());
+    }
+
+    #[test]
+    fn snapshot_bundles_round_trip_through_fetch_and_install() {
+        let src_dir = std::env::temp_dir().join(format!("ofd-peers-src-{}", std::process::id()));
+        let dst_dir = std::env::temp_dir().join(format!("ofd-peers-dst-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&src_dir);
+        let _ = std::fs::remove_dir_all(&dst_dir);
+        let src = SnapshotStore::new(&src_dir);
+        src.save("session", 3, &serde_json::json!({"edits": [1, 2, 3]}))
+            .expect("seed snapshot");
+        let bundle = snapshot_bundle(&src).expect("bundle with one file");
+
+        // Serve the bundle from a throwaway listener, then install it
+        // into a second store through the real client path.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let body = bundle.to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 4096];
+            let _ = conn.read(&mut buf);
+            let reply = format!(
+                "HTTP/1.1 200 OK\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            conn.write_all(reply.as_bytes()).expect("reply");
+        });
+
+        let dst = SnapshotStore::new(&dst_dir);
+        let installed = fetch_and_install(&[addr], "/v1/streams/00/snapshot", &dst);
+        server.join().expect("server thread");
+        assert_eq!(installed, 1);
+        let loaded = dst.load_latest("session").expect("load").expect("present");
+        assert_eq!(loaded.seq, 3);
+        assert_eq!(
+            loaded.body.get("edits"),
+            Some(&serde_json::json!([1, 2, 3]))
+        );
+
+        let _ = std::fs::remove_dir_all(&src_dir);
+        let _ = std::fs::remove_dir_all(&dst_dir);
+    }
+}

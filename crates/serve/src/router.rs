@@ -53,11 +53,14 @@ use crate::supervisor::Supervisor;
 /// The `serve.router.*` counters pinned by the metrics schema test;
 /// touched at bind so they are present (zero) in every router
 /// `/metrics` document.
-pub const ROUTER_COUNTERS: [&str; 4] = [
+pub const ROUTER_COUNTERS: [&str; 7] = [
     "serve.router.routed",
     "serve.router.retried",
     "serve.router.respawned",
     "serve.router.adopted",
+    "serve.router.ring.ejected",
+    "serve.router.ring.readmitted",
+    "serve.catalog.replicated_partial",
 ];
 
 /// Router configuration.
@@ -83,6 +86,13 @@ pub struct RouterConfig {
     pub max_body_bytes: usize,
     /// Worker `/readyz` probe cadence.
     pub probe_interval_ms: u64,
+    /// Consecutive failed probes before a slot is ejected from the hash
+    /// ring (`serve.router.ring.ejected`). Hysteresis: one blip never
+    /// moves keys.
+    pub eject_after: u32,
+    /// Consecutive successful probes before an ejected slot is
+    /// re-admitted (`serve.router.ring.readmitted`).
+    pub readmit_after: u32,
     /// Catalog directory (the fleet-shared one) so the router can
     /// resolve `dataset:` references to content fingerprints for
     /// routing. `None` falls back to hashing the reference string.
@@ -102,6 +112,8 @@ impl Default for RouterConfig {
             forward_timeout_ms: 120_000,
             max_body_bytes: 16 * 1024 * 1024,
             probe_interval_ms: 500,
+            eject_after: 3,
+            readmit_after: 2,
             catalog_dir: None,
             obs: Obs::enabled(),
         }
@@ -126,6 +138,34 @@ impl Fleet {
     }
 }
 
+/// Per-slot probe verdict with hysteresis counters: the prober ejects a
+/// slot from the hash ring after `eject_after` consecutive failures and
+/// re-admits it after `readmit_after` consecutive successes, so one
+/// dropped probe never migrates keys and a flapping peer settles instead
+/// of oscillating.
+#[derive(Clone)]
+struct SlotHealth {
+    /// Last probed `/readyz` state label (`down` when unreachable).
+    state: String,
+    /// Consecutive failed probes since the last success.
+    fails: u32,
+    /// Consecutive successful probes since the last failure.
+    oks: u32,
+    /// Whether the slot is currently ejected from the ring.
+    ejected: bool,
+}
+
+impl SlotHealth {
+    fn unknown() -> SlotHealth {
+        SlotHealth {
+            state: "unknown".into(),
+            fails: 0,
+            oks: 0,
+            ejected: false,
+        }
+    }
+}
+
 struct RouterShared {
     cfg: RouterConfig,
     obs: Obs,
@@ -136,9 +176,22 @@ struct RouterShared {
     /// the whole fleet down (otherwise the supervisor would respawn the
     /// drained workers right back).
     drain_requested: AtomicBool,
-    /// Last probed `/readyz` state label per slot (`down` when
-    /// unreachable); written by the prober, read by `/readyz`.
-    probe_states: Mutex<Vec<String>>,
+    /// Per-slot probe verdicts; written by the prober, read by `/readyz`
+    /// and by the routing loop (ejected slots take no traffic).
+    probe_states: Mutex<Vec<SlotHealth>>,
+}
+
+impl RouterShared {
+    /// Snapshot of the per-slot ejection flags. Slots the prober has not
+    /// seen yet (fresh bind, growing fleet) default to in-ring.
+    fn ejected_flags(&self) -> Vec<bool> {
+        self.probe_states
+            .lock()
+            .expect("probe states lock")
+            .iter()
+            .map(|h| h.ejected)
+            .collect()
+    }
 }
 
 /// A running router; see the module docs for the topology.
@@ -169,7 +222,7 @@ impl Router {
             catalog,
             stopping: AtomicBool::new(false),
             drain_requested: AtomicBool::new(false),
-            probe_states: Mutex::new(vec!["unknown".into(); slots]),
+            probe_states: Mutex::new(vec![SlotHealth::unknown(); slots]),
             cfg,
         });
         let mut threads = Vec::with_capacity(2);
@@ -381,20 +434,48 @@ fn accept_loop(listener: TcpListener, shared: Arc<RouterShared>) {
 }
 
 /// Polls every worker's `/readyz` and records its `state` label; a slot
-/// that refuses the connection is `down`. The aggregated view is what
-/// the router's own `/readyz` serves.
+/// that refuses the connection is `down`. The verdicts drive ring
+/// membership: `eject_after` consecutive failures ejects a slot
+/// (`serve.router.ring.ejected`), `readmit_after` consecutive successes
+/// re-admits it (`serve.router.ring.readmitted`). A probe counts as
+/// failed when the peer is unreachable *or* reports a non-routable state
+/// (`draining`, `down`) — a host that answers but refuses work sheds its
+/// ring segment just like a dead one. The aggregated view is what the
+/// router's own `/readyz` serves.
 fn probe_loop(shared: &RouterShared) {
     while !shared.stopping.load(Ordering::SeqCst) {
         let addrs = shared.fleet.addrs();
-        let mut states = Vec::with_capacity(addrs.len());
-        for addr in addrs {
-            let state = match addr {
-                None => "down".to_string(),
-                Some(addr) => probe_one(addr, &shared.cfg).unwrap_or_else(|| "down".into()),
-            };
-            states.push(state);
+        {
+            let mut health = shared.probe_states.lock().expect("probe states lock");
+            if health.len() != addrs.len() {
+                health.resize(addrs.len(), SlotHealth::unknown());
+            }
         }
-        *shared.probe_states.lock().expect("probe states lock") = states;
+        for (slot, addr) in addrs.into_iter().enumerate() {
+            let state = addr.and_then(|addr| probe_one(addr, &shared.cfg));
+            let routable = matches!(state.as_deref(), Some("ok") | Some("degraded"));
+            let label = state.unwrap_or_else(|| "down".into());
+            let mut health = shared.probe_states.lock().expect("probe states lock");
+            let Some(h) = health.get_mut(slot) else {
+                continue;
+            };
+            h.state = label;
+            if routable {
+                h.fails = 0;
+                h.oks = h.oks.saturating_add(1);
+                if h.ejected && h.oks >= shared.cfg.readmit_after {
+                    h.ejected = false;
+                    shared.obs.inc("serve.router.ring.readmitted");
+                }
+            } else {
+                h.oks = 0;
+                h.fails = h.fails.saturating_add(1);
+                if !h.ejected && h.fails >= shared.cfg.eject_after {
+                    h.ejected = true;
+                    shared.obs.inc("serve.router.ring.ejected");
+                }
+            }
+        }
         std::thread::sleep(Duration::from_millis(shared.cfg.probe_interval_ms));
     }
 }
@@ -443,21 +524,41 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
             let states = shared.probe_states.lock().expect("probe states lock").clone();
             let workers: Vec<Value> = addrs
                 .iter()
-                .zip(states.iter())
-                .map(|(addr, state)| {
+                .enumerate()
+                .map(|(slot, addr)| {
+                    let health = states.get(slot);
                     json!({
                         "addr": addr.map(|a| a.to_string()),
-                        "state": state,
+                        "state": health.map_or("unknown", |h| h.state.as_str()),
+                        "ejected": health.is_some_and(|h| h.ejected),
                     })
                 })
                 .collect();
-            let live = addrs.iter().filter(|a| a.is_some()).count();
+            let total = addrs.len();
+            // A slot counts as live when it has an address and is still
+            // in the ring; a partial ring is `degraded`, not down.
+            let live = addrs
+                .iter()
+                .enumerate()
+                .filter(|(slot, addr)| {
+                    addr.is_some() && !states.get(*slot).is_some_and(|h| h.ejected)
+                })
+                .count();
             let ready = live > 0;
+            let state = if live == 0 {
+                "down"
+            } else if live < total {
+                "degraded"
+            } else {
+                "ok"
+            };
             let body = json!({
                 "ready": ready,
+                "state": state,
                 "role": "router",
                 "workers": workers,
                 "live_workers": live as u64,
+                "total_workers": total as u64,
             });
             let _ = Response::json(if ready { 200 } else { 503 }, &body).write_to(&mut stream);
         }
@@ -484,7 +585,150 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
             let _ = Response::json(200, &json!({ "draining": true, "workers": drained }))
                 .write_to(&mut stream);
         }
+        ("PUT", path)
+            if path
+                .strip_prefix("/v1/datasets/")
+                .is_some_and(|name| !name.is_empty() && !name.contains('/')) =>
+        {
+            // Catalog writes do not route to one owner: they replicate
+            // write-through to a quorum of live peers so a dataset
+            // version survives the loss of any minority of hosts.
+            let name = req
+                .path
+                .strip_prefix("/v1/datasets/")
+                .unwrap_or_default()
+                .to_string();
+            replicate_put(&req, &mut stream, &shared, &name);
+        }
         _ => route(req, stream, &shared),
+    }
+}
+
+/// Fans a catalog `PUT /v1/datasets/{name}` out to every live peer with
+/// a pinned version number, succeeding at majority ack:
+///
+/// 1. pre-flight — fewer live peers than the quorum (majority of all
+///    slots) means an immediate 503 with **zero writes**, so a partition
+///    can never produce a torn version;
+/// 2. pin — the new version is `max(live peers' newest) + 1`, carried in
+///    the fan-out body so every replica stores the same number;
+/// 3. fan out — workers apply the pinned write idempotently
+///    (re-registering identical content at an existing version acks);
+/// 4. settle — `acks ≥ quorum` answers 200 (counting
+///    `serve.catalog.replicated_partial` when some peer missed the
+///    write); fewer acks rolls the pinned version back off every peer
+///    that took it and answers 503.
+fn replicate_put(req: &Request, stream: &mut TcpStream, shared: &RouterShared, name: &str) {
+    let obs = &shared.obs;
+    let body: Value = match std::str::from_utf8(&req.body)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = Response::json(400, &json!({ "error": format!("body is not JSON: {e}") }))
+                .write_to(stream);
+            return;
+        }
+    };
+    let addrs = shared.fleet.addrs();
+    let total = addrs.len();
+    let quorum = total / 2 + 1;
+    let ejected = shared.ejected_flags();
+    let live: Vec<SocketAddr> = addrs
+        .iter()
+        .enumerate()
+        .filter(|(slot, _)| !ejected.get(*slot).copied().unwrap_or(false))
+        .filter_map(|(_, addr)| *addr)
+        .collect();
+    if live.len() < quorum {
+        let _ = Response::json(
+            503,
+            &json!({
+                "error": "catalog write quorum unavailable",
+                "live": live.len() as u64,
+                "total": total as u64,
+                "quorum": quorum as u64,
+            }),
+        )
+        .write_to(stream);
+        return;
+    }
+
+    let describe = format!("/v1/datasets/{name}");
+    let mut newest = 0u64;
+    for &addr in &live {
+        if let Ok((200, reply)) = crate::peers::peer_json(addr, "GET", &describe, None) {
+            newest = newest.max(reply.get("version").and_then(Value::as_u64).unwrap_or(0));
+        }
+    }
+    let pinned = newest + 1;
+    let mut put_body = body;
+    if let Value::Object(fields) = &mut put_body {
+        fields.retain(|(k, _)| k != "version");
+        fields.push(("version".into(), json!(pinned)));
+    }
+
+    let mut acks: Vec<SocketAddr> = Vec::new();
+    let mut first_ack: Option<Value> = None;
+    let mut rejection: Option<(u16, Value)> = None;
+    for &addr in &live {
+        match crate::peers::peer_json(addr, "PUT", &describe, Some(&put_body)) {
+            Ok((200, reply)) => {
+                if first_ack.is_none() {
+                    first_ack = Some(reply);
+                }
+                acks.push(addr);
+            }
+            Ok((status, reply)) if (400..500).contains(&status) && rejection.is_none() => {
+                // A validation rejection (bad CSV, bad name) is the
+                // client's fault, not a replication failure — remember
+                // it so the client sees the real reason, not a 503.
+                rejection = Some((status, reply));
+            }
+            _ => {}
+        }
+    }
+
+    if acks.len() >= quorum {
+        if acks.len() < total {
+            obs.inc("serve.catalog.replicated_partial");
+        }
+        let mut reply = first_ack.unwrap_or_else(|| json!({ "name": name, "version": pinned }));
+        if let Value::Object(fields) = &mut reply {
+            fields.push(("replicas".into(), json!(acks.len() as u64)));
+            fields.push(("quorum".into(), json!(quorum as u64)));
+        }
+        obs.inc("serve.router.routed");
+        let _ = Response::json(200, &reply).write_to(stream);
+        return;
+    }
+
+    // Quorum failed: delete the pinned version wherever it landed, so no
+    // surviving peer ever serves a write the fleet did not commit.
+    for &addr in &acks {
+        let _ = crate::peers::peer_exchange(
+            addr,
+            "DELETE",
+            &format!("/v1/datasets/{name}/{pinned}"),
+            None,
+        );
+    }
+    match rejection {
+        Some((status, reply)) => {
+            let _ = Response::json(status, &reply).write_to(stream);
+        }
+        None => {
+            let _ = Response::json(
+                503,
+                &json!({
+                    "error": "catalog write failed to reach quorum",
+                    "acks": acks.len() as u64,
+                    "quorum": quorum as u64,
+                }),
+            )
+            .write_to(stream);
+        }
     }
 }
 
@@ -519,8 +763,22 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
 
     let mut attempts = 0usize;
     let mut last_error = String::from("no worker replicas configured");
+    // Set when the previous attempt died on connection-refused: nothing
+    // is listening there, so the next replica is tried immediately —
+    // only timeouts and 5xx consume the linear-backoff budget.
+    let mut fast_fail = false;
     'failover: for round in 0..=cfg.extra_rounds {
+        // Re-read ejection each round: the prober may eject the very
+        // peer that just failed us mid-failover.
+        let ejected = shared.ejected_flags();
         for &slot in &order {
+            // An ejected slot takes no traffic and costs no sleep — the
+            // prober already decided it is gone; failover walks straight
+            // past it to the next replica on the ring.
+            if ejected.get(slot).copied().unwrap_or(false) {
+                last_error = format!("worker slot {slot} is ejected from the ring");
+                continue;
+            }
             // Re-read the slot's address every attempt: a respawn during
             // failover swaps the port under us, and that fresh worker is
             // exactly who we want next. A down slot costs no sleep — the
@@ -534,8 +792,11 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
                 // follows; clamp to the remaining deadline and give up
                 // once it has passed — answering 502 immediately beats
                 // sleeping toward a reply nobody reads.
-                let mut backoff =
-                    Duration::from_millis(cfg.retry_backoff_ms.saturating_mul(attempts as u64));
+                let mut backoff = if fast_fail {
+                    Duration::ZERO
+                } else {
+                    Duration::from_millis(cfg.retry_backoff_ms.saturating_mul(attempts as u64))
+                };
                 if let Some(deadline) = deadline {
                     match deadline.checked_duration_since(Instant::now()) {
                         Some(remaining) => backoff = backoff.min(remaining),
@@ -548,9 +809,12 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
                     }
                 }
                 obs.inc("serve.router.retried");
-                std::thread::sleep(backoff);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
             }
             attempts += 1;
+            fast_fail = false;
             match forward(addr, &req, cfg) {
                 Ok((status, raw)) if status < 500 => {
                     obs.inc("serve.router.routed");
@@ -564,6 +828,7 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
                     last_error = format!("worker {addr} answered {status} (round {round})");
                 }
                 Err(e) => {
+                    fast_fail = e.kind() == std::io::ErrorKind::ConnectionRefused;
                     last_error = format!("worker {addr}: {e} (round {round})");
                 }
             }
@@ -787,5 +1052,279 @@ mod tests {
             elapsed < Duration::from_secs(5),
             "no-retry path must answer without backoff (took {elapsed:?})"
         );
+    }
+
+    #[test]
+    fn connection_refused_fails_over_without_backoff() {
+        // Three dead replicas and a minutes-scale backoff, but no client
+        // deadline: connection-refused means nothing is listening, so
+        // failover must jump straight to the next replica instead of
+        // sleeping toward an address that cannot recover mid-request.
+        let cfg = RouterConfig {
+            retry_backoff_ms: 600_000,
+            extra_rounds: 2,
+            connect_timeout_ms: 200,
+            obs: Obs::disabled(),
+            ..RouterConfig::default()
+        };
+        let fleet = Fleet::Static(vec![dead_addr(), dead_addr(), dead_addr()]);
+        let (status, elapsed) = route_once(cfg, fleet, &json!({"csv": "A\n1\n"}));
+        assert_eq!(status, Some(502));
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "refused connections must not consume the backoff budget (took {elapsed:?})"
+        );
+    }
+
+    /// A fake worker whose `/readyz` health is scripted: while
+    /// `fail_budget > 0` every request consumes one unit and answers
+    /// 503 `draining`; otherwise 200 `ok`. Flipping health through the
+    /// budget (instead of rebinding a listener) keeps the port stable
+    /// across the flap, which is exactly the case hysteresis exists for.
+    fn scripted_worker(
+        fail_budget: Arc<std::sync::atomic::AtomicU32>,
+    ) -> (SocketAddr, Arc<AtomicBool>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut s, _)) => {
+                        let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+                        let mut buf = [0u8; 1024];
+                        let _ = s.read(&mut buf);
+                        let failing = fail_budget
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+                                b.checked_sub(1)
+                            })
+                            .is_ok();
+                        let body = if failing {
+                            r#"{"state":"draining"}"#
+                        } else {
+                            r#"{"state":"ok"}"#
+                        };
+                        let status = if failing { 503 } else { 200 };
+                        let reply = format!(
+                            "HTTP/1.1 {status} X\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                            body.len()
+                        );
+                        let _ = s.write_all(reply.as_bytes());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (Option<u16>, Option<Value>) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut reply = Vec::new();
+        s.read_to_end(&mut reply).expect("read");
+        (parse_status(&reply), reply_body(&reply))
+    }
+
+    fn counter(obs: &Obs, name: &str) -> u64 {
+        obs.snapshot().counter(name).unwrap_or(0)
+    }
+
+    fn wait_until(deadline: Duration, what: &str, mut done: impl FnMut() -> bool) {
+        let end = Instant::now() + deadline;
+        while !done() {
+            assert!(Instant::now() < end, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn flapping_peer_ejects_and_readmits_with_hysteresis() {
+        use std::sync::atomic::AtomicU32;
+        let steady = Arc::new(AtomicU32::new(0));
+        let flappy = Arc::new(AtomicU32::new(0));
+        let (addr_a, stop_a) = scripted_worker(steady.clone());
+        let (addr_b, stop_b) = scripted_worker(flappy.clone());
+        let obs = Obs::enabled();
+        let router = Router::bind(
+            RouterConfig {
+                probe_interval_ms: 20,
+                eject_after: 3,
+                readmit_after: 2,
+                connect_timeout_ms: 200,
+                obs: obs.clone(),
+                ..RouterConfig::default()
+            },
+            Fleet::Static(vec![addr_a, addr_b]),
+        )
+        .expect("bind");
+
+        // A single failed probe is absorbed: the budget feeds exactly one
+        // 503 to the prober, well under eject_after = 3.
+        flappy.store(1, Ordering::SeqCst);
+        wait_until(Duration::from_secs(10), "the blip to be probed away", || {
+            flappy.load(Ordering::SeqCst) == 0
+        });
+        std::thread::sleep(Duration::from_millis(200)); // ≥ several probe cycles
+        assert_eq!(counter(&obs, "serve.router.ring.ejected"), 0, "one blip must not eject");
+
+        // A sustained failure ejects exactly once, and the router reports
+        // a degraded (not down) fleet while the ring is partial.
+        flappy.store(u32::MAX, Ordering::SeqCst);
+        wait_until(Duration::from_secs(10), "ejection", || {
+            counter(&obs, "serve.router.ring.ejected") == 1
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(
+            counter(&obs, "serve.router.ring.ejected"),
+            1,
+            "continued failures must not re-count an already ejected slot"
+        );
+        let (status, body) = http_get(router.addr(), "/readyz");
+        assert_eq!(status, Some(200), "one live worker keeps the router ready");
+        let body = body.expect("readyz body");
+        assert_eq!(body.get("state").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(body.get("live_workers").and_then(Value::as_u64), Some(1));
+        let workers = body.get("workers").and_then(Value::as_array).expect("workers");
+        assert_eq!(workers[1].get("ejected").and_then(Value::as_bool), Some(true));
+
+        // Recovery readmits after readmit_after consecutive healthy probes.
+        flappy.store(0, Ordering::SeqCst);
+        wait_until(Duration::from_secs(10), "readmission", || {
+            counter(&obs, "serve.router.ring.readmitted") == 1
+        });
+        let (status, body) = http_get(router.addr(), "/readyz");
+        assert_eq!(status, Some(200));
+        let body = body.expect("readyz body");
+        assert_eq!(body.get("state").and_then(Value::as_str), Some("ok"));
+        assert_eq!(body.get("live_workers").and_then(Value::as_u64), Some(2));
+
+        // A second flap cycles the same hysteresis again.
+        flappy.store(u32::MAX, Ordering::SeqCst);
+        wait_until(Duration::from_secs(10), "second ejection", || {
+            counter(&obs, "serve.router.ring.ejected") == 2
+        });
+
+        router.shutdown();
+        stop_a.store(true, Ordering::SeqCst);
+        stop_b.store(true, Ordering::SeqCst);
+    }
+
+    /// Three real workers with *disjoint* catalog roots behind a static
+    /// router — the multi-host shape, shrunk onto localhost.
+    fn quorum_fleet() -> (Vec<crate::Server>, Router, Obs, std::path::PathBuf) {
+        let tmp = std::env::temp_dir().join(format!(
+            "ofd-router-quorum-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0)
+        ));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let mut servers = Vec::new();
+        for who in ["a", "b", "c"] {
+            let cfg = crate::ServeConfig {
+                checkpoint_dir: Some(tmp.join(who)),
+                ..crate::ServeConfig::default()
+            };
+            servers.push(crate::Server::bind(cfg).expect("worker bind"));
+        }
+        let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+        let obs = Obs::enabled();
+        let router = Router::bind(
+            RouterConfig {
+                connect_timeout_ms: 500,
+                obs: obs.clone(),
+                ..RouterConfig::default()
+            },
+            Fleet::Static(addrs),
+        )
+        .expect("router bind");
+        (servers, router, obs, tmp)
+    }
+
+    #[test]
+    fn quorum_put_survives_one_dead_peer_and_counts_partial_replication() {
+        let (mut servers, router, obs, tmp) = quorum_fleet();
+        let body = json!({"csv": "A,B\n1,2\n", "ontology": ""});
+
+        // Full fleet: the write lands everywhere.
+        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body))
+            .expect("router put");
+        assert_eq!(status, 200, "full-fleet put: {reply:?}");
+        assert_eq!(reply.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(reply.get("replicas").and_then(Value::as_u64), Some(3));
+        assert_eq!(counter(&obs, "serve.catalog.replicated_partial"), 0);
+
+        // Kill C; two of three still make quorum, partial is counted.
+        servers.pop().expect("worker c").shutdown(Duration::from_millis(200));
+        let body2 = json!({"csv": "A,B\n1,3\n", "ontology": ""});
+        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body2))
+            .expect("router put");
+        assert_eq!(status, 200, "majority put: {reply:?}");
+        assert_eq!(reply.get("version").and_then(Value::as_u64), Some(2));
+        assert_eq!(reply.get("replicas").and_then(Value::as_u64), Some(2));
+        assert_eq!(counter(&obs, "serve.catalog.replicated_partial"), 1);
+
+        // Every surviving peer serves the committed version directly.
+        for s in &servers {
+            let (status, reply) =
+                crate::peers::peer_json(s.addr(), "GET", "/v1/datasets/q", None).expect("describe");
+            assert_eq!(status, 200);
+            assert_eq!(
+                reply.get("version").and_then(Value::as_u64),
+                Some(2),
+                "survivor {} must hold the committed write",
+                s.addr()
+            );
+        }
+
+        router.shutdown();
+        for s in servers {
+            s.shutdown(Duration::from_millis(200));
+        }
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn quorum_put_with_a_dead_majority_rolls_back_and_answers_503() {
+        let (mut servers, router, obs, tmp) = quorum_fleet();
+        let body = json!({"csv": "A,B\n1,2\n", "ontology": ""});
+        let (status, _) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body))
+            .expect("router put");
+        assert_eq!(status, 200);
+
+        // Kill B and C: one ack cannot make a quorum of two.
+        servers.pop().expect("worker c").shutdown(Duration::from_millis(200));
+        servers.pop().expect("worker b").shutdown(Duration::from_millis(200));
+        let body2 = json!({"csv": "A,B\n9,9\n", "ontology": ""});
+        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body2))
+            .expect("router put");
+        assert_eq!(status, 503, "minority put must fail: {reply:?}");
+        assert_eq!(counter(&obs, "serve.catalog.replicated_partial"), 0);
+
+        // No torn version: the survivor still serves version 1 and has no
+        // trace of the aborted version 2.
+        let survivor = servers[0].addr();
+        let (status, reply) =
+            crate::peers::peer_json(survivor, "GET", "/v1/datasets/q", None).expect("describe");
+        assert_eq!(status, 200);
+        assert_eq!(reply.get("version").and_then(Value::as_u64), Some(1));
+        let (status, _) =
+            crate::peers::peer_json(survivor, "GET", "/v1/datasets/q@2", None).expect("resolve");
+        assert_ne!(status, 200, "aborted version must be rolled back");
+
+        router.shutdown();
+        for s in servers {
+            s.shutdown(Duration::from_millis(200));
+        }
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 }

@@ -68,6 +68,11 @@ pub struct ServeConfig {
     /// `<checkpoint_dir>/catalog`; with neither set, `dataset:`
     /// references are refused (there is nowhere to persist them).
     pub catalog_dir: Option<PathBuf>,
+    /// Sibling workers of a multi-host fleet (`--peers host:port,...`).
+    /// Used for peer-to-peer recovery when nothing is shared through a
+    /// filesystem: catalog read repair on local miss, and job/stream
+    /// checkpoint shipping from the dead owner's replica.
+    pub peers: Vec<SocketAddr>,
     /// Seeded fault plan passed through to the engines and snapshot
     /// stores (inert by default; the soak harness sets it).
     pub faults: FaultPlan,
@@ -91,6 +96,7 @@ impl Default for ServeConfig {
             breaker_cooldown_ms: 1_000,
             checkpoint_dir: None,
             catalog_dir: None,
+            peers: Vec::new(),
             faults: FaultPlan::none(),
             obs: Obs::enabled(),
             retry_after_ms: 250,
@@ -100,7 +106,7 @@ impl Default for ServeConfig {
 
 /// The `serve.*` counters pinned by the metrics schema test; touched at
 /// bind time so they are present (zero) in every `/metrics` document.
-pub const SERVE_COUNTERS: [&str; 14] = [
+pub const SERVE_COUNTERS: [&str; 17] = [
     "serve.requests",
     "serve.admitted",
     "serve.shed",
@@ -115,6 +121,9 @@ pub const SERVE_COUNTERS: [&str; 14] = [
     "serve.catalog.put",
     "serve.catalog.hit",
     "serve.catalog.miss",
+    "serve.catalog.peer_fetch",
+    "serve.ship.served",
+    "serve.ship.fetched",
 ];
 
 /// One queued job: everything the worker needs to run and answer it.
@@ -219,8 +228,12 @@ impl Server {
             .catalog_dir
             .clone()
             .or_else(|| cfg.checkpoint_dir.as_ref().map(|d| d.join("catalog")));
-        let catalog = catalog_dir
-            .map(|dir| Arc::new(Catalog::open(dir, cfg.faults.clone(), obs.clone())));
+        let catalog = catalog_dir.map(|dir| {
+            Arc::new(
+                Catalog::open(dir, cfg.faults.clone(), obs.clone())
+                    .with_peers(cfg.peers.clone()),
+            )
+        });
 
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
@@ -406,6 +419,12 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         (_, path) if path == "/v1/datasets" || path.starts_with("/v1/datasets/") => {
             handle_datasets(req, stream, &shared);
         }
+        ("GET", path)
+            if (path.starts_with("/v1/jobs/") || path.starts_with("/v1/streams/"))
+                && path.ends_with("/snapshot") =>
+        {
+            handle_snapshot_transfer(&req, stream, &shared);
+        }
         ("POST", path) => match Endpoint::from_path(path) {
             Some(endpoint) => admit(endpoint, req, stream, &shared),
             None => {
@@ -461,9 +480,56 @@ fn readiness(shared: &Shared) -> (u16, Value) {
 fn catalog_error_response(e: &CatalogError) -> Response {
     let status = match e {
         CatalogError::BadRequest(_) => 400,
+        CatalogError::Conflict(_) => 409,
         CatalogError::Storage(_) => 500,
     };
     Response::json(status, &json!({ "error": e.message() }))
+}
+
+/// The internal checkpoint-transfer endpoints:
+/// `GET /v1/jobs/{fingerprint}/snapshot` and
+/// `GET /v1/streams/{fingerprint}/snapshot` serve the newest snapshot
+/// per stream from the fingerprint-keyed checkpoint directory, as one
+/// JSON bundle a recovering peer installs verbatim. Because job and
+/// session directories are keyed by request *content*, any replica
+/// computes the same fingerprint — no name service needed to find a dead
+/// owner's state, only its address. 404 when there is nothing to ship
+/// (no checkpoint root, or no surviving snapshot) — the requester then
+/// falls back to re-execution from inputs.
+fn handle_snapshot_transfer(req: &Request, mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.obs.inc("serve.requests");
+    let (kind, rest) = if let Some(rest) = req.path.strip_prefix("/v1/jobs/") {
+        ("job", rest)
+    } else if let Some(rest) = req.path.strip_prefix("/v1/streams/") {
+        ("stream", rest)
+    } else {
+        let _ = Response::json(404, &json!({ "error": "unknown endpoint" })).write_to(&mut stream);
+        return;
+    };
+    let fingerprint = rest.strip_suffix("/snapshot").unwrap_or("");
+    // Fingerprints are exactly 16 hex digits; anything else is rejected
+    // before it can touch the filesystem.
+    if fingerprint.len() != 16 || !fingerprint.bytes().all(|b| b.is_ascii_hexdigit()) {
+        let _ = Response::json(400, &json!({ "error": "bad snapshot fingerprint" }))
+            .write_to(&mut stream);
+        return;
+    }
+    let Some(root) = &shared.cfg.checkpoint_dir else {
+        let _ = Response::json(404, &json!({ "error": "no checkpoint root on this server" }))
+            .write_to(&mut stream);
+        return;
+    };
+    let store = ofd_core::SnapshotStore::new(root.join(format!("{kind}-{fingerprint}")));
+    match crate::peers::snapshot_bundle(&store) {
+        Some(bundle) => {
+            shared.obs.inc("serve.ship.served");
+            let _ = Response::json(200, &bundle).write_to(&mut stream);
+        }
+        None => {
+            let _ = Response::json(404, &json!({ "error": "no snapshots for this fingerprint" }))
+                .write_to(&mut stream);
+        }
+    }
 }
 
 /// The dataset catalog API: `PUT /v1/datasets/{name}` registers a
@@ -491,12 +557,44 @@ fn handle_datasets(req: Request, mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(names) => Response::json(200, &json!({ "datasets": names })),
             Err(e) => catalog_error_response(&e),
         },
-        ("GET", reference) => match catalog.describe(reference) {
+        ("GET", reference) if !reference.contains('/') => match catalog.describe(reference) {
             Ok(meta) => Response::json(200, &meta),
             Err(e) => catalog_error_response(&e),
         },
+        // Internal transfer endpoint: the raw stored payload of one
+        // version, for a peer repairing a missed replicated write.
+        ("GET", path) => match path.split('/').collect::<Vec<_>>().as_slice() {
+            [name, version, "snapshot"] => match version.parse::<u64>() {
+                Ok(version) => match catalog.snapshot_payload(name, version) {
+                    Ok(payload) => {
+                        shared.obs.inc("serve.ship.served");
+                        Response::json(200, &payload)
+                    }
+                    Err(e) => catalog_error_response(&e),
+                },
+                Err(_) => Response::json(400, &json!({ "error": "bad version in path" })),
+            },
+            _ => Response::json(404, &json!({ "error": "unknown catalog path" })),
+        },
+        // Quorum-write rollback: `DELETE /v1/datasets/{name}/{version}`
+        // removes one version. Not drain-gated — rollback is how a
+        // failed replicated write avoids leaving a torn version behind,
+        // and it must work on a replica that is on its way out.
+        ("DELETE", path) => match path.split_once('/') {
+            Some((name, version)) if !version.contains('/') => match version.parse::<u64>() {
+                Ok(version) => match catalog.delete_version(name, version) {
+                    Ok(deleted) => Response::json(
+                        200,
+                        &json!({ "name": name, "version": version, "deleted": deleted }),
+                    ),
+                    Err(e) => catalog_error_response(&e),
+                },
+                Err(_) => Response::json(400, &json!({ "error": "bad version in path" })),
+            },
+            _ => Response::json(400, &json!({ "error": "expected /v1/datasets/{name}/{version}" })),
+        },
         ("PUT", "") => Response::json(400, &json!({ "error": "missing dataset name in path" })),
-        ("PUT", name) => {
+        ("PUT", name) if !name.contains('/') => {
             if shared.draining.load(Ordering::SeqCst) {
                 let resp = Response::json(
                     503,
@@ -514,7 +612,14 @@ fn handle_datasets(req: Request, mut stream: TcpStream, shared: &Arc<Shared>) {
                 Ok(body) => {
                     let csv_text = body.get("csv").and_then(Value::as_str).unwrap_or("");
                     let onto_text = body.get("ontology").and_then(Value::as_str).unwrap_or("");
-                    match catalog.put(name, csv_text, onto_text) {
+                    // A body `version` marks the replicated-write path:
+                    // the router pinned one version number for the whole
+                    // fleet, and this replica applies it idempotently.
+                    let put = match body.get("version").and_then(Value::as_u64) {
+                        Some(version) => catalog.put_pinned(name, csv_text, onto_text, version),
+                        None => catalog.put(name, csv_text, onto_text),
+                    };
+                    match put {
                         Ok(entry) => Response::json(
                             200,
                             &json!({
@@ -717,6 +822,7 @@ fn execute_job(mut job: Job, shared: &Arc<Shared>) {
         checkpoint_root: shared.cfg.checkpoint_dir.clone(),
         catalog: shared.catalog.clone(),
         sessions: shared.sessions.clone(),
+        peers: shared.cfg.peers.clone(),
     };
     let span = obs.span(&format!("serve.job.{}", job.endpoint.label()));
     let result = catch_unwind(AssertUnwindSafe(|| {

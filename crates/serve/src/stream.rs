@@ -65,14 +65,30 @@ pub const STREAM_COUNTERS: [&str; 10] = [
 /// state irrecoverably.
 const MAX_RESIDENT_SESSIONS: usize = 64;
 
+/// A resident session plus the logical time of its last touch — the LRU
+/// clock is a counter advanced under the table lock, not wall time, so
+/// recency stays total-ordered without a syscall.
+struct Resident {
+    sess: Arc<Mutex<Session>>,
+    touched: u64,
+}
+
+struct Table {
+    entries: HashMap<u64, Resident>,
+    clock: u64,
+}
+
 /// Live streaming sessions, keyed by base-input fingerprint.
 ///
 /// Lock order: the map mutex is never held while a session mutex is held.
 /// Lookups clone the `Arc` out and release the map before locking the
 /// session, so edits to different sessions proceed concurrently across
-/// the worker pool.
+/// the worker pool. Eviction follows the same discipline: the victim is
+/// removed from the table first, then its snapshot directory is pruned
+/// after the table lock is released.
 pub struct StreamSessions {
-    map: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    map: Mutex<Table>,
+    capacity: usize,
 }
 
 impl Default for StreamSessions {
@@ -82,16 +98,26 @@ impl Default for StreamSessions {
 }
 
 impl StreamSessions {
-    /// An empty session table.
+    /// An empty session table with the default residency bound.
     pub fn new() -> StreamSessions {
+        StreamSessions::with_capacity(MAX_RESIDENT_SESSIONS)
+    }
+
+    /// An empty session table evicting beyond `capacity` resident
+    /// sessions (tests shrink this to exercise eviction cheaply).
+    pub fn with_capacity(capacity: usize) -> StreamSessions {
         StreamSessions {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(Table {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(1),
         }
     }
 
     /// Number of resident sessions (for tests and readiness detail).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("sessions lock").len()
+        self.map.lock().expect("sessions lock").entries.len()
     }
 
     /// True when no session is resident.
@@ -100,28 +126,67 @@ impl StreamSessions {
     }
 
     fn get(&self, key: u64) -> Option<Arc<Mutex<Session>>> {
-        self.map.lock().expect("sessions lock").get(&key).cloned()
+        let mut table = self.map.lock().expect("sessions lock");
+        table.clock += 1;
+        let now = table.clock;
+        table.entries.get_mut(&key).map(|r| {
+            r.touched = now;
+            r.sess.clone()
+        })
     }
 
     /// Inserts `built` unless a concurrent open won the race, in which
     /// case the winner is returned and `built` is discarded (both were
     /// constructed from identical inputs, so the states are identical).
+    ///
+    /// At capacity, the least-recently-touched checkpointed session is
+    /// evicted and its snapshot directory pruned to the newest file —
+    /// enough to rebuild on next touch, nothing more. Sessions without a
+    /// store are never evicted (dropping them would lose state), and the
+    /// prune happens outside the table lock so a slow filesystem never
+    /// stalls unrelated opens.
     fn insert(&self, key: u64, built: Session) -> Arc<Mutex<Session>> {
-        let mut map = self.map.lock().expect("sessions lock");
-        if map.len() >= MAX_RESIDENT_SESSIONS {
-            let victim = map
-                .iter()
-                .find(|(k, s)| {
-                    **k != key && s.try_lock().map(|s| s.store.is_some()).unwrap_or(false)
+        let (sess, evicted) = {
+            let mut table = self.map.lock().expect("sessions lock");
+            table.clock += 1;
+            let now = table.clock;
+            let mut evicted = None;
+            if table.entries.len() >= self.capacity && !table.entries.contains_key(&key) {
+                let victim = table
+                    .entries
+                    .iter()
+                    .filter(|(k, r)| {
+                        **k != key
+                            && r.sess.try_lock().map(|s| s.store.is_some()).unwrap_or(false)
+                    })
+                    .min_by_key(|(_, r)| r.touched)
+                    .map(|(k, _)| *k);
+                if let Some(v) = victim {
+                    evicted = table.entries.remove(&v);
+                }
+            }
+            let sess = table
+                .entries
+                .entry(key)
+                .or_insert_with(|| Resident {
+                    sess: Arc::new(Mutex::new(built)),
+                    touched: now,
                 })
-                .map(|(k, _)| *k);
-            if let Some(v) = victim {
-                map.remove(&v);
+                .sess
+                .clone();
+            (sess, evicted)
+        };
+        if let Some(resident) = evicted {
+            if let Ok(victim) = resident.sess.lock() {
+                if let Some(store) = &victim.store {
+                    // Keep only the newest snapshot: everything the next
+                    // touch needs to rebuild, while older generations stop
+                    // accumulating on disk for cold sessions.
+                    let _ = store.prune("session", 1);
+                }
             }
         }
-        map.entry(key)
-            .or_insert_with(|| Arc::new(Mutex::new(built)))
-            .clone()
+        sess
     }
 }
 
@@ -506,9 +571,23 @@ fn open_session(
     });
 
     // Adoption path: a snapshot left by this process before a restart, or
-    // by a dead sibling replica sharing the checkpoint root.
+    // by a dead sibling replica sharing the checkpoint root. When the
+    // local directory is empty and the fleet spans filesystems, the dead
+    // owner's edit log is shipped over from whichever peer holds it.
     if let Some(store) = &store {
-        if let Ok(Some(loaded)) = store.load_latest("session") {
+        let mut loaded = store.load_latest("session").ok().flatten();
+        if loaded.is_none()
+            && !ctx.peers.is_empty()
+            && crate::peers::fetch_and_install(
+                &ctx.peers,
+                &format!("/v1/streams/{key:016x}/snapshot"),
+                store,
+            ) > 0
+        {
+            ctx.obs.inc("serve.ship.fetched");
+            loaded = store.load_latest("session").ok().flatten();
+        }
+        if let Some(loaded) = loaded {
             match rebuild(ctx, base, &loaded.body) {
                 Ok(mut sess) => {
                     ctx.obs.inc("serve.stream.resumed");
@@ -848,6 +927,7 @@ mod tests {
             checkpoint_root: None,
             catalog: None,
             sessions: Arc::new(StreamSessions::new()),
+            peers: Vec::new(),
         }
     }
 
@@ -1047,6 +1127,86 @@ mod tests {
         let validator = Validator::new(&rel, &ds.full_ontology);
         let expect: usize = ds.ofds.iter().map(|o| validator.check(o).violation_count()).sum();
         assert_eq!(v2.get("violations").and_then(Value::as_u64), Some(expect as u64));
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn lru_eviction_prunes_the_victims_snapshot_directory() {
+        let tmp = std::env::temp_dir().join("ofd-stream-evict-prune-test");
+        let _ = std::fs::remove_dir_all(&tmp);
+        let (base_a, ds) = sample_body();
+        let mut c = ctx();
+        c.checkpoint_root = Some(tmp.clone());
+        c.sessions = Arc::new(StreamSessions::with_capacity(1));
+
+        // Two batches leave two snapshot generations on disk for A.
+        for r in [3usize, 4] {
+            let row: Vec<String> = ds.clean.row_texts(r).iter().map(|s| s.to_string()).collect();
+            let body = with_ops(&base_a, &[("rows", json!([row]))]);
+            append(&body, &c).expect("append to A");
+        }
+        let dir_a = std::fs::read_dir(&tmp)
+            .expect("root")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("stream-"))
+            })
+            .expect("session A directory");
+        let ckpts = |dir: &std::path::Path| -> Vec<String> {
+            let mut names: Vec<String> = std::fs::read_dir(dir)
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok())
+                        .map(|e| e.file_name().to_string_lossy().into_owned())
+                        .collect()
+                })
+                .unwrap_or_default();
+            names.sort();
+            names
+        };
+        assert_eq!(ckpts(&dir_a).len(), 2, "persist keeps the last two generations");
+
+        // A second session at capacity 1 evicts A; the victim's directory
+        // is pruned down to the single newest snapshot.
+        let ds_b = ofd_datagen::clinical(&ofd_datagen::PresetConfig {
+            n_rows: 60,
+            n_attrs: 5,
+            n_ofds: 2,
+            seed: 12,
+            ..ofd_datagen::PresetConfig::default()
+        });
+        let specs_b: Vec<String> = ds_b
+            .ofds
+            .iter()
+            .map(|o| spec_string(o, ds_b.clean.schema()))
+            .collect();
+        let base_b = json!({
+            "csv": csv::write_csv(&ds_b.clean),
+            "ontology": ofd_ontology::write_ontology(&ds_b.full_ontology),
+            "ofds": specs_b,
+        });
+        let row_b: Vec<String> = ds_b.clean.row_texts(0).iter().map(|s| s.to_string()).collect();
+        let body_b = with_ops(&base_b, &[("rows", json!([row_b]))]);
+        append(&body_b, &c).expect("append to B");
+        assert_eq!(c.sessions.len(), 1, "capacity-1 table holds only session B");
+        assert_eq!(
+            ckpts(&dir_a),
+            vec!["session.000002.ckpt".to_string()],
+            "victim pruned to its newest snapshot"
+        );
+
+        // A's next touch rebuilds from the surviving snapshot — eviction
+        // cleaned the disk without losing state.
+        let row: Vec<String> = ds.clean.row_texts(5).iter().map(|s| s.to_string()).collect();
+        let body = with_ops(&base_a, &[("rows", json!([row]))]);
+        let (v, outcome) = append(&body, &c).expect("resumed append to A");
+        assert!(outcome.resumed, "A rebuilt from its pruned-but-present snapshot");
+        assert_eq!(v.get("resumed_from_seq").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            v.get("n_rows").and_then(Value::as_u64),
+            Some(ds.clean.n_rows() as u64 + 3)
+        );
         let _ = std::fs::remove_dir_all(&tmp);
     }
 

@@ -390,6 +390,10 @@ fn run() -> Result<ExitCode, String> {
                 "retry-after-ms",
                 "checkpoint-dir",
                 "faults",
+                // Local workers learn the remote hosts too, so their
+                // catalog read-repair and checkpoint shipping can reach
+                // across the fleet.
+                "peers",
             ] {
                 if let Some(v) = single(flag) {
                     worker_args.push(format!("--{flag}"));
@@ -400,9 +404,16 @@ fn run() -> Result<ExitCode, String> {
                 worker_args.push("--workers".into());
                 worker_args.push(n.to_owned());
             }
+            let remote = match single("peers") {
+                Some(spec) => fastofd::serve::parse_peer_list(spec)
+                    .map_err(|e| format!("--peers: {e}"))?,
+                None => Vec::new(),
+            };
+            let n_remote = remote.len();
             let obs_handle = Obs::enabled();
             let supervisor = fastofd::serve::Supervisor::start(fastofd::serve::SupervisorConfig {
                 workers,
+                remote,
                 obs: obs_handle.clone(),
                 ..fastofd::serve::SupervisorConfig::new(fastofd::serve::WorkerSpec {
                     program: exe,
@@ -410,18 +421,26 @@ fn run() -> Result<ExitCode, String> {
                 })
             })
             .map_err(|e| format!("supervisor: {e}"))?;
+            let mut router_cfg = fastofd::serve::RouterConfig {
+                addr: single("addr").unwrap_or("127.0.0.1:0").to_owned(),
+                catalog_dir: single("checkpoint-dir")
+                    .map(|d| std::path::PathBuf::from(d).join("catalog")),
+                obs: obs_handle.clone(),
+                ..fastofd::serve::RouterConfig::default()
+            };
+            if let Some(ms) = single("probe-interval-ms") {
+                router_cfg.probe_interval_ms =
+                    ms.parse().map_err(|_| "--probe-interval-ms expects an integer")?;
+            }
             let router = fastofd::serve::Router::bind(
-                fastofd::serve::RouterConfig {
-                    addr: single("addr").unwrap_or("127.0.0.1:0").to_owned(),
-                    catalog_dir: single("checkpoint-dir")
-                        .map(|d| std::path::PathBuf::from(d).join("catalog")),
-                    obs: obs_handle.clone(),
-                    ..fastofd::serve::RouterConfig::default()
-                },
+                router_cfg,
                 fastofd::serve::Fleet::Supervised(supervisor),
             )
             .map_err(|e| format!("router bind: {e}"))?;
-            println!("listening on {} (router, workers={workers})", router.addr());
+            println!(
+                "listening on {} (router, workers={workers}, peers={n_remote})",
+                router.addr()
+            );
             {
                 use std::io::Write;
                 let _ = std::io::stdout().flush();
@@ -478,6 +497,10 @@ fn run() -> Result<ExitCode, String> {
                     ms.parse().map_err(|_| "--retry-after-ms expects an integer")?;
             }
             cfg.checkpoint_dir = single("checkpoint-dir").map(std::path::PathBuf::from);
+            if let Some(spec) = single("peers") {
+                cfg.peers = fastofd::serve::parse_peer_list(spec)
+                    .map_err(|e| format!("--peers: {e}"))?;
+            }
 
             let server = fastofd::serve::Server::bind(cfg).map_err(|e| format!("bind: {e}"))?;
             let obs_handle = server.obs().clone();
@@ -527,8 +550,11 @@ fn usage() -> String {
               classes); sessions persist under --checkpoint-dir and survive restarts;\n\
               stale \"old\" guards and out-of-range rows answer 409\n\
      fleet: fastofd serve --router [--workers N] [--worker-threads N] [--checkpoint-dir DIR]\n\
-            — supervised worker processes, consistent-hash routing by dataset fingerprint,\n\
-            failover + respawn; share --checkpoint-dir for checkpoint adoption + catalog\n\
+            [--peers HOST:PORT,..] [--probe-interval-ms N] — supervised worker processes\n\
+            plus fixed remote workers, consistent-hash routing by dataset fingerprint,\n\
+            failover + respawn; probe-driven ring ejection/readmission for remote peers;\n\
+            share --checkpoint-dir for checkpoint adoption + catalog, or give workers\n\
+            --peers so quorum catalog writes and checkpoint shipping cross filesystems\n\
      exit codes: 0 complete, 1 error, 3 sound-but-INCOMPLETE partial result\n\
      execution limits (discover/clean/enforce): --timeout-ms N --max-work N --max-rss-mib N\n\
      observability (discover/clean/enforce): --metrics-out metrics.json --trace\n\

@@ -175,6 +175,11 @@ fn serve_metrics_endpoint_matches_schema_v1_with_serve_counters_pinned() {
         "serve.breaker_open",
         "serve.drained",
         "serve.resumed",
+        // The multi-host fleet surface: peer-to-peer catalog read repair
+        // and cross-filesystem checkpoint shipping.
+        "serve.catalog.peer_fetch",
+        "serve.ship.served",
+        "serve.ship.fetched",
     ] {
         assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
     }
@@ -242,6 +247,10 @@ fn router_metrics_endpoint_matches_schema_v1_with_router_counters_pinned() {
         "serve.router.retried",
         "serve.router.respawned",
         "serve.router.adopted",
+        // Probe-driven ring membership and quorum catalog replication.
+        "serve.router.ring.ejected",
+        "serve.router.ring.readmitted",
+        "serve.catalog.replicated_partial",
     ] {
         assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
     }

@@ -49,6 +49,7 @@ fn ctx(checkpoint_root: Option<std::path::PathBuf>, sessions: Arc<StreamSessions
         checkpoint_root,
         catalog: None,
         sessions,
+        peers: Vec::new(),
     }
 }
 
