@@ -1,0 +1,57 @@
+//! Throwaway repro: unknown-dataset describe with mutual peers.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+#[test]
+fn unknown_dataset_describe_with_mutual_peers() {
+    let pa = free_port();
+    let pb = free_port();
+    let tmp = std::env::temp_dir().join(format!("ofd-recursion-repro-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let obs_a = ofd_core::Obs::enabled();
+    let obs_b = ofd_core::Obs::enabled();
+    let mk = |port: u16, peer: u16, who: &str, obs: &ofd_core::Obs| ofd_serve::ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        checkpoint_dir: Some(tmp.join(who)),
+        peers: vec![format!("127.0.0.1:{peer}").parse().unwrap()],
+        obs: obs.clone(),
+        ..ofd_serve::ServeConfig::default()
+    };
+    let _a = ofd_serve::Server::bind(mk(pa, pb, "a", &obs_a)).expect("bind a");
+    let _b = ofd_serve::Server::bind(mk(pb, pa, "b", &obs_b)).expect("bind b");
+
+    let start = std::time::Instant::now();
+    let mut s = TcpStream::connect(("127.0.0.1", pa)).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(b"GET /v1/datasets/nope HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut reply = Vec::new();
+    let _ = s.read_to_end(&mut reply);
+    let elapsed = start.elapsed();
+
+    let count = |obs: &ofd_core::Obs| obs.snapshot().counter("serve.requests").unwrap_or(0);
+    eprintln!(
+        "repro: one client GET took {elapsed:?}; serve.requests a={} b={}; reply head: {}",
+        count(&obs_a),
+        count(&obs_b),
+        String::from_utf8_lossy(&reply[..reply.len().min(120)])
+    );
+    // Give lingering recursion a moment, then sample again.
+    std::thread::sleep(Duration::from_secs(2));
+    eprintln!(
+        "repro after 2s more: serve.requests a={} b={}",
+        count(&obs_a),
+        count(&obs_b)
+    );
+}
