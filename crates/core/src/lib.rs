@@ -30,6 +30,7 @@
 //! test suites.
 
 mod error;
+mod evidence;
 pub mod fault;
 pub mod fxhash;
 pub mod guard;
@@ -48,6 +49,7 @@ mod validate;
 mod value;
 
 pub use error::CoreError;
+pub use evidence::EvidenceSet;
 pub use fault::{silence_injected_panics, FaultPlan, FaultSite, FaultSpecError, SnapshotFault, INJECTED_PANIC};
 pub use guard::{rss_kib, ExecGuard, GuardConfig, Interrupt, Partial};
 pub use snapshot::{atomic_write, fnv1a64, fsync_dir, hash_ontology, hash_relation, CheckpointOptions, Fingerprint, LoadedSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_VERSION};

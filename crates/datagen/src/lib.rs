@@ -19,6 +19,6 @@ pub mod presets;
 pub mod synth;
 pub mod vocab;
 
-pub use presets::{census, clinical, kiva, PresetConfig};
+pub use presets::{census, clinical, kiva, named, PresetConfig, PresetFn};
 pub use vocab::{demo_dataset, world_ontology};
 pub use synth::{generate, AttrRole, Dataset, InjectedError, SynthSpec};

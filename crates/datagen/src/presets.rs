@@ -161,6 +161,60 @@ pub fn census(cfg: &PresetConfig) -> Dataset {
     )
 }
 
+/// A preset builder: one of [`clinical`], [`kiva`], [`census`].
+pub type PresetFn = fn(&PresetConfig) -> Dataset;
+
+/// Named perf workloads — the registry shared by the bench probes and the
+/// checked-in `BENCH_discovery.json`, so an entry's `preset` field always
+/// means the same schema, scale and seed:
+///
+/// * `clinical-40k` — the long-standing perf-smoke gate workload;
+/// * `clinical-250k` — quarter-million-row clinical, the sharded-pipeline
+///   smoke scale;
+/// * `kiva-670k` — Kiva-loans-style at the paper's real dataset size
+///   (§7: 670K loans);
+/// * `synth-1m` — the million-row stress workload (clinical schema,
+///   distinct seed so it is not a prefix of the smaller runs).
+///
+/// Returns the builder plus its config (callers may downscale `n_rows`
+/// for cheap smoke tests); `None` for unknown names.
+pub fn named(name: &str) -> Option<(PresetFn, PresetConfig)> {
+    let base = PresetConfig::default();
+    match name {
+        "clinical-40k" => Some((
+            clinical,
+            PresetConfig {
+                n_rows: 40_000,
+                ..base
+            },
+        )),
+        "clinical-250k" => Some((
+            clinical,
+            PresetConfig {
+                n_rows: 250_000,
+                ..base
+            },
+        )),
+        "kiva-670k" => Some((
+            kiva,
+            PresetConfig {
+                n_rows: 670_000,
+                seed: 9,
+                ..base
+            },
+        )),
+        "synth-1m" => Some((
+            clinical,
+            PresetConfig {
+                n_rows: 1_000_000,
+                seed: 7,
+                ..base
+            },
+        )),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +314,31 @@ mod tests {
             .full_ontology
             .values()
             .any(|v| hi.full_ontology.names(v).len() == 8));
+    }
+
+    #[test]
+    fn named_registry_resolves_perf_workloads() {
+        let (_, c40) = named("clinical-40k").unwrap();
+        assert_eq!((c40.n_rows, c40.seed), (40_000, 42));
+        let (_, c250) = named("clinical-250k").unwrap();
+        assert_eq!((c250.n_rows, c250.seed), (250_000, 42));
+        let (_, k670) = named("kiva-670k").unwrap();
+        assert_eq!((k670.n_rows, k670.seed), (670_000, 9));
+        let (_, s1m) = named("synth-1m").unwrap();
+        assert_eq!((s1m.n_rows, s1m.seed), (1_000_000, 7));
+        assert!(named("no-such-preset").is_none());
+        // Downscaled instances of every named workload generate valid
+        // datasets (full-scale generation belongs to the perf probe, not
+        // unit tests).
+        for name in ["clinical-40k", "clinical-250k", "kiva-670k", "synth-1m"] {
+            let (build, cfg) = named(name).unwrap();
+            let ds = build(&PresetConfig { n_rows: 300, ..cfg });
+            assert_eq!(ds.clean.n_rows(), 300, "{name}");
+            let v = Validator::new(&ds.clean, &ds.full_ontology);
+            for ofd in &ds.ofds {
+                assert!(v.check(ofd).satisfied(), "{name}: {:?}", ofd);
+            }
+        }
     }
 
     #[test]

@@ -222,6 +222,21 @@ mod tests {
             base,
             fingerprint(&rel, &onto, &DiscoveryOptions::default().partition_cache_mib(0))
         );
+        // The hybrid sampling/sharding pipeline is result-neutral too: a
+        // snapshot written by a sequential run resumes under any sampling
+        // depth or shard layout and vice versa.
+        assert_eq!(
+            base,
+            fingerprint(&rel, &onto, &DiscoveryOptions::default().sample_rounds(0))
+        );
+        assert_eq!(
+            base,
+            fingerprint(&rel, &onto, &DiscoveryOptions::default().sample_rounds(9).shards(4))
+        );
+        assert_eq!(
+            base,
+            fingerprint(&rel, &onto, &DiscoveryOptions::default().shard_rows(1000))
+        );
         // Result-affecting options change the print.
         assert_ne!(
             base,

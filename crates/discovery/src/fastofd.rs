@@ -17,8 +17,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ofd_core::{
-    check_ofd_exact, check_ofd_with_index, support_threshold, AttrId, AttrSet, Ofd, OfdKind,
-    ProductScratch, Relation, Schema, SenseIndex, StrippedPartition,
+    check_ofd_exact, check_ofd_with_index, support_threshold, AttrId, AttrSet, EvidenceSet, Ofd,
+    OfdKind, ProductScratch, Relation, Schema, SenseIndex, StrippedPartition,
 };
 use ofd_logic::{implies, Dependency};
 use ofd_ontology::Ontology;
@@ -26,6 +26,8 @@ use ofd_ontology::Ontology;
 use crate::cache::PartitionCache;
 use crate::checkpoint;
 use crate::options::DiscoveryOptions;
+use crate::sample;
+use crate::shard::{self, ShardCovers, ShardPlan};
 use crate::stats::{DiscoveryStats, LevelStats};
 
 /// One minimal OFD emitted by discovery.
@@ -299,6 +301,81 @@ impl<'a> FastOfd<'a> {
         // candidate decision; panics are caught, never propagated.
         let faults = &self.opts.faults;
 
+        // Hybrid pre-filter phases (sampling + shards). Both stages are
+        // pure *refutation oracles* for the exact path: a positive answer
+        // is a sound "fails on the full relation" verdict, the absence of
+        // one proves nothing, and surviving candidates still pay for the
+        // exact check — which is why Σ, supports and per-level stats are
+        // byte-identical with the phases on or off (the result-neutrality
+        // contract enforced by the differential tests). Neither phase runs
+        // for κ < 1: a sub-relation violation does not refute an
+        // approximate candidate.
+        if obs.is_enabled() {
+            for name in [
+                "discovery.sample.rounds",
+                "discovery.sample.evidence_pairs",
+                "discovery.sample.candidates_pruned",
+                "discovery.shard.shards",
+                "discovery.shard.merged_candidates",
+                "discovery.shard.candidates_pruned",
+                "discovery.shard.union_validated",
+            ] {
+                obs.touch_counter(name);
+            }
+        }
+        let run_phases = exact && start_level <= max_level;
+        let evidence: Option<EvidenceSet> = (run_phases && self.opts.sample_rounds > 0)
+            .then(|| {
+                let _span = obs.span("fastofd.sample");
+                let out =
+                    sample::gather_evidence(self.rel, &index, self.opts.sample_rounds, guard);
+                if obs.is_enabled() {
+                    obs.add("discovery.sample.rounds", out.rounds_run);
+                    obs.add(
+                        "discovery.sample.evidence_pairs",
+                        out.evidence.pair_count(),
+                    );
+                }
+                out.evidence
+            })
+            .filter(|e| !e.is_empty());
+        let n_shards = if run_phases {
+            self.opts.effective_shards(self.rel.n_rows())
+        } else {
+            0
+        };
+        let shard_covers: Option<ShardCovers> = (n_shards > 1)
+            .then(|| {
+                let _span = obs.span("fastofd.shards");
+                let plan = ShardPlan {
+                    n_shards,
+                    threads: self.opts.threads.max(1),
+                    max_level,
+                    target_rhs: self.opts.target_rhs,
+                    kind: self.opts.kind,
+                };
+                let covers = shard::discover_shards(self.rel, &index, &plan, guard);
+                if obs.is_enabled() {
+                    obs.add("discovery.shard.shards", covers.completed as u64);
+                    obs.add(
+                        "discovery.shard.merged_candidates",
+                        covers.merged_candidates(),
+                    );
+                }
+                covers
+            })
+            .filter(|c| c.completed > 0);
+        // Lazy partition mode: with a refutation oracle active (and the
+        // cache available to materialize on demand), `next_level` stops
+        // producing partitions eagerly — most candidates die on the oracles
+        // alone, so only antecedents of *surviving* candidates are ever
+        // materialized. Partition products dominate discovery cost at
+        // scale, which makes this deferral the hybrid pipeline's wall-clock
+        // win; it is result-neutral because the cache produces canonical
+        // partitions whichever route computes them.
+        let lazy_partitions =
+            (evidence.is_some() || shard_covers.is_some()) && cache.is_some();
+
         for level in start_level..=max_level {
             // Per-level checkpoint: never start building a level once a
             // limit has expired.
@@ -342,7 +419,7 @@ impl<'a> FastOfd<'a> {
                     })
                     .collect()
             } else {
-                self.next_level(&prev, &prev_index, &mut scratch, &mut cache)
+                self.next_level(&prev, &prev_index, &mut scratch, &mut cache, lazy_partitions)
             };
             ls.nodes = current.len();
 
@@ -395,14 +472,34 @@ impl<'a> FastOfd<'a> {
             }
             ls.candidates = jobs.len();
 
-            // Resolve each referenced antecedent partition once, before any
-            // workers spawn: cache lookups stay on this thread (counters
-            // remain thread-invariant) and workers only read `Arc`s.
+            // Partition-free pre-decisions: Opt-4 logic subsumption, then
+            // the hybrid refutation oracles. Deciding these before
+            // partition resolution means (in lazy mode) refuted candidates
+            // never force a materialization. Soundness keeps attribution
+            // honest: a superkey antecedent implies a valid candidate,
+            // which no sound oracle can refute, so every KeyShortcut
+            // candidate still reaches the data path below.
+            let prechecked: Vec<Option<(bool, f64, Decision)>> = jobs
+                .iter()
+                .map(|&(_, a, lhs, _)| {
+                    let ofd = Ofd {
+                        lhs,
+                        rhs: a,
+                        kind: self.opts.kind,
+                    };
+                    self.precheck(&ofd, &known, exact, evidence.as_ref(), shard_covers.as_ref())
+                })
+                .collect();
+
+            // Resolve each antecedent partition a data decision still
+            // needs, before any workers spawn: cache lookups stay on this
+            // thread (counters remain thread-invariant) and workers only
+            // read `Arc`s.
             let resolved: Vec<Option<Arc<StrippedPartition>>> = {
                 let mut resolved: Vec<Option<Arc<StrippedPartition>>> = Vec::new();
                 resolved.resize_with(prev.len(), || None);
-                for &(_, _, _, pi) in &jobs {
-                    if resolved[pi].is_some() {
+                for (&(_, _, _, pi), pre) in jobs.iter().zip(prechecked.iter()) {
+                    if pre.is_some() || resolved[pi].is_some() {
                         continue;
                     }
                     let node = &prev[pi];
@@ -421,24 +518,28 @@ impl<'a> FastOfd<'a> {
                 resolved
             };
 
-            let decide_one = |&(_, a, lhs, pi): &(usize, AttrId, AttrSet, usize)| {
+            let decide_one = |i: usize| {
                 faults.delay();
                 faults.worker_panic();
+                if let Some(pre) = prechecked[i] {
+                    return pre;
+                }
+                let (_, a, lhs, pi) = jobs[i];
                 let ofd = Ofd {
                     lhs,
                     rhs: a,
                     kind: self.opts.kind,
                 };
                 let lhs_partition = resolved[pi].as_ref().expect("resolved before decisions");
-                self.decide(&index, &ofd, lhs_partition, &known, exact)
+                self.decide_data(&index, &ofd, lhs_partition, exact)
             };
             // Panic isolation: a worker panic (a bug in verification, or
             // an injected fault) is caught, recorded as the sticky
             // `WorkerPanic` interrupt, and degrades the run to the same
             // sound partial result every other interrupt produces — the
             // process never aborts.
-            let decide_caught = |j: &(usize, AttrId, AttrSet, usize)| {
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| decide_one(j))) {
+            let decide_caught = |i: usize| {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| decide_one(i))) {
                     Ok(out) => Some(out),
                     Err(_) => {
                         guard.trip_external(ofd_core::Interrupt::WorkerPanic);
@@ -455,9 +556,8 @@ impl<'a> FastOfd<'a> {
             let decisions: Vec<Option<(bool, f64, Decision)>> = if self.opts.threads <= 1
                 || jobs.len() < 2 * self.opts.threads
             {
-                let out = jobs
-                    .iter()
-                    .map(|j| guard.check().ok().and_then(|()| decide_caught(j)))
+                let out = (0..jobs.len())
+                    .map(|i| guard.check().ok().and_then(|()| decide_caught(i)))
                     .collect();
                 let wall = verify_started.elapsed().as_micros() as u64;
                 busy_us += wall;
@@ -487,7 +587,7 @@ impl<'a> FastOfd<'a> {
                                 if i >= jobs.len() {
                                     break;
                                 }
-                                let Some(out) = decide_caught(&jobs[i]) else {
+                                let Some(out) = decide_caught(i) else {
                                     // This worker panicked; the guard is
                                     // tripped, so every worker (including
                                     // this one) stops at its next probe.
@@ -520,6 +620,9 @@ impl<'a> FastOfd<'a> {
                 );
             }
 
+            let mut sample_pruned: u64 = 0;
+            let mut shard_pruned: u64 = 0;
+            let mut union_validated: u64 = 0;
             for (&(ni, a, lhs, _), decision) in jobs.iter().zip(decisions.iter()) {
                 let &Some((valid, support, how)) = decision else {
                     continue;
@@ -527,7 +630,22 @@ impl<'a> FastOfd<'a> {
                 match how {
                     Decision::KeyShortcut => ls.key_shortcuts += 1,
                     Decision::FdShortcut => ls.fd_shortcuts += 1,
-                    Decision::Verified => ls.verified += 1,
+                    Decision::Verified => {
+                        ls.verified += 1;
+                        if shard_covers.is_some() {
+                            // Survived the merged shard covers and was
+                            // validated against the full union of rows.
+                            union_validated += 1;
+                        }
+                    }
+                    Decision::SampleRefuted => {
+                        ls.verified += 1;
+                        sample_pruned += 1;
+                    }
+                    Decision::ShardRefuted => {
+                        ls.verified += 1;
+                        shard_pruned += 1;
+                    }
                 }
                 if valid {
                     let minimal = if self.opts.use_opt2 {
@@ -598,6 +716,9 @@ impl<'a> FastOfd<'a> {
                 obs.add("discovery.prune.opt2.nodes_deleted", ls.pruned_nodes as u64);
                 obs.add("discovery.prune.opt3.key_shortcuts", ls.key_shortcuts as u64);
                 obs.add("discovery.prune.opt4.fd_shortcuts", ls.fd_shortcuts as u64);
+                obs.add("discovery.sample.candidates_pruned", sample_pruned);
+                obs.add("discovery.shard.candidates_pruned", shard_pruned);
+                obs.add("discovery.shard.union_validated", union_validated);
             }
             stats.levels.push(ls);
             // Level-boundary checkpoint. Written only when no interrupt
@@ -678,6 +799,7 @@ impl<'a> FastOfd<'a> {
         prev_index: &FxHashMap<u64, usize>,
         scratch: &mut ProductScratch,
         cache: &mut Option<PartitionCache>,
+        lazy: bool,
     ) -> Vec<Node> {
         // Sort node indices by attribute list; nodes sharing all but the
         // last attribute form a block.
@@ -731,6 +853,21 @@ impl<'a> FastOfd<'a> {
                         });
                         continue;
                     }
+                    if lazy {
+                        // Hybrid mode: defer the product. Π*_X is produced
+                        // through the cache only if a surviving candidate
+                        // ever needs it; `superkey: false` just means
+                        // "unknown" — the data path re-checks on the
+                        // materialized partition, so Opt-3 attribution is
+                        // unchanged.
+                        out.push(Node {
+                            attrs,
+                            c_plus: all,
+                            superkey: false,
+                            partition: None,
+                        });
+                        continue;
+                    }
                     products += 1;
                     let (p, partition) = match cache.as_mut() {
                         Some(c) => {
@@ -767,26 +904,62 @@ impl<'a> FastOfd<'a> {
         out
     }
 
-    /// Decides one candidate: (valid?, support, how it was decided).
-    fn decide(
+    /// Decides a candidate without touching any partition, when possible:
+    /// Opt-4 logic subsumption first, then the hybrid refutation oracles.
+    ///
+    /// Runs before partition resolution so that, in lazy mode, a
+    /// pre-decided candidate never forces a materialization. Ordering
+    /// Opt-4 ahead of the oracles keeps Σ byte-identical with the phases
+    /// off even when `known_fds` do not actually hold on the instance (an
+    /// FD-implied candidate is emitted either way, as Opt-4's contract
+    /// dictates, instead of being data-refuted by an oracle first).
+    fn precheck(
         &self,
-        index: &SenseIndex,
         ofd: &Ofd,
-        lhs_partition: &StrippedPartition,
         known: &[Dependency],
         exact: bool,
-    ) -> (bool, f64, Decision) {
-        // Opt-3: a superkey antecedent has no non-singleton classes.
-        if self.opts.use_opt3 && lhs_partition.is_superkey() {
-            return (true, 1.0, Decision::KeyShortcut);
-        }
+        evidence: Option<&EvidenceSet>,
+        shards: Option<&ShardCovers>,
+    ) -> Option<(bool, f64, Decision)> {
         // Opt-4: FD subsumption — an OFD implied by FDs that hold exactly
         // needs no data verification.
         if self.opts.use_opt4 && !known.is_empty() {
             let dep = Dependency::from(*ofd);
             if implies(known, &dep) {
-                return (true, 1.0, Decision::FdShortcut);
+                return Some((true, 1.0, Decision::FdShortcut));
             }
+        }
+        if exact {
+            // Hybrid pre-filter oracles, consulted strictly before the
+            // full-relation scan they exist to avoid. Either refutation is
+            // sound on the full relation, and the `(false, 1.0, _)` shape
+            // matches what the exact check would have returned for the
+            // same candidate.
+            if let Some(ev) = evidence {
+                if ev.refutes(ofd.lhs, ofd.rhs) {
+                    return Some((false, 1.0, Decision::SampleRefuted));
+                }
+            }
+            if let Some(sc) = shards {
+                if sc.refutes(ofd.lhs, ofd.rhs) {
+                    return Some((false, 1.0, Decision::ShardRefuted));
+                }
+            }
+        }
+        None
+    }
+
+    /// Decides one candidate against the data: (valid?, support, how).
+    fn decide_data(
+        &self,
+        index: &SenseIndex,
+        ofd: &Ofd,
+        lhs_partition: &StrippedPartition,
+        exact: bool,
+    ) -> (bool, f64, Decision) {
+        // Opt-3: a superkey antecedent has no non-singleton classes.
+        if self.opts.use_opt3 && lhs_partition.is_superkey() {
+            return (true, 1.0, Decision::KeyShortcut);
         }
         if exact {
             // Early-exit on the first violating class — the hot path, since
@@ -808,11 +981,20 @@ impl<'a> FastOfd<'a> {
 }
 
 /// How one candidate was decided (stats bookkeeping).
+///
+/// The two refutation variants are data-decided negatives, so they count
+/// into [`LevelStats::verified`] exactly like [`Decision::Verified`] — the
+/// per-level stats are part of the result-neutrality contract. They exist
+/// as distinct variants only for the prune-attribution counters.
 #[derive(Debug, Clone, Copy)]
 enum Decision {
     KeyShortcut,
     FdShortcut,
     Verified,
+    /// Refuted by a sampled evidence pair (no full scan).
+    SampleRefuted,
+    /// Refuted by a completed shard's minimal cover (no full scan).
+    ShardRefuted,
 }
 
 /// Raw-pointer wrapper so disjoint slots can be written from scoped worker

@@ -36,13 +36,15 @@ mod cache;
 mod checkpoint;
 mod fastofd;
 mod options;
+mod sample;
+mod shard;
 mod stats;
 
 pub use brute::{brute_force, brute_force_guarded};
 pub use cache::CacheStats;
 pub use checkpoint::CheckpointOptions;
 pub use fastofd::{DiscoveredOfd, Discovery, FastOfd};
-pub use options::{DiscoveryOptions, DEFAULT_PARTITION_CACHE_MIB};
+pub use options::{DiscoveryOptions, DEFAULT_PARTITION_CACHE_MIB, DEFAULT_SAMPLE_ROUNDS};
 pub use stats::{DiscoveryStats, LevelStats};
 
 #[cfg(test)]
@@ -262,6 +264,113 @@ mod tests {
                 assert_eq!(run.stats.cache.is_some(), mib > 0);
             }
         }
+    }
+
+    #[test]
+    fn hybrid_pipeline_is_result_neutral() {
+        // The tentpole contract: sampling and sharding are refutation
+        // oracles only, so Σ — including raw support bits — and the
+        // per-level stats are byte-identical with the pipeline on or off,
+        // at any shard count, thread count and sampling depth.
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let reference = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().sample_rounds(0).shards(0))
+            .run();
+        for shards in [1usize, 2, 7] {
+            for threads in [1usize, 4] {
+                for rounds in [0usize, 3] {
+                    let run = FastOfd::new(&rel, &onto)
+                        .options(
+                            DiscoveryOptions::new()
+                                .sample_rounds(rounds)
+                                .shards(shards)
+                                .threads(threads),
+                        )
+                        .run();
+                    let tag = format!("shards={shards} threads={threads} rounds={rounds}");
+                    assert_eq!(run.ofds, reference.ofds, "{tag}: Σ diverged");
+                    for (a, b) in run.ofds.iter().zip(&reference.ofds) {
+                        assert_eq!(
+                            a.support.to_bits(),
+                            b.support.to_bits(),
+                            "{tag}: support bits diverged"
+                        );
+                    }
+                    assert_eq!(run.stats.levels.len(), reference.stats.levels.len(), "{tag}");
+                    for (l, r) in run.stats.levels.iter().zip(&reference.stats.levels) {
+                        assert_eq!(
+                            (l.nodes, l.candidates, l.verified, l.key_shortcuts,
+                             l.fd_shortcuts, l.found, l.pruned_nodes),
+                            (r.nodes, r.candidates, r.verified, r.key_shortcuts,
+                             r.fd_shortcuts, r.found, r.pruned_nodes),
+                            "{tag}: level {} stats diverged",
+                            l.level
+                        );
+                    }
+                }
+            }
+        }
+        // `shard_rows` is the other spelling of the same request.
+        let by_rows = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().shard_rows(3))
+            .run();
+        assert_eq!(by_rows.ofds, reference.ofds);
+    }
+
+    #[test]
+    fn hybrid_pipeline_prunes_and_counts_on_table1() {
+        // The oracles must actually fire on Table 1 (most candidates fail)
+        // and be attributed in the prune counters.
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let obs = ofd_core::Obs::enabled();
+        let run = FastOfd::new(&rel, &onto)
+            .options(DiscoveryOptions::new().shards(2).obs(obs.clone()))
+            .run();
+        assert!(run.complete);
+        let m = obs.snapshot();
+        assert_eq!(
+            m.counter("discovery.sample.rounds"),
+            Some(DEFAULT_SAMPLE_ROUNDS as u64)
+        );
+        assert!(m.counter("discovery.sample.evidence_pairs").unwrap_or(0) > 0);
+        assert_eq!(m.counter("discovery.shard.shards"), Some(2));
+        assert!(m.counter("discovery.shard.merged_candidates").unwrap_or(0) > 0);
+        let pruned = m.counter("discovery.sample.candidates_pruned").unwrap_or(0)
+            + m.counter("discovery.shard.candidates_pruned").unwrap_or(0);
+        assert!(pruned > 0, "oracles refuted no candidate at all: {m:?}");
+        // Refuted candidates and union-validated survivors partition the
+        // data-decided verifications.
+        let verified: u64 = run.stats.levels.iter().map(|l| l.verified as u64).sum();
+        assert_eq!(
+            m.counter("discovery.shard.union_validated").unwrap_or(0) + pruned,
+            verified,
+            "prune attribution must cover every data-decided candidate"
+        );
+    }
+
+    #[test]
+    fn approx_mode_ignores_hybrid_knobs() {
+        // κ < 1: a violation on a sub-relation does not refute an
+        // approximate candidate, so neither phase may run at all.
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let obs = ofd_core::Obs::enabled();
+        let hybrid = discover(
+            &rel,
+            &onto,
+            DiscoveryOptions::new()
+                .min_support(0.8)
+                .sample_rounds(5)
+                .shards(4)
+                .obs(obs.clone()),
+        );
+        let plain = discover(&rel, &onto, DiscoveryOptions::new().min_support(0.8));
+        assert_eq!(hybrid, plain);
+        let m = obs.snapshot();
+        assert_eq!(m.counter("discovery.sample.rounds"), Some(0));
+        assert_eq!(m.counter("discovery.shard.shards"), Some(0));
     }
 
     #[test]
@@ -494,6 +603,44 @@ mod tests {
     }
 
     #[test]
+    fn resume_accepts_changed_hybrid_knobs() {
+        // Sampling/sharding knobs are excluded from the checkpoint
+        // fingerprint (they are result-neutral), so a snapshot written by
+        // a sequential run resumes under a hybrid configuration — and
+        // completes to the identical Σ.
+        let rel = table1();
+        let onto = samples::combined_paper_ontology();
+        let reference = FastOfd::new(&rel, &onto).run();
+        let dir = temp_ckpt_dir("hybrid_resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let guard = ofd_core::ExecGuard::unlimited();
+        guard.fail_after(25);
+        let killed = FastOfd::new(&rel, &onto)
+            .options(
+                DiscoveryOptions::new()
+                    .sample_rounds(0)
+                    .guard(guard)
+                    .checkpoint(CheckpointOptions::new(&dir)),
+            )
+            .run();
+        assert!(!killed.complete);
+        let resumed = FastOfd::new(&rel, &onto)
+            .options(
+                DiscoveryOptions::new()
+                    .sample_rounds(4)
+                    .shards(3)
+                    .checkpoint(CheckpointOptions::new(&dir).resume(true)),
+            )
+            .run();
+        assert!(resumed.complete);
+        assert_eq!(resumed.ofds, reference.ofds);
+        if killed.snapshots_written > 0 {
+            assert!(resumed.resumed_from_level.is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn resume_with_mismatched_inputs_recomputes_fresh() {
         let onto = samples::combined_paper_ontology();
         let dir = temp_ckpt_dir("mismatch");
@@ -632,6 +779,27 @@ mod tests {
                     .run();
                 prop_assert_eq!(&cached.ofds, &uncached.ofds);
             }
+        }
+
+        /// Sampled + sharded runs agree with the plain sequential engine on
+        /// Σ over random instances, shard counts and thread counts (the
+        /// hybrid-pipeline result-neutrality contract).
+        #[test]
+        fn hybrid_fastofd_equals_sequential(
+            ((rel, onto), shards, threads) in (arb_instance(), 1usize..8, 1usize..5)
+        ) {
+            let sequential = FastOfd::new(&rel, &onto)
+                .options(DiscoveryOptions::new().sample_rounds(0).shards(0))
+                .run();
+            let hybrid = FastOfd::new(&rel, &onto)
+                .options(
+                    DiscoveryOptions::new()
+                        .sample_rounds(3)
+                        .shards(shards)
+                        .threads(threads),
+                )
+                .run();
+            prop_assert_eq!(&hybrid.ofds, &sequential.ofds);
         }
 
         /// Interrupting FastOFD at an arbitrary checkpoint yields a subset

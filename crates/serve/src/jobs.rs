@@ -474,6 +474,22 @@ fn discover(body: &Value, ctx: &JobContext) -> Result<(Value, JobOutcome), BadRe
         }
         opts = opts.threads(threads as usize);
     }
+    // Hybrid pre-filter knobs. All three are result-neutral (the engine's
+    // differential contract), so — like `threads` — they stay out of the
+    // job fingerprint: a resubmission tuned differently still resumes the
+    // same job's snapshots.
+    if let Some(rounds) = opt_u64(body, "sample_rounds")? {
+        opts = opts.sample_rounds(rounds as usize);
+    }
+    if let Some(rows) = opt_u64(body, "shard_rows")? {
+        opts = opts.shard_rows(rows as usize);
+    }
+    if let Some(shards) = opt_u64(body, "shards")? {
+        opts = opts.shards(shards as usize);
+    }
+    if let Some(mib) = opt_u64(body, "partition_cache_mib")? {
+        opts = opts.partition_cache_mib(mib as usize);
+    }
     let mut resumed_from = Value::Null;
     if let Some((ck, provenance)) = job_checkpoint(ctx, Endpoint::Discover, body, &inputs)? {
         opts = opts.checkpoint(ck);
@@ -724,6 +740,53 @@ mod tests {
             dir_of(Endpoint::Discover, &a),
             dir_of(Endpoint::Clean, &a),
             "different endpoint, different directory"
+        );
+    }
+
+    #[test]
+    fn hybrid_knobs_stay_out_of_the_job_fingerprint() {
+        // Resubmitting a job with different pre-filter tuning (or thread
+        // count) must land in the same snapshot directory: the knobs are
+        // result-neutral, so a retuned retry still resumes the original
+        // job's checkpoints.
+        let mut c = ctx();
+        c.checkpoint_root = Some(std::env::temp_dir().join("ofd-serve-ckpt-hybrid-test"));
+        let plain = json!({"csv": "A,B\n1,2\n"});
+        let tuned = json!({
+            "csv": "A,B\n1,2\n",
+            "threads": 4u64,
+            "sample_rounds": 5u64,
+            "shard_rows": 1000u64,
+            "shards": 3u64,
+            "partition_cache_mib": 16u64,
+        });
+        let dir_of = |body: &Value| {
+            let inputs = load_inputs(body, &c).expect("inputs");
+            job_checkpoint(&c, Endpoint::Discover, body, &inputs)
+                .expect("checkpoint")
+                .expect("enabled")
+                .0
+                .store
+                .dir()
+                .to_path_buf()
+        };
+        assert_eq!(dir_of(&plain), dir_of(&tuned));
+    }
+
+    #[test]
+    fn discover_with_hybrid_knobs_matches_default_sigma() {
+        let (plain, _) = discover(&sample_body(), &ctx()).expect("discover");
+        let mut tuned_body = sample_body();
+        if let Value::Object(fields) = &mut tuned_body {
+            fields.push(("sample_rounds".into(), json!(3u64)));
+            fields.push(("shards".into(), json!(2u64)));
+            fields.push(("threads".into(), json!(2u64)));
+        }
+        let (tuned, _) = discover(&tuned_body, &ctx()).expect("discover");
+        assert_eq!(
+            plain.get("ofds").and_then(Value::as_array),
+            tuned.get("ofds").and_then(Value::as_array),
+            "hybrid knobs are result-neutral through the HTTP surface"
         );
     }
 
