@@ -10,6 +10,8 @@
 //!             [--metrics-out PATH]                   # fleet soak
 //! serve_probe --peers [--seed S] [--rows N] [--dir D]
 //!             [--metrics-out PATH]                   # multi-host soak
+//! serve_probe --chaos-net [--seed S] [--rows N] [--dir D]
+//!             [--metrics-out PATH]                   # network chaos soak
 //! serve_probe --server [--workers N] [--queue-cap N] [--budget-ms N]
 //!             [--checkpoint-dir D] [--faults SPEC]
 //!             [--addr HOST:PORT] [--peers LIST]      # child mode
@@ -63,18 +65,28 @@
 //! reply on the original connection), ring ejection/readmission with
 //! hysteresis, a sub-quorum PUT refused with no torn version, and
 //! peer-to-peer catalog read repair.
+//!
+//! `--chaos-net` runs the network chaos soak: the same two-host topology
+//! with a seeded in-process chaos proxy on the router→worker wire
+//! injecting delays, mid-body resets, partial replies, blackholes and
+//! connection refusals. Every routed reply must stay byte-identical to
+//! the fault-free reference, a simulated coordinator death mid-fan-out
+//! must leave no readable torn catalog version, the `serve.net.*`
+//! counters must attribute every injected fault, and re-running with the
+//! same seed must replay the identical toxic schedule.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ofd_core::{FaultPlan, Obs};
 use ofd_datagen::{clinical, csv, PresetConfig};
 use ofd_discovery::{DiscoveryOptions, FastOfd};
 use ofd_serve::{
-    termination_flag, Fleet, Router, RouterConfig, ServeConfig, Server, Supervisor,
+    termination_flag, Fleet, NetFaultProxy, Router, RouterConfig, ServeConfig, Server, Supervisor,
     SupervisorConfig, WorkerSpec,
 };
 use rand::rngs::StdRng;
@@ -107,6 +119,12 @@ fn server_mode(flags: &[(String, String)]) -> ExitCode {
         cfg.budget_ms = ms.parse().expect("--budget-ms N");
     }
     cfg.checkpoint_dir = get("checkpoint-dir").map(PathBuf::from);
+    if let Some(ms) = get("head-timeout-ms") {
+        cfg.head_timeout_ms = ms.parse().expect("--head-timeout-ms N");
+    }
+    if let Some(ms) = get("peer-timeout-ms") {
+        cfg.peer_timeout_ms = ms.parse().expect("--peer-timeout-ms N");
+    }
     if let Some(spec) = get("faults") {
         cfg.faults = FaultPlan::parse(spec).expect("valid fault spec");
         ofd_core::silence_injected_panics();
@@ -1156,8 +1174,10 @@ impl PeerWorker {
 /// checkpoint roots — each worker owns a private filesystem, exactly
 /// like separate hosts. Addresses are reserved up front so every worker
 /// can name its siblings at spawn time; a stolen port retries the whole
-/// fleet on fresh reservations.
-fn spawn_peer_fleet(args: &Args, root: &Path, n: usize) -> Vec<PeerWorker> {
+/// fleet on fresh reservations. `extra_flags` ride along on every
+/// worker (the peer soak slows the engines; the chaos soak tightens
+/// peer timeouts instead).
+fn spawn_peer_fleet(root: &Path, n: usize, extra_flags: &[(&'static str, String)]) -> Vec<PeerWorker> {
     'attempt: for attempt in 0..3u32 {
         let addrs: Vec<SocketAddr> = (0..n).map(|_| reserve_port()).collect();
         let mut fleet = Vec::with_capacity(n);
@@ -1169,12 +1189,12 @@ fn spawn_peer_fleet(args: &Args, root: &Path, n: usize) -> Vec<PeerWorker> {
                 .map(|(_, a)| a.to_string())
                 .collect::<Vec<_>>()
                 .join(",");
-            let flags = vec![
+            let mut flags = vec![
                 ("addr", addr.to_string()),
                 ("peers", peers),
                 ("checkpoint-dir", root.join(format!("host-{i}")).display().to_string()),
-                ("faults", slow_engine_spec(args.seed)),
             ];
+            flags.extend(extra_flags.iter().cloned());
             match try_spawn_server(&flags) {
                 Ok(proc) => fleet.push(PeerWorker { proc, flags }),
                 Err(e) => {
@@ -1202,7 +1222,7 @@ fn spawn_peer_fleet(args: &Args, root: &Path, n: usize) -> Vec<PeerWorker> {
 fn phase_peer_fleet(args: &Args, metrics_out: Option<&Path>) {
     let obs = Obs::enabled();
     let root = args.dir.join("peer-fleet");
-    let mut fleet = spawn_peer_fleet(args, &root, 2);
+    let mut fleet = spawn_peer_fleet(&root, 2, &[("faults", slow_engine_spec(args.seed))]);
     let worker_addrs: Vec<SocketAddr> = fleet.iter().map(PeerWorker::addr).collect();
     let router_cfg = RouterConfig {
         probe_interval_ms: 100,
@@ -1525,6 +1545,278 @@ fn phase_peer_fleet(args: &Args, metrics_out: Option<&Path>) {
     );
 }
 
+// -------------------------------------------------------- chaos-net soak
+
+/// The seeded toxic mix for the chaos-net soak. Severity cascades inside
+/// the plan (refuse > blackhole > reset > partial > delay), so the per-
+/// connection probabilities here are "armed" rates, not exact shares.
+fn chaos_net_spec(seed: u64) -> String {
+    format!(
+        "seed={seed},net-delay%0.12,net-reset%0.08,net-partial%0.05,net-blackhole%0.03,\
+         net-refuse%0.08,delay-ms=1"
+    )
+}
+
+/// What one chaos-net pass leaves behind: per-proxy toxic schedules in
+/// accept order, plus the router-side chaos ledger.
+struct ChaosPass {
+    schedules: Vec<Vec<String>>,
+    injected: u64,
+    resets: u64,
+    blackholes: u64,
+    retries_exhausted: u64,
+    router_metrics: Value,
+    worker_metrics: Vec<Value>,
+}
+
+/// One pass of the chaos-net workload: a two-host peer fleet behind a
+/// static-fleet router, with (`chaos`) or without the toxic proxies on
+/// the router→worker wire. The workload is strictly sequential and the
+/// prober is parked after its initial round, so the proxies' accept
+/// order — and therefore the toxic schedule — is a pure function of the
+/// fault-plan seed.
+fn chaos_net_pass(
+    args: &Args,
+    tag: &str,
+    chaos: bool,
+    csv_text: &str,
+    onto_text: &str,
+    reference: &[(String, String, u64, u64)],
+) -> ChaosPass {
+    let obs = Obs::enabled();
+    let root = args.dir.join(tag);
+    let mut fleet = spawn_peer_fleet(&root, 2, &[("peer-timeout-ms", "1500".to_owned())]);
+    let worker_addrs: Vec<SocketAddr> = fleet.iter().map(PeerWorker::addr).collect();
+
+    // The toxic wire: one in-process chaos proxy per worker, each with
+    // its own fault plan from the same spec (occurrence counters are
+    // per-proxy, so each schedule is deterministic in isolation). The
+    // router's Obs receives the `serve.net.*` attribution.
+    let mut proxies: Vec<NetFaultProxy> = Vec::new();
+    let upstream: Vec<SocketAddr> = if chaos {
+        for &w in &worker_addrs {
+            let plan =
+                Arc::new(FaultPlan::parse(&chaos_net_spec(args.seed)).expect("chaos-net spec"));
+            proxies.push(NetFaultProxy::bind(w, plan, obs.clone()).expect("chaos proxy bind"));
+        }
+        proxies.iter().map(NetFaultProxy::addr).collect()
+    } else {
+        worker_addrs.clone()
+    };
+
+    let router_cfg = RouterConfig {
+        // The prober runs one round at bind, then sleeps past the soak's
+        // lifetime: interleaved probe connections would make the proxies'
+        // accept order — and so the toxic schedule — nondeterministic.
+        // A fresh static ring defaults to fully live, so parking the
+        // prober costs nothing.
+        probe_interval_ms: 600_000,
+        eject_after: 100,
+        connect_timeout_ms: 500,
+        forward_timeout_ms: 2_500,
+        retry_backoff_ms: 25,
+        extra_rounds: 4,
+        peer_timeout_ms: 1_500,
+        head_timeout_ms: 5_000,
+        obs: obs.clone(),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(router_cfg, Fleet::Static(upstream)).expect("router bind");
+    let addr = router.addr();
+    println!("phase chaos: [{tag}] fleet up (chaos={chaos}), router on {addr}");
+
+    if chaos {
+        // Wait out the initial probe round so it lands at a fixed place
+        // (entry 0) in every proxy's schedule before the workload starts.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while proxies.iter().any(|p| p.schedule().is_empty()) {
+            assert!(
+                Instant::now() < deadline,
+                "the router's initial probe round never reached the proxies"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    // Quorum PUT over the toxic wire: the retry budget must absorb every
+    // injected fault — the client sees one clean 200, both replicas
+    // converge, and idempotent re-sends cover torn acks.
+    let put = request(
+        addr,
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": csv_text, "ontology": onto_text })),
+    );
+    assert_eq!(put.status, 200, "chaos PUT converges through retries");
+    assert_eq!(put.body.get("version").and_then(Value::as_u64), Some(1));
+    assert_eq!(put.body.get("replicas").and_then(Value::as_u64), Some(2), "both replicas acked");
+    println!("phase chaos: [{tag}] quorum PUT v1 converged");
+
+    // Scripted reads: every routed reply must be byte-identical to the
+    // in-process reference, no matter which toxics fire on the way.
+    for i in 0..12u64 {
+        let reply =
+            request(addr, "POST", "/v1/discover", Some(&json!({ "dataset": "clinical@1" })));
+        assert_eq!(reply.status, 200, "chaos discover {i} answered");
+        if sigma_keys(&reply.body) != reference {
+            for (p, proxy) in proxies.iter().enumerate() {
+                eprintln!("proxy {p} schedule so far: {:?}", proxy.schedule());
+            }
+            panic!("chaos discover {i} diverged from the reference: {}", reply.body);
+        }
+    }
+    let described = request(addr, "GET", "/v1/datasets/clinical", None);
+    assert_eq!(described.status, 200);
+    assert_eq!(described.body.get("version").and_then(Value::as_u64), Some(1));
+    println!("phase chaos: [{tag}] 12 discovers byte-identical");
+
+    // Coordinator death mid-fan-out: a pinned v2 lands on host 0 only —
+    // as if the router died after one replica PUT and before any commit.
+    // The stranded *pending* version must never become readable: the next
+    // read quorum-confirms it, finds it short of majority, and tears it
+    // down (`serve.catalog.read_repaired`).
+    let (csv_orphan, onto_orphan) = dataset(args.rows.min(400), 6, args.seed ^ 0xc0de);
+    let orphan = request(
+        worker_addrs[0],
+        "PUT",
+        "/v1/datasets/clinical",
+        Some(&json!({ "csv": &csv_orphan, "ontology": &onto_orphan, "version": 2 })),
+    );
+    assert_eq!(orphan.status, 200, "the pinned replica write is accepted as pending");
+    println!("phase chaos: [{tag}] orphaned pending v2 planted on host 0");
+    let repaired_before = worker_counter(worker_addrs[0], "serve.catalog.read_repaired");
+    let described = request(worker_addrs[0], "GET", "/v1/datasets/clinical", None);
+    assert_eq!(
+        described.body.get("version").and_then(Value::as_u64),
+        Some(1),
+        "a sub-quorum pending version is never served as newest"
+    );
+    assert!(
+        worker_counter(worker_addrs[0], "serve.catalog.read_repaired") > repaired_before,
+        "read repair tore the orphaned pending version down"
+    );
+    println!("phase chaos: [{tag}] orphan torn down by read repair");
+    let torn = request(worker_addrs[0], "GET", "/v1/datasets/clinical@2", None);
+    assert_ne!(torn.status, 200, "the torn version is unreadable after repair");
+    println!("phase chaos: [{tag}] torn version unreadable ({})", torn.status);
+    let peer_view = request(worker_addrs[1], "GET", "/v1/datasets/clinical", None);
+    println!("phase chaos: [{tag}] peer view agrees ({})", peer_view.status);
+    assert_eq!(
+        peer_view.body.get("version").and_then(Value::as_u64),
+        Some(1),
+        "the untouched replica agrees on the newest version"
+    );
+
+    // The ledger: every injected fault is attributed by name, and the
+    // schedule log agrees with both the plan's own accounting and the
+    // router-side counters.
+    let schedules: Vec<Vec<String>> = proxies.iter().map(NetFaultProxy::schedule).collect();
+    let label_count = |label: &str| {
+        schedules.iter().flatten().filter(|s| s.as_str() == label).count() as u64
+    };
+    let toxic_count: u64 = schedules.iter().flatten().filter(|s| s.as_str() != "pass").count() as u64;
+    let fired_total: u64 = proxies.iter().map(|p| p.plan().net_fired()).sum();
+    let snap = obs.snapshot();
+    let net = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(net("serve.net.injected"), fired_total, "injected == Σ plan.net_fired()");
+    assert_eq!(net("serve.net.injected"), toxic_count, "injected == non-pass schedule entries");
+    assert_eq!(net("serve.net.resets"), label_count("reset"), "every reset attributed");
+    assert_eq!(net("serve.net.blackholes"), label_count("blackhole"), "every blackhole attributed");
+
+    println!("phase chaos: [{tag}] ledger consistent, collecting metrics");
+    let router_metrics = request(addr, "GET", "/metrics", None).body;
+    let worker_metrics: Vec<Value> = worker_addrs
+        .iter()
+        .filter_map(|&a| try_request(a, "GET", "/metrics", None).ok().map(|r| r.body))
+        .collect();
+
+    router.shutdown();
+    for proxy in &mut proxies {
+        proxy.stop();
+    }
+    for worker in &mut fleet {
+        worker.proc.terminate();
+        assert_eq!(worker.proc.wait_exit(Duration::from_secs(30)), Some(0), "worker drains");
+    }
+    ChaosPass {
+        schedules,
+        injected: net("serve.net.injected"),
+        resets: net("serve.net.resets"),
+        blackholes: net("serve.net.blackholes"),
+        retries_exhausted: net("serve.net.retries_exhausted"),
+        router_metrics,
+        worker_metrics,
+    }
+}
+
+/// `--chaos-net`: deterministic network fault injection on the
+/// router→worker wire. A fault-free pass proves the topology clean, two
+/// chaos passes with the same seed must replay the identical toxic
+/// schedule, every routed reply must be byte-identical to the reference,
+/// a coordinator death mid-fan-out must leave no readable torn version,
+/// and the `serve.net.*` counters must attribute every injected fault.
+fn phase_chaos_net(args: &Args, metrics_out: Option<&Path>) {
+    let (csv_text, onto_text) = dataset(args.rows.min(400), 6, args.seed);
+    let reference = reference_sigma(&csv_text, &onto_text);
+    println!("phase chaos: reference |Σ|={} ({} rows, seed {})", reference.len(),
+        args.rows.min(400), args.seed);
+
+    let clean = chaos_net_pass(args, "chaos-ref", false, &csv_text, &onto_text, &reference);
+    assert_eq!(clean.injected, 0, "no faults fire without the toxic wire");
+    println!("phase chaos: fault-free reference pass clean");
+
+    let run1 = chaos_net_pass(args, "chaos-a", true, &csv_text, &onto_text, &reference);
+    assert!(
+        run1.injected >= 3,
+        "the pinned seed must actually inject faults (got {})",
+        run1.injected
+    );
+    assert!(
+        run1.resets + run1.blackholes >= 1,
+        "the soak must see at least one destructive toxic"
+    );
+    println!(
+        "phase chaos: run A survived {} injected faults ({} resets, {} blackholes, \
+         {} retry budgets exhausted)",
+        run1.injected, run1.resets, run1.blackholes, run1.retries_exhausted
+    );
+
+    let run2 = chaos_net_pass(args, "chaos-b", true, &csv_text, &onto_text, &reference);
+    assert_eq!(
+        run1.schedules, run2.schedules,
+        "the same seed must replay the identical toxic schedule"
+    );
+    assert_eq!(
+        (run1.injected, run1.resets, run1.blackholes),
+        (run2.injected, run2.resets, run2.blackholes),
+        "the same seed must replay the identical chaos ledger"
+    );
+    println!("phase chaos: run B replayed run A's schedule exactly ({} connections/proxy)",
+        run1.schedules.iter().map(Vec::len).max().unwrap_or(0));
+
+    if let Some(path) = metrics_out {
+        let doc = json!({
+            "router": run1.router_metrics,
+            "workers": run1.worker_metrics,
+            "schedules": run1.schedules,
+            "injected": run1.injected,
+            "resets": run1.resets,
+            "blackholes": run1.blackholes,
+            "retries_exhausted": run1.retries_exhausted,
+        });
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("metrics-out parent dir");
+        }
+        let text = serde_json::to_string_pretty(&doc).expect("serialize metrics") + "\n";
+        std::fs::write(path, text).expect("write metrics-out");
+        println!("phase chaos: metrics written to {}", path.display());
+    }
+    println!(
+        "phase chaos: ok (injected={} resets={} blackholes={}, schedule replayed byte-for-byte)",
+        run1.injected, run1.resets, run1.blackholes
+    );
+}
+
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("--server") {
@@ -1546,6 +1838,7 @@ fn main() -> ExitCode {
     let mut router_mode = false;
     let mut stream_mode = false;
     let mut peers_mode = false;
+    let mut chaos_net_mode = false;
     let mut metrics_out: Option<PathBuf> = None;
     while let Some(arg) = raw.next() {
         let mut value = |name: &str| raw.next().unwrap_or_else(|| panic!("{name} VALUE"));
@@ -1556,17 +1849,22 @@ fn main() -> ExitCode {
             "--router" => router_mode = true,
             "--stream" => stream_mode = true,
             "--peers" => peers_mode = true,
+            "--chaos-net" => chaos_net_mode = true,
             "--metrics-out" => metrics_out = Some(value("--metrics-out").into()),
             other => panic!("unknown argument {other:?}"),
         }
     }
     assert!(
-        metrics_out.is_none() || router_mode || stream_mode || peers_mode,
-        "--metrics-out only applies to --router, --stream and --peers runs"
+        metrics_out.is_none() || router_mode || stream_mode || peers_mode || chaos_net_mode,
+        "--metrics-out only applies to --router, --stream, --peers and --chaos-net runs"
     );
     assert!(
-        u32::from(router_mode) + u32::from(stream_mode) + u32::from(peers_mode) <= 1,
-        "--router, --stream and --peers are separate soaks"
+        u32::from(router_mode)
+            + u32::from(stream_mode)
+            + u32::from(peers_mode)
+            + u32::from(chaos_net_mode)
+            <= 1,
+        "--router, --stream, --peers and --chaos-net are separate soaks"
     );
     let _ = std::fs::remove_dir_all(&args.dir);
 
@@ -1588,6 +1886,13 @@ fn main() -> ExitCode {
         phase_peer_fleet(&args, metrics_out.as_deref());
         let _ = std::fs::remove_dir_all(&args.dir);
         println!("serve_probe: peer fleet consistent");
+        return ExitCode::SUCCESS;
+    }
+
+    if chaos_net_mode {
+        phase_chaos_net(&args, metrics_out.as_deref());
+        let _ = std::fs::remove_dir_all(&args.dir);
+        println!("serve_probe: chaos-net fleet consistent");
         return ExitCode::SUCCESS;
     }
 

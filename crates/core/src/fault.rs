@@ -17,6 +17,24 @@
 //!   [`Interrupt::WorkerPanic`](crate::Interrupt::WorkerPanic));
 //! * **delay** — a worker sleeps briefly, perturbing thread interleaving.
 //!
+//! The **network sites** extend the same machinery to the TCP paths of
+//! the multi-host fleet. They are probed by the in-process chaos proxy
+//! (`ofd-serve`'s `netfault` module), once per accepted connection, in
+//! severity order — the first site to fire decides the connection's
+//! toxic:
+//!
+//! * **net-refuse** — the connection is closed before any byte is
+//!   relayed (a refused/reset dial);
+//! * **net-blackhole** — the connection is accepted and the request
+//!   read, but no reply byte is ever written (the client's read
+//!   timeout is the only way out);
+//! * **net-reset** — the upstream reply is relayed up to a point
+//!   *inside the body*, then the connection closes (a torn reply);
+//! * **net-partial** — a prefix of the reply is written, then the
+//!   connection stalls open without closing;
+//! * **net-delay** — the whole exchange is relayed intact after a
+//!   `delay-ms` sleep.
+//!
 //! Each site fires either **scheduled** (`site@N`: exactly the `N`-th
 //! occurrence, 1-based) or **probabilistic** (`site%P`: each occurrence
 //! independently with probability `P`, decided by a hash of
@@ -51,9 +69,28 @@ pub enum FaultSite {
     WorkerPanic,
     /// Worker sleeps for the plan's delay duration.
     Delay,
+    /// Proxy relays the connection intact after a `delay-ms` sleep.
+    NetDelay,
+    /// Proxy closes the connection mid-reply-body (torn reply).
+    NetReset,
+    /// Proxy writes a prefix of the reply, then stalls without closing.
+    NetPartial,
+    /// Proxy accepts and reads the request but never replies.
+    NetBlackhole,
+    /// Proxy closes the connection before relaying anything.
+    NetRefuse,
 }
 
-const N_SITES: usize = 4;
+const N_SITES: usize = 9;
+
+/// The network fault sites, in the severity order the proxy probes them.
+pub const NET_SITES: [FaultSite; 5] = [
+    FaultSite::NetRefuse,
+    FaultSite::NetBlackhole,
+    FaultSite::NetReset,
+    FaultSite::NetPartial,
+    FaultSite::NetDelay,
+];
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -62,6 +99,11 @@ impl FaultSite {
             FaultSite::SnapshotTorn => 1,
             FaultSite::WorkerPanic => 2,
             FaultSite::Delay => 3,
+            FaultSite::NetDelay => 4,
+            FaultSite::NetReset => 5,
+            FaultSite::NetPartial => 6,
+            FaultSite::NetBlackhole => 7,
+            FaultSite::NetRefuse => 8,
         }
     }
 
@@ -72,6 +114,52 @@ impl FaultSite {
             FaultSite::SnapshotTorn => "snapshot-torn",
             FaultSite::WorkerPanic => "panic",
             FaultSite::Delay => "delay",
+            FaultSite::NetDelay => "net-delay",
+            FaultSite::NetReset => "net-reset",
+            FaultSite::NetPartial => "net-partial",
+            FaultSite::NetBlackhole => "net-blackhole",
+            FaultSite::NetRefuse => "net-refuse",
+        }
+    }
+}
+
+/// The toxic a chaos proxy applies to one connection, decided by
+/// [`FaultPlan::net_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Relay intact after the plan's delay.
+    Delay,
+    /// Relay part of the reply body, then close.
+    Reset,
+    /// Write a prefix of the reply, then stall open.
+    Partial,
+    /// Never write a reply byte.
+    Blackhole,
+    /// Close before relaying anything.
+    Refuse,
+}
+
+impl NetFault {
+    /// The fault site this toxic was rolled from.
+    pub fn site(self) -> FaultSite {
+        match self {
+            NetFault::Delay => FaultSite::NetDelay,
+            NetFault::Reset => FaultSite::NetReset,
+            NetFault::Partial => FaultSite::NetPartial,
+            NetFault::Blackhole => FaultSite::NetBlackhole,
+            NetFault::Refuse => FaultSite::NetRefuse,
+        }
+    }
+
+    /// Short label for schedules and logs (the site name without the
+    /// `net-` prefix).
+    pub fn label(self) -> &'static str {
+        match self {
+            NetFault::Delay => "delay",
+            NetFault::Reset => "reset",
+            NetFault::Partial => "partial",
+            NetFault::Blackhole => "blackhole",
+            NetFault::Refuse => "refuse",
         }
     }
 }
@@ -135,7 +223,8 @@ impl FaultPlan {
     /// Parses a fault spec: comma-separated entries of `seed=N`,
     /// `delay-ms=N`, `<site>@N` (scheduled) or `<site>%P` (probabilistic)
     /// where `<site>` is one of `snapshot-io`, `snapshot-torn`, `panic`,
-    /// `delay`. An empty spec yields the inert plan.
+    /// `delay`, `net-delay`, `net-reset`, `net-partial`, `net-blackhole`,
+    /// `net-refuse`. An empty spec yields the inert plan.
     pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
         let spec = spec.trim();
         if spec.is_empty() {
@@ -261,6 +350,37 @@ impl FaultPlan {
         }
     }
 
+    /// Probes the network sites, once per accepted connection: rolls each
+    /// armed site in severity order ([`NET_SITES`] — refuse, blackhole,
+    /// reset, partial, delay) and returns the first toxic that fires, or
+    /// `None` for a clean relay. Short-circuiting keeps the per-site
+    /// `fired` counters equal to the toxics a proxy actually *applied*,
+    /// so `serve.net.*` counter attribution is exact.
+    pub fn net_fault(&self) -> Option<NetFault> {
+        self.state.as_ref()?;
+        for site in NET_SITES {
+            if self.roll(site) {
+                return Some(match site {
+                    FaultSite::NetDelay => NetFault::Delay,
+                    FaultSite::NetReset => NetFault::Reset,
+                    FaultSite::NetPartial => NetFault::Partial,
+                    FaultSite::NetBlackhole => NetFault::Blackhole,
+                    _ => NetFault::Refuse,
+                });
+            }
+        }
+        None
+    }
+
+    /// The plan's configured delay (`delay-ms=`), used by the `delay`
+    /// worker site and the `net-delay` proxy toxic alike.
+    pub fn delay_duration(&self) -> Duration {
+        self.state
+            .as_ref()
+            .map(|s| s.delay)
+            .unwrap_or(Duration::from_millis(1))
+    }
+
     /// Faults fired so far at `site`.
     pub fn fired(&self, site: FaultSite) -> u64 {
         self.state
@@ -276,10 +396,21 @@ impl FaultPlan {
             FaultSite::SnapshotTorn,
             FaultSite::WorkerPanic,
             FaultSite::Delay,
+            FaultSite::NetDelay,
+            FaultSite::NetReset,
+            FaultSite::NetPartial,
+            FaultSite::NetBlackhole,
+            FaultSite::NetRefuse,
         ]
         .iter()
         .map(|&s| self.fired(s))
         .sum()
+    }
+
+    /// Faults fired across the network sites only — what a chaos proxy
+    /// injected, for reconciling against the `serve.net.*` counters.
+    pub fn net_fired(&self) -> u64 {
+        NET_SITES.iter().map(|&s| self.fired(s)).sum()
     }
 }
 
@@ -289,6 +420,11 @@ fn site_by_name(name: &str) -> Option<FaultSite> {
         "snapshot-torn" => Some(FaultSite::SnapshotTorn),
         "panic" => Some(FaultSite::WorkerPanic),
         "delay" => Some(FaultSite::Delay),
+        "net-delay" => Some(FaultSite::NetDelay),
+        "net-reset" => Some(FaultSite::NetReset),
+        "net-partial" => Some(FaultSite::NetPartial),
+        "net-blackhole" => Some(FaultSite::NetBlackhole),
+        "net-refuse" => Some(FaultSite::NetRefuse),
         _ => None,
     }
 }
@@ -413,6 +549,64 @@ mod tests {
         let caught = std::panic::catch_unwind(|| p.worker_panic());
         assert!(caught.is_err());
         assert_eq!(p.fired(FaultSite::WorkerPanic), 1);
+    }
+
+    #[test]
+    fn net_sites_parse_scheduled_and_probabilistic_forms() {
+        // Every net site round-trips through the spec grammar in both
+        // the scheduled (@N) and probabilistic (%P) forms.
+        for site in NET_SITES {
+            let p = FaultPlan::parse(&format!("{}@1", site.name())).unwrap();
+            assert!(p.is_active(), "{} @N parses", site.name());
+            let toxic = p.net_fault().expect("first occurrence fires");
+            assert_eq!(toxic.site(), site);
+            assert_eq!(p.net_fault(), None, "scheduled site fires exactly once");
+            assert_eq!(p.fired(site), 1);
+
+            let p = FaultPlan::parse(&format!("seed=5,{}%1.0", site.name())).unwrap();
+            assert_eq!(p.net_fault().map(NetFault::site), Some(site), "{} %P parses", site.name());
+        }
+        // All five in one spec, each scheduled at its own occurrence 1.
+        // Short-circuit probing means a site's occurrence counter only
+        // advances when no more-severe site fired, so the five toxics
+        // cascade out in severity order, one per connection.
+        let p = FaultPlan::parse(
+            "seed=1,net-refuse@1,net-blackhole@1,net-reset@1,net-partial@1,net-delay@1",
+        )
+        .unwrap();
+        assert_eq!(p.net_fault(), Some(NetFault::Refuse));
+        assert_eq!(p.net_fault(), Some(NetFault::Blackhole));
+        assert_eq!(p.net_fault(), Some(NetFault::Reset));
+        assert_eq!(p.net_fault(), Some(NetFault::Partial));
+        assert_eq!(p.net_fault(), Some(NetFault::Delay));
+        assert_eq!(p.net_fault(), None);
+        assert_eq!(p.net_fired(), 5);
+        assert_eq!(p.total_fired(), 5);
+    }
+
+    #[test]
+    fn net_sites_reject_unknown_and_malformed_entries() {
+        assert!(FaultPlan::parse("net-bogus@1").is_err(), "unknown net site");
+        assert!(FaultPlan::parse("net-reset@0").is_err(), "occurrences are 1-based");
+        assert!(FaultPlan::parse("net-delay%2.0").is_err(), "probability out of range");
+        assert!(FaultPlan::parse("net-blackhole").is_err(), "missing @N / %P form");
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_toxic_schedule() {
+        let spec = "seed=42,net-delay%0.3,net-reset%0.2,net-blackhole%0.1,net-refuse%0.1";
+        let schedule = |spec: &str| -> Vec<Option<NetFault>> {
+            let p = FaultPlan::parse(spec).unwrap();
+            (0..128).map(|_| p.net_fault()).collect()
+        };
+        assert_eq!(schedule(spec), schedule(spec), "same seed, same schedule");
+        assert_ne!(
+            schedule(spec),
+            schedule("seed=43,net-delay%0.3,net-reset%0.2,net-blackhole%0.1,net-refuse%0.1"),
+            "different seed, different schedule"
+        );
+        let fired = schedule(spec).iter().filter(|t| t.is_some()).count();
+        assert!(fired > 10, "the mixed spec actually injects: {fired}");
     }
 
     #[test]

@@ -50,7 +50,10 @@ mod value;
 
 pub use error::CoreError;
 pub use evidence::EvidenceSet;
-pub use fault::{silence_injected_panics, FaultPlan, FaultSite, FaultSpecError, SnapshotFault, INJECTED_PANIC};
+pub use fault::{
+    silence_injected_panics, FaultPlan, FaultSite, FaultSpecError, NetFault, SnapshotFault,
+    INJECTED_PANIC, NET_SITES,
+};
 pub use guard::{rss_kib, ExecGuard, GuardConfig, Interrupt, Partial};
 pub use snapshot::{atomic_write, fnv1a64, fsync_dir, hash_ontology, hash_relation, CheckpointOptions, Fingerprint, LoadedSnapshot, SnapshotError, SnapshotStore, SNAPSHOT_VERSION};
 pub use obs::{MetricsSnapshot, Obs, SpanGuard};

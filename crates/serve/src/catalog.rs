@@ -35,6 +35,9 @@ use ofd_datagen::csv;
 use ofd_ontology::{parse_ontology, Ontology};
 use serde_json::{json, Value};
 
+use crate::peers::PeerTimeouts;
+use crate::retry::RetryPolicy;
+
 /// One resolved catalog entry: the raw texts (for fingerprinting and
 /// byte-identical checkpoint keys) and the parsed, shareable inputs.
 #[derive(Debug)]
@@ -101,6 +104,12 @@ pub fn valid_name(name: &str) -> bool {
             .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
 }
 
+/// Whether a stored catalog body is committed. Entries written before
+/// the two-phase scheme carry no flag and are treated as committed.
+fn is_committed(body: &Value) -> bool {
+    body.get("committed").and_then(Value::as_bool).unwrap_or(true)
+}
+
 /// Splits a `name` / `name@version` reference.
 fn parse_reference(reference: &str) -> Result<(&str, Option<u64>), CatalogError> {
     let (name, version) = match reference.split_once('@') {
@@ -131,9 +140,26 @@ pub struct Catalog {
     /// during the PUT, or freshly re-imaged — repairs itself by fetching
     /// the version's snapshot from a peer).
     peers: Vec<std::net::SocketAddr>,
+    /// Connect/read deadlines for all peer conversations.
+    peer_timeouts: PeerTimeouts,
     /// Interned `(name, version)` → parsed entry. Never invalidated:
-    /// versions are append-only and immutable once written.
+    /// versions are append-only and immutable once written. Only
+    /// **committed** versions are ever interned — a pending version must
+    /// re-run quorum confirmation on every touch until it commits.
     interned: Mutex<FxHashMap<(String, u64), Arc<CatalogEntry>>>,
+}
+
+/// What quorum confirmation of a pending (uncommitted) version decided.
+enum PendingVerdict {
+    /// A majority of the fleet holds the version: the write committed;
+    /// flip it locally and serve it.
+    Confirmed,
+    /// A majority answered and fewer than a quorum hold it: the fan-out
+    /// died before commit. The version is torn — delete it.
+    Torn,
+    /// Not enough peers answered to decide either way. Don't serve it,
+    /// don't delete it; a later read retries.
+    Unknown,
 }
 
 impl Catalog {
@@ -147,6 +173,7 @@ impl Catalog {
             store,
             obs,
             peers: Vec::new(),
+            peer_timeouts: PeerTimeouts::default(),
             interned: Mutex::new(FxHashMap::default()),
         }
     }
@@ -155,6 +182,12 @@ impl Catalog {
     /// repair on local miss.
     pub fn with_peers(mut self, peers: Vec<std::net::SocketAddr>) -> Catalog {
         self.peers = peers;
+        self
+    }
+
+    /// Sets the connect/read deadlines used for every peer conversation.
+    pub fn with_peer_timeouts(mut self, timeouts: PeerTimeouts) -> Catalog {
+        self.peer_timeouts = timeouts;
         self
     }
 
@@ -180,16 +213,20 @@ impl Catalog {
             .copied()
             .unwrap_or(0)
             + 1;
-        self.save_entry(name, csv_text, onto_text, version)
+        self.save_entry(name, csv_text, onto_text, version, true)
     }
 
     /// Registers a dataset at an explicitly pinned version — the
     /// replicated-write path: the router picks one version number and
-    /// fans it out, so every replica stores the same history. Pinned
-    /// writes are **idempotent by content**: re-registering identical
-    /// texts at an existing version acks without rewriting (a retried
-    /// fan-out, or a shared-disk fleet where a sibling already landed
-    /// the file), while different content at an existing version is a
+    /// fans it out, so every replica stores the same history. The stored
+    /// version is **pending** (`"committed": false`) until the router's
+    /// commit round flips it: a coordinator that dies mid-fan-out leaves
+    /// pending files behind, never a readable torn version (reads run
+    /// quorum confirmation — see `confirm_pending`). Pinned writes are
+    /// **idempotent by content**: re-registering identical texts at an
+    /// existing version acks without rewriting (a retried fan-out, or a
+    /// shared-disk fleet where a sibling already landed the file), while
+    /// different content at an existing version is a
     /// [`CatalogError::Conflict`] — replicas never fork history.
     pub fn put_pinned(
         &self,
@@ -197,6 +234,22 @@ impl Catalog {
         csv_text: &str,
         onto_text: &str,
         version: u64,
+    ) -> Result<Arc<CatalogEntry>, CatalogError> {
+        self.install_replica(name, csv_text, onto_text, version, false)
+    }
+
+    /// The body of [`Self::put_pinned`], with the commit state explicit —
+    /// peer read-repair installs an already-committed copy directly.
+    /// The idempotent-ack path parses the texts itself rather than going
+    /// through `resolve`, so a retried fan-out PUT never triggers quorum
+    /// confirmation mid-write.
+    fn install_replica(
+        &self,
+        name: &str,
+        csv_text: &str,
+        onto_text: &str,
+        version: u64,
+        committed: bool,
     ) -> Result<Arc<CatalogEntry>, CatalogError> {
         if version == 0 {
             return Err(CatalogError::BadRequest(
@@ -211,30 +264,58 @@ impl Catalog {
             let same = existing.body.get("csv").and_then(Value::as_str) == Some(csv_text)
                 && existing.body.get("ontology").and_then(Value::as_str) == Some(onto_text);
             if same {
-                return self.resolve(&format!("{name}@{version}"));
+                return self.parse_entry(name, version, csv_text, onto_text, false);
             }
             return Err(CatalogError::Conflict(format!(
                 "dataset {name:?} version {version} already exists with different content"
             )));
         }
-        self.save_entry(name, csv_text, onto_text, version)
+        self.save_entry(name, csv_text, onto_text, version, committed)
     }
 
-    /// Parse, persist and intern one `(name, version)` entry. The CSV
-    /// and ontology must parse — a catalog that accepts garbage would
-    /// turn every later job into a 4xx lottery.
+    /// Parse, persist and (when committed) intern one `(name, version)`
+    /// entry. The CSV and ontology must parse — a catalog that accepts
+    /// garbage would turn every later job into a 4xx lottery.
     fn save_entry(
         &self,
         name: &str,
         csv_text: &str,
         onto_text: &str,
         version: u64,
+        committed: bool,
     ) -> Result<Arc<CatalogEntry>, CatalogError> {
         if !valid_name(name) {
             return Err(CatalogError::BadRequest(format!(
                 "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
             )));
         }
+        let body = json!({
+            "name": name,
+            "version": version,
+            "csv": csv_text,
+            "ontology": onto_text,
+            "committed": committed,
+        });
+        let entry = self.parse_entry(name, version, csv_text, onto_text, committed)?;
+        self.store
+            .save(name, version, &body)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?;
+        self.obs.inc("serve.catalog.put");
+        Ok(entry)
+    }
+
+    /// Parses the raw texts of one version into a [`CatalogEntry`],
+    /// interning it only when `intern` (committed versions only — a
+    /// pending version must stay un-cached so reads keep re-running
+    /// quorum confirmation until it commits).
+    fn parse_entry(
+        &self,
+        name: &str,
+        version: u64,
+        csv_text: &str,
+        onto_text: &str,
+        intern: bool,
+    ) -> Result<Arc<CatalogEntry>, CatalogError> {
         let relation =
             csv::read_csv(csv_text).map_err(|e| CatalogError::BadRequest(format!("csv: {e}")))?;
         let ontology_parsed = if onto_text.is_empty() {
@@ -243,16 +324,6 @@ impl Catalog {
             parse_ontology(onto_text)
                 .map_err(|e| CatalogError::BadRequest(format!("ontology: {e}")))?
         };
-        let body = json!({
-            "name": name,
-            "version": version,
-            "csv": csv_text,
-            "ontology": onto_text,
-        });
-        self.store
-            .save(name, version, &body)
-            .map_err(|e| CatalogError::Storage(e.to_string()))?;
-        self.obs.inc("serve.catalog.put");
         let entry = Arc::new(CatalogEntry {
             name: name.to_owned(),
             version,
@@ -262,11 +333,69 @@ impl Catalog {
             relation,
             ontology_parsed,
         });
-        self.interned
-            .lock()
-            .expect("catalog intern lock")
-            .insert((name.to_owned(), version), entry.clone());
+        if intern {
+            self.interned
+                .lock()
+                .expect("catalog intern lock")
+                .insert((name.to_owned(), version), entry.clone());
+        }
         Ok(entry)
+    }
+
+    /// Local state of one version for the peer `stat` endpoint:
+    /// `(present, committed)`. Distinguishing *answered without the
+    /// version* from *unreachable* is what lets quorum confirmation
+    /// declare a version torn instead of merely unknown.
+    pub fn stat(&self, name: &str, version: u64) -> Result<(bool, bool), CatalogError> {
+        if !valid_name(name) {
+            return Err(CatalogError::BadRequest(format!(
+                "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
+            )));
+        }
+        match self
+            .store
+            .load_seq(name, version)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?
+        {
+            Some(loaded) => Ok((true, is_committed(&loaded.body))),
+            None => Ok((false, false)),
+        }
+    }
+
+    /// Flips one stored version to committed — the second phase of the
+    /// replicated write, and the repair action after a read confirms a
+    /// pending version reached quorum. Idempotent; re-saving goes through
+    /// the same atomic tmp+rename path as the original write. Returns
+    /// whether the flag actually flipped.
+    pub fn commit_version(&self, name: &str, version: u64) -> Result<bool, CatalogError> {
+        if !valid_name(name) {
+            return Err(CatalogError::BadRequest(format!(
+                "bad dataset name {name:?}: expected 1-64 chars of [A-Za-z0-9_-]"
+            )));
+        }
+        let Some(loaded) = self
+            .store
+            .load_seq(name, version)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?
+        else {
+            return Err(CatalogError::BadRequest(format!(
+                "unknown dataset {name:?} version {version}"
+            )));
+        };
+        if is_committed(&loaded.body) {
+            return Ok(false);
+        }
+        let mut body = loaded.body;
+        if let Value::Object(fields) = &mut body {
+            match fields.iter_mut().find(|(k, _)| k == "committed") {
+                Some((_, v)) => *v = Value::Bool(true),
+                None => fields.push(("committed".to_owned(), Value::Bool(true))),
+            }
+        }
+        self.store
+            .save(name, version, &body)
+            .map_err(|e| CatalogError::Storage(e.to_string()))?;
+        Ok(true)
     }
 
     /// Deletes one stored version — the quorum-write *rollback* path:
@@ -313,28 +442,55 @@ impl Catalog {
 
     /// Resolves a `name` / `name@version` reference to its entry,
     /// interning the parse on first touch. A bare name means the newest
-    /// version *on disk* — so an entry registered through another worker
-    /// of the fleet is found without any cross-process chatter.
+    /// **committed** version: pending versions (a replicated write whose
+    /// coordinator may have died mid-fan-out) are quorum-confirmed on
+    /// read, and a version confirmed torn is skipped in favour of the
+    /// next older one — a torn version is never readable.
     pub fn resolve(&self, reference: &str) -> Result<Arc<CatalogEntry>, CatalogError> {
         let (name, version) = parse_reference(reference)?;
-        let version = match version {
-            Some(v) => v,
-            None => match self
-                .store
-                .versions(name)
-                .map_err(|e| CatalogError::Storage(e.to_string()))?
-                .last()
-                .copied()
-            {
-                Some(v) => v,
-                // Nothing local: in multi-host mode this replica may
-                // simply have missed the quorum write — ask the peers
-                // what the newest version is before declaring unknown.
-                None => self.newest_on_peers(name).ok_or_else(|| {
-                    CatalogError::BadRequest(format!("unknown dataset {name:?}"))
-                })?,
-            },
-        };
+        match version {
+            Some(v) => self.resolve_version(name, v)?.ok_or_else(|| {
+                CatalogError::BadRequest(format!("unknown dataset {name:?} version {v}"))
+            }),
+            None => {
+                let versions = self
+                    .store
+                    .versions(name)
+                    .map_err(|e| CatalogError::Storage(e.to_string()))?;
+                if versions.is_empty() {
+                    // Nothing local: in multi-host mode this replica may
+                    // simply have missed the quorum write — ask the
+                    // peers what the newest version is before declaring
+                    // unknown.
+                    let v = self.newest_on_peers(name).ok_or_else(|| {
+                        CatalogError::BadRequest(format!("unknown dataset {name:?}"))
+                    })?;
+                    return self.resolve_version(name, v)?.ok_or_else(|| {
+                        CatalogError::BadRequest(format!("unknown dataset {name:?}"))
+                    });
+                }
+                // Newest first; a torn newest version must not shadow
+                // the last committed one.
+                for &v in versions.iter().rev() {
+                    if let Some(entry) = self.resolve_version(name, v)? {
+                        return Ok(entry);
+                    }
+                }
+                Err(CatalogError::BadRequest(format!(
+                    "unknown dataset {name:?}"
+                )))
+            }
+        }
+    }
+
+    /// Resolves one pinned `(name, version)`. `Ok(None)` means the
+    /// version is not servable here — absent everywhere, or confirmed
+    /// torn (and deleted) by quorum confirmation.
+    fn resolve_version(
+        &self,
+        name: &str,
+        version: u64,
+    ) -> Result<Option<Arc<CatalogEntry>>, CatalogError> {
         if let Some(entry) = self
             .interned
             .lock()
@@ -342,7 +498,7 @@ impl Catalog {
             .get(&(name.to_owned(), version))
         {
             self.obs.inc("serve.catalog.hit");
-            return Ok(entry.clone());
+            return Ok(Some(entry.clone()));
         }
         let loaded = match self
             .store
@@ -352,16 +508,34 @@ impl Catalog {
             Some(loaded) => loaded,
             None => {
                 // Read repair: fetch the version's snapshot from a peer,
-                // install it locally, and serve it — after which this
-                // replica answers from its own disk like everyone else.
-                if let Some(entry) = self.fetch_from_peers(name, version) {
-                    return Ok(entry);
+                // install it locally, then resolve from disk like
+                // everyone else — so a fetched *pending* copy still runs
+                // quorum confirmation instead of being served blind.
+                if self.fetch_from_peers(name, version).is_some() {
+                    return self.resolve_version(name, version);
                 }
-                return Err(CatalogError::BadRequest(format!(
-                    "unknown dataset {name:?} version {version}"
-                )));
+                return Ok(None);
             }
         };
+        if !is_committed(&loaded.body) {
+            match self.confirm_pending(name, version) {
+                PendingVerdict::Confirmed => {
+                    self.commit_version(name, version)?;
+                    self.obs.inc("serve.catalog.read_repaired");
+                }
+                PendingVerdict::Torn => {
+                    self.delete_version(name, version)?;
+                    self.obs.inc("serve.catalog.read_repaired");
+                    return Ok(None);
+                }
+                PendingVerdict::Unknown => {
+                    return Err(CatalogError::Storage(format!(
+                        "dataset {name:?} version {version} is pending and the \
+                         quorum is unreachable — retry when the fleet heals"
+                    )));
+                }
+            }
+        }
         let text = |field: &str| {
             loaded
                 .body
@@ -376,30 +550,47 @@ impl Catalog {
         };
         let csv_text = text("csv")?;
         let onto_text = text("ontology")?;
-        let relation = csv::read_csv(&csv_text)
-            .map_err(|e| CatalogError::Storage(format!("catalog entry {name}@{version}: {e}")))?;
-        let ontology_parsed = if onto_text.is_empty() {
-            Ontology::empty()
-        } else {
-            parse_ontology(&onto_text).map_err(|e| {
-                CatalogError::Storage(format!("catalog entry {name}@{version}: {e}"))
-            })?
-        };
-        let entry = Arc::new(CatalogEntry {
-            name: name.to_owned(),
-            version,
-            fingerprint: content_fingerprint(&csv_text, &onto_text),
-            csv: csv_text,
-            ontology: onto_text,
-            relation,
-            ontology_parsed,
-        });
         self.obs.inc("serve.catalog.miss");
-        self.interned
-            .lock()
-            .expect("catalog intern lock")
-            .insert((name.to_owned(), version), entry.clone());
-        Ok(entry)
+        self.parse_entry(name, version, &csv_text, &onto_text, true)
+            .map(Some)
+            .map_err(|e| CatalogError::Storage(format!("catalog entry {name}@{version}: {e}", e = e.message())))
+    }
+
+    /// Quorum confirmation of a locally-pending version: ask every peer
+    /// for its `stat` of `(name, version)` and count holders among those
+    /// that answered. This replica counts as one holder and one answer.
+    /// A peer that reports the version *committed* is proof positive —
+    /// the commit round reached at least one replica, which it only does
+    /// after quorum ack.
+    fn confirm_pending(&self, name: &str, version: u64) -> PendingVerdict {
+        let fleet = self.peers.len() + 1;
+        let quorum = fleet / 2 + 1;
+        let mut holders = 1usize;
+        let mut answered = 1usize;
+        let path = format!("/v1/datasets/{name}/{version}/stat");
+        let policy = RetryPolicy::new(2, 25);
+        for &peer in &self.peers {
+            let reply = policy.run(
+                |_| crate::peers::peer_json(peer, "GET", &path, None, &self.peer_timeouts),
+                |e| e.kind() == std::io::ErrorKind::ConnectionRefused,
+            );
+            if let Ok((200, reply)) = reply {
+                answered += 1;
+                if reply.get("committed").and_then(Value::as_bool) == Some(true) {
+                    return PendingVerdict::Confirmed;
+                }
+                if reply.get("present").and_then(Value::as_bool) == Some(true) {
+                    holders += 1;
+                }
+            }
+        }
+        if holders >= quorum {
+            PendingVerdict::Confirmed
+        } else if answered >= quorum {
+            PendingVerdict::Torn
+        } else {
+            PendingVerdict::Unknown
+        }
     }
 
     /// Metadata for `GET /v1/datasets/{name}` — never the row payload;
@@ -435,21 +626,29 @@ impl Catalog {
         let path = format!("/v1/datasets/{name}");
         self.peers
             .iter()
-            .filter_map(|&peer| match crate::peers::peer_json(peer, "GET", &path, None) {
-                Ok((200, reply)) => reply.get("version").and_then(Value::as_u64),
-                _ => None,
+            .filter_map(|&peer| {
+                match crate::peers::peer_json(peer, "GET", &path, None, &self.peer_timeouts) {
+                    Ok((200, reply)) => reply.get("version").and_then(Value::as_u64),
+                    _ => None,
+                }
             })
             .max()
     }
 
     /// Fetches `name@version` from the first peer that has it and
     /// installs it locally via the pinned-write path (so the repaired
-    /// copy is byte-compatible with the quorum's). Counted as
-    /// `serve.catalog.peer_fetch`.
+    /// copy is byte-compatible with the quorum's), preserving the peer's
+    /// commit state. Counted as `serve.catalog.peer_fetch`. Transient
+    /// transport errors get a small retry budget; connection-refused
+    /// moves on to the next peer without sleeping.
     fn fetch_from_peers(&self, name: &str, version: u64) -> Option<Arc<CatalogEntry>> {
         let path = format!("/v1/datasets/{name}/{version}/snapshot");
+        let policy = RetryPolicy::new(2, 50);
         for &peer in &self.peers {
-            let Ok((200, payload)) = crate::peers::peer_json(peer, "GET", &path, None) else {
+            let Ok((200, payload)) = policy.run(
+                |_| crate::peers::peer_json(peer, "GET", &path, None, &self.peer_timeouts),
+                |e| e.kind() == std::io::ErrorKind::ConnectionRefused,
+            ) else {
                 continue;
             };
             let (Some(csv_text), Some(onto_text)) = (
@@ -458,7 +657,10 @@ impl Catalog {
             ) else {
                 continue;
             };
-            if let Ok(entry) = self.put_pinned(name, csv_text, onto_text, version) {
+            let committed = is_committed(&payload);
+            if let Ok(entry) =
+                self.install_replica(name, csv_text, onto_text, version, committed)
+            {
                 self.obs.inc("serve.catalog.peer_fetch");
                 return Some(entry);
             }

@@ -53,6 +53,11 @@ pub enum HttpError {
     Io(std::io::Error),
     /// Peer closed the connection before a full request arrived.
     Disconnected,
+    /// Peer closed the connection mid-body: the head promised more bytes
+    /// than ever arrived. Distinct from [`HttpError::Malformed`] so
+    /// breakers classify a client abort (their fault, connection gone)
+    /// separately from malformed input (answerable with a 400).
+    Truncated,
 }
 
 impl std::fmt::Display for HttpError {
@@ -63,6 +68,7 @@ impl std::fmt::Display for HttpError {
             HttpError::BodyTooLarge => write!(f, "request body too large"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
             HttpError::Disconnected => write!(f, "client disconnected"),
+            HttpError::Truncated => write!(f, "connection closed mid-body"),
         }
     }
 }
@@ -151,7 +157,7 @@ pub fn read_request(
     }
     while body.len() < content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return Err(HttpError::Malformed("eof inside body".into())),
+            Ok(0) => return Err(HttpError::Truncated),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e) => return Err(HttpError::Io(e)),
         }
@@ -319,5 +325,13 @@ mod tests {
     fn empty_connection_is_a_disconnect() {
         let err = roundtrip(b"").expect_err("disconnect");
         assert!(matches!(err, HttpError::Disconnected));
+    }
+
+    #[test]
+    fn eof_mid_body_is_truncated_not_malformed() {
+        // The head promises 100 bytes; the client sends 5 and hangs up.
+        let err = roundtrip(b"POST /v1/clean HTTP/1.1\r\ncontent-length: 100\r\n\r\nhello")
+            .expect_err("truncated");
+        assert!(matches!(err, HttpError::Truncated), "got {err:?}");
     }
 }

@@ -156,6 +156,8 @@ pub struct JobContext {
     /// directory is empty locally, the dead owner's newest snapshot is
     /// fetched from here before falling back to re-execution.
     pub peers: Vec<std::net::SocketAddr>,
+    /// Connect/read deadlines for those peer conversations.
+    pub peer_timeouts: crate::peers::PeerTimeouts,
 }
 
 /// Runs `endpoint` on `body`, returning the response body and outcome.
@@ -423,6 +425,7 @@ fn job_checkpoint(
             &ctx.peers,
             &format!("/v1/jobs/{fp:016x}/snapshot"),
             &store,
+            &ctx.peer_timeouts,
         ) > 0
     {
         ctx.obs.inc("serve.ship.fetched");
@@ -635,6 +638,7 @@ mod tests {
             catalog: None,
             sessions: Arc::new(crate::stream::StreamSessions::new()),
             peers: Vec::new(),
+            peer_timeouts: crate::peers::PeerTimeouts::default(),
         }
     }
 

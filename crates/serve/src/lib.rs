@@ -50,8 +50,10 @@ pub mod breaker;
 pub mod catalog;
 pub mod http;
 pub mod jobs;
+pub mod netfault;
 pub mod peers;
 pub mod queue;
+pub mod retry;
 pub mod router;
 pub mod server;
 pub mod stream;
@@ -60,7 +62,9 @@ pub mod supervisor;
 pub use breaker::{Admission, Breaker};
 pub use catalog::{content_fingerprint, Catalog, CatalogEntry, CatalogError};
 pub use jobs::{BadRequest, Endpoint, JobContext, JobError, JobOutcome};
-pub use peers::parse_peer_list;
+pub use netfault::{NetFaultProxy, NET_COUNTERS};
+pub use peers::{parse_peer_list, PeerTimeouts};
+pub use retry::{RetryPolicy, RetrySession, RETRIES_EXHAUSTED};
 pub use stream::{StreamSessions, STREAM_COUNTERS};
 pub use router::{Fleet, Router, RouterConfig, ROUTER_COUNTERS};
 pub use server::{termination_flag, ServeConfig, ServeSummary, Server, SERVE_COUNTERS};

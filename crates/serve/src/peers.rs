@@ -9,9 +9,10 @@
 //! * job / stream recovery ships a dead owner's newest checkpoint across
 //!   filesystems via `GET /v1/{jobs,streams}/{fingerprint}/snapshot`.
 //!
-//! Everything here is bounded: short connect timeouts, one read to EOF,
-//! no retries — callers iterate the peer list themselves and degrade
-//! gracefully when nobody answers.
+//! Everything here is bounded: configurable connect/read deadlines
+//! ([`PeerTimeouts`]), one read to EOF verified against `content-length`
+//! (a torn reply is a transport error, never a parsed success), and a
+//! shared [`RetryPolicy`](crate::retry::RetryPolicy) in the fetch path.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -20,12 +21,42 @@ use std::time::Duration;
 use ofd_core::SnapshotStore;
 use serde_json::Value;
 
-/// Connect timeout for peer-to-peer transfer requests.
-const PEER_CONNECT_MS: u64 = 1_000;
-/// Read deadline for peer-to-peer transfer requests. Snapshot bundles are
-/// small (a handful of JSON levels), so a stalled peer should not hold a
-/// recovery path hostage.
-const PEER_READ_MS: u64 = 10_000;
+use crate::retry::RetryPolicy;
+
+/// Connect/read deadlines for peer-to-peer transfer requests.
+///
+/// The defaults are the historical constants (1 s connect, 10 s read);
+/// chaos runs tighten both via `--peer-timeout-ms` so a blackholed peer
+/// costs milliseconds instead of stalling a recovery path for 10 s.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerTimeouts {
+    /// Connect timeout.
+    pub connect: Duration,
+    /// Read/write deadline for the whole exchange.
+    pub read: Duration,
+}
+
+impl Default for PeerTimeouts {
+    fn default() -> PeerTimeouts {
+        PeerTimeouts {
+            connect: Duration::from_millis(1_000),
+            read: Duration::from_millis(10_000),
+        }
+    }
+}
+
+impl PeerTimeouts {
+    /// Timeouts derived from a single `peer_timeout_ms` knob: the read
+    /// deadline is the knob, the connect timeout is clamped to at most
+    /// 1 s (connecting should always be fast; only transfers are slow).
+    pub fn from_ms(peer_timeout_ms: u64) -> PeerTimeouts {
+        let read = Duration::from_millis(peer_timeout_ms.max(1));
+        PeerTimeouts {
+            connect: read.min(Duration::from_millis(1_000)),
+            read,
+        }
+    }
+}
 
 /// Parse a comma-separated `host:port,...` peer list into socket
 /// addresses. Entries are trimmed; empty entries are rejected so a typo
@@ -49,16 +80,19 @@ pub fn parse_peer_list(spec: &str) -> Result<Vec<SocketAddr>, String> {
 
 /// One bounded HTTP exchange with a peer: connect, send `method path`
 /// with an optional JSON body, read the reply to EOF. Returns the status
-/// code and raw body bytes.
+/// code and raw body bytes. A reply whose body is shorter than its
+/// `content-length` header is a transport error (`UnexpectedEof`) — a
+/// connection torn mid-body must never surface as a parsed success.
 pub(crate) fn peer_exchange(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: Option<&Value>,
+    timeouts: &PeerTimeouts,
 ) -> io::Result<(u16, Vec<u8>)> {
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(PEER_CONNECT_MS))?;
-    stream.set_read_timeout(Some(Duration::from_millis(PEER_READ_MS)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(PEER_READ_MS)))?;
+    let stream = TcpStream::connect_timeout(&addr, timeouts.connect)?;
+    stream.set_read_timeout(Some(timeouts.read))?;
+    stream.set_write_timeout(Some(timeouts.read))?;
     let payload = body.map(|v| v.to_string()).unwrap_or_default();
     let mut req = format!(
         "{method} {path} HTTP/1.1\r\nhost: peer\r\ncontent-length: {}\r\nconnection: close\r\n",
@@ -83,7 +117,28 @@ pub(crate) fn peer_exchange(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad peer status line"))?;
-    Ok((status, raw[head_end + 4..].to_vec()))
+    let reply = raw[head_end + 4..].to_vec();
+    if let Some(expected) = content_length(&head) {
+        if reply.len() < expected {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("short peer reply: {} of {expected} body bytes", reply.len()),
+            ));
+        }
+    }
+    Ok((status, reply))
+}
+
+/// Parse the `content-length` header out of a raw reply head, if any.
+pub(crate) fn content_length(head: &str) -> Option<usize> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
 }
 
 /// Like [`peer_exchange`], but parse the body as JSON. Non-JSON bodies
@@ -94,8 +149,9 @@ pub(crate) fn peer_json(
     method: &str,
     path: &str,
     body: Option<&Value>,
+    timeouts: &PeerTimeouts,
 ) -> io::Result<(u16, Value)> {
-    let (status, raw) = peer_exchange(addr, method, path, body)?;
+    let (status, raw) = peer_exchange(addr, method, path, body, timeouts)?;
     let parsed = std::str::from_utf8(&raw)
         .ok()
         .and_then(|text| serde_json::from_str(text).ok())
@@ -105,16 +161,24 @@ pub(crate) fn peer_json(
 
 /// Fetch a snapshot bundle (`{"files": [{name, seq, body}, ...]}`) from
 /// the first peer that answers 200 for `path`, and install every file
-/// into `store` via [`SnapshotStore::save`]. Returns the number of
-/// snapshot files installed (0 when no peer had anything to ship —
-/// callers then fall back to re-execution from inputs).
+/// into `store` via [`SnapshotStore::save`]. Each peer gets a small
+/// retry budget (transient resets and torn replies are exactly what the
+/// chaos proxy injects); connection-refused moves on without sleeping.
+/// Returns the number of snapshot files installed (0 when no peer had
+/// anything to ship — callers then fall back to re-execution from
+/// inputs).
 pub(crate) fn fetch_and_install(
     peers: &[SocketAddr],
     path: &str,
     store: &SnapshotStore,
+    timeouts: &PeerTimeouts,
 ) -> usize {
+    let policy = RetryPolicy::new(2, 50);
     for &peer in peers {
-        let Ok((200, bundle)) = peer_json(peer, "GET", path, None) else {
+        let Ok((200, bundle)) = policy.run(
+            |_| peer_json(peer, "GET", path, None, timeouts),
+            |e| e.kind() == io::ErrorKind::ConnectionRefused,
+        ) else {
             continue;
         };
         let Some(files) = bundle.get("files").and_then(Value::as_array) else {
@@ -206,7 +270,8 @@ mod tests {
         });
 
         let dst = SnapshotStore::new(&dst_dir);
-        let installed = fetch_and_install(&[addr], "/v1/streams/00/snapshot", &dst);
+        let installed =
+            fetch_and_install(&[addr], "/v1/streams/00/snapshot", &dst, &PeerTimeouts::default());
         server.join().expect("server thread");
         assert_eq!(installed, 1);
         let loaded = dst.load_latest("session").expect("load").expect("present");
@@ -218,5 +283,35 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&src_dir);
         let _ = std::fs::remove_dir_all(&dst_dir);
+    }
+
+    #[test]
+    fn short_replies_are_transport_errors_not_parsed_successes() {
+        // A peer that advertises 100 body bytes but closes after 5: the
+        // client must surface UnexpectedEof, never a 200 with a torn body.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 4096];
+            let _ = conn.read(&mut buf);
+            let reply = "HTTP/1.1 200 OK\r\ncontent-length: 100\r\nconnection: close\r\n\r\ntorn!";
+            conn.write_all(reply.as_bytes()).expect("reply");
+        });
+        let err = peer_exchange(addr, "GET", "/healthz", None, &PeerTimeouts::default())
+            .expect_err("short body must not parse");
+        server.join().expect("server thread");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("short peer reply"), "got: {err}");
+    }
+
+    #[test]
+    fn peer_timeouts_derive_from_a_single_knob() {
+        let t = PeerTimeouts::from_ms(250);
+        assert_eq!(t.read, Duration::from_millis(250));
+        assert_eq!(t.connect, Duration::from_millis(250), "connect clamps to read when tighter");
+        let t = PeerTimeouts::from_ms(30_000);
+        assert_eq!(t.read, Duration::from_millis(30_000));
+        assert_eq!(t.connect, Duration::from_millis(1_000), "connect caps at 1 s");
     }
 }

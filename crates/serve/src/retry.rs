@@ -1,0 +1,234 @@
+//! One retry discipline for every network path in the fleet.
+//!
+//! Before this module, three hand-rolled loops each re-invented retries:
+//! the router's failover walk, the quorum catalog PUT fan-out, and the
+//! peer checkpoint fetch/ship path. They disagreed on backoff shape,
+//! deadline handling and give-up conditions — exactly the differences a
+//! network-fault soak turns into flakes. [`RetryPolicy`] centralises the
+//! three decisions every retry loop must make:
+//!
+//! * **budget** — how many attempts in total (the first attempt counts);
+//! * **backoff** — linear base growth with deterministic jitter (a
+//!   seeded hash, never wall-clock randomness, so a pinned-seed chaos
+//!   run replays the same sleep schedule);
+//! * **deadline clamp** — no sleep ever crosses the caller's deadline,
+//!   and a passed deadline ends the session immediately.
+//!
+//! A connection-refused failure is *free*: nothing is listening, so the
+//! next candidate is tried without sleeping — only timeouts, torn
+//! replies and 5xx answers consume the backoff budget. Callers that run
+//! out of budget count it themselves under `serve.net.retries_exhausted`
+//! (pinned by the metrics schema), so every giving-up path in the fleet
+//! is attributable from one counter.
+
+use std::time::{Duration, Instant};
+
+/// The counter name every retry caller increments when a session
+/// exhausts its budget or deadline without success.
+pub const RETRIES_EXHAUSTED: &str = "serve.net.retries_exhausted";
+
+/// SplitMix64 — the same deterministic mixer the fault plan uses, so
+/// jitter is a pure function of `(seed, attempt)`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A retry discipline: budget, jittered backoff, deadline clamp.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, first included (`1` = no retries).
+    pub budget: u32,
+    /// Base backoff; the sleep before attempt `n+1` grows linearly as
+    /// `base * n`, jittered to 50–100% of that.
+    pub base_backoff: Duration,
+    /// Ceiling on any single sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+    /// Hard deadline: sleeps are clamped to the time remaining, and a
+    /// passed deadline exhausts the session.
+    pub deadline: Option<Instant>,
+}
+
+impl RetryPolicy {
+    /// A policy with `budget` attempts and a `base_backoff_ms` linear
+    /// backoff, capped at 2 s per sleep, no deadline.
+    pub fn new(budget: u32, base_backoff_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            budget: budget.max(1),
+            base_backoff: Duration::from_millis(base_backoff_ms),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the hard deadline (`None` leaves the session unbounded).
+    pub fn deadline(mut self, deadline: Option<Instant>) -> RetryPolicy {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the jitter seed (a pinned-seed soak passes its run seed so
+    /// the sleep schedule replays).
+    pub fn seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Starts a retry session (one request / one peer conversation).
+    pub fn session(&self) -> RetrySession<'_> {
+        RetrySession {
+            policy: self,
+            failures: 0,
+        }
+    }
+
+    /// Runs `op` under this policy: attempt, and on `Err` back off and
+    /// retry until the budget or deadline runs out. `fast_fail(&e)`
+    /// marks errors that skip the sleep (connection refused). Returns
+    /// the last error when the session exhausts.
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+        mut fast_fail: impl FnMut(&E) -> bool,
+    ) -> Result<T, E> {
+        let mut session = self.session();
+        loop {
+            match op(session.failures) {
+                Ok(v) => return Ok(v),
+                Err(e) => match session.after_failure(fast_fail(&e)) {
+                    Some(sleep) => {
+                        if !sleep.is_zero() {
+                            std::thread::sleep(sleep);
+                        }
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+}
+
+/// Mutable per-conversation state over a [`RetryPolicy`].
+#[derive(Debug)]
+pub struct RetrySession<'p> {
+    policy: &'p RetryPolicy,
+    failures: u32,
+}
+
+impl RetrySession<'_> {
+    /// Failures recorded so far.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Records one failed attempt. `Some(sleep)` means another attempt
+    /// is allowed after sleeping (zero for `fast_fail` — nothing was
+    /// listening, so the next candidate costs nothing); `None` means the
+    /// budget or deadline is exhausted and the caller must give up.
+    pub fn after_failure(&mut self, fast_fail: bool) -> Option<Duration> {
+        self.failures = self.failures.saturating_add(1);
+        if self.failures >= self.policy.budget {
+            return None;
+        }
+        let mut backoff = if fast_fail {
+            Duration::ZERO
+        } else {
+            // Linear growth, deterministically jittered to 50–100% so
+            // concurrent retriers de-synchronise without wall-clock
+            // randomness.
+            let raw = self
+                .policy
+                .base_backoff
+                .saturating_mul(self.failures)
+                .min(self.policy.max_backoff);
+            let jitter = mix64(self.policy.jitter_seed ^ u64::from(self.failures)) % 512;
+            raw.mul_f64(0.5 + (jitter as f64) / 1024.0)
+        };
+        if let Some(deadline) = self.policy.deadline {
+            match deadline.checked_duration_since(Instant::now()) {
+                Some(remaining) => backoff = backoff.min(remaining),
+                None => return None,
+            }
+        }
+        Some(backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_bounds_the_attempts() {
+        let policy = RetryPolicy::new(3, 0);
+        let mut tried = 0u32;
+        let r: Result<(), &str> = policy.run(
+            |_| {
+                tried += 1;
+                Err("nope")
+            },
+            |_| true,
+        );
+        assert!(r.is_err());
+        assert_eq!(tried, 3, "budget of 3 = exactly 3 attempts");
+    }
+
+    #[test]
+    fn succeeds_mid_session() {
+        let policy = RetryPolicy::new(5, 0);
+        let r: Result<u32, &str> = policy.run(
+            |attempt| if attempt >= 2 { Ok(attempt) } else { Err("retry") },
+            |_| true,
+        );
+        assert_eq!(r, Ok(2), "third attempt wins");
+    }
+
+    #[test]
+    fn passed_deadline_exhausts_immediately() {
+        let policy = RetryPolicy::new(100, 60_000)
+            .deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let mut session = policy.session();
+        assert_eq!(session.after_failure(false), None, "no sleeping past a dead deadline");
+    }
+
+    #[test]
+    fn backoff_is_clamped_to_the_remaining_deadline() {
+        let policy = RetryPolicy::new(10, 60_000)
+            .deadline(Some(Instant::now() + Duration::from_millis(50)));
+        let mut session = policy.session();
+        let sleep = session.after_failure(false).expect("one retry allowed");
+        assert!(
+            sleep <= Duration::from_millis(50),
+            "a minutes-scale backoff must clamp to the 50 ms deadline, got {sleep:?}"
+        );
+    }
+
+    #[test]
+    fn fast_fail_skips_the_sleep_but_spends_the_budget() {
+        let policy = RetryPolicy::new(3, 60_000);
+        let mut session = policy.session();
+        assert_eq!(session.after_failure(true), Some(Duration::ZERO));
+        assert_eq!(session.after_failure(true), Some(Duration::ZERO));
+        assert_eq!(session.after_failure(true), None, "budget still bounds fast failures");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let sleeps = |seed: u64| -> Vec<Duration> {
+            let policy = RetryPolicy::new(6, 100).seed(seed);
+            let mut session = policy.session();
+            (0..5).filter_map(|_| session.after_failure(false)).collect()
+        };
+        assert_eq!(sleeps(7), sleeps(7), "same seed, same sleep schedule");
+        assert_ne!(sleeps(7), sleeps(8), "different seed, different jitter");
+        for (i, d) in sleeps(7).iter().enumerate() {
+            let raw = Duration::from_millis(100).saturating_mul(i as u32 + 1);
+            assert!(*d >= raw.mul_f64(0.5) && *d <= raw, "jitter stays in [50%, 100%]: {d:?}");
+        }
+    }
+}

@@ -48,6 +48,9 @@ use serde_json::{json, Value};
 
 use crate::catalog::{content_fingerprint, Catalog};
 use crate::http::{read_request, HttpError, Request, Response};
+use crate::netfault::NET_COUNTERS;
+use crate::peers::PeerTimeouts;
+use crate::retry::{RetryPolicy, RETRIES_EXHAUSTED};
 use crate::supervisor::Supervisor;
 
 /// The `serve.router.*` counters pinned by the metrics schema test;
@@ -81,7 +84,15 @@ pub struct RouterConfig {
     pub connect_timeout_ms: u64,
     /// Read/write timeout on a forwarded request (must cover the worker
     /// job budget, or the router gives up on jobs that would finish).
+    /// Clamped per attempt to the client's remaining `timeout_ms`
+    /// deadline when one is present.
     pub forward_timeout_ms: u64,
+    /// How long the router waits for a client to finish sending its
+    /// request head/body before giving up on the connection.
+    pub head_timeout_ms: u64,
+    /// Connect/read deadline for router→worker peer conversations
+    /// (quorum fan-out, commit round, rollback).
+    pub peer_timeout_ms: u64,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
     /// Worker `/readyz` probe cadence.
@@ -110,6 +121,8 @@ impl Default for RouterConfig {
             extra_rounds: 1,
             connect_timeout_ms: 1_000,
             forward_timeout_ms: 120_000,
+            head_timeout_ms: 10_000,
+            peer_timeout_ms: 10_000,
             max_body_bytes: 16 * 1024 * 1024,
             probe_interval_ms: 500,
             eject_after: 3,
@@ -209,6 +222,9 @@ impl Router {
         listener.set_nonblocking(true)?;
         let obs = cfg.obs.clone();
         for name in ROUTER_COUNTERS {
+            obs.touch_counter(name);
+        }
+        for name in NET_COUNTERS {
             obs.touch_counter(name);
         }
         let slots = fleet.addrs().len();
@@ -363,18 +379,34 @@ fn route_key(req: &Request, body: Option<&Value>, shared: &RouterShared) -> u64 
 /// Sends `req` to `addr` and reads the complete reply (workers are
 /// `Connection: close`, so EOF delimits it). Returns the status code
 /// and the raw response bytes for verbatim relay.
+///
+/// Two transport checks make chaos survivable: the per-attempt I/O
+/// timeout is clamped to the client's remaining deadline (a forward that
+/// cannot finish in time fails fast instead of timing out long after the
+/// caller hung up), and a reply whose body is shorter than its
+/// `content-length` is an `UnexpectedEof` — a connection reset mid-body
+/// must never be relayed as a success the client will parse.
 fn forward(
     addr: SocketAddr,
     req: &Request,
     cfg: &RouterConfig,
+    deadline: Option<Instant>,
 ) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut timeout = Duration::from_millis(cfg.forward_timeout_ms);
+    if let Some(deadline) = deadline {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline passed")
+            })?;
+        timeout = timeout.min(remaining.max(Duration::from_millis(10)));
+    }
     let mut stream = TcpStream::connect_timeout(
         &addr,
-        Duration::from_millis(cfg.connect_timeout_ms),
+        Duration::from_millis(cfg.connect_timeout_ms).min(timeout),
     )?;
-    let timeout = Some(Duration::from_millis(cfg.forward_timeout_ms));
-    stream.set_read_timeout(timeout)?;
-    stream.set_write_timeout(timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let head = format!(
         "{} {} HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         req.method,
@@ -388,6 +420,18 @@ fn forward(
     let status = parse_status(&raw).ok_or_else(|| {
         std::io::Error::other("worker reply missing a status line")
     })?;
+    if let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+        let head_text = String::from_utf8_lossy(&raw[..head_end]);
+        if let Some(expected) = crate::peers::content_length(&head_text) {
+            let got = raw.len() - head_end - 4;
+            if got < expected {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("short worker reply: {got} of {expected} body bytes"),
+                ));
+            }
+        }
+    }
     Ok((status, raw))
 }
 
@@ -476,7 +520,16 @@ fn probe_loop(shared: &RouterShared) {
                 }
             }
         }
-        std::thread::sleep(Duration::from_millis(shared.cfg.probe_interval_ms));
+        // Sleep in short slices so `shutdown()` never blocks on a parked
+        // prober — chaos soaks stretch the interval to minutes to keep the
+        // probe schedule deterministic, and a join against a monolithic
+        // sleep would stall teardown for the full interval.
+        let mut waited = 0u64;
+        while waited < shared.cfg.probe_interval_ms && !shared.stopping.load(Ordering::SeqCst) {
+            let step = (shared.cfg.probe_interval_ms - waited).min(50);
+            std::thread::sleep(Duration::from_millis(step));
+            waited += step;
+        }
     }
 }
 
@@ -489,7 +542,7 @@ fn probe_one(addr: SocketAddr, cfg: &RouterConfig) -> Option<String> {
     };
     let mut probe_cfg = cfg.clone();
     probe_cfg.forward_timeout_ms = cfg.connect_timeout_ms.max(250);
-    let (_, raw) = forward(addr, &req, &probe_cfg).ok()?;
+    let (_, raw) = forward(addr, &req, &probe_cfg, None).ok()?;
     let state = reply_body(&raw)?
         .get("state")
         .and_then(Value::as_str)
@@ -500,9 +553,15 @@ fn probe_one(addr: SocketAddr, cfg: &RouterConfig) -> Option<String> {
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
     let cfg = &shared.cfg;
-    let req = match read_request(&mut stream, cfg.max_body_bytes, Duration::from_secs(10)) {
+    let req = match read_request(
+        &mut stream,
+        cfg.max_body_bytes,
+        Duration::from_millis(cfg.head_timeout_ms),
+    ) {
         Ok(req) => req,
-        Err(HttpError::Disconnected) => return,
+        // A client that vanished before or mid-request gets no reply —
+        // there is nobody left to read it.
+        Err(HttpError::Disconnected | HttpError::Truncated) => return,
         Err(e) => {
             let status = match e {
                 HttpError::HeadTooLarge => 431,
@@ -578,7 +637,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
                     headers: Vec::new(),
                     body: Vec::new(),
                 };
-                if forward(addr, &drain, cfg).is_ok() {
+                if forward(addr, &drain, cfg, None).is_ok() {
                     drained += 1;
                 }
             }
@@ -612,9 +671,18 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
 ///    can never produce a torn version;
 /// 2. pin — the new version is `max(live peers' newest) + 1`, carried in
 ///    the fan-out body so every replica stores the same number;
-/// 3. fan out — workers apply the pinned write idempotently
-///    (re-registering identical content at an existing version acks);
-/// 4. settle — `acks ≥ quorum` answers 200 (counting
+/// 3. fan out — workers store the pinned write **pending**
+///    (`committed: false`) and apply it idempotently (re-registering
+///    identical content at an existing version acks), each peer under a
+///    small [`RetryPolicy`] budget so a transient reset or torn reply
+///    does not cost the quorum a replica;
+/// 4. commit — `acks ≥ quorum` runs a commit round flipping the pinned
+///    version readable on every acker. A coordinator that dies between
+///    quorum ack and commit leaves only *pending* files behind; readers
+///    quorum-confirm those and either commit or delete them
+///    (`serve.catalog.read_repaired`) — a torn version is never
+///    readable;
+/// 5. settle — quorum answers 200 (counting
 ///    `serve.catalog.replicated_partial` when some peer missed the
 ///    write); fewer acks rolls the pinned version back off every peer
 ///    that took it and answers 503.
@@ -655,10 +723,13 @@ fn replicate_put(req: &Request, stream: &mut TcpStream, shared: &RouterShared, n
         return;
     }
 
+    let timeouts = PeerTimeouts::from_ms(shared.cfg.peer_timeout_ms);
+    let policy = RetryPolicy::new(3, shared.cfg.retry_backoff_ms.clamp(10, 250));
     let describe = format!("/v1/datasets/{name}");
     let mut newest = 0u64;
     for &addr in &live {
-        if let Ok((200, reply)) = crate::peers::peer_json(addr, "GET", &describe, None) {
+        if let Ok((200, reply)) = crate::peers::peer_json(addr, "GET", &describe, None, &timeouts)
+        {
             newest = newest.max(reply.get("version").and_then(Value::as_u64).unwrap_or(0));
         }
     }
@@ -673,7 +744,13 @@ fn replicate_put(req: &Request, stream: &mut TcpStream, shared: &RouterShared, n
     let mut first_ack: Option<Value> = None;
     let mut rejection: Option<(u16, Value)> = None;
     for &addr in &live {
-        match crate::peers::peer_json(addr, "PUT", &describe, Some(&put_body)) {
+        // Pinned writes are idempotent by content, so retrying a PUT
+        // whose ack was torn off the wire is safe — the replica re-acks
+        // without rewriting.
+        match policy.run(
+            |_| crate::peers::peer_json(addr, "PUT", &describe, Some(&put_body), &timeouts),
+            |e| e.kind() == std::io::ErrorKind::ConnectionRefused,
+        ) {
             Ok((200, reply)) => {
                 if first_ack.is_none() {
                     first_ack = Some(reply);
@@ -686,11 +763,25 @@ fn replicate_put(req: &Request, stream: &mut TcpStream, shared: &RouterShared, n
                 // it so the client sees the real reason, not a 503.
                 rejection = Some((status, reply));
             }
-            _ => {}
+            Ok(_) => {}
+            Err(_) => {
+                obs.inc(RETRIES_EXHAUSTED);
+            }
         }
     }
 
     if acks.len() >= quorum {
+        // Commit round: flip the pinned version readable on every acker.
+        // Best-effort — the write is durable at quorum ack; a replica
+        // the commit misses repairs itself at read time via quorum
+        // confirmation.
+        let commit = format!("/v1/datasets/{name}/{pinned}/commit");
+        for &addr in &acks {
+            let _ = policy.run(
+                |_| crate::peers::peer_json(addr, "POST", &commit, None, &timeouts),
+                |e| e.kind() == std::io::ErrorKind::ConnectionRefused,
+            );
+        }
         if acks.len() < total {
             obs.inc("serve.catalog.replicated_partial");
         }
@@ -712,6 +803,7 @@ fn replicate_put(req: &Request, stream: &mut TcpStream, shared: &RouterShared, n
             "DELETE",
             &format!("/v1/datasets/{name}/{pinned}"),
             None,
+            &timeouts,
         );
     }
     match rejection {
@@ -761,12 +853,20 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
         .and_then(Value::as_u64)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
 
-    let mut attempts = 0usize;
     let mut last_error = String::from("no worker replicas configured");
-    // Set when the previous attempt died on connection-refused: nothing
-    // is listening there, so the next replica is tried immediately —
-    // only timeouts and 5xx consume the linear-backoff budget.
-    let mut fast_fail = false;
+    // One RetryPolicy session spans the whole failover walk: it owns the
+    // jittered backoff, the deadline clamp, and the fast-fail rule
+    // (connection-refused means nothing is listening, so the next
+    // replica is tried immediately — only timeouts, torn replies and
+    // 5xx consume the backoff budget). The loop structure itself bounds
+    // the attempt count, so the session's budget is effectively the
+    // deadline.
+    let policy = RetryPolicy::new(u32::MAX, cfg.retry_backoff_ms).deadline(deadline);
+    let mut session = policy.session();
+    // Sleep decided after the previous failure, applied only right
+    // before another forward actually happens — skipped slots (ejected,
+    // down) must not consume it.
+    let mut pending_sleep: Option<Duration> = None;
     'failover: for round in 0..=cfg.extra_rounds {
         // Re-read ejection each round: the prober may eject the very
         // peer that just failed us mid-failover.
@@ -787,38 +887,16 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
                 last_error = format!("worker slot {slot} is down");
                 continue;
             };
-            if attempts > 0 {
-                // Sleep only here, where another forward definitely
-                // follows; clamp to the remaining deadline and give up
-                // once it has passed — answering 502 immediately beats
-                // sleeping toward a reply nobody reads.
-                let mut backoff = if fast_fail {
-                    Duration::ZERO
-                } else {
-                    Duration::from_millis(cfg.retry_backoff_ms.saturating_mul(attempts as u64))
-                };
-                if let Some(deadline) = deadline {
-                    match deadline.checked_duration_since(Instant::now()) {
-                        Some(remaining) => backoff = backoff.min(remaining),
-                        None => {
-                            last_error = format!(
-                                "request deadline passed after {attempts} attempts; last: {last_error}"
-                            );
-                            break 'failover;
-                        }
-                    }
-                }
+            if let Some(sleep) = pending_sleep.take() {
                 obs.inc("serve.router.retried");
-                if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
                 }
             }
-            attempts += 1;
-            fast_fail = false;
-            match forward(addr, &req, cfg) {
+            match forward(addr, &req, cfg, deadline) {
                 Ok((status, raw)) if status < 500 => {
                     obs.inc("serve.router.routed");
-                    if attempts > 1 && status == 200 && reply_resumed(&raw) {
+                    if session.failures() > 0 && status == 200 && reply_resumed(&raw) {
                         obs.inc("serve.router.adopted");
                     }
                     let _ = stream.write_all(&raw);
@@ -826,15 +904,30 @@ fn route(req: Request, mut stream: TcpStream, shared: &Arc<RouterShared>) {
                 }
                 Ok((status, _)) => {
                     last_error = format!("worker {addr} answered {status} (round {round})");
+                    match session.after_failure(false) {
+                        Some(sleep) => pending_sleep = Some(sleep),
+                        None => break 'failover,
+                    }
                 }
                 Err(e) => {
-                    fast_fail = e.kind() == std::io::ErrorKind::ConnectionRefused;
+                    let fast_fail = e.kind() == std::io::ErrorKind::ConnectionRefused;
                     last_error = format!("worker {addr}: {e} (round {round})");
+                    match session.after_failure(fast_fail) {
+                        Some(sleep) => pending_sleep = Some(sleep),
+                        None => break 'failover,
+                    }
                 }
             }
         }
     }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        last_error = format!(
+            "request deadline passed after {} attempts; last: {last_error}",
+            session.failures()
+        );
+    }
     obs.inc("serve.router.exhausted");
+    obs.inc(RETRIES_EXHAUSTED);
     let _ = Response::json(
         502,
         &json!({ "error": "no replica could answer", "detail": last_error }),
@@ -1256,7 +1349,7 @@ mod tests {
         let body = json!({"csv": "A,B\n1,2\n", "ontology": ""});
 
         // Full fleet: the write lands everywhere.
-        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body))
+        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body), &PeerTimeouts::default())
             .expect("router put");
         assert_eq!(status, 200, "full-fleet put: {reply:?}");
         assert_eq!(reply.get("version").and_then(Value::as_u64), Some(1));
@@ -1266,7 +1359,7 @@ mod tests {
         // Kill C; two of three still make quorum, partial is counted.
         servers.pop().expect("worker c").shutdown(Duration::from_millis(200));
         let body2 = json!({"csv": "A,B\n1,3\n", "ontology": ""});
-        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body2))
+        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body2), &PeerTimeouts::default())
             .expect("router put");
         assert_eq!(status, 200, "majority put: {reply:?}");
         assert_eq!(reply.get("version").and_then(Value::as_u64), Some(2));
@@ -1276,7 +1369,8 @@ mod tests {
         // Every surviving peer serves the committed version directly.
         for s in &servers {
             let (status, reply) =
-                crate::peers::peer_json(s.addr(), "GET", "/v1/datasets/q", None).expect("describe");
+                crate::peers::peer_json(s.addr(), "GET", "/v1/datasets/q", None, &PeerTimeouts::default())
+                    .expect("describe");
             assert_eq!(status, 200);
             assert_eq!(
                 reply.get("version").and_then(Value::as_u64),
@@ -1297,7 +1391,7 @@ mod tests {
     fn quorum_put_with_a_dead_majority_rolls_back_and_answers_503() {
         let (mut servers, router, obs, tmp) = quorum_fleet();
         let body = json!({"csv": "A,B\n1,2\n", "ontology": ""});
-        let (status, _) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body))
+        let (status, _) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body), &PeerTimeouts::default())
             .expect("router put");
         assert_eq!(status, 200);
 
@@ -1305,7 +1399,7 @@ mod tests {
         servers.pop().expect("worker c").shutdown(Duration::from_millis(200));
         servers.pop().expect("worker b").shutdown(Duration::from_millis(200));
         let body2 = json!({"csv": "A,B\n9,9\n", "ontology": ""});
-        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body2))
+        let (status, reply) = crate::peers::peer_json(router.addr(), "PUT", "/v1/datasets/q", Some(&body2), &PeerTimeouts::default())
             .expect("router put");
         assert_eq!(status, 503, "minority put must fail: {reply:?}");
         assert_eq!(counter(&obs, "serve.catalog.replicated_partial"), 0);
@@ -1314,11 +1408,13 @@ mod tests {
         // trace of the aborted version 2.
         let survivor = servers[0].addr();
         let (status, reply) =
-            crate::peers::peer_json(survivor, "GET", "/v1/datasets/q", None).expect("describe");
+            crate::peers::peer_json(survivor, "GET", "/v1/datasets/q", None, &PeerTimeouts::default())
+                .expect("describe");
         assert_eq!(status, 200);
         assert_eq!(reply.get("version").and_then(Value::as_u64), Some(1));
         let (status, _) =
-            crate::peers::peer_json(survivor, "GET", "/v1/datasets/q@2", None).expect("resolve");
+            crate::peers::peer_json(survivor, "GET", "/v1/datasets/q@2", None, &PeerTimeouts::default())
+                .expect("resolve");
         assert_ne!(status, 200, "aborted version must be rolled back");
 
         router.shutdown();

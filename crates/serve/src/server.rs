@@ -73,6 +73,13 @@ pub struct ServeConfig {
     /// filesystem: catalog read repair on local miss, and job/stream
     /// checkpoint shipping from the dead owner's replica.
     pub peers: Vec<SocketAddr>,
+    /// How long a client may take to deliver its request head/body
+    /// before the connection is abandoned (slowloris bound). Chaos runs
+    /// tighten it.
+    pub head_timeout_ms: u64,
+    /// Connect/read deadline for peer conversations (catalog read
+    /// repair, quorum confirmation, checkpoint shipping).
+    pub peer_timeout_ms: u64,
     /// Seeded fault plan passed through to the engines and snapshot
     /// stores (inert by default; the soak harness sets it).
     pub faults: FaultPlan,
@@ -97,6 +104,8 @@ impl Default for ServeConfig {
             checkpoint_dir: None,
             catalog_dir: None,
             peers: Vec::new(),
+            head_timeout_ms: 10_000,
+            peer_timeout_ms: 10_000,
             faults: FaultPlan::none(),
             obs: Obs::enabled(),
             retry_after_ms: 250,
@@ -106,7 +115,7 @@ impl Default for ServeConfig {
 
 /// The `serve.*` counters pinned by the metrics schema test; touched at
 /// bind time so they are present (zero) in every `/metrics` document.
-pub const SERVE_COUNTERS: [&str; 17] = [
+pub const SERVE_COUNTERS: [&str; 18] = [
     "serve.requests",
     "serve.admitted",
     "serve.shed",
@@ -122,6 +131,7 @@ pub const SERVE_COUNTERS: [&str; 17] = [
     "serve.catalog.hit",
     "serve.catalog.miss",
     "serve.catalog.peer_fetch",
+    "serve.catalog.read_repaired",
     "serve.ship.served",
     "serve.ship.fetched",
 ];
@@ -210,6 +220,9 @@ impl Server {
         for name in STREAM_COUNTERS {
             obs.touch_counter(name);
         }
+        for name in crate::netfault::NET_COUNTERS {
+            obs.touch_counter(name);
+        }
         // Satellite of the guard work: an RSS gate that cannot read the
         // resident set is inert — say so once, loudly, instead of letting
         // the operator believe the ceiling is enforced.
@@ -231,7 +244,8 @@ impl Server {
         let catalog = catalog_dir.map(|dir| {
             Arc::new(
                 Catalog::open(dir, cfg.faults.clone(), obs.clone())
-                    .with_peers(cfg.peers.clone()),
+                    .with_peers(cfg.peers.clone())
+                    .with_peer_timeouts(crate::peers::PeerTimeouts::from_ms(cfg.peer_timeout_ms)),
             )
         });
 
@@ -377,9 +391,15 @@ fn shed_body(error: &str, retry_after_ms: u64) -> Value {
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let cfg = &shared.cfg;
-    let req = match read_request(&mut stream, cfg.max_body_bytes, Duration::from_secs(10)) {
+    let req = match read_request(
+        &mut stream,
+        cfg.max_body_bytes,
+        Duration::from_millis(cfg.head_timeout_ms.max(1)),
+    ) {
         Ok(req) => req,
-        Err(HttpError::Disconnected) => return,
+        // Both mean the client is gone: nothing arrived, or it hung up
+        // mid-body. Neither is answerable, so no 400 goes on the wire.
+        Err(HttpError::Disconnected | HttpError::Truncated) => return,
         Err(e) => {
             let status = match e {
                 HttpError::HeadTooLarge => 431,
@@ -570,6 +590,39 @@ fn handle_datasets(req: Request, mut stream: TcpStream, shared: &Arc<Shared>) {
                         shared.obs.inc("serve.ship.served");
                         Response::json(200, &payload)
                     }
+                    Err(e) => catalog_error_response(&e),
+                },
+                Err(_) => Response::json(400, &json!({ "error": "bad version in path" })),
+            },
+            // Quorum-confirmation probe: does this replica hold the
+            // version, and has it been committed? Readers repairing a
+            // pending version poll this across the fleet.
+            [name, version, "stat"] => match version.parse::<u64>() {
+                Ok(version) => match catalog.stat(name, version) {
+                    Ok((present, committed)) => Response::json(
+                        200,
+                        &json!({
+                            "name": *name,
+                            "version": version,
+                            "present": present,
+                            "committed": committed,
+                        }),
+                    ),
+                    Err(e) => catalog_error_response(&e),
+                },
+                Err(_) => Response::json(400, &json!({ "error": "bad version in path" })),
+            },
+            _ => Response::json(404, &json!({ "error": "unknown catalog path" })),
+        },
+        // Second phase of a replicated write: flip a pending version to
+        // committed once the router saw a quorum of acks. Idempotent.
+        ("POST", path) => match path.split('/').collect::<Vec<_>>().as_slice() {
+            [name, version, "commit"] => match version.parse::<u64>() {
+                Ok(version) => match catalog.commit_version(name, version) {
+                    Ok(committed) => Response::json(
+                        200,
+                        &json!({ "name": *name, "version": version, "committed": committed }),
+                    ),
                     Err(e) => catalog_error_response(&e),
                 },
                 Err(_) => Response::json(400, &json!({ "error": "bad version in path" })),
@@ -823,6 +876,7 @@ fn execute_job(mut job: Job, shared: &Arc<Shared>) {
         catalog: shared.catalog.clone(),
         sessions: shared.sessions.clone(),
         peers: shared.cfg.peers.clone(),
+        peer_timeouts: crate::peers::PeerTimeouts::from_ms(shared.cfg.peer_timeout_ms),
     };
     let span = obs.span(&format!("serve.job.{}", job.endpoint.label()));
     let result = catch_unwind(AssertUnwindSafe(|| {

@@ -582,6 +582,7 @@ fn open_session(
                 &ctx.peers,
                 &format!("/v1/streams/{key:016x}/snapshot"),
                 store,
+                &ctx.peer_timeouts,
             ) > 0
         {
             ctx.obs.inc("serve.ship.fetched");
@@ -928,6 +929,7 @@ mod tests {
             catalog: None,
             sessions: Arc::new(StreamSessions::new()),
             peers: Vec::new(),
+            peer_timeouts: crate::peers::PeerTimeouts::default(),
         }
     }
 

@@ -408,6 +408,8 @@ fn run() -> Result<ExitCode, String> {
                 "retry-after-ms",
                 "checkpoint-dir",
                 "faults",
+                "head-timeout-ms",
+                "peer-timeout-ms",
                 // Local workers learn the remote hosts too, so their
                 // catalog read-repair and checkpoint shipping can reach
                 // across the fleet.
@@ -449,6 +451,14 @@ fn run() -> Result<ExitCode, String> {
             if let Some(ms) = single("probe-interval-ms") {
                 router_cfg.probe_interval_ms =
                     ms.parse().map_err(|_| "--probe-interval-ms expects an integer")?;
+            }
+            if let Some(ms) = single("head-timeout-ms") {
+                router_cfg.head_timeout_ms =
+                    ms.parse().map_err(|_| "--head-timeout-ms expects an integer")?;
+            }
+            if let Some(ms) = single("peer-timeout-ms") {
+                router_cfg.peer_timeout_ms =
+                    ms.parse().map_err(|_| "--peer-timeout-ms expects an integer")?;
             }
             let router = fastofd::serve::Router::bind(
                 router_cfg,
@@ -514,6 +524,14 @@ fn run() -> Result<ExitCode, String> {
                 cfg.retry_after_ms =
                     ms.parse().map_err(|_| "--retry-after-ms expects an integer")?;
             }
+            if let Some(ms) = single("head-timeout-ms") {
+                cfg.head_timeout_ms =
+                    ms.parse().map_err(|_| "--head-timeout-ms expects an integer")?;
+            }
+            if let Some(ms) = single("peer-timeout-ms") {
+                cfg.peer_timeout_ms =
+                    ms.parse().map_err(|_| "--peer-timeout-ms expects an integer")?;
+            }
             cfg.checkpoint_dir = single("checkpoint-dir").map(std::path::PathBuf::from);
             if let Some(spec) = single("peers") {
                 cfg.peers = fastofd::serve::parse_peer_list(spec)
@@ -561,7 +579,8 @@ fn usage() -> String {
     "usage: fastofd <generate|discover|check|clean|enforce|serve> [--flags...]\n\
      serving: fastofd serve [--addr A] [--workers N] [--queue-cap N] [--budget-ms N]\n\
               [--rss-high-water-mib N] [--breaker-failures N] [--breaker-cooldown-ms N]\n\
-              [--checkpoint-dir DIR] — graceful drain on SIGTERM or POST /admin/drain\n\
+              [--checkpoint-dir DIR] [--head-timeout-ms N] [--peer-timeout-ms N]\n\
+              — graceful drain on SIGTERM or POST /admin/drain\n\
      streaming: POST /v1/append {csv, ontology, ofds|kappa, rows:[[cells]], updates:[{row,\n\
               attr, value[, old]}]} and POST /v1/retract {.., rows:[idx]} maintain a live\n\
               session incrementally (delta partitions, no re-validation of untouched\n\
@@ -582,7 +601,9 @@ fn usage() -> String {
               0 disables) --shards K | --shard-rows R (0 disables) — HyFD-style sampled\n\
               evidence plus per-shard minimal covers refute candidates before any\n\
               full-relation scan or partition product\n\
-     fault injection (testing only): --faults \"seed=N,snapshot-io%P,panic@N\" or FASTOFD_FAULTS\n\
+     fault injection (testing only): --faults \"seed=N,snapshot-io%P,panic@N\" or FASTOFD_FAULTS;\n\
+              network sites: net-delay net-reset net-partial net-blackhole net-refuse\n\
+              (+ delay-ms=N), realised by the in-process chaos proxy (serve_probe --chaos-net)\n\
      see the module docs (`cargo doc`) or README.md for details"
         .to_owned()
 }

@@ -192,8 +192,16 @@ fn serve_metrics_endpoint_matches_schema_v1_with_serve_counters_pinned() {
         // The multi-host fleet surface: peer-to-peer catalog read repair
         // and cross-filesystem checkpoint shipping.
         "serve.catalog.peer_fetch",
+        "serve.catalog.read_repaired",
         "serve.ship.served",
         "serve.ship.fetched",
+        // The network fault-injection surface: workers publish zeros for
+        // the chaos counters from bind so soak dashboards never see an
+        // absent series.
+        "serve.net.injected",
+        "serve.net.resets",
+        "serve.net.blackholes",
+        "serve.net.retries_exhausted",
     ] {
         assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
     }
@@ -231,7 +239,7 @@ fn serve_metrics_endpoint_matches_schema_v1_with_serve_counters_pinned() {
 /// even with zero workers behind it.
 #[test]
 fn router_metrics_endpoint_matches_schema_v1_with_router_counters_pinned() {
-    use fastofd::serve::{Fleet, Router, RouterConfig, ROUTER_COUNTERS};
+    use fastofd::serve::{Fleet, Router, RouterConfig, NET_COUNTERS, ROUTER_COUNTERS};
     use std::io::{Read, Write};
 
     let router = Router::bind(RouterConfig::default(), Fleet::Static(Vec::new()))
@@ -255,6 +263,11 @@ fn router_metrics_endpoint_matches_schema_v1_with_router_counters_pinned() {
     for name in ROUTER_COUNTERS {
         assert!(names.iter().any(|n| n == name), "router counter {name} missing");
     }
+    // The network fault-injection counters bind alongside the router's
+    // own, so a chaos soak can attribute every injected fault by name.
+    for name in NET_COUNTERS {
+        assert!(names.iter().any(|n| n == name), "net counter {name} missing");
+    }
     // The acceptance-pinned spellings, independent of the constant.
     for name in [
         "serve.router.routed",
@@ -265,6 +278,11 @@ fn router_metrics_endpoint_matches_schema_v1_with_router_counters_pinned() {
         "serve.router.ring.ejected",
         "serve.router.ring.readmitted",
         "serve.catalog.replicated_partial",
+        // Deterministic network fault injection.
+        "serve.net.injected",
+        "serve.net.resets",
+        "serve.net.blackholes",
+        "serve.net.retries_exhausted",
     ] {
         assert!(names.iter().any(|n| n == name), "acceptance counter {name} missing");
     }

@@ -50,6 +50,7 @@ fn ctx(checkpoint_root: Option<std::path::PathBuf>, sessions: Arc<StreamSessions
         catalog: None,
         sessions,
         peers: Vec::new(),
+        peer_timeouts: fastofd::serve::PeerTimeouts::default(),
     }
 }
 
